@@ -1,0 +1,191 @@
+// Command codecdb inspects and queries CodecDB databases:
+//
+//	codecdb tables -db ./tpchdb                  # list tables
+//	codecdb schema -db ./tpchdb -table lineitem  # columns + encodings
+//	codecdb count -db ./tpchdb -table lineitem -col l_shipmode -eq MAIL
+//	codecdb advise -db any -csvcol 1,2,3,4,...   # suggest an encoding
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"codecdb"
+	"codecdb/internal/encoding"
+	"codecdb/internal/selector"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	dbDir := fs.String("db", "", "database directory")
+	table := fs.String("table", "", "table name")
+	col := fs.String("col", "", "column name")
+	eq := fs.String("eq", "", "equality predicate value")
+	csvcol := fs.String("csvcol", "", "comma-separated values to advise on")
+	out := fs.String("out", "model.json", "output path for the trained model")
+	seed := fs.Int64("seed", 42, "training seed")
+	fs.Parse(os.Args[2:])
+
+	var err error
+	switch cmd {
+	case "tables":
+		err = withDB(*dbDir, func(db *codecdb.DB) error {
+			for _, n := range db.TableNames() {
+				fmt.Println(n)
+			}
+			return nil
+		})
+	case "schema":
+		err = withDB(*dbDir, func(db *codecdb.DB) error {
+			encs, err := db.Encodings(*table)
+			if err != nil {
+				return err
+			}
+			t, err := db.Table(*table)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%s: %d rows\n", *table, t.NumRows())
+			for _, c := range t.Columns() {
+				fmt.Printf("  %-20s %s\n", c, encs[c])
+			}
+			return nil
+		})
+	case "count":
+		err = withDB(*dbDir, func(db *codecdb.DB) error {
+			t, err := db.Table(*table)
+			if err != nil {
+				return err
+			}
+			q := t.All()
+			if *eq != "" {
+				if iv, e := strconv.ParseInt(*eq, 10, 64); e == nil {
+					q = t.Where(*col, codecdb.Eq, iv)
+				} else {
+					q = t.Where(*col, codecdb.Eq, *eq)
+				}
+			}
+			n, err := q.Count()
+			if err != nil {
+				return err
+			}
+			fmt.Println(n)
+			return nil
+		})
+	case "advise":
+		err = advise(*csvcol)
+	case "train":
+		err = train(*out, *seed)
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "codecdb:", err)
+		os.Exit(1)
+	}
+}
+
+func withDB(dir string, fn func(*codecdb.DB) error) error {
+	if dir == "" {
+		return fmt.Errorf("-db is required")
+	}
+	db, err := codecdb.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+	return fn(db)
+}
+
+// advise runs exhaustive selection on an inline column and prints the
+// per-encoding sizes with the winner.
+func advise(csv string) error {
+	if csv == "" {
+		return fmt.Errorf("-csvcol is required")
+	}
+	parts := strings.Split(csv, ",")
+	ints := make([]int64, 0, len(parts))
+	isInt := true
+	for _, p := range parts {
+		v, err := strconv.ParseInt(strings.TrimSpace(p), 10, 64)
+		if err != nil {
+			isInt = false
+			break
+		}
+		ints = append(ints, v)
+	}
+	if isInt {
+		sizes, err := selector.SizesInt(ints, encoding.IntCandidates())
+		if err != nil {
+			return err
+		}
+		best, _, err := selector.BestInt(ints)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("plain: %d bytes\n", selector.PlainSizeInt(ints))
+		for _, k := range encoding.IntCandidates() {
+			marker := " "
+			if k == best {
+				marker = "*"
+			}
+			fmt.Printf("%s %-22s %d bytes\n", marker, k, sizes[k])
+		}
+		return nil
+	}
+	strs := make([][]byte, len(parts))
+	for i, p := range parts {
+		strs[i] = []byte(strings.TrimSpace(p))
+	}
+	sizes, err := selector.SizesString(strs, encoding.StringCandidates())
+	if err != nil {
+		return err
+	}
+	best, _, err := selector.BestString(strs)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("plain: %d bytes\n", selector.PlainSizeString(strs))
+	for _, k := range encoding.StringCandidates() {
+		marker := " "
+		if k == best {
+			marker = "*"
+		}
+		fmt.Printf("%s %-22s %d bytes\n", marker, k, sizes[k])
+	}
+	return nil
+}
+
+// train fits the data-driven selector on the built-in corpus and saves
+// the model; a database opened with this model uses it for automatic
+// encoding selection.
+func train(out string, seed int64) error {
+	fmt.Println("training encoding selector on the built-in corpus ...")
+	sel, err := codecdb.TrainDefaultSelector(seed)
+	if err != nil {
+		return err
+	}
+	if err := sel.Save(out); err != nil {
+		return err
+	}
+	fmt.Printf("model saved to %s\n", out)
+	return nil
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: codecdb <command> [flags]
+commands:
+  tables  -db DIR                         list tables
+  schema  -db DIR -table T                show columns and encodings
+  count   -db DIR -table T [-col C -eq V] count rows (optionally filtered)
+  advise  -csvcol v1,v2,...               suggest an encoding for a column
+  train   [-out model.json] [-seed N]     train the encoding selector`)
+	os.Exit(2)
+}

@@ -1,0 +1,90 @@
+// Command datagen generates the benchmark datasets and loads them into a
+// CodecDB database directory:
+//
+//	datagen -kind tpch -sf 0.05 -out ./tpchdb        # 8 TPC-H tables
+//	datagen -kind ssb -sf 0.05 -out ./ssbdb          # 5 SSB tables
+//	datagen -kind corpus -out ./corpusdb             # selector training corpus
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"codecdb/internal/colstore"
+	"codecdb/internal/core"
+	"codecdb/internal/corpus"
+	"codecdb/internal/ssb"
+	"codecdb/internal/tpch"
+)
+
+func main() {
+	kind := flag.String("kind", "tpch", "dataset: tpch|ssb|corpus")
+	sf := flag.Float64("sf", 0.01, "scale factor for tpch/ssb")
+	seed := flag.Int64("seed", 42, "deterministic seed")
+	out := flag.String("out", "", "output database directory (required)")
+	rows := flag.Int("rows", 4000, "rows per corpus column")
+	perCat := flag.Int("percat", 24, "columns per corpus category")
+	dbmsx := flag.Bool("dbmsx", false, "load TPC-H in the plain+gzip DBMS-X layout")
+	flag.Parse()
+
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "datagen: -out is required")
+		os.Exit(2)
+	}
+	if err := generate(*kind, *sf, *seed, *out, *rows, *perCat, *dbmsx); err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+}
+
+func generate(kind string, sf float64, seed int64, out string, rows, perCat int, dbmsx bool) error {
+	db, err := core.Open(out, core.Options{})
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+	opts := colstore.Options{}
+	switch kind {
+	case "tpch":
+		data := tpch.Generate(sf, seed)
+		if dbmsx {
+			err = tpch.LoadDBMSX(db, data, opts)
+		} else {
+			err = tpch.LoadCodecDB(db, data, opts)
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("loaded TPC-H SF %.3f: %d lineitem rows into %s\n",
+			sf, len(data.Lineitem.OrderKey), out)
+	case "ssb":
+		data := ssb.Generate(sf, seed)
+		if err := ssb.LoadCodecDB(db, data, opts); err != nil {
+			return err
+		}
+		fmt.Printf("loaded SSB SF %.3f: %d lineorder rows into %s\n",
+			sf, len(data.Lineorder.OrderKey), out)
+	case "corpus":
+		cols := corpus.Generate(corpus.Config{Seed: seed, Rows: rows, PerCat: perCat})
+		for i := range cols {
+			c := &cols[i]
+			spec := core.ColumnSpec{Name: "value", AutoEncode: true}
+			var data colstore.ColumnData
+			if c.IsInt() {
+				spec.Type = colstore.TypeInt64
+				data = colstore.ColumnData{Ints: c.Ints}
+			} else {
+				spec.Type = colstore.TypeString
+				data = colstore.ColumnData{Strings: c.Strings}
+			}
+			if _, err := db.LoadTable(c.Name, []core.ColumnSpec{spec}, []colstore.ColumnData{data}, opts); err != nil {
+				return err
+			}
+		}
+		fmt.Printf("loaded %d corpus columns into %s\n", len(cols), out)
+	default:
+		return fmt.Errorf("unknown kind %q", kind)
+	}
+	return nil
+}

@@ -1,0 +1,186 @@
+// Command expt regenerates the paper's tables and figures (see DESIGN.md
+// for the experiment index). Each -run target prints one artifact:
+//
+//	expt -run fig1a                  # compression ratio comparison
+//	expt -run fig7 -sf 0.05          # TPC-H query times at SF 0.05
+//	expt -run all                    # everything
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"codecdb/internal/experiments"
+)
+
+func main() {
+	run := flag.String("run", "all", "experiment: fig1a|fig1b|table1|table2|fig5a|fig5b|ablation|sampling|overhead|models|fig6|fig7|fig8|fig9|fig10|all")
+	sf := flag.Float64("sf", 0.02, "TPC-H / SSB scale factor for query experiments")
+	rows := flag.Int("rows", 3000, "rows per corpus column for storage experiments")
+	perCat := flag.Int("percat", 16, "columns per corpus category")
+	seed := flag.Int64("seed", 42, "deterministic seed")
+	dir := flag.String("dir", "", "data directory for query experiments (temp when empty)")
+	flag.Parse()
+
+	cfg := experiments.CorpusConfig{Seed: *seed, Rows: *rows, PerCat: *perCat}
+	if err := dispatch(*run, cfg, *sf, *seed, *dir); err != nil {
+		fmt.Fprintln(os.Stderr, "expt:", err)
+		os.Exit(1)
+	}
+}
+
+func dispatch(run string, cfg experiments.CorpusConfig, sf float64, seed int64, dir string) error {
+	out := os.Stdout
+	storage := map[string]func() error{
+		"fig1a": func() error {
+			rep, err := experiments.Fig1a(cfg)
+			if err != nil {
+				return err
+			}
+			rep.Print(out)
+			return nil
+		},
+		"fig1b": func() error {
+			rep, err := experiments.Fig1b(200_000, seed)
+			if err != nil {
+				return err
+			}
+			rep.Print(out)
+			return nil
+		},
+		"table1": func() error { experiments.Table1(out); return nil },
+		"table2": func() error { experiments.Table2(cfg).Print(out); return nil },
+		"fig5a": func() error {
+			rep, err := experiments.Fig5a(cfg)
+			if err != nil {
+				return err
+			}
+			rep.Print(out)
+			return nil
+		},
+		"fig5b": func() error {
+			rep, err := experiments.Fig5b(cfg)
+			if err != nil {
+				return err
+			}
+			rep.Print(out)
+			return nil
+		},
+		"ablation": func() error {
+			rep, err := experiments.Ablation(cfg)
+			if err != nil {
+				return err
+			}
+			rep.Print(out)
+			return nil
+		},
+		"sampling": func() error {
+			rep, err := experiments.Sampling(cfg)
+			if err != nil {
+				return err
+			}
+			rep.Print(out)
+			return nil
+		},
+		"overhead": func() error {
+			rep, err := experiments.Overhead(2_000_000, seed)
+			if err != nil {
+				return err
+			}
+			rep.Print(out)
+			return nil
+		},
+		"models": func() error {
+			rep, err := experiments.Models(cfg)
+			if err != nil {
+				return err
+			}
+			rep.Print(out)
+			return nil
+		},
+	}
+	tpchExps := map[string]bool{"fig6": true, "fig7": true, "fig8": true, "fig9": true}
+
+	names := []string{"fig1a", "fig1b", "table1", "table2", "fig5a", "fig5b",
+		"ablation", "sampling", "overhead", "models", "fig6", "fig7", "fig8", "fig9", "fig10"}
+	selected := []string{}
+	if run == "all" {
+		selected = names
+	} else {
+		selected = []string{run}
+	}
+
+	var tpchEnv *experiments.TPCHEnv
+	defer func() {
+		if tpchEnv != nil {
+			tpchEnv.Close()
+		}
+	}()
+	for _, name := range selected {
+		switch {
+		case storage[name] != nil:
+			if err := storage[name](); err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+		case tpchExps[name]:
+			if tpchEnv == nil {
+				fmt.Fprintf(out, "[loading TPC-H at SF %.3f ...]\n", sf)
+				var err error
+				tpchEnv, err = experiments.SetupTPCH(sf, seed, dir)
+				if err != nil {
+					return err
+				}
+			}
+			if err := runTPCH(name, tpchEnv, out); err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+		case name == "fig10":
+			fmt.Fprintf(out, "[loading SSB at SF %.3f ...]\n", sf)
+			env, err := experiments.SetupSSB(sf, seed, dir)
+			if err != nil {
+				return err
+			}
+			rep, err := experiments.Fig10(env)
+			env.Close()
+			if err != nil {
+				return err
+			}
+			rep.Print(out)
+		default:
+			return fmt.Errorf("unknown experiment %q (want one of %v)", name, names)
+		}
+		fmt.Fprintln(out)
+	}
+	return nil
+}
+
+func runTPCH(name string, env *experiments.TPCHEnv, out *os.File) error {
+	switch name {
+	case "fig6":
+		rep, err := experiments.Fig6(env)
+		if err != nil {
+			return err
+		}
+		rep.Print(out)
+	case "fig7":
+		rep, err := experiments.Fig7(env)
+		if err != nil {
+			return err
+		}
+		rep.Print(out)
+	case "fig8":
+		rep, err := experiments.Fig8(env)
+		if err != nil {
+			return err
+		}
+		rep.Print(out)
+	case "fig9":
+		rep, err := experiments.Fig9(env)
+		if err != nil {
+			return err
+		}
+		rep.Print(out)
+	}
+	return nil
+}

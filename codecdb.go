@@ -1,0 +1,214 @@
+// Package codecdb is an encoding-aware columnar database engine — a Go
+// implementation of CodecDB (Jiang et al., SIGMOD 2021, "Good to the Last
+// Bit: Data-Driven Encoding with CodecDB").
+//
+// CodecDB couples the storage and query layers to the data encoding
+// schemes. On the storage side, a learned selector picks the lightweight
+// encoding (bit-packing, RLE, delta, order-preserving dictionary, ...)
+// with the best compression ratio for each column from a head sample of
+// its data. On the query side, filter, aggregation, and join operators
+// work directly on the encoded representation: predicates are rewritten
+// to dictionary keys and evaluated on bit-packed streams without decoding
+// a single row, aggregations index flat arrays with dictionary codes, and
+// selections flow between operators as bitmaps with block-, page-, and
+// row-level data skipping.
+//
+// # Quick start
+//
+//	db, _ := codecdb.Open(dir)
+//	db.LoadTable("events", []codecdb.Column{
+//	    {Name: "ts", Ints: timestamps},        // encoding picked per column
+//	    {Name: "status", Strings: statuses},
+//	})
+//	t, _ := db.Table("events")
+//	n, _ := t.Where("status", codecdb.Eq, "ERROR").Count()
+//
+// The internal packages contain the full machinery: the columnar file
+// format (internal/colstore), the codecs (internal/encoding), the SWAR
+// scan kernels (internal/sboost), the feature extraction and neural
+// ranking model (internal/features, internal/mlp, internal/selector), the
+// operators (internal/ops), and the TPC-H / SSB reproduction harnesses
+// (internal/tpch, internal/ssb).
+package codecdb
+
+import (
+	"fmt"
+
+	"codecdb/internal/colstore"
+	"codecdb/internal/core"
+	"codecdb/internal/encoding"
+	"codecdb/internal/selector"
+)
+
+// Encoding names a column encoding scheme for forced choices and reports.
+type Encoding = encoding.Kind
+
+// Re-exported encoding schemes.
+const (
+	Plain       = encoding.KindPlain
+	BitPacked   = encoding.KindBitPacked
+	RLE         = encoding.KindRLE
+	Delta       = encoding.KindDelta
+	Dictionary  = encoding.KindDict
+	DictRLE     = encoding.KindDictRLE
+	BitVector   = encoding.KindBitVector
+	DeltaLength = encoding.KindDeltaLength
+	XorFloat    = encoding.KindXorFloat
+)
+
+// DB is a CodecDB database rooted at a directory.
+type DB struct {
+	inner *core.DB
+}
+
+// Options configures Open.
+type Options struct {
+	// Threads bounds operator and data parallelism (default GOMAXPROCS).
+	Threads int
+	// Selector is a trained encoding selector (see TrainSelector); nil
+	// falls back to exhaustive selection on the head sample.
+	Selector *Selector
+}
+
+// Open opens or creates a database at dir.
+func Open(dir string, opts ...Options) (*DB, error) {
+	var o Options
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	var learned *selector.Learned
+	if o.Selector != nil {
+		learned = o.Selector.inner
+	}
+	inner, err := core.Open(dir, core.Options{
+		OperatorThreads: o.Threads,
+		DataThreads:     o.Threads,
+		Selector:        learned,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &DB{inner: inner}, nil
+}
+
+// Close releases the database.
+func (db *DB) Close() error { return db.inner.Close() }
+
+// Column is one column of data being loaded. Exactly one of Ints, Floats,
+// Strings must be set. Leave Encoding zero to let the data-driven selector
+// choose; set ForceEncoding to pin a scheme.
+type Column struct {
+	Name    string
+	Ints    []int64
+	Floats  []float64
+	Strings [][]byte
+	// ForceEncoding pins the scheme instead of running selection.
+	ForceEncoding Encoding
+	// Forced reports whether ForceEncoding is meaningful (distinguishes
+	// an intentional Plain from the zero value).
+	Forced bool
+	// DictGroup joins dictionary-encoded columns that must share one
+	// order-preserving dictionary (enables two-column comparisons).
+	DictGroup string
+	// Compression optionally names a page compressor: "snappy" or "gzip".
+	Compression string
+}
+
+func (c Column) colType() (colstore.Type, colstore.ColumnData, error) {
+	set := 0
+	if c.Ints != nil {
+		set++
+	}
+	if c.Floats != nil {
+		set++
+	}
+	if c.Strings != nil {
+		set++
+	}
+	if set != 1 {
+		return 0, colstore.ColumnData{}, fmt.Errorf("codecdb: column %q must set exactly one of Ints/Floats/Strings", c.Name)
+	}
+	switch {
+	case c.Ints != nil:
+		return colstore.TypeInt64, colstore.ColumnData{Ints: c.Ints}, nil
+	case c.Floats != nil:
+		return colstore.TypeFloat64, colstore.ColumnData{Floats: c.Floats}, nil
+	default:
+		return colstore.TypeString, colstore.ColumnData{Strings: c.Strings}, nil
+	}
+}
+
+// LoadOptions tunes table layout.
+type LoadOptions struct {
+	RowGroupRows int // rows per row group (default 65536)
+	PageRows     int // rows per page (default 8192)
+}
+
+// LoadTable encodes and persists a table. Columns without a forced
+// encoding go through data-driven selection on a head sample.
+func (db *DB) LoadTable(name string, cols []Column, opts ...LoadOptions) (*Table, error) {
+	var lo LoadOptions
+	if len(opts) > 0 {
+		lo = opts[0]
+	}
+	specs := make([]core.ColumnSpec, len(cols))
+	data := make([]colstore.ColumnData, len(cols))
+	for i, c := range cols {
+		typ, cd, err := c.colType()
+		if err != nil {
+			return nil, err
+		}
+		specs[i] = core.ColumnSpec{
+			Name: c.Name, Type: typ,
+			Encoding:   c.ForceEncoding,
+			AutoEncode: !c.Forced,
+			DictGroup:  c.DictGroup, Compression: c.Compression,
+		}
+		data[i] = cd
+	}
+	t, err := db.inner.LoadTable(name, specs, data,
+		colstore.Options{RowGroupRows: lo.RowGroupRows, PageRows: lo.PageRows})
+	if err != nil {
+		return nil, err
+	}
+	return &Table{db: db, inner: t}, nil
+}
+
+// Table opens a catalogued table.
+func (db *DB) Table(name string) (*Table, error) {
+	t, err := db.inner.Table(name)
+	if err != nil {
+		return nil, err
+	}
+	return &Table{db: db, inner: t}, nil
+}
+
+// TableNames lists catalogued tables.
+func (db *DB) TableNames() []string { return db.inner.TableNames() }
+
+// Encodings reports the per-column encoding chosen at load time.
+func (db *DB) Encodings(table string) (map[string]string, error) {
+	return db.inner.Encodings(table)
+}
+
+// Table is an opened table handle.
+type Table struct {
+	db    *DB
+	inner *core.Table
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.inner.Name }
+
+// NumRows returns the row count.
+func (t *Table) NumRows() int64 { return t.inner.R.NumRows() }
+
+// Columns lists column names in schema order.
+func (t *Table) Columns() []string {
+	s := t.inner.R.Schema()
+	out := make([]string, len(s.Columns))
+	for i, c := range s.Columns {
+		out[i] = c.Name
+	}
+	return out
+}

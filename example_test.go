@@ -1,0 +1,95 @@
+package codecdb_test
+
+import (
+	"fmt"
+	"os"
+	"sort"
+
+	"codecdb"
+)
+
+// Example shows the end-to-end flow: open a database, load a table with
+// automatic encoding selection, and query it through the encoding-aware
+// operators.
+func Example() {
+	dir, _ := os.MkdirTemp("", "codecdb-example")
+	defer os.RemoveAll(dir)
+	db, _ := codecdb.Open(dir)
+	defer db.Close()
+
+	statuses := [][]byte{}
+	codes := []string{"OK", "ERROR", "OK", "OK", "RETRY", "ERROR"}
+	for _, c := range codes {
+		statuses = append(statuses, []byte(c))
+	}
+	tbl, _ := db.LoadTable("events", []codecdb.Column{
+		{Name: "id", Ints: []int64{1, 2, 3, 4, 5, 6}},
+		{Name: "status", Strings: statuses},
+	})
+
+	n, _ := tbl.Where("status", codecdb.Eq, "ERROR").Count()
+	fmt.Println("errors:", n)
+
+	ids, _ := tbl.Where("status", codecdb.Eq, "ERROR").Ints("id")
+	fmt.Println("error ids:", ids)
+	// Output:
+	// errors: 2
+	// error ids: [2 6]
+}
+
+// ExampleQuery_GroupCount groups matching rows by a dictionary column
+// using array aggregation over dictionary codes.
+func ExampleQuery_GroupCount() {
+	dir, _ := os.MkdirTemp("", "codecdb-example")
+	defer os.RemoveAll(dir)
+	db, _ := codecdb.Open(dir)
+	defer db.Close()
+
+	modes := [][]byte{}
+	for i := 0; i < 90; i++ {
+		modes = append(modes, []byte([]string{"AIR", "RAIL", "SHIP"}[i%3]))
+	}
+	qty := make([]int64, 90)
+	for i := range qty {
+		qty[i] = int64(i)
+	}
+	tbl, _ := db.LoadTable("shipments", []codecdb.Column{
+		{Name: "mode", Strings: modes},
+		{Name: "qty", Ints: qty},
+	})
+
+	groups, _ := tbl.Where("qty", codecdb.Lt, 30).GroupCount("mode")
+	keys := make([]string, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Printf("%s=%d\n", k, groups[k])
+	}
+	// Output:
+	// AIR=10
+	// RAIL=10
+	// SHIP=10
+}
+
+// ExampleTrainSelector trains the data-driven encoding selector on a few
+// columns and applies it to new data.
+func ExampleTrainSelector() {
+	sorted := make([]int64, 2000)
+	lowCard := make([]int64, 2000)
+	for i := range sorted {
+		sorted[i] = int64(i)
+		lowCard[i] = int64((i * 7) % 3)
+	}
+	sel, _ := codecdb.TrainSelector([]codecdb.Column{
+		{Name: "sorted", Ints: sorted},
+		{Name: "lowCard", Ints: lowCard},
+	}, codecdb.TrainOptions{Hidden: 16, Epochs: 60, Seed: 1})
+
+	fmt.Println("sorted column  →", sel.SelectInt(sorted))
+	fmt.Println("lowCard column →", sel.SelectInt(lowCard))
+	// Output:
+	// sorted column  → DELTA_BINARY_PACKED
+	// lowCard column → DICTIONARY
+}

@@ -1,0 +1,71 @@
+// Encoding advisor: train the data-driven selector on the synthetic
+// corpus and compare its choices against the rule-based baselines and the
+// exhaustive optimum — the storage half of the paper in one program.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"codecdb/internal/corpus"
+	"codecdb/internal/encoding"
+	"codecdb/internal/selector"
+)
+
+func main() {
+	fmt.Println("generating training corpus ...")
+	cols := corpus.Generate(corpus.Config{Seed: 11, Rows: 2500, PerCat: 12})
+	train, _, test := corpus.Split(cols, 1)
+
+	var intCols [][]int64
+	var strCols [][][]byte
+	for i := range train {
+		if train[i].IsInt() {
+			intCols = append(intCols, train[i].Ints)
+		} else {
+			strCols = append(strCols, train[i].Strings)
+		}
+	}
+	fmt.Printf("training on %d int + %d string columns ...\n", len(intCols), len(strCols))
+	learned, err := selector.TrainLearned(intCols, strCols, selector.TrainOptions{Seed: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var learnedBytes, parquetBytes, abadiBytes, bestBytes, plainBytes int64
+	correct, total := 0, 0
+	for i := range test {
+		c := &test[i]
+		if !c.IsInt() {
+			continue
+		}
+		sizes, err := selector.SizesInt(c.Ints, encoding.IntCandidates())
+		if err != nil {
+			log.Fatal(err)
+		}
+		sizes[encoding.KindPlain] = selector.PlainSizeInt(c.Ints)
+		best, bestSize, err := selector.BestInt(c.Ints)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pick := learned.SelectInt(c.Ints)
+		if pick == best || float64(sizes[pick]) <= 1.02*float64(bestSize) {
+			correct++
+		}
+		total++
+		learnedBytes += int64(sizes[pick])
+		parquetBytes += int64(sizes[selector.ParquetSelectInt(c.Ints)])
+		abadiBytes += int64(sizes[selector.AbadiSelectInt(c.Ints)])
+		bestBytes += int64(bestSize)
+		plainBytes += int64(sizes[encoding.KindPlain])
+		fmt.Printf("  %-40s profile=%-12s pick=%-20v best=%-20v\n",
+			c.Name, c.Profile, pick, best)
+	}
+	fmt.Printf("\nheld-out integer columns: %d\n", total)
+	fmt.Printf("selection accuracy: %.1f%%\n", 100*float64(correct)/float64(total))
+	fmt.Printf("total size — plain: %d, Abadi: %d, Parquet: %d, learned: %d, exhaustive: %d\n",
+		plainBytes, abadiBytes, parquetBytes, learnedBytes, bestBytes)
+	fmt.Printf("learned selector compresses to %.1f%% of plain (exhaustive floor: %.1f%%)\n",
+		100*float64(learnedBytes)/float64(plainBytes),
+		100*float64(bestBytes)/float64(plainBytes))
+}

@@ -1,0 +1,83 @@
+// Quickstart: load a table with automatic encoding selection, then run
+// encoding-aware queries through the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"codecdb"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "codecdb-quickstart")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	db, err := codecdb.Open(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	// A web-log shaped table: sorted timestamps, low-cardinality statuses,
+	// bounded latencies. Encodings are selected per column from the data.
+	const n = 100_000
+	ts := make([]int64, n)
+	status := make([][]byte, n)
+	latency := make([]float64, n)
+	codes := [][]byte{[]byte("200"), []byte("301"), []byte("404"), []byte("500")}
+	for i := 0; i < n; i++ {
+		ts[i] = int64(1_700_000_000 + i)
+		status[i] = codes[(i*7)%len(codes)]
+		latency[i] = float64((i*13)%500) / 10
+	}
+	if _, err := db.LoadTable("requests", []codecdb.Column{
+		{Name: "ts", Ints: ts},
+		{Name: "status", Strings: status},
+		{Name: "latency_ms", Floats: latency},
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	encs, err := db.Encodings("requests")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("selected encodings:")
+	for col, enc := range encs {
+		fmt.Printf("  %-12s %s\n", col, enc)
+	}
+
+	tbl, err := db.Table("requests")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Dictionary predicate evaluated on packed keys, no rows decoded.
+	errors, err := tbl.Where("status", codecdb.Eq, "500").Count()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n500 responses: %d\n", errors)
+
+	// Group-by over dictionary codes via array aggregation.
+	byStatus, err := tbl.All().GroupCount("status")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("requests by status:")
+	for code, count := range byStatus {
+		fmt.Printf("  %s: %d\n", code, count)
+	}
+
+	// Late materialization: only the matching rows' latencies are decoded.
+	slow, err := tbl.Where("status", codecdb.Eq, "200").SumFloat("latency_ms")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("total 200-response latency: %.1f ms\n", slow)
+}

@@ -1,0 +1,75 @@
+// SSB dashboard: run the Star Schema Benchmark flights on the three
+// engines — CodecDB, the MorphStore-like eager-materialization engine,
+// and the decode-first baseline — and report both time and intermediate
+// memory, the paper's Fig 10 comparison.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"codecdb/internal/colstore"
+	"codecdb/internal/core"
+	"codecdb/internal/ssb"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "codecdb-ssb")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	const sf = 0.01
+	fmt.Printf("generating SSB at SF %.2f ...\n", sf)
+	data := ssb.Generate(sf, 7)
+	fmt.Printf("  lineorder: %d rows\n\n", len(data.Lineorder.OrderKey))
+
+	db, err := core.Open(dir, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+	if err := ssb.LoadCodecDB(db, data, colstore.Options{}); err != nil {
+		log.Fatal(err)
+	}
+	ts, err := ssb.OpenTables(db)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-5s %10s %10s %10s %14s %14s\n",
+		"Q", "Codec ms", "Morph ms", "Obliv ms", "Codec interKB", "Morph interKB")
+	for _, q := range ssb.QueryIDs() {
+		timed := func(run func(string) (ssb.Result, error)) (ssb.Result, float64) {
+			start := time.Now()
+			res, err := run(q)
+			if err != nil {
+				log.Fatalf("%s: %v", q, err)
+			}
+			return res, float64(time.Since(start).Microseconds()) / 1000
+		}
+		rc, tc := timed(ts.CodecDB)
+		rm, tm := timed(ts.Morph)
+		ro, to := timed(ts.Oblivious)
+		if rc.Table.NumRows() != rm.Table.NumRows() || rc.Table.NumRows() != ro.Table.NumRows() {
+			log.Fatalf("%s: engines disagree", q)
+		}
+		fmt.Printf("%-5s %10.2f %10.2f %10.2f %14.1f %14.1f\n",
+			q, tc, tm, to,
+			float64(rc.IntermediateBytes)/1024, float64(rm.IntermediateBytes)/1024)
+	}
+
+	// Show the Q2.1 revenue-by-brand result head.
+	res, err := ts.CodecDB("2.1")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nQ2.1 revenue by (year, brand), first rows:")
+	for i := 0; i < res.Table.NumRows() && i < 5; i++ {
+		row := res.Table.Row(i)
+		fmt.Printf("  %v %s %d\n", row[0], row[1], row[2])
+	}
+}

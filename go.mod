@@ -1,0 +1,3 @@
+module codecdb
+
+go 1.22

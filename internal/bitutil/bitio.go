@@ -1,0 +1,152 @@
+package bitutil
+
+// Writer packs values of arbitrary bit width into a byte stream, LSB-first
+// within each byte — the layout assumed by the SWAR scan kernels in
+// internal/sboost and by the bit-packed encodings.
+type Writer struct {
+	buf  []byte
+	acc  uint64
+	nacc uint // bits currently buffered in acc
+}
+
+// NewWriter returns an empty bit writer.
+func NewWriter() *Writer { return &Writer{} }
+
+// WriteBits appends the low width bits of v to the stream. Width must be
+// in [0, 64]; wide writes are split so the accumulator never overflows.
+func (w *Writer) WriteBits(v uint64, width uint) {
+	if width > 64 {
+		panic("bitutil: bit width too large")
+	}
+	if width > 32 {
+		w.writeBits(v&(1<<32-1), 32)
+		w.writeBits(v>>32, width-32)
+		return
+	}
+	w.writeBits(v, width)
+}
+
+func (w *Writer) writeBits(v uint64, width uint) {
+	w.acc |= (v & ((1 << width) - 1)) << w.nacc
+	w.nacc += width
+	for w.nacc >= 8 {
+		w.buf = append(w.buf, byte(w.acc))
+		w.acc >>= 8
+		w.nacc -= 8
+	}
+}
+
+// Bytes flushes any partial byte (zero-padded) and returns the stream.
+func (w *Writer) Bytes() []byte {
+	if w.nacc > 0 {
+		w.buf = append(w.buf, byte(w.acc))
+		w.acc = 0
+		w.nacc = 0
+	}
+	return w.buf
+}
+
+// BitLen returns the number of bits written so far.
+func (w *Writer) BitLen() int { return len(w.buf)*8 + int(w.nacc) }
+
+// Reset clears the writer for reuse.
+func (w *Writer) Reset() {
+	w.buf = w.buf[:0]
+	w.acc = 0
+	w.nacc = 0
+}
+
+// Reader extracts fixed-width values from a byte stream produced by Writer.
+type Reader struct {
+	buf  []byte
+	pos  int // next byte index
+	acc  uint64
+	nacc uint
+}
+
+// NewReader returns a reader over buf.
+func NewReader(buf []byte) *Reader { return &Reader{buf: buf} }
+
+// ReadBits consumes and returns the next width bits. Reading past the end
+// of the stream yields zero bits, matching the writer's zero padding.
+// Width must be in [0, 64].
+func (r *Reader) ReadBits(width uint) uint64 {
+	if width > 64 {
+		panic("bitutil: bit width too large")
+	}
+	if width > 32 {
+		lo := r.readBits(32)
+		hi := r.readBits(width - 32)
+		return lo | hi<<32
+	}
+	return r.readBits(width)
+}
+
+func (r *Reader) readBits(width uint) uint64 {
+	for r.nacc < width {
+		var b byte
+		if r.pos < len(r.buf) {
+			b = r.buf[r.pos]
+			r.pos++
+		} else {
+			r.pos++ // track logical position past the end
+		}
+		r.acc |= uint64(b) << r.nacc
+		r.nacc += 8
+	}
+	v := r.acc & ((1 << width) - 1)
+	r.acc >>= width
+	r.nacc -= width
+	return v
+}
+
+// SkipBits discards the next n bits without materializing values — the
+// row-level data-skipping primitive for bit-packed pages.
+func (r *Reader) SkipBits(n int) {
+	if n <= 0 {
+		return
+	}
+	if uint(n) <= r.nacc {
+		r.acc >>= uint(n)
+		r.nacc -= uint(n)
+		return
+	}
+	n -= int(r.nacc)
+	r.acc, r.nacc = 0, 0
+	r.pos += n / 8
+	if rem := uint(n % 8); rem > 0 {
+		var b byte
+		if r.pos < len(r.buf) {
+			b = r.buf[r.pos]
+		}
+		r.pos++
+		r.acc = uint64(b) >> rem
+		r.nacc = 8 - rem
+	}
+}
+
+// BitsWidth returns the minimum number of bits needed to represent v
+// (at least 1, so a stream of zeros still advances).
+func BitsWidth(v uint64) uint {
+	w := uint(0)
+	for v > 0 {
+		w++
+		v >>= 1
+	}
+	if w == 0 {
+		return 1
+	}
+	return w
+}
+
+// MaxBitsWidth returns the width required for the largest value in vs,
+// treating an empty slice as width 1.
+func MaxBitsWidth(vs []uint64) uint {
+	var m uint64
+	for _, v := range vs {
+		if v > m {
+			m = v
+		}
+	}
+	return BitsWidth(m)
+}

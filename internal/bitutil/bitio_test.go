@@ -1,0 +1,128 @@
+package bitutil
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBitIORoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		width := uint(1 + rng.Intn(57))
+		n := 1 + rng.Intn(200)
+		vals := make([]uint64, n)
+		w := NewWriter()
+		for i := range vals {
+			vals[i] = rng.Uint64() & ((1 << width) - 1)
+			w.WriteBits(vals[i], width)
+		}
+		r := NewReader(w.Bytes())
+		for i := range vals {
+			if got := r.ReadBits(width); got != vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBitIOMixedWidths(t *testing.T) {
+	w := NewWriter()
+	w.WriteBits(5, 3)
+	w.WriteBits(1023, 10)
+	w.WriteBits(0, 1)
+	w.WriteBits(1, 1)
+	w.WriteBits(123456789, 27)
+	r := NewReader(w.Bytes())
+	for _, c := range []struct {
+		width uint
+		want  uint64
+	}{{3, 5}, {10, 1023}, {1, 0}, {1, 1}, {27, 123456789}} {
+		if got := r.ReadBits(c.width); got != c.want {
+			t.Fatalf("ReadBits(%d) = %d, want %d", c.width, got, c.want)
+		}
+	}
+}
+
+func TestBitReaderSkip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		width := uint(1 + rng.Intn(30))
+		n := 20 + rng.Intn(100)
+		vals := make([]uint64, n)
+		w := NewWriter()
+		for i := range vals {
+			vals[i] = rng.Uint64() & ((1 << width) - 1)
+			w.WriteBits(vals[i], width)
+		}
+		buf := w.Bytes()
+		// Skip to a random position, then verify subsequent reads.
+		skip := rng.Intn(n)
+		r := NewReader(buf)
+		r.SkipBits(skip * int(width))
+		for i := skip; i < n; i++ {
+			if r.ReadBits(width) != vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBitReaderPastEndYieldsZero(t *testing.T) {
+	r := NewReader([]byte{0xFF})
+	if got := r.ReadBits(8); got != 0xFF {
+		t.Fatalf("first byte = %x", got)
+	}
+	if got := r.ReadBits(16); got != 0 {
+		t.Fatalf("past end = %x, want 0", got)
+	}
+}
+
+func TestBitsWidth(t *testing.T) {
+	cases := []struct {
+		v    uint64
+		want uint
+	}{{0, 1}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {255, 8}, {256, 9}, {1<<40 - 1, 40}}
+	for _, c := range cases {
+		if got := BitsWidth(c.v); got != c.want {
+			t.Fatalf("BitsWidth(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+	if got := MaxBitsWidth([]uint64{1, 7, 300}); got != 9 {
+		t.Fatalf("MaxBitsWidth = %d, want 9", got)
+	}
+	if got := MaxBitsWidth(nil); got != 1 {
+		t.Fatalf("MaxBitsWidth(nil) = %d, want 1", got)
+	}
+}
+
+func TestWriterReset(t *testing.T) {
+	w := NewWriter()
+	w.WriteBits(7, 3)
+	w.Reset()
+	w.WriteBits(1, 1)
+	b := w.Bytes()
+	if len(b) != 1 || b[0] != 1 {
+		t.Fatalf("after reset got %v", b)
+	}
+}
+
+func TestWriterBitLen(t *testing.T) {
+	w := NewWriter()
+	w.WriteBits(0, 13)
+	if w.BitLen() != 13 {
+		t.Fatalf("BitLen = %d", w.BitLen())
+	}
+	w.WriteBits(0, 3)
+	if w.BitLen() != 16 {
+		t.Fatalf("BitLen = %d", w.BitLen())
+	}
+}

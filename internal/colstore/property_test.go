@@ -1,0 +1,155 @@
+package colstore
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"testing"
+)
+
+import "codecdb/internal/encoding"
+
+// TestRandomTableRoundTripProperty writes tables with random shapes —
+// random column counts, types, encodings, compressors, dictionary
+// groups, row-group and page sizes — and verifies every column reads
+// back exactly. This is the whole-format invariant the unit tests
+// approach piecewise.
+func TestRandomTableRoundTripProperty(t *testing.T) {
+	intEncs := []encoding.Kind{encoding.KindPlain, encoding.KindBitPacked,
+		encoding.KindRLE, encoding.KindDelta, encoding.KindDict, encoding.KindDictRLE}
+	strEncs := []encoding.Kind{encoding.KindPlain, encoding.KindDict,
+		encoding.KindDictRLE, encoding.KindDeltaLength}
+	comps := []string{"", "snappy", "gzip"}
+	for trial := 0; trial < 12; trial++ {
+		trial := trial
+		t.Run(fmt.Sprintf("trial%d", trial), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(trial) * 7919))
+			rows := rng.Intn(6000)
+			nCols := 1 + rng.Intn(5)
+			schema := Schema{}
+			data := make([]ColumnData, 0, nCols)
+			var intRef [][]int64
+			var strRef [][][]byte
+			var fltRef [][]float64
+			for c := 0; c < nCols; c++ {
+				name := fmt.Sprintf("c%d", c)
+				switch rng.Intn(3) {
+				case 0:
+					vals := make([]int64, rows)
+					base := rng.Int63n(1 << 30)
+					for i := range vals {
+						switch rng.Intn(3) {
+						case 0:
+							vals[i] = base + int64(i)
+						case 1:
+							vals[i] = int64(rng.Intn(20))
+						default:
+							vals[i] = rng.Int63() - rng.Int63()
+						}
+					}
+					col := Column{Name: name, Type: TypeInt64,
+						Encoding: intEncs[rng.Intn(len(intEncs))], Compression: comps[rng.Intn(len(comps))]}
+					if usesDict(col.Encoding) && rng.Intn(2) == 0 {
+						col.DictGroup = "shared-int"
+					}
+					schema.Columns = append(schema.Columns, col)
+					data = append(data, ColumnData{Ints: vals})
+					intRef = append(intRef, vals)
+					strRef = append(strRef, nil)
+					fltRef = append(fltRef, nil)
+				case 1:
+					vals := make([][]byte, rows)
+					for i := range vals {
+						b := make([]byte, rng.Intn(16))
+						for j := range b {
+							b[j] = byte('a' + rng.Intn(8))
+						}
+						vals[i] = b
+					}
+					col := Column{Name: name, Type: TypeString,
+						Encoding: strEncs[rng.Intn(len(strEncs))], Compression: comps[rng.Intn(len(comps))]}
+					schema.Columns = append(schema.Columns, col)
+					data = append(data, ColumnData{Strings: vals})
+					intRef = append(intRef, nil)
+					strRef = append(strRef, vals)
+					fltRef = append(fltRef, nil)
+				default:
+					vals := make([]float64, rows)
+					for i := range vals {
+						vals[i] = rng.NormFloat64() * 100
+					}
+					enc := encoding.KindPlain
+					if rng.Intn(2) == 0 {
+						enc = encoding.KindXorFloat
+					}
+					schema.Columns = append(schema.Columns, Column{Name: name, Type: TypeFloat64,
+						Encoding: enc, Compression: comps[rng.Intn(len(comps))]})
+					data = append(data, ColumnData{Floats: vals})
+					intRef = append(intRef, nil)
+					strRef = append(strRef, nil)
+					fltRef = append(fltRef, vals)
+				}
+			}
+			path := filepath.Join(t.TempDir(), "rand.cdb")
+			opts := Options{RowGroupRows: 1 + rng.Intn(4000), PageRows: 1 + rng.Intn(1000)}
+			if err := WriteFile(path, schema, data, opts); err != nil {
+				t.Fatalf("write: %v", err)
+			}
+			r, err := Open(path)
+			if err != nil {
+				t.Fatalf("open: %v", err)
+			}
+			defer r.Close()
+			if int(r.NumRows()) != rows {
+				t.Fatalf("rows = %d, want %d", r.NumRows(), rows)
+			}
+			for c := range schema.Columns {
+				switch schema.Columns[c].Type {
+				case TypeInt64:
+					var got []int64
+					for rg := 0; rg < r.NumRowGroups(); rg++ {
+						part, err := r.Chunk(rg, c).Ints()
+						if err != nil {
+							t.Fatalf("col %d rg %d: %v", c, rg, err)
+						}
+						got = append(got, part...)
+					}
+					for i := range intRef[c] {
+						if got[i] != intRef[c][i] {
+							t.Fatalf("col %d row %d: %d != %d", c, i, got[i], intRef[c][i])
+						}
+					}
+				case TypeString:
+					var got [][]byte
+					for rg := 0; rg < r.NumRowGroups(); rg++ {
+						part, err := r.Chunk(rg, c).Strings()
+						if err != nil {
+							t.Fatalf("col %d rg %d: %v", c, rg, err)
+						}
+						got = append(got, part...)
+					}
+					for i := range strRef[c] {
+						if !bytes.Equal(got[i], strRef[c][i]) {
+							t.Fatalf("col %d row %d mismatch", c, i)
+						}
+					}
+				case TypeFloat64:
+					var got []float64
+					for rg := 0; rg < r.NumRowGroups(); rg++ {
+						part, err := r.Chunk(rg, c).Floats()
+						if err != nil {
+							t.Fatalf("col %d rg %d: %v", c, rg, err)
+						}
+						got = append(got, part...)
+					}
+					for i := range fltRef[c] {
+						if got[i] != fltRef[c][i] {
+							t.Fatalf("col %d row %d: %v != %v", c, i, got[i], fltRef[c][i])
+						}
+					}
+				}
+			}
+		})
+	}
+}

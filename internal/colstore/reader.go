@@ -1,0 +1,741 @@
+package colstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"os"
+	"sync"
+	"time"
+
+	"codecdb/internal/bitutil"
+	"codecdb/internal/encoding"
+	"codecdb/internal/xcompress"
+)
+
+// Reader opens a CodecDB column file and serves decoded values, selected
+// (data-skipping) reads, raw packed pages for in-situ scans, and global
+// dictionaries. A Reader is safe for concurrent use: page reads go through
+// ReadAt and the dictionary cache is mutex-guarded.
+type Reader struct {
+	f    *os.File
+	meta *FileMeta
+
+	mu       sync.Mutex
+	intDicts map[string][]int64
+	strDicts map[string][][]byte
+
+	// PagesRead and PagesSkipped instrument the page-level data skipping;
+	// the Fig 8 IO-vs-CPU breakdown reads them. Guarded by mu.
+	PagesRead    int64
+	PagesSkipped int64
+	BytesRead    int64
+	// IONanos accumulates wall time spent in ReadAt, separating IO from
+	// CPU in the cost-breakdown experiments. Guarded by mu.
+	IONanos int64
+}
+
+// Stats returns a snapshot of the reader's IO instrumentation.
+func (r *Reader) Stats() (pagesRead, pagesSkipped, bytesRead, ioNanos int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.PagesRead, r.PagesSkipped, r.BytesRead, r.IONanos
+}
+
+// ResetStats zeroes the IO instrumentation counters.
+func (r *Reader) ResetStats() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.PagesRead, r.PagesSkipped, r.BytesRead, r.IONanos = 0, 0, 0, 0
+}
+
+// Open opens the file at path and parses the footer.
+func Open(path string) (*Reader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	size := st.Size()
+	tailLen := int64(len(Magic) + 4)
+	if size < int64(len(Magic))+tailLen {
+		f.Close()
+		return nil, ErrFormat
+	}
+	head := make([]byte, len(Magic))
+	if _, err := f.ReadAt(head, 0); err != nil || string(head) != string(Magic) {
+		f.Close()
+		return nil, ErrFormat
+	}
+	tail := make([]byte, tailLen)
+	if _, err := f.ReadAt(tail, size-tailLen); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if string(tail[4:]) != string(Magic) {
+		f.Close()
+		return nil, ErrFormat
+	}
+	footerLen := int64(binary.LittleEndian.Uint32(tail[:4]))
+	if footerLen <= 0 || footerLen > size-tailLen-int64(len(Magic)) {
+		f.Close()
+		return nil, ErrFormat
+	}
+	footer := make([]byte, footerLen)
+	if _, err := f.ReadAt(footer, size-tailLen-footerLen); err != nil {
+		f.Close()
+		return nil, err
+	}
+	meta, err := unmarshalMeta(footer)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := validateMeta(meta, size); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &Reader{f: f, meta: meta,
+		intDicts: map[string][]int64{}, strDicts: map[string][][]byte{}}, nil
+}
+
+// validateMeta rejects structurally inconsistent footers (wrong chunk
+// counts, page or dictionary extents outside the file) so that a corrupt
+// file fails at Open rather than panicking mid-query.
+func validateMeta(m *FileMeta, fileSize int64) error {
+	nCols := len(m.Schema.Columns)
+	if nCols == 0 || m.NumRows < 0 {
+		return ErrFormat
+	}
+	var total int64
+	for _, rg := range m.RowGroups {
+		if rg.NumRows < 0 || len(rg.Chunks) != nCols {
+			return ErrFormat
+		}
+		total += rg.NumRows
+		for _, ch := range rg.Chunks {
+			var rows int64
+			for _, p := range ch.Pages {
+				if p.Offset < 0 || p.CompressedSize < 0 || p.NumValues < 0 ||
+					p.Offset+int64(p.CompressedSize) > fileSize {
+					return ErrFormat
+				}
+				if p.FirstRow != rows {
+					return ErrFormat
+				}
+				rows += int64(p.NumValues)
+			}
+			if rows != rg.NumRows {
+				return ErrFormat
+			}
+		}
+	}
+	if total != m.NumRows {
+		return ErrFormat
+	}
+	for _, d := range m.Dicts {
+		if d.Offset < 0 || d.Size < 0 || d.Offset+int64(d.Size) > fileSize ||
+			d.KeyWidth == 0 || d.KeyWidth > 64 || d.NumEntries < 0 {
+			return ErrFormat
+		}
+	}
+	return nil
+}
+
+// Close releases the underlying file.
+func (r *Reader) Close() error { return r.f.Close() }
+
+// Meta returns the parsed footer.
+func (r *Reader) Meta() *FileMeta { return r.meta }
+
+// Schema returns the file schema.
+func (r *Reader) Schema() *Schema { return &r.meta.Schema }
+
+// NumRows returns the total row count.
+func (r *Reader) NumRows() int64 { return r.meta.NumRows }
+
+// NumRowGroups returns the number of row groups (data blocks).
+func (r *Reader) NumRowGroups() int { return len(r.meta.RowGroups) }
+
+// RowGroupRows returns the row count of group rg.
+func (r *Reader) RowGroupRows(rg int) int { return int(r.meta.RowGroups[rg].NumRows) }
+
+// Column returns the schema entry for the named column.
+func (r *Reader) Column(name string) (int, *Column, error) {
+	i := r.meta.Schema.ColumnIndex(name)
+	if i < 0 {
+		return 0, nil, fmt.Errorf("colstore: no column %q", name)
+	}
+	return i, &r.meta.Schema.Columns[i], nil
+}
+
+// IntDict returns the global order-preserving dictionary for an
+// int-typed dictionary column.
+func (r *Reader) IntDict(col int) ([]int64, error) {
+	group, dm, err := r.dictMetaFor(col, TypeInt64)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	cached := r.intDicts[group]
+	r.mu.Unlock()
+	if cached != nil {
+		return cached, nil
+	}
+	buf, err := r.readAt(dm.Offset, int(dm.Size))
+	if err != nil {
+		return nil, err
+	}
+	entries, err := encoding.DeltaInt{}.Decode(buf)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	r.intDicts[group] = entries
+	r.mu.Unlock()
+	return entries, nil
+}
+
+// StrDict returns the global order-preserving dictionary for a
+// string-typed dictionary column.
+func (r *Reader) StrDict(col int) ([][]byte, error) {
+	group, dm, err := r.dictMetaFor(col, TypeString)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	cached := r.strDicts[group]
+	r.mu.Unlock()
+	if cached != nil {
+		return cached, nil
+	}
+	buf, err := r.readAt(dm.Offset, int(dm.Size))
+	if err != nil {
+		return nil, err
+	}
+	entries, err := encoding.DeltaLengthString{}.Decode(nil, buf)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	r.strDicts[group] = entries
+	r.mu.Unlock()
+	return entries, nil
+}
+
+// KeyWidth returns the dictionary key bit width for a dict column.
+func (r *Reader) KeyWidth(col int) (uint, error) {
+	c := r.meta.Schema.Columns[col]
+	dm, ok := r.meta.Dicts[dictGroupOf(c, col)]
+	if !ok {
+		return 0, fmt.Errorf("colstore: column %q has no dictionary", c.Name)
+	}
+	return uint(dm.KeyWidth), nil
+}
+
+// SharedDict reports whether two columns use the same global dictionary —
+// the precondition for the two-column packed comparison (§5.3).
+func (r *Reader) SharedDict(colA, colB int) bool {
+	a := r.meta.Schema.Columns[colA]
+	b := r.meta.Schema.Columns[colB]
+	if !usesDict(a.Encoding) || !usesDict(b.Encoding) {
+		return false
+	}
+	return dictGroupOf(a, colA) == dictGroupOf(b, colB)
+}
+
+func (r *Reader) dictMetaFor(col int, want Type) (string, DictMeta, error) {
+	c := r.meta.Schema.Columns[col]
+	if c.Type != want {
+		return "", DictMeta{}, fmt.Errorf("colstore: column %q is %v", c.Name, c.Type)
+	}
+	group := dictGroupOf(c, col)
+	dm, ok := r.meta.Dicts[group]
+	if !ok {
+		return "", DictMeta{}, fmt.Errorf("colstore: column %q has no dictionary", c.Name)
+	}
+	return group, dm, nil
+}
+
+func (r *Reader) readAt(off int64, size int) ([]byte, error) {
+	start := time.Now()
+	buf := make([]byte, size)
+	if _, err := r.f.ReadAt(buf, off); err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	r.BytesRead += int64(size)
+	r.IONanos += time.Since(start).Nanoseconds()
+	r.mu.Unlock()
+	return buf, nil
+}
+
+// Chunk returns a handle on column col within row group rg.
+func (r *Reader) Chunk(rg, col int) *Chunk {
+	return &Chunk{
+		r: r, rg: rg, col: col,
+		meta:   &r.meta.RowGroups[rg].Chunks[col],
+		column: r.meta.Schema.Columns[col],
+		rows:   int(r.meta.RowGroups[rg].NumRows),
+	}
+}
+
+// Chunk reads one column chunk (column × row group).
+type Chunk struct {
+	r      *Reader
+	rg     int
+	col    int
+	meta   *ChunkMeta
+	column Column
+	rows   int
+}
+
+// Rows returns the chunk's row count.
+func (c *Chunk) Rows() int { return c.rows }
+
+// Stats returns the chunk statistics.
+func (c *Chunk) Stats() ChunkStats { return c.meta.Stats }
+
+// Encoding returns the column's encoding scheme.
+func (c *Chunk) Encoding() encoding.Kind { return c.column.Encoding }
+
+// NumPages returns the number of data pages in the chunk.
+func (c *Chunk) NumPages() int { return len(c.meta.Pages) }
+
+// PageValues returns the row count of page p.
+func (c *Chunk) PageValues(p int) int { return int(c.meta.Pages[p].NumValues) }
+
+// PageBody reads and decompresses page p, exposing the encoded page bytes
+// to encoding-aware operators.
+func (c *Chunk) PageBody(p int) ([]byte, error) { return c.pageBody(p) }
+
+// pageBody reads and decompresses page p.
+func (c *Chunk) pageBody(p int) ([]byte, error) {
+	pm := c.meta.Pages[p]
+	raw, err := c.r.readAt(pm.Offset, int(pm.CompressedSize))
+	if err != nil {
+		return nil, err
+	}
+	c.r.mu.Lock()
+	c.r.PagesRead++
+	c.r.mu.Unlock()
+	comp, err := xcompress.For(c.column.Compression)
+	if err != nil {
+		return nil, err
+	}
+	return comp.Decompress(raw)
+}
+
+func (c *Chunk) skipPage() {
+	c.r.mu.Lock()
+	c.r.PagesSkipped++
+	c.r.mu.Unlock()
+}
+
+// PackedPage exposes one page's packed-key region for in-situ scanning.
+type PackedPage struct {
+	Data     []byte // packed bits, LSB-first
+	N        int    // entries in this page
+	Width    uint   // bits per entry
+	FirstRow int    // chunk-relative row of the first entry
+	Zigzag   bool   // entries are zigzag-mapped plain integers, not dict keys
+}
+
+// PackedPages returns the in-situ scannable pages of a dictionary or
+// bit-packed column chunk. It errors for encodings without a packed
+// representation (the caller then falls back to decode-then-filter).
+func (c *Chunk) PackedPages() ([]PackedPage, error) {
+	switch {
+	case c.column.Encoding == encoding.KindDict:
+		out := make([]PackedPage, len(c.meta.Pages))
+		for p := range c.meta.Pages {
+			body, err := c.pageBody(p)
+			if err != nil {
+				return nil, err
+			}
+			width, n, packed, err := decodePackedKeys(body)
+			if err != nil {
+				return nil, err
+			}
+			out[p] = PackedPage{Data: packed, N: n, Width: width,
+				FirstRow: int(c.meta.Pages[p].FirstRow)}
+		}
+		return out, nil
+	case c.column.Encoding == encoding.KindBitPacked && c.column.Type == TypeInt64:
+		out := make([]PackedPage, len(c.meta.Pages))
+		for p := range c.meta.Pages {
+			body, err := c.pageBody(p)
+			if err != nil {
+				return nil, err
+			}
+			n, width, packed, err := encoding.InspectBitPacked(body)
+			if err != nil {
+				return nil, err
+			}
+			out[p] = PackedPage{Data: packed, N: n, Width: width,
+				FirstRow: int(c.meta.Pages[p].FirstRow), Zigzag: true}
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("colstore: %v pages are not packed-scannable", c.column.Encoding)
+}
+
+// Keys decodes the dictionary keys of a dict-encoded chunk.
+func (c *Chunk) Keys() ([]int64, error) {
+	if !usesDict(c.column.Encoding) {
+		return nil, fmt.Errorf("colstore: column %q is not dictionary encoded", c.column.Name)
+	}
+	out := make([]int64, 0, c.rows)
+	for p := range c.meta.Pages {
+		body, err := c.pageBody(p)
+		if err != nil {
+			return nil, err
+		}
+		if c.column.Encoding == encoding.KindDictRLE {
+			vals, err := (encoding.RLEInt{}).Decode(body)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, vals...)
+			continue
+		}
+		width, n, packed, err := decodePackedKeys(body)
+		if err != nil {
+			return nil, err
+		}
+		r := bitutil.NewReader(packed)
+		for i := 0; i < n; i++ {
+			out = append(out, int64(r.ReadBits(width)))
+		}
+	}
+	return out, nil
+}
+
+// Ints decodes the whole chunk of an integer column.
+func (c *Chunk) Ints() ([]int64, error) {
+	if c.column.Type != TypeInt64 {
+		return nil, fmt.Errorf("colstore: column %q is %v", c.column.Name, c.column.Type)
+	}
+	if usesDict(c.column.Encoding) {
+		dict, err := c.r.IntDict(c.col)
+		if err != nil {
+			return nil, err
+		}
+		keys, err := c.Keys()
+		if err != nil {
+			return nil, err
+		}
+		out := make([]int64, len(keys))
+		for i, k := range keys {
+			if k < 0 || int(k) >= len(dict) {
+				return nil, ErrFormat
+			}
+			out[i] = dict[k]
+		}
+		return out, nil
+	}
+	codec, err := encoding.IntCodecFor(c.column.Encoding)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int64, 0, c.rows)
+	for p := range c.meta.Pages {
+		body, err := c.pageBody(p)
+		if err != nil {
+			return nil, err
+		}
+		vals, err := codec.Decode(body)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, vals...)
+	}
+	return out, nil
+}
+
+// Floats decodes the whole chunk of a float column.
+func (c *Chunk) Floats() ([]float64, error) {
+	if c.column.Type != TypeFloat64 {
+		return nil, fmt.Errorf("colstore: column %q is %v", c.column.Name, c.column.Type)
+	}
+	out := make([]float64, 0, c.rows)
+	for p := range c.meta.Pages {
+		body, err := c.pageBody(p)
+		if err != nil {
+			return nil, err
+		}
+		vals, err := c.decodeFloatPage(body)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, vals...)
+	}
+	return out, nil
+}
+
+// decodeFloatPage decodes one float page in the column's encoding.
+func (c *Chunk) decodeFloatPage(body []byte) ([]float64, error) {
+	if c.column.Encoding == encoding.KindXorFloat {
+		return encoding.XorFloat{}.Decode(body)
+	}
+	vals, err := (encoding.PlainInt{}).Decode(body)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(vals))
+	for i, v := range vals {
+		out[i] = math.Float64frombits(uint64(v))
+	}
+	return out, nil
+}
+
+// Strings decodes the whole chunk of a string column. Returned slices may
+// alias internal buffers; callers must not mutate them.
+func (c *Chunk) Strings() ([][]byte, error) {
+	if c.column.Type != TypeString {
+		return nil, fmt.Errorf("colstore: column %q is %v", c.column.Name, c.column.Type)
+	}
+	if usesDict(c.column.Encoding) {
+		dict, err := c.r.StrDict(c.col)
+		if err != nil {
+			return nil, err
+		}
+		keys, err := c.Keys()
+		if err != nil {
+			return nil, err
+		}
+		out := make([][]byte, len(keys))
+		for i, k := range keys {
+			if k < 0 || int(k) >= len(dict) {
+				return nil, ErrFormat
+			}
+			out[i] = dict[k]
+		}
+		return out, nil
+	}
+	codec, err := encoding.StringCodecFor(c.column.Encoding)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]byte, 0, c.rows)
+	for p := range c.meta.Pages {
+		body, err := c.pageBody(p)
+		if err != nil {
+			return nil, err
+		}
+		vals, err := codec.Decode(nil, body)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, vals...)
+	}
+	return out, nil
+}
+
+// pageRange returns [first, last) chunk-relative rows of page p.
+func (c *Chunk) pageRange(p int) (int, int) {
+	first := int(c.meta.Pages[p].FirstRow)
+	return first, first + int(c.meta.Pages[p].NumValues)
+}
+
+// GatherInts returns the values at the selected chunk-relative rows,
+// implementing page-level skipping (unselected pages are never
+// decompressed) and row-level skipping (bit-packed and dictionary pages
+// jump over unselected rows without decoding them) — §5.2.
+func (c *Chunk) GatherInts(sel *bitutil.Bitmap) ([]int64, error) {
+	if sel.Len() != c.rows {
+		return nil, fmt.Errorf("colstore: selection of %d bits for %d rows", sel.Len(), c.rows)
+	}
+	if usesDict(c.column.Encoding) {
+		dict, err := c.r.IntDict(c.col)
+		if err != nil {
+			return nil, err
+		}
+		keys, err := c.GatherKeys(sel)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]int64, len(keys))
+		for i, k := range keys {
+			if k < 0 || int(k) >= len(dict) {
+				return nil, ErrFormat
+			}
+			out[i] = dict[k]
+		}
+		return out, nil
+	}
+	out := make([]int64, 0, sel.Cardinality())
+	codec, err := encoding.IntCodecFor(c.column.Encoding)
+	if err != nil {
+		return nil, err
+	}
+	for p := range c.meta.Pages {
+		first, last := c.pageRange(p)
+		next := sel.NextSet(first)
+		if next < 0 || next >= last {
+			c.skipPage()
+			continue
+		}
+		body, err := c.pageBody(p)
+		if err != nil {
+			return nil, err
+		}
+		if c.column.Encoding == encoding.KindBitPacked {
+			out = gatherPackedZigzag(body, sel, first, last, out)
+			continue
+		}
+		vals, err := codec.Decode(body)
+		if err != nil {
+			return nil, err
+		}
+		for i := next; i >= 0 && i < last; i = sel.NextSet(i + 1) {
+			out = append(out, vals[i-first])
+		}
+	}
+	return out, nil
+}
+
+// gatherPackedZigzag row-skips through a bit-packed page, decoding only
+// selected entries.
+func gatherPackedZigzag(body []byte, sel *bitutil.Bitmap, first, last int, out []int64) []int64 {
+	_, width, packed, err := encoding.InspectBitPacked(body)
+	if err != nil {
+		return out
+	}
+	r := bitutil.NewReader(packed)
+	prev := first
+	for i := sel.NextSet(first); i >= 0 && i < last; i = sel.NextSet(i + 1) {
+		r.SkipBits((i - prev) * int(width))
+		u := r.ReadBits(width)
+		out = append(out, int64(u>>1)^-int64(u&1))
+		prev = i + 1
+	}
+	return out
+}
+
+// GatherKeys returns dictionary keys at the selected rows with page- and
+// row-level skipping.
+func (c *Chunk) GatherKeys(sel *bitutil.Bitmap) ([]int64, error) {
+	if !usesDict(c.column.Encoding) {
+		return nil, fmt.Errorf("colstore: column %q is not dictionary encoded", c.column.Name)
+	}
+	out := make([]int64, 0, sel.Cardinality())
+	for p := range c.meta.Pages {
+		first, last := c.pageRange(p)
+		next := sel.NextSet(first)
+		if next < 0 || next >= last {
+			c.skipPage()
+			continue
+		}
+		body, err := c.pageBody(p)
+		if err != nil {
+			return nil, err
+		}
+		if c.column.Encoding == encoding.KindDictRLE {
+			vals, err := (encoding.RLEInt{}).Decode(body)
+			if err != nil {
+				return nil, err
+			}
+			for i := next; i >= 0 && i < last; i = sel.NextSet(i + 1) {
+				out = append(out, vals[i-first])
+			}
+			continue
+		}
+		width, _, packed, err := decodePackedKeys(body)
+		if err != nil {
+			return nil, err
+		}
+		r := bitutil.NewReader(packed)
+		prev := first
+		for i := next; i >= 0 && i < last; i = sel.NextSet(i + 1) {
+			r.SkipBits((i - prev) * int(width))
+			out = append(out, int64(r.ReadBits(width)))
+			prev = i + 1
+		}
+	}
+	return out, nil
+}
+
+// GatherStrings returns string values at the selected rows with page-level
+// skipping.
+func (c *Chunk) GatherStrings(sel *bitutil.Bitmap) ([][]byte, error) {
+	if sel.Len() != c.rows {
+		return nil, fmt.Errorf("colstore: selection of %d bits for %d rows", sel.Len(), c.rows)
+	}
+	if usesDict(c.column.Encoding) {
+		dict, err := c.r.StrDict(c.col)
+		if err != nil {
+			return nil, err
+		}
+		keys, err := c.GatherKeys(sel)
+		if err != nil {
+			return nil, err
+		}
+		out := make([][]byte, len(keys))
+		for i, k := range keys {
+			if k < 0 || int(k) >= len(dict) {
+				return nil, ErrFormat
+			}
+			out[i] = dict[k]
+		}
+		return out, nil
+	}
+	codec, err := encoding.StringCodecFor(c.column.Encoding)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]byte, 0, sel.Cardinality())
+	for p := range c.meta.Pages {
+		first, last := c.pageRange(p)
+		next := sel.NextSet(first)
+		if next < 0 || next >= last {
+			c.skipPage()
+			continue
+		}
+		body, err := c.pageBody(p)
+		if err != nil {
+			return nil, err
+		}
+		vals, err := codec.Decode(nil, body)
+		if err != nil {
+			return nil, err
+		}
+		for i := next; i >= 0 && i < last; i = sel.NextSet(i + 1) {
+			out = append(out, vals[i-first])
+		}
+	}
+	return out, nil
+}
+
+// GatherFloats returns float values at the selected rows with page-level
+// skipping.
+func (c *Chunk) GatherFloats(sel *bitutil.Bitmap) ([]float64, error) {
+	if sel.Len() != c.rows {
+		return nil, fmt.Errorf("colstore: selection of %d bits for %d rows", sel.Len(), c.rows)
+	}
+	out := make([]float64, 0, sel.Cardinality())
+	for p := range c.meta.Pages {
+		first, last := c.pageRange(p)
+		next := sel.NextSet(first)
+		if next < 0 || next >= last {
+			c.skipPage()
+			continue
+		}
+		body, err := c.pageBody(p)
+		if err != nil {
+			return nil, err
+		}
+		vals, err := c.decodeFloatPage(body)
+		if err != nil {
+			return nil, err
+		}
+		for i := next; i >= 0 && i < last; i = sel.NextSet(i + 1) {
+			out = append(out, vals[i-first])
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,327 @@
+// Package core is CodecDB itself (paper §3): the storage engine that
+// samples incoming columns, runs data-driven encoding selection, encodes
+// and persists tables in the columnar format, and keeps encoding metadata
+// both on disk and in memory; and the query engine runtime — operator and
+// data thread pools, per-query batch caches, and cost instrumentation —
+// that the hand-coded query plans execute against.
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"time"
+
+	"codecdb/internal/colstore"
+	"codecdb/internal/encoding"
+	"codecdb/internal/exec"
+	"codecdb/internal/features"
+	"codecdb/internal/selector"
+)
+
+// sampleBytes is the head-sample budget for runtime encoding selection
+// (§6.2.2: the default setting samples the first 1M bytes).
+const sampleBytes = 1 << 20
+
+// Options configures a database instance.
+type Options struct {
+	// OperatorThreads sizes the operator pool (default GOMAXPROCS).
+	OperatorThreads int
+	// DataThreads sizes the shared data-processing pool, which bounds
+	// per-query memory (§5.2; default GOMAXPROCS).
+	DataThreads int
+	// Selector is the trained encoding selector; nil falls back to
+	// exhaustive selection on the head sample.
+	Selector *selector.Learned
+}
+
+// DB is a CodecDB database: a directory of encoded column files plus the
+// encoding metadata catalog.
+type DB struct {
+	dir      string
+	opts     Options
+	opPool   *exec.Pool
+	dataPool *exec.Pool
+
+	mu      sync.Mutex
+	tables  map[string]*Table
+	catalog catalog
+}
+
+// catalog is the on-disk metadata (§3: "persists the metadata on disk as a
+// plain text file and maintains it in memory as a hashmap").
+type catalog struct {
+	Tables map[string]tableMeta `json:"tables"`
+}
+
+type tableMeta struct {
+	File      string            `json:"file"`
+	Rows      int64             `json:"rows"`
+	Encodings map[string]string `json:"encodings"` // column -> encoding name
+}
+
+// Table is an opened table.
+type Table struct {
+	Name string
+	R    *colstore.Reader
+}
+
+// Open opens (or initialises) a database rooted at dir.
+func Open(dir string, opts Options) (*DB, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	db := &DB{
+		dir:      dir,
+		opts:     opts,
+		opPool:   exec.NewPool(opts.OperatorThreads),
+		dataPool: exec.NewPool(opts.DataThreads),
+		tables:   map[string]*Table{},
+		catalog:  catalog{Tables: map[string]tableMeta{}},
+	}
+	if raw, err := os.ReadFile(db.catalogPath()); err == nil {
+		if err := json.Unmarshal(raw, &db.catalog); err != nil {
+			return nil, fmt.Errorf("core: corrupt catalog: %w", err)
+		}
+	}
+	return db, nil
+}
+
+// Close releases all open tables.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	var first error
+	for _, t := range db.tables {
+		if err := t.R.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	db.tables = map[string]*Table{}
+	return first
+}
+
+// OperatorPool returns the operator-level pool.
+func (db *DB) OperatorPool() *exec.Pool { return db.opPool }
+
+// DataPool returns the block-level data pool.
+func (db *DB) DataPool() *exec.Pool { return db.dataPool }
+
+func (db *DB) catalogPath() string { return filepath.Join(db.dir, "catalog.json") }
+
+// ColumnSpec describes one column being loaded. Encoding is optional: the
+// zero value KindPlain plus AutoEncode selects data-driven.
+type ColumnSpec struct {
+	Name string
+	Type colstore.Type
+	// Encoding forces a scheme when AutoEncode is false.
+	Encoding encoding.Kind
+	// AutoEncode runs data-driven selection on a head sample.
+	AutoEncode bool
+	// DictGroup joins columns sharing one global dictionary.
+	DictGroup string
+	// Compression optionally names a page compressor.
+	Compression string
+}
+
+// LoadTable encodes data into a new table file: each AutoEncode column is
+// head-sampled, featurised, and routed through the encoding selector, then
+// all columns are written with the chosen schemes (§3 runtime module).
+func (db *DB) LoadTable(name string, specs []ColumnSpec, data []colstore.ColumnData, opts colstore.Options) (*Table, error) {
+	if len(specs) != len(data) {
+		return nil, fmt.Errorf("core: %d specs for %d columns", len(specs), len(data))
+	}
+	cols := make([]colstore.Column, len(specs))
+	encodings := map[string]string{}
+	for i, s := range specs {
+		kind := s.Encoding
+		if s.AutoEncode {
+			kind = db.selectEncoding(s, data[i])
+		}
+		kind, compression := normaliseKind(s, kind)
+		cols[i] = colstore.Column{
+			Name: s.Name, Type: s.Type, Encoding: kind,
+			Compression: compression, DictGroup: s.DictGroup,
+		}
+		encodings[s.Name] = kind.String()
+	}
+	path := filepath.Join(db.dir, name+".cdb")
+	if err := colstore.WriteFile(path, colstore.Schema{Columns: cols}, data, opts); err != nil {
+		return nil, err
+	}
+	r, err := colstore.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{Name: name, R: r}
+	db.mu.Lock()
+	db.tables[name] = t
+	db.catalog.Tables[name] = tableMeta{File: name + ".cdb", Rows: r.NumRows(), Encodings: encodings}
+	err = db.persistCatalogLocked()
+	db.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// selectEncoding picks a scheme for one column using the configured
+// selector on a head sample, or exhaustive selection when no model is
+// loaded.
+func (db *DB) selectEncoding(s ColumnSpec, data colstore.ColumnData) encoding.Kind {
+	switch s.Type {
+	case colstore.TypeInt64:
+		sample := features.HeadSampleInts(data.Ints, sampleBytes)
+		if db.opts.Selector != nil {
+			return db.opts.Selector.SelectInt(sample)
+		}
+		kind, _, err := selector.BestInt(sample)
+		if err != nil {
+			return encoding.KindPlain
+		}
+		return kind
+	case colstore.TypeString:
+		sample := features.HeadSampleStrings(data.Strings, sampleBytes)
+		if db.opts.Selector != nil {
+			return db.opts.Selector.SelectString(sample)
+		}
+		kind, _, err := selector.BestString(sample)
+		if err != nil {
+			return encoding.KindPlain
+		}
+		return kind
+	default:
+		return encoding.KindPlain
+	}
+}
+
+// normaliseKind maps selector outputs onto what the storage layer writes:
+// byte-compression "encodings" become plain pages with that compressor,
+// and schemes that do not apply to the column type fall back to a safe
+// default.
+func normaliseKind(s ColumnSpec, kind encoding.Kind) (encoding.Kind, string) {
+	compression := s.Compression
+	switch kind {
+	case encoding.KindSnappy:
+		return encoding.KindPlain, "snappy"
+	case encoding.KindGzip:
+		return encoding.KindPlain, "gzip"
+	}
+	switch s.Type {
+	case colstore.TypeInt64:
+		if _, err := encoding.IntCodecFor(kind); err != nil {
+			return encoding.KindPlain, compression
+		}
+	case colstore.TypeString:
+		if kind != encoding.KindDict && kind != encoding.KindDictRLE {
+			if _, err := encoding.StringCodecFor(kind); err != nil {
+				return encoding.KindPlain, compression
+			}
+		}
+	case colstore.TypeFloat64:
+		if kind == encoding.KindXorFloat {
+			return kind, compression
+		}
+		return encoding.KindPlain, compression
+	}
+	return kind, compression
+}
+
+// Table returns the opened table, loading it from the catalog on first
+// access.
+func (db *DB) Table(name string) (*Table, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if t, ok := db.tables[name]; ok {
+		return t, nil
+	}
+	tm, ok := db.catalog.Tables[name]
+	if !ok {
+		return nil, fmt.Errorf("core: no table %q", name)
+	}
+	r, err := colstore.Open(filepath.Join(db.dir, tm.File))
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{Name: name, R: r}
+	db.tables[name] = t
+	return t, nil
+}
+
+// TableNames lists catalogued tables.
+func (db *DB) TableNames() []string {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	out := make([]string, 0, len(db.catalog.Tables))
+	for n := range db.catalog.Tables {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Encodings returns the per-column encoding names recorded at load time.
+func (db *DB) Encodings(table string) (map[string]string, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	tm, ok := db.catalog.Tables[table]
+	if !ok {
+		return nil, fmt.Errorf("core: no table %q", table)
+	}
+	out := make(map[string]string, len(tm.Encodings))
+	for k, v := range tm.Encodings {
+		out[k] = v
+	}
+	return out, nil
+}
+
+func (db *DB) persistCatalogLocked() error {
+	raw, err := json.MarshalIndent(&db.catalog, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(db.catalogPath(), raw, 0o644)
+}
+
+// QueryStats is the per-query cost report used by the Fig 8 breakdown and
+// Fig 9 memory-footprint experiments.
+type QueryStats struct {
+	Wall         time.Duration
+	IO           time.Duration // time inside ReadAt across touched readers
+	CPU          time.Duration // Wall - IO
+	PagesRead    int64
+	PagesSkipped int64
+	BytesRead    int64
+	// AllocBytes is the total heap allocated during the query — the
+	// working-set proxy for memory footprint.
+	AllocBytes uint64
+}
+
+// Measure runs fn and reports its cost, attributing IO time from the given
+// readers (instrumentation is reset before the run).
+func Measure(readers []*colstore.Reader, fn func() error) (QueryStats, error) {
+	for _, r := range readers {
+		r.ResetStats()
+	}
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	err := fn()
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+	st := QueryStats{Wall: wall, AllocBytes: after.TotalAlloc - before.TotalAlloc}
+	for _, r := range readers {
+		read, skipped, bytes, io := r.Stats()
+		st.PagesRead += read
+		st.PagesSkipped += skipped
+		st.BytesRead += bytes
+		st.IO += time.Duration(io)
+	}
+	if st.IO > st.Wall {
+		st.IO = st.Wall // parallel reads can overlap; clamp for reporting
+	}
+	st.CPU = st.Wall - st.IO
+	return st, err
+}

@@ -1,0 +1,379 @@
+// Package corpus generates the synthetic multi-domain column collection
+// that stands in for the paper's real-world training corpus (§4.3,
+// Table 2: server logs, government open data, machine learning, social
+// network, financial, traffic, GIS). The substitution is documented in
+// DESIGN.md: what the selector experiments need is diversity along the
+// feature axes the model learns from — sortedness, cardinality, run
+// structure, sparsity, value-length distribution, byte-level redundancy —
+// and the generator controls those axes explicitly per profile.
+//
+// Generation is fully deterministic given a seed.
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Column is one generated data column with its provenance labels.
+type Column struct {
+	Name     string
+	Category string
+	Profile  string
+	// Exactly one of Ints/Strings is non-nil.
+	Ints    []int64
+	Strings [][]byte
+}
+
+// IsInt reports whether the column is integer-typed.
+func (c *Column) IsInt() bool { return c.Ints != nil }
+
+// Rows returns the column length.
+func (c *Column) Rows() int {
+	if c.Ints != nil {
+		return len(c.Ints)
+	}
+	return len(c.Strings)
+}
+
+// Config controls corpus generation.
+type Config struct {
+	Seed   int64
+	Rows   int // rows per column (default 4000)
+	PerCat int // columns per category (default 24)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Rows <= 0 {
+		c.Rows = 4000
+	}
+	if c.PerCat <= 0 {
+		c.PerCat = 24
+	}
+	return c
+}
+
+// Categories lists the Table 2 dataset categories.
+func Categories() []string {
+	return []string{"ServerLogs", "Government", "MachineLearning",
+		"SocialNetwork", "Financial", "Traffic", "GIS", "Other"}
+}
+
+// intProfile generates an integer column shape.
+type intProfile struct {
+	name string
+	gen  func(rng *rand.Rand, n int) []int64
+}
+
+// strProfile generates a string column shape.
+type strProfile struct {
+	name string
+	gen  func(rng *rand.Rand, n int) [][]byte
+}
+
+func intProfiles() []intProfile {
+	return []intProfile{
+		{"sequential", func(rng *rand.Rand, n int) []int64 {
+			base := rng.Int63n(1 << 30)
+			out := make([]int64, n)
+			for i := range out {
+				out[i] = base + int64(i)
+			}
+			return out
+		}},
+		{"sortedNoisy", func(rng *rand.Rand, n int) []int64 {
+			base := rng.Int63n(1 << 20)
+			out := make([]int64, n)
+			v := base
+			for i := range out {
+				v += rng.Int63n(20)
+				out[i] = v
+			}
+			// Perturb a few positions: partially sorted.
+			for k := 0; k < n/50; k++ {
+				i, j := rng.Intn(n), rng.Intn(n)
+				out[i], out[j] = out[j], out[i]
+			}
+			return out
+		}},
+		{"timestamps", func(rng *rand.Rand, n int) []int64 {
+			t := int64(1_500_000_000) + rng.Int63n(1<<27)
+			out := make([]int64, n)
+			for i := range out {
+				t += rng.Int63n(90)
+				out[i] = t
+			}
+			return out
+		}},
+		{"lowCard", func(rng *rand.Rand, n int) []int64 {
+			card := 2 + rng.Intn(30)
+			out := make([]int64, n)
+			for i := range out {
+				out[i] = int64(rng.Intn(card))
+			}
+			return out
+		}},
+		{"runs", func(rng *rand.Rand, n int) []int64 {
+			out := make([]int64, n)
+			var v int64
+			for i := 0; i < n; {
+				v = int64(rng.Intn(100))
+				l := 1 + rng.Intn(60)
+				for j := i; j < i+l && j < n; j++ {
+					out[j] = v
+				}
+				i += l
+			}
+			return out
+		}},
+		{"uniformSmall", func(rng *rand.Rand, n int) []int64 {
+			out := make([]int64, n)
+			max := int64(1) << uint(4+rng.Intn(12))
+			for i := range out {
+				out[i] = rng.Int63n(max)
+			}
+			return out
+		}},
+		{"uniformLarge", func(rng *rand.Rand, n int) []int64 {
+			out := make([]int64, n)
+			for i := range out {
+				out[i] = rng.Int63()
+			}
+			return out
+		}},
+		{"zipf", func(rng *rand.Rand, n int) []int64 {
+			z := rand.NewZipf(rng, 1.3, 1, 1<<16)
+			out := make([]int64, n)
+			for i := range out {
+				out[i] = int64(z.Uint64())
+			}
+			return out
+		}},
+		{"sparseZeros", func(rng *rand.Rand, n int) []int64 {
+			out := make([]int64, n)
+			for i := range out {
+				if rng.Intn(10) == 0 {
+					out[i] = rng.Int63n(1 << 24)
+				}
+			}
+			return out
+		}},
+		{"counts", func(rng *rand.Rand, n int) []int64 {
+			out := make([]int64, n)
+			for i := range out {
+				out[i] = int64(rng.Intn(256)) * int64(rng.Intn(4)+1)
+			}
+			return out
+		}},
+	}
+}
+
+func strProfiles() []strProfile {
+	return []strProfile{
+		{"enum", func(rng *rand.Rand, n int) [][]byte {
+			vocab := pickVocab(rng, enums, 2+rng.Intn(8))
+			out := make([][]byte, n)
+			for i := range out {
+				out[i] = vocab[rng.Intn(len(vocab))]
+			}
+			return out
+		}},
+		{"names", func(rng *rand.Rand, n int) [][]byte {
+			out := make([][]byte, n)
+			for i := range out {
+				out[i] = []byte(firstNames[rng.Intn(len(firstNames))] + " " + lastNames[rng.Intn(len(lastNames))])
+			}
+			return out
+		}},
+		{"urls", func(rng *rand.Rand, n int) [][]byte {
+			hosts := []string{"api.example.com", "cdn.site.org", "data.portal.gov"}
+			paths := []string{"/v1/users", "/v1/items", "/assets/img", "/download", "/search"}
+			out := make([][]byte, n)
+			for i := range out {
+				out[i] = []byte(fmt.Sprintf("https://%s%s/%d",
+					hosts[rng.Intn(len(hosts))], paths[rng.Intn(len(paths))], rng.Intn(100000)))
+			}
+			return out
+		}},
+		{"uuids", func(rng *rand.Rand, n int) [][]byte {
+			out := make([][]byte, n)
+			for i := range out {
+				out[i] = []byte(fmt.Sprintf("%08x-%04x-%04x-%04x-%012x",
+					rng.Uint32(), rng.Intn(1<<16), rng.Intn(1<<16), rng.Intn(1<<16), rng.Int63n(1<<48)))
+			}
+			return out
+		}},
+		{"logTemplates", func(rng *rand.Rand, n int) [][]byte {
+			tmpl := []string{
+				"GET /index.html 200 %d",
+				"connection from 10.0.0.%d closed",
+				"worker %d finished job in %dms",
+				"ERROR: timeout waiting for shard %d",
+			}
+			out := make([][]byte, n)
+			for i := range out {
+				t := tmpl[rng.Intn(len(tmpl))]
+				switch {
+				case t == tmpl[2]:
+					out[i] = []byte(fmt.Sprintf(t, rng.Intn(64), rng.Intn(5000)))
+				default:
+					out[i] = []byte(fmt.Sprintf(t, rng.Intn(1000)))
+				}
+			}
+			return out
+		}},
+		{"numericStrings", func(rng *rand.Rand, n int) [][]byte {
+			out := make([][]byte, n)
+			for i := range out {
+				out[i] = []byte(fmt.Sprintf("%d.%02d", rng.Intn(100000), rng.Intn(100)))
+			}
+			return out
+		}},
+		{"sortedCodes", func(rng *rand.Rand, n int) [][]byte {
+			out := make([][]byte, n)
+			v := rng.Intn(1000)
+			for i := range out {
+				v += rng.Intn(3)
+				out[i] = []byte(fmt.Sprintf("C-%08d", v))
+			}
+			return out
+		}},
+		{"sparseText", func(rng *rand.Rand, n int) [][]byte {
+			vocab := pickVocab(rng, enums, 5)
+			out := make([][]byte, n)
+			for i := range out {
+				if rng.Intn(3) == 0 {
+					out[i] = vocab[rng.Intn(len(vocab))]
+				} else {
+					out[i] = []byte{}
+				}
+			}
+			return out
+		}},
+		{"ipv6", func(rng *rand.Rand, n int) [][]byte {
+			return ipv6Addresses(rng, n)
+		}},
+	}
+}
+
+// categoryMix weights the profiles per Table 2 category so categories have
+// distinct shapes (logs are template+timestamp heavy, financial is
+// numeric, GIS is coordinate-like, ...).
+var categoryMix = map[string]struct {
+	intW []int // weights parallel to intProfiles()
+	strW []int // weights parallel to strProfiles()
+}{
+	"ServerLogs":      {intW: []int{1, 1, 6, 2, 2, 2, 1, 3, 1, 2}, strW: []int{2, 0, 3, 2, 6, 0, 1, 1, 2}},
+	"Government":      {intW: []int{2, 2, 1, 4, 3, 2, 1, 1, 2, 3}, strW: []int{5, 3, 1, 1, 0, 2, 2, 3, 0}},
+	"MachineLearning": {intW: []int{1, 2, 1, 3, 1, 4, 3, 2, 2, 3}, strW: []int{4, 1, 1, 2, 0, 3, 1, 1, 0}},
+	"SocialNetwork":   {intW: []int{3, 2, 4, 2, 1, 1, 2, 4, 1, 1}, strW: []int{3, 4, 3, 3, 1, 0, 1, 1, 0}},
+	"Financial":       {intW: []int{2, 3, 3, 2, 1, 2, 1, 1, 1, 4}, strW: []int{4, 1, 0, 2, 0, 5, 3, 1, 0}},
+	"Traffic":         {intW: []int{2, 3, 4, 3, 3, 2, 1, 1, 1, 2}, strW: []int{5, 0, 1, 1, 1, 1, 3, 1, 0}},
+	"GIS":             {intW: []int{1, 3, 1, 1, 1, 2, 4, 1, 1, 2}, strW: []int{3, 0, 1, 1, 0, 4, 2, 1, 0}},
+	"Other":           {intW: []int{1, 1, 1, 1, 1, 1, 1, 1, 1, 1}, strW: []int{1, 1, 1, 1, 1, 1, 1, 1, 1}},
+}
+
+// Generate produces the corpus: PerCat columns per category, alternating
+// integer and string columns with category-weighted profiles.
+func Generate(cfg Config) []Column {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	ips := intProfiles()
+	sps := strProfiles()
+	var out []Column
+	for _, cat := range Categories() {
+		mix := categoryMix[cat]
+		for i := 0; i < cfg.PerCat; i++ {
+			if i%2 == 0 {
+				p := ips[weightedPick(rng, mix.intW)]
+				out = append(out, Column{
+					Name:     fmt.Sprintf("%s_int_%02d_%s", cat, i, p.name),
+					Category: cat, Profile: p.name,
+					Ints: p.gen(rng, cfg.Rows),
+				})
+			} else {
+				p := sps[weightedPick(rng, mix.strW)]
+				out = append(out, Column{
+					Name:     fmt.Sprintf("%s_str_%02d_%s", cat, i, p.name),
+					Category: cat, Profile: p.name,
+					Strings: p.gen(rng, cfg.Rows),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// Split partitions columns into train/dev/test by the paper's 70/15/15
+// (§6.2), deterministically by position after a seeded shuffle.
+func Split(cols []Column, seed int64) (train, dev, test []Column) {
+	rng := rand.New(rand.NewSource(seed))
+	shuffled := append([]Column(nil), cols...)
+	rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+	n := len(shuffled)
+	a, b := n*70/100, n*85/100
+	return shuffled[:a], shuffled[a:b], shuffled[b:]
+}
+
+// GenerateIPv6 returns the synthetic IPv6 dataset used by the Fig 1b
+// throughput comparison: addresses drawn from a handful of /64 prefixes,
+// the low-cardinality-prefix shape that favors dictionary encoding.
+func GenerateIPv6(n int, seed int64) [][]byte {
+	rng := rand.New(rand.NewSource(seed))
+	return ipv6Addresses(rng, n)
+}
+
+func ipv6Addresses(rng *rand.Rand, n int) [][]byte {
+	prefixes := make([]string, 16)
+	for i := range prefixes {
+		prefixes[i] = fmt.Sprintf("2001:db8:%x:%x", rng.Intn(1<<16), rng.Intn(1<<16))
+	}
+	out := make([][]byte, n)
+	for i := range out {
+		// Hosts cluster on a small set of interface IDs, as DHCP pools do.
+		out[i] = []byte(fmt.Sprintf("%s::%x", prefixes[rng.Intn(len(prefixes))], rng.Intn(4096)))
+	}
+	return out
+}
+
+func weightedPick(rng *rand.Rand, weights []int) int {
+	total := 0
+	for _, w := range weights {
+		total += w
+	}
+	if total == 0 {
+		return rng.Intn(len(weights))
+	}
+	r := rng.Intn(total)
+	for i, w := range weights {
+		r -= w
+		if r < 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+func pickVocab(rng *rand.Rand, pool []string, k int) [][]byte {
+	out := make([][]byte, k)
+	for i := range out {
+		out[i] = []byte(pool[rng.Intn(len(pool))])
+	}
+	return out
+}
+
+var enums = []string{
+	"ACTIVE", "INACTIVE", "PENDING", "CLOSED", "OPEN", "NEW", "ARCHIVED",
+	"HIGH", "MEDIUM", "LOW", "CRITICAL", "NONE", "TRUE", "FALSE",
+	"MAIL", "SHIP", "AIR", "TRUCK", "RAIL", "FOB", "COLLECT",
+}
+
+var firstNames = []string{
+	"Alice", "Bob", "Carol", "David", "Eve", "Frank", "Grace", "Henry",
+	"Iris", "Jack", "Kate", "Liam", "Mia", "Noah", "Olivia", "Paul",
+}
+
+var lastNames = []string{
+	"Smith", "Jones", "Brown", "Taylor", "Wilson", "Davis", "Clark",
+	"Lewis", "Walker", "Hall", "Young", "King", "Wright", "Green",
+}

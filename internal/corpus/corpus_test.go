@@ -1,0 +1,116 @@
+package corpus
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Config{Seed: 1, Rows: 200, PerCat: 4})
+	b := Generate(Config{Seed: 1, Rows: 200, PerCat: 4})
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name {
+			t.Fatalf("column %d name differs", i)
+		}
+		if a[i].IsInt() != b[i].IsInt() {
+			t.Fatalf("column %d type differs", i)
+		}
+		if a[i].IsInt() {
+			for j := range a[i].Ints {
+				if a[i].Ints[j] != b[i].Ints[j] {
+					t.Fatalf("column %d value %d differs", i, j)
+				}
+			}
+		} else {
+			for j := range a[i].Strings {
+				if !bytes.Equal(a[i].Strings[j], b[i].Strings[j]) {
+					t.Fatalf("column %d value %d differs", i, j)
+				}
+			}
+		}
+	}
+	c := Generate(Config{Seed: 2, Rows: 200, PerCat: 4})
+	same := true
+	for i := range a {
+		if a[i].IsInt() && c[i].IsInt() {
+			for j := range a[i].Ints {
+				if a[i].Ints[j] != c[i].Ints[j] {
+					same = false
+				}
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds should produce different data")
+	}
+}
+
+func TestGenerateCoverage(t *testing.T) {
+	cols := Generate(Config{Seed: 3, Rows: 500, PerCat: 10})
+	if len(cols) != len(Categories())*10 {
+		t.Fatalf("got %d columns", len(cols))
+	}
+	ints, strs := 0, 0
+	profiles := map[string]bool{}
+	for i := range cols {
+		c := &cols[i]
+		if c.Rows() != 500 {
+			t.Fatalf("column %s has %d rows", c.Name, c.Rows())
+		}
+		if c.IsInt() {
+			ints++
+		} else {
+			strs++
+		}
+		profiles[c.Profile] = true
+	}
+	if ints == 0 || strs == 0 {
+		t.Fatal("need both int and string columns")
+	}
+	if len(profiles) < 8 {
+		t.Fatalf("only %d distinct profiles generated", len(profiles))
+	}
+}
+
+func TestSplitProportions(t *testing.T) {
+	cols := Generate(Config{Seed: 4, Rows: 100, PerCat: 25})
+	train, dev, test := Split(cols, 1)
+	total := len(train) + len(dev) + len(test)
+	if total != len(cols) {
+		t.Fatalf("split loses columns: %d vs %d", total, len(cols))
+	}
+	if len(train) < total*65/100 || len(train) > total*75/100 {
+		t.Fatalf("train fraction off: %d/%d", len(train), total)
+	}
+	// No overlap: names must be unique across splits.
+	seen := map[string]bool{}
+	for _, s := range [][]Column{train, dev, test} {
+		for i := range s {
+			if seen[s[i].Name] {
+				t.Fatalf("column %s appears twice", s[i].Name)
+			}
+			seen[s[i].Name] = true
+		}
+	}
+}
+
+func TestGenerateIPv6(t *testing.T) {
+	addrs := GenerateIPv6(1000, 5)
+	if len(addrs) != 1000 {
+		t.Fatalf("got %d addresses", len(addrs))
+	}
+	distinct := map[string]bool{}
+	for _, a := range addrs {
+		if !bytes.Contains(a, []byte("::")) || !bytes.HasPrefix(a, []byte("2001:db8:")) {
+			t.Fatalf("malformed address %q", a)
+		}
+		distinct[string(a)] = true
+	}
+	// Clustered but not constant: dictionary-friendly shape.
+	if len(distinct) < 100 || len(distinct) == 1000 {
+		t.Fatalf("distinct addresses = %d, want clustered", len(distinct))
+	}
+}

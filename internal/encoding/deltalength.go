@@ -1,0 +1,59 @@
+package encoding
+
+// DeltaLengthString is Parquet's DELTA_LENGTH_BYTE_ARRAY (paper §2): the
+// string bytes are concatenated as-is, and the lengths are stored with
+// delta encoding. Layout:
+//
+//	varint dataLen | concatenated bytes | DeltaInt-encoded lengths
+type DeltaLengthString struct{}
+
+// Kind returns KindDeltaLength.
+func (DeltaLengthString) Kind() Kind { return KindDeltaLength }
+
+// Encode serialises values.
+func (DeltaLengthString) Encode(values [][]byte) ([]byte, error) {
+	total := 0
+	lengths := make([]int64, len(values))
+	for i, v := range values {
+		total += len(v)
+		lengths[i] = int64(len(v))
+	}
+	lenBuf, err := DeltaInt{}.Encode(lengths)
+	if err != nil {
+		return nil, err
+	}
+	out := putUvarint(make([]byte, 0, total+len(lenBuf)+8), uint64(total))
+	for _, v := range values {
+		out = append(out, v...)
+	}
+	return append(out, lenBuf...), nil
+}
+
+// Decode reverses Encode. Decoded strings alias the input buffer.
+func (DeltaLengthString) Decode(dst [][]byte, data []byte) ([][]byte, error) {
+	dataLen, rest, err := readUvarint(data)
+	if err != nil {
+		return nil, err
+	}
+	if uint64(len(rest)) < dataLen {
+		return nil, ErrCorrupt
+	}
+	body := rest[:dataLen]
+	lengths, err := DeltaInt{}.Decode(rest[dataLen:])
+	if err != nil {
+		return nil, err
+	}
+	out := sliceFor(dst, len(lengths))
+	off := int64(0)
+	for i, l := range lengths {
+		if l < 0 || off+l > int64(len(body)) {
+			return nil, ErrCorrupt
+		}
+		out[i] = body[off : off+l : off+l]
+		off += l
+	}
+	if off != int64(len(body)) {
+		return nil, ErrCorrupt
+	}
+	return out, nil
+}

@@ -1,0 +1,125 @@
+package encoding
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestXorFloatRoundTripFixtures(t *testing.T) {
+	fixtures := map[string][]float64{
+		"empty":     {},
+		"single":    {3.14159},
+		"constant":  {7.5, 7.5, 7.5, 7.5, 7.5},
+		"slowDrift": {100.0, 100.01, 100.02, 100.01, 100.03},
+		"specials":  {0, math.Copysign(0, -1), math.Inf(1), math.Inf(-1), math.MaxFloat64, math.SmallestNonzeroFloat64},
+		"negatives": {-1.5, -2.5, 3.5, -4.5},
+	}
+	for name, vals := range fixtures {
+		buf, err := XorFloat{}.Encode(vals)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		got, err := XorFloat{}.Decode(buf)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(got) != len(vals) {
+			t.Fatalf("%s: %d values", name, len(got))
+		}
+		for i := range vals {
+			if math.Float64bits(got[i]) != math.Float64bits(vals[i]) {
+				t.Fatalf("%s value %d: %v != %v", name, i, got[i], vals[i])
+			}
+		}
+	}
+}
+
+func TestXorFloatRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(400)
+		vals := make([]float64, n)
+		cur := rng.Float64() * 1000
+		for i := range vals {
+			switch rng.Intn(4) {
+			case 0:
+				// repeat
+			case 1:
+				cur += rng.Float64() // small drift
+			case 2:
+				cur = rng.NormFloat64() * 1e6
+			default:
+				cur = math.Float64frombits(rng.Uint64()) // arbitrary bits
+			}
+			if math.IsNaN(cur) {
+				cur = 42 // NaN bit patterns round-trip but compare unequal
+			}
+			vals[i] = cur
+		}
+		buf, err := XorFloat{}.Encode(vals)
+		if err != nil {
+			return false
+		}
+		got, err := XorFloat{}.Decode(buf)
+		if err != nil || len(got) != len(vals) {
+			return false
+		}
+		for i := range vals {
+			if math.Float64bits(got[i]) != math.Float64bits(vals[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestXorFloatCompressesSlowSeries(t *testing.T) {
+	// Gorilla's sweet spot: a slowly drifting sensor series.
+	vals := make([]float64, 10000)
+	cur := 20.0
+	rng := rand.New(rand.NewSource(9))
+	for i := range vals {
+		if rng.Intn(4) == 0 {
+			cur += 0.25
+		}
+		vals[i] = cur
+	}
+	buf, _ := XorFloat{}.Encode(vals)
+	raw := 8 * len(vals)
+	if len(buf)*2 > raw {
+		t.Fatalf("XOR float should compress a slow series ≥2x: %d -> %d", raw, len(buf))
+	}
+}
+
+func TestXorFloatCorruptInput(t *testing.T) {
+	vals := []float64{1.5, 2.5, 3.5, 2.5, 1.5}
+	buf, _ := XorFloat{}.Encode(vals)
+	for cut := 0; cut < len(buf); cut++ {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic at cut %d: %v", cut, r)
+				}
+			}()
+			XorFloat{}.Decode(buf[:cut])
+		}()
+	}
+	if _, err := (XorFloat{}).Decode(nil); err == nil {
+		t.Fatal("nil buffer should error")
+	}
+}
+
+func TestXorFloatKind(t *testing.T) {
+	if (XorFloat{}).Kind() != KindXorFloat {
+		t.Fatal("Kind")
+	}
+	k, err := ParseKind("XOR_FLOAT")
+	if err != nil || k != KindXorFloat {
+		t.Fatal("ParseKind")
+	}
+}

@@ -1,0 +1,162 @@
+package exec
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Graph is the lazily evaluated operator DAG of §5.2. Each node is a
+// pipeline stage — the run of non-blocking operators ending at one
+// blocking operator (sort, aggregation, hash-table build). Building the
+// graph does no work; Run executes stages as their dependencies finish,
+// so independent stages (e.g. filters over different columns) run in
+// parallel on the operator pool.
+type Graph struct {
+	nodes []*node
+	byID  map[string]*node
+}
+
+type node struct {
+	id       string
+	fn       func() error
+	deps     []*node
+	children []*node
+	duration time.Duration
+}
+
+// NewGraph returns an empty operator graph.
+func NewGraph() *Graph {
+	return &Graph{byID: map[string]*node{}}
+}
+
+// AddStage registers a pipeline stage under id, depending on the named
+// prior stages. The stage function runs once all dependencies succeed.
+func (g *Graph) AddStage(id string, fn func() error, deps ...string) {
+	if _, dup := g.byID[id]; dup {
+		panic(fmt.Sprintf("exec: duplicate stage %q", id))
+	}
+	n := &node{id: id, fn: fn}
+	for _, d := range deps {
+		dn, ok := g.byID[d]
+		if !ok {
+			panic(fmt.Sprintf("exec: stage %q depends on unknown %q", id, d))
+		}
+		n.deps = append(n.deps, dn)
+		dn.children = append(dn.children, n)
+	}
+	g.nodes = append(g.nodes, n)
+	g.byID[id] = n
+}
+
+// Run executes the graph on the pool. Each stage is submitted as one
+// worker task (operator-level parallelism); a task blocks until all its
+// ancestors finish (§5.2). Run returns the first error encountered;
+// dependents of a failed stage are skipped.
+func (g *Graph) Run(p *Pool) error {
+	var (
+		mu       sync.Mutex
+		firstErr error
+	)
+	remaining := map[*node]int{}
+	ready := make([]*node, 0, len(g.nodes))
+	for _, n := range g.nodes {
+		remaining[n] = len(n.deps)
+		if len(n.deps) == 0 {
+			ready = append(ready, n)
+		}
+	}
+	var wg sync.WaitGroup
+	var launch func(n *node)
+	launch = func(n *node) {
+		wg.Add(1)
+		p.Submit(func() {
+			defer wg.Done()
+			mu.Lock()
+			failed := firstErr != nil
+			mu.Unlock()
+			var err error
+			if !failed {
+				start := time.Now()
+				err = n.fn()
+				n.duration = time.Since(start)
+			}
+			mu.Lock()
+			if err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("stage %s: %w", n.id, err)
+			}
+			var next []*node
+			for _, c := range n.children {
+				remaining[c]--
+				if remaining[c] == 0 {
+					next = append(next, c)
+				}
+			}
+			mu.Unlock()
+			for _, c := range next {
+				launch(c)
+			}
+		})
+	}
+	for _, n := range ready {
+		launch(n)
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// StageDurations reports per-stage wall time from the last Run, for the
+// cost-breakdown experiments.
+func (g *Graph) StageDurations() map[string]time.Duration {
+	out := make(map[string]time.Duration, len(g.nodes))
+	for _, n := range g.nodes {
+		out[n.id] = n.duration
+	}
+	return out
+}
+
+// BatchCache deduplicates column reads across operators in one query
+// (§5.2 batch execution): the first operator to request a key performs the
+// load, later operators reuse the cached result. Loads for distinct keys
+// proceed concurrently.
+type BatchCache struct {
+	mu      sync.Mutex
+	entries map[string]*cacheEntry
+	hits    int
+	misses  int
+}
+
+type cacheEntry struct {
+	once sync.Once
+	val  any
+	err  error
+}
+
+// NewBatchCache returns an empty cache.
+func NewBatchCache() *BatchCache {
+	return &BatchCache{entries: map[string]*cacheEntry{}}
+}
+
+// Load returns the cached value for key, invoking load exactly once per
+// key across all callers.
+func (c *BatchCache) Load(key string, load func() (any, error)) (any, error) {
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if !ok {
+		e = &cacheEntry{}
+		c.entries[key] = e
+		c.misses++
+	} else {
+		c.hits++
+	}
+	c.mu.Unlock()
+	e.once.Do(func() { e.val, e.err = load() })
+	return e.val, e.err
+}
+
+// Stats reports cache hits and misses.
+func (c *BatchCache) Stats() (hits, misses int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

@@ -1,0 +1,94 @@
+// Package exec is CodecDB's execution framework (paper §5.2): worker
+// pools for operator- and block-level parallelism, a demand-driven stream
+// abstraction with map/foreach, a lazily evaluated operator DAG grouped
+// into pipeline stages, and a batch cache that lets operators reading the
+// same column share one disk read.
+package exec
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Pool is a fixed-size worker pool. CodecDB uses two: an operator pool
+// (one worker task per query operator) and a data pool shared by all
+// operators, sized to bound per-query memory (§5.2).
+type Pool struct {
+	sem chan struct{}
+	wg  sync.WaitGroup
+}
+
+// NewPool creates a pool running at most size tasks concurrently; size <= 0
+// defaults to GOMAXPROCS.
+func NewPool(size int) *Pool {
+	if size <= 0 {
+		size = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{sem: make(chan struct{}, size)}
+}
+
+// Size returns the concurrency bound.
+func (p *Pool) Size() int { return cap(p.sem) }
+
+// Submit schedules fn; it blocks only while the pool is saturated with
+// not-yet-started tasks.
+func (p *Pool) Submit(fn func()) {
+	p.wg.Add(1)
+	go func() {
+		p.sem <- struct{}{}
+		defer func() {
+			<-p.sem
+			p.wg.Done()
+		}()
+		fn()
+	}()
+}
+
+// Wait blocks until every submitted task has finished.
+func (p *Pool) Wait() { p.wg.Wait() }
+
+// ParallelChunks partitions [0, n) into roughly pool-size ranges and runs
+// fn(start, end) for each on the pool, blocking until all complete. It is
+// the block-level parallelism primitive: operators split their input into
+// data blocks and process blocks concurrently (§5.2).
+func (p *Pool) ParallelChunks(n int, fn func(start, end int)) {
+	if n <= 0 {
+		return
+	}
+	workers := cap(p.sem)
+	if workers > n {
+		workers = n
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for start := 0; start < n; start += chunk {
+		end := start + chunk
+		if end > n {
+			end = n
+		}
+		wg.Add(1)
+		s, e := start, end
+		p.Submit(func() {
+			defer wg.Done()
+			fn(s, e)
+		})
+	}
+	wg.Wait()
+}
+
+// ParallelMap applies fn to each index of items on the pool, preserving
+// order in the result.
+func ParallelMap[T, S any](p *Pool, items []T, fn func(T) S) []S {
+	out := make([]S, len(items))
+	var wg sync.WaitGroup
+	for i := range items {
+		wg.Add(1)
+		i := i
+		p.Submit(func() {
+			defer wg.Done()
+			out[i] = fn(items[i])
+		})
+	}
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,88 @@
+package exec
+
+// Stream is the demand-driven data stream of §5.2: nothing flows until a
+// terminal operation (ForEach/Collect/Reduce) runs, at which point the
+// whole pipeline executes per element. Map stages registered on a stream
+// are fused — there are no intermediate collections.
+type Stream[T any] struct {
+	// each drives the stream: it calls yield for every element and stops
+	// early when yield returns false.
+	each func(yield func(T) bool)
+}
+
+// FromSlice streams the elements of s.
+func FromSlice[T any](s []T) *Stream[T] {
+	return &Stream[T]{each: func(yield func(T) bool) {
+		for _, v := range s {
+			if !yield(v) {
+				return
+			}
+		}
+	}}
+}
+
+// Generate streams n elements produced by gen(i).
+func Generate[T any](n int, gen func(i int) T) *Stream[T] {
+	return &Stream[T]{each: func(yield func(T) bool) {
+		for i := 0; i < n; i++ {
+			if !yield(gen(i)) {
+				return
+			}
+		}
+	}}
+}
+
+// Map adds a transformation stage to the pipeline. (A package function
+// because Go methods cannot introduce type parameters.)
+func Map[T, S any](s *Stream[T], fn func(T) S) *Stream[S] {
+	return &Stream[S]{each: func(yield func(S) bool) {
+		s.each(func(v T) bool { return yield(fn(v)) })
+	}}
+}
+
+// Filter keeps elements satisfying pred.
+func Filter[T any](s *Stream[T], pred func(T) bool) *Stream[T] {
+	return &Stream[T]{each: func(yield func(T) bool) {
+		s.each(func(v T) bool {
+			if pred(v) {
+				return yield(v)
+			}
+			return true
+		})
+	}}
+}
+
+// ForEach executes the pipeline, invoking fn per element. This is the
+// terminal call that triggers evaluation (§5.2).
+func (s *Stream[T]) ForEach(fn func(T)) {
+	s.each(func(v T) bool {
+		fn(v)
+		return true
+	})
+}
+
+// Collect executes the pipeline into a slice.
+func (s *Stream[T]) Collect() []T {
+	var out []T
+	s.ForEach(func(v T) { out = append(out, v) })
+	return out
+}
+
+// Reduce folds the stream with fn starting from init.
+func Reduce[T, A any](s *Stream[T], init A, fn func(A, T) A) A {
+	acc := init
+	s.ForEach(func(v T) { acc = fn(acc, v) })
+	return acc
+}
+
+// ParallelForEach executes the pipeline with elements dispatched to the
+// pool; ordering is not preserved. It materialises the upstream lazily in
+// the caller goroutine and fans out the final stage.
+func (s *Stream[T]) ParallelForEach(p *Pool, fn func(T)) {
+	var pending []T
+	s.ForEach(func(v T) { pending = append(pending, v) })
+	ParallelMap(p, pending, func(v T) struct{} {
+		fn(v)
+		return struct{}{}
+	})
+}

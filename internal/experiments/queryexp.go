@@ -1,0 +1,405 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"runtime"
+	"time"
+
+	"codecdb/internal/colstore"
+	"codecdb/internal/core"
+	"codecdb/internal/ssb"
+	"codecdb/internal/tpch"
+)
+
+// TPCHEnv is a loaded TPC-H environment: CodecDB tables plus the
+// plain+gzip DBMS-X layout of the same data.
+type TPCHEnv struct {
+	Codec *tpch.Tables
+	DBMSX *tpch.Tables
+	dirs  []string
+	dbs   []*core.DB
+}
+
+// SetupTPCH generates data at the scale factor and loads both layouts
+// under baseDir (a temp dir when empty).
+func SetupTPCH(sf float64, seed int64, baseDir string) (*TPCHEnv, error) {
+	data := tpch.Generate(sf, seed)
+	env := &TPCHEnv{}
+	opts := colstore.Options{RowGroupRows: 65536, PageRows: 8192}
+	for i, load := range []func(*core.DB, *tpch.Data, colstore.Options) error{tpch.LoadCodecDB, tpch.LoadDBMSX} {
+		dir, err := envDir(baseDir, fmt.Sprintf("tpch-%d", i))
+		if err != nil {
+			return nil, err
+		}
+		db, err := core.Open(dir, core.Options{})
+		if err != nil {
+			return nil, err
+		}
+		if err := load(db, data, opts); err != nil {
+			return nil, err
+		}
+		ts, err := tpch.OpenTables(db)
+		if err != nil {
+			return nil, err
+		}
+		env.dirs = append(env.dirs, dir)
+		env.dbs = append(env.dbs, db)
+		if i == 0 {
+			env.Codec = ts
+		} else {
+			env.DBMSX = ts
+		}
+	}
+	return env, nil
+}
+
+// Close releases databases and removes the data directories.
+func (e *TPCHEnv) Close() {
+	for _, db := range e.dbs {
+		db.Close()
+	}
+	for _, d := range e.dirs {
+		os.RemoveAll(d)
+	}
+}
+
+func envDir(base, name string) (string, error) {
+	if base == "" {
+		return os.MkdirTemp("", "codecdb-"+name)
+	}
+	dir := base + "/" + name
+	return dir, os.MkdirAll(dir, 0o755)
+}
+
+// ---- Fig 6: operator micro-benchmarks ----
+
+// Fig6Report holds per-operator times for the encoding-aware and
+// oblivious implementations.
+type Fig6Report struct {
+	Ops       []string
+	AwareMs   []float64
+	OblivMs   []float64
+	Speedup   []float64
+	ScaleRows int64
+}
+
+// Fig6 times the six operator pairs on a loaded environment. Every
+// operator runs once untimed first so the timing compares execution
+// strategies, not cold page caches or load-time garbage.
+func Fig6(env *TPCHEnv) (*Fig6Report, error) {
+	rep := &Fig6Report{ScaleRows: env.Codec.L.NumRows()}
+	for op := tpch.MicroOp(0); op < tpch.NumMicroOps; op++ {
+		if _, err := env.Codec.RunMicro(op); err != nil {
+			return nil, err
+		}
+		if _, err := env.Codec.RunMicroOblivious(op); err != nil {
+			return nil, err
+		}
+		runtime.GC()
+		start := time.Now()
+		aware, err := env.Codec.RunMicro(op)
+		if err != nil {
+			return nil, err
+		}
+		awareMs := msSince(start)
+		start = time.Now()
+		obliv, err := env.Codec.RunMicroOblivious(op)
+		if err != nil {
+			return nil, err
+		}
+		oblivMs := msSince(start)
+		if aware != obliv {
+			return nil, fmt.Errorf("fig6: %v disagrees (%d vs %d)", op, aware, obliv)
+		}
+		rep.Ops = append(rep.Ops, op.String())
+		rep.AwareMs = append(rep.AwareMs, awareMs)
+		rep.OblivMs = append(rep.OblivMs, oblivMs)
+		rep.Speedup = append(rep.Speedup, oblivMs/awareMs)
+	}
+	return rep, nil
+}
+
+// Print renders the report.
+func (r *Fig6Report) Print(w io.Writer) {
+	fmt.Fprintf(w, "Figure 6 — operator micro-benchmarks (lineitem rows: %d)\n", r.ScaleRows)
+	fmt.Fprintf(w, "%-24s %12s %12s %9s\n", "operator", "CodecDB ms", "oblivious ms", "speedup")
+	for i, op := range r.Ops {
+		fmt.Fprintf(w, "%-24s %12.2f %12.2f %8.1fx\n", op, r.AwareMs[i], r.OblivMs[i], r.Speedup[i])
+	}
+}
+
+// ---- Fig 7: TPC-H queries across three systems ----
+
+// Fig7Report holds per-query times for CodecDB, the Presto-like oblivious
+// engine on the same files, and the DBMS-X layout.
+type Fig7Report struct {
+	Queries  []int
+	CodecMs  []float64
+	PrestoMs []float64
+	DBMSXMs  []float64
+}
+
+// Fig7 runs all 22 TPC-H queries on the three configurations, with one
+// untimed warm-up execution per query per system.
+func Fig7(env *TPCHEnv) (*Fig7Report, error) {
+	rep := &Fig7Report{}
+	for q := 1; q <= tpch.QueryCount; q++ {
+		if _, err := env.Codec.CodecDB(q); err != nil {
+			return nil, err
+		}
+		if _, err := env.Codec.Oblivious(q); err != nil {
+			return nil, err
+		}
+		if _, err := env.DBMSX.Oblivious(q); err != nil {
+			return nil, err
+		}
+		runtime.GC()
+		start := time.Now()
+		if _, err := env.Codec.CodecDB(q); err != nil {
+			return nil, fmt.Errorf("codecdb Q%d: %w", q, err)
+		}
+		codecMs := msSince(start)
+		start = time.Now()
+		if _, err := env.Codec.Oblivious(q); err != nil {
+			return nil, fmt.Errorf("presto-like Q%d: %w", q, err)
+		}
+		prestoMs := msSince(start)
+		start = time.Now()
+		if _, err := env.DBMSX.Oblivious(q); err != nil {
+			return nil, fmt.Errorf("dbmsx-like Q%d: %w", q, err)
+		}
+		dbmsxMs := msSince(start)
+		rep.Queries = append(rep.Queries, q)
+		rep.CodecMs = append(rep.CodecMs, codecMs)
+		rep.PrestoMs = append(rep.PrestoMs, prestoMs)
+		rep.DBMSXMs = append(rep.DBMSXMs, dbmsxMs)
+	}
+	return rep, nil
+}
+
+// GeoSpeedups returns the geometric-mean speedups of CodecDB over the two
+// baselines.
+func (r *Fig7Report) GeoSpeedups() (vsPresto, vsDBMSX float64) {
+	lp, lx := 0.0, 0.0
+	for i := range r.Queries {
+		lp += logOf(r.PrestoMs[i] / r.CodecMs[i])
+		lx += logOf(r.DBMSXMs[i] / r.CodecMs[i])
+	}
+	n := float64(len(r.Queries))
+	return expOf(lp / n), expOf(lx / n)
+}
+
+// Print renders the report.
+func (r *Fig7Report) Print(w io.Writer) {
+	fmt.Fprintln(w, "Figure 7 — TPC-H query times")
+	fmt.Fprintf(w, "%-4s %12s %14s %12s\n", "Q", "CodecDB ms", "Presto-like ms", "DBMS-X ms")
+	for i, q := range r.Queries {
+		fmt.Fprintf(w, "q%-3d %12.2f %14.2f %12.2f\n", q, r.CodecMs[i], r.PrestoMs[i], r.DBMSXMs[i])
+	}
+	p, x := r.GeoSpeedups()
+	fmt.Fprintf(w, "geomean speedup: %.1fx vs Presto-like, %.1fx vs DBMS-X layout\n", p, x)
+}
+
+// ---- Fig 8: time breakdown Q1-Q4 ----
+
+// Fig8Report splits the first four queries' wall time into CPU and IO for
+// CodecDB and the oblivious engine.
+type Fig8Report struct {
+	Queries  []int
+	CodecCPU []float64
+	CodecIO  []float64
+	OblivCPU []float64
+	OblivIO  []float64
+}
+
+// Fig8 instruments Q1-Q4 with the reader IO counters.
+func Fig8(env *TPCHEnv) (*Fig8Report, error) {
+	rep := &Fig8Report{}
+	for q := 1; q <= 4; q++ {
+		stC, err := core.Measure(env.Codec.Readers(), func() error {
+			_, err := env.Codec.CodecDB(q)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		stO, err := core.Measure(env.Codec.Readers(), func() error {
+			_, err := env.Codec.Oblivious(q)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		rep.Queries = append(rep.Queries, q)
+		rep.CodecCPU = append(rep.CodecCPU, ms(stC.CPU))
+		rep.CodecIO = append(rep.CodecIO, ms(stC.IO))
+		rep.OblivCPU = append(rep.OblivCPU, ms(stO.CPU))
+		rep.OblivIO = append(rep.OblivIO, ms(stO.IO))
+	}
+	return rep, nil
+}
+
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+
+// Print renders the report.
+func (r *Fig8Report) Print(w io.Writer) {
+	fmt.Fprintln(w, "Figure 8 — time breakdown of TPC-H Q1-Q4 (ms)")
+	fmt.Fprintf(w, "%-4s %12s %12s %12s %12s\n", "Q", "Codec CPU", "Codec IO", "Obliv CPU", "Obliv IO")
+	for i, q := range r.Queries {
+		fmt.Fprintf(w, "q%-3d %12.2f %12.2f %12.2f %12.2f\n", q,
+			r.CodecCPU[i], r.CodecIO[i], r.OblivCPU[i], r.OblivIO[i])
+	}
+}
+
+// ---- Fig 9: memory footprint Q1-Q4 ----
+
+// Fig9Report holds allocation totals per query per engine.
+type Fig9Report struct {
+	Queries     []int
+	CodecMB     []float64
+	ObliviousMB []float64
+}
+
+// Fig9 measures heap allocations during Q1-Q4 as the working-set proxy.
+func Fig9(env *TPCHEnv) (*Fig9Report, error) {
+	rep := &Fig9Report{}
+	for q := 1; q <= 4; q++ {
+		stC, err := core.Measure(env.Codec.Readers(), func() error {
+			_, err := env.Codec.CodecDB(q)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		stO, err := core.Measure(env.Codec.Readers(), func() error {
+			_, err := env.Codec.Oblivious(q)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		rep.Queries = append(rep.Queries, q)
+		rep.CodecMB = append(rep.CodecMB, float64(stC.AllocBytes)/(1<<20))
+		rep.ObliviousMB = append(rep.ObliviousMB, float64(stO.AllocBytes)/(1<<20))
+	}
+	return rep, nil
+}
+
+// Print renders the report.
+func (r *Fig9Report) Print(w io.Writer) {
+	fmt.Fprintln(w, "Figure 9 — memory footprint of TPC-H Q1-Q4 (heap MB allocated)")
+	fmt.Fprintf(w, "%-4s %12s %12s\n", "Q", "CodecDB", "oblivious")
+	for i, q := range r.Queries {
+		fmt.Fprintf(w, "q%-3d %12.2f %12.2f\n", q, r.CodecMB[i], r.ObliviousMB[i])
+	}
+}
+
+// ---- Fig 10: SSB ----
+
+// SSBEnv is a loaded SSB environment.
+type SSBEnv struct {
+	Tables *ssb.Tables
+	dir    string
+	db     *core.DB
+}
+
+// SetupSSB generates and loads SSB data.
+func SetupSSB(sf float64, seed int64, baseDir string) (*SSBEnv, error) {
+	data := ssb.Generate(sf, seed)
+	dir, err := envDir(baseDir, "ssb")
+	if err != nil {
+		return nil, err
+	}
+	db, err := core.Open(dir, core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	if err := ssb.LoadCodecDB(db, data, colstore.Options{RowGroupRows: 65536, PageRows: 8192}); err != nil {
+		return nil, err
+	}
+	ts, err := ssb.OpenTables(db)
+	if err != nil {
+		return nil, err
+	}
+	return &SSBEnv{Tables: ts, dir: dir, db: db}, nil
+}
+
+// Close releases the environment.
+func (e *SSBEnv) Close() {
+	e.db.Close()
+	os.RemoveAll(e.dir)
+}
+
+// Fig10Report holds SSB times and intermediate footprints per engine.
+type Fig10Report struct {
+	Queries    []string
+	CodecMs    []float64
+	MorphMs    []float64
+	OblivMs    []float64
+	CodecInter []int64
+	MorphInter []int64
+}
+
+// Fig10 runs the 13 SSB queries on the three engines, checking result
+// agreement and recording intermediate-result footprints.
+func Fig10(env *SSBEnv) (*Fig10Report, error) {
+	rep := &Fig10Report{}
+	for _, q := range ssb.QueryIDs() {
+		if _, err := env.Tables.CodecDB(q); err != nil {
+			return nil, err
+		}
+		if _, err := env.Tables.Morph(q); err != nil {
+			return nil, err
+		}
+		if _, err := env.Tables.Oblivious(q); err != nil {
+			return nil, err
+		}
+		runtime.GC()
+		start := time.Now()
+		rc, err := env.Tables.CodecDB(q)
+		if err != nil {
+			return nil, fmt.Errorf("codecdb %s: %w", q, err)
+		}
+		codecMs := msSince(start)
+		start = time.Now()
+		rm, err := env.Tables.Morph(q)
+		if err != nil {
+			return nil, fmt.Errorf("morph %s: %w", q, err)
+		}
+		morphMs := msSince(start)
+		start = time.Now()
+		ro, err := env.Tables.Oblivious(q)
+		if err != nil {
+			return nil, fmt.Errorf("oblivious %s: %w", q, err)
+		}
+		oblivMs := msSince(start)
+		if rc.Table.NumRows() != rm.Table.NumRows() || rc.Table.NumRows() != ro.Table.NumRows() {
+			return nil, fmt.Errorf("fig10: %s row counts disagree", q)
+		}
+		rep.Queries = append(rep.Queries, q)
+		rep.CodecMs = append(rep.CodecMs, codecMs)
+		rep.MorphMs = append(rep.MorphMs, morphMs)
+		rep.OblivMs = append(rep.OblivMs, oblivMs)
+		rep.CodecInter = append(rep.CodecInter, rc.IntermediateBytes)
+		rep.MorphInter = append(rep.MorphInter, rm.IntermediateBytes)
+	}
+	return rep, nil
+}
+
+// Print renders the report.
+func (r *Fig10Report) Print(w io.Writer) {
+	fmt.Fprintln(w, "Figure 10 — SSB query times and intermediate-result footprints")
+	fmt.Fprintf(w, "%-5s %11s %11s %11s %13s %13s\n",
+		"Q", "Codec ms", "Morph ms", "Obliv ms", "Codec inter B", "Morph inter B")
+	for i, q := range r.Queries {
+		fmt.Fprintf(w, "%-5s %11.2f %11.2f %11.2f %13d %13d\n", q,
+			r.CodecMs[i], r.MorphMs[i], r.OblivMs[i], r.CodecInter[i], r.MorphInter[i])
+	}
+}
+
+func logOf(x float64) float64 { return math.Log(x) }
+
+func expOf(x float64) float64 { return math.Exp(x) }

@@ -1,0 +1,474 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§6): the compression-ratio and throughput comparisons
+// (Fig 1), the encoding-support matrix (Table 1), the corpus statistics
+// (Table 2), selection accuracy and encoded sizes (Fig 5), the feature
+// ablation and partial-data studies (§6.2), the selection-overhead
+// measurement (§6.2.3), the operator micro-benchmarks (Fig 6), the TPC-H
+// comparison with time breakdown and memory footprint (Figs 7-9), and the
+// SSB comparison with intermediate-result footprints (Fig 10).
+//
+// Each experiment returns a typed report with a Print method; cmd/expt is
+// a thin flag wrapper, and bench_test.go reuses the same entry points so
+// `go test -bench` regenerates the numbers.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"codecdb/internal/corpus"
+	"codecdb/internal/encoding"
+	"codecdb/internal/selector"
+	"codecdb/internal/xcompress"
+)
+
+// CorpusConfig sizes the synthetic corpus used by the storage experiments.
+type CorpusConfig struct {
+	Seed   int64
+	Rows   int
+	PerCat int
+}
+
+func (c CorpusConfig) withDefaults() CorpusConfig {
+	if c.Rows == 0 {
+		c.Rows = 3000
+	}
+	if c.PerCat == 0 {
+		c.PerCat = 16
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	return c
+}
+
+func (c CorpusConfig) generate() []corpus.Column {
+	return corpus.Generate(corpus.Config{Seed: c.Seed, Rows: c.Rows, PerCat: c.PerCat})
+}
+
+// ---- Fig 1a: compression ratio of rule selectors vs byte compression ----
+
+// Fig1aReport holds per-method compression ratios (compressed/plain),
+// split by column type.
+type Fig1aReport struct {
+	Methods []string
+	IntR    []float64
+	StrR    []float64
+}
+
+// Fig1a compresses the corpus with each method and reports total
+// compression ratios. "Exhaustive" is the per-column best lightweight
+// encoding — the paper's headline observation is that it lands near GZip.
+func Fig1a(cfg CorpusConfig) (*Fig1aReport, error) {
+	cols := cfg.withDefaults().generate()
+	methods := []string{"Parquet", "ORC", "Abadi", "Snappy", "GZip", "Exhaustive"}
+	intPlain, strPlain := 0, 0
+	intSizes := make([]int, len(methods))
+	strSizes := make([]int, len(methods))
+	snappy, gzip := xcompress.Snappy{}, xcompress.Gzip{}
+	for i := range cols {
+		c := &cols[i]
+		if c.IsInt() {
+			plainBuf, _ := encoding.PlainInt{}.Encode(c.Ints)
+			intPlain += len(plainBuf)
+			sizes, err := selector.SizesInt(c.Ints, encoding.IntCandidates())
+			if err != nil {
+				return nil, err
+			}
+			plainSizes := map[encoding.Kind]int{encoding.KindPlain: len(plainBuf)}
+			for k, v := range sizes {
+				plainSizes[k] = v
+			}
+			sBuf, _ := snappy.Compress(plainBuf)
+			gBuf, _ := gzip.Compress(plainBuf)
+			best := len(plainBuf)
+			for _, v := range sizes {
+				if v < best {
+					best = v
+				}
+			}
+			for m, kind := range []encoding.Kind{
+				selector.ParquetSelectInt(c.Ints), selector.ORCSelectInt(c.Ints), selector.AbadiSelectInt(c.Ints),
+			} {
+				intSizes[m] += plainSizes[kind]
+			}
+			intSizes[3] += len(sBuf)
+			intSizes[4] += len(gBuf)
+			intSizes[5] += best
+		} else {
+			plainBuf, _ := encoding.PlainString{}.Encode(c.Strings)
+			strPlain += len(plainBuf)
+			sizes, err := selector.SizesString(c.Strings, encoding.StringCandidates())
+			if err != nil {
+				return nil, err
+			}
+			plainSizes := map[encoding.Kind]int{encoding.KindPlain: len(plainBuf)}
+			for k, v := range sizes {
+				plainSizes[k] = v
+			}
+			// ORC's Dict-RLE default is outside the candidate set; size it.
+			orcBuf, _ := encoding.DictString{Hybrid: true}.Encode(c.Strings)
+			plainSizes[encoding.KindDictRLE] = len(orcBuf)
+			sBuf, _ := snappy.Compress(plainBuf)
+			gBuf, _ := gzip.Compress(plainBuf)
+			best := len(plainBuf)
+			for _, v := range sizes {
+				if v < best {
+					best = v
+				}
+			}
+			for m, kind := range []encoding.Kind{
+				selector.ParquetSelectString(c.Strings), selector.ORCSelectString(c.Strings), selector.AbadiSelectString(c.Strings),
+			} {
+				strSizes[m] += plainSizes[kind]
+			}
+			strSizes[3] += len(sBuf)
+			strSizes[4] += len(gBuf)
+			strSizes[5] += best
+		}
+	}
+	rep := &Fig1aReport{Methods: methods}
+	for m := range methods {
+		rep.IntR = append(rep.IntR, float64(intSizes[m])/float64(intPlain))
+		rep.StrR = append(rep.StrR, float64(strSizes[m])/float64(strPlain))
+	}
+	return rep, nil
+}
+
+// Print renders the report.
+func (r *Fig1aReport) Print(w io.Writer) {
+	fmt.Fprintln(w, "Figure 1a — compression ratio (compressed/uncompressed, lower is better)")
+	fmt.Fprintf(w, "%-12s %10s %10s\n", "method", "integer", "string")
+	for i, m := range r.Methods {
+		fmt.Fprintf(w, "%-12s %10.3f %10.3f\n", m, r.IntR[i], r.StrR[i])
+	}
+}
+
+// ---- Fig 1b: encoding/decoding throughput on the IPv6 dataset ----
+
+// Fig1bReport holds throughput in MB/s for each method.
+type Fig1bReport struct {
+	Methods   []string
+	EncodeMBs []float64
+	DecodeMBs []float64
+	Ratio     []float64
+}
+
+// Fig1b measures dictionary encoding against Snappy and GZip on the
+// synthetic IPv6 dataset: the paper's point is that the lightweight
+// scheme is several times faster in both directions.
+func Fig1b(n int, seed int64) (*Fig1bReport, error) {
+	if n <= 0 {
+		n = 200_000
+	}
+	addrs := corpus.GenerateIPv6(n, seed)
+	plainBuf, err := encoding.PlainString{}.Encode(addrs)
+	if err != nil {
+		return nil, err
+	}
+	raw := float64(len(plainBuf))
+	rep := &Fig1bReport{Methods: []string{"Dictionary", "Snappy", "GZip"}}
+
+	measure := func(enc func() ([]byte, error), dec func([]byte) error) (float64, float64, float64, error) {
+		start := time.Now()
+		buf, err := enc()
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		encT := time.Since(start)
+		start = time.Now()
+		if err := dec(buf); err != nil {
+			return 0, 0, 0, err
+		}
+		decT := time.Since(start)
+		return raw / encT.Seconds() / 1e6, raw / decT.Seconds() / 1e6, float64(len(buf)) / raw, nil
+	}
+
+	dict := encoding.DictString{}
+	e, d, ratio, err := measure(
+		func() ([]byte, error) { return dict.Encode(addrs) },
+		func(buf []byte) error { _, err := dict.Decode(nil, buf); return err })
+	if err != nil {
+		return nil, err
+	}
+	rep.EncodeMBs = append(rep.EncodeMBs, e)
+	rep.DecodeMBs = append(rep.DecodeMBs, d)
+	rep.Ratio = append(rep.Ratio, ratio)
+
+	for _, comp := range []xcompress.Compressor{xcompress.Snappy{}, xcompress.Gzip{}} {
+		e, d, ratio, err := measure(
+			func() ([]byte, error) { return comp.Compress(plainBuf) },
+			func(buf []byte) error { _, err := comp.Decompress(buf); return err })
+		if err != nil {
+			return nil, err
+		}
+		rep.EncodeMBs = append(rep.EncodeMBs, e)
+		rep.DecodeMBs = append(rep.DecodeMBs, d)
+		rep.Ratio = append(rep.Ratio, ratio)
+	}
+	return rep, nil
+}
+
+// Print renders the report.
+func (r *Fig1bReport) Print(w io.Writer) {
+	fmt.Fprintln(w, "Figure 1b — throughput on synthetic IPv6 dataset")
+	fmt.Fprintf(w, "%-12s %12s %12s %8s\n", "method", "enc MB/s", "dec MB/s", "ratio")
+	for i, m := range r.Methods {
+		fmt.Fprintf(w, "%-12s %12.1f %12.1f %8.3f\n", m, r.EncodeMBs[i], r.DecodeMBs[i], r.Ratio[i])
+	}
+}
+
+// ---- Table 1: encoding support matrix ----
+
+// Table1 prints the encoding-support matrix with CodecDB's row derived
+// from the registry rather than hard-coded.
+func Table1(w io.Writer) {
+	fmt.Fprintln(w, "Table 1 — encodings supported (CodecDB row from the codec registry)")
+	fmt.Fprintf(w, "%-10s %-5s %-14s %-12s %-10s %-10s %-8s\n",
+		"system", "RLE", "Dict", "Delta/FOR", "BitVector", "BitPacked", "DictRLE")
+	rows := [][]string{
+		{"C-Store", "yes", "yes (global)", "yes (prior)", "yes", "yes", "no"},
+		{"Parquet", "yes", "yes (local)", "yes (fixed)", "no", "yes", "yes"},
+		{"ORC", "yes", "yes (local)", "no", "no", "no", "no"},
+		{"MonetDB", "no", "yes (global)", "yes (fixed)", "no", "no", "no"},
+		{"Kudu", "yes", "yes", "no", "no", "yes", "no"},
+	}
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s %-5s %-14s %-12s %-10s %-10s %-8s\n", r[0], r[1], r[2], r[3], r[4], r[5], r[6])
+	}
+	has := func(k encoding.Kind) string {
+		if _, err := encoding.IntCodecFor(k); err == nil {
+			return "yes"
+		}
+		return "no"
+	}
+	dictCell := has(encoding.KindDict)
+	if dictCell == "yes" {
+		dictCell = "yes (global)"
+	}
+	deltaCell := "no"
+	if has(encoding.KindDelta) == "yes" && has(encoding.KindFOR) == "yes" {
+		deltaCell = "yes (both)"
+	}
+	fmt.Fprintf(w, "%-10s %-5s %-14s %-12s %-10s %-10s %-8s\n", "CodecDB",
+		has(encoding.KindRLE), dictCell, deltaCell,
+		has(encoding.KindBitVector), has(encoding.KindBitPacked), has(encoding.KindDictRLE))
+}
+
+// ---- Table 2: corpus statistics ----
+
+// Table2Report summarises the generated corpus by category.
+type Table2Report struct {
+	Categories []string
+	Columns    []int
+	Bytes      []int64
+}
+
+// Table2 generates the corpus and reports per-category statistics.
+func Table2(cfg CorpusConfig) *Table2Report {
+	cols := cfg.withDefaults().generate()
+	idx := map[string]int{}
+	rep := &Table2Report{}
+	for _, cat := range corpus.Categories() {
+		idx[cat] = len(rep.Categories)
+		rep.Categories = append(rep.Categories, cat)
+		rep.Columns = append(rep.Columns, 0)
+		rep.Bytes = append(rep.Bytes, 0)
+	}
+	for i := range cols {
+		c := &cols[i]
+		k := idx[c.Category]
+		rep.Columns[k]++
+		if c.IsInt() {
+			rep.Bytes[k] += int64(8 * len(c.Ints))
+		} else {
+			for _, s := range c.Strings {
+				rep.Bytes[k] += int64(len(s))
+			}
+		}
+	}
+	return rep
+}
+
+// Print renders the report.
+func (r *Table2Report) Print(w io.Writer) {
+	fmt.Fprintln(w, "Table 2 — synthetic corpus statistics by category")
+	fmt.Fprintf(w, "%-16s %8s %12s\n", "category", "columns", "bytes")
+	for i, cat := range r.Categories {
+		fmt.Fprintf(w, "%-16s %8d %12d\n", cat, r.Columns[i], r.Bytes[i])
+	}
+}
+
+// ---- shared selector training ----
+
+// trainOn trains the learned selector on the training split of cols.
+func trainOn(cols []corpus.Column, seed int64, mask []bool) (*selector.Learned, []corpus.Column, error) {
+	train, _, test := corpus.Split(cols, seed)
+	var intCols [][]int64
+	var strCols [][][]byte
+	for i := range train {
+		if train[i].IsInt() {
+			intCols = append(intCols, train[i].Ints)
+		} else {
+			strCols = append(strCols, train[i].Strings)
+		}
+	}
+	l, err := selector.TrainLearned(intCols, strCols,
+		selector.TrainOptions{Hidden: 48, Epochs: 80, Seed: seed, Mask: mask})
+	return l, test, err
+}
+
+// accuracyOn measures near-optimal selection accuracy (within 2% of the
+// exhaustive best size) on test columns.
+func accuracyOn(test []corpus.Column,
+	selInt func([]int64) encoding.Kind, selStr func([][]byte) encoding.Kind) (intAcc, strAcc float64, err error) {
+
+	var intOK, intN, strOK, strN int
+	for i := range test {
+		c := &test[i]
+		if c.IsInt() {
+			sizes, e := selector.SizesInt(c.Ints, encoding.IntCandidates())
+			if e != nil {
+				return 0, 0, e
+			}
+			best := minOf(sizes)
+			if float64(sizes[selInt(c.Ints)]) <= 1.02*float64(best) {
+				intOK++
+			}
+			intN++
+		} else {
+			sizes, e := selector.SizesString(c.Strings, encoding.StringCandidates())
+			if e != nil {
+				return 0, 0, e
+			}
+			best := minOf(sizes)
+			if float64(sizes[selStr(c.Strings)]) <= 1.02*float64(best) {
+				strOK++
+			}
+			strN++
+		}
+	}
+	return float64(intOK) / float64(max(intN, 1)), float64(strOK) / float64(max(strN, 1)), nil
+}
+
+func minOf(sizes map[encoding.Kind]int) int {
+	first := true
+	m := 0
+	for _, s := range sizes {
+		if first || s < m {
+			m, first = s, false
+		}
+	}
+	return m
+}
+
+// ---- Fig 5a: selection accuracy ----
+
+// Fig5aReport holds per-selector accuracy.
+type Fig5aReport struct {
+	Selectors []string
+	IntAcc    []float64
+	StrAcc    []float64
+}
+
+// Fig5a trains the learned selector and evaluates it against the Abadi
+// and Parquet baselines on the held-out split.
+func Fig5a(cfg CorpusConfig) (*Fig5aReport, error) {
+	cols := cfg.withDefaults().generate()
+	learned, test, err := trainOn(cols, cfg.withDefaults().Seed, nil)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Fig5aReport{Selectors: []string{"Abadi", "Parquet", "CodecDB"}}
+	for _, s := range []struct {
+		i func([]int64) encoding.Kind
+		s func([][]byte) encoding.Kind
+	}{
+		{selector.AbadiSelectInt, selector.AbadiSelectString},
+		{selector.ParquetSelectInt, selector.ParquetSelectString},
+		{learned.SelectInt, learned.SelectString},
+	} {
+		ia, sa, err := accuracyOn(test, s.i, s.s)
+		if err != nil {
+			return nil, err
+		}
+		rep.IntAcc = append(rep.IntAcc, ia)
+		rep.StrAcc = append(rep.StrAcc, sa)
+	}
+	return rep, nil
+}
+
+// Print renders the report.
+func (r *Fig5aReport) Print(w io.Writer) {
+	fmt.Fprintln(w, "Figure 5a — encoding selection accuracy (higher is better)")
+	fmt.Fprintf(w, "%-10s %10s %10s\n", "selector", "integer", "string")
+	for i, s := range r.Selectors {
+		fmt.Fprintf(w, "%-10s %9.1f%% %9.1f%%\n", s, 100*r.IntAcc[i], 100*r.StrAcc[i])
+	}
+}
+
+// ---- Fig 5b: encoded size by selector ----
+
+// Fig5bReport holds total encoded bytes by selector.
+type Fig5bReport struct {
+	Selectors []string
+	IntBytes  []int64
+	StrBytes  []int64
+}
+
+// Fig5b measures the total encoded size each selector's choices produce,
+// with the exhaustive lower bound.
+func Fig5b(cfg CorpusConfig) (*Fig5bReport, error) {
+	cols := cfg.withDefaults().generate()
+	learned, test, err := trainOn(cols, cfg.withDefaults().Seed, nil)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Fig5bReport{Selectors: []string{"Abadi", "Parquet", "CodecDB", "Exhaustive"}}
+	rep.IntBytes = make([]int64, 4)
+	rep.StrBytes = make([]int64, 4)
+	for i := range test {
+		c := &test[i]
+		if c.IsInt() {
+			sizes, err := selector.SizesInt(c.Ints, encoding.IntCandidates())
+			if err != nil {
+				return nil, err
+			}
+			sizes[encoding.KindPlain] = selector.PlainSizeInt(c.Ints)
+			rep.IntBytes[0] += int64(sizes[selector.AbadiSelectInt(c.Ints)])
+			rep.IntBytes[1] += int64(sizes[selector.ParquetSelectInt(c.Ints)])
+			rep.IntBytes[2] += int64(sizes[learned.SelectInt(c.Ints)])
+			rep.IntBytes[3] += int64(minOf(sizes))
+		} else {
+			sizes, err := selector.SizesString(c.Strings, encoding.StringCandidates())
+			if err != nil {
+				return nil, err
+			}
+			sizes[encoding.KindPlain] = selector.PlainSizeString(c.Strings)
+			orcBuf, _ := encoding.DictString{Hybrid: true}.Encode(c.Strings)
+			sizes[encoding.KindDictRLE] = len(orcBuf)
+			rep.StrBytes[0] += int64(sizes[selector.AbadiSelectString(c.Strings)])
+			rep.StrBytes[1] += int64(sizes[selector.ParquetSelectString(c.Strings)])
+			rep.StrBytes[2] += int64(sizes[learned.SelectString(c.Strings)])
+			rep.StrBytes[3] += int64(minOf(sizes))
+		}
+	}
+	return rep, nil
+}
+
+// Print renders the report.
+func (r *Fig5bReport) Print(w io.Writer) {
+	fmt.Fprintln(w, "Figure 5b — total encoded size by selector (lower is better)")
+	fmt.Fprintf(w, "%-12s %12s %12s\n", "selector", "int bytes", "str bytes")
+	for i, s := range r.Selectors {
+		fmt.Fprintf(w, "%-12s %12d %12d\n", s, r.IntBytes[i], r.StrBytes[i])
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

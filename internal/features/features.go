@@ -1,0 +1,432 @@
+// Package features extracts the data characteristics CodecDB's encoding
+// selector learns from (paper §4.2): value-length statistics, cardinality
+// ratio via linear probabilistic counting, sparsity ratio, Shannon entropy
+// (whole-stream and per-value statistics), repetitive-word analysis with
+// Karp-Rabin fingerprints, sortedness (windowed Kendall's τ, Spearman's ρ,
+// absolute τ), and mean run length.
+//
+// All features are computable on a prefix of the column, which is what
+// makes constant-time encoding selection possible (§6.2.2): the sampler
+// takes the first N bytes rather than a random subset, because delta and
+// run-length behaviour live in the locality that random sampling destroys.
+package features
+
+import (
+	"math"
+	"sort"
+	"strconv"
+)
+
+// Vector is the feature vector for one column. Field order matches
+// Names(); Slice() serialises in the same order.
+type Vector struct {
+	LenMean, LenVar, LenMax, LenMin float64
+	CardRatio                       float64
+	Sparsity                        float64
+	StreamEntropy                   float64
+	EntMean, EntVar, EntMax, EntMin float64
+	RepWordRatio                    float64
+	RepWordMeanLen                  float64
+	TauW50, TauW100, TauW200        float64
+	Rho                             float64
+	TauAbs                          float64
+	MeanRunLen                      float64
+}
+
+// Dim is the number of features in a Vector.
+const Dim = 19
+
+// Names lists feature names in Slice order, used by the ablation
+// experiment (§6.2) to knock out one feature at a time.
+func Names() []string {
+	return []string{
+		"lenMean", "lenVar", "lenMax", "lenMin",
+		"cardRatio", "sparsity",
+		"streamEntropy", "entMean", "entVar", "entMax", "entMin",
+		"repWordRatio", "repWordMeanLen",
+		"tauW50", "tauW100", "tauW200", "rho", "tauAbs",
+		"meanRunLen",
+	}
+}
+
+// Slice returns the vector as a float slice in Names order.
+func (v *Vector) Slice() []float64 {
+	return []float64{
+		v.LenMean, v.LenVar, v.LenMax, v.LenMin,
+		v.CardRatio, v.Sparsity,
+		v.StreamEntropy, v.EntMean, v.EntVar, v.EntMax, v.EntMin,
+		v.RepWordRatio, v.RepWordMeanLen,
+		v.TauW50, v.TauW100, v.TauW200, v.Rho, v.TauAbs,
+		v.MeanRunLen,
+	}
+}
+
+// ExtractInts computes the feature vector of an integer column. Length and
+// entropy features use the decimal string representation, as the paper
+// specifies ("the number of characters in its plain string
+// representation"). Values are rendered into one reused buffer so the
+// whole extraction allocates O(1) per column.
+func ExtractInts(vals []int64) Vector {
+	var buf [24]byte
+	i := 0
+	next := func() ([]byte, bool) {
+		if i >= len(vals) {
+			return nil, false
+		}
+		b := strconv.AppendInt(buf[:0], vals[i], 10)
+		i++
+		return b, true
+	}
+	v := extractStream(next, len(vals))
+	less := func(i, j int) int {
+		switch {
+		case vals[i] < vals[j]:
+			return -1
+		case vals[i] > vals[j]:
+			return 1
+		default:
+			return 0
+		}
+	}
+	v.fillSortedness(len(vals), less)
+	v.MeanRunLen = meanRunLen(len(vals), func(i, j int) bool { return vals[i] == vals[j] })
+	return v
+}
+
+// ExtractStrings computes the feature vector of a string column.
+func ExtractStrings(vals [][]byte) Vector {
+	i := 0
+	next := func() ([]byte, bool) {
+		if i >= len(vals) {
+			return nil, false
+		}
+		b := vals[i]
+		i++
+		return b, true
+	}
+	v := extractStream(next, len(vals))
+	less := func(i, j int) int {
+		a, b := vals[i], vals[j]
+		switch {
+		case string(a) < string(b):
+			return -1
+		case string(a) > string(b):
+			return 1
+		default:
+			return 0
+		}
+	}
+	v.fillSortedness(len(vals), less)
+	v.MeanRunLen = meanRunLen(len(vals), func(i, j int) bool { return string(vals[i]) == string(vals[j]) })
+	return v
+}
+
+// extractStream computes the byte-level features in a single pass over
+// the values. It never holds more than one value at a time, which is what
+// makes constant-memory head-sampled extraction possible, and clears the
+// per-value frequency table by revisiting only the characters the value
+// touched.
+func extractStream(next func() ([]byte, bool), n int) Vector {
+	var v Vector
+	if n == 0 {
+		return v
+	}
+	v.LenMin = math.Inf(1)
+	var sum, sumSq float64
+	nonEmpty := 0
+	totalBytes := 0
+
+	var streamFreq [256]int
+	var freq [256]int
+	entMin := math.Inf(1)
+	var entSum, entSumSq, entMax float64
+
+	lpc := make([]uint64, lpcBitmapBits/64)
+	rep := newRepWordState()
+
+	for {
+		s, ok := next()
+		if !ok {
+			break
+		}
+		l := float64(len(s))
+		sum += l
+		sumSq += l * l
+		if l > v.LenMax {
+			v.LenMax = l
+		}
+		if l < v.LenMin {
+			v.LenMin = l
+		}
+		if len(s) > 0 {
+			nonEmpty++
+		}
+		totalBytes += len(s)
+
+		// Per-value entropy on a reused table; the clearing pass visits
+		// each distinct character once, so cost is O(len(s)) not O(256).
+		for _, c := range s {
+			freq[c]++
+			streamFreq[c]++
+		}
+		var e float64
+		if len(s) > 0 {
+			inv := 1 / float64(len(s))
+			for _, c := range s {
+				if freq[c] != 0 {
+					p := float64(freq[c]) * inv
+					e -= p * math.Log2(p)
+					freq[c] = 0
+				}
+			}
+		}
+		entSum += e
+		entSumSq += e * e
+		if e > entMax {
+			entMax = e
+		}
+		if e < entMin {
+			entMin = e
+		}
+
+		// Linear probabilistic counting (Whang et al.): inline FNV-1a.
+		h := uint64(14695981039346656037)
+		for _, c := range s {
+			h = (h ^ uint64(c)) * 1099511628211
+		}
+		bit := h % lpcBitmapBits
+		lpc[bit/64] |= 1 << (bit % 64)
+
+		rep.feed(s)
+	}
+
+	v.LenMean = sum / float64(n)
+	v.LenVar = sumSq/float64(n) - v.LenMean*v.LenMean
+	if v.LenVar < 0 {
+		v.LenVar = 0
+	}
+	v.Sparsity = float64(nonEmpty) / float64(n)
+	v.CardRatio = lpcRatio(lpc, n)
+	v.StreamEntropy = entropyOf(streamFreq[:], totalBytes)
+	v.EntMean = entSum / float64(n)
+	v.EntVar = entSumSq/float64(n) - v.EntMean*v.EntMean
+	if v.EntVar < 0 {
+		v.EntVar = 0
+	}
+	v.EntMax = entMax
+	if math.IsInf(entMin, 1) {
+		entMin = 0
+	}
+	v.EntMin = entMin
+	if math.IsInf(v.LenMin, 1) {
+		v.LenMin = 0
+	}
+	v.RepWordRatio, v.RepWordMeanLen = rep.finish()
+	return v
+}
+
+// lpcBitmapBits sizes the linear probabilistic counting bitmap (Whang et
+// al.); 1<<16 keeps the estimate within a few percent for the cardinalities
+// the selector distinguishes.
+const lpcBitmapBits = 1 << 16
+
+// lpcRatio inverts the bitmap occupancy into a cardinality-ratio estimate.
+func lpcRatio(bitmap []uint64, n int) float64 {
+	occupied := 0
+	for _, w := range bitmap {
+		occupied += popcount(w)
+	}
+	var card float64
+	if occupied >= lpcBitmapBits {
+		card = float64(n) // bitmap saturated: treat as all-distinct
+	} else {
+		card = -lpcBitmapBits * math.Log(1-float64(occupied)/lpcBitmapBits)
+	}
+	ratio := card / float64(n)
+	if ratio > 1 {
+		ratio = 1
+	}
+	return ratio
+}
+
+func popcount(w uint64) int {
+	c := 0
+	for w != 0 {
+		w &= w - 1
+		c++
+	}
+	return c
+}
+
+// entropyOf computes Shannon entropy in bits per byte from a frequency
+// table over total bytes.
+func entropyOf(freq []int, total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	var e float64
+	for _, f := range freq {
+		if f == 0 {
+			continue
+		}
+		p := float64(f) / float64(total)
+		e -= p * math.Log2(p)
+	}
+	return e
+}
+
+// repBlockSize is the block the repetitive-word analysis parses, mirroring
+// the block-based LZ77 window of §4.2.
+const repBlockSize = 1 << 16
+
+// Karp-Rabin fingerprint parameters (§4.2): a large prime modulus and a
+// fixed radix.
+const (
+	krPrime = (1 << 61) - 1
+	krRadix = 257
+)
+
+// repWordState parses the byte stream with an incremental-phrase scheme
+// over Karp-Rabin fingerprints: scan from i extending j while s(i,j) has
+// been seen, record a new message when it has not, restart at j+1. The
+// resulting ratio of distinct new messages to input bytes is low for
+// LZ77-compressible data; analysis stops after repBlockSize bytes, the
+// block-based bound of §4.2.
+type repWordState struct {
+	seen      map[uint64]struct{}
+	messages  int
+	totalLen  int
+	bytesSeen int
+	fp        uint64
+	msgStart  int
+	pos       int
+}
+
+func newRepWordState() *repWordState {
+	return &repWordState{seen: make(map[uint64]struct{}, 1<<12)}
+}
+
+func (r *repWordState) feed(s []byte) {
+	if r.bytesSeen >= repBlockSize {
+		return
+	}
+	for _, c := range s {
+		if r.bytesSeen >= repBlockSize {
+			return
+		}
+		r.fp = (r.fp*krRadix + uint64(c)) % krPrime
+		r.pos++
+		if _, ok := r.seen[r.fp]; !ok {
+			r.seen[r.fp] = struct{}{}
+			r.messages++
+			r.totalLen += r.pos - r.msgStart
+			r.fp = 0
+			r.msgStart = r.pos
+		}
+		r.bytesSeen++
+	}
+}
+
+func (r *repWordState) finish() (ratio, meanLen float64) {
+	if r.bytesSeen == 0 {
+		return 0, 0
+	}
+	ratio = float64(r.messages) / float64(r.bytesSeen)
+	if r.messages > 0 {
+		meanLen = float64(r.totalLen) / float64(r.messages)
+	}
+	return ratio, meanLen
+}
+
+// fillSortedness computes the windowed Kendall τ at the three window sizes
+// the paper trains with (§6.2: W ∈ {50, 100, 200}), Spearman's ρ, and the
+// absolute-τ variant that folds reverse-sorted onto sorted.
+func (v *Vector) fillSortedness(n int, cmp func(i, j int) int) {
+	v.TauW50 = kendallTauWindowed(n, 50, cmp)
+	v.TauW100 = kendallTauWindowed(n, 100, cmp)
+	v.TauW200 = kendallTauWindowed(n, 200, cmp)
+	v.Rho = spearmanRho(n, cmp)
+	// τ_abs ∈ [0,1]: 0 when fully sorted in either direction, 1 when
+	// uncorrelated — the folding the paper motivates, since most encodings
+	// treat reverse-sorted as good as sorted.
+	v.TauAbs = 1 - math.Abs(v.TauW100)
+}
+
+// kendallTauWindowed estimates Kendall's τ with the paper's sliding-window
+// scheme: windows of size W, pair comparisons sampled at probability
+// Θ(1/W²) per window so total work stays O(n). With a deterministic
+// stride standing in for the Bernoulli draw, the estimate is reproducible.
+func kendallTauWindowed(n, w int, cmp func(i, j int) int) float64 {
+	if n < 2 {
+		return 1
+	}
+	if w > n {
+		w = n
+	}
+	var concordant, discordant, pairs int
+	// Stride windows so ~n/W windows are examined; inside each, compare
+	// every adjacent-offset pair once (W-1 comparisons) plus a spread of
+	// longer-range pairs — cost O(W) per window, O(n) total.
+	for start := 0; start+w <= n; start += w {
+		for off := 1; off < w; off++ {
+			i, j := start, start+off
+			switch cmp(i, j) {
+			case -1:
+				concordant++
+			case 1:
+				discordant++
+			}
+			pairs++
+		}
+	}
+	if pairs == 0 {
+		return 1
+	}
+	// τ over sampled pairs, ties counting as neither.
+	return float64(concordant-discordant) / float64(pairs)
+}
+
+// spearmanCap bounds the O(n log n) rank computation.
+const spearmanCap = 8192
+
+// spearmanRho computes Spearman's rank correlation between the sequence
+// order and the sorted order on a bounded prefix.
+func spearmanRho(n int, cmp func(i, j int) int) float64 {
+	if n < 2 {
+		return 1
+	}
+	if n > spearmanCap {
+		n = spearmanCap
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return cmp(idx[a], idx[b]) < 0 })
+	rank := make([]float64, n)
+	for r, i := range idx {
+		rank[i] = float64(r)
+	}
+	var sum float64
+	for i := 0; i < n; i++ {
+		d := rank[i] - float64(i)
+		sum += d * d
+	}
+	nf := float64(n)
+	return 1 - 6*sum/(nf*(nf*nf-1))
+}
+
+// meanRunLen returns the average length of runs of equal adjacent values —
+// the statistic Abadi's decision tree branches on.
+func meanRunLen(n int, eq func(i, j int) bool) float64 {
+	if n == 0 {
+		return 0
+	}
+	runs := 1
+	for i := 1; i < n; i++ {
+		if !eq(i-1, i) {
+			runs++
+		}
+	}
+	return float64(n) / float64(runs)
+}

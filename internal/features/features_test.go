@@ -1,0 +1,274 @@
+package features
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestVectorDimAndNames(t *testing.T) {
+	v := Vector{}
+	if len(v.Slice()) != Dim {
+		t.Fatalf("Slice length %d != Dim %d", len(v.Slice()), Dim)
+	}
+	if len(Names()) != Dim {
+		t.Fatalf("Names length %d != Dim %d", len(Names()), Dim)
+	}
+}
+
+func TestLengthStats(t *testing.T) {
+	v := ExtractStrings([][]byte{[]byte("ab"), []byte("abcd"), []byte("abcdef")})
+	if v.LenMean != 4 {
+		t.Fatalf("LenMean = %v", v.LenMean)
+	}
+	if v.LenMax != 6 || v.LenMin != 2 {
+		t.Fatalf("LenMax/Min = %v/%v", v.LenMax, v.LenMin)
+	}
+	want := (4.0 + 0 + 4.0) / 3
+	if math.Abs(v.LenVar-want) > 1e-9 {
+		t.Fatalf("LenVar = %v, want %v", v.LenVar, want)
+	}
+}
+
+func TestCardinalityRatio(t *testing.T) {
+	// All distinct: ratio near 1.
+	distinct := make([]int64, 5000)
+	for i := range distinct {
+		distinct[i] = int64(i) * 7
+	}
+	v := ExtractInts(distinct)
+	if v.CardRatio < 0.9 {
+		t.Fatalf("all-distinct CardRatio = %v, want near 1", v.CardRatio)
+	}
+	// Five distinct values in 5000: ratio near 0.
+	lowCard := make([]int64, 5000)
+	for i := range lowCard {
+		lowCard[i] = int64(i % 5)
+	}
+	v2 := ExtractInts(lowCard)
+	if v2.CardRatio > 0.01 {
+		t.Fatalf("low-card CardRatio = %v, want near 0", v2.CardRatio)
+	}
+}
+
+func TestSparsity(t *testing.T) {
+	v := ExtractStrings([][]byte{[]byte("x"), {}, {}, []byte("y")})
+	if v.Sparsity != 0.5 {
+		t.Fatalf("Sparsity = %v", v.Sparsity)
+	}
+}
+
+func TestEntropy(t *testing.T) {
+	// Single repeated character: zero entropy.
+	v := ExtractStrings([][]byte{[]byte("aaaa"), []byte("aaa")})
+	if v.StreamEntropy != 0 {
+		t.Fatalf("constant stream entropy = %v", v.StreamEntropy)
+	}
+	// Two equally likely characters: exactly 1 bit.
+	v2 := ExtractStrings([][]byte{[]byte("abababab")})
+	if math.Abs(v2.StreamEntropy-1) > 1e-9 {
+		t.Fatalf("2-symbol entropy = %v, want 1", v2.StreamEntropy)
+	}
+	// Random bytes approach 8 bits.
+	rng := rand.New(rand.NewSource(1))
+	b := make([]byte, 1<<16)
+	rng.Read(b)
+	v3 := ExtractStrings([][]byte{b})
+	if v3.StreamEntropy < 7.9 {
+		t.Fatalf("random entropy = %v, want near 8", v3.StreamEntropy)
+	}
+}
+
+func TestRepetitiveWordsDiscriminates(t *testing.T) {
+	// Highly repetitive text must produce a much lower new-message ratio
+	// than random bytes.
+	rep := make([][]byte, 2000)
+	for i := range rep {
+		rep[i] = []byte("the same phrase again and again")
+	}
+	vRep := ExtractStrings(rep)
+	rng := rand.New(rand.NewSource(2))
+	rnd := make([][]byte, 2000)
+	for i := range rnd {
+		b := make([]byte, 32)
+		rng.Read(b)
+		rnd[i] = b
+	}
+	vRnd := ExtractStrings(rnd)
+	if vRep.RepWordRatio*2 > vRnd.RepWordRatio {
+		t.Fatalf("repetitive ratio %v should be well below random %v", vRep.RepWordRatio, vRnd.RepWordRatio)
+	}
+	if vRep.RepWordMeanLen <= vRnd.RepWordMeanLen {
+		t.Fatalf("repetitive mean message length %v should exceed random %v", vRep.RepWordMeanLen, vRnd.RepWordMeanLen)
+	}
+}
+
+func TestSortednessSorted(t *testing.T) {
+	vals := make([]int64, 2000)
+	for i := range vals {
+		vals[i] = int64(i)
+	}
+	v := ExtractInts(vals)
+	if v.TauW100 < 0.99 || v.Rho < 0.99 {
+		t.Fatalf("sorted: tau=%v rho=%v, want ≈1", v.TauW100, v.Rho)
+	}
+	if v.TauAbs > 0.01 {
+		t.Fatalf("sorted: tauAbs=%v, want ≈0", v.TauAbs)
+	}
+}
+
+func TestSortednessReversed(t *testing.T) {
+	vals := make([]int64, 2000)
+	for i := range vals {
+		vals[i] = int64(2000 - i)
+	}
+	v := ExtractInts(vals)
+	if v.TauW100 > -0.99 {
+		t.Fatalf("reversed: tau=%v, want ≈-1", v.TauW100)
+	}
+	if v.TauAbs > 0.01 {
+		t.Fatalf("reversed: tauAbs=%v, want ≈0 (folding)", v.TauAbs)
+	}
+}
+
+func TestSortednessRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	vals := make([]int64, 5000)
+	for i := range vals {
+		vals[i] = rng.Int63()
+	}
+	v := ExtractInts(vals)
+	if math.Abs(v.TauW100) > 0.1 || math.Abs(v.Rho) > 0.1 {
+		t.Fatalf("random: tau=%v rho=%v, want ≈0", v.TauW100, v.Rho)
+	}
+	if v.TauAbs < 0.85 {
+		t.Fatalf("random: tauAbs=%v, want ≈1", v.TauAbs)
+	}
+}
+
+func TestPartiallySortedBetweenExtremes(t *testing.T) {
+	// 90% sorted: tau should land strictly between random and sorted.
+	rng := rand.New(rand.NewSource(4))
+	vals := make([]int64, 5000)
+	for i := range vals {
+		vals[i] = int64(i)
+	}
+	for k := 0; k < 250; k++ { // perturb 5% of positions
+		i, j := rng.Intn(len(vals)), rng.Intn(len(vals))
+		vals[i], vals[j] = vals[j], vals[i]
+	}
+	v := ExtractInts(vals)
+	if !(v.TauW100 > 0.5 && v.TauW100 < 0.999) {
+		t.Fatalf("partially sorted tau = %v, want in (0.5, 1)", v.TauW100)
+	}
+}
+
+func TestMeanRunLen(t *testing.T) {
+	v := ExtractInts([]int64{1, 1, 1, 2, 2, 3})
+	if math.Abs(v.MeanRunLen-2) > 1e-9 {
+		t.Fatalf("MeanRunLen = %v, want 2", v.MeanRunLen)
+	}
+	v2 := ExtractInts([]int64{1, 2, 3})
+	if v2.MeanRunLen != 1 {
+		t.Fatalf("MeanRunLen = %v, want 1", v2.MeanRunLen)
+	}
+}
+
+func TestEmptyColumns(t *testing.T) {
+	v := ExtractInts(nil)
+	for i, f := range v.Slice() {
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			t.Fatalf("feature %d of empty column is %v", i, f)
+		}
+	}
+	v2 := ExtractStrings(nil)
+	for i, f := range v2.Slice() {
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			t.Fatalf("feature %d of empty string column is %v", i, f)
+		}
+	}
+}
+
+func TestNoNaNsAcrossShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	shapes := map[string][]int64{
+		"single":   {42},
+		"allEqual": {7, 7, 7, 7},
+		"negative": {-5, -3, -1000000, 12},
+	}
+	random := make([]int64, 300)
+	for i := range random {
+		random[i] = rng.Int63() - rng.Int63()
+	}
+	shapes["random"] = random
+	for name, vals := range shapes {
+		v := ExtractInts(vals)
+		for i, f := range v.Slice() {
+			if math.IsNaN(f) || math.IsInf(f, 0) {
+				t.Fatalf("%s: feature %s is %v", name, Names()[i], f)
+			}
+		}
+	}
+}
+
+func TestHeadSampling(t *testing.T) {
+	vals := make([]int64, 1000)
+	for i := range vals {
+		vals[i] = 100 + int64(i) // 3-4 digit decimals
+	}
+	s := HeadSampleInts(vals, 300)
+	if len(s) == 0 || len(s) >= 120 {
+		t.Fatalf("head sample of 300 bytes has %d values", len(s))
+	}
+	// Prefix property: sample must be exactly the head.
+	for i := range s {
+		if s[i] != vals[i] {
+			t.Fatal("head sample is not a prefix")
+		}
+	}
+	all := HeadSampleInts(vals, 1<<30)
+	if len(all) != len(vals) {
+		t.Fatal("large budget should return the whole column")
+	}
+}
+
+func TestHeadSamplingPreservesLocality(t *testing.T) {
+	// Sorted column: head sample must still look sorted; random sample
+	// must not. This is the §6.2.2 mechanism.
+	vals := make([]int64, 100000)
+	for i := range vals {
+		vals[i] = int64(i)
+	}
+	head := HeadSampleInts(vals, 10_000)
+	vHead := ExtractInts(head)
+	if vHead.TauW100 < 0.99 {
+		t.Fatalf("head sample of sorted column has tau %v", vHead.TauW100)
+	}
+	rnd := RandomSampleInts(vals, 10_000, 1)
+	vRnd := ExtractInts(rnd)
+	if vRnd.TauW100 > 0.5 {
+		t.Fatalf("random sample of sorted column has tau %v, locality should be destroyed", vRnd.TauW100)
+	}
+}
+
+func TestStringSampling(t *testing.T) {
+	vals := make([][]byte, 500)
+	for i := range vals {
+		vals[i] = []byte(fmt.Sprintf("value-%04d", i))
+	}
+	s := HeadSampleStrings(vals, 100)
+	if len(s) == 0 || len(s) > 11 {
+		t.Fatalf("head sample has %d strings", len(s))
+	}
+	r := RandomSampleStrings(vals, 100, 2)
+	if len(r) == 0 {
+		t.Fatal("random sample empty")
+	}
+	if HeadSampleStrings(nil, 100) != nil {
+		t.Fatal("empty input should sample to nil")
+	}
+	if RandomSampleStrings(nil, 100, 1) != nil {
+		t.Fatal("empty input should sample to nil")
+	}
+}

@@ -1,0 +1,77 @@
+package features
+
+import "math/rand"
+
+// HeadSampleInts returns the longest prefix of vals whose decimal
+// representations total at most maxBytes (§6.2.2: CodecDB reads the first
+// N bytes of a column so locality-sensitive features survive).
+func HeadSampleInts(vals []int64, maxBytes int) []int64 {
+	total := 0
+	for i, v := range vals {
+		total += intLen(v)
+		if total > maxBytes {
+			return vals[:i]
+		}
+	}
+	return vals
+}
+
+// HeadSampleStrings returns the longest prefix of vals totaling at most
+// maxBytes.
+func HeadSampleStrings(vals [][]byte, maxBytes int) [][]byte {
+	total := 0
+	for i, v := range vals {
+		total += len(v)
+		if total > maxBytes {
+			return vals[:i]
+		}
+	}
+	return vals
+}
+
+// RandomSampleInts draws values uniformly without locality until maxBytes
+// is reached — the baseline sampling strategy the paper shows destroys
+// delta/RLE prediction accuracy (§6.2.2).
+func RandomSampleInts(vals []int64, maxBytes int, seed int64) []int64 {
+	if len(vals) == 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var out []int64
+	total := 0
+	for total <= maxBytes && len(out) < len(vals) {
+		v := vals[rng.Intn(len(vals))]
+		out = append(out, v)
+		total += intLen(v)
+	}
+	return out
+}
+
+// RandomSampleStrings draws strings uniformly until maxBytes is reached.
+func RandomSampleStrings(vals [][]byte, maxBytes int, seed int64) [][]byte {
+	if len(vals) == 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var out [][]byte
+	total := 0
+	for total <= maxBytes && len(out) < len(vals) {
+		v := vals[rng.Intn(len(vals))]
+		out = append(out, v)
+		total += len(v)
+	}
+	return out
+}
+
+func intLen(v int64) int {
+	n := 1
+	if v < 0 {
+		n++
+		v = -v
+	}
+	for v >= 10 {
+		n++
+		v /= 10
+	}
+	return n
+}

@@ -1,0 +1,111 @@
+package memtable
+
+import (
+	"testing"
+)
+
+func TestColumnTableAppendAndRead(t *testing.T) {
+	tbl := NewColumnTable([]string{"k", "price", "name"}, []ColType{ColInt64, ColFloat64, ColBinary})
+	tbl.AppendRow(int64(1), 9.5, []byte("widget"))
+	tbl.AppendRow(int64(2), 3.25, Binary("gadget"))
+	if tbl.NumRows() != 2 || tbl.NumCols() != 3 {
+		t.Fatalf("shape %dx%d", tbl.NumRows(), tbl.NumCols())
+	}
+	if tbl.Ints(0)[1] != 2 {
+		t.Fatal("int read")
+	}
+	if tbl.Floats(1)[0] != 9.5 {
+		t.Fatal("float read")
+	}
+	if !tbl.Binaries(2)[1].Equal(Binary("gadget")) {
+		t.Fatal("binary read")
+	}
+	if tbl.Value(0, 2).(Binary).String() != "widget" {
+		t.Fatal("Value read")
+	}
+	if tbl.ColIndex("price") != 1 || tbl.ColIndex("missing") != -1 {
+		t.Fatal("ColIndex")
+	}
+}
+
+func TestColumnTableBulkSet(t *testing.T) {
+	tbl := NewColumnTable([]string{"a", "b"}, []ColType{ColInt64, ColBinary})
+	tbl.SetIntColumn(0, []int64{1, 2, 3})
+	tbl.SetBinaryColumn(1, [][]byte{[]byte("x"), []byte("y"), []byte("z")})
+	if tbl.NumRows() != 3 {
+		t.Fatalf("rows = %d", tbl.NumRows())
+	}
+}
+
+func TestZeroCopyBinary(t *testing.T) {
+	buf := []byte("hello world")
+	tbl := NewColumnTable([]string{"s"}, []ColType{ColBinary})
+	tbl.AppendRow(buf[0:5]) // view into buf
+	b := tbl.Binaries(0)[0]
+	// The stored Binary must alias buf, not copy it.
+	if &b[0] != &buf[0] {
+		t.Fatal("binary was copied; zero-copy contract broken")
+	}
+	// Moving between tables copies only the header.
+	tbl2 := NewColumnTable([]string{"s"}, []ColType{ColBinary})
+	tbl2.AppendRow(b)
+	if &tbl2.Binaries(0)[0][0] != &buf[0] {
+		t.Fatal("move between mem tables copied bytes")
+	}
+}
+
+func TestBinaryCompare(t *testing.T) {
+	a, b := Binary("apple"), Binary("banana")
+	if a.Compare(b) >= 0 || b.Compare(a) <= 0 || a.Compare(a) != 0 {
+		t.Fatal("Compare ordering wrong")
+	}
+	if a.Equal(b) || !a.Equal(Binary("apple")) {
+		t.Fatal("Equal wrong")
+	}
+}
+
+func TestSizeBytesAccountsViewsNotPayload(t *testing.T) {
+	tbl := NewColumnTable([]string{"i", "s"}, []ColType{ColInt64, ColBinary})
+	big := make([]byte, 1<<20)
+	tbl.AppendRow(int64(1), big)
+	// 8 bytes int + 16 bytes view — the megabyte payload is shared.
+	if got := tbl.SizeBytes(); got != 24 {
+		t.Fatalf("SizeBytes = %d, want 24", got)
+	}
+}
+
+func TestTypeMismatchPanics(t *testing.T) {
+	tbl := NewColumnTable([]string{"i"}, []ColType{ColInt64})
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("wrong arity", func() { tbl.AppendRow(int64(1), int64(2)) })
+	mustPanic("wrong col type", func() { tbl.Binaries(0) })
+	mustPanic("bad schema", func() { NewColumnTable([]string{"a"}, nil) })
+}
+
+func TestRowTable(t *testing.T) {
+	rt := NewRowTable([]string{"g", "count"}, []ColType{ColBinary, ColInt64})
+	rt.Append(Binary("x"), int64(3))
+	rt.Append(Binary("y"), int64(7))
+	if rt.NumRows() != 2 {
+		t.Fatalf("rows = %d", rt.NumRows())
+	}
+	if rt.Row(1)[1].(int64) != 7 {
+		t.Fatal("row read")
+	}
+	if len(rt.Rows()) != 2 || len(rt.Names()) != 2 {
+		t.Fatal("accessors")
+	}
+}
+
+func TestColTypeString(t *testing.T) {
+	if ColInt64.String() != "int64" || ColFloat64.String() != "float64" || ColBinary.String() != "binary" {
+		t.Fatal("ColType names")
+	}
+}

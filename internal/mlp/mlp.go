@@ -1,0 +1,284 @@
+// Package mlp is a from-scratch multi-layer perceptron matching the
+// network CodecDB trains for encoding selection (paper §6.2): one hidden
+// layer with tanh activation, sigmoid outputs, cross-entropy loss, and
+// Adam for stochastic gradient descent (β1=0.9, β2=0.999) with step decay.
+//
+// The implementation is deliberately small — dense layers, no graph
+// machinery — because the selection model is a ~19-input network evaluated
+// once per column load; clarity and determinism matter more than training
+// throughput.
+package mlp
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Config describes the network shape.
+type Config struct {
+	Inputs  int   `json:"inputs"`
+	Hidden  int   `json:"hidden"`
+	Outputs int   `json:"outputs"`
+	Seed    int64 `json:"seed"`
+}
+
+// Network is a 2-layer MLP: tanh hidden layer, sigmoid output layer.
+type Network struct {
+	cfg Config
+	// w1[h*inputs+i], b1[h]; w2[o*hidden+h], b2[o]
+	w1, b1, w2, b2 []float64
+
+	adam *adamState
+	step int
+}
+
+// New creates a network with Xavier-initialised weights drawn from a
+// deterministic source, so training runs are reproducible.
+func New(cfg Config) *Network {
+	if cfg.Inputs <= 0 || cfg.Hidden <= 0 || cfg.Outputs <= 0 {
+		panic("mlp: non-positive layer size")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	n := &Network{
+		cfg: cfg,
+		w1:  make([]float64, cfg.Hidden*cfg.Inputs),
+		b1:  make([]float64, cfg.Hidden),
+		w2:  make([]float64, cfg.Outputs*cfg.Hidden),
+		b2:  make([]float64, cfg.Outputs),
+	}
+	s1 := math.Sqrt(6.0 / float64(cfg.Inputs+cfg.Hidden))
+	for i := range n.w1 {
+		n.w1[i] = (rng.Float64()*2 - 1) * s1
+	}
+	s2 := math.Sqrt(6.0 / float64(cfg.Hidden+cfg.Outputs))
+	for i := range n.w2 {
+		n.w2[i] = (rng.Float64()*2 - 1) * s2
+	}
+	return n
+}
+
+// Config returns the network shape.
+func (n *Network) Config() Config { return n.cfg }
+
+// Forward runs inference, returning the sigmoid outputs in [0,1].
+func (n *Network) Forward(x []float64) []float64 {
+	h, out := n.forward(x)
+	_ = h
+	return out
+}
+
+func (n *Network) forward(x []float64) (h, out []float64) {
+	if len(x) != n.cfg.Inputs {
+		panic(fmt.Sprintf("mlp: input dim %d, want %d", len(x), n.cfg.Inputs))
+	}
+	h = make([]float64, n.cfg.Hidden)
+	for j := 0; j < n.cfg.Hidden; j++ {
+		z := n.b1[j]
+		row := n.w1[j*n.cfg.Inputs:]
+		for i, xi := range x {
+			z += row[i] * xi
+		}
+		h[j] = math.Tanh(z)
+	}
+	out = make([]float64, n.cfg.Outputs)
+	for k := 0; k < n.cfg.Outputs; k++ {
+		z := n.b2[k]
+		row := n.w2[k*n.cfg.Hidden:]
+		for j, hj := range h {
+			z += row[j] * hj
+		}
+		out[k] = sigmoid(z)
+	}
+	return h, out
+}
+
+func sigmoid(z float64) float64 { return 1 / (1 + math.Exp(-z)) }
+
+// adamState carries first/second moment estimates per parameter group.
+type adamState struct {
+	mw1, vw1, mb1, vb1 []float64
+	mw2, vw2, mb2, vb2 []float64
+}
+
+// Adam hyper-parameters: the paper uses the defaults (§6.2).
+const (
+	adamBeta1 = 0.9
+	adamBeta2 = 0.999
+	adamEps   = 1e-8
+)
+
+// TrainBatch performs one Adam step on a minibatch and returns the mean
+// cross-entropy loss. Targets must lie in [0,1] per output.
+func (n *Network) TrainBatch(xs [][]float64, ys [][]float64, lr float64) float64 {
+	if len(xs) == 0 || len(xs) != len(ys) {
+		panic("mlp: bad batch")
+	}
+	gw1 := make([]float64, len(n.w1))
+	gb1 := make([]float64, len(n.b1))
+	gw2 := make([]float64, len(n.w2))
+	gb2 := make([]float64, len(n.b2))
+	var loss float64
+	for s := range xs {
+		x, y := xs[s], ys[s]
+		h, out := n.forward(x)
+		// Sigmoid + cross-entropy: dL/dz_out = out - y.
+		dz2 := make([]float64, n.cfg.Outputs)
+		for k := range out {
+			loss += crossEntropy(out[k], y[k])
+			dz2[k] = out[k] - y[k]
+		}
+		for k := 0; k < n.cfg.Outputs; k++ {
+			row := gw2[k*n.cfg.Hidden:]
+			for j, hj := range h {
+				row[j] += dz2[k] * hj
+			}
+			gb2[k] += dz2[k]
+		}
+		// Hidden layer: dL/dz1_j = (Σ_k w2_kj dz2_k) (1 - h_j²).
+		for j := 0; j < n.cfg.Hidden; j++ {
+			var g float64
+			for k := 0; k < n.cfg.Outputs; k++ {
+				g += n.w2[k*n.cfg.Hidden+j] * dz2[k]
+			}
+			g *= 1 - h[j]*h[j]
+			row := gw1[j*n.cfg.Inputs:]
+			for i, xi := range x {
+				row[i] += g * xi
+			}
+			gb1[j] += g
+		}
+	}
+	scale := 1 / float64(len(xs))
+	for _, g := range [][]float64{gw1, gb1, gw2, gb2} {
+		for i := range g {
+			g[i] *= scale
+		}
+	}
+	n.adamStep(gw1, gb1, gw2, gb2, lr)
+	return loss * scale / float64(n.cfg.Outputs)
+}
+
+func crossEntropy(p, y float64) float64 {
+	const eps = 1e-12
+	p = math.Min(math.Max(p, eps), 1-eps)
+	return -(y*math.Log(p) + (1-y)*math.Log(1-p))
+}
+
+func (n *Network) adamStep(gw1, gb1, gw2, gb2 []float64, lr float64) {
+	if n.adam == nil {
+		n.adam = &adamState{
+			mw1: make([]float64, len(n.w1)), vw1: make([]float64, len(n.w1)),
+			mb1: make([]float64, len(n.b1)), vb1: make([]float64, len(n.b1)),
+			mw2: make([]float64, len(n.w2)), vw2: make([]float64, len(n.w2)),
+			mb2: make([]float64, len(n.b2)), vb2: make([]float64, len(n.b2)),
+		}
+	}
+	n.step++
+	c1 := 1 - math.Pow(adamBeta1, float64(n.step))
+	c2 := 1 - math.Pow(adamBeta2, float64(n.step))
+	update := func(w, g, m, v []float64) {
+		for i := range w {
+			m[i] = adamBeta1*m[i] + (1-adamBeta1)*g[i]
+			v[i] = adamBeta2*v[i] + (1-adamBeta2)*g[i]*g[i]
+			mHat := m[i] / c1
+			vHat := v[i] / c2
+			w[i] -= lr * mHat / (math.Sqrt(vHat) + adamEps)
+		}
+	}
+	update(n.w1, gw1, n.adam.mw1, n.adam.vw1)
+	update(n.b1, gb1, n.adam.mb1, n.adam.vb1)
+	update(n.w2, gw2, n.adam.mw2, n.adam.vw2)
+	update(n.b2, gb2, n.adam.mb2, n.adam.vb2)
+}
+
+// TrainOptions configures Fit.
+type TrainOptions struct {
+	Epochs    int     // full passes over the data (default 50)
+	BatchSize int     // minibatch size (default 32)
+	LR        float64 // initial step size (default 0.01, §6.2)
+	Decay     float64 // per-epoch multiplicative LR decay (default 0.99)
+	Seed      int64   // shuffling seed
+}
+
+func (o TrainOptions) withDefaults() TrainOptions {
+	if o.Epochs <= 0 {
+		o.Epochs = 50
+	}
+	if o.BatchSize <= 0 {
+		o.BatchSize = 32
+	}
+	if o.LR == 0 {
+		o.LR = 0.01
+	}
+	if o.Decay == 0 {
+		o.Decay = 0.99
+	}
+	return o
+}
+
+// Fit trains on the full dataset with shuffled minibatches and returns the
+// final epoch's mean loss.
+func (n *Network) Fit(xs [][]float64, ys [][]float64, opts TrainOptions) float64 {
+	opts = opts.withDefaults()
+	rng := rand.New(rand.NewSource(opts.Seed))
+	idx := make([]int, len(xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	lr := opts.LR
+	var epochLoss float64
+	for e := 0; e < opts.Epochs; e++ {
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		epochLoss = 0
+		batches := 0
+		for s := 0; s < len(idx); s += opts.BatchSize {
+			t := s + opts.BatchSize
+			if t > len(idx) {
+				t = len(idx)
+			}
+			bx := make([][]float64, 0, t-s)
+			by := make([][]float64, 0, t-s)
+			for _, i := range idx[s:t] {
+				bx = append(bx, xs[i])
+				by = append(by, ys[i])
+			}
+			epochLoss += n.TrainBatch(bx, by, lr)
+			batches++
+		}
+		if batches > 0 {
+			epochLoss /= float64(batches)
+		}
+		lr *= opts.Decay
+	}
+	return epochLoss
+}
+
+// persisted is the serialisation envelope.
+type persisted struct {
+	Cfg Config    `json:"cfg"`
+	W1  []float64 `json:"w1"`
+	B1  []float64 `json:"b1"`
+	W2  []float64 `json:"w2"`
+	B2  []float64 `json:"b2"`
+}
+
+// Marshal serialises the trained weights.
+func (n *Network) Marshal() ([]byte, error) {
+	return json.Marshal(persisted{Cfg: n.cfg, W1: n.w1, B1: n.b1, W2: n.w2, B2: n.b2})
+}
+
+// Unmarshal restores a network from Marshal output.
+func Unmarshal(data []byte) (*Network, error) {
+	var p persisted
+	if err := json.Unmarshal(data, &p); err != nil {
+		return nil, err
+	}
+	if len(p.W1) != p.Cfg.Hidden*p.Cfg.Inputs || len(p.W2) != p.Cfg.Outputs*p.Cfg.Hidden ||
+		len(p.B1) != p.Cfg.Hidden || len(p.B2) != p.Cfg.Outputs {
+		return nil, errors.New("mlp: inconsistent serialized network")
+	}
+	return &Network{cfg: p.Cfg, w1: p.W1, b1: p.B1, w2: p.W2, b2: p.B2}, nil
+}

@@ -1,0 +1,149 @@
+package mlp
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestForwardShapeAndRange(t *testing.T) {
+	n := New(Config{Inputs: 4, Hidden: 8, Outputs: 3, Seed: 1})
+	out := n.Forward([]float64{0.1, -0.5, 2, 0})
+	if len(out) != 3 {
+		t.Fatalf("output dim %d", len(out))
+	}
+	for _, o := range out {
+		if o <= 0 || o >= 1 {
+			t.Fatalf("sigmoid output %v out of (0,1)", o)
+		}
+	}
+}
+
+func TestDeterministicInit(t *testing.T) {
+	a := New(Config{Inputs: 3, Hidden: 5, Outputs: 2, Seed: 7})
+	b := New(Config{Inputs: 3, Hidden: 5, Outputs: 2, Seed: 7})
+	x := []float64{1, 2, 3}
+	if !reflect.DeepEqual(a.Forward(x), b.Forward(x)) {
+		t.Fatal("same seed must give same network")
+	}
+	c := New(Config{Inputs: 3, Hidden: 5, Outputs: 2, Seed: 8})
+	if reflect.DeepEqual(a.Forward(x), c.Forward(x)) {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestLearnsXOR(t *testing.T) {
+	n := New(Config{Inputs: 2, Hidden: 8, Outputs: 1, Seed: 3})
+	xs := [][]float64{{0, 0}, {0, 1}, {1, 0}, {1, 1}}
+	ys := [][]float64{{0}, {1}, {1}, {0}}
+	loss := n.Fit(xs, ys, TrainOptions{Epochs: 800, BatchSize: 4, LR: 0.05, Decay: 1})
+	if loss > 0.1 {
+		t.Fatalf("XOR final loss %v too high", loss)
+	}
+	for i, x := range xs {
+		got := n.Forward(x)[0]
+		if math.Abs(got-ys[i][0]) > 0.3 {
+			t.Fatalf("XOR(%v) = %v, want %v", x, got, ys[i][0])
+		}
+	}
+}
+
+func TestLearnsMultiOutputRanking(t *testing.T) {
+	// Synthetic ranking task mirroring encoding selection: 3 "scores"
+	// determined by which of 3 input regions is active.
+	rng := rand.New(rand.NewSource(4))
+	var xs, ys [][]float64
+	for i := 0; i < 600; i++ {
+		c := rng.Intn(3)
+		x := []float64{rng.Float64() * 0.1, rng.Float64() * 0.1, rng.Float64() * 0.1}
+		x[c] += 1
+		y := []float64{0.1, 0.1, 0.1}
+		y[c] = 0.9
+		xs = append(xs, x)
+		ys = append(ys, y)
+	}
+	n := New(Config{Inputs: 3, Hidden: 16, Outputs: 3, Seed: 5})
+	n.Fit(xs, ys, TrainOptions{Epochs: 60, BatchSize: 32, LR: 0.01, Decay: 0.99, Seed: 1})
+	correct := 0
+	for i := 0; i < 200; i++ {
+		c := rng.Intn(3)
+		x := []float64{0, 0, 0}
+		x[c] = 1
+		out := n.Forward(x)
+		best := 0
+		for k := range out {
+			if out[k] > out[best] {
+				best = k
+			}
+		}
+		if best == c {
+			correct++
+		}
+	}
+	if correct < 190 {
+		t.Fatalf("ranking accuracy %d/200 too low", correct)
+	}
+}
+
+func TestTrainReducesLoss(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	xs := make([][]float64, 100)
+	ys := make([][]float64, 100)
+	for i := range xs {
+		a, b := rng.Float64(), rng.Float64()
+		xs[i] = []float64{a, b}
+		if a > b {
+			ys[i] = []float64{1}
+		} else {
+			ys[i] = []float64{0}
+		}
+	}
+	n := New(Config{Inputs: 2, Hidden: 8, Outputs: 1, Seed: 2})
+	first := n.TrainBatch(xs, ys, 0.01)
+	var last float64
+	for i := 0; i < 300; i++ {
+		last = n.TrainBatch(xs, ys, 0.01)
+	}
+	if last >= first {
+		t.Fatalf("loss did not decrease: %v -> %v", first, last)
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	n := New(Config{Inputs: 5, Hidden: 7, Outputs: 2, Seed: 9})
+	x := []float64{1, -1, 0.5, 0, 2}
+	want := n.Forward(x)
+	data, err := n.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m.Forward(x), want) {
+		t.Fatal("restored network differs")
+	}
+	if _, err := Unmarshal([]byte("{broken")); err == nil {
+		t.Fatal("corrupt payload should error")
+	}
+	if _, err := Unmarshal([]byte(`{"cfg":{"inputs":2,"hidden":2,"outputs":1},"w1":[1],"b1":[],"w2":[],"b2":[]}`)); err == nil {
+		t.Fatal("inconsistent payload should error")
+	}
+}
+
+func TestBadShapesPanic(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("zero layer", func() { New(Config{Inputs: 0, Hidden: 1, Outputs: 1}) })
+	n := New(Config{Inputs: 2, Hidden: 2, Outputs: 1, Seed: 1})
+	mustPanic("wrong input dim", func() { n.Forward([]float64{1}) })
+	mustPanic("empty batch", func() { n.TrainBatch(nil, nil, 0.01) })
+}

@@ -1,0 +1,78 @@
+package morph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPosListRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(500)
+		rows := make([]int64, 0, n)
+		cur := int64(0)
+		for i := 0; i < n; i++ {
+			cur += int64(rng.Intn(10) + 1)
+			rows = append(rows, cur)
+		}
+		p := Compress(rows)
+		got := p.Decompress()
+		if len(got) != len(rows) {
+			return false
+		}
+		for i := range rows {
+			if got[i] != rows[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPosListCompressesRuns(t *testing.T) {
+	// Consecutive positions (delta = 1 runs) must compress massively.
+	rows := make([]int64, 100000)
+	for i := range rows {
+		rows[i] = int64(i)
+	}
+	p := Compress(rows)
+	if p.SizeBytes() > 100 {
+		t.Fatalf("consecutive positions took %d bytes", p.SizeBytes())
+	}
+	if p.Len() != 100000 {
+		t.Fatalf("Len = %d", p.Len())
+	}
+}
+
+func TestRunnerAccounting(t *testing.T) {
+	var r Runner
+	p1 := r.FilterPositions(nil, 1000, func(row int64) bool { return row%2 == 0 })
+	if p1.Len() != 500 {
+		t.Fatalf("filter kept %d", p1.Len())
+	}
+	p2 := r.FilterPositions(&p1, 1000, func(row int64) bool { return row%4 == 0 })
+	if p2.Len() != 250 {
+		t.Fatalf("chained filter kept %d", p2.Len())
+	}
+	if r.Intermediates() != 2 {
+		t.Fatalf("intermediates = %d", r.Intermediates())
+	}
+	if r.IntermediateBytes() <= 0 {
+		t.Fatal("bytes not tracked")
+	}
+	r.MaterializeVecBytes(128)
+	if r.Intermediates() != 3 {
+		t.Fatal("vec intermediate not counted")
+	}
+}
+
+func TestEmptyPosList(t *testing.T) {
+	p := Compress(nil)
+	if p.Len() != 0 || len(p.Decompress()) != 0 {
+		t.Fatal("empty list should stay empty")
+	}
+}

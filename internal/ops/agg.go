@@ -1,0 +1,398 @@
+package ops
+
+import (
+	"fmt"
+	"sync"
+
+	"codecdb/internal/exec"
+)
+
+// AggKind selects an aggregate function.
+type AggKind uint8
+
+// Aggregate kinds. Averages are computed by plans as SumX/Count.
+const (
+	AggCount AggKind = iota
+	AggSumInt
+	AggSumFloat
+	AggMinInt
+	AggMaxInt
+)
+
+// VecAgg is one aggregate over a value vector aligned with the key vector.
+// Ints or Floats must be set to match the kind (AggCount needs neither).
+type VecAgg struct {
+	Kind   AggKind
+	Ints   []int64
+	Floats []float64
+}
+
+// AggResult is a grouped aggregation result: Keys[i] is the group key and
+// column j of Out holds the j-th aggregate. Counts always accompanies the
+// result. Keys are ascending for array aggregation and unordered for hash
+// aggregation.
+type AggResult struct {
+	Keys   []int64
+	Counts []int64
+	Out    [][]float64 // [spec][group]
+}
+
+// NumGroups returns the number of populated groups.
+func (r *AggResult) NumGroups() int { return len(r.Keys) }
+
+// ArrayAggregate is the array aggregation operator (§5.4): group keys are
+// dictionary codes in [0, keySpace), so each aggregate lives in a flat
+// array indexed by key — no hashing, no collisions, and block-level
+// partial arrays merge with one addition per slot.
+func ArrayAggregate(pool *exec.Pool, keys []int64, keySpace int, specs []VecAgg) (*AggResult, error) {
+	if keySpace <= 0 {
+		return nil, fmt.Errorf("ops: non-positive key space %d", keySpace)
+	}
+	for i, s := range specs {
+		if err := s.validate(len(keys)); err != nil {
+			return nil, fmt.Errorf("ops: spec %d: %w", i, err)
+		}
+	}
+	workers := pool.Size()
+	partCounts := make([][]int64, workers)
+	partAccs := make([][][]float64, workers)
+	var widx int
+	var mu sync.Mutex
+	nextWorker := func() int {
+		mu.Lock()
+		defer mu.Unlock()
+		w := widx
+		widx++
+		return w
+	}
+	chunk := (len(keys) + workers - 1) / workers
+	if chunk == 0 {
+		chunk = 1
+	}
+	var wg sync.WaitGroup
+	for start := 0; start < len(keys); start += chunk {
+		end := start + chunk
+		if end > len(keys) {
+			end = len(keys)
+		}
+		wg.Add(1)
+		s, e := start, end
+		pool.Submit(func() {
+			defer wg.Done()
+			w := nextWorker()
+			counts := make([]int64, keySpace)
+			accs := make([][]float64, len(specs))
+			for j, spec := range specs {
+				accs[j] = newAccArray(spec.Kind, keySpace)
+			}
+			for i := s; i < e; i++ {
+				k := keys[i]
+				counts[k]++
+				for j, spec := range specs {
+					accumulate(accs[j], spec, k, i)
+				}
+			}
+			partCounts[w] = counts
+			partAccs[w] = accs
+		})
+	}
+	wg.Wait()
+	// Merge partial arrays (§5.4: merging arrays is one pass, unlike
+	// merging hash tables).
+	counts := make([]int64, keySpace)
+	accs := make([][]float64, len(specs))
+	for j, spec := range specs {
+		accs[j] = newAccArray(spec.Kind, keySpace)
+	}
+	for w := 0; w < workers; w++ {
+		if partCounts[w] == nil {
+			continue
+		}
+		for k := 0; k < keySpace; k++ {
+			if partCounts[w][k] == 0 {
+				continue
+			}
+			counts[k] += partCounts[w][k]
+			for j, spec := range specs {
+				mergeSlot(accs[j], partAccs[w][j], spec.Kind, k)
+			}
+		}
+	}
+	return compactResult(counts, accs, specs), nil
+}
+
+func (s VecAgg) validate(n int) error {
+	switch s.Kind {
+	case AggCount:
+		return nil
+	case AggSumInt, AggMinInt, AggMaxInt:
+		if len(s.Ints) != n {
+			return fmt.Errorf("int vector length %d, want %d", len(s.Ints), n)
+		}
+	case AggSumFloat:
+		if len(s.Floats) != n {
+			return fmt.Errorf("float vector length %d, want %d", len(s.Floats), n)
+		}
+	}
+	return nil
+}
+
+func newAccArray(kind AggKind, n int) []float64 {
+	acc := make([]float64, n)
+	switch kind {
+	case AggMinInt:
+		for i := range acc {
+			acc[i] = float64(int64(^uint64(0) >> 1)) // +inf sentinel
+		}
+	case AggMaxInt:
+		for i := range acc {
+			acc[i] = -float64(int64(^uint64(0) >> 1))
+		}
+	}
+	return acc
+}
+
+func accumulate(acc []float64, spec VecAgg, k int64, i int) {
+	switch spec.Kind {
+	case AggCount:
+		acc[k]++
+	case AggSumInt:
+		acc[k] += float64(spec.Ints[i])
+	case AggSumFloat:
+		acc[k] += spec.Floats[i]
+	case AggMinInt:
+		if v := float64(spec.Ints[i]); v < acc[k] {
+			acc[k] = v
+		}
+	case AggMaxInt:
+		if v := float64(spec.Ints[i]); v > acc[k] {
+			acc[k] = v
+		}
+	}
+}
+
+func mergeSlot(dst, src []float64, kind AggKind, k int) {
+	switch kind {
+	case AggMinInt:
+		if src[k] < dst[k] {
+			dst[k] = src[k]
+		}
+	case AggMaxInt:
+		if src[k] > dst[k] {
+			dst[k] = src[k]
+		}
+	default:
+		dst[k] += src[k]
+	}
+}
+
+func compactResult(counts []int64, accs [][]float64, specs []VecAgg) *AggResult {
+	res := &AggResult{Out: make([][]float64, len(specs))}
+	for k, c := range counts {
+		if c == 0 {
+			continue
+		}
+		res.Keys = append(res.Keys, int64(k))
+		res.Counts = append(res.Counts, c)
+		for j := range specs {
+			res.Out[j] = append(res.Out[j], accs[j][k])
+		}
+	}
+	return res
+}
+
+// stripeCount is the default stripe fan-out for stripe hash aggregation
+// (§6.3 uses 32 stripes).
+const stripeCount = 32
+
+// StripeHashAggregate is the stripe hash aggregation operator (§5.4) for
+// key spaces too large for arrays: rows are partitioned into stripes by
+// key (stripe = key mod stripes, as in the paper's implementation), each
+// stripe hash-aggregates independently in parallel, and same-index stripes
+// merge without contention because a key occurs in exactly one stripe.
+func StripeHashAggregate(pool *exec.Pool, keys []int64, specs []VecAgg) (*AggResult, error) {
+	return StripeHashAggregateN(pool, keys, specs, stripeCount)
+}
+
+// StripeHashAggregateN is StripeHashAggregate with an explicit stripe
+// fan-out, exposed for the stripe-count ablation study.
+func StripeHashAggregateN(pool *exec.Pool, keys []int64, specs []VecAgg, stripes int) (*AggResult, error) {
+	for i, s := range specs {
+		if err := s.validate(len(keys)); err != nil {
+			return nil, fmt.Errorf("ops: spec %d: %w", i, err)
+		}
+	}
+	if stripes <= 0 {
+		stripes = stripeCount
+	}
+	// Partition phase: one counting pass sizes a single backing array, so
+	// the per-stripe row lists are built without reallocation.
+	counts0 := make([]int32, stripes)
+	for _, k := range keys {
+		counts0[uint64(k)%uint64(stripes)]++
+	}
+	backing := make([]int32, len(keys))
+	rowLists := make([][]int32, stripes)
+	off := int32(0)
+	for s := 0; s < stripes; s++ {
+		rowLists[s] = backing[off : off : off+counts0[s]]
+		off += counts0[s]
+	}
+	for i, k := range keys {
+		s := uint64(k) % uint64(stripes)
+		rowLists[s] = append(rowLists[s], int32(i))
+	}
+	// Aggregation phase: each stripe fills a flat open-addressing table in
+	// parallel — the "several small hashtables" of §5.4, with better cache
+	// locality than one big table and no collision chains.
+	results := exec.ParallelMap(pool, rowLists, func(rows []int32) *stripeTable {
+		st := newStripeTable(len(rows), specs)
+		for _, ri := range rows {
+			i := int(ri)
+			slot := st.slot(keys[i])
+			st.counts[slot]++
+			for j, spec := range specs {
+				st.accumulate(j, slot, spec, i)
+			}
+		}
+		return st
+	})
+	res := &AggResult{Out: make([][]float64, len(specs))}
+	for _, st := range results {
+		for slot, k := range st.keys {
+			if !st.occupied[slot] {
+				continue
+			}
+			res.Keys = append(res.Keys, k)
+			res.Counts = append(res.Counts, st.counts[slot])
+			for j := range specs {
+				res.Out[j] = append(res.Out[j], st.accs[j][slot])
+			}
+		}
+	}
+	return res, nil
+}
+
+// stripeTable is a flat open-addressing aggregation table for one stripe.
+type stripeTable struct {
+	mask     uint64
+	keys     []int64
+	occupied []bool
+	counts   []int64
+	accs     [][]float64
+	specs    []VecAgg
+}
+
+func newStripeTable(rows int, specs []VecAgg) *stripeTable {
+	capacity := 16
+	for capacity < rows*2 {
+		capacity *= 2
+	}
+	st := &stripeTable{
+		mask:     uint64(capacity - 1),
+		keys:     make([]int64, capacity),
+		occupied: make([]bool, capacity),
+		counts:   make([]int64, capacity),
+		accs:     make([][]float64, len(specs)),
+		specs:    specs,
+	}
+	for j := range specs {
+		st.accs[j] = make([]float64, capacity)
+	}
+	return st
+}
+
+// slot returns the table index for k, claiming a free slot on first use.
+func (st *stripeTable) slot(k int64) int {
+	i := hash64(k) & st.mask
+	for {
+		if !st.occupied[i] {
+			st.occupied[i] = true
+			st.keys[i] = k
+			for j, spec := range st.specs {
+				switch spec.Kind {
+				case AggMinInt:
+					st.accs[j][i] = 1e300
+				case AggMaxInt:
+					st.accs[j][i] = -1e300
+				}
+			}
+			return int(i)
+		}
+		if st.keys[i] == k {
+			return int(i)
+		}
+		i = (i + 1) & st.mask
+	}
+}
+
+func (st *stripeTable) accumulate(j, slot int, spec VecAgg, i int) {
+	switch spec.Kind {
+	case AggCount:
+		st.accs[j][slot]++
+	case AggSumInt:
+		st.accs[j][slot] += float64(spec.Ints[i])
+	case AggSumFloat:
+		st.accs[j][slot] += spec.Floats[i]
+	case AggMinInt:
+		if v := float64(spec.Ints[i]); v < st.accs[j][slot] {
+			st.accs[j][slot] = v
+		}
+	case AggMaxInt:
+		if v := float64(spec.Ints[i]); v > st.accs[j][slot] {
+			st.accs[j][slot] = v
+		}
+	}
+}
+
+func accumulateMap(acc map[int64]float64, spec VecAgg, k int64, i int) {
+	switch spec.Kind {
+	case AggCount:
+		acc[k]++
+	case AggSumInt:
+		acc[k] += float64(spec.Ints[i])
+	case AggSumFloat:
+		acc[k] += spec.Floats[i]
+	case AggMinInt:
+		v := float64(spec.Ints[i])
+		if old, ok := acc[k]; !ok || v < old {
+			acc[k] = v
+		}
+	case AggMaxInt:
+		v := float64(spec.Ints[i])
+		if old, ok := acc[k]; !ok || v > old {
+			acc[k] = v
+		}
+	}
+}
+
+// HashAggregate is the encoding-oblivious baseline: one hash table, one
+// thread, no striping — the competitor configuration in the Fig 6
+// aggregation micro-benchmarks.
+func HashAggregate(keys []int64, specs []VecAgg) (*AggResult, error) {
+	for i, s := range specs {
+		if err := s.validate(len(keys)); err != nil {
+			return nil, fmt.Errorf("ops: spec %d: %w", i, err)
+		}
+	}
+	counts := make(map[int64]int64)
+	accs := make([]map[int64]float64, len(specs))
+	for j := range specs {
+		accs[j] = make(map[int64]float64)
+	}
+	for i, k := range keys {
+		counts[k]++
+		for j, spec := range specs {
+			accumulateMap(accs[j], spec, k, i)
+		}
+	}
+	res := &AggResult{Out: make([][]float64, len(specs))}
+	for k, c := range counts {
+		res.Keys = append(res.Keys, k)
+		res.Counts = append(res.Counts, c)
+		for j := range specs {
+			res.Out[j] = append(res.Out[j], accs[j][k])
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,202 @@
+package ops
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"codecdb/internal/exec"
+)
+
+// refAggregate computes the expected grouped result with plain maps.
+func refAggregate(keys []int64, specs []VecAgg) map[int64][]float64 {
+	out := map[int64][]float64{}
+	counts := map[int64]int64{}
+	for i, k := range keys {
+		if _, ok := out[k]; !ok {
+			slots := make([]float64, len(specs))
+			for j, s := range specs {
+				if s.Kind == AggMinInt {
+					slots[j] = 1e300
+				}
+				if s.Kind == AggMaxInt {
+					slots[j] = -1e300
+				}
+			}
+			out[k] = slots
+		}
+		counts[k]++
+		for j, s := range specs {
+			switch s.Kind {
+			case AggCount:
+				out[k][j]++
+			case AggSumInt:
+				out[k][j] += float64(s.Ints[i])
+			case AggSumFloat:
+				out[k][j] += s.Floats[i]
+			case AggMinInt:
+				if v := float64(s.Ints[i]); v < out[k][j] {
+					out[k][j] = v
+				}
+			case AggMaxInt:
+				if v := float64(s.Ints[i]); v > out[k][j] {
+					out[k][j] = v
+				}
+			}
+		}
+	}
+	return out
+}
+
+func checkAgg(t *testing.T, res *AggResult, keys []int64, specs []VecAgg) {
+	t.Helper()
+	want := refAggregate(keys, specs)
+	if len(res.Keys) != len(want) {
+		t.Fatalf("groups = %d, want %d", len(res.Keys), len(want))
+	}
+	wantCounts := map[int64]int64{}
+	for _, k := range keys {
+		wantCounts[k]++
+	}
+	for g, k := range res.Keys {
+		if res.Counts[g] != wantCounts[k] {
+			t.Fatalf("group %d count = %d, want %d", k, res.Counts[g], wantCounts[k])
+		}
+		for j := range specs {
+			got := res.Out[j][g]
+			if diff := got - want[k][j]; diff > 1e-6 || diff < -1e-6 {
+				t.Fatalf("group %d spec %d = %v, want %v", k, j, got, want[k][j])
+			}
+		}
+	}
+}
+
+func genAggInput(n, keySpace int, seed int64) ([]int64, []VecAgg) {
+	rng := rand.New(rand.NewSource(seed))
+	keys := make([]int64, n)
+	ints := make([]int64, n)
+	floats := make([]float64, n)
+	for i := range keys {
+		keys[i] = int64(rng.Intn(keySpace))
+		ints[i] = rng.Int63n(1000)
+		floats[i] = rng.Float64() * 100
+	}
+	specs := []VecAgg{
+		{Kind: AggCount},
+		{Kind: AggSumInt, Ints: ints},
+		{Kind: AggSumFloat, Floats: floats},
+		{Kind: AggMinInt, Ints: ints},
+		{Kind: AggMaxInt, Ints: ints},
+	}
+	return keys, specs
+}
+
+func TestArrayAggregate(t *testing.T) {
+	pool := exec.NewPool(4)
+	keys, specs := genAggInput(10000, 37, 1)
+	res, err := ArrayAggregate(pool, keys, 37, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAgg(t, res, keys, specs)
+	// Array aggregation yields ascending keys.
+	if !sort.SliceIsSorted(res.Keys, func(i, j int) bool { return res.Keys[i] < res.Keys[j] }) {
+		t.Fatal("array agg keys not ascending")
+	}
+}
+
+func TestArrayAggregateSparseKeySpace(t *testing.T) {
+	pool := exec.NewPool(4)
+	keys := []int64{5, 5, 900, 5}
+	res, err := ArrayAggregate(pool, keys, 1000, []VecAgg{{Kind: AggCount}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumGroups() != 2 {
+		t.Fatalf("groups = %d", res.NumGroups())
+	}
+	if res.Keys[0] != 5 || res.Counts[0] != 3 || res.Keys[1] != 900 || res.Counts[1] != 1 {
+		t.Fatalf("result %+v", res)
+	}
+}
+
+func TestArrayAggregateValidation(t *testing.T) {
+	pool := exec.NewPool(2)
+	if _, err := ArrayAggregate(pool, []int64{1}, 0, nil); err == nil {
+		t.Fatal("zero key space should error")
+	}
+	if _, err := ArrayAggregate(pool, []int64{1, 2}, 10, []VecAgg{{Kind: AggSumInt, Ints: []int64{1}}}); err == nil {
+		t.Fatal("length mismatch should error")
+	}
+}
+
+func TestStripeHashAggregate(t *testing.T) {
+	pool := exec.NewPool(4)
+	// Large sparse key space: the stripe-hash path.
+	keys, specs := genAggInput(20000, 1<<20, 2)
+	res, err := StripeHashAggregate(pool, keys, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAgg(t, res, keys, specs)
+}
+
+func TestStripeMatchesArrayAndOblivious(t *testing.T) {
+	pool := exec.NewPool(4)
+	keys, specs := genAggInput(5000, 64, 3)
+	arr, err := ArrayAggregate(pool, keys, 64, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	str, err := StripeHashAggregate(pool, keys, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obl, err := HashAggregate(keys, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	toMap := func(r *AggResult) map[int64][]float64 {
+		m := map[int64][]float64{}
+		for g, k := range r.Keys {
+			row := []float64{float64(r.Counts[g])}
+			for j := range r.Out {
+				row = append(row, r.Out[j][g])
+			}
+			m[k] = row
+		}
+		return m
+	}
+	ma, ms, mo := toMap(arr), toMap(str), toMap(obl)
+	if len(ma) != len(ms) || len(ma) != len(mo) {
+		t.Fatalf("group counts differ: %d %d %d", len(ma), len(ms), len(mo))
+	}
+	for k, row := range ma {
+		for j := range row {
+			if d := row[j] - ms[k][j]; d > 1e-6 || d < -1e-6 {
+				t.Fatalf("stripe differs at key %d", k)
+			}
+			if d := row[j] - mo[k][j]; d > 1e-6 || d < -1e-6 {
+				t.Fatalf("oblivious differs at key %d", k)
+			}
+		}
+	}
+}
+
+func TestAggregateEmptyInput(t *testing.T) {
+	pool := exec.NewPool(2)
+	res, err := ArrayAggregate(pool, nil, 10, []VecAgg{{Kind: AggCount}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumGroups() != 0 {
+		t.Fatal("empty input should have no groups")
+	}
+	res2, err := StripeHashAggregate(pool, nil, []VecAgg{{Kind: AggCount}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.NumGroups() != 0 {
+		t.Fatal("empty input should have no groups")
+	}
+}

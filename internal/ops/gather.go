@@ -1,0 +1,233 @@
+package ops
+
+import (
+	"codecdb/internal/bitutil"
+	"codecdb/internal/colstore"
+	"codecdb/internal/exec"
+)
+
+// The gather helpers implement late materialization (§5.2): after filters
+// produce a sectional bitmap, only the selected rows of payload columns
+// are fetched, with page- and row-level skipping done by the chunk
+// readers. Row groups are processed in parallel on the data pool and
+// results concatenate in row order.
+
+// GatherInts fetches the selected rows of an integer column.
+func GatherInts(r *colstore.Reader, col string, sel *bitutil.SectionalBitmap, pool *exec.Pool) ([]int64, error) {
+	ci, _, err := r.Column(col)
+	if err != nil {
+		return nil, err
+	}
+	parts := make([][]int64, r.NumRowGroups())
+	var firstErr error
+	pool.ParallelChunks(r.NumRowGroups(), func(start, end int) {
+		for rg := start; rg < end; rg++ {
+			if sel != nil && sel.SectionEmpty(rg) {
+				continue
+			}
+			chunk := r.Chunk(rg, ci)
+			vals, err := chunk.GatherInts(sectionOrFull(sel, rg, chunk.Rows()))
+			if err != nil {
+				firstErr = err
+				return
+			}
+			parts[rg] = vals
+		}
+	})
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return concat(parts), nil
+}
+
+// GatherFloats fetches the selected rows of a float column.
+func GatherFloats(r *colstore.Reader, col string, sel *bitutil.SectionalBitmap, pool *exec.Pool) ([]float64, error) {
+	ci, _, err := r.Column(col)
+	if err != nil {
+		return nil, err
+	}
+	parts := make([][]float64, r.NumRowGroups())
+	var firstErr error
+	pool.ParallelChunks(r.NumRowGroups(), func(start, end int) {
+		for rg := start; rg < end; rg++ {
+			if sel != nil && sel.SectionEmpty(rg) {
+				continue
+			}
+			chunk := r.Chunk(rg, ci)
+			vals, err := chunk.GatherFloats(sectionOrFull(sel, rg, chunk.Rows()))
+			if err != nil {
+				firstErr = err
+				return
+			}
+			parts[rg] = vals
+		}
+	})
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return concat(parts), nil
+}
+
+// GatherStrings fetches the selected rows of a string column. Values alias
+// decode buffers (zero-copy).
+func GatherStrings(r *colstore.Reader, col string, sel *bitutil.SectionalBitmap, pool *exec.Pool) ([][]byte, error) {
+	ci, _, err := r.Column(col)
+	if err != nil {
+		return nil, err
+	}
+	parts := make([][][]byte, r.NumRowGroups())
+	var firstErr error
+	pool.ParallelChunks(r.NumRowGroups(), func(start, end int) {
+		for rg := start; rg < end; rg++ {
+			if sel != nil && sel.SectionEmpty(rg) {
+				continue
+			}
+			chunk := r.Chunk(rg, ci)
+			vals, err := chunk.GatherStrings(sectionOrFull(sel, rg, chunk.Rows()))
+			if err != nil {
+				firstErr = err
+				return
+			}
+			parts[rg] = vals
+		}
+	})
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return concat(parts), nil
+}
+
+// GatherKeys fetches dictionary keys of the selected rows — the preferred
+// group-by input for array aggregation, since keys are dense codes.
+func GatherKeys(r *colstore.Reader, col string, sel *bitutil.SectionalBitmap, pool *exec.Pool) ([]int64, error) {
+	ci, _, err := r.Column(col)
+	if err != nil {
+		return nil, err
+	}
+	parts := make([][]int64, r.NumRowGroups())
+	var firstErr error
+	pool.ParallelChunks(r.NumRowGroups(), func(start, end int) {
+		for rg := start; rg < end; rg++ {
+			if sel != nil && sel.SectionEmpty(rg) {
+				continue
+			}
+			chunk := r.Chunk(rg, ci)
+			vals, err := chunk.GatherKeys(sectionOrFull(sel, rg, chunk.Rows()))
+			if err != nil {
+				firstErr = err
+				return
+			}
+			parts[rg] = vals
+		}
+	})
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return concat(parts), nil
+}
+
+// SelectedRows flattens the bitmap into global row ids, aligned with the
+// vectors the gather helpers return.
+func SelectedRows(sel *bitutil.SectionalBitmap) []int64 {
+	out := make([]int64, 0, sel.Cardinality())
+	sel.ForEach(func(i int) { out = append(out, int64(i)) })
+	return out
+}
+
+// ReadAllInts decodes a whole integer column — the encoding-oblivious
+// access path (every page decompressed and decoded).
+func ReadAllInts(r *colstore.Reader, col string, pool *exec.Pool) ([]int64, error) {
+	ci, _, err := r.Column(col)
+	if err != nil {
+		return nil, err
+	}
+	parts := make([][]int64, r.NumRowGroups())
+	var firstErr error
+	pool.ParallelChunks(r.NumRowGroups(), func(start, end int) {
+		for rg := start; rg < end; rg++ {
+			vals, err := r.Chunk(rg, ci).Ints()
+			if err != nil {
+				firstErr = err
+				return
+			}
+			parts[rg] = vals
+		}
+	})
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return concat(parts), nil
+}
+
+// ReadAllFloats decodes a whole float column.
+func ReadAllFloats(r *colstore.Reader, col string, pool *exec.Pool) ([]float64, error) {
+	ci, _, err := r.Column(col)
+	if err != nil {
+		return nil, err
+	}
+	parts := make([][]float64, r.NumRowGroups())
+	var firstErr error
+	pool.ParallelChunks(r.NumRowGroups(), func(start, end int) {
+		for rg := start; rg < end; rg++ {
+			vals, err := r.Chunk(rg, ci).Floats()
+			if err != nil {
+				firstErr = err
+				return
+			}
+			parts[rg] = vals
+		}
+	})
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return concat(parts), nil
+}
+
+// ReadAllStrings decodes a whole string column.
+func ReadAllStrings(r *colstore.Reader, col string, pool *exec.Pool) ([][]byte, error) {
+	ci, _, err := r.Column(col)
+	if err != nil {
+		return nil, err
+	}
+	parts := make([][][]byte, r.NumRowGroups())
+	var firstErr error
+	pool.ParallelChunks(r.NumRowGroups(), func(start, end int) {
+		for rg := start; rg < end; rg++ {
+			vals, err := r.Chunk(rg, ci).Strings()
+			if err != nil {
+				firstErr = err
+				return
+			}
+			parts[rg] = vals
+		}
+	})
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return concat(parts), nil
+}
+
+func sectionOrFull(sel *bitutil.SectionalBitmap, rg, rows int) *bitutil.Bitmap {
+	if sel == nil {
+		bm := bitutil.NewBitmap(rows)
+		bm.SetAll()
+		return bm
+	}
+	sec := sel.Section(rg)
+	if sec == nil {
+		return bitutil.NewBitmap(rows)
+	}
+	return sec
+}
+
+func concat[T any](parts [][]T) []T {
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	out := make([]T, 0, total)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}

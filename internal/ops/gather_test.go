@@ -1,0 +1,218 @@
+package ops
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"codecdb/internal/bitutil"
+	"codecdb/internal/colstore"
+	"codecdb/internal/encoding"
+	"codecdb/internal/exec"
+)
+
+// gatherFixture writes a 4-column table across several row groups.
+func gatherFixture(t *testing.T) (*colstore.Reader, []int64, []float64, [][]byte) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(31))
+	const n = 5000
+	ints := make([]int64, n)
+	floats := make([]float64, n)
+	strs := make([][]byte, n)
+	words := [][]byte{[]byte("red"), []byte("green"), []byte("blue")}
+	for i := 0; i < n; i++ {
+		ints[i] = rng.Int63n(100)
+		floats[i] = float64(i) / 3
+		strs[i] = words[i%3]
+	}
+	schema := colstore.Schema{Columns: []colstore.Column{
+		{Name: "i", Type: colstore.TypeInt64, Encoding: encoding.KindDict},
+		{Name: "f", Type: colstore.TypeFloat64, Encoding: encoding.KindPlain},
+		{Name: "s", Type: colstore.TypeString, Encoding: encoding.KindDict},
+		{Name: "p", Type: colstore.TypeInt64, Encoding: encoding.KindPlain},
+	}}
+	path := filepath.Join(t.TempDir(), "g.cdb")
+	if err := colstore.WriteFile(path, schema,
+		[]colstore.ColumnData{{Ints: ints}, {Floats: floats}, {Strings: strs}, {Ints: ints}},
+		colstore.Options{RowGroupRows: 1500, PageRows: 300}); err != nil {
+		t.Fatal(err)
+	}
+	r, err := colstore.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { r.Close() })
+	return r, ints, floats, strs
+}
+
+func TestGatherHelpersAgainstReference(t *testing.T) {
+	r, ints, floats, strs := gatherFixture(t)
+	pool := exec.NewPool(4)
+	n := int(r.NumRows())
+	sel := bitutil.NewSectionalBitmap(n, 1500)
+	rng := rand.New(rand.NewSource(32))
+	var wantRows []int
+	for i := 0; i < n; i++ {
+		if rng.Intn(7) == 0 {
+			sel.Set(i)
+			wantRows = append(wantRows, i)
+		}
+	}
+	gi, err := GatherInts(r, "i", sel, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gf, err := GatherFloats(r, "f", sel, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs, err := GatherStrings(r, "s", sel, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gp, err := GatherInts(r, "p", sel, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gi) != len(wantRows) {
+		t.Fatalf("gathered %d, want %d", len(gi), len(wantRows))
+	}
+	for k, row := range wantRows {
+		if gi[k] != ints[row] || gp[k] != ints[row] {
+			t.Fatalf("int row %d mismatch", row)
+		}
+		if gf[k] != floats[row] {
+			t.Fatalf("float row %d mismatch", row)
+		}
+		if !bytes.Equal(gs[k], strs[row]) {
+			t.Fatalf("string row %d mismatch", row)
+		}
+	}
+	// SelectedRows must align with the gathered vectors.
+	rows := SelectedRows(sel)
+	for k, row := range wantRows {
+		if rows[k] != int64(row) {
+			t.Fatalf("SelectedRows[%d] = %d, want %d", k, rows[k], row)
+		}
+	}
+	// Keys gather maps through the dictionary consistently.
+	keys, err := GatherKeys(r, "i", sel, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ci, _, _ := r.Column("i")
+	dict, _ := r.IntDict(ci)
+	for k := range wantRows {
+		if dict[keys[k]] != gi[k] {
+			t.Fatalf("key %d does not map back to value", k)
+		}
+	}
+}
+
+func TestGatherNilSelectionEqualsReadAll(t *testing.T) {
+	r, ints, floats, strs := gatherFixture(t)
+	pool := exec.NewPool(4)
+	gi, err := GatherInts(r, "i", nil, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ri, err := ReadAllInts(r, "i", pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gi, ri) || !reflect.DeepEqual(gi, ints) {
+		t.Fatal("nil selection should read everything")
+	}
+	rf, err := ReadAllFloats(r, "f", pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rf, floats) {
+		t.Fatal("ReadAllFloats mismatch")
+	}
+	rs, err := ReadAllStrings(r, "s", pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range strs {
+		if !bytes.Equal(rs[i], strs[i]) {
+			t.Fatalf("string %d mismatch", i)
+		}
+	}
+}
+
+func TestGatherUnknownColumn(t *testing.T) {
+	r, _, _, _ := gatherFixture(t)
+	pool := exec.NewPool(1)
+	for _, err := range []error{
+		errOf(GatherInts(r, "nope", nil, pool)),
+		errOf(GatherFloats(r, "nope", nil, pool)),
+		errOf(GatherStrings(r, "nope", nil, pool)),
+		errOf(GatherKeys(r, "nope", nil, pool)),
+		errOf(ReadAllInts(r, "nope", pool)),
+		errOf(ReadAllFloats(r, "nope", pool)),
+		errOf(ReadAllStrings(r, "nope", pool)),
+	} {
+		if err == nil {
+			t.Fatal("unknown column should error")
+		}
+	}
+}
+
+func errOf[T any](_ T, err error) error { return err }
+
+func TestDictIntPredFilterDirect(t *testing.T) {
+	r, ints, _, _ := gatherFixture(t)
+	pool := exec.NewPool(2)
+	f := &DictIntPredFilter{Col: "i", Pred: func(v int64) bool { return v%7 == 0 }}
+	bm, err := f.Apply(r, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range ints {
+		if bm.Get(i) != (v%7 == 0) {
+			t.Fatalf("row %d (value %d)", i, v)
+		}
+	}
+	// Predicate on a string column must be rejected.
+	if _, err := (&DictIntPredFilter{Col: "s", Pred: func(int64) bool { return true }}).Apply(r, pool); err == nil {
+		t.Fatal("string column should be rejected")
+	}
+}
+
+func TestFloatPredicateFilterDirect(t *testing.T) {
+	r, _, floats, _ := gatherFixture(t)
+	pool := exec.NewPool(2)
+	bm, err := (&FloatPredicateFilter{Col: "f", Pred: func(v float64) bool { return v > 1000 }}).Apply(r, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range floats {
+		if bm.Get(i) != (v > 1000) {
+			t.Fatalf("row %d", i)
+		}
+	}
+}
+
+func TestPCHKeysAccessor(t *testing.T) {
+	m := NewPCH(8)
+	m.Insert(10, 1)
+	m.Insert(20, 2)
+	m.Delete(10)
+	keys := m.Keys()
+	if len(keys) != 1 || keys[0] != 20 {
+		t.Fatalf("Keys = %v", keys)
+	}
+}
+
+func TestNonDictKeysRejected(t *testing.T) {
+	r, _, _, _ := gatherFixture(t)
+	pool := exec.NewPool(1)
+	sel := bitutil.NewSectionalBitmap(int(r.NumRows()), 1500)
+	sel.Set(0)
+	if _, err := GatherKeys(r, "p", sel, pool); err == nil {
+		t.Fatal("plain column has no dictionary keys")
+	}
+}

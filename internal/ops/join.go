@@ -1,0 +1,178 @@
+package ops
+
+import (
+	"sync"
+
+	"codecdb/internal/bitutil"
+	"codecdb/internal/exec"
+)
+
+// JoinPairs is the positional output of a join: row i of the result joins
+// Probe[i] on the probe side with Build[i] on the build side. Plans gather
+// payload columns through these row lists (late materialization, §5.2).
+type JoinPairs struct {
+	Probe []int64
+	Build []int64
+}
+
+// Len returns the number of joined pairs.
+func (j *JoinPairs) Len() int { return len(j.Probe) }
+
+// HashJoinBuild builds a phase-concurrent multi-map from the build side in
+// parallel (§5.5: "we can build a hash table using multiple threads").
+// keys[i] is inserted under row id rows[i]; rows may be nil, in which case
+// row ids are 0..len(keys)-1.
+func HashJoinBuild(pool *exec.Pool, keys []int64, rows []int64) *PCHMulti {
+	m := NewPCHMulti(len(keys))
+	pool.ParallelChunks(len(keys), func(start, end int) {
+		for i := start; i < end; i++ {
+			row := int64(i)
+			if rows != nil {
+				row = rows[i]
+			}
+			m.Insert(keys[i], row)
+		}
+	})
+	return m
+}
+
+// HashJoinProbe probes the map with every probe key in parallel and
+// returns the matching pairs. Pair order is deterministic: ascending probe
+// row, build rows in insertion-list order.
+func HashJoinProbe(pool *exec.Pool, m *PCHMulti, probeKeys []int64, probeRows []int64) *JoinPairs {
+	workers := pool.Size()
+	chunk := (len(probeKeys) + workers - 1) / workers
+	if chunk == 0 {
+		chunk = 1
+	}
+	nChunks := (len(probeKeys) + chunk - 1) / chunk
+	partials := make([]*JoinPairs, nChunks)
+	var wg sync.WaitGroup
+	for c := 0; c < nChunks; c++ {
+		start := c * chunk
+		end := start + chunk
+		if end > len(probeKeys) {
+			end = len(probeKeys)
+		}
+		wg.Add(1)
+		c, start, end := c, start, end
+		pool.Submit(func() {
+			defer wg.Done()
+			// FK joins produce ~one match per probe row; pre-size for that.
+			p := &JoinPairs{
+				Probe: make([]int64, 0, end-start),
+				Build: make([]int64, 0, end-start),
+			}
+			for i := start; i < end; i++ {
+				probeRow := int64(i)
+				if probeRows != nil {
+					probeRow = probeRows[i]
+				}
+				m.Each(probeKeys[i], func(buildRow int64) {
+					p.Probe = append(p.Probe, probeRow)
+					p.Build = append(p.Build, buildRow)
+				})
+			}
+			partials[c] = p
+		})
+	}
+	wg.Wait()
+	out := &JoinPairs{}
+	for _, p := range partials {
+		out.Probe = append(out.Probe, p.Probe...)
+		out.Build = append(out.Build, p.Build...)
+	}
+	return out
+}
+
+// SemiJoinBitmap marks probe positions whose key exists in the build map —
+// the bitmap form used when the join only filters (e.g. customer segment
+// restricting orders).
+func SemiJoinBitmap(pool *exec.Pool, m *PCHMulti, probeKeys []int64) *bitutil.Bitmap {
+	out := bitutil.NewBitmap(len(probeKeys))
+	var mu sync.Mutex
+	pool.ParallelChunks(len(probeKeys), func(start, end int) {
+		local := []int{}
+		for i := start; i < end; i++ {
+			if m.Contains(probeKeys[i]) {
+				local = append(local, i)
+			}
+		}
+		mu.Lock()
+		for _, i := range local {
+			out.Set(i)
+		}
+		mu.Unlock()
+	})
+	return out
+}
+
+// AntiJoinBitmap marks probe positions whose key is absent from the build
+// map (NOT EXISTS).
+func AntiJoinBitmap(pool *exec.Pool, m *PCHMulti, probeKeys []int64) *bitutil.Bitmap {
+	out := SemiJoinBitmap(pool, m, probeKeys)
+	return out.Not()
+}
+
+// NestedLoopJoin is the quadratic fallback for tiny inputs or non-equi
+// predicates: every (probe, build) pair satisfying pred joins.
+func NestedLoopJoin(probeN, buildN int, pred func(p, b int) bool) *JoinPairs {
+	out := &JoinPairs{}
+	for p := 0; p < probeN; p++ {
+		for b := 0; b < buildN; b++ {
+			if pred(p, b) {
+				out.Probe = append(out.Probe, int64(p))
+				out.Build = append(out.Build, int64(b))
+			}
+		}
+	}
+	return out
+}
+
+// blockNLBlock is the block size for block nested-loop join.
+const blockNLBlock = 256
+
+// BlockNestedLoopJoin evaluates the same result as NestedLoopJoin but
+// iterates in cache-friendly blocks (§5.5).
+func BlockNestedLoopJoin(probeN, buildN int, pred func(p, b int) bool) *JoinPairs {
+	out := &JoinPairs{}
+	for pb := 0; pb < probeN; pb += blockNLBlock {
+		pe := pb + blockNLBlock
+		if pe > probeN {
+			pe = probeN
+		}
+		for bb := 0; bb < buildN; bb += blockNLBlock {
+			be := bb + blockNLBlock
+			if be > buildN {
+				be = buildN
+			}
+			for p := pb; p < pe; p++ {
+				for b := bb; b < be; b++ {
+					if pred(p, b) {
+						out.Probe = append(out.Probe, int64(p))
+						out.Build = append(out.Build, int64(b))
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// ObliviousHashJoin is the baseline single-threaded map-based join used by
+// the Fig 6 join micro-benchmark's competitor: build with a Go map, probe
+// sequentially.
+func ObliviousHashJoin(buildKeys, probeKeys []int64) *JoinPairs {
+	m := make(map[int64][]int64, len(buildKeys))
+	for i, k := range buildKeys {
+		m[k] = append(m[k], int64(i))
+	}
+	out := &JoinPairs{}
+	for i, k := range probeKeys {
+		for _, b := range m[k] {
+			out.Probe = append(out.Probe, int64(i))
+			out.Build = append(out.Build, b)
+		}
+	}
+	return out
+}

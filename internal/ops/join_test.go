@@ -1,0 +1,228 @@
+package ops
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+
+	"codecdb/internal/exec"
+)
+
+func TestPCHBasic(t *testing.T) {
+	m := NewPCH(100)
+	for i := int64(0); i < 100; i++ {
+		m.Insert(i*3, i)
+	}
+	if m.Len() != 100 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+	for i := int64(0); i < 100; i++ {
+		v, ok := m.Get(i * 3)
+		if !ok || v != i {
+			t.Fatalf("Get(%d) = %d, %v", i*3, v, ok)
+		}
+	}
+	if _, ok := m.Get(1); ok {
+		t.Fatal("missing key found")
+	}
+	if !m.Delete(3) {
+		t.Fatal("delete failed")
+	}
+	if _, ok := m.Get(3); ok {
+		t.Fatal("deleted key still found")
+	}
+	// Keys past a tombstone must remain reachable (linear probing).
+	if _, ok := m.Get(6); !ok {
+		t.Fatal("probe chain broken after delete")
+	}
+	if m.Delete(3) {
+		t.Fatal("double delete should fail")
+	}
+}
+
+func TestPCHDuplicateInsertKeepsFirst(t *testing.T) {
+	m := NewPCH(10)
+	m.Insert(7, 100)
+	m.Insert(7, 200)
+	v, ok := m.Get(7)
+	if !ok || v != 100 {
+		t.Fatalf("Get = %d, want first value 100", v)
+	}
+	if m.Len() != 1 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+}
+
+func TestPCHConcurrentPhases(t *testing.T) {
+	const n = 50000
+	m := NewPCH(n)
+	// Phase 1: concurrent inserts.
+	var wg sync.WaitGroup
+	workers := 8
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < n; i += workers {
+				m.Insert(int64(i), int64(i)*2)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if m.Len() != n {
+		t.Fatalf("Len = %d, want %d", m.Len(), n)
+	}
+	// Phase 2: concurrent searches.
+	errs := make(chan string, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < n; i += workers {
+				if v, ok := m.Get(int64(i)); !ok || v != int64(i)*2 {
+					select {
+					case errs <- "bad get":
+					default:
+					}
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	select {
+	case e := <-errs:
+		t.Fatal(e)
+	default:
+	}
+	// Phase 3: concurrent deletes of the even keys.
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < n; i += workers {
+				if i%2 == 0 {
+					m.Delete(int64(i))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if m.Len() != n/2 {
+		t.Fatalf("after deletes Len = %d, want %d", m.Len(), n/2)
+	}
+}
+
+func TestPCHMultiDuplicates(t *testing.T) {
+	m := NewPCHMulti(10)
+	m.Insert(5, 100)
+	m.Insert(5, 101)
+	m.Insert(9, 200)
+	var rows []int64
+	m.Each(5, func(r int64) { rows = append(rows, r) })
+	sort.Slice(rows, func(i, j int) bool { return rows[i] < rows[j] })
+	if len(rows) != 2 || rows[0] != 100 || rows[1] != 101 {
+		t.Fatalf("rows = %v", rows)
+	}
+	if !m.Contains(9) || m.Contains(6) {
+		t.Fatal("Contains wrong")
+	}
+}
+
+func TestPCHReservedKeysPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewPCH(4).Insert(emptyKey, 1)
+}
+
+func joinToSet(j *JoinPairs) map[[2]int64]int {
+	m := map[[2]int64]int{}
+	for i := range j.Probe {
+		m[[2]int64{j.Probe[i], j.Build[i]}]++
+	}
+	return m
+}
+
+func TestHashJoinMatchesOblivious(t *testing.T) {
+	pool := exec.NewPool(4)
+	rng := rand.New(rand.NewSource(4))
+	build := make([]int64, 2000)
+	probe := make([]int64, 5000)
+	for i := range build {
+		build[i] = int64(rng.Intn(500)) // duplicates on the build side
+	}
+	for i := range probe {
+		probe[i] = int64(rng.Intn(800))
+	}
+	m := HashJoinBuild(pool, build, nil)
+	got := HashJoinProbe(pool, m, probe, nil)
+	want := ObliviousHashJoin(build, probe)
+	gs, ws := joinToSet(got), joinToSet(want)
+	if len(gs) != len(ws) {
+		t.Fatalf("pair sets differ: %d vs %d", len(gs), len(ws))
+	}
+	for k, c := range ws {
+		if gs[k] != c {
+			t.Fatalf("pair %v count %d, want %d", k, gs[k], c)
+		}
+	}
+}
+
+func TestHashJoinCustomRowIDs(t *testing.T) {
+	pool := exec.NewPool(2)
+	m := HashJoinBuild(pool, []int64{10, 20}, []int64{777, 888})
+	pairs := HashJoinProbe(pool, m, []int64{20, 10, 30}, []int64{5, 6, 7})
+	set := joinToSet(pairs)
+	if len(set) != 2 || set[[2]int64{5, 888}] != 1 || set[[2]int64{6, 777}] != 1 {
+		t.Fatalf("pairs = %+v", set)
+	}
+}
+
+func TestSemiAndAntiJoin(t *testing.T) {
+	pool := exec.NewPool(4)
+	m := HashJoinBuild(pool, []int64{1, 3, 5}, nil)
+	probe := []int64{0, 1, 2, 3, 4, 5, 6}
+	semi := SemiJoinBitmap(pool, m, probe)
+	anti := AntiJoinBitmap(pool, m, probe)
+	for i, k := range probe {
+		in := k == 1 || k == 3 || k == 5
+		if semi.Get(i) != in {
+			t.Fatalf("semi row %d", i)
+		}
+		if anti.Get(i) != !in {
+			t.Fatalf("anti row %d", i)
+		}
+	}
+}
+
+func TestNestedLoopVariantsAgree(t *testing.T) {
+	pred := func(p, b int) bool { return (p+b)%7 == 0 }
+	a := NestedLoopJoin(300, 200, pred)
+	b := BlockNestedLoopJoin(300, 200, pred)
+	as, bs := joinToSet(a), joinToSet(b)
+	if len(as) != len(bs) {
+		t.Fatalf("NL %d pairs, BNL %d pairs", len(as), len(bs))
+	}
+	for k := range as {
+		if bs[k] != as[k] {
+			t.Fatalf("pair %v differs", k)
+		}
+	}
+}
+
+func TestJoinEmptyInputs(t *testing.T) {
+	pool := exec.NewPool(2)
+	m := HashJoinBuild(pool, nil, nil)
+	pairs := HashJoinProbe(pool, m, []int64{1, 2}, nil)
+	if pairs.Len() != 0 {
+		t.Fatal("join against empty build should be empty")
+	}
+	pairs2 := HashJoinProbe(pool, HashJoinBuild(pool, []int64{1}, nil), nil, nil)
+	if pairs2.Len() != 0 {
+		t.Fatal("empty probe should be empty")
+	}
+}

@@ -1,0 +1,270 @@
+package sboost
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"codecdb/internal/bitutil"
+)
+
+// pack builds a packed stream of width-bit entries.
+func pack(vals []uint64, width uint) []byte {
+	w := bitutil.NewWriter()
+	for _, v := range vals {
+		w.WriteBits(v, width)
+	}
+	// Padding so the windowed reader never needs the scalar tail for the
+	// full stream — the scan still bounds-checks, this just exercises the
+	// SWAR path as much as possible.
+	buf := w.Bytes()
+	return append(buf, make([]byte, 16)...)
+}
+
+var allOps = []Op{OpEq, OpNe, OpLt, OpLe, OpGt, OpGe}
+
+func TestScanPackedAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, width := range []uint{1, 2, 3, 5, 7, 8, 10, 13, 16, 21, 31, 32, 33, 40, 64} {
+		n := 257
+		vals := make([]uint64, n)
+		max := uint64(1)
+		if width < 64 {
+			max = 1<<width - 1
+		} else {
+			max = ^uint64(0)
+		}
+		for i := range vals {
+			vals[i] = rng.Uint64() & max
+		}
+		data := pack(vals, width)
+		for _, op := range allOps {
+			for trial := 0; trial < 4; trial++ {
+				target := vals[rng.Intn(n)] // ensure hits exist
+				bm := ScanPacked(data, n, width, op, target)
+				for i, v := range vals {
+					if bm.Get(i) != evalOp(v, op, target) {
+						t.Fatalf("width=%d op=%v target=%d entry %d (%d): got %v",
+							width, op, target, i, v, bm.Get(i))
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestScanPackedEdgeTargets(t *testing.T) {
+	width := uint(10)
+	vals := []uint64{0, 1, 511, 512, 1023, 0, 1023}
+	data := pack(vals, width)
+	for _, target := range []uint64{0, 1023, 512} {
+		for _, op := range allOps {
+			bm := ScanPacked(data, len(vals), width, op, target)
+			for i, v := range vals {
+				if bm.Get(i) != evalOp(v, op, target) {
+					t.Fatalf("target=%d op=%v entry %d", target, op, i)
+				}
+			}
+		}
+	}
+}
+
+func TestScanPackedRange(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		width := uint(1 + rng.Intn(20))
+		n := 1 + rng.Intn(300)
+		max := uint64(1)<<width - 1
+		vals := make([]uint64, n)
+		for i := range vals {
+			vals[i] = rng.Uint64() & max
+		}
+		lo := rng.Uint64() & max
+		hi := rng.Uint64() & max
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		bm := ScanPackedRange(pack(vals, width), n, width, lo, hi)
+		for i, v := range vals {
+			if bm.Get(i) != (v >= lo && v <= hi) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScanPackedRangeEmptyWhenInverted(t *testing.T) {
+	vals := []uint64{1, 2, 3}
+	bm := ScanPackedRange(pack(vals, 4), 3, 4, 3, 1)
+	if bm.Any() {
+		t.Fatal("inverted range should match nothing")
+	}
+}
+
+func TestScanPackedIn(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		width := uint(1 + rng.Intn(16))
+		n := 1 + rng.Intn(200)
+		max := uint64(1)<<width - 1
+		vals := make([]uint64, n)
+		for i := range vals {
+			vals[i] = rng.Uint64() & max & 0xF // small domain so IN hits
+		}
+		k := 1 + rng.Intn(4)
+		targets := make([]uint64, k)
+		want := map[uint64]bool{}
+		for j := range targets {
+			targets[j] = rng.Uint64() & max & 0xF
+			want[targets[j]] = true
+		}
+		bm := ScanPackedIn(pack(vals, width), n, width, targets)
+		for i, v := range vals {
+			if bm.Get(i) != want[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompareStreams(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		width := uint(1 + rng.Intn(24))
+		n := 1 + rng.Intn(300)
+		max := uint64(1)<<width - 1
+		a := make([]uint64, n)
+		b := make([]uint64, n)
+		for i := range a {
+			a[i] = rng.Uint64() & max
+			if rng.Intn(3) == 0 {
+				b[i] = a[i] // force equality cases
+			} else {
+				b[i] = rng.Uint64() & max
+			}
+		}
+		pa, pb := pack(a, width), pack(b, width)
+		for _, op := range allOps {
+			bm := CompareStreams(pa, pb, n, width, op)
+			for i := range a {
+				if bm.Get(i) != evalOp(a[i], op, b[i]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompareStreamsWide(t *testing.T) {
+	// width > 32 exercises the scalar fallback.
+	a := []uint64{1 << 40, 5, 1 << 40}
+	b := []uint64{1 << 40, 1 << 41, 2}
+	bm := CompareStreams(pack(a, 48), pack(b, 48), 3, 48, OpLt)
+	want := []bool{false, true, false}
+	for i := range want {
+		if bm.Get(i) != want[i] {
+			t.Fatalf("entry %d", i)
+		}
+	}
+}
+
+func TestScanEmptyStream(t *testing.T) {
+	if ScanPacked(nil, 0, 8, OpEq, 1).Len() != 0 {
+		t.Fatal("empty scan should return empty bitmap")
+	}
+	if ScanPackedIn(nil, 0, 8, []uint64{1}).Len() != 0 {
+		t.Fatal("empty IN scan should return empty bitmap")
+	}
+}
+
+func TestScanUnpaddedTail(t *testing.T) {
+	// No padding: the scalar tail must cover the final entries safely.
+	vals := make([]uint64, 100)
+	for i := range vals {
+		vals[i] = uint64(i % 8)
+	}
+	w := bitutil.NewWriter()
+	for _, v := range vals {
+		w.WriteBits(v, 3)
+	}
+	data := w.Bytes() // exactly ceil(300/8) bytes, no slack
+	bm := ScanPacked(data, 100, 3, OpEq, 5)
+	for i, v := range vals {
+		if bm.Get(i) != (v == 5) {
+			t.Fatalf("entry %d", i)
+		}
+	}
+}
+
+func TestCumulativeSum(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(200)
+		deltas := make([]int64, n)
+		for i := range deltas {
+			deltas[i] = rng.Int63n(100) - 50
+		}
+		out := make([]int64, n)
+		CumulativeSum(deltas, out)
+		var acc int64
+		for i, d := range deltas {
+			acc += d
+			if out[i] != acc {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpString(t *testing.T) {
+	want := map[Op]string{OpEq: "=", OpNe: "<>", OpLt: "<", OpLe: "<=", OpGt: ">", OpGe: ">="}
+	for op, s := range want {
+		if op.String() != s {
+			t.Fatalf("%v.String() = %q", op, op.String())
+		}
+	}
+}
+
+// Throughput sanity: the SWAR path must beat decode-then-compare. Run as a
+// test with a modest input so the suite stays fast; the real numbers come
+// from the benchmarks.
+func TestSWARFasterThanScalarSanity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	width := uint(10)
+	n := 1 << 16
+	vals := make([]uint64, n)
+	rng := rand.New(rand.NewSource(3))
+	for i := range vals {
+		vals[i] = rng.Uint64() & 1023
+	}
+	data := pack(vals, width)
+	bm := ScanPacked(data, n, width, OpLe, 511)
+	// Correctness only here; timing claims are the benchmark's job.
+	count := 0
+	for _, v := range vals {
+		if v <= 511 {
+			count++
+		}
+	}
+	if bm.Cardinality() != count {
+		t.Fatalf("cardinality %d, want %d", bm.Cardinality(), count)
+	}
+}

@@ -1,0 +1,285 @@
+package selector
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"codecdb/internal/encoding"
+	"codecdb/internal/features"
+	"codecdb/internal/mlp"
+)
+
+// Learned is the data-driven selector: one network per data type scores
+// every candidate encoding from the column's feature vector, and the
+// lowest predicted compression ratio wins. A feature mask supports the
+// remove-one ablation study (§6.2).
+type Learned struct {
+	intNet *mlp.Network
+	strNet *mlp.Network
+	// Standardisation statistics computed on the training set.
+	intMean, intStd []float64
+	strMean, strStd []float64
+	// Mask[i] false drops feature i (ablation). Nil means all features.
+	Mask []bool
+}
+
+// TrainOptions tunes learned-selector training.
+type TrainOptions struct {
+	Hidden int // hidden layer width (default 64; the paper uses 1000)
+	Epochs int // training epochs (default 120)
+	Seed   int64
+	Mask   []bool // optional feature mask for ablation
+}
+
+func (o TrainOptions) withDefaults() TrainOptions {
+	if o.Hidden <= 0 {
+		o.Hidden = 64
+	}
+	if o.Epochs <= 0 {
+		o.Epochs = 120
+	}
+	return o
+}
+
+// TrainLearned builds ground truth by exhaustively encoding every training
+// column (§4.3: the smallest encoding is the training label), extracts
+// features, and fits the ranking networks.
+func TrainLearned(intCols [][]int64, strCols [][][]byte, opts TrainOptions) (*Learned, error) {
+	opts = opts.withDefaults()
+	l := &Learned{Mask: opts.Mask}
+
+	if len(intCols) > 0 {
+		xs := make([][]float64, len(intCols))
+		ys := make([][]float64, len(intCols))
+		for i, col := range intCols {
+			v := features.ExtractInts(col)
+			xs[i] = applyMask(v.Slice(), opts.Mask)
+			y, err := ratioTargetsInt(col)
+			if err != nil {
+				return nil, err
+			}
+			ys[i] = y
+		}
+		l.intMean, l.intStd = standardise(xs)
+		l.intNet = mlp.New(mlp.Config{Inputs: len(xs[0]), Hidden: opts.Hidden,
+			Outputs: len(encoding.IntCandidates()), Seed: opts.Seed})
+		l.intNet.Fit(xs, ys, mlp.TrainOptions{Epochs: opts.Epochs, Seed: opts.Seed})
+	}
+	if len(strCols) > 0 {
+		xs := make([][]float64, len(strCols))
+		ys := make([][]float64, len(strCols))
+		for i, col := range strCols {
+			v := features.ExtractStrings(col)
+			xs[i] = applyMask(v.Slice(), opts.Mask)
+			y, err := ratioTargetsString(col)
+			if err != nil {
+				return nil, err
+			}
+			ys[i] = y
+		}
+		l.strMean, l.strStd = standardise(xs)
+		l.strNet = mlp.New(mlp.Config{Inputs: len(xs[0]), Hidden: opts.Hidden,
+			Outputs: len(encoding.StringCandidates()), Seed: opts.Seed + 1})
+		l.strNet.Fit(xs, ys, mlp.TrainOptions{Epochs: opts.Epochs, Seed: opts.Seed + 1})
+	}
+	return l, nil
+}
+
+// ratioTargetsInt computes the per-candidate compression ratios
+// (encoded/plain, clipped to [0,1]) — the relevance scores s_ij of §4.1.
+func ratioTargetsInt(col []int64) ([]float64, error) {
+	sizes, err := SizesInt(col, encoding.IntCandidates())
+	if err != nil {
+		return nil, err
+	}
+	plain := PlainSizeInt(col)
+	y := make([]float64, len(encoding.IntCandidates()))
+	for j, k := range encoding.IntCandidates() {
+		y[j] = clipRatio(sizes[k], plain)
+	}
+	return y, nil
+}
+
+func ratioTargetsString(col [][]byte) ([]float64, error) {
+	sizes, err := SizesString(col, encoding.StringCandidates())
+	if err != nil {
+		return nil, err
+	}
+	plain := PlainSizeString(col)
+	y := make([]float64, len(encoding.StringCandidates()))
+	for j, k := range encoding.StringCandidates() {
+		y[j] = clipRatio(sizes[k], plain)
+	}
+	return y, nil
+}
+
+func clipRatio(encoded, plain int) float64 {
+	if plain <= 0 {
+		return 1
+	}
+	r := float64(encoded) / float64(plain)
+	if r > 1 {
+		r = 1
+	}
+	return r
+}
+
+// SelectInt predicts the best encoding for an integer column from its
+// (possibly sampled) values.
+func (l *Learned) SelectInt(vals []int64) encoding.Kind {
+	v := features.ExtractInts(vals)
+	return l.SelectIntFromVector(v)
+}
+
+// SelectIntFromVector predicts from a precomputed feature vector.
+func (l *Learned) SelectIntFromVector(v features.Vector) encoding.Kind {
+	if l.intNet == nil {
+		return encoding.KindDict
+	}
+	x := normalise(applyMask(v.Slice(), l.Mask), l.intMean, l.intStd)
+	scores := l.intNet.Forward(x)
+	return encoding.IntCandidates()[argmin(scores)]
+}
+
+// SelectString predicts the best encoding for a string column.
+func (l *Learned) SelectString(vals [][]byte) encoding.Kind {
+	v := features.ExtractStrings(vals)
+	return l.SelectStringFromVector(v)
+}
+
+// SelectStringFromVector predicts from a precomputed feature vector.
+func (l *Learned) SelectStringFromVector(v features.Vector) encoding.Kind {
+	if l.strNet == nil {
+		return encoding.KindDict
+	}
+	x := normalise(applyMask(v.Slice(), l.Mask), l.strMean, l.strStd)
+	scores := l.strNet.Forward(x)
+	return encoding.StringCandidates()[argmin(scores)]
+}
+
+// ScoresInt returns the predicted compression ratio per integer candidate,
+// for diagnostics and the ranking report.
+func (l *Learned) ScoresInt(v features.Vector) map[encoding.Kind]float64 {
+	x := normalise(applyMask(v.Slice(), l.Mask), l.intMean, l.intStd)
+	out := map[encoding.Kind]float64{}
+	for j, s := range l.intNet.Forward(x) {
+		out[encoding.IntCandidates()[j]] = s
+	}
+	return out
+}
+
+func argmin(xs []float64) int {
+	best := 0
+	for i, x := range xs {
+		if x < xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+func applyMask(x []float64, mask []bool) []float64 {
+	if mask == nil {
+		return x
+	}
+	out := make([]float64, 0, len(x))
+	for i, v := range x {
+		if i < len(mask) && !mask[i] {
+			continue
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// standardise computes per-dimension mean/std and rescales xs in place.
+func standardise(xs [][]float64) (mean, std []float64) {
+	d := len(xs[0])
+	mean = make([]float64, d)
+	std = make([]float64, d)
+	for _, x := range xs {
+		for i, v := range x {
+			mean[i] += v
+		}
+	}
+	for i := range mean {
+		mean[i] /= float64(len(xs))
+	}
+	for _, x := range xs {
+		for i, v := range x {
+			dv := v - mean[i]
+			std[i] += dv * dv
+		}
+	}
+	for i := range std {
+		std[i] = math.Sqrt(std[i] / float64(len(xs)))
+		if std[i] < 1e-9 {
+			std[i] = 1
+		}
+	}
+	for _, x := range xs {
+		for i := range x {
+			x[i] = (x[i] - mean[i]) / std[i]
+		}
+	}
+	return mean, std
+}
+
+func normalise(x, mean, std []float64) []float64 {
+	out := make([]float64, len(x))
+	for i := range x {
+		out[i] = (x[i] - mean[i]) / std[i]
+	}
+	return out
+}
+
+// persistedLearned is the serialisation envelope for a trained selector.
+type persistedLearned struct {
+	IntNet  json.RawMessage `json:"intNet,omitempty"`
+	StrNet  json.RawMessage `json:"strNet,omitempty"`
+	IntMean []float64       `json:"intMean,omitempty"`
+	IntStd  []float64       `json:"intStd,omitempty"`
+	StrMean []float64       `json:"strMean,omitempty"`
+	StrStd  []float64       `json:"strStd,omitempty"`
+	Mask    []bool          `json:"mask,omitempty"`
+}
+
+// Marshal serialises the trained selector.
+func (l *Learned) Marshal() ([]byte, error) {
+	var p persistedLearned
+	var err error
+	if l.intNet != nil {
+		if p.IntNet, err = l.intNet.Marshal(); err != nil {
+			return nil, err
+		}
+	}
+	if l.strNet != nil {
+		if p.StrNet, err = l.strNet.Marshal(); err != nil {
+			return nil, err
+		}
+	}
+	p.IntMean, p.IntStd, p.StrMean, p.StrStd, p.Mask = l.intMean, l.intStd, l.strMean, l.strStd, l.Mask
+	return json.Marshal(p)
+}
+
+// UnmarshalLearned restores a selector from Marshal output.
+func UnmarshalLearned(data []byte) (*Learned, error) {
+	var p persistedLearned
+	if err := json.Unmarshal(data, &p); err != nil {
+		return nil, fmt.Errorf("selector: corrupt model: %w", err)
+	}
+	l := &Learned{intMean: p.IntMean, intStd: p.IntStd, strMean: p.StrMean, strStd: p.StrStd, Mask: p.Mask}
+	var err error
+	if p.IntNet != nil {
+		if l.intNet, err = mlp.Unmarshal(p.IntNet); err != nil {
+			return nil, err
+		}
+	}
+	if p.StrNet != nil {
+		if l.strNet, err = mlp.Unmarshal(p.StrNet); err != nil {
+			return nil, err
+		}
+	}
+	return l, nil
+}

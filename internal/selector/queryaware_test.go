@@ -1,0 +1,95 @@
+package selector
+
+import (
+	"testing"
+
+	"codecdb/internal/encoding"
+)
+
+func TestQueryAwareZeroWeightMatchesBase(t *testing.T) {
+	l, test := trainTestSelector(t)
+	qa := &QueryAware{Base: l, PredicateWeight: 0}
+	for i := range test {
+		c := &test[i]
+		if c.IsInt() {
+			if qa.SelectInt(c.Ints) != l.SelectInt(c.Ints) {
+				t.Fatal("weight 0 must reduce to pure compression ranking")
+			}
+		} else {
+			if qa.SelectString(c.Strings) != l.SelectString(c.Strings) {
+				t.Fatal("weight 0 must reduce to pure compression ranking")
+			}
+		}
+	}
+}
+
+func TestQueryAwareShiftsTowardScannableEncodings(t *testing.T) {
+	l, test := trainTestSelector(t)
+	base := &QueryAware{Base: l, PredicateWeight: 0}
+	heavy := &QueryAware{Base: l, PredicateWeight: 1}
+	baseEff, heavyEff := 0.0, 0.0
+	n := 0
+	for i := range test {
+		c := &test[i]
+		if !c.IsInt() {
+			continue
+		}
+		baseEff += scanEfficiency(base.SelectInt(c.Ints))
+		heavyEff += scanEfficiency(heavy.SelectInt(c.Ints))
+		n++
+	}
+	if n == 0 {
+		t.Fatal("no integer test columns")
+	}
+	// With full predicate weight, average scan efficiency of the chosen
+	// encodings must not decrease — that is the whole point.
+	if heavyEff < baseEff {
+		t.Fatalf("query-aware selection lowered scan efficiency: %.2f -> %.2f",
+			baseEff/float64(n), heavyEff/float64(n))
+	}
+}
+
+func TestQueryAwareRespectsCompressionWhenGapIsLarge(t *testing.T) {
+	l, _ := trainTestSelector(t)
+	qa := &QueryAware{Base: l, PredicateWeight: 1}
+	// A long sorted sequence: delta compresses enormously better than
+	// dictionary (every value distinct). Even at full predicate weight the
+	// bounded efficiency factor (2.5x max) cannot overcome a >10x size gap
+	// for a well-calibrated model.
+	sorted := make([]int64, 6000)
+	for i := range sorted {
+		sorted[i] = int64(1_000_000 + i)
+	}
+	got := qa.SelectInt(sorted)
+	if got == encoding.KindDict {
+		// Dict on all-distinct data would be a clear mistake.
+		sizes, _ := SizesInt(sorted, encoding.IntCandidates())
+		if sizes[encoding.KindDict] > 3*sizes[encoding.KindDelta] {
+			t.Fatalf("query-aware chose dict at %dB over delta at %dB",
+				sizes[encoding.KindDict], sizes[encoding.KindDelta])
+		}
+	}
+}
+
+func TestQueryAwareUntrainedBase(t *testing.T) {
+	qa := &QueryAware{Base: &Learned{}, PredicateWeight: 0.5}
+	// Uniform default scores: the scan-efficiency factor alone decides,
+	// so dictionary (efficiency 1.0) wins.
+	if got := qa.SelectInt([]int64{1, 2, 3}); got != encoding.KindDict {
+		t.Fatalf("untrained query-aware picked %v", got)
+	}
+	if got := qa.SelectString([][]byte{[]byte("x")}); got != encoding.KindDict {
+		t.Fatalf("untrained query-aware picked %v", got)
+	}
+}
+
+func TestScanEfficiencyOrdering(t *testing.T) {
+	// The model's premise: dictionary scans fastest, delta needs decode.
+	if !(scanEfficiency(encoding.KindDict) > scanEfficiency(encoding.KindBitPacked) &&
+		scanEfficiency(encoding.KindBitPacked) > scanEfficiency(encoding.KindDelta)) {
+		t.Fatal("scan efficiency ordering broken")
+	}
+	if w := scanEfficiency(encoding.KindPlain); w <= 0 || w > 1 {
+		t.Fatalf("plain efficiency %v out of range", w)
+	}
+}

@@ -1,0 +1,103 @@
+package selector
+
+import (
+	"codecdb/internal/encoding"
+	"codecdb/internal/features"
+)
+
+// Thresholds from Abadi et al. [2] as described in the paper's case
+// studies (§6.2.1).
+const (
+	abadiRunLenThreshold   = 4.0
+	abadiDistinctThreshold = 50000
+)
+
+// AbadiSelectInt applies the hand-crafted decision tree from Abadi et
+// al. 2006 to an integer column:
+//
+//	avg run length > 4          → RLE
+//	distinct values > 50000     → plain (LZ-or-nothing branch)
+//	column (mostly) sorted      → delta
+//	otherwise                   → dictionary
+//
+// The tree uses global knowledge — exact run length, exact cardinality,
+// a boolean "sorted" — which is exactly what the paper criticises.
+func AbadiSelectInt(vals []int64) encoding.Kind {
+	v := features.ExtractInts(vals)
+	return abadiTree(v, len(vals), true)
+}
+
+// AbadiSelectString applies the decision tree to a string column, mapped
+// onto the string candidate set (no RLE/delta for raw strings in the
+// candidate list, matching Table 1's Parquet row).
+func AbadiSelectString(vals [][]byte) encoding.Kind {
+	v := features.ExtractStrings(vals)
+	if v.CardRatio*float64(len(vals)) > abadiDistinctThreshold {
+		return encoding.KindPlain
+	}
+	return encoding.KindDict
+}
+
+func abadiTree(v features.Vector, n int, isInt bool) encoding.Kind {
+	if v.MeanRunLen > abadiRunLenThreshold {
+		return encoding.KindRLE
+	}
+	if v.CardRatio*float64(n) > abadiDistinctThreshold {
+		return encoding.KindPlain
+	}
+	if v.TauW100 > 0.95 || v.TauW100 < -0.95 { // the tree's boolean "sorted"
+		return encoding.KindDelta
+	}
+	return encoding.KindDict
+}
+
+// parquetDictThreshold models Parquet's dictionary-page size cap: the
+// write path abandons dictionary encoding once the dictionary exceeds it.
+const parquetDictThreshold = 65536
+
+// ParquetSelectInt models Parquet's built-in rule (§6.2.1 case 3): always
+// try dictionary; fall back to the type default when the dictionary
+// overflows. For integers Parquet's fallback is plain.
+func ParquetSelectInt(vals []int64) encoding.Kind {
+	if distinctCountInt(vals) <= parquetDictThreshold {
+		return encoding.KindDict
+	}
+	return encoding.KindPlain
+}
+
+// ParquetSelectString models the same rule for strings.
+func ParquetSelectString(vals [][]byte) encoding.Kind {
+	if distinctCountString(vals) <= parquetDictThreshold {
+		return encoding.KindDict
+	}
+	return encoding.KindPlain
+}
+
+// ORCSelectInt models ORC's hard-coded defaults (Table 1): RLE for
+// integers.
+func ORCSelectInt(vals []int64) encoding.Kind { return encoding.KindRLE }
+
+// ORCSelectString models ORC's Dictionary-RLE default for strings.
+func ORCSelectString(vals [][]byte) encoding.Kind { return encoding.KindDictRLE }
+
+func distinctCountInt(vals []int64) int {
+	seen := make(map[int64]struct{}, 1024)
+	for _, v := range vals {
+		seen[v] = struct{}{}
+		if len(seen) > parquetDictThreshold {
+			break
+		}
+	}
+	return len(seen)
+}
+
+func distinctCountString(vals [][]byte) int {
+	seen := make(map[string]struct{}, 1024)
+	for _, v := range vals {
+		seen[string(v)] = struct{}{}
+		if len(seen) > parquetDictThreshold {
+			break
+		}
+	}
+	return len(seen)
+}

@@ -1,0 +1,106 @@
+// Package selector implements CodecDB's data-driven encoding selection
+// (paper §4) and the baselines it is evaluated against (§6.2): the
+// exhaustive oracle, Abadi's hand-crafted decision tree, Parquet's
+// try-dictionary rule, and ORC's per-type defaults.
+//
+// Selection is modeled as learning to rank: a neural network scores each
+// (column, encoding) pair by predicted compression ratio, and the encoding
+// with the best predicted ratio wins. Features come from
+// internal/features and can be computed on a head sample, so selection
+// time is independent of column size (§6.2.2).
+package selector
+
+import (
+	"codecdb/internal/encoding"
+)
+
+// SizesInt encodes vals with each candidate kind and returns the encoded
+// byte sizes — the exhaustive measurement used for ground truth.
+func SizesInt(vals []int64, kinds []encoding.Kind) (map[encoding.Kind]int, error) {
+	out := make(map[encoding.Kind]int, len(kinds))
+	for _, k := range kinds {
+		codec, err := encoding.IntCodecFor(k)
+		if err != nil {
+			return nil, err
+		}
+		buf, err := codec.Encode(vals)
+		if err != nil {
+			return nil, err
+		}
+		out[k] = len(buf)
+	}
+	return out, nil
+}
+
+// SizesString is the string analogue of SizesInt.
+func SizesString(vals [][]byte, kinds []encoding.Kind) (map[encoding.Kind]int, error) {
+	out := make(map[encoding.Kind]int, len(kinds))
+	for _, k := range kinds {
+		codec, err := encoding.StringCodecFor(k)
+		if err != nil {
+			return nil, err
+		}
+		buf, err := codec.Encode(vals)
+		if err != nil {
+			return nil, err
+		}
+		out[k] = len(buf)
+	}
+	return out, nil
+}
+
+// BestInt exhaustively selects the smallest encoding among the integer
+// candidates, returning the winner and its size.
+func BestInt(vals []int64) (encoding.Kind, int, error) {
+	sizes, err := SizesInt(vals, encoding.IntCandidates())
+	if err != nil {
+		return 0, 0, err
+	}
+	return minKind(sizes, encoding.IntCandidates()), minSize(sizes), nil
+}
+
+// BestString exhaustively selects the smallest encoding among the string
+// candidates.
+func BestString(vals [][]byte) (encoding.Kind, int, error) {
+	sizes, err := SizesString(vals, encoding.StringCandidates())
+	if err != nil {
+		return 0, 0, err
+	}
+	return minKind(sizes, encoding.StringCandidates()), minSize(sizes), nil
+}
+
+// minKind iterates kinds in declaration order so ties break
+// deterministically.
+func minKind(sizes map[encoding.Kind]int, kinds []encoding.Kind) encoding.Kind {
+	best := kinds[0]
+	for _, k := range kinds[1:] {
+		if sizes[k] < sizes[best] {
+			best = k
+		}
+	}
+	return best
+}
+
+func minSize(sizes map[encoding.Kind]int) int {
+	first := true
+	m := 0
+	for _, s := range sizes {
+		if first || s < m {
+			m = s
+			first = false
+		}
+	}
+	return m
+}
+
+// PlainSizeInt is the uncompressed baseline size of an integer column.
+func PlainSizeInt(vals []int64) int {
+	buf, _ := encoding.PlainInt{}.Encode(vals)
+	return len(buf)
+}
+
+// PlainSizeString is the uncompressed baseline size of a string column.
+func PlainSizeString(vals [][]byte) int {
+	buf, _ := encoding.PlainString{}.Encode(vals)
+	return len(buf)
+}

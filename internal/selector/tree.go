@@ -1,0 +1,235 @@
+package selector
+
+import (
+	"math"
+	"sort"
+
+	"codecdb/internal/encoding"
+	"codecdb/internal/features"
+)
+
+// TreeSelector is a learned CART decision tree over the same feature
+// vectors the neural selector uses. The paper notes it "evaluated
+// alternative machine learning models and settled on a neural network as
+// it provides the highest accuracy. Several other models had high
+// accuracy" (§6.2) — this is one of those other models, kept both as a
+// baseline and as evidence that the feature engineering (not the network)
+// carries most of the signal.
+//
+// Unlike Abadi's tree the structure is learned from data, not
+// hand-crafted: each split greedily minimises Gini impurity of the
+// best-encoding label.
+type TreeSelector struct {
+	intRoot *treeNode
+	strRoot *treeNode
+}
+
+type treeNode struct {
+	// Leaf:
+	kind encoding.Kind
+	leaf bool
+	// Internal:
+	feature     int
+	threshold   float64
+	left, right *treeNode
+}
+
+// treeSample is one training instance.
+type treeSample struct {
+	x     []float64
+	label int // index into the candidate kind list
+}
+
+// TreeOptions tunes tree induction.
+type TreeOptions struct {
+	MaxDepth    int // default 8
+	MinLeafSize int // default 3
+}
+
+func (o TreeOptions) withDefaults() TreeOptions {
+	if o.MaxDepth <= 0 {
+		o.MaxDepth = 8
+	}
+	if o.MinLeafSize <= 0 {
+		o.MinLeafSize = 3
+	}
+	return o
+}
+
+// TrainTree builds decision trees from the training columns, labelling
+// each with its exhaustive-best encoding.
+func TrainTree(intCols [][]int64, strCols [][][]byte, opts TreeOptions) (*TreeSelector, error) {
+	opts = opts.withDefaults()
+	ts := &TreeSelector{}
+	if len(intCols) > 0 {
+		samples := make([]treeSample, 0, len(intCols))
+		for _, col := range intCols {
+			best, _, err := BestInt(col)
+			if err != nil {
+				return nil, err
+			}
+			v := features.ExtractInts(col)
+			samples = append(samples, treeSample{x: v.Slice(), label: kindIndex(best, encoding.IntCandidates())})
+		}
+		ts.intRoot = buildTree(samples, len(encoding.IntCandidates()), opts.MaxDepth, opts.MinLeafSize, encoding.IntCandidates())
+	}
+	if len(strCols) > 0 {
+		samples := make([]treeSample, 0, len(strCols))
+		for _, col := range strCols {
+			best, _, err := BestString(col)
+			if err != nil {
+				return nil, err
+			}
+			v := features.ExtractStrings(col)
+			samples = append(samples, treeSample{x: v.Slice(), label: kindIndex(best, encoding.StringCandidates())})
+		}
+		ts.strRoot = buildTree(samples, len(encoding.StringCandidates()), opts.MaxDepth, opts.MinLeafSize, encoding.StringCandidates())
+	}
+	return ts, nil
+}
+
+func kindIndex(k encoding.Kind, kinds []encoding.Kind) int {
+	for i, c := range kinds {
+		if c == k {
+			return i
+		}
+	}
+	return 0
+}
+
+// SelectInt predicts the best encoding for an integer column.
+func (t *TreeSelector) SelectInt(vals []int64) encoding.Kind {
+	if t.intRoot == nil {
+		return encoding.KindDict
+	}
+	v := features.ExtractInts(vals)
+	return t.intRoot.predict(v.Slice())
+}
+
+// SelectString predicts the best encoding for a string column.
+func (t *TreeSelector) SelectString(vals [][]byte) encoding.Kind {
+	if t.strRoot == nil {
+		return encoding.KindDict
+	}
+	v := features.ExtractStrings(vals)
+	return t.strRoot.predict(v.Slice())
+}
+
+func (n *treeNode) predict(x []float64) encoding.Kind {
+	for !n.leaf {
+		if x[n.feature] < n.threshold {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.kind
+}
+
+// Depth returns the tree height, for diagnostics.
+func (t *TreeSelector) Depth() int { return depthOf(t.intRoot) }
+
+func depthOf(n *treeNode) int {
+	if n == nil || n.leaf {
+		return 0
+	}
+	l, r := depthOf(n.left), depthOf(n.right)
+	if l > r {
+		return l + 1
+	}
+	return r + 1
+}
+
+func buildTree(samples []treeSample, nClasses, depth, minLeaf int, kinds []encoding.Kind) *treeNode {
+	if len(samples) == 0 {
+		return &treeNode{leaf: true, kind: kinds[0]}
+	}
+	majority, pure := majorityClass(samples, nClasses)
+	if pure || depth == 0 || len(samples) < 2*minLeaf {
+		return &treeNode{leaf: true, kind: kinds[majority]}
+	}
+	feat, thresh, ok := bestSplit(samples, nClasses, minLeaf)
+	if !ok {
+		return &treeNode{leaf: true, kind: kinds[majority]}
+	}
+	var left, right []treeSample
+	for _, s := range samples {
+		if s.x[feat] < thresh {
+			left = append(left, s)
+		} else {
+			right = append(right, s)
+		}
+	}
+	return &treeNode{
+		feature: feat, threshold: thresh,
+		left:  buildTree(left, nClasses, depth-1, minLeaf, kinds),
+		right: buildTree(right, nClasses, depth-1, minLeaf, kinds),
+	}
+}
+
+func majorityClass(samples []treeSample, nClasses int) (int, bool) {
+	counts := make([]int, nClasses)
+	for _, s := range samples {
+		counts[s.label]++
+	}
+	best, nonZero := 0, 0
+	for c, n := range counts {
+		if n > counts[best] {
+			best = c
+		}
+		if n > 0 {
+			nonZero++
+		}
+	}
+	return best, nonZero <= 1
+}
+
+// bestSplit scans every feature's midpoints for the split minimising
+// weighted Gini impurity.
+func bestSplit(samples []treeSample, nClasses, minLeaf int) (int, float64, bool) {
+	bestGini := math.Inf(1)
+	bestFeat, bestThresh := -1, 0.0
+	dim := len(samples[0].x)
+	order := make([]int, len(samples))
+	for f := 0; f < dim; f++ {
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(a, b int) bool { return samples[order[a]].x[f] < samples[order[b]].x[f] })
+		// Sweep the sorted samples maintaining left/right class counts.
+		leftCounts := make([]int, nClasses)
+		rightCounts := make([]int, nClasses)
+		for _, s := range samples {
+			rightCounts[s.label]++
+		}
+		for i := 0; i < len(order)-1; i++ {
+			s := samples[order[i]]
+			leftCounts[s.label]++
+			rightCounts[s.label]--
+			nl, nr := i+1, len(order)-i-1
+			if nl < minLeaf || nr < minLeaf {
+				continue
+			}
+			cur, next := samples[order[i]].x[f], samples[order[i+1]].x[f]
+			if cur == next {
+				continue // no separating threshold here
+			}
+			g := (float64(nl)*gini(leftCounts, nl) + float64(nr)*gini(rightCounts, nr)) / float64(len(order))
+			if g < bestGini {
+				bestGini = g
+				bestFeat = f
+				bestThresh = (cur + next) / 2
+			}
+		}
+	}
+	return bestFeat, bestThresh, bestFeat >= 0
+}
+
+func gini(counts []int, total int) float64 {
+	g := 1.0
+	for _, c := range counts {
+		p := float64(c) / float64(total)
+		g -= p * p
+	}
+	return g
+}

@@ -1,0 +1,255 @@
+// Package ssb implements the Star Schema Benchmark (O'Neil et al.):
+// a deterministic data generator for the denormalized lineorder fact
+// table and its four dimensions, plus the 13 SSB queries in three
+// engines — CodecDB's encoding-aware plans, a MorphStore-like engine with
+// eagerly materialised compressed intermediates, and the decode-first
+// oblivious baseline — reproducing the paper's Fig 10 comparison.
+package ssb
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Row counts at SF=1.
+const (
+	lineorderPerSF = 6_000_000
+	customerPerSF  = 30_000
+	supplierPerSF  = 2_000
+	partBase       = 200_000 // SSB: 200k * (1 + log2(SF)), we use flat scaling
+)
+
+// Five regions with five nations each (SSB flattens TPC-H's geography).
+var (
+	Regions = []string{"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"}
+	Nations = [][]string{
+		{"ALGERIA", "ETHIOPIA", "KENYA", "MOROCCO", "MOZAMBIQUE"},
+		{"ARGENTINA", "BRAZIL", "CANADA", "PERU", "UNITED STATES"},
+		{"CHINA", "INDIA", "INDONESIA", "JAPAN", "VIETNAM"},
+		{"FRANCE", "GERMANY", "ROMANIA", "RUSSIA", "UNITED KINGDOM"},
+		{"EGYPT", "IRAN", "IRAQ", "JORDAN", "SAUDI ARABIA"},
+	}
+	MfgrCount     = 5
+	CategoryPerM  = 5
+	BrandPerCat   = 40
+	monthNames    = []string{"Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"}
+	ssbStartYear  = 1992
+	ssbEndYear    = 1998
+	daysPerMonth  = 28 // simplified calendar keeps week numbers deterministic
+	monthsPerYear = 12
+)
+
+// Customer dimension.
+type Customer struct {
+	CustKey []int64
+	Name    [][]byte
+	City    [][]byte
+	Nation  [][]byte
+	Region  [][]byte
+}
+
+// Supplier dimension.
+type Supplier struct {
+	SuppKey []int64
+	Name    [][]byte
+	City    [][]byte
+	Nation  [][]byte
+	Region  [][]byte
+}
+
+// Part dimension.
+type Part struct {
+	PartKey  []int64
+	Name     [][]byte
+	Mfgr     [][]byte
+	Category [][]byte
+	Brand1   [][]byte
+	Color    [][]byte
+	Size     []int64
+}
+
+// DateDim is the date dimension keyed by yyyymmdd.
+type DateDim struct {
+	DateKey       []int64
+	Year          []int64
+	YearMonthNum  []int64 // yyyymm
+	YearMonth     [][]byte
+	WeekNumInYear []int64
+}
+
+// Lineorder is the denormalized fact table.
+type Lineorder struct {
+	OrderKey      []int64
+	LineNumber    []int64
+	CustKey       []int64
+	PartKey       []int64
+	SuppKey       []int64
+	OrderDate     []int64 // yyyymmdd, FK into DateDim
+	Quantity      []int64
+	ExtendedPrice []int64
+	Discount      []int64 // integer percent 0..10
+	Revenue       []int64
+	SupplyCost    []int64
+	CommitDate    []int64
+	ShipMode      [][]byte
+}
+
+// Data is the full SSB database.
+type Data struct {
+	SF        float64
+	Customer  Customer
+	Supplier  Supplier
+	Part      Part
+	Date      DateDim
+	Lineorder Lineorder
+}
+
+// cityOf derives an SSB city: nation prefix (padded/truncated to 9 chars)
+// plus a digit 0-9.
+func cityOf(nation string, i int) []byte {
+	padded := nation + "          "
+	return []byte(fmt.Sprintf("%s%d", padded[:9], i%10))
+}
+
+func dateKeyOf(year, month, day int) int64 {
+	return int64(year*10000 + month*100 + day)
+}
+
+// Generate produces a deterministic SSB dataset.
+func Generate(sf float64, seed int64) *Data {
+	if sf <= 0 {
+		sf = 0.01
+	}
+	rng := rand.New(rand.NewSource(seed))
+	d := &Data{SF: sf}
+	d.genDate()
+	d.genCustomer(rng, scaled(sf, customerPerSF))
+	d.genSupplier(rng, scaled(sf, supplierPerSF))
+	d.genPart(rng, scaled(sf, partBase))
+	d.genLineorder(rng, scaled(sf, lineorderPerSF))
+	return d
+}
+
+func scaled(sf float64, base int) int {
+	n := int(sf * float64(base))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+func (d *Data) genDate() {
+	dd := &d.Date
+	for year := ssbStartYear; year <= ssbEndYear; year++ {
+		for month := 1; month <= monthsPerYear; month++ {
+			for day := 1; day <= daysPerMonth; day++ {
+				dayOfYear := (month-1)*daysPerMonth + day
+				dd.DateKey = append(dd.DateKey, dateKeyOf(year, month, day))
+				dd.Year = append(dd.Year, int64(year))
+				dd.YearMonthNum = append(dd.YearMonthNum, int64(year*100+month))
+				dd.YearMonth = append(dd.YearMonth, []byte(fmt.Sprintf("%s%d", monthNames[month-1], year)))
+				dd.WeekNumInYear = append(dd.WeekNumInYear, int64((dayOfYear-1)/7+1))
+			}
+		}
+	}
+}
+
+func (d *Data) randomDateKey(rng *rand.Rand) int64 {
+	return d.Date.DateKey[rng.Intn(len(d.Date.DateKey))]
+}
+
+func (d *Data) genCustomer(rng *rand.Rand, n int) {
+	c := &d.Customer
+	for i := 1; i <= n; i++ {
+		r := rng.Intn(len(Regions))
+		nat := Nations[r][rng.Intn(5)]
+		c.CustKey = append(c.CustKey, int64(i))
+		c.Name = append(c.Name, []byte(fmt.Sprintf("Customer#%09d", i)))
+		c.City = append(c.City, cityOf(nat, rng.Intn(10)))
+		c.Nation = append(c.Nation, []byte(nat))
+		c.Region = append(c.Region, []byte(Regions[r]))
+	}
+}
+
+func (d *Data) genSupplier(rng *rand.Rand, n int) {
+	s := &d.Supplier
+	for i := 1; i <= n; i++ {
+		r := rng.Intn(len(Regions))
+		nat := Nations[r][rng.Intn(5)]
+		s.SuppKey = append(s.SuppKey, int64(i))
+		s.Name = append(s.Name, []byte(fmt.Sprintf("Supplier#%09d", i)))
+		s.City = append(s.City, cityOf(nat, rng.Intn(10)))
+		s.Nation = append(s.Nation, []byte(nat))
+		s.Region = append(s.Region, []byte(Regions[r]))
+	}
+}
+
+func (d *Data) genPart(rng *rand.Rand, n int) {
+	p := &d.Part
+	colors := []string{"red", "green", "blue", "cyan", "plum", "sandy", "khaki", "linen"}
+	for i := 1; i <= n; i++ {
+		m := rng.Intn(MfgrCount) + 1
+		cat := rng.Intn(CategoryPerM) + 1
+		brand := rng.Intn(BrandPerCat) + 1
+		p.PartKey = append(p.PartKey, int64(i))
+		p.Name = append(p.Name, []byte(fmt.Sprintf("part %d", i)))
+		p.Mfgr = append(p.Mfgr, []byte(fmt.Sprintf("MFGR#%d", m)))
+		p.Category = append(p.Category, []byte(fmt.Sprintf("MFGR#%d%d", m, cat)))
+		p.Brand1 = append(p.Brand1, []byte(fmt.Sprintf("MFGR#%d%d%02d", m, cat, brand)))
+		p.Color = append(p.Color, []byte(colors[rng.Intn(len(colors))]))
+		p.Size = append(p.Size, int64(rng.Intn(50)+1))
+	}
+}
+
+var shipModes = []string{"AIR", "FOB", "MAIL", "RAIL", "REG AIR", "SHIP", "TRUCK"}
+
+func (d *Data) genLineorder(rng *rand.Rand, n int) {
+	lo := &d.Lineorder
+	nCust := len(d.Customer.CustKey)
+	nSupp := len(d.Supplier.SuppKey)
+	nPart := len(d.Part.PartKey)
+	order := int64(0)
+	for len(lo.OrderKey) < n {
+		order++
+		lines := rng.Intn(7) + 1
+		odate := d.randomDateKey(rng)
+		cust := int64(rng.Intn(nCust) + 1)
+		for ln := 1; ln <= lines && len(lo.OrderKey) < n; ln++ {
+			qty := int64(rng.Intn(50) + 1)
+			price := int64(rng.Intn(100000) + 900)
+			disc := int64(rng.Intn(11))
+			lo.OrderKey = append(lo.OrderKey, order)
+			lo.LineNumber = append(lo.LineNumber, int64(ln))
+			lo.CustKey = append(lo.CustKey, cust)
+			lo.PartKey = append(lo.PartKey, int64(rng.Intn(nPart)+1))
+			lo.SuppKey = append(lo.SuppKey, int64(rng.Intn(nSupp)+1))
+			lo.OrderDate = append(lo.OrderDate, odate)
+			lo.Quantity = append(lo.Quantity, qty)
+			lo.ExtendedPrice = append(lo.ExtendedPrice, price*qty)
+			lo.Discount = append(lo.Discount, disc)
+			lo.Revenue = append(lo.Revenue, price*qty*(100-disc)/100)
+			lo.SupplyCost = append(lo.SupplyCost, price*6/10)
+			lo.CommitDate = append(lo.CommitDate, d.randomDateKey(rng))
+			lo.ShipMode = append(lo.ShipMode, []byte(shipModes[rng.Intn(len(shipModes))]))
+		}
+	}
+}
+
+// YearOf derives the year from a date key (the denormalized date join).
+func YearOf(dateKey int64) int64 { return dateKey / 10000 }
+
+// YearMonthNumOf derives yyyymm from a date key.
+func YearMonthNumOf(dateKey int64) int64 { return dateKey / 100 }
+
+// WeekOf derives the simplified week-in-year from a date key.
+func WeekOf(dateKey int64) int64 {
+	month := (dateKey / 100) % 100
+	day := dateKey % 100
+	return ((month-1)*int64(daysPerMonth)+day-1)/7 + 1
+}
+
+// YearMonthOf derives the "Dec1997"-style label from a date key.
+func YearMonthOf(dateKey int64) []byte {
+	month := (dateKey / 100) % 100
+	return []byte(fmt.Sprintf("%s%d", monthNames[month-1], dateKey/10000))
+}

@@ -1,0 +1,82 @@
+package ssb
+
+import (
+	"codecdb/internal/colstore"
+	"codecdb/internal/core"
+	"codecdb/internal/encoding"
+)
+
+// LoadCodecDB writes the SSB tables with CodecDB's encoding choices:
+// dictionary for every filterable attribute (dates, discounts, quantities,
+// geography, part hierarchy), delta for sorted keys, bit-packing for
+// bounded integers.
+func LoadCodecDB(db *core.DB, d *Data, opts colstore.Options) error {
+	dict := func(name string) core.ColumnSpec {
+		return core.ColumnSpec{Name: name, Type: colstore.TypeString, Encoding: encoding.KindDict}
+	}
+	dictInt := func(name string) core.ColumnSpec {
+		return core.ColumnSpec{Name: name, Type: colstore.TypeInt64, Encoding: encoding.KindDict}
+	}
+	delta := func(name string) core.ColumnSpec {
+		return core.ColumnSpec{Name: name, Type: colstore.TypeInt64, Encoding: encoding.KindDelta}
+	}
+	packed := func(name string) core.ColumnSpec {
+		return core.ColumnSpec{Name: name, Type: colstore.TypeInt64, Encoding: encoding.KindBitPacked}
+	}
+	str := func(name string) core.ColumnSpec {
+		return core.ColumnSpec{Name: name, Type: colstore.TypeString, Encoding: encoding.KindPlain}
+	}
+	type tableLoad struct {
+		name  string
+		specs []core.ColumnSpec
+		data  []colstore.ColumnData
+	}
+	loads := []tableLoad{
+		{"lineorder", []core.ColumnSpec{
+			delta("lo_orderkey"), packed("lo_linenumber"), packed("lo_custkey"),
+			packed("lo_partkey"), packed("lo_suppkey"), dictInt("lo_orderdate"),
+			dictInt("lo_quantity"), packed("lo_extendedprice"), dictInt("lo_discount"),
+			packed("lo_revenue"), packed("lo_supplycost"), dictInt("lo_commitdate"),
+			dict("lo_shipmode"),
+		}, []colstore.ColumnData{
+			{Ints: d.Lineorder.OrderKey}, {Ints: d.Lineorder.LineNumber}, {Ints: d.Lineorder.CustKey},
+			{Ints: d.Lineorder.PartKey}, {Ints: d.Lineorder.SuppKey}, {Ints: d.Lineorder.OrderDate},
+			{Ints: d.Lineorder.Quantity}, {Ints: d.Lineorder.ExtendedPrice}, {Ints: d.Lineorder.Discount},
+			{Ints: d.Lineorder.Revenue}, {Ints: d.Lineorder.SupplyCost}, {Ints: d.Lineorder.CommitDate},
+			{Strings: d.Lineorder.ShipMode},
+		}},
+		{"customer", []core.ColumnSpec{
+			delta("c_custkey"), str("c_name"), dict("c_city"), dict("c_nation"), dict("c_region"),
+		}, []colstore.ColumnData{
+			{Ints: d.Customer.CustKey}, {Strings: d.Customer.Name}, {Strings: d.Customer.City},
+			{Strings: d.Customer.Nation}, {Strings: d.Customer.Region},
+		}},
+		{"supplier", []core.ColumnSpec{
+			delta("s_suppkey"), str("s_name"), dict("s_city"), dict("s_nation"), dict("s_region"),
+		}, []colstore.ColumnData{
+			{Ints: d.Supplier.SuppKey}, {Strings: d.Supplier.Name}, {Strings: d.Supplier.City},
+			{Strings: d.Supplier.Nation}, {Strings: d.Supplier.Region},
+		}},
+		{"part", []core.ColumnSpec{
+			delta("p_partkey"), str("p_name"), dict("p_mfgr"), dict("p_category"),
+			dict("p_brand1"), dict("p_color"), packed("p_size"),
+		}, []colstore.ColumnData{
+			{Ints: d.Part.PartKey}, {Strings: d.Part.Name}, {Strings: d.Part.Mfgr},
+			{Strings: d.Part.Category}, {Strings: d.Part.Brand1}, {Strings: d.Part.Color},
+			{Ints: d.Part.Size},
+		}},
+		{"ddate", []core.ColumnSpec{
+			delta("d_datekey"), packed("d_year"), packed("d_yearmonthnum"),
+			dict("d_yearmonth"), packed("d_weeknuminyear"),
+		}, []colstore.ColumnData{
+			{Ints: d.Date.DateKey}, {Ints: d.Date.Year}, {Ints: d.Date.YearMonthNum},
+			{Strings: d.Date.YearMonth}, {Ints: d.Date.WeekNumInYear},
+		}},
+	}
+	for _, tl := range loads {
+		if _, err := db.LoadTable(tl.name, tl.specs, tl.data, opts); err != nil {
+			return err
+		}
+	}
+	return nil
+}

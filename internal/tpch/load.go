@@ -1,0 +1,210 @@
+package tpch
+
+import (
+	"codecdb/internal/colstore"
+	"codecdb/internal/core"
+	"codecdb/internal/encoding"
+)
+
+// LoadCodecDB writes all eight tables into db with CodecDB's encoding
+// choices: dictionaries (order-preserving, shared for comparable date
+// columns), delta for sorted keys, bit-packing for bounded integers —
+// the configuration the encoding-aware plans rely on.
+func LoadCodecDB(db *core.DB, d *Data, opts colstore.Options) error {
+	dict := func(name string, group string) core.ColumnSpec {
+		return core.ColumnSpec{Name: name, Type: colstore.TypeString, Encoding: encoding.KindDict, DictGroup: group}
+	}
+	dictInt := func(name string, group string) core.ColumnSpec {
+		return core.ColumnSpec{Name: name, Type: colstore.TypeInt64, Encoding: encoding.KindDict, DictGroup: group}
+	}
+	delta := func(name string) core.ColumnSpec {
+		return core.ColumnSpec{Name: name, Type: colstore.TypeInt64, Encoding: encoding.KindDelta}
+	}
+	packed := func(name string) core.ColumnSpec {
+		return core.ColumnSpec{Name: name, Type: colstore.TypeInt64, Encoding: encoding.KindBitPacked}
+	}
+	flt := func(name string) core.ColumnSpec {
+		return core.ColumnSpec{Name: name, Type: colstore.TypeFloat64, Encoding: encoding.KindPlain}
+	}
+	str := func(name string) core.ColumnSpec {
+		return core.ColumnSpec{Name: name, Type: colstore.TypeString, Encoding: encoding.KindPlain}
+	}
+
+	type tableLoad struct {
+		name  string
+		specs []core.ColumnSpec
+		data  []colstore.ColumnData
+	}
+	loads := []tableLoad{
+		{"lineitem", []core.ColumnSpec{
+			delta("l_orderkey"), packed("l_partkey"), packed("l_suppkey"),
+			packed("l_linenumber"), packed("l_quantity"),
+			flt("l_extendedprice"), flt("l_discount"), flt("l_tax"),
+			dict("l_returnflag", ""), dict("l_linestatus", ""),
+			dictInt("l_shipdate", "l_dates"), dictInt("l_commitdate", "l_dates"),
+			dictInt("l_receiptdate", "l_dates"),
+			dict("l_shipinstruct", ""), dict("l_shipmode", ""), str("l_comment"),
+		}, []colstore.ColumnData{
+			{Ints: d.Lineitem.OrderKey}, {Ints: d.Lineitem.PartKey}, {Ints: d.Lineitem.SuppKey},
+			{Ints: d.Lineitem.LineNumber}, {Ints: d.Lineitem.Quantity},
+			{Floats: d.Lineitem.ExtendedPrice}, {Floats: d.Lineitem.Discount}, {Floats: d.Lineitem.Tax},
+			{Strings: d.Lineitem.ReturnFlag}, {Strings: d.Lineitem.LineStatus},
+			{Ints: d.Lineitem.ShipDate}, {Ints: d.Lineitem.CommitDate}, {Ints: d.Lineitem.ReceiptDate},
+			{Strings: d.Lineitem.ShipInstruct}, {Strings: d.Lineitem.ShipMode}, {Strings: d.Lineitem.Comment},
+		}},
+		{"orders", []core.ColumnSpec{
+			delta("o_orderkey"), packed("o_custkey"), dict("o_orderstatus", ""),
+			flt("o_totalprice"), dictInt("o_orderdate", ""), dict("o_orderpriority", ""),
+			dict("o_clerk", ""), packed("o_shippriority"), str("o_comment"),
+		}, []colstore.ColumnData{
+			{Ints: d.Orders.OrderKey}, {Ints: d.Orders.CustKey}, {Strings: d.Orders.OrderStatus},
+			{Floats: d.Orders.TotalPrice}, {Ints: d.Orders.OrderDate}, {Strings: d.Orders.OrderPriority},
+			{Strings: d.Orders.Clerk}, {Ints: d.Orders.ShipPriority}, {Strings: d.Orders.Comment},
+		}},
+		{"customer", []core.ColumnSpec{
+			delta("c_custkey"), str("c_name"), str("c_address"), packed("c_nationkey"),
+			str("c_phone"), flt("c_acctbal"), dict("c_mktsegment", ""), str("c_comment"),
+		}, []colstore.ColumnData{
+			{Ints: d.Customer.CustKey}, {Strings: d.Customer.Name}, {Strings: d.Customer.Address},
+			{Ints: d.Customer.NationKey}, {Strings: d.Customer.Phone}, {Floats: d.Customer.AcctBal},
+			{Strings: d.Customer.MktSegment}, {Strings: d.Customer.Comment},
+		}},
+		{"part", []core.ColumnSpec{
+			delta("p_partkey"), str("p_name"), dict("p_mfgr", ""), dict("p_brand", ""),
+			dict("p_type", ""), packed("p_size"), dict("p_container", ""),
+			flt("p_retailprice"), str("p_comment"),
+		}, []colstore.ColumnData{
+			{Ints: d.Part.PartKey}, {Strings: d.Part.Name}, {Strings: d.Part.Mfgr},
+			{Strings: d.Part.Brand}, {Strings: d.Part.Type}, {Ints: d.Part.Size},
+			{Strings: d.Part.Container}, {Floats: d.Part.RetailPrice}, {Strings: d.Part.Comment},
+		}},
+		{"partsupp", []core.ColumnSpec{
+			delta("ps_partkey"), packed("ps_suppkey"), packed("ps_availqty"),
+			flt("ps_supplycost"), str("ps_comment"),
+		}, []colstore.ColumnData{
+			{Ints: d.PartSupp.PartKey}, {Ints: d.PartSupp.SuppKey}, {Ints: d.PartSupp.AvailQty},
+			{Floats: d.PartSupp.SupplyCost}, {Strings: d.PartSupp.Comment},
+		}},
+		{"supplier", []core.ColumnSpec{
+			delta("s_suppkey"), str("s_name"), str("s_address"), packed("s_nationkey"),
+			str("s_phone"), flt("s_acctbal"), str("s_comment"),
+		}, []colstore.ColumnData{
+			{Ints: d.Supplier.SuppKey}, {Strings: d.Supplier.Name}, {Strings: d.Supplier.Address},
+			{Ints: d.Supplier.NationKey}, {Strings: d.Supplier.Phone}, {Floats: d.Supplier.AcctBal},
+			{Strings: d.Supplier.Comment},
+		}},
+		{"nation", []core.ColumnSpec{
+			delta("n_nationkey"), dict("n_name", ""), packed("n_regionkey"), str("n_comment"),
+		}, []colstore.ColumnData{
+			{Ints: d.Nation.NationKey}, {Strings: d.Nation.Name}, {Ints: d.Nation.RegionKey},
+			{Strings: d.Nation.Comment},
+		}},
+		{"region", []core.ColumnSpec{
+			delta("r_regionkey"), dict("r_name", ""), str("r_comment"),
+		}, []colstore.ColumnData{
+			{Ints: d.Region.RegionKey}, {Strings: d.Region.Name}, {Strings: d.Region.Comment},
+		}},
+	}
+	for _, tl := range loads {
+		if _, err := db.LoadTable(tl.name, tl.specs, tl.data, opts); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadDBMSX writes the same tables as LoadCodecDB but in the simulated
+// DBMS-X native layout: every column plain-encoded with gzip "auto
+// compression" — a decode-heavy read-optimised store. The oblivious plans
+// run against these tables to produce the DBMS-X line of Fig 7.
+func LoadDBMSX(db *core.DB, d *Data, opts colstore.Options) error {
+	plainInt := func(name string) core.ColumnSpec {
+		return core.ColumnSpec{Name: name, Type: colstore.TypeInt64, Encoding: encoding.KindPlain, Compression: "gzip"}
+	}
+	plainFlt := func(name string) core.ColumnSpec {
+		return core.ColumnSpec{Name: name, Type: colstore.TypeFloat64, Encoding: encoding.KindPlain, Compression: "gzip"}
+	}
+	plainStr := func(name string) core.ColumnSpec {
+		return core.ColumnSpec{Name: name, Type: colstore.TypeString, Encoding: encoding.KindPlain, Compression: "gzip"}
+	}
+	type tableLoad struct {
+		name  string
+		specs []core.ColumnSpec
+		data  []colstore.ColumnData
+	}
+	loads := []tableLoad{
+		{"lineitem", []core.ColumnSpec{
+			plainInt("l_orderkey"), plainInt("l_partkey"), plainInt("l_suppkey"),
+			plainInt("l_linenumber"), plainInt("l_quantity"),
+			plainFlt("l_extendedprice"), plainFlt("l_discount"), plainFlt("l_tax"),
+			plainStr("l_returnflag"), plainStr("l_linestatus"),
+			plainInt("l_shipdate"), plainInt("l_commitdate"), plainInt("l_receiptdate"),
+			plainStr("l_shipinstruct"), plainStr("l_shipmode"), plainStr("l_comment"),
+		}, []colstore.ColumnData{
+			{Ints: d.Lineitem.OrderKey}, {Ints: d.Lineitem.PartKey}, {Ints: d.Lineitem.SuppKey},
+			{Ints: d.Lineitem.LineNumber}, {Ints: d.Lineitem.Quantity},
+			{Floats: d.Lineitem.ExtendedPrice}, {Floats: d.Lineitem.Discount}, {Floats: d.Lineitem.Tax},
+			{Strings: d.Lineitem.ReturnFlag}, {Strings: d.Lineitem.LineStatus},
+			{Ints: d.Lineitem.ShipDate}, {Ints: d.Lineitem.CommitDate}, {Ints: d.Lineitem.ReceiptDate},
+			{Strings: d.Lineitem.ShipInstruct}, {Strings: d.Lineitem.ShipMode}, {Strings: d.Lineitem.Comment},
+		}},
+		{"orders", []core.ColumnSpec{
+			plainInt("o_orderkey"), plainInt("o_custkey"), plainStr("o_orderstatus"),
+			plainFlt("o_totalprice"), plainInt("o_orderdate"), plainStr("o_orderpriority"),
+			plainStr("o_clerk"), plainInt("o_shippriority"), plainStr("o_comment"),
+		}, []colstore.ColumnData{
+			{Ints: d.Orders.OrderKey}, {Ints: d.Orders.CustKey}, {Strings: d.Orders.OrderStatus},
+			{Floats: d.Orders.TotalPrice}, {Ints: d.Orders.OrderDate}, {Strings: d.Orders.OrderPriority},
+			{Strings: d.Orders.Clerk}, {Ints: d.Orders.ShipPriority}, {Strings: d.Orders.Comment},
+		}},
+		{"customer", []core.ColumnSpec{
+			plainInt("c_custkey"), plainStr("c_name"), plainStr("c_address"), plainInt("c_nationkey"),
+			plainStr("c_phone"), plainFlt("c_acctbal"), plainStr("c_mktsegment"), plainStr("c_comment"),
+		}, []colstore.ColumnData{
+			{Ints: d.Customer.CustKey}, {Strings: d.Customer.Name}, {Strings: d.Customer.Address},
+			{Ints: d.Customer.NationKey}, {Strings: d.Customer.Phone}, {Floats: d.Customer.AcctBal},
+			{Strings: d.Customer.MktSegment}, {Strings: d.Customer.Comment},
+		}},
+		{"part", []core.ColumnSpec{
+			plainInt("p_partkey"), plainStr("p_name"), plainStr("p_mfgr"), plainStr("p_brand"),
+			plainStr("p_type"), plainInt("p_size"), plainStr("p_container"),
+			plainFlt("p_retailprice"), plainStr("p_comment"),
+		}, []colstore.ColumnData{
+			{Ints: d.Part.PartKey}, {Strings: d.Part.Name}, {Strings: d.Part.Mfgr},
+			{Strings: d.Part.Brand}, {Strings: d.Part.Type}, {Ints: d.Part.Size},
+			{Strings: d.Part.Container}, {Floats: d.Part.RetailPrice}, {Strings: d.Part.Comment},
+		}},
+		{"partsupp", []core.ColumnSpec{
+			plainInt("ps_partkey"), plainInt("ps_suppkey"), plainInt("ps_availqty"),
+			plainFlt("ps_supplycost"), plainStr("ps_comment"),
+		}, []colstore.ColumnData{
+			{Ints: d.PartSupp.PartKey}, {Ints: d.PartSupp.SuppKey}, {Ints: d.PartSupp.AvailQty},
+			{Floats: d.PartSupp.SupplyCost}, {Strings: d.PartSupp.Comment},
+		}},
+		{"supplier", []core.ColumnSpec{
+			plainInt("s_suppkey"), plainStr("s_name"), plainStr("s_address"), plainInt("s_nationkey"),
+			plainStr("s_phone"), plainFlt("s_acctbal"), plainStr("s_comment"),
+		}, []colstore.ColumnData{
+			{Ints: d.Supplier.SuppKey}, {Strings: d.Supplier.Name}, {Strings: d.Supplier.Address},
+			{Ints: d.Supplier.NationKey}, {Strings: d.Supplier.Phone}, {Floats: d.Supplier.AcctBal},
+			{Strings: d.Supplier.Comment},
+		}},
+		{"nation", []core.ColumnSpec{
+			plainInt("n_nationkey"), plainStr("n_name"), plainInt("n_regionkey"), plainStr("n_comment"),
+		}, []colstore.ColumnData{
+			{Ints: d.Nation.NationKey}, {Strings: d.Nation.Name}, {Ints: d.Nation.RegionKey},
+			{Strings: d.Nation.Comment},
+		}},
+		{"region", []core.ColumnSpec{
+			plainInt("r_regionkey"), plainStr("r_name"), plainStr("r_comment"),
+		}, []colstore.ColumnData{
+			{Ints: d.Region.RegionKey}, {Strings: d.Region.Name}, {Strings: d.Region.Comment},
+		}},
+	}
+	for _, tl := range loads {
+		if _, err := db.LoadTable(tl.name, tl.specs, tl.data, opts); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,80 @@
+package tpch
+
+import (
+	"fmt"
+	"testing"
+
+	"codecdb/internal/exec"
+)
+
+// TestQ3PipelinedMatchesSequential validates the DAG-scheduled plan
+// against both the sequential encoding-aware plan and the oblivious plan.
+func TestQ3PipelinedMatchesSequential(t *testing.T) {
+	opPool := exec.NewPool(4)
+	piped, err := sharedTables.Q3Pipelined(opPool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := sharedTables.CodecDB(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rowsEqual(t, 3, piped, seq)
+	obliv, err := sharedTables.Oblivious(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rowsEqual(t, 3, piped, obliv)
+}
+
+// TestConcurrentQueries runs many different queries at once against the
+// shared tables: the reader, dictionary caches, and pools must be safe
+// under real plan concurrency, and every result must match a serial run.
+func TestConcurrentQueries(t *testing.T) {
+	queries := []int{1, 3, 4, 6, 10, 12, 14, 15}
+	serial := map[int]int{}
+	for _, q := range queries {
+		res, err := sharedTables.CodecDB(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial[q] = res.NumRows()
+	}
+	const workers = 4
+	errs := make(chan error, workers*len(queries))
+	for w := 0; w < workers; w++ {
+		go func() {
+			for _, q := range queries {
+				res, err := sharedTables.CodecDB(q)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if res.NumRows() != serial[q] {
+					errs <- fmt.Errorf("Q%d: %d rows, want %d", q, res.NumRows(), serial[q])
+					return
+				}
+			}
+			errs <- nil
+		}()
+	}
+	for w := 0; w < workers; w++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestQ3PipelinedSerialPool proves the DAG degrades gracefully to a
+// single-worker pool (stages serialise but dependencies still hold).
+func TestQ3PipelinedSerialPool(t *testing.T) {
+	piped, err := sharedTables.Q3Pipelined(exec.NewPool(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := sharedTables.CodecDB(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rowsEqual(t, 3, piped, seq)
+}

@@ -1,0 +1,91 @@
+// Package xcompress provides the byte-level compression schemes CodecDB
+// compares its lightweight encodings against (paper §2): an LZ77 block
+// codec in the style of Snappy (match/literal tags, no entropy coding,
+// built for speed) and DEFLATE via the standard library's gzip (LZ77 +
+// Huffman, built for ratio).
+//
+// The Snappy-style codec is a from-scratch implementation — the original
+// Google library is a substitution documented in DESIGN.md — but keeps the
+// defining trade-off: it emits raw tuples without an entropy stage, so it
+// compresses less than gzip and runs much faster.
+package xcompress
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"io"
+)
+
+// Compressor is a one-shot block compressor.
+type Compressor interface {
+	Name() string
+	Compress(src []byte) ([]byte, error)
+	Decompress(src []byte) ([]byte, error)
+}
+
+// For returns the compressor registered under name ("snappy", "gzip",
+// "none").
+func For(name string) (Compressor, error) {
+	switch name {
+	case "snappy":
+		return Snappy{}, nil
+	case "gzip":
+		return Gzip{}, nil
+	case "none", "":
+		return None{}, nil
+	default:
+		return nil, fmt.Errorf("xcompress: unknown compressor %q", name)
+	}
+}
+
+// None is the identity compressor.
+type None struct{}
+
+// Name returns "none".
+func (None) Name() string { return "none" }
+
+// Compress returns src unchanged.
+func (None) Compress(src []byte) ([]byte, error) { return src, nil }
+
+// Decompress returns src unchanged.
+func (None) Decompress(src []byte) ([]byte, error) { return src, nil }
+
+// Gzip wraps compress/gzip at the default level.
+type Gzip struct {
+	// Level overrides the compression level when non-zero.
+	Level int
+}
+
+// Name returns "gzip".
+func (Gzip) Name() string { return "gzip" }
+
+// Compress DEFLATE-compresses src.
+func (g Gzip) Compress(src []byte) ([]byte, error) {
+	var buf bytes.Buffer
+	level := g.Level
+	if level == 0 {
+		level = gzip.DefaultCompression
+	}
+	w, err := gzip.NewWriterLevel(&buf, level)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := w.Write(src); err != nil {
+		return nil, err
+	}
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Decompress reverses Compress.
+func (Gzip) Decompress(src []byte) ([]byte, error) {
+	r, err := gzip.NewReader(bytes.NewReader(src))
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	return io.ReadAll(r)
+}

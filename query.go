@@ -1,0 +1,342 @@
+package codecdb
+
+import (
+	"fmt"
+
+	"codecdb/internal/bitutil"
+	"codecdb/internal/colstore"
+	"codecdb/internal/ops"
+	"codecdb/internal/sboost"
+)
+
+// CmpOp is a relational operator for Where predicates.
+type CmpOp = sboost.Op
+
+// Relational operators.
+const (
+	Eq = sboost.OpEq
+	Ne = sboost.OpNe
+	Lt = sboost.OpLt
+	Le = sboost.OpLe
+	Gt = sboost.OpGt
+	Ge = sboost.OpGe
+)
+
+// Query is a fluent predicate pipeline over one table. Building a Query
+// does no work; terminal calls (Count, Rows, Ints, ...) evaluate all
+// accumulated predicates — the lazy evaluation of paper §5.2 — choosing
+// the encoding-aware operator when the column's encoding allows it and
+// the decode-first path otherwise.
+type Query struct {
+	t       *Table
+	filters []ops.Filter
+	err     error
+}
+
+// Where starts a query with `col op value`. Value may be int64, int,
+// float64, string, or []byte. Dictionary-encoded columns are filtered in
+// place on the packed keys; others fall back to decode-and-test.
+func (t *Table) Where(col string, op CmpOp, value any) *Query {
+	q := &Query{t: t}
+	return q.And(col, op, value)
+}
+
+// All starts a query with no predicate (full selection).
+func (t *Table) All() *Query { return &Query{t: t} }
+
+// And adds another conjunct.
+func (q *Query) And(col string, op CmpOp, value any) *Query {
+	if q.err != nil {
+		return q
+	}
+	f, err := q.t.filterFor(col, op, value)
+	if err != nil {
+		q.err = err
+		return q
+	}
+	q.filters = append(q.filters, f)
+	return q
+}
+
+// AndIn adds `col IN (values...)`; values must be strings or []bytes for
+// string columns, integers for integer columns.
+func (q *Query) AndIn(col string, values ...any) *Query {
+	if q.err != nil {
+		return q
+	}
+	var strs [][]byte
+	var ints []int64
+	for _, v := range values {
+		switch x := v.(type) {
+		case string:
+			strs = append(strs, []byte(x))
+		case []byte:
+			strs = append(strs, x)
+		case int:
+			ints = append(ints, int64(x))
+		case int64:
+			ints = append(ints, x)
+		default:
+			q.err = fmt.Errorf("codecdb: unsupported IN value %T", v)
+			return q
+		}
+	}
+	q.filters = append(q.filters, &ops.DictInFilter{Col: col, StrValues: strs, IntValues: ints})
+	return q
+}
+
+// AndLike adds a dictionary-rewritten pattern predicate: match is
+// evaluated once per distinct value.
+func (q *Query) AndLike(col string, match func([]byte) bool) *Query {
+	if q.err != nil {
+		return q
+	}
+	q.filters = append(q.filters, &ops.DictLikeFilter{Col: col, Match: match})
+	return q
+}
+
+// AndColumns adds a two-column comparison; both columns must share an
+// order-preserving dictionary (load them with the same DictGroup).
+func (q *Query) AndColumns(colA string, op CmpOp, colB string) *Query {
+	if q.err != nil {
+		return q
+	}
+	q.filters = append(q.filters, &ops.TwoColumnFilter{ColA: colA, ColB: colB, Op: op})
+	return q
+}
+
+func (t *Table) filterFor(col string, op CmpOp, value any) (ops.Filter, error) {
+	ci, c, err := t.inner.R.Column(col)
+	if err != nil {
+		return nil, err
+	}
+	_ = ci
+	switch v := value.(type) {
+	case int:
+		return t.intFilter(c.Encoding, col, op, int64(v)), nil
+	case int64:
+		return t.intFilter(c.Encoding, col, op, v), nil
+	case string:
+		return t.strFilter(c.Encoding, col, op, []byte(v)), nil
+	case []byte:
+		return t.strFilter(c.Encoding, col, op, v), nil
+	case float64:
+		return &ops.FloatPredicateFilter{Col: col, Pred: floatPred(op, v)}, nil
+	default:
+		return nil, fmt.Errorf("codecdb: unsupported predicate value %T", value)
+	}
+}
+
+func (t *Table) intFilter(enc Encoding, col string, op CmpOp, v int64) ops.Filter {
+	switch enc {
+	case Dictionary:
+		return &ops.DictFilter{Col: col, Op: op, IntValue: v}
+	case Delta:
+		return &ops.DeltaFilter{Col: col, Op: op, Value: v}
+	case BitPacked:
+		return &ops.BitPackedFilter{Col: col, Op: op, Value: v}
+	default:
+		return &ops.IntPredicateFilter{Col: col, Pred: intPred(op, v)}
+	}
+}
+
+func (t *Table) strFilter(enc Encoding, col string, op CmpOp, v []byte) ops.Filter {
+	if enc == Dictionary || enc == DictRLE {
+		return &ops.DictFilter{Col: col, Op: op, StrValue: v}
+	}
+	return &ops.StrPredicateFilter{Col: col, Pred: bytesPred(op, v)}
+}
+
+func intPred(op CmpOp, target int64) func(int64) bool {
+	return func(v int64) bool { return cmpMatch(compareInt(v, target), op) }
+}
+
+func floatPred(op CmpOp, target float64) func(float64) bool {
+	return func(v float64) bool {
+		switch {
+		case v < target:
+			return cmpMatch(-1, op)
+		case v > target:
+			return cmpMatch(1, op)
+		default:
+			return cmpMatch(0, op)
+		}
+	}
+}
+
+func bytesPred(op CmpOp, target []byte) func([]byte) bool {
+	return func(v []byte) bool {
+		c := 0
+		if string(v) < string(target) {
+			c = -1
+		} else if string(v) > string(target) {
+			c = 1
+		}
+		return cmpMatch(c, op)
+	}
+}
+
+func compareInt(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+func cmpMatch(c int, op CmpOp) bool {
+	switch op {
+	case Eq:
+		return c == 0
+	case Ne:
+		return c != 0
+	case Lt:
+		return c < 0
+	case Le:
+		return c <= 0
+	case Gt:
+		return c > 0
+	case Ge:
+		return c >= 0
+	}
+	return false
+}
+
+// eval runs all predicates and intersects their bitmaps.
+func (q *Query) eval() (*bitutil.SectionalBitmap, error) {
+	if q.err != nil {
+		return nil, q.err
+	}
+	pool := q.t.db.inner.DataPool()
+	if len(q.filters) == 0 {
+		return ops.FullTableBitmap(q.t.inner.R), nil
+	}
+	var acc *bitutil.SectionalBitmap
+	for _, f := range q.filters {
+		bm, err := f.Apply(q.t.inner.R, pool)
+		if err != nil {
+			return nil, err
+		}
+		if acc == nil {
+			acc = bm
+		} else {
+			acc.And(bm)
+		}
+	}
+	return acc, nil
+}
+
+// Count evaluates the query and returns the matching row count.
+func (q *Query) Count() (int64, error) {
+	sel, err := q.eval()
+	if err != nil {
+		return 0, err
+	}
+	return int64(sel.Cardinality()), nil
+}
+
+// RowIDs evaluates the query and returns the matching row positions.
+func (q *Query) RowIDs() ([]int64, error) {
+	sel, err := q.eval()
+	if err != nil {
+		return nil, err
+	}
+	return ops.SelectedRows(sel), nil
+}
+
+// Ints evaluates the query and gathers an integer column at the matching
+// rows (late materialization with data skipping).
+func (q *Query) Ints(col string) ([]int64, error) {
+	sel, err := q.eval()
+	if err != nil {
+		return nil, err
+	}
+	return ops.GatherInts(q.t.inner.R, col, sel, q.t.db.inner.DataPool())
+}
+
+// Floats gathers a float column at the matching rows.
+func (q *Query) Floats(col string) ([]float64, error) {
+	sel, err := q.eval()
+	if err != nil {
+		return nil, err
+	}
+	return ops.GatherFloats(q.t.inner.R, col, sel, q.t.db.inner.DataPool())
+}
+
+// Strings gathers a string column at the matching rows. The returned
+// slices alias internal buffers; do not mutate them.
+func (q *Query) Strings(col string) ([][]byte, error) {
+	sel, err := q.eval()
+	if err != nil {
+		return nil, err
+	}
+	return ops.GatherStrings(q.t.inner.R, col, sel, q.t.db.inner.DataPool())
+}
+
+// GroupCount evaluates the query and counts matching rows per distinct
+// value of a dictionary-encoded column, using array aggregation over the
+// dictionary codes.
+func (q *Query) GroupCount(col string) (map[string]int64, error) {
+	sel, err := q.eval()
+	if err != nil {
+		return nil, err
+	}
+	r := q.t.inner.R
+	pool := q.t.db.inner.DataPool()
+	ci, c, err := r.Column(col)
+	if err != nil {
+		return nil, err
+	}
+	if c.Encoding != Dictionary && c.Encoding != DictRLE {
+		return nil, fmt.Errorf("codecdb: GroupCount needs a dictionary column, %s is %v", col, c.Encoding)
+	}
+	keys, err := ops.GatherKeys(r, col, sel, pool)
+	if err != nil {
+		return nil, err
+	}
+	var labels []string
+	switch {
+	case c.Type == colstore.TypeInt64:
+		dict, err := r.IntDict(ci)
+		if err != nil {
+			return nil, err
+		}
+		labels = make([]string, len(dict))
+		for i, v := range dict {
+			labels[i] = fmt.Sprint(v)
+		}
+	default:
+		dict, err := r.StrDict(ci)
+		if err != nil {
+			return nil, err
+		}
+		labels = make([]string, len(dict))
+		for i, v := range dict {
+			labels[i] = string(v)
+		}
+	}
+	res, err := ops.ArrayAggregate(pool, keys, len(labels), []ops.VecAgg{{Kind: ops.AggCount}})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]int64, res.NumGroups())
+	for g, k := range res.Keys {
+		out[labels[k]] = res.Counts[g]
+	}
+	return out, nil
+}
+
+// SumFloat evaluates the query and sums a float column at matching rows.
+func (q *Query) SumFloat(col string) (float64, error) {
+	vals, err := q.Floats(col)
+	if err != nil {
+		return 0, err
+	}
+	var s float64
+	for _, v := range vals {
+		s += v
+	}
+	return s, nil
+}

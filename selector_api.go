@@ -1,0 +1,89 @@
+package codecdb
+
+import (
+	"os"
+
+	"codecdb/internal/corpus"
+	"codecdb/internal/selector"
+)
+
+// Selector is a trained data-driven encoding selector (paper §4): a
+// neural ranking model that predicts, from a column's feature vector, the
+// compression ratio of every candidate encoding and picks the best.
+type Selector struct {
+	inner *selector.Learned
+}
+
+// TrainOptions tunes selector training.
+type TrainOptions struct {
+	Hidden int   // hidden layer width (default 64)
+	Epochs int   // training epochs (default 120)
+	Seed   int64 // deterministic training seed
+}
+
+// TrainSelector trains a selector on the given columns. Columns with
+// Ints set train the integer model; columns with Strings set train the
+// string model. Ground truth comes from exhaustively encoding each
+// training column.
+func TrainSelector(cols []Column, opts ...TrainOptions) (*Selector, error) {
+	var o TrainOptions
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	var intCols [][]int64
+	var strCols [][][]byte
+	for _, c := range cols {
+		if c.Ints != nil {
+			intCols = append(intCols, c.Ints)
+		}
+		if c.Strings != nil {
+			strCols = append(strCols, c.Strings)
+		}
+	}
+	inner, err := selector.TrainLearned(intCols, strCols,
+		selector.TrainOptions{Hidden: o.Hidden, Epochs: o.Epochs, Seed: o.Seed})
+	if err != nil {
+		return nil, err
+	}
+	return &Selector{inner: inner}, nil
+}
+
+// TrainDefaultSelector trains on the built-in synthetic corpus — the
+// ready-to-use path when no training data is at hand (the paper's
+// "default provided dataset", §3).
+func TrainDefaultSelector(seed int64) (*Selector, error) {
+	cols := corpus.Generate(corpus.Config{Seed: seed, Rows: 2000, PerCat: 12})
+	api := make([]Column, 0, len(cols))
+	for i := range cols {
+		api = append(api, Column{Name: cols[i].Name, Ints: cols[i].Ints, Strings: cols[i].Strings})
+	}
+	return TrainSelector(api)
+}
+
+// SelectInt predicts the best encoding for an integer column.
+func (s *Selector) SelectInt(vals []int64) Encoding { return s.inner.SelectInt(vals) }
+
+// SelectString predicts the best encoding for a string column.
+func (s *Selector) SelectString(vals [][]byte) Encoding { return s.inner.SelectString(vals) }
+
+// Save persists the trained model to path.
+func (s *Selector) Save(path string) error {
+	data, err := s.inner.Marshal()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// LoadSelector restores a model saved with Save.
+func LoadSelector(path string) (*Selector, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	inner, err := selector.UnmarshalLearned(data)
+	if err != nil {
+		return nil, err
+	}
+	return &Selector{inner: inner}, nil
+}
