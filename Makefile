@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: check build test vet race fuzz
+
+# check is the tier-1 verification gate: everything must compile, pass
+# vet, and pass the full test suite under the race detector.
+check: vet build race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# fuzz gives the colstore Open fuzzer a short budget; extend FUZZTIME for
+# longer campaigns.
+FUZZTIME ?= 30s
+fuzz:
+	$(GO) test ./internal/colstore/ -run xxx -fuzz FuzzOpen -fuzztime $(FUZZTIME)

@@ -3,13 +3,17 @@
 //	codecdb tables -db ./tpchdb                  # list tables
 //	codecdb schema -db ./tpchdb -table lineitem  # columns + encodings
 //	codecdb count -db ./tpchdb -table lineitem -col l_shipmode -eq MAIL
+//	codecdb scrub -db ./tpchdb                   # verify checksums of all tables
 //	codecdb advise -db any -csvcol 1,2,3,4,...   # suggest an encoding
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 
@@ -79,6 +83,8 @@ func main() {
 			fmt.Println(n)
 			return nil
 		})
+	case "scrub":
+		err = withDB(*dbDir, func(db *codecdb.DB) error { return scrub(db, *table) })
 	case "advise":
 		err = advise(*csvcol)
 	case "train":
@@ -102,6 +108,39 @@ func withDB(dir string, fn func(*codecdb.DB) error) error {
 	}
 	defer db.Close()
 	return fn(db)
+}
+
+// scrub verifies the checksums of one table (or all tables) and reports
+// corruption precisely; interruptible with ^C.
+func scrub(db *codecdb.DB, table string) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	verify := func(name string) error {
+		t, err := db.Table(name)
+		if err != nil {
+			return err
+		}
+		err = t.Verify(ctx)
+		var ce *codecdb.CorruptionError
+		switch {
+		case errors.As(err, &ce):
+			fmt.Printf("%-20s CORRUPT: %v\n", name, err)
+			return err
+		case err != nil:
+			return err
+		}
+		fmt.Printf("%-20s ok\n", name)
+		return nil
+	}
+	if table != "" {
+		return verify(table)
+	}
+	for _, name := range db.TableNames() {
+		if err := verify(name); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // advise runs exhaustive selection on an inline column and prints the
@@ -185,6 +224,7 @@ commands:
   tables  -db DIR                         list tables
   schema  -db DIR -table T                show columns and encodings
   count   -db DIR -table T [-col C -eq V] count rows (optionally filtered)
+  scrub   -db DIR [-table T]              verify stored checksums
   advise  -csvcol v1,v2,...               suggest an encoding for a column
   train   [-out model.json] [-seed N]     train the encoding selector`)
 	os.Exit(2)

@@ -32,6 +32,7 @@
 package codecdb
 
 import (
+	"context"
 	"fmt"
 
 	"codecdb/internal/colstore"
@@ -39,6 +40,11 @@ import (
 	"codecdb/internal/encoding"
 	"codecdb/internal/selector"
 )
+
+// CorruptionError is the typed error readers return when stored data fails
+// checksum verification; it names the file, column, row group, and page.
+// Use errors.As to detect it.
+type CorruptionError = colstore.CorruptionError
 
 // Encoding names a column encoding scheme for forced choices and reports.
 type Encoding = encoding.Kind
@@ -211,4 +217,28 @@ func (t *Table) Columns() []string {
 		out[i] = c.Name
 	}
 	return out
+}
+
+// Verify scrubs the table's file: every page and dictionary blob is read
+// and its checksum checked, without decoding values. It returns nil for
+// clean files (including legacy checksum-less files, where it only proves
+// readability), a *CorruptionError naming the damaged object, or ctx.Err()
+// if cancelled mid-scrub.
+func (t *Table) Verify(ctx context.Context) error {
+	return t.inner.R.Verify(ctx)
+}
+
+// Verify scrubs every catalogued table, stopping at the first damaged or
+// unreadable one.
+func (db *DB) Verify(ctx context.Context) error {
+	for _, name := range db.inner.TableNames() {
+		t, err := db.inner.Table(name)
+		if err != nil {
+			return fmt.Errorf("codecdb: verify %s: %w", name, err)
+		}
+		if err := t.R.Verify(ctx); err != nil {
+			return err
+		}
+	}
+	return nil
 }

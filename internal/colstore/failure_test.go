@@ -1,6 +1,7 @@
 package colstore
 
 import (
+	"errors"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -11,7 +12,7 @@ import (
 )
 
 // writeSmallTable produces a compact valid file for corruption tests.
-func writeSmallTable(t *testing.T) string {
+func writeSmallTable(t *testing.T, opts Options) string {
 	t.Helper()
 	n := 500
 	ints := make([]int64, n)
@@ -25,16 +26,42 @@ func writeSmallTable(t *testing.T) string {
 		{Name: "s", Type: TypeString, Encoding: encoding.KindDict},
 	}}
 	path := filepath.Join(t.TempDir(), "t.cdb")
-	if err := WriteFile(path, schema, []ColumnData{{Ints: ints}, {Strings: strs}}, Options{PageRows: 128}); err != nil {
+	if opts.PageRows == 0 {
+		opts.PageRows = 128
+	}
+	if err := WriteFile(path, schema, []ColumnData{{Ints: ints}, {Strings: strs}}, opts); err != nil {
 		t.Fatal(err)
 	}
 	return path
 }
 
+// readEverything opens every chunk, dictionary, and packed page, returning
+// the first error.
+func readEverything(r *Reader) error {
+	for rg := 0; rg < r.NumRowGroups(); rg++ {
+		if _, err := r.Chunk(rg, 0).Ints(); err != nil {
+			return err
+		}
+		if _, err := r.Chunk(rg, 1).Strings(); err != nil {
+			return err
+		}
+		if _, err := r.Chunk(rg, 0).PackedPages(); err != nil {
+			return err
+		}
+	}
+	if _, err := r.IntDict(0); err != nil {
+		return err
+	}
+	if _, err := r.StrDict(1); err != nil {
+		return err
+	}
+	return nil
+}
+
 // TestTruncatedFilesNeverPanic opens and fully reads every truncation of
 // a valid file: each must fail cleanly or succeed, never crash.
 func TestTruncatedFilesNeverPanic(t *testing.T) {
-	path := writeSmallTable(t)
+	path := writeSmallTable(t, Options{})
 	orig, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatal(err)
@@ -57,21 +84,155 @@ func TestTruncatedFilesNeverPanic(t *testing.T) {
 				return // clean rejection
 			}
 			defer r.Close()
-			for rg := 0; rg < r.NumRowGroups(); rg++ {
-				r.Chunk(rg, 0).Ints()
-				r.Chunk(rg, 1).Strings()
-			}
+			readEverything(r)
 		}()
 	}
 }
 
-// TestBitFlippedPagesNeverPanic flips bytes inside the data region (not
-// the footer) and verifies reads fail cleanly or produce data, never
-// crash. Because pages are length-framed, a flipped byte may decode to
-// wrong values — the contract under corruption is no panic and no
-// out-of-bounds, not detection.
+// TestBitFlippedPagesDetected upgrades the old "no panic" contract to
+// detection: a bit flipped anywhere inside a data page or dictionary blob
+// of a checksummed file must surface as a *CorruptionError naming the
+// corrupted object — never a panic, a hang, or silently wrong data.
+func TestBitFlippedPagesDetected(t *testing.T) {
+	path := writeSmallTable(t, Options{})
+	orig, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Collect the extents of every page and dictionary blob from the
+	// footer of the pristine file.
+	clean, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type extent struct {
+		off, size int64
+		page      bool
+	}
+	var extents []extent
+	meta := clean.Meta()
+	for _, rg := range meta.RowGroups {
+		for _, ch := range rg.Chunks {
+			for _, p := range ch.Pages {
+				if p.CompressedSize > 0 {
+					extents = append(extents, extent{p.Offset, int64(p.CompressedSize), true})
+				}
+			}
+		}
+	}
+	for _, d := range meta.Dicts {
+		if d.Size > 0 {
+			extents = append(extents, extent{d.Offset, int64(d.Size), false})
+		}
+	}
+	clean.Close()
+	if len(extents) < 3 {
+		t.Fatalf("test table too small: %d extents", len(extents))
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	dir := t.TempDir()
+	for i, ext := range extents {
+		// Flip one random bit inside the extent.
+		mut := append([]byte(nil), orig...)
+		pos := ext.off + rng.Int63n(ext.size)
+		mut[pos] ^= byte(1 << rng.Intn(8))
+		f := filepath.Join(dir, "mut.cdb")
+		if err := os.WriteFile(f, mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		r, err := Open(f)
+		if err != nil {
+			t.Fatalf("extent %d: Open failed (flip was inside data, not footer): %v", i, err)
+		}
+		err = readEverything(r)
+		var ce *CorruptionError
+		if !errors.As(err, &ce) {
+			t.Fatalf("extent %d (page=%v, byte %d): read = %v, want *CorruptionError",
+				i, ext.page, pos, err)
+		}
+		if ce.Path != f || ce.Detail == "" {
+			t.Fatalf("extent %d: incomplete CorruptionError: %+v", i, ce)
+		}
+		if ext.page && (ce.RowGroup < 0 || ce.Page < 0 || ce.Column == "") {
+			t.Fatalf("extent %d: page corruption not located: %+v", i, ce)
+		}
+		r.Close()
+	}
+}
+
+// TestVerifyScrubFindsCorruption checks the whole-file scrub: clean files
+// verify, and a single flipped bit anywhere in the data region is found
+// without decoding anything.
+func TestVerifyScrubFindsCorruption(t *testing.T) {
+	path := writeSmallTable(t, Options{})
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Verify(t.Context()); err != nil {
+		t.Fatalf("clean file failed scrub: %v", err)
+	}
+	r.Close()
+
+	orig, _ := os.ReadFile(path)
+	mut := append([]byte(nil), orig...)
+	mut[len(mut)/3] ^= 0x10 // somewhere in the data region
+	bad := filepath.Join(t.TempDir(), "bad.cdb")
+	if err := os.WriteFile(bad, mut, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rb, err := Open(bad)
+	if err != nil {
+		return // flip hit something Open itself validates — also fine
+	}
+	defer rb.Close()
+	err = rb.Verify(t.Context())
+	var ce *CorruptionError
+	if !errors.As(err, &ce) {
+		t.Fatalf("Verify = %v, want *CorruptionError", err)
+	}
+}
+
+// TestLegacyV1FilesStillReadable writes the checksum-less v1 layout and
+// reads it back with the current reader: version negotiation must accept
+// it (no checksums to verify, values intact).
+func TestLegacyV1FilesStillReadable(t *testing.T) {
+	path := writeSmallTable(t, Options{FormatVersion: FormatV1})
+	head := make([]byte, 4)
+	f, _ := os.Open(path)
+	f.ReadAt(head, 0)
+	f.Close()
+	if string(head) != string(Magic) {
+		t.Fatalf("v1 file has head magic %q", head)
+	}
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Meta().checksummed() {
+		t.Fatal("v1 file must not claim checksums")
+	}
+	vals, err := r.Chunk(0, 0).Ints()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range vals {
+		if v != int64(i%9) {
+			t.Fatalf("vals[%d] = %d", i, v)
+		}
+	}
+	if err := r.Verify(t.Context()); err != nil {
+		t.Fatalf("v1 scrub (readability only) failed: %v", err)
+	}
+}
+
+// TestBitFlippedPagesNeverPanic retains the blanket safety net: arbitrary
+// flips anywhere in the file (including the footer region) must never
+// crash, whatever else they do.
 func TestBitFlippedPagesNeverPanic(t *testing.T) {
-	path := writeSmallTable(t)
+	path := writeSmallTable(t, Options{})
 	orig, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatal(err)
@@ -80,9 +241,8 @@ func TestBitFlippedPagesNeverPanic(t *testing.T) {
 	dir := t.TempDir()
 	for trial := 0; trial < 60; trial++ {
 		mut := append([]byte(nil), orig...)
-		// Flip up to 4 bytes in the first two thirds (data region).
 		for k := 0; k < 1+rng.Intn(4); k++ {
-			pos := rng.Intn(len(mut) * 2 / 3)
+			pos := rng.Intn(len(mut))
 			mut[pos] ^= byte(1 << rng.Intn(8))
 		}
 		f := filepath.Join(dir, "mut.cdb")
@@ -100,27 +260,21 @@ func TestBitFlippedPagesNeverPanic(t *testing.T) {
 				return
 			}
 			defer r.Close()
-			for rg := 0; rg < r.NumRowGroups(); rg++ {
-				r.Chunk(rg, 0).Ints()
-				r.Chunk(rg, 1).Strings()
-				r.Chunk(rg, 0).PackedPages()
-			}
-			r.IntDict(0)
-			r.StrDict(1)
+			readEverything(r)
 		}()
 	}
 }
 
 // TestCorruptFooterRejected mangles the JSON footer specifically.
 func TestCorruptFooterRejected(t *testing.T) {
-	path := writeSmallTable(t)
+	path := writeSmallTable(t, Options{})
 	orig, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	// The footer sits just before the trailing length+magic (8 bytes).
+	// The footer sits just before the trailing len+crc+magic (12 bytes).
 	mut := append([]byte(nil), orig...)
-	for i := len(mut) - 30; i < len(mut)-9; i++ {
+	for i := len(mut) - 34; i < len(mut)-13; i++ {
 		mut[i] = '!'
 	}
 	f := filepath.Join(t.TempDir(), "bad.cdb")
@@ -135,7 +289,7 @@ func TestCorruptFooterRejected(t *testing.T) {
 // TestConcurrentReaders exercises the reader's concurrency contract: many
 // goroutines reading chunks, dictionaries, and packed pages at once.
 func TestConcurrentReaders(t *testing.T) {
-	path := writeSmallTable(t)
+	path := writeSmallTable(t, Options{})
 	r, err := Open(path)
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,183 @@
+package colstore
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"sync"
+	"testing"
+
+	"codecdb/internal/vfs"
+)
+
+// TestTransientReadErrorsRetried injects transient I/O faults under the
+// reader and checks the bounded retry policy absorbs them: with a modest
+// error probability most reads should succeed on retry, and any read that
+// still fails must report a typed error, not bad data.
+func TestTransientReadErrorsRetried(t *testing.T) {
+	path := writeSmallTable(t, Options{})
+	ffs := vfs.NewFaultFS(vfs.OS(), vfs.FaultConfig{Seed: 42, ErrProb: 0.10, ShortReadProb: 0.05})
+
+	r, err := OpenFS(ffs, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	want, err := r.Chunk(0, 0).Ints() // faults still disabled: baseline truth
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ffs.SetEnabled(true)
+	succeeded, failed := 0, 0
+	for i := 0; i < 200; i++ {
+		got, err := r.Chunk(0, 0).Ints()
+		if err != nil {
+			failed++
+			if !errors.Is(err, vfs.ErrInjected) && !errors.Is(err, io.ErrUnexpectedEOF) {
+				t.Fatalf("iteration %d: untyped failure: %v", i, err)
+			}
+			continue
+		}
+		succeeded++
+		for j := range got {
+			if got[j] != want[j] {
+				t.Fatalf("iteration %d: torn read: got[%d]=%d want %d", i, j, got[j], want[j])
+			}
+		}
+	}
+	errs, shorts, _ := ffs.Injected()
+	if errs+shorts == 0 {
+		t.Fatal("fault injection never fired; test is vacuous")
+	}
+	if succeeded == 0 {
+		t.Fatalf("retry policy absorbed nothing: %d failures, faults injected: %d errs %d shorts",
+			failed, errs, shorts)
+	}
+	t.Logf("reads: %d ok, %d failed; injected: %d errors, %d short reads", succeeded, failed, errs, shorts)
+}
+
+// TestBitFlipUnderFaultFSDetected injects in-flight bit flips (bad DMA /
+// bad cable territory): the checksum layer must refuse to return the
+// damaged bytes, and because the flip is transient the retry must recover
+// the true data most of the time.
+func TestBitFlipUnderFaultFSDetected(t *testing.T) {
+	path := writeSmallTable(t, Options{})
+	ffs := vfs.NewFaultFS(vfs.OS(), vfs.FaultConfig{Seed: 7, BitFlipProb: 0.30})
+	r, err := OpenFS(ffs, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	want, err := r.Chunk(0, 0).Ints()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ffs.SetEnabled(true)
+	for i := 0; i < 100; i++ {
+		got, err := r.Chunk(0, 0).Ints()
+		if err != nil {
+			var ce *CorruptionError
+			if !errors.As(err, &ce) {
+				t.Fatalf("iteration %d: flip surfaced as %v, want *CorruptionError", i, err)
+			}
+			continue
+		}
+		for j := range got {
+			if got[j] != want[j] {
+				t.Fatalf("iteration %d: checksum let a flipped page through: got[%d]=%d want %d",
+					i, j, got[j], want[j])
+			}
+		}
+	}
+	if _, _, flips := ffs.Injected(); flips == 0 {
+		t.Fatal("no bit flips injected; test is vacuous")
+	}
+}
+
+// TestConcurrentReadersUnderFaults is the required robustness scenario:
+// 16 goroutines hammering one reader through a fault-injecting FS must
+// each see either clean, correct data or a typed error — never torn
+// results, data races (run with -race), or panics.
+func TestConcurrentReadersUnderFaults(t *testing.T) {
+	path := writeSmallTable(t, Options{})
+	ffs := vfs.NewFaultFS(vfs.OS(), vfs.FaultConfig{
+		Seed: 99, ErrProb: 0.05, ShortReadProb: 0.03, BitFlipProb: 0.05,
+	})
+	r, err := OpenFS(ffs, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	wantInts, err := r.Chunk(0, 0).Ints()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantStrs, err := r.Chunk(0, 1).Strings()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ffs.SetEnabled(true)
+	var wg sync.WaitGroup
+	failures := make(chan string, 256)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			defer func() {
+				if rec := recover(); rec != nil {
+					failures <- "goroutine panicked"
+				}
+			}()
+			for i := 0; i < 40; i++ {
+				if got, err := r.Chunk(0, 0).Ints(); err == nil {
+					for j := range got {
+						if got[j] != wantInts[j] {
+							failures <- "torn int read"
+							return
+						}
+					}
+				} else if !typedReadError(err) {
+					failures <- "untyped int error: " + err.Error()
+					return
+				}
+				if got, err := r.Chunk(0, 1).Strings(); err == nil {
+					for j := range got {
+						if !bytes.Equal(got[j], wantStrs[j]) {
+							failures <- "torn string read"
+							return
+						}
+					}
+				} else if !typedReadError(err) {
+					failures <- "untyped string error: " + err.Error()
+					return
+				}
+				if _, err := r.StrDict(1); err != nil && !typedReadError(err) {
+					failures <- "untyped dict error: " + err.Error()
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(failures)
+	for f := range failures {
+		t.Error(f)
+	}
+	errs, shorts, flips := ffs.Injected()
+	if errs+shorts+flips == 0 {
+		t.Fatal("no faults injected; test is vacuous")
+	}
+	t.Logf("injected: %d errors, %d short reads, %d bit flips", errs, shorts, flips)
+}
+
+// typedReadError reports whether err is one of the contract's sanctioned
+// failure shapes: an injected I/O error (possibly after retry exhaustion)
+// or a detected corruption.
+func typedReadError(err error) bool {
+	var ce *CorruptionError
+	return errors.Is(err, vfs.ErrInjected) || errors.Is(err, io.ErrUnexpectedEOF) ||
+		errors.As(err, &ce)
+}

@@ -1,24 +1,36 @@
 package colstore
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"math"
-	"os"
 	"sync"
 	"time"
 
 	"codecdb/internal/bitutil"
 	"codecdb/internal/encoding"
+	"codecdb/internal/vfs"
 	"codecdb/internal/xcompress"
 )
+
+// readAttempts bounds the retry-on-transient-read policy: a failed ReadAt
+// is retried this many times in total before the error is reported, which
+// absorbs flaky-disk and network-filesystem hiccups without masking a
+// persistent failure.
+const readAttempts = 3
 
 // Reader opens a CodecDB column file and serves decoded values, selected
 // (data-skipping) reads, raw packed pages for in-situ scans, and global
 // dictionaries. A Reader is safe for concurrent use: page reads go through
 // ReadAt and the dictionary cache is mutex-guarded.
+//
+// On format-v2 files every page and dictionary blob is verified against
+// its CRC32-C checksum lazily, on first touch; a mismatch surfaces as a
+// *CorruptionError naming the file, column, row group, and page.
 type Reader struct {
-	f    *os.File
+	f    vfs.File
+	path string
 	meta *FileMeta
 
 	mu       sync.Mutex
@@ -50,56 +62,98 @@ func (r *Reader) ResetStats() {
 }
 
 // Open opens the file at path and parses the footer.
-func Open(path string) (*Reader, error) {
-	f, err := os.Open(path)
+func Open(path string) (*Reader, error) { return OpenFS(vfs.OS(), path) }
+
+// OpenFS is Open over an explicit filesystem — the seam the
+// fault-injection tests use. It negotiates the format version from the
+// trailing magic: "CDB1" files read without checksum verification,
+// "CDB2" files verify the footer checksum here and page/dictionary
+// checksums lazily on first touch.
+func OpenFS(fsys vfs.FS, path string) (*Reader, error) {
+	f, err := fsys.Open(path)
 	if err != nil {
 		return nil, err
 	}
-	st, err := f.Stat()
+	r, err := openFile(f, path)
 	if err != nil {
 		f.Close()
 		return nil, err
 	}
-	size := st.Size()
-	tailLen := int64(len(Magic) + 4)
-	if size < int64(len(Magic))+tailLen {
-		f.Close()
+	return r, nil
+}
+
+func openFile(f vfs.File, path string) (*Reader, error) {
+	size, err := f.Size()
+	if err != nil {
+		return nil, err
+	}
+	// Smallest possible file: head magic + v1 tail (u32 len + magic).
+	if size < int64(2*len(Magic)+4) {
 		return nil, ErrFormat
 	}
 	head := make([]byte, len(Magic))
-	if _, err := f.ReadAt(head, 0); err != nil || string(head) != string(Magic) {
-		f.Close()
-		return nil, ErrFormat
-	}
-	tail := make([]byte, tailLen)
-	if _, err := f.ReadAt(tail, size-tailLen); err != nil {
-		f.Close()
+	if _, err := f.ReadAt(head, 0); err != nil {
 		return nil, err
 	}
-	if string(tail[4:]) != string(Magic) {
-		f.Close()
+	if string(head) != string(Magic) && string(head) != string(MagicV2) {
 		return nil, ErrFormat
 	}
-	footerLen := int64(binary.LittleEndian.Uint32(tail[:4]))
-	if footerLen <= 0 || footerLen > size-tailLen-int64(len(Magic)) {
-		f.Close()
+	tail := make([]byte, len(Magic)+4)
+	if _, err := f.ReadAt(tail, size-int64(len(tail))); err != nil {
+		return nil, err
+	}
+	var (
+		footerLen   int64
+		footerEnd   int64 // file offset one past the footer bytes
+		wantCrc     uint32
+		checksummed bool
+	)
+	switch string(tail[4:]) {
+	case string(Magic): // v1 tail: footer | u32 len | magic
+		footerLen = int64(binary.LittleEndian.Uint32(tail[:4]))
+		footerEnd = size - int64(len(tail))
+	case string(MagicV2): // v2 tail: footer | u32 len | u32 crc | magic
+		tailLen := int64(len(MagicV2) + 8)
+		if size < int64(len(Magic))+tailLen {
+			return nil, ErrFormat
+		}
+		t2 := make([]byte, tailLen)
+		if _, err := f.ReadAt(t2, size-tailLen); err != nil {
+			return nil, err
+		}
+		footerLen = int64(binary.LittleEndian.Uint32(t2[:4]))
+		wantCrc = binary.LittleEndian.Uint32(t2[4:8])
+		footerEnd = size - tailLen
+		checksummed = true
+	default:
+		return nil, ErrFormat
+	}
+	if footerLen <= 0 || footerLen > footerEnd-int64(len(Magic)) {
 		return nil, ErrFormat
 	}
 	footer := make([]byte, footerLen)
-	if _, err := f.ReadAt(footer, size-tailLen-footerLen); err != nil {
-		f.Close()
+	if _, err := f.ReadAt(footer, footerEnd-footerLen); err != nil {
 		return nil, err
+	}
+	if checksummed && Checksum(footer) != wantCrc {
+		return nil, &CorruptionError{Path: path, RowGroup: -1, Page: -1,
+			Detail: "footer checksum mismatch"}
 	}
 	meta, err := unmarshalMeta(footer)
 	if err != nil {
-		f.Close()
 		return nil, err
+	}
+	if checksummed && meta.Version < FormatV2 {
+		return nil, ErrFormat // v2 framing requires a v2 footer
+	}
+	if meta.Version > CurrentFormat {
+		return nil, fmt.Errorf("colstore: %s: unsupported format version %d: %w",
+			path, meta.Version, ErrFormat)
 	}
 	if err := validateMeta(meta, size); err != nil {
-		f.Close()
 		return nil, err
 	}
-	return &Reader{f: f, meta: meta,
+	return &Reader{f: f, path: path, meta: meta,
 		intDicts: map[string][]int64{}, strDicts: map[string][][]byte{}}, nil
 }
 
@@ -186,7 +240,7 @@ func (r *Reader) IntDict(col int) ([]int64, error) {
 	if cached != nil {
 		return cached, nil
 	}
-	buf, err := r.readAt(dm.Offset, int(dm.Size))
+	buf, err := r.readDictBlob(group, dm)
 	if err != nil {
 		return nil, err
 	}
@@ -213,7 +267,7 @@ func (r *Reader) StrDict(col int) ([][]byte, error) {
 	if cached != nil {
 		return cached, nil
 	}
-	buf, err := r.readAt(dm.Offset, int(dm.Size))
+	buf, err := r.readDictBlob(group, dm)
 	if err != nil {
 		return nil, err
 	}
@@ -261,17 +315,76 @@ func (r *Reader) dictMetaFor(col int, want Type) (string, DictMeta, error) {
 	return group, dm, nil
 }
 
+// readAt reads size bytes at off with the bounded retry-on-transient-read
+// policy: up to readAttempts attempts, so one flaky read (short read, I/O
+// error) does not fail the query, while a persistent failure still
+// surfaces after the budget is spent.
 func (r *Reader) readAt(off int64, size int) ([]byte, error) {
 	start := time.Now()
 	buf := make([]byte, size)
-	if _, err := r.f.ReadAt(buf, off); err != nil {
-		return nil, err
+	var err error
+	for attempt := 0; attempt < readAttempts; attempt++ {
+		if _, err = r.f.ReadAt(buf, off); err == nil {
+			break
+		}
+	}
+	if err != nil {
+		return nil, fmt.Errorf("colstore: %s: read %d bytes at %d failed after %d attempts: %w",
+			r.path, size, off, readAttempts, err)
 	}
 	r.mu.Lock()
 	r.BytesRead += int64(size)
 	r.IONanos += time.Since(start).Nanoseconds()
 	r.mu.Unlock()
 	return buf, nil
+}
+
+// readDictBlob reads and, on checksummed files, verifies one dictionary
+// blob. A checksum mismatch is retried with one fresh read (the flip may
+// have happened in transit) before being reported as corruption.
+func (r *Reader) readDictBlob(group string, dm DictMeta) ([]byte, error) {
+	for attempt := 0; ; attempt++ {
+		buf, err := r.readAt(dm.Offset, int(dm.Size))
+		if err != nil {
+			return nil, err
+		}
+		if !r.meta.checksummed() || Checksum(buf) == dm.Crc32C {
+			return buf, nil
+		}
+		if attempt > 0 {
+			return nil, &CorruptionError{Path: r.path, Column: group, RowGroup: -1, Page: -1,
+				Detail: "dictionary checksum mismatch"}
+		}
+	}
+}
+
+// Verify scrubs the whole file: every dictionary blob and every data page
+// is read and checked against its checksum (format v2; v1 files only
+// verify readability). It returns the first problem found — a
+// *CorruptionError for checksum mismatches — or nil if the file is clean.
+func (r *Reader) Verify(ctx context.Context) error {
+	for group, dm := range r.meta.Dicts {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if _, err := r.readDictBlob(group, dm); err != nil {
+			return err
+		}
+	}
+	for rg := range r.meta.RowGroups {
+		for ci := range r.meta.RowGroups[rg].Chunks {
+			chunk := r.Chunk(rg, ci)
+			for p := range chunk.meta.Pages {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+				if _, err := chunk.rawPage(p); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
 }
 
 // Chunk returns a handle on column col within row group rg.
@@ -313,10 +426,29 @@ func (c *Chunk) PageValues(p int) int { return int(c.meta.Pages[p].NumValues) }
 // to encoding-aware operators.
 func (c *Chunk) PageBody(p int) ([]byte, error) { return c.pageBody(p) }
 
-// pageBody reads and decompresses page p.
-func (c *Chunk) pageBody(p int) ([]byte, error) {
+// rawPage reads the stored bytes of page p and, on checksummed files,
+// verifies the page CRC. A mismatch is retried with one fresh read before
+// being reported as a *CorruptionError naming the exact page.
+func (c *Chunk) rawPage(p int) ([]byte, error) {
 	pm := c.meta.Pages[p]
-	raw, err := c.r.readAt(pm.Offset, int(pm.CompressedSize))
+	for attempt := 0; ; attempt++ {
+		raw, err := c.r.readAt(pm.Offset, int(pm.CompressedSize))
+		if err != nil {
+			return nil, err
+		}
+		if !c.r.meta.checksummed() || Checksum(raw) == pm.Crc32C {
+			return raw, nil
+		}
+		if attempt > 0 {
+			return nil, &CorruptionError{Path: c.r.path, Column: c.column.Name,
+				RowGroup: c.rg, Page: p, Detail: "page checksum mismatch"}
+		}
+	}
+}
+
+// pageBody reads, verifies, and decompresses page p.
+func (c *Chunk) pageBody(p int) ([]byte, error) {
+	raw, err := c.rawPage(p)
 	if err != nil {
 		return nil, err
 	}
@@ -327,7 +459,16 @@ func (c *Chunk) pageBody(p int) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	return comp.Decompress(raw)
+	body, err := comp.Decompress(raw)
+	if err != nil {
+		return nil, err
+	}
+	if c.r.meta.checksummed() && len(body) != int(c.meta.Pages[p].UncompressedSize) {
+		return nil, &CorruptionError{Path: c.r.path, Column: c.column.Name,
+			RowGroup: c.rg, Page: p, Detail: fmt.Sprintf(
+				"decompressed to %d bytes, footer says %d", len(body), c.meta.Pages[p].UncompressedSize)}
+	}
+	return body, nil
 }
 
 func (c *Chunk) skipPage() {

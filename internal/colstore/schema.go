@@ -16,8 +16,12 @@ import (
 	"codecdb/internal/encoding"
 )
 
-// Magic bytes framing every CodecDB column file.
-var Magic = []byte("CDB1")
+// Magic bytes framing every CodecDB column file: MagicV1 frames legacy
+// checksum-less files, MagicV2 frames files with page/footer checksums.
+var (
+	Magic   = []byte("CDB1") // format version 1 (kept for compatibility)
+	MagicV2 = []byte("CDB2") // format version 2: CRC32-C checksums
+)
 
 // Type is a column's logical type.
 type Type uint8
@@ -80,6 +84,9 @@ type PageMeta struct {
 	UncompressedSize int32 `json:"uncompressedSize"`
 	NumValues        int32 `json:"numValues"`
 	FirstRow         int64 `json:"firstRow"` // row index within the row group
+	// Crc32C is the CRC32-Castagnoli of the stored (compressed) page
+	// bytes; zero in format-v1 files, which carry no checksums.
+	Crc32C uint32 `json:"crc32c,omitempty"`
 }
 
 // ChunkStats carries per-chunk statistics used for predicate rewriting and
@@ -115,6 +122,9 @@ type DictMeta struct {
 	NumEntries int32 `json:"numEntries"`
 	// Type distinguishes int and string dictionaries.
 	Type Type `json:"type"`
+	// Crc32C is the CRC32-Castagnoli of the serialized dictionary blob;
+	// zero in format-v1 files.
+	Crc32C uint32 `json:"crc32c,omitempty"`
 }
 
 // FileMeta is the footer persisted at the end of every file. It is the
@@ -122,11 +132,17 @@ type DictMeta struct {
 // plain text file and maintains in memory as a hashmap" (§3) — we keep it
 // as JSON inside the file footer plus the in-memory maps on Reader.
 type FileMeta struct {
+	// Version is the format version (FormatV1/FormatV2); absent in files
+	// written before versioning, which are treated as FormatV1.
+	Version   int                 `json:"version,omitempty"`
 	Schema    Schema              `json:"schema"`
 	NumRows   int64               `json:"numRows"`
 	RowGroups []RowGroupMeta      `json:"rowGroups"`
 	Dicts     map[string]DictMeta `json:"dicts,omitempty"` // by dict group name
 }
+
+// checksummed reports whether pages and dictionaries carry checksums.
+func (m *FileMeta) checksummed() bool { return m.Version >= FormatV2 }
 
 func (m *FileMeta) marshal() ([]byte, error) { return json.Marshal(m) }
 

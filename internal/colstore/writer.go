@@ -6,11 +6,11 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
-	"os"
 	"sort"
 
 	"codecdb/internal/bitutil"
 	"codecdb/internal/encoding"
+	"codecdb/internal/vfs"
 	"codecdb/internal/xcompress"
 )
 
@@ -21,6 +21,10 @@ type Options struct {
 	// PageRows is the encoding/compression unit within a chunk
 	// (default 8192).
 	PageRows int
+	// FormatVersion selects the on-disk format: 0 means CurrentFormat
+	// (checksummed); FormatV1 writes the legacy checksum-less layout for
+	// compatibility testing.
+	FormatVersion int
 }
 
 func (o Options) withDefaults() Options {
@@ -32,6 +36,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.PageRows > o.RowGroupRows {
 		o.PageRows = o.RowGroupRows
+	}
+	if o.FormatVersion <= 0 {
+		o.FormatVersion = CurrentFormat
 	}
 	return o
 }
@@ -59,6 +66,12 @@ func (c ColumnData) length(t Type) int {
 // Dictionary-encoded columns in the same DictGroup share one global
 // order-preserving dictionary.
 func WriteFile(path string, schema Schema, data []ColumnData, opts Options) error {
+	return WriteFileFS(vfs.OS(), path, schema, data, opts)
+}
+
+// WriteFileFS is WriteFile over an explicit filesystem — the seam the
+// fault-injection tests use.
+func WriteFileFS(fsys vfs.FS, path string, schema Schema, data []ColumnData, opts Options) error {
 	opts = opts.withDefaults()
 	if len(data) != len(schema.Columns) {
 		return fmt.Errorf("colstore: %d columns of data for %d schema columns", len(data), len(schema.Columns))
@@ -81,7 +94,7 @@ func WriteFile(path string, schema Schema, data []ColumnData, opts Options) erro
 		return err
 	}
 
-	f, err := os.Create(path)
+	f, err := fsys.Create(path)
 	if err != nil {
 		return err
 	}
@@ -93,11 +106,18 @@ func WriteFile(path string, schema Schema, data []ColumnData, opts Options) erro
 		off += int64(n)
 		return err
 	}
-	if err := write(Magic); err != nil {
+	magic := Magic
+	if opts.FormatVersion >= FormatV2 {
+		magic = MagicV2
+	}
+	if err := write(magic); err != nil {
 		return err
 	}
 
 	meta := &FileMeta{Schema: schema, NumRows: int64(numRows), Dicts: map[string]DictMeta{}}
+	if opts.FormatVersion >= FormatV2 {
+		meta.Version = opts.FormatVersion
+	}
 
 	// Serialise global dictionaries up front.
 	for group, d := range dicts {
@@ -113,6 +133,9 @@ func WriteFile(path string, schema Schema, data []ColumnData, opts Options) erro
 		}
 		dm := DictMeta{Offset: off, Size: int32(len(buf)), KeyWidth: uint8(d.keyWidth),
 			NumEntries: int32(d.numEntries()), Type: d.typ}
+		if meta.checksummed() {
+			dm.Crc32C = Checksum(buf)
+		}
 		if err := write(buf); err != nil {
 			return err
 		}
@@ -150,10 +173,21 @@ func WriteFile(path string, schema Schema, data []ColumnData, opts Options) erro
 	if err := write(lenBuf[:]); err != nil {
 		return err
 	}
-	if err := write(Magic); err != nil {
+	if meta.checksummed() {
+		// v2 tail: ... footer | u32 len | u32 crc32c(footer) | "CDB2".
+		var crcBuf [4]byte
+		binary.LittleEndian.PutUint32(crcBuf[:], Checksum(footer))
+		if err := write(crcBuf[:]); err != nil {
+			return err
+		}
+	}
+	if err := write(magic); err != nil {
 		return err
 	}
-	return w.Flush()
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	return f.Close()
 }
 
 // dictState is a global dictionary under construction.
@@ -287,6 +321,9 @@ func writeChunk(write func([]byte) error, off *int64, col Column, ci int, data C
 			UncompressedSize: int32(len(body)),
 			NumValues:        int32(pe - p),
 			FirstRow:         int64(p - start),
+		}
+		if opts.FormatVersion >= FormatV2 {
+			pm.Crc32C = Checksum(compressed)
 		}
 		if err := write(compressed); err != nil {
 			return ChunkMeta{}, err

@@ -2,6 +2,7 @@ package exec
 
 import (
 	"fmt"
+	"runtime/debug"
 	"sync"
 	"time"
 )
@@ -13,8 +14,9 @@ import (
 // so independent stages (e.g. filters over different columns) run in
 // parallel on the operator pool.
 type Graph struct {
-	nodes []*node
-	byID  map[string]*node
+	nodes  []*node
+	byID   map[string]*node
+	addErr error // first AddStage error, reported by Build and Run
 }
 
 type node struct {
@@ -32,28 +34,57 @@ func NewGraph() *Graph {
 
 // AddStage registers a pipeline stage under id, depending on the named
 // prior stages. The stage function runs once all dependencies succeed.
-func (g *Graph) AddStage(id string, fn func() error, deps ...string) {
+// Duplicate ids and unknown dependencies are errors; the first such error
+// is also remembered and returned by Build and Run, so callers may batch
+// registrations and check once.
+func (g *Graph) AddStage(id string, fn func() error, deps ...string) error {
+	fail := func(err error) error {
+		if g.addErr == nil {
+			g.addErr = err
+		}
+		return err
+	}
 	if _, dup := g.byID[id]; dup {
-		panic(fmt.Sprintf("exec: duplicate stage %q", id))
+		return fail(fmt.Errorf("exec: duplicate stage %q", id))
 	}
 	n := &node{id: id, fn: fn}
 	for _, d := range deps {
 		dn, ok := g.byID[d]
 		if !ok {
-			panic(fmt.Sprintf("exec: stage %q depends on unknown %q", id, d))
+			return fail(fmt.Errorf("exec: stage %q depends on unknown %q", id, d))
 		}
 		n.deps = append(n.deps, dn)
 		dn.children = append(dn.children, n)
 	}
 	g.nodes = append(g.nodes, n)
 	g.byID[id] = n
+	return nil
+}
+
+// Build validates the registered stages, returning the first AddStage
+// error. A graph that fails Build also fails Run with the same error.
+func (g *Graph) Build() error { return g.addErr }
+
+// runStage executes a stage function, converting a panic into an error so
+// one misbehaving operator fails the query instead of the process.
+func runStage(fn func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return fn()
 }
 
 // Run executes the graph on the pool. Each stage is submitted as one
 // worker task (operator-level parallelism); a task blocks until all its
-// ancestors finish (§5.2). Run returns the first error encountered;
-// dependents of a failed stage are skipped.
+// ancestors finish (§5.2). Run returns the first error encountered —
+// including a stage panic, reported as a *PanicError — and dependents of
+// a failed stage are skipped.
 func (g *Graph) Run(p *Pool) error {
+	if err := g.Build(); err != nil {
+		return err
+	}
 	var (
 		mu       sync.Mutex
 		firstErr error
@@ -67,9 +98,12 @@ func (g *Graph) Run(p *Pool) error {
 		}
 	}
 	var wg sync.WaitGroup
+	// launch runs in its own goroutine (Submit blocks while the pool is
+	// saturated, and a worker's slot is not released until its task
+	// returns); the caller must have done wg.Add(1) for n already, so the
+	// counter can never reach zero while work is still pending.
 	var launch func(n *node)
 	launch = func(n *node) {
-		wg.Add(1)
 		p.Submit(func() {
 			defer wg.Done()
 			mu.Lock()
@@ -78,7 +112,7 @@ func (g *Graph) Run(p *Pool) error {
 			var err error
 			if !failed {
 				start := time.Now()
-				err = n.fn()
+				err = runStage(n.fn)
 				n.duration = time.Since(start)
 			}
 			mu.Lock()
@@ -94,12 +128,14 @@ func (g *Graph) Run(p *Pool) error {
 			}
 			mu.Unlock()
 			for _, c := range next {
-				launch(c)
+				wg.Add(1)
+				go launch(c)
 			}
 		})
 	}
 	for _, n := range ready {
-		launch(n)
+		wg.Add(1)
+		go launch(n)
 	}
 	wg.Wait()
 	return firstErr

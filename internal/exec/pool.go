@@ -6,9 +6,24 @@
 package exec
 
 import (
+	"context"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 )
+
+// PanicError is a worker panic converted into an error: the recovered
+// value plus the goroutine stack at the panic site. A panicking task must
+// surface as a query error, never crash the process.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("exec: worker panic: %v\n%s", e.Value, e.Stack)
+}
 
 // Pool is a fixed-size worker pool. CodecDB uses two: an operator pool
 // (one worker task per query operator) and a data pool shared by all
@@ -16,6 +31,9 @@ import (
 type Pool struct {
 	sem chan struct{}
 	wg  sync.WaitGroup
+
+	mu  sync.Mutex
+	err error // first panic captured from a Submit task, cleared by Wait
 }
 
 // NewPool creates a pool running at most size tasks concurrently; size <= 0
@@ -30,65 +48,163 @@ func NewPool(size int) *Pool {
 // Size returns the concurrency bound.
 func (p *Pool) Size() int { return cap(p.sem) }
 
-// Submit schedules fn; it blocks only while the pool is saturated with
-// not-yet-started tasks.
+// Submit schedules fn; it blocks while the pool is saturated. The
+// semaphore is acquired before the worker goroutine is spawned, so a
+// saturated pool exerts backpressure on the submitter instead of
+// accumulating one parked goroutine per pending task. A panic in fn is
+// captured and reported by Wait.
 func (p *Pool) Submit(fn func()) {
 	p.wg.Add(1)
-	go func() {
-		p.sem <- struct{}{}
-		defer func() {
-			<-p.sem
-			p.wg.Done()
-		}()
-		fn()
-	}()
+	p.sem <- struct{}{}
+	go p.run(fn)
 }
 
-// Wait blocks until every submitted task has finished.
-func (p *Pool) Wait() { p.wg.Wait() }
-
-// ParallelChunks partitions [0, n) into roughly pool-size ranges and runs
-// fn(start, end) for each on the pool, blocking until all complete. It is
-// the block-level parallelism primitive: operators split their input into
-// data blocks and process blocks concurrently (§5.2).
-func (p *Pool) ParallelChunks(n int, fn func(start, end int)) {
-	if n <= 0 {
-		return
+// SubmitCtx is Submit that gives up waiting for a free worker slot when
+// ctx is cancelled, returning ctx.Err() without running fn.
+func (p *Pool) SubmitCtx(ctx context.Context, fn func()) error {
+	if err := ctx.Err(); err != nil {
+		return err
 	}
+	p.wg.Add(1)
+	select {
+	case p.sem <- struct{}{}:
+	case <-ctx.Done():
+		p.wg.Done()
+		return ctx.Err()
+	}
+	go p.run(fn)
+	return nil
+}
+
+func (p *Pool) run(fn func()) {
+	defer func() {
+		if r := recover(); r != nil {
+			p.mu.Lock()
+			if p.err == nil {
+				p.err = &PanicError{Value: r, Stack: debug.Stack()}
+			}
+			p.mu.Unlock()
+		}
+		<-p.sem
+		p.wg.Done()
+	}()
+	fn()
+}
+
+// Wait blocks until every submitted task has finished and returns the
+// first captured worker panic as a *PanicError (nil if none). The
+// recorded error is cleared so the pool can be reused.
+func (p *Pool) Wait() error {
+	p.wg.Wait()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	err := p.err
+	p.err = nil
+	return err
+}
+
+// chunkRanges partitions [0, n) into roughly pool-size ranges.
+func (p *Pool) chunkSize(n int) int {
 	workers := cap(p.sem)
 	if workers > n {
 		workers = n
 	}
-	chunk := (n + workers - 1) / workers
-	var wg sync.WaitGroup
-	for start := 0; start < n; start += chunk {
+	return (n + workers - 1) / workers
+}
+
+// ParallelChunksErr partitions [0, n) into roughly pool-size ranges and
+// runs fn(start, end) for each on the pool, blocking until all complete.
+// It is the block-level parallelism primitive: operators split their input
+// into data blocks and process blocks concurrently (§5.2). The first
+// error wins (later chunks are not launched), a panicking chunk is
+// captured as a *PanicError, and a cancelled ctx stops the fan-out and
+// returns ctx.Err(). fn should itself poll ctx between blocks for prompt
+// mid-chunk cancellation.
+func (p *Pool) ParallelChunksErr(ctx context.Context, n int, fn func(start, end int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	chunk := p.chunkSize(n)
+	var (
+		mu    sync.Mutex
+		first error
+		wg    sync.WaitGroup
+	)
+	setErr := func(err error) {
+		if err == nil {
+			return
+		}
+		mu.Lock()
+		if first == nil {
+			first = err
+		}
+		mu.Unlock()
+	}
+	failed := func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return first != nil
+	}
+	for start := 0; start < n && !failed(); start += chunk {
 		end := start + chunk
 		if end > n {
 			end = n
 		}
-		wg.Add(1)
 		s, e := start, end
-		p.Submit(func() {
+		wg.Add(1)
+		err := p.SubmitCtx(ctx, func() {
 			defer wg.Done()
-			fn(s, e)
+			defer func() {
+				if r := recover(); r != nil {
+					setErr(&PanicError{Value: r, Stack: debug.Stack()})
+				}
+			}()
+			setErr(fn(s, e))
 		})
+		if err != nil {
+			wg.Done()
+			setErr(err)
+			break
+		}
 	}
 	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if first != nil {
+		return first
+	}
+	return ctx.Err()
+}
+
+// ParallelChunks is ParallelChunksErr without error plumbing, kept for
+// callers whose block function cannot fail. A chunk panic is re-raised on
+// the caller's goroutine (matching the pre-pool-capture behavior) so it
+// is never silently swallowed.
+func (p *Pool) ParallelChunks(n int, fn func(start, end int)) {
+	err := p.ParallelChunksErr(context.Background(), n, func(start, end int) error {
+		fn(start, end)
+		return nil
+	})
+	if err != nil {
+		panic(err)
+	}
 }
 
 // ParallelMap applies fn to each index of items on the pool, preserving
-// order in the result.
-func ParallelMap[T, S any](p *Pool, items []T, fn func(T) S) []S {
+// order in the result. A panicking element surfaces as a *PanicError.
+func ParallelMap[T, S any](p *Pool, items []T, fn func(T) S) ([]S, error) {
 	out := make([]S, len(items))
-	var wg sync.WaitGroup
-	for i := range items {
-		wg.Add(1)
-		i := i
-		p.Submit(func() {
-			defer wg.Done()
+	err := p.ParallelChunksErr(context.Background(), len(items), func(start, end int) error {
+		for i := start; i < end; i++ {
 			out[i] = fn(items[i])
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	wg.Wait()
-	return out
+	return out, nil
 }

@@ -77,12 +77,14 @@ func Reduce[T, A any](s *Stream[T], init A, fn func(A, T) A) A {
 
 // ParallelForEach executes the pipeline with elements dispatched to the
 // pool; ordering is not preserved. It materialises the upstream lazily in
-// the caller goroutine and fans out the final stage.
-func (s *Stream[T]) ParallelForEach(p *Pool, fn func(T)) {
+// the caller goroutine and fans out the final stage. A panicking element
+// is reported as a *PanicError.
+func (s *Stream[T]) ParallelForEach(p *Pool, fn func(T)) error {
 	var pending []T
 	s.ForEach(func(v T) { pending = append(pending, v) })
-	ParallelMap(p, pending, func(v T) struct{} {
+	_, err := ParallelMap(p, pending, func(v T) struct{} {
 		fn(v)
 		return struct{}{}
 	})
+	return err
 }

@@ -245,7 +245,7 @@ func StripeHashAggregateN(pool *exec.Pool, keys []int64, specs []VecAgg, stripes
 	// Aggregation phase: each stripe fills a flat open-addressing table in
 	// parallel — the "several small hashtables" of §5.4, with better cache
 	// locality than one big table and no collision chains.
-	results := exec.ParallelMap(pool, rowLists, func(rows []int32) *stripeTable {
+	results, err := exec.ParallelMap(pool, rowLists, func(rows []int32) *stripeTable {
 		st := newStripeTable(len(rows), specs)
 		for _, ri := range rows {
 			i := int(ri)
@@ -257,6 +257,9 @@ func StripeHashAggregateN(pool *exec.Pool, keys []int64, specs []VecAgg, stripes
 		}
 		return st
 	})
+	if err != nil {
+		return nil, err
+	}
 	res := &AggResult{Out: make([][]float64, len(specs))}
 	for _, st := range results {
 		for slot, k := range st.keys {

@@ -12,6 +12,7 @@ package ops
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"sort"
 
@@ -52,6 +53,23 @@ type Filter interface {
 	Apply(r *colstore.Reader, pool *exec.Pool) (*bitutil.SectionalBitmap, error)
 }
 
+// ContextFilter is implemented by filters that honor cancellation and
+// deadlines mid-scan. All filters in this package implement it; Apply is
+// ApplyCtx with context.Background().
+type ContextFilter interface {
+	Filter
+	ApplyCtx(ctx context.Context, r *colstore.Reader, pool *exec.Pool) (*bitutil.SectionalBitmap, error)
+}
+
+// ApplyFilter runs f under ctx when it supports cancellation, falling back
+// to the context-free Apply for external Filter implementations.
+func ApplyFilter(ctx context.Context, f Filter, r *colstore.Reader, pool *exec.Pool) (*bitutil.SectionalBitmap, error) {
+	if cf, ok := f.(ContextFilter); ok {
+		return cf.ApplyCtx(ctx, r, pool)
+	}
+	return f.Apply(r, pool)
+}
+
 // mergePage transfers a page-local result bitmap into the section bitmap
 // at row offset firstRow. Word-aligned offsets (the common case: page rows
 // are multiples of 64) copy whole words.
@@ -82,6 +100,11 @@ type DictFilter struct {
 
 // Apply runs the filter.
 func (f *DictFilter) Apply(r *colstore.Reader, pool *exec.Pool) (*bitutil.SectionalBitmap, error) {
+	return f.ApplyCtx(context.Background(), r, pool)
+}
+
+// ApplyCtx runs the filter under ctx.
+func (f *DictFilter) ApplyCtx(ctx context.Context, r *colstore.Reader, pool *exec.Pool) (*bitutil.SectionalBitmap, error) {
 	ci, col, err := r.Column(f.Col)
 	if err != nil {
 		return nil, err
@@ -95,9 +118,11 @@ func (f *DictFilter) Apply(r *colstore.Reader, pool *exec.Pool) (*bitutil.Sectio
 	if !match && !all {
 		return out, nil // e.g. equality on a value absent from the dictionary
 	}
-	var applyErr error
-	pool.ParallelChunks(r.NumRowGroups(), func(start, end int) {
+	err = pool.ParallelChunksErr(ctx, r.NumRowGroups(), func(start, end int) error {
 		for rg := start; rg < end; rg++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			section := bitutil.NewBitmap(r.RowGroupRows(rg))
 			if all {
 				section.SetAll()
@@ -106,8 +131,7 @@ func (f *DictFilter) Apply(r *colstore.Reader, pool *exec.Pool) (*bitutil.Sectio
 			}
 			pages, err := r.Chunk(rg, ci).PackedPages()
 			if err != nil {
-				applyErr = err
-				return
+				return err
 			}
 			for _, p := range pages {
 				bm := sboost.ScanPacked(p.Data, p.N, p.Width, op, uint64(lb))
@@ -115,9 +139,10 @@ func (f *DictFilter) Apply(r *colstore.Reader, pool *exec.Pool) (*bitutil.Sectio
 			}
 			out.SetSection(rg, section)
 		}
+		return nil
 	})
-	if applyErr != nil {
-		return nil, applyErr
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -232,6 +257,11 @@ type DictInFilter struct {
 
 // Apply runs the filter.
 func (f *DictInFilter) Apply(r *colstore.Reader, pool *exec.Pool) (*bitutil.SectionalBitmap, error) {
+	return f.ApplyCtx(context.Background(), r, pool)
+}
+
+// ApplyCtx runs the filter under ctx.
+func (f *DictInFilter) ApplyCtx(ctx context.Context, r *colstore.Reader, pool *exec.Pool) (*bitutil.SectionalBitmap, error) {
 	ci, col, err := r.Column(f.Col)
 	if err != nil {
 		return nil, err
@@ -263,7 +293,7 @@ func (f *DictInFilter) Apply(r *colstore.Reader, pool *exec.Pool) (*bitutil.Sect
 	default:
 		return nil, fmt.Errorf("ops: IN filter on %v column", col.Type)
 	}
-	return scanKeysIn(r, ci, keys, pool)
+	return scanKeysIn(ctx, r, ci, keys, pool)
 }
 
 // DictLikeFilter is `col LIKE pattern` on a dictionary string column
@@ -278,6 +308,11 @@ type DictLikeFilter struct {
 
 // Apply runs the filter.
 func (f *DictLikeFilter) Apply(r *colstore.Reader, pool *exec.Pool) (*bitutil.SectionalBitmap, error) {
+	return f.ApplyCtx(context.Background(), r, pool)
+}
+
+// ApplyCtx runs the filter under ctx.
+func (f *DictLikeFilter) ApplyCtx(ctx context.Context, r *colstore.Reader, pool *exec.Pool) (*bitutil.SectionalBitmap, error) {
 	ci, col, err := r.Column(f.Col)
 	if err != nil {
 		return nil, err
@@ -295,7 +330,7 @@ func (f *DictLikeFilter) Apply(r *colstore.Reader, pool *exec.Pool) (*bitutil.Se
 			keys = append(keys, uint64(k))
 		}
 	}
-	return scanKeysIn(r, ci, keys, pool)
+	return scanKeysIn(ctx, r, ci, keys, pool)
 }
 
 // BitPackedFilter compares a bit-packed integer column against a constant
@@ -312,6 +347,11 @@ type BitPackedFilter struct {
 
 // Apply runs the filter.
 func (f *BitPackedFilter) Apply(r *colstore.Reader, pool *exec.Pool) (*bitutil.SectionalBitmap, error) {
+	return f.ApplyCtx(context.Background(), r, pool)
+}
+
+// ApplyCtx runs the filter under ctx.
+func (f *BitPackedFilter) ApplyCtx(ctx context.Context, r *colstore.Reader, pool *exec.Pool) (*bitutil.SectionalBitmap, error) {
 	ci, col, err := r.Column(f.Col)
 	if err != nil {
 		return nil, err
@@ -321,9 +361,11 @@ func (f *BitPackedFilter) Apply(r *colstore.Reader, pool *exec.Pool) (*bitutil.S
 	}
 	zz := func(v int64) uint64 { return uint64((v << 1) ^ (v >> 63)) }
 	out := NewTableBitmap(r)
-	var applyErr error
-	pool.ParallelChunks(r.NumRowGroups(), func(start, end int) {
+	err = pool.ParallelChunksErr(ctx, r.NumRowGroups(), func(start, end int) error {
 		for rg := start; rg < end; rg++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			chunk := r.Chunk(rg, ci)
 			section := bitutil.NewBitmap(chunk.Rows())
 			inSitu := f.Op == sboost.OpEq || f.Op == sboost.OpNe || chunk.Stats().MinInt >= 0
@@ -331,8 +373,7 @@ func (f *BitPackedFilter) Apply(r *colstore.Reader, pool *exec.Pool) (*bitutil.S
 				// Negatives present: decode-and-test for this chunk.
 				vals, err := chunk.Ints()
 				if err != nil {
-					applyErr = err
-					return
+					return err
 				}
 				for i, v := range vals {
 					if chunkMatch(v, f.Op, f.Value) {
@@ -354,8 +395,7 @@ func (f *BitPackedFilter) Apply(r *colstore.Reader, pool *exec.Pool) (*bitutil.S
 			}
 			pages, err := chunk.PackedPages()
 			if err != nil {
-				applyErr = err
-				return
+				return err
 			}
 			for _, p := range pages {
 				// A target wider than the page's packed width cannot occur
@@ -375,9 +415,10 @@ func (f *BitPackedFilter) Apply(r *colstore.Reader, pool *exec.Pool) (*bitutil.S
 			}
 			out.SetSection(rg, section)
 		}
+		return nil
 	})
-	if applyErr != nil {
-		return nil, applyErr
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -413,6 +454,11 @@ type DictIntPredFilter struct {
 
 // Apply runs the filter.
 func (f *DictIntPredFilter) Apply(r *colstore.Reader, pool *exec.Pool) (*bitutil.SectionalBitmap, error) {
+	return f.ApplyCtx(context.Background(), r, pool)
+}
+
+// ApplyCtx runs the filter under ctx.
+func (f *DictIntPredFilter) ApplyCtx(ctx context.Context, r *colstore.Reader, pool *exec.Pool) (*bitutil.SectionalBitmap, error) {
 	ci, col, err := r.Column(f.Col)
 	if err != nil {
 		return nil, err
@@ -430,7 +476,7 @@ func (f *DictIntPredFilter) Apply(r *colstore.Reader, pool *exec.Pool) (*bitutil
 			keys = append(keys, uint64(k))
 		}
 	}
-	return scanKeysIn(r, ci, keys, pool)
+	return scanKeysIn(ctx, r, ci, keys, pool)
 }
 
 // swarInThreshold is the IN-set size above which the per-target SWAR
@@ -441,7 +487,7 @@ const swarInThreshold = 8
 // cheapest strategy: a contiguous key set becomes one SWAR range scan, a
 // small set the SWAR disjunction, and a large scattered set a lookup
 // table.
-func scanKeysIn(r *colstore.Reader, ci int, keys []uint64, pool *exec.Pool) (*bitutil.SectionalBitmap, error) {
+func scanKeysIn(ctx context.Context, r *colstore.Reader, ci int, keys []uint64, pool *exec.Pool) (*bitutil.SectionalBitmap, error) {
 	out := NewTableBitmap(r)
 	if len(keys) == 0 {
 		return out, nil
@@ -463,13 +509,14 @@ func scanKeysIn(r *colstore.Reader, ci int, keys []uint64, pool *exec.Pool) (*bi
 			return sboost.ScanPackedLookup(p.Data, p.N, p.Width, table)
 		}
 	}
-	var applyErr error
-	pool.ParallelChunks(r.NumRowGroups(), func(start, end int) {
+	err := pool.ParallelChunksErr(ctx, r.NumRowGroups(), func(start, end int) error {
 		for rg := start; rg < end; rg++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			pages, err := r.Chunk(rg, ci).PackedPages()
 			if err != nil {
-				applyErr = err
-				return
+				return err
 			}
 			section := bitutil.NewBitmap(r.RowGroupRows(rg))
 			for _, p := range pages {
@@ -477,9 +524,10 @@ func scanKeysIn(r *colstore.Reader, ci int, keys []uint64, pool *exec.Pool) (*bi
 			}
 			out.SetSection(rg, section)
 		}
+		return nil
 	})
-	if applyErr != nil {
-		return nil, applyErr
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -494,6 +542,11 @@ type TwoColumnFilter struct {
 
 // Apply runs the filter.
 func (f *TwoColumnFilter) Apply(r *colstore.Reader, pool *exec.Pool) (*bitutil.SectionalBitmap, error) {
+	return f.ApplyCtx(context.Background(), r, pool)
+}
+
+// ApplyCtx runs the filter under ctx.
+func (f *TwoColumnFilter) ApplyCtx(ctx context.Context, r *colstore.Reader, pool *exec.Pool) (*bitutil.SectionalBitmap, error) {
 	ca, _, err := r.Column(f.ColA)
 	if err != nil {
 		return nil, err
@@ -506,22 +559,21 @@ func (f *TwoColumnFilter) Apply(r *colstore.Reader, pool *exec.Pool) (*bitutil.S
 		return nil, fmt.Errorf("ops: %s and %s do not share a dictionary", f.ColA, f.ColB)
 	}
 	out := NewTableBitmap(r)
-	var applyErr error
-	pool.ParallelChunks(r.NumRowGroups(), func(start, end int) {
+	err = pool.ParallelChunksErr(ctx, r.NumRowGroups(), func(start, end int) error {
 		for rg := start; rg < end; rg++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			pagesA, err := r.Chunk(rg, ca).PackedPages()
 			if err != nil {
-				applyErr = err
-				return
+				return err
 			}
 			pagesB, err := r.Chunk(rg, cb).PackedPages()
 			if err != nil {
-				applyErr = err
-				return
+				return err
 			}
 			if len(pagesA) != len(pagesB) {
-				applyErr = fmt.Errorf("ops: page layout mismatch between %s and %s", f.ColA, f.ColB)
-				return
+				return fmt.Errorf("ops: page layout mismatch between %s and %s", f.ColA, f.ColB)
 			}
 			section := bitutil.NewBitmap(r.RowGroupRows(rg))
 			for p := range pagesA {
@@ -531,9 +583,10 @@ func (f *TwoColumnFilter) Apply(r *colstore.Reader, pool *exec.Pool) (*bitutil.S
 			}
 			out.SetSection(rg, section)
 		}
+		return nil
 	})
-	if applyErr != nil {
-		return nil, applyErr
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -550,6 +603,11 @@ type DeltaFilter struct {
 
 // Apply runs the filter.
 func (f *DeltaFilter) Apply(r *colstore.Reader, pool *exec.Pool) (*bitutil.SectionalBitmap, error) {
+	return f.ApplyCtx(context.Background(), r, pool)
+}
+
+// ApplyCtx runs the filter under ctx.
+func (f *DeltaFilter) ApplyCtx(ctx context.Context, r *colstore.Reader, pool *exec.Pool) (*bitutil.SectionalBitmap, error) {
 	ci, col, err := r.Column(f.Col)
 	if err != nil {
 		return nil, err
@@ -558,9 +616,11 @@ func (f *DeltaFilter) Apply(r *colstore.Reader, pool *exec.Pool) (*bitutil.Secti
 		return nil, fmt.Errorf("ops: delta filter needs a delta-encoded int column")
 	}
 	out := NewTableBitmap(r)
-	var applyErr error
-	pool.ParallelChunks(r.NumRowGroups(), func(start, end int) {
+	err = pool.ParallelChunksErr(ctx, r.NumRowGroups(), func(start, end int) error {
 		for rg := start; rg < end; rg++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			chunk := r.Chunk(rg, ci)
 			section := bitutil.NewBitmap(chunk.Rows())
 			row := 0
@@ -570,13 +630,11 @@ func (f *DeltaFilter) Apply(r *colstore.Reader, pool *exec.Pool) (*bitutil.Secti
 				}
 				body, err := chunk.PageBody(p)
 				if err != nil {
-					applyErr = err
-					return
+					return err
 				}
 				first, deltas, err := (encoding.DeltaInt{}).DecodeDeltas(body)
 				if err != nil {
-					applyErr = err
-					return
+					return err
 				}
 				sums := make([]int64, len(deltas))
 				sboost.CumulativeSum(deltas, sums)
@@ -592,9 +650,10 @@ func (f *DeltaFilter) Apply(r *colstore.Reader, pool *exec.Pool) (*bitutil.Secti
 			}
 			out.SetSection(rg, section)
 		}
+		return nil
 	})
-	if applyErr != nil {
-		return nil, applyErr
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -627,18 +686,24 @@ type IntPredicateFilter struct {
 
 // Apply runs the filter.
 func (f *IntPredicateFilter) Apply(r *colstore.Reader, pool *exec.Pool) (*bitutil.SectionalBitmap, error) {
+	return f.ApplyCtx(context.Background(), r, pool)
+}
+
+// ApplyCtx runs the filter under ctx.
+func (f *IntPredicateFilter) ApplyCtx(ctx context.Context, r *colstore.Reader, pool *exec.Pool) (*bitutil.SectionalBitmap, error) {
 	ci, _, err := r.Column(f.Col)
 	if err != nil {
 		return nil, err
 	}
 	out := NewTableBitmap(r)
-	var applyErr error
-	pool.ParallelChunks(r.NumRowGroups(), func(start, end int) {
+	err = pool.ParallelChunksErr(ctx, r.NumRowGroups(), func(start, end int) error {
 		for rg := start; rg < end; rg++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			vals, err := r.Chunk(rg, ci).Ints()
 			if err != nil {
-				applyErr = err
-				return
+				return err
 			}
 			section := bitutil.NewBitmap(len(vals))
 			for i, v := range vals {
@@ -648,9 +713,10 @@ func (f *IntPredicateFilter) Apply(r *colstore.Reader, pool *exec.Pool) (*bituti
 			}
 			out.SetSection(rg, section)
 		}
+		return nil
 	})
-	if applyErr != nil {
-		return nil, applyErr
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -663,18 +729,24 @@ type StrPredicateFilter struct {
 
 // Apply runs the filter.
 func (f *StrPredicateFilter) Apply(r *colstore.Reader, pool *exec.Pool) (*bitutil.SectionalBitmap, error) {
+	return f.ApplyCtx(context.Background(), r, pool)
+}
+
+// ApplyCtx runs the filter under ctx.
+func (f *StrPredicateFilter) ApplyCtx(ctx context.Context, r *colstore.Reader, pool *exec.Pool) (*bitutil.SectionalBitmap, error) {
 	ci, _, err := r.Column(f.Col)
 	if err != nil {
 		return nil, err
 	}
 	out := NewTableBitmap(r)
-	var applyErr error
-	pool.ParallelChunks(r.NumRowGroups(), func(start, end int) {
+	err = pool.ParallelChunksErr(ctx, r.NumRowGroups(), func(start, end int) error {
 		for rg := start; rg < end; rg++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			vals, err := r.Chunk(rg, ci).Strings()
 			if err != nil {
-				applyErr = err
-				return
+				return err
 			}
 			section := bitutil.NewBitmap(len(vals))
 			for i, v := range vals {
@@ -684,9 +756,10 @@ func (f *StrPredicateFilter) Apply(r *colstore.Reader, pool *exec.Pool) (*bituti
 			}
 			out.SetSection(rg, section)
 		}
+		return nil
 	})
-	if applyErr != nil {
-		return nil, applyErr
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -699,18 +772,24 @@ type FloatPredicateFilter struct {
 
 // Apply runs the filter.
 func (f *FloatPredicateFilter) Apply(r *colstore.Reader, pool *exec.Pool) (*bitutil.SectionalBitmap, error) {
+	return f.ApplyCtx(context.Background(), r, pool)
+}
+
+// ApplyCtx runs the filter under ctx.
+func (f *FloatPredicateFilter) ApplyCtx(ctx context.Context, r *colstore.Reader, pool *exec.Pool) (*bitutil.SectionalBitmap, error) {
 	ci, _, err := r.Column(f.Col)
 	if err != nil {
 		return nil, err
 	}
 	out := NewTableBitmap(r)
-	var applyErr error
-	pool.ParallelChunks(r.NumRowGroups(), func(start, end int) {
+	err = pool.ParallelChunksErr(ctx, r.NumRowGroups(), func(start, end int) error {
 		for rg := start; rg < end; rg++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			vals, err := r.Chunk(rg, ci).Floats()
 			if err != nil {
-				applyErr = err
-				return
+				return err
 			}
 			section := bitutil.NewBitmap(len(vals))
 			for i, v := range vals {
@@ -720,9 +799,10 @@ func (f *FloatPredicateFilter) Apply(r *colstore.Reader, pool *exec.Pool) (*bitu
 			}
 			out.SetSection(rg, section)
 		}
+		return nil
 	})
-	if applyErr != nil {
-		return nil, applyErr
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -1,6 +1,8 @@
 package ops
 
 import (
+	"context"
+
 	"codecdb/internal/bitutil"
 	"codecdb/internal/colstore"
 	"codecdb/internal/exec"
@@ -10,118 +12,89 @@ import (
 // produce a sectional bitmap, only the selected rows of payload columns
 // are fetched, with page- and row-level skipping done by the chunk
 // readers. Row groups are processed in parallel on the data pool and
-// results concatenate in row order.
+// results concatenate in row order. Each helper has a Ctx variant that
+// honors cancellation between row groups; the plain form runs with
+// context.Background().
 
 // GatherInts fetches the selected rows of an integer column.
 func GatherInts(r *colstore.Reader, col string, sel *bitutil.SectionalBitmap, pool *exec.Pool) ([]int64, error) {
-	ci, _, err := r.Column(col)
-	if err != nil {
-		return nil, err
-	}
-	parts := make([][]int64, r.NumRowGroups())
-	var firstErr error
-	pool.ParallelChunks(r.NumRowGroups(), func(start, end int) {
-		for rg := start; rg < end; rg++ {
-			if sel != nil && sel.SectionEmpty(rg) {
-				continue
-			}
-			chunk := r.Chunk(rg, ci)
-			vals, err := chunk.GatherInts(sectionOrFull(sel, rg, chunk.Rows()))
-			if err != nil {
-				firstErr = err
-				return
-			}
-			parts[rg] = vals
-		}
+	return GatherIntsCtx(context.Background(), r, col, sel, pool)
+}
+
+// GatherIntsCtx is GatherInts under a cancellable context.
+func GatherIntsCtx(ctx context.Context, r *colstore.Reader, col string, sel *bitutil.SectionalBitmap, pool *exec.Pool) ([]int64, error) {
+	return gatherCtx(ctx, r, col, sel, pool, func(chunk *colstore.Chunk, bm *bitutil.Bitmap) ([]int64, error) {
+		return chunk.GatherInts(bm)
 	})
-	if firstErr != nil {
-		return nil, firstErr
-	}
-	return concat(parts), nil
 }
 
 // GatherFloats fetches the selected rows of a float column.
 func GatherFloats(r *colstore.Reader, col string, sel *bitutil.SectionalBitmap, pool *exec.Pool) ([]float64, error) {
-	ci, _, err := r.Column(col)
-	if err != nil {
-		return nil, err
-	}
-	parts := make([][]float64, r.NumRowGroups())
-	var firstErr error
-	pool.ParallelChunks(r.NumRowGroups(), func(start, end int) {
-		for rg := start; rg < end; rg++ {
-			if sel != nil && sel.SectionEmpty(rg) {
-				continue
-			}
-			chunk := r.Chunk(rg, ci)
-			vals, err := chunk.GatherFloats(sectionOrFull(sel, rg, chunk.Rows()))
-			if err != nil {
-				firstErr = err
-				return
-			}
-			parts[rg] = vals
-		}
+	return GatherFloatsCtx(context.Background(), r, col, sel, pool)
+}
+
+// GatherFloatsCtx is GatherFloats under a cancellable context.
+func GatherFloatsCtx(ctx context.Context, r *colstore.Reader, col string, sel *bitutil.SectionalBitmap, pool *exec.Pool) ([]float64, error) {
+	return gatherCtx(ctx, r, col, sel, pool, func(chunk *colstore.Chunk, bm *bitutil.Bitmap) ([]float64, error) {
+		return chunk.GatherFloats(bm)
 	})
-	if firstErr != nil {
-		return nil, firstErr
-	}
-	return concat(parts), nil
 }
 
 // GatherStrings fetches the selected rows of a string column. Values alias
 // decode buffers (zero-copy).
 func GatherStrings(r *colstore.Reader, col string, sel *bitutil.SectionalBitmap, pool *exec.Pool) ([][]byte, error) {
-	ci, _, err := r.Column(col)
-	if err != nil {
-		return nil, err
-	}
-	parts := make([][][]byte, r.NumRowGroups())
-	var firstErr error
-	pool.ParallelChunks(r.NumRowGroups(), func(start, end int) {
-		for rg := start; rg < end; rg++ {
-			if sel != nil && sel.SectionEmpty(rg) {
-				continue
-			}
-			chunk := r.Chunk(rg, ci)
-			vals, err := chunk.GatherStrings(sectionOrFull(sel, rg, chunk.Rows()))
-			if err != nil {
-				firstErr = err
-				return
-			}
-			parts[rg] = vals
-		}
+	return GatherStringsCtx(context.Background(), r, col, sel, pool)
+}
+
+// GatherStringsCtx is GatherStrings under a cancellable context.
+func GatherStringsCtx(ctx context.Context, r *colstore.Reader, col string, sel *bitutil.SectionalBitmap, pool *exec.Pool) ([][]byte, error) {
+	return gatherCtx(ctx, r, col, sel, pool, func(chunk *colstore.Chunk, bm *bitutil.Bitmap) ([][]byte, error) {
+		return chunk.GatherStrings(bm)
 	})
-	if firstErr != nil {
-		return nil, firstErr
-	}
-	return concat(parts), nil
 }
 
 // GatherKeys fetches dictionary keys of the selected rows — the preferred
 // group-by input for array aggregation, since keys are dense codes.
 func GatherKeys(r *colstore.Reader, col string, sel *bitutil.SectionalBitmap, pool *exec.Pool) ([]int64, error) {
+	return GatherKeysCtx(context.Background(), r, col, sel, pool)
+}
+
+// GatherKeysCtx is GatherKeys under a cancellable context.
+func GatherKeysCtx(ctx context.Context, r *colstore.Reader, col string, sel *bitutil.SectionalBitmap, pool *exec.Pool) ([]int64, error) {
+	return gatherCtx(ctx, r, col, sel, pool, func(chunk *colstore.Chunk, bm *bitutil.Bitmap) ([]int64, error) {
+		return chunk.GatherKeys(bm)
+	})
+}
+
+// gatherCtx runs one selective fetch per row group on the pool, skipping
+// empty sections, honoring ctx between row groups, and concatenating in
+// row order. Error collection is synchronized by ParallelChunksErr.
+func gatherCtx[T any](ctx context.Context, r *colstore.Reader, col string, sel *bitutil.SectionalBitmap, pool *exec.Pool,
+	fetch func(*colstore.Chunk, *bitutil.Bitmap) ([]T, error)) ([]T, error) {
 	ci, _, err := r.Column(col)
 	if err != nil {
 		return nil, err
 	}
-	parts := make([][]int64, r.NumRowGroups())
-	var firstErr error
-	pool.ParallelChunks(r.NumRowGroups(), func(start, end int) {
+	parts := make([][]T, r.NumRowGroups())
+	err = pool.ParallelChunksErr(ctx, r.NumRowGroups(), func(start, end int) error {
 		for rg := start; rg < end; rg++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if sel != nil && sel.SectionEmpty(rg) {
 				continue
 			}
 			chunk := r.Chunk(rg, ci)
-			vals, err := chunk.GatherKeys(sectionOrFull(sel, rg, chunk.Rows()))
+			vals, err := fetch(chunk, sectionOrFull(sel, rg, chunk.Rows()))
 			if err != nil {
-				firstErr = err
-				return
+				return err
 			}
 			parts[rg] = vals
 		}
+		return nil
 	})
-	if firstErr != nil {
-		return nil, firstErr
+	if err != nil {
+		return nil, err
 	}
 	return concat(parts), nil
 }
@@ -137,72 +110,57 @@ func SelectedRows(sel *bitutil.SectionalBitmap) []int64 {
 // ReadAllInts decodes a whole integer column — the encoding-oblivious
 // access path (every page decompressed and decoded).
 func ReadAllInts(r *colstore.Reader, col string, pool *exec.Pool) ([]int64, error) {
-	ci, _, err := r.Column(col)
-	if err != nil {
-		return nil, err
-	}
-	parts := make([][]int64, r.NumRowGroups())
-	var firstErr error
-	pool.ParallelChunks(r.NumRowGroups(), func(start, end int) {
-		for rg := start; rg < end; rg++ {
-			vals, err := r.Chunk(rg, ci).Ints()
-			if err != nil {
-				firstErr = err
-				return
-			}
-			parts[rg] = vals
-		}
-	})
-	if firstErr != nil {
-		return nil, firstErr
-	}
-	return concat(parts), nil
+	return ReadAllIntsCtx(context.Background(), r, col, pool)
+}
+
+// ReadAllIntsCtx is ReadAllInts under a cancellable context.
+func ReadAllIntsCtx(ctx context.Context, r *colstore.Reader, col string, pool *exec.Pool) ([]int64, error) {
+	return readAllCtx(ctx, r, col, pool, (*colstore.Chunk).Ints)
 }
 
 // ReadAllFloats decodes a whole float column.
 func ReadAllFloats(r *colstore.Reader, col string, pool *exec.Pool) ([]float64, error) {
-	ci, _, err := r.Column(col)
-	if err != nil {
-		return nil, err
-	}
-	parts := make([][]float64, r.NumRowGroups())
-	var firstErr error
-	pool.ParallelChunks(r.NumRowGroups(), func(start, end int) {
-		for rg := start; rg < end; rg++ {
-			vals, err := r.Chunk(rg, ci).Floats()
-			if err != nil {
-				firstErr = err
-				return
-			}
-			parts[rg] = vals
-		}
-	})
-	if firstErr != nil {
-		return nil, firstErr
-	}
-	return concat(parts), nil
+	return ReadAllFloatsCtx(context.Background(), r, col, pool)
+}
+
+// ReadAllFloatsCtx is ReadAllFloats under a cancellable context.
+func ReadAllFloatsCtx(ctx context.Context, r *colstore.Reader, col string, pool *exec.Pool) ([]float64, error) {
+	return readAllCtx(ctx, r, col, pool, (*colstore.Chunk).Floats)
 }
 
 // ReadAllStrings decodes a whole string column.
 func ReadAllStrings(r *colstore.Reader, col string, pool *exec.Pool) ([][]byte, error) {
+	return ReadAllStringsCtx(context.Background(), r, col, pool)
+}
+
+// ReadAllStringsCtx is ReadAllStrings under a cancellable context.
+func ReadAllStringsCtx(ctx context.Context, r *colstore.Reader, col string, pool *exec.Pool) ([][]byte, error) {
+	return readAllCtx(ctx, r, col, pool, (*colstore.Chunk).Strings)
+}
+
+// readAllCtx decodes every row group of one column on the pool.
+func readAllCtx[T any](ctx context.Context, r *colstore.Reader, col string, pool *exec.Pool,
+	decode func(*colstore.Chunk) ([]T, error)) ([]T, error) {
 	ci, _, err := r.Column(col)
 	if err != nil {
 		return nil, err
 	}
-	parts := make([][][]byte, r.NumRowGroups())
-	var firstErr error
-	pool.ParallelChunks(r.NumRowGroups(), func(start, end int) {
+	parts := make([][]T, r.NumRowGroups())
+	err = pool.ParallelChunksErr(ctx, r.NumRowGroups(), func(start, end int) error {
 		for rg := start; rg < end; rg++ {
-			vals, err := r.Chunk(rg, ci).Strings()
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			vals, err := decode(r.Chunk(rg, ci))
 			if err != nil {
-				firstErr = err
-				return
+				return err
 			}
 			parts[rg] = vals
 		}
+		return nil
 	})
-	if firstErr != nil {
-		return nil, firstErr
+	if err != nil {
+		return nil, err
 	}
 	return concat(parts), nil
 }

@@ -35,7 +35,7 @@ func (t *Tables) Q3Pipelined(opPool *exec.Pool) (*memtable.RowTable, error) {
 	g := exec.NewGraph()
 	// Stage 1: filter customers on segment, build the key set. This stage
 	// ends at a blocking operator (hash-table build).
-	g.AddStage("customer", func() error {
+	err := g.AddStage("customer", func() error {
 		cSel, err := (&ops.DictFilter{Col: "c_mktsegment", Op: sboost.OpEq, StrValue: []byte("BUILDING")}).Apply(t.C, t.Pool)
 		if err != nil {
 			return err
@@ -49,10 +49,13 @@ func (t *Tables) Q3Pipelined(opPool *exec.Pool) (*memtable.RowTable, error) {
 		mu.Unlock()
 		return nil
 	})
+	if err != nil {
+		return nil, err
+	}
 	// Stage 2 (independent of stage 1): filter lineitem on shipdate and
 	// gather the join keys and payload. Column reads go through the batch
 	// cache so a second operator needing l_orderkey reuses the load.
-	g.AddStage("lineitem", func() error {
+	err = g.AddStage("lineitem", func() error {
 		lSel, err := (&ops.DictFilter{Col: "l_shipdate", Op: sboost.OpGt, IntValue: cutoff}).Apply(t.L, t.Pool)
 		if err != nil {
 			return err
@@ -74,9 +77,12 @@ func (t *Tables) Q3Pipelined(opPool *exec.Pool) (*memtable.RowTable, error) {
 		mu.Unlock()
 		return nil
 	})
+	if err != nil {
+		return nil, err
+	}
 	// Stage 3: filter orders on date, semi-join against the customer set,
 	// build the order hash table. Depends on stage 1 only.
-	g.AddStage("orders", func() error {
+	err = g.AddStage("orders", func() error {
 		oSel, err := (&ops.DictFilter{Col: "o_orderdate", Op: sboost.OpLt, IntValue: cutoff}).Apply(t.O, t.Pool)
 		if err != nil {
 			return err
@@ -106,8 +112,11 @@ func (t *Tables) Q3Pipelined(opPool *exec.Pool) (*memtable.RowTable, error) {
 		mu.Unlock()
 		return nil
 	}, "customer")
+	if err != nil {
+		return nil, err
+	}
 	// Stage 4: probe + aggregate + top-n; blocks on both sides.
-	g.AddStage("aggregate", func() error {
+	err = g.AddStage("aggregate", func() error {
 		match := ops.SemiJoinBitmap(t.Pool, orderMap, lOrder)
 		revenue := map[int64]float64{}
 		match.ForEach(func(i int) {
@@ -118,6 +127,9 @@ func (t *Tables) Q3Pipelined(opPool *exec.Pool) (*memtable.RowTable, error) {
 		mu.Unlock()
 		return nil
 	}, "orders", "lineitem")
+	if err != nil {
+		return nil, err
+	}
 
 	if err := g.Run(opPool); err != nil {
 		return nil, err

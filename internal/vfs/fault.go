@@ -1,0 +1,137 @@
+package vfs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// ErrInjected is the base error of every fault the FaultFS injects;
+// tests match it with errors.Is to separate injected faults from real
+// filesystem failures.
+var ErrInjected = errors.New("vfs: injected I/O error")
+
+// FaultConfig tunes the fault mix. Probabilities are per ReadAt call and
+// evaluated from one seeded PRNG, so a given (seed, operation sequence)
+// replays the same faults.
+type FaultConfig struct {
+	// Seed makes the injection deterministic.
+	Seed int64
+	// ErrProb is the probability a read fails outright with ErrInjected.
+	// Failures are transient by construction: the PRNG advances per call,
+	// so an immediate retry of the same read usually succeeds — the shape
+	// of a flaky disk or network filesystem that a bounded retry policy
+	// should absorb.
+	ErrProb float64
+	// ShortReadProb is the probability a read returns only a prefix of
+	// the requested bytes with io.ErrUnexpectedEOF.
+	ShortReadProb float64
+	// BitFlipProb is the probability one random bit of the returned
+	// buffer is flipped — silent corruption that only checksum
+	// verification can catch.
+	BitFlipProb float64
+	// Latency is an optional per-read delay.
+	Latency time.Duration
+}
+
+// FaultFS wraps an FS and injects faults into reads according to the
+// config. Writes pass through untouched. Injection starts disabled so a
+// test can open a file cleanly first; flip it on with SetEnabled(true).
+type FaultFS struct {
+	inner FS
+	cfg   FaultConfig
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	enabled bool
+
+	// Fault counters, guarded by mu.
+	errs       int64
+	shortReads int64
+	bitFlips   int64
+}
+
+// NewFaultFS wraps inner with fault injection per cfg, initially disabled.
+func NewFaultFS(inner FS, cfg FaultConfig) *FaultFS {
+	return &FaultFS{inner: inner, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// SetEnabled switches injection on or off.
+func (ff *FaultFS) SetEnabled(on bool) {
+	ff.mu.Lock()
+	ff.enabled = on
+	ff.mu.Unlock()
+}
+
+// Injected reports how many faults of each kind have fired.
+func (ff *FaultFS) Injected() (errs, shortReads, bitFlips int64) {
+	ff.mu.Lock()
+	defer ff.mu.Unlock()
+	return ff.errs, ff.shortReads, ff.bitFlips
+}
+
+// Open opens the file through the inner FS and wraps its reads.
+func (ff *FaultFS) Open(path string) (File, error) {
+	f, err := ff.inner.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{File: f, fs: ff}, nil
+}
+
+// Create passes through to the inner FS.
+func (ff *FaultFS) Create(path string) (io.WriteCloser, error) { return ff.inner.Create(path) }
+
+// fault draws the fault decision for one read of length n. It returns the
+// kind of fault to apply ("" for none) and, for short reads, the number
+// of bytes to deliver, or for bit flips, the bit position to flip.
+func (ff *FaultFS) fault(n int) (kind string, arg int) {
+	ff.mu.Lock()
+	defer ff.mu.Unlock()
+	if !ff.enabled || n == 0 {
+		return "", 0
+	}
+	switch r := ff.rng.Float64(); {
+	case r < ff.cfg.ErrProb:
+		ff.errs++
+		return "err", 0
+	case r < ff.cfg.ErrProb+ff.cfg.ShortReadProb:
+		ff.shortReads++
+		return "short", ff.rng.Intn(n)
+	case r < ff.cfg.ErrProb+ff.cfg.ShortReadProb+ff.cfg.BitFlipProb:
+		ff.bitFlips++
+		return "flip", ff.rng.Intn(n * 8)
+	}
+	return "", 0
+}
+
+type faultFile struct {
+	File
+	fs *FaultFS
+}
+
+func (f *faultFile) ReadAt(p []byte, off int64) (int, error) {
+	if d := f.fs.cfg.Latency; d > 0 {
+		time.Sleep(d)
+	}
+	kind, arg := f.fs.fault(len(p))
+	if kind == "err" {
+		return 0, fmt.Errorf("%w (off=%d len=%d)", ErrInjected, off, len(p))
+	}
+	if kind == "short" {
+		n, err := f.File.ReadAt(p[:arg], off)
+		if err == nil {
+			err = io.ErrUnexpectedEOF
+		}
+		return n, err
+	}
+	n, err := f.File.ReadAt(p, off)
+	if kind == "flip" && err == nil && n > 0 {
+		bit := arg % (n * 8)
+		p[bit/8] ^= byte(1 << (bit % 8))
+	}
+	return n, err
+}

@@ -1,0 +1,167 @@
+package vfs
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeTemp(t *testing.T, data []byte) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), "f")
+	if err := os.WriteFile(p, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestOSRoundTrip(t *testing.T) {
+	fsys := OS()
+	p := filepath.Join(t.TempDir(), "out")
+	w, err := fsys.Create(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write([]byte("hello world")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := fsys.Open(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if sz, err := f.Size(); err != nil || sz != 11 {
+		t.Fatalf("Size = %d, %v", sz, err)
+	}
+	buf := make([]byte, 5)
+	if _, err := f.ReadAt(buf, 6); err != nil || string(buf) != "world" {
+		t.Fatalf("ReadAt = %q, %v", buf, err)
+	}
+}
+
+// TestFaultFSDisabledIsTransparent checks the injector starts inert.
+func TestFaultFSDisabledIsTransparent(t *testing.T) {
+	data := bytes.Repeat([]byte{0xAB}, 4096)
+	ffs := NewFaultFS(OS(), FaultConfig{Seed: 1, ErrProb: 1.0})
+	f, err := ffs.Open(writeTemp(t, data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	buf := make([]byte, len(data))
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		t.Fatalf("disabled injector interfered: %v", err)
+	}
+	if !bytes.Equal(buf, data) {
+		t.Fatal("disabled injector corrupted data")
+	}
+	if e, s, b := ffs.Injected(); e+s+b != 0 {
+		t.Fatalf("counters moved while disabled: %d %d %d", e, s, b)
+	}
+}
+
+// TestFaultFSDeterministic: same seed, same operation sequence, same
+// faults.
+func TestFaultFSDeterministic(t *testing.T) {
+	data := bytes.Repeat([]byte{0x5C}, 1024)
+	path := writeTemp(t, data)
+	run := func(seed int64) []string {
+		ffs := NewFaultFS(OS(), FaultConfig{Seed: seed, ErrProb: 0.3, ShortReadProb: 0.2, BitFlipProb: 0.2})
+		f, err := ffs.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		ffs.SetEnabled(true)
+		var log []string
+		for i := 0; i < 100; i++ {
+			buf := make([]byte, 64)
+			_, err := f.ReadAt(buf, int64(i%16)*64)
+			switch {
+			case errors.Is(err, ErrInjected):
+				log = append(log, "err")
+			case errors.Is(err, io.ErrUnexpectedEOF):
+				log = append(log, "short")
+			case err != nil:
+				t.Fatalf("unexpected error kind: %v", err)
+			case !bytes.Equal(buf, data[(i%16)*64:(i%16)*64+64]):
+				log = append(log, "flip")
+			default:
+				log = append(log, "ok")
+			}
+		}
+		return log
+	}
+	a, b := run(7), run(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at op %d: %s vs %s", i, a[i], b[i])
+		}
+	}
+	c := run(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical fault sequences")
+	}
+}
+
+// TestFaultFSInjectsEveryKind checks each configured fault actually fires
+// and is counted.
+func TestFaultFSInjectsEveryKind(t *testing.T) {
+	data := bytes.Repeat([]byte{0x77}, 512)
+	ffs := NewFaultFS(OS(), FaultConfig{Seed: 3, ErrProb: 0.2, ShortReadProb: 0.2, BitFlipProb: 0.2})
+	f, err := ffs.Open(writeTemp(t, data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ffs.SetEnabled(true)
+	var sawErr, sawShort, sawFlip bool
+	for i := 0; i < 300; i++ {
+		buf := make([]byte, 128)
+		n, err := f.ReadAt(buf, 0)
+		switch {
+		case errors.Is(err, ErrInjected):
+			sawErr = true
+		case errors.Is(err, io.ErrUnexpectedEOF):
+			sawShort = true
+			if n >= len(buf) {
+				t.Fatal("short read delivered the full buffer")
+			}
+		case err != nil:
+			t.Fatalf("unexpected error: %v", err)
+		case !bytes.Equal(buf, data[:128]):
+			sawFlip = true
+			diff := 0
+			for j := range buf {
+				for bit := 0; bit < 8; bit++ {
+					if (buf[j]^data[j])&(1<<bit) != 0 {
+						diff++
+					}
+				}
+			}
+			if diff != 1 {
+				t.Fatalf("bit flip changed %d bits, want exactly 1", diff)
+			}
+		}
+	}
+	if !sawErr || !sawShort || !sawFlip {
+		t.Fatalf("fault kinds seen: err=%v short=%v flip=%v", sawErr, sawShort, sawFlip)
+	}
+	e, s, b := ffs.Injected()
+	if e == 0 || s == 0 || b == 0 {
+		t.Fatalf("counters: %d %d %d", e, s, b)
+	}
+}

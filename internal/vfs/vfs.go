@@ -1,0 +1,52 @@
+// Package vfs is the storage layer's filesystem seam. The column file
+// writer and reader go through the FS interface instead of os.* directly,
+// so tests can substitute a FaultFS that injects I/O errors, short reads,
+// bit flips, and latency deterministically — the foundation for the
+// storage robustness suite (corruption must be detected and reported, not
+// crash or silently return wrong answers).
+package vfs
+
+import (
+	"io"
+	"os"
+)
+
+// File is a readable handle: random-access reads plus size, the two
+// operations the column reader needs.
+type File interface {
+	io.ReaderAt
+	io.Closer
+	// Size returns the current length of the file in bytes.
+	Size() (int64, error)
+}
+
+// FS opens files for reading and creates files for writing.
+type FS interface {
+	Open(path string) (File, error)
+	Create(path string) (io.WriteCloser, error)
+}
+
+// OS returns the real operating-system filesystem.
+func OS() FS { return osFS{} }
+
+type osFS struct{}
+
+func (osFS) Open(path string) (File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return osFile{f}, nil
+}
+
+func (osFS) Create(path string) (io.WriteCloser, error) { return os.Create(path) }
+
+type osFile struct{ *os.File }
+
+func (f osFile) Size() (int64, error) {
+	st, err := f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}

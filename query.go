@@ -1,6 +1,7 @@
 package codecdb
 
 import (
+	"context"
 	"fmt"
 
 	"codecdb/internal/bitutil"
@@ -29,8 +30,25 @@ const (
 // the decode-first path otherwise.
 type Query struct {
 	t       *Table
+	ctx     context.Context
 	filters []ops.Filter
 	err     error
+}
+
+// WithContext attaches ctx to the query: terminal calls stop promptly with
+// ctx.Err() when it is cancelled or its deadline passes, including mid-scan
+// between row groups.
+func (q *Query) WithContext(ctx context.Context) *Query {
+	q.ctx = ctx
+	return q
+}
+
+// context returns the query's context, defaulting to Background.
+func (q *Query) context() context.Context {
+	if q.ctx != nil {
+		return q.ctx
+	}
+	return context.Background()
 }
 
 // Where starts a query with `col op value`. Value may be int64, int,
@@ -209,13 +227,17 @@ func (q *Query) eval() (*bitutil.SectionalBitmap, error) {
 	if q.err != nil {
 		return nil, q.err
 	}
+	ctx := q.context()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	pool := q.t.db.inner.DataPool()
 	if len(q.filters) == 0 {
 		return ops.FullTableBitmap(q.t.inner.R), nil
 	}
 	var acc *bitutil.SectionalBitmap
 	for _, f := range q.filters {
-		bm, err := f.Apply(q.t.inner.R, pool)
+		bm, err := ops.ApplyFilter(ctx, f, q.t.inner.R, pool)
 		if err != nil {
 			return nil, err
 		}
@@ -253,7 +275,7 @@ func (q *Query) Ints(col string) ([]int64, error) {
 	if err != nil {
 		return nil, err
 	}
-	return ops.GatherInts(q.t.inner.R, col, sel, q.t.db.inner.DataPool())
+	return ops.GatherIntsCtx(q.context(), q.t.inner.R, col, sel, q.t.db.inner.DataPool())
 }
 
 // Floats gathers a float column at the matching rows.
@@ -262,7 +284,7 @@ func (q *Query) Floats(col string) ([]float64, error) {
 	if err != nil {
 		return nil, err
 	}
-	return ops.GatherFloats(q.t.inner.R, col, sel, q.t.db.inner.DataPool())
+	return ops.GatherFloatsCtx(q.context(), q.t.inner.R, col, sel, q.t.db.inner.DataPool())
 }
 
 // Strings gathers a string column at the matching rows. The returned
@@ -272,7 +294,7 @@ func (q *Query) Strings(col string) ([][]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	return ops.GatherStrings(q.t.inner.R, col, sel, q.t.db.inner.DataPool())
+	return ops.GatherStringsCtx(q.context(), q.t.inner.R, col, sel, q.t.db.inner.DataPool())
 }
 
 // GroupCount evaluates the query and counts matching rows per distinct
@@ -292,7 +314,7 @@ func (q *Query) GroupCount(col string) (map[string]int64, error) {
 	if c.Encoding != Dictionary && c.Encoding != DictRLE {
 		return nil, fmt.Errorf("codecdb: GroupCount needs a dictionary column, %s is %v", col, c.Encoding)
 	}
-	keys, err := ops.GatherKeys(r, col, sel, pool)
+	keys, err := ops.GatherKeysCtx(q.context(), r, col, sel, pool)
 	if err != nil {
 		return nil, err
 	}

@@ -1,7 +1,9 @@
 package codecdb
 
 import (
+	"fmt"
 	"os"
+	"path/filepath"
 
 	"codecdb/internal/corpus"
 	"codecdb/internal/selector"
@@ -66,13 +68,36 @@ func (s *Selector) SelectInt(vals []int64) Encoding { return s.inner.SelectInt(v
 // SelectString predicts the best encoding for a string column.
 func (s *Selector) SelectString(vals [][]byte) Encoding { return s.inner.SelectString(vals) }
 
-// Save persists the trained model to path.
+// Save persists the trained model to path. The write is atomic: the model
+// goes to a temporary file in the same directory first and is renamed into
+// place, so a crash mid-save never leaves a truncated model where a valid
+// one stood.
 func (s *Selector) Save(path string) error {
 	data, err := s.inner.Marshal()
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, data, 0o644)
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("codecdb: save model: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("codecdb: save model: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("codecdb: save model: %w", err)
+	}
+	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
 }
 
 // LoadSelector restores a model saved with Save.
