@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build test vet race fuzz
+.PHONY: check build test vet race fuzz bench
 
 # check is the tier-1 verification gate: everything must compile, pass
 # vet, and pass the full test suite under the race detector.
@@ -17,6 +17,14 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# bench refreshes the "current" section of BENCH_PR2.json with the scan
+# hot-path benchmarks (ns/op, B/op, allocs/op, pages pruned/read/skipped
+# per op); the checked-in "baseline" section is preserved.
+BENCHOUT ?= BENCH_PR2.json
+bench:
+	$(GO) test -run xxx -bench 'BenchmarkAblationDataSkipping|BenchmarkSBoostScanVsScalar|BenchmarkFig7TPCH|BenchmarkFilterHotPath' \
+		-benchmem . | $(GO) run ./cmd/benchjson -o $(BENCHOUT) -section current
 
 # fuzz gives the colstore Open fuzzer a short budget; extend FUZZTIME for
 # longer campaigns.

@@ -1,0 +1,111 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// JSON document keyed by benchmark name, and merges it into an existing
+// report file under a named section so before/after runs live side by
+// side:
+//
+//	go test -bench Foo -benchmem | benchjson -o BENCH.json -section current
+//
+// Each benchmark records its iteration count and every reported metric
+// (ns/op, B/op, allocs/op, and custom b.ReportMetric units such as
+// pagesPruned/op). Sections other than the one being written are
+// preserved, so a checked-in "baseline" survives refreshes of "current".
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+type benchResult struct {
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+func main() {
+	out := flag.String("o", "", "output JSON file (default stdout)")
+	section := flag.String("section", "current", "top-level key to write results under")
+	flag.Parse()
+
+	results, err := parseBench(os.Stdin)
+	if err != nil {
+		fatal(err)
+	}
+	if len(results) == 0 {
+		fatal(fmt.Errorf("no benchmark lines found on stdin"))
+	}
+
+	doc := map[string]map[string]benchResult{}
+	if *out != "" {
+		if prev, err := os.ReadFile(*out); err == nil {
+			if err := json.Unmarshal(prev, &doc); err != nil {
+				fatal(fmt.Errorf("existing %s is not a benchjson report: %w", *out, err))
+			}
+		}
+	}
+	doc[*section] = results
+
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+// parseBench reads go-bench lines: name-P iterations then repeated
+// "value unit" metric pairs, e.g.
+//
+//	BenchmarkX/sub-8  100  12345 ns/op  67 B/op  8 allocs/op
+func parseBench(f *os.File) (map[string]benchResult, error) {
+	results := map[string]benchResult{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // pass through so the run stays visible
+		fields := strings.Fields(line)
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i] // strip -GOMAXPROCS suffix
+			}
+		}
+		name = strings.TrimPrefix(name, "Benchmark")
+		metrics := map[string]float64{}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			metrics[fields[i+1]] = v
+		}
+		results[name] = benchResult{Iterations: iters, Metrics: metrics}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

@@ -35,6 +35,7 @@ func main() {
 	csvcol := fs.String("csvcol", "", "comma-separated values to advise on")
 	out := fs.String("out", "model.json", "output path for the trained model")
 	seed := fs.Int64("seed", 42, "training seed")
+	stats := fs.Bool("stats", false, "print page-level IO statistics")
 	fs.Parse(os.Args[2:])
 
 	var err error
@@ -76,15 +77,19 @@ func main() {
 					q = t.Where(*col, codecdb.Eq, *eq)
 				}
 			}
+			t.ResetIOStats()
 			n, err := q.Count()
 			if err != nil {
 				return err
 			}
 			fmt.Println(n)
+			if *stats {
+				printIOStats(t.IOStats())
+			}
 			return nil
 		})
 	case "scrub":
-		err = withDB(*dbDir, func(db *codecdb.DB) error { return scrub(db, *table) })
+		err = withDB(*dbDir, func(db *codecdb.DB) error { return scrub(db, *table, *stats) })
 	case "advise":
 		err = advise(*csvcol)
 	case "train":
@@ -110,9 +115,17 @@ func withDB(dir string, fn func(*codecdb.DB) error) error {
 	return fn(db)
 }
 
+// printIOStats reports the reader's page-level IO counters: pruned pages
+// were rejected by zone maps and never fetched; skipped pages had no
+// selected rows.
+func printIOStats(st codecdb.IOStats) {
+	fmt.Printf("pages: %d read, %d pruned, %d skipped; %d bytes read\n",
+		st.PagesRead, st.PagesPruned, st.PagesSkipped, st.BytesRead)
+}
+
 // scrub verifies the checksums of one table (or all tables) and reports
 // corruption precisely; interruptible with ^C.
-func scrub(db *codecdb.DB, table string) error {
+func scrub(db *codecdb.DB, table string, stats bool) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	verify := func(name string) error {
@@ -120,6 +133,7 @@ func scrub(db *codecdb.DB, table string) error {
 		if err != nil {
 			return err
 		}
+		t.ResetIOStats()
 		err = t.Verify(ctx)
 		var ce *codecdb.CorruptionError
 		switch {
@@ -130,6 +144,9 @@ func scrub(db *codecdb.DB, table string) error {
 			return err
 		}
 		fmt.Printf("%-20s ok\n", name)
+		if stats {
+			printIOStats(t.IOStats())
+		}
 		return nil
 	}
 	if table != "" {
@@ -224,7 +241,8 @@ commands:
   tables  -db DIR                         list tables
   schema  -db DIR -table T                show columns and encodings
   count   -db DIR -table T [-col C -eq V] count rows (optionally filtered)
-  scrub   -db DIR [-table T]              verify stored checksums
+          [-stats]                        ... and print page IO statistics
+  scrub   -db DIR [-table T] [-stats]     verify stored checksums
   advise  -csvcol v1,v2,...               suggest an encoding for a column
   train   [-out model.json] [-seed N]     train the encoding selector`)
 	os.Exit(2)

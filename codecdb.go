@@ -219,6 +219,17 @@ func (t *Table) Columns() []string {
 	return out
 }
 
+// IOStats is a snapshot of a table reader's IO instrumentation: pages
+// fetched, pages pruned by page-level zone maps (never fetched), pages
+// skipped by row selection, bytes read, and wall time spent in reads.
+type IOStats = colstore.IOStats
+
+// IOStats returns the table's accumulated IO instrumentation.
+func (t *Table) IOStats() IOStats { return t.inner.R.Stats() }
+
+// ResetIOStats zeroes the table's IO instrumentation counters.
+func (t *Table) ResetIOStats() { t.inner.R.ResetStats() }
+
 // Verify scrubs the table's file: every page and dictionary blob is read
 // and its checksum checked, without decoding values. It returns nil for
 // clean files (including legacy checksum-less files, where it only proves

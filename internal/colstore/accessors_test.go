@@ -45,8 +45,8 @@ func TestReaderAccessors(t *testing.T) {
 	}
 
 	// IO instrumentation.
-	read0, skipped0, bytes0, _ := r.Stats()
-	if read0 == 0 || bytes0 == 0 {
+	st0 := r.Stats()
+	if st0.PagesRead == 0 || st0.BytesRead == 0 {
 		t.Fatal("stats should have recorded the page read")
 	}
 	sel := bitutil.NewBitmap(1024)
@@ -54,13 +54,11 @@ func TestReaderAccessors(t *testing.T) {
 	if _, err := chunk.GatherInts(sel); err != nil {
 		t.Fatal(err)
 	}
-	_, skipped1, _, _ := r.Stats()
-	if skipped1 <= skipped0 {
+	if st1 := r.Stats(); st1.PagesSkipped <= st0.PagesSkipped {
 		t.Fatal("selective gather should skip pages")
 	}
 	r.ResetStats()
-	read2, skipped2, bytes2, io2 := r.Stats()
-	if read2 != 0 || skipped2 != 0 || bytes2 != 0 || io2 != 0 {
+	if st2 := r.Stats(); st2 != (IOStats{}) {
 		t.Fatal("ResetStats did not zero counters")
 	}
 }

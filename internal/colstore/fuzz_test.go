@@ -28,7 +28,7 @@ func FuzzOpen(f *testing.F) {
 		strs[i] = []byte{byte('a' + i%3)}
 	}
 	data := []ColumnData{{Ints: ints}, {Strings: strs}}
-	for _, ver := range []int{FormatV1, FormatV2} {
+	for _, ver := range []int{FormatV1, FormatV2, FormatV21} {
 		p := filepath.Join(dir, "seed.cdb")
 		if err := WriteFile(p, schema, data, Options{PageRows: 32, FormatVersion: ver}); err != nil {
 			f.Fatal(err)

@@ -9,11 +9,16 @@ import (
 // remain readable; version 2 files (magic "CDB2") add a CRC32-Castagnoli
 // checksum to every page, every dictionary blob, and the footer, upgrading
 // the corruption contract from "no panic" to "detected and reported".
+// Version 2.1 files keep the v2 framing and checksums ("CDB2" magic) and
+// additionally carry per-page packed-domain statistics in the footer,
+// enabling true page-level zone-map pruning: unselective pages are never
+// read, verified, or decompressed.
 const (
-	FormatV1 = 1
-	FormatV2 = 2
+	FormatV1  = 1
+	FormatV2  = 2
+	FormatV21 = 3 // "v2.1": v2 plus per-page statistics
 	// CurrentFormat is what WriteFile produces by default.
-	CurrentFormat = FormatV2
+	CurrentFormat = FormatV21
 )
 
 // castagnoli is the CRC32-C polynomial table (same polynomial iSCSI and

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"codecdb/internal/arena"
 	"codecdb/internal/bitutil"
 	"codecdb/internal/encoding"
 	"codecdb/internal/vfs"
@@ -37,28 +38,66 @@ type Reader struct {
 	intDicts map[string][]int64
 	strDicts map[string][][]byte
 
-	// PagesRead and PagesSkipped instrument the page-level data skipping;
-	// the Fig 8 IO-vs-CPU breakdown reads them. Guarded by mu.
+	// PagesRead, PagesPruned, and PagesSkipped instrument the page-level
+	// data skipping; the Fig 8 IO-vs-CPU breakdown reads them. Pruned
+	// pages were rejected from their zone map alone and never fetched;
+	// skipped pages were fetched but had no selected rows. Guarded by mu.
 	PagesRead    int64
+	PagesPruned  int64
 	PagesSkipped int64
 	BytesRead    int64
 	// IONanos accumulates wall time spent in ReadAt, separating IO from
 	// CPU in the cost-breakdown experiments. Guarded by mu.
 	IONanos int64
+
+	// noPrune disables zone-map consultation (testing hook). Guarded by mu
+	// only for writes; readers snapshot it per chunk access.
+	noPrune bool
+}
+
+// IOStats is a snapshot of a Reader's IO instrumentation.
+type IOStats struct {
+	// PagesRead counts pages fetched, verified, and decompressed.
+	PagesRead int64
+	// PagesPruned counts pages rejected from their zone map alone —
+	// never read, never checksummed, never decompressed.
+	PagesPruned int64
+	// PagesSkipped counts pages fetched (or considered for fetch by row
+	// selection) and then skipped because no selected row fell in them.
+	PagesSkipped int64
+	// BytesRead is total bytes handed back by ReadAt.
+	BytesRead int64
+	// IONanos is wall time spent inside ReadAt.
+	IONanos int64
 }
 
 // Stats returns a snapshot of the reader's IO instrumentation.
-func (r *Reader) Stats() (pagesRead, pagesSkipped, bytesRead, ioNanos int64) {
+func (r *Reader) Stats() IOStats {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return r.PagesRead, r.PagesSkipped, r.BytesRead, r.IONanos
+	return IOStats{
+		PagesRead:    r.PagesRead,
+		PagesPruned:  r.PagesPruned,
+		PagesSkipped: r.PagesSkipped,
+		BytesRead:    r.BytesRead,
+		IONanos:      r.IONanos,
+	}
 }
 
 // ResetStats zeroes the IO instrumentation counters.
 func (r *Reader) ResetStats() {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.PagesRead, r.PagesSkipped, r.BytesRead, r.IONanos = 0, 0, 0, 0
+	r.PagesRead, r.PagesPruned, r.PagesSkipped, r.BytesRead, r.IONanos = 0, 0, 0, 0, 0
+}
+
+// SetPagePruning toggles zone-map page pruning; pruning is on by default.
+// The property tests use this to compare pruned against unpruned scans on
+// identical files.
+func (r *Reader) SetPagePruning(on bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.noPrune = !on
 }
 
 // Open opens the file at path and parses the footer.
@@ -180,6 +219,12 @@ func validateMeta(m *FileMeta, fileSize int64) error {
 				}
 				if p.FirstRow != rows {
 					return ErrFormat
+				}
+				if st := p.Stats; st != nil {
+					if st.Min > st.Max || st.MinStr > st.MaxStr ||
+						st.Distinct < 0 || st.Distinct > p.NumValues {
+						return ErrFormat
+					}
 				}
 				rows += int64(p.NumValues)
 			}
@@ -320,8 +365,14 @@ func (r *Reader) dictMetaFor(col int, want Type) (string, DictMeta, error) {
 // error) does not fail the query, while a persistent failure still
 // surfaces after the budget is spent.
 func (r *Reader) readAt(off int64, size int) ([]byte, error) {
+	return r.readAtBuf(make([]byte, size), off)
+}
+
+// readAtBuf is readAt into a caller-supplied buffer (the pooled-scratch
+// hot path); it reads len(buf) bytes at off and returns buf.
+func (r *Reader) readAtBuf(buf []byte, off int64) ([]byte, error) {
 	start := time.Now()
-	buf := make([]byte, size)
+	size := len(buf)
 	var err error
 	for attempt := 0; attempt < readAttempts; attempt++ {
 		if _, err = r.f.ReadAt(buf, off); err == nil {
@@ -426,13 +477,55 @@ func (c *Chunk) PageValues(p int) int { return int(c.meta.Pages[p].NumValues) }
 // to encoding-aware operators.
 func (c *Chunk) PageBody(p int) ([]byte, error) { return c.pageBody(p) }
 
+// PageBodyScratch is PageBody through pooled scratch buffers: the returned
+// bytes alias the scratch and are valid only until its next use. Decoded
+// values that alias the body (string decoding) must not use this path.
+func (c *Chunk) PageBodyScratch(p int, sc *arena.Scratch) ([]byte, error) {
+	return c.pageBodyScratch(p, sc)
+}
+
+// PageRowRange returns the chunk-relative [first, last) row interval of
+// page p — available without fetching the page, so pruning decisions can
+// place constant results before any I/O happens.
+func (c *Chunk) PageRowRange(p int) (first, last int) { return c.pageRange(p) }
+
+// PageStatsOf returns page p's packed-domain zone map, or nil when the
+// file carries no page statistics (v1/v2, float pages) or pruning has been
+// disabled on the reader. A nil result means "cannot prune".
+func (c *Chunk) PageStatsOf(p int) *PageStats {
+	c.r.mu.Lock()
+	off := c.r.noPrune
+	c.r.mu.Unlock()
+	if off {
+		return nil
+	}
+	return c.meta.Pages[p].Stats
+}
+
+// MarkPruned records that one page was rejected from its zone map alone —
+// the page is never fetched, verified, or decompressed.
+func (c *Chunk) MarkPruned() {
+	c.r.mu.Lock()
+	c.r.PagesPruned++
+	c.r.mu.Unlock()
+}
+
 // rawPage reads the stored bytes of page p and, on checksummed files,
 // verifies the page CRC. A mismatch is retried with one fresh read before
 // being reported as a *CorruptionError naming the exact page.
-func (c *Chunk) rawPage(p int) ([]byte, error) {
+func (c *Chunk) rawPage(p int) ([]byte, error) { return c.rawPageBuf(p, nil) }
+
+// rawPageBuf is rawPage into pooled scratch storage when sc is non-nil.
+func (c *Chunk) rawPageBuf(p int, sc *arena.Scratch) ([]byte, error) {
 	pm := c.meta.Pages[p]
 	for attempt := 0; ; attempt++ {
-		raw, err := c.r.readAt(pm.Offset, int(pm.CompressedSize))
+		var buf []byte
+		if sc != nil {
+			buf = sc.Raw(int(pm.CompressedSize))
+		} else {
+			buf = make([]byte, pm.CompressedSize)
+		}
+		raw, err := c.r.readAtBuf(buf, pm.Offset)
 		if err != nil {
 			return nil, err
 		}
@@ -447,8 +540,15 @@ func (c *Chunk) rawPage(p int) ([]byte, error) {
 }
 
 // pageBody reads, verifies, and decompresses page p.
-func (c *Chunk) pageBody(p int) ([]byte, error) {
-	raw, err := c.rawPage(p)
+func (c *Chunk) pageBody(p int) ([]byte, error) { return c.pageBodyScratch(p, nil) }
+
+// pageBodyScratch is pageBody through pooled scratch buffers: with a
+// non-nil sc the raw bytes land in sc.Raw and the decompressed body in
+// sc.Body, so the steady state allocates nothing. The returned body
+// aliases the scratch and is valid until the scratch's next use; decoded
+// values that alias the body (string decoding) must not use this path.
+func (c *Chunk) pageBodyScratch(p int, sc *arena.Scratch) ([]byte, error) {
+	raw, err := c.rawPageBuf(p, sc)
 	if err != nil {
 		return nil, err
 	}
@@ -459,7 +559,17 @@ func (c *Chunk) pageBody(p int) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	body, err := comp.Decompress(raw)
+	var body []byte
+	if sc != nil {
+		body, err = comp.DecompressInto(sc.Body(int(c.meta.Pages[p].UncompressedSize)), raw)
+		// Identity codecs return the raw buffer itself; keeping that as the
+		// scratch body would alias the two buffer families.
+		if err == nil && (len(body) == 0 || len(raw) == 0 || &body[0] != &raw[0]) {
+			sc.KeepBody(body)
+		}
+	} else {
+		body, err = comp.Decompress(raw)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -486,43 +596,63 @@ type PackedPage struct {
 	Zigzag   bool   // entries are zigzag-mapped plain integers, not dict keys
 }
 
+// PackedScannable reports whether the chunk's pages have an in-situ
+// scannable packed representation (PackedPageAt will succeed).
+func (c *Chunk) PackedScannable() bool {
+	return c.column.Encoding == encoding.KindDict ||
+		(c.column.Encoding == encoding.KindBitPacked && c.column.Type == TypeInt64)
+}
+
+// PackedPageAt fetches, verifies, and decompresses exactly one page and
+// exposes its packed-key region for in-situ scanning. With a non-nil
+// scratch the page travels through pooled buffers and the returned
+// PackedPage.Data aliases the scratch — valid only until its next use.
+// This is the page-at-a-time fetch the zone-map pruning path uses: pruned
+// pages are simply never passed to it.
+func (c *Chunk) PackedPageAt(p int, sc *arena.Scratch) (PackedPage, error) {
+	switch {
+	case c.column.Encoding == encoding.KindDict:
+		body, err := c.pageBodyScratch(p, sc)
+		if err != nil {
+			return PackedPage{}, err
+		}
+		width, n, packed, err := decodePackedKeys(body)
+		if err != nil {
+			return PackedPage{}, err
+		}
+		return PackedPage{Data: packed, N: n, Width: width,
+			FirstRow: int(c.meta.Pages[p].FirstRow)}, nil
+	case c.column.Encoding == encoding.KindBitPacked && c.column.Type == TypeInt64:
+		body, err := c.pageBodyScratch(p, sc)
+		if err != nil {
+			return PackedPage{}, err
+		}
+		n, width, packed, err := encoding.InspectBitPacked(body)
+		if err != nil {
+			return PackedPage{}, err
+		}
+		return PackedPage{Data: packed, N: n, Width: width,
+			FirstRow: int(c.meta.Pages[p].FirstRow), Zigzag: true}, nil
+	}
+	return PackedPage{}, fmt.Errorf("colstore: %v pages are not packed-scannable", c.column.Encoding)
+}
+
 // PackedPages returns the in-situ scannable pages of a dictionary or
 // bit-packed column chunk. It errors for encodings without a packed
 // representation (the caller then falls back to decode-then-filter).
 func (c *Chunk) PackedPages() ([]PackedPage, error) {
-	switch {
-	case c.column.Encoding == encoding.KindDict:
-		out := make([]PackedPage, len(c.meta.Pages))
-		for p := range c.meta.Pages {
-			body, err := c.pageBody(p)
-			if err != nil {
-				return nil, err
-			}
-			width, n, packed, err := decodePackedKeys(body)
-			if err != nil {
-				return nil, err
-			}
-			out[p] = PackedPage{Data: packed, N: n, Width: width,
-				FirstRow: int(c.meta.Pages[p].FirstRow)}
-		}
-		return out, nil
-	case c.column.Encoding == encoding.KindBitPacked && c.column.Type == TypeInt64:
-		out := make([]PackedPage, len(c.meta.Pages))
-		for p := range c.meta.Pages {
-			body, err := c.pageBody(p)
-			if err != nil {
-				return nil, err
-			}
-			n, width, packed, err := encoding.InspectBitPacked(body)
-			if err != nil {
-				return nil, err
-			}
-			out[p] = PackedPage{Data: packed, N: n, Width: width,
-				FirstRow: int(c.meta.Pages[p].FirstRow), Zigzag: true}
-		}
-		return out, nil
+	if !c.PackedScannable() {
+		return nil, fmt.Errorf("colstore: %v pages are not packed-scannable", c.column.Encoding)
 	}
-	return nil, fmt.Errorf("colstore: %v pages are not packed-scannable", c.column.Encoding)
+	out := make([]PackedPage, len(c.meta.Pages))
+	for p := range c.meta.Pages {
+		pp, err := c.PackedPageAt(p, nil)
+		if err != nil {
+			return nil, err
+		}
+		out[p] = pp
+	}
+	return out, nil
 }
 
 // Keys decodes the dictionary keys of a dict-encoded chunk.
@@ -714,6 +844,8 @@ func (c *Chunk) GatherInts(sel *bitutil.Bitmap) ([]int64, error) {
 	if err != nil {
 		return nil, err
 	}
+	sc := arena.Get()
+	defer arena.Put(sc)
 	for p := range c.meta.Pages {
 		first, last := c.pageRange(p)
 		next := sel.NextSet(first)
@@ -721,7 +853,7 @@ func (c *Chunk) GatherInts(sel *bitutil.Bitmap) ([]int64, error) {
 			c.skipPage()
 			continue
 		}
-		body, err := c.pageBody(p)
+		body, err := c.pageBodyScratch(p, sc)
 		if err != nil {
 			return nil, err
 		}
@@ -765,6 +897,8 @@ func (c *Chunk) GatherKeys(sel *bitutil.Bitmap) ([]int64, error) {
 		return nil, fmt.Errorf("colstore: column %q is not dictionary encoded", c.column.Name)
 	}
 	out := make([]int64, 0, sel.Cardinality())
+	sc := arena.Get()
+	defer arena.Put(sc)
 	for p := range c.meta.Pages {
 		first, last := c.pageRange(p)
 		next := sel.NextSet(first)
@@ -772,7 +906,7 @@ func (c *Chunk) GatherKeys(sel *bitutil.Bitmap) ([]int64, error) {
 			c.skipPage()
 			continue
 		}
-		body, err := c.pageBody(p)
+		body, err := c.pageBodyScratch(p, sc)
 		if err != nil {
 			return nil, err
 		}

@@ -87,6 +87,33 @@ type PageMeta struct {
 	// Crc32C is the CRC32-Castagnoli of the stored (compressed) page
 	// bytes; zero in format-v1 files, which carry no checksums.
 	Crc32C uint32 `json:"crc32c,omitempty"`
+	// Stats carries the page's packed-domain zone map (format v2.1). Nil
+	// in v1/v2 files and for float pages; a nil zone map simply never
+	// prunes.
+	Stats *PageStats `json:"stats,omitempty"`
+}
+
+// PageStats is a page-level zone map in the *packed* domain — the domain
+// the in-situ scan kernels compare in, so pruning decisions need no
+// decoding and no dictionary probe beyond the one the predicate rewrite
+// already did:
+//
+//   - dictionary pages (DICTIONARY / DICTIONARY_RLE): Min/Max/Distinct
+//     range over the global dictionary keys stored in the page;
+//   - integer pages of every other encoding: Min/Max/Distinct range over
+//     zigzag(value). Zigzag is a bijection, so equality pruning is always
+//     sound; order pruning additionally requires the chunk to be
+//     non-negative (chunk stats MinInt >= 0), where zigzag is monotone;
+//   - string pages without a dictionary: MinStr/MaxStr bound the raw
+//     bytes and Distinct counts distinct values; Min/Max are unused.
+type PageStats struct {
+	Min uint64 `json:"min"`
+	Max uint64 `json:"max"`
+	// Distinct is the number of distinct packed entries (dictionary keys
+	// or zigzag values) in the page; 0 for an empty page.
+	Distinct int32  `json:"distinct,omitempty"`
+	MinStr   string `json:"minStr,omitempty"`
+	MaxStr   string `json:"maxStr,omitempty"`
 }
 
 // ChunkStats carries per-chunk statistics used for predicate rewriting and

@@ -325,6 +325,9 @@ func writeChunk(write func([]byte) error, off *int64, col Column, ci int, data C
 		if opts.FormatVersion >= FormatV2 {
 			pm.Crc32C = Checksum(compressed)
 		}
+		if opts.FormatVersion >= FormatV21 {
+			pm.Stats = pageStats(col, ci, data, p, pe, keyCols)
+		}
 		if err := write(compressed); err != nil {
 			return ChunkMeta{}, err
 		}
@@ -406,6 +409,62 @@ func decodePackedKeys(body []byte) (width uint, n int, packed []byte, err error)
 		return 0, 0, nil, ErrFormat
 	}
 	return width, int(nv), packed, nil
+}
+
+// zigzagOf maps a signed value into the unsigned packed domain used by
+// bit-packed pages and page-level zone maps.
+func zigzagOf(v int64) uint64 { return uint64((v << 1) ^ (v >> 63)) }
+
+// pageStats builds the packed-domain zone map for rows [p, pe) of the
+// column (format v2.1): dictionary keys for dict-encoded columns,
+// zigzag(value) for other integer columns, raw bytes for string columns.
+// Float pages carry no zone map.
+func pageStats(col Column, ci int, data ColumnData, p, pe int, keyCols map[int][]int64) *PageStats {
+	if pe <= p {
+		return nil
+	}
+	if usesDict(col.Encoding) {
+		return packedPageStats(keyCols[ci][p:pe], func(k int64) uint64 { return uint64(k) })
+	}
+	switch col.Type {
+	case TypeInt64:
+		return packedPageStats(data.Ints[p:pe], zigzagOf)
+	case TypeString:
+		vals := data.Strings[p:pe]
+		st := &PageStats{MinStr: string(vals[0]), MaxStr: string(vals[0])}
+		distinct := make(map[string]struct{}, len(vals))
+		for _, v := range vals {
+			s := string(v)
+			if s < st.MinStr {
+				st.MinStr = s
+			}
+			if s > st.MaxStr {
+				st.MaxStr = s
+			}
+			distinct[s] = struct{}{}
+		}
+		st.Distinct = int32(len(distinct))
+		return st
+	}
+	return nil
+}
+
+// packedPageStats ranges vals mapped through pack into the packed domain.
+func packedPageStats(vals []int64, pack func(int64) uint64) *PageStats {
+	st := &PageStats{Min: pack(vals[0]), Max: pack(vals[0])}
+	distinct := make(map[uint64]struct{}, len(vals))
+	for _, v := range vals {
+		u := pack(v)
+		if u < st.Min {
+			st.Min = u
+		}
+		if u > st.Max {
+			st.Max = u
+		}
+		distinct[u] = struct{}{}
+	}
+	st.Distinct = int32(len(distinct))
+	return st
 }
 
 func chunkStats(col Column, data ColumnData, start, end int) ChunkStats {

@@ -292,7 +292,8 @@ type QueryStats struct {
 	IO           time.Duration // time inside ReadAt across touched readers
 	CPU          time.Duration // Wall - IO
 	PagesRead    int64
-	PagesSkipped int64
+	PagesPruned  int64 // rejected by page zone maps, never fetched
+	PagesSkipped int64 // fetched or considered, no selected rows
 	BytesRead    int64
 	// AllocBytes is the total heap allocated during the query — the
 	// working-set proxy for memory footprint.
@@ -313,11 +314,12 @@ func Measure(readers []*colstore.Reader, fn func() error) (QueryStats, error) {
 	runtime.ReadMemStats(&after)
 	st := QueryStats{Wall: wall, AllocBytes: after.TotalAlloc - before.TotalAlloc}
 	for _, r := range readers {
-		read, skipped, bytes, io := r.Stats()
-		st.PagesRead += read
-		st.PagesSkipped += skipped
-		st.BytesRead += bytes
-		st.IO += time.Duration(io)
+		io := r.Stats()
+		st.PagesRead += io.PagesRead
+		st.PagesPruned += io.PagesPruned
+		st.PagesSkipped += io.PagesSkipped
+		st.BytesRead += io.BytesRead
+		st.IO += time.Duration(io.IONanos)
 	}
 	if st.IO > st.Wall {
 		st.IO = st.Wall // parallel reads can overlap; clamp for reporting

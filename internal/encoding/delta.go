@@ -114,20 +114,31 @@ func (DeltaInt) Decode(data []byte) ([]int64, error) {
 // DecodeDeltas returns the first value and the raw delta sequence without
 // materialising the running sum — the delta filter operator feeds these to
 // the SWAR cumulative-sum kernel (paper §5.3).
-func (DeltaInt) DecodeDeltas(data []byte) (first int64, deltas []int64, err error) {
+func (d DeltaInt) DecodeDeltas(data []byte) (first int64, deltas []int64, err error) {
+	return d.AppendDeltas(nil, data)
+}
+
+// AppendDeltas is DecodeDeltas appending into dst (typically a pooled
+// buffer), so the steady-state delta scan allocates nothing per page.
+func (DeltaInt) AppendDeltas(dst []int64, data []byte) (first int64, deltas []int64, err error) {
 	n, rest, err := readUvarint(data)
 	if err != nil {
 		return 0, nil, err
 	}
 	if n == 0 {
-		return 0, nil, nil
+		return 0, dst, nil
 	}
 	firstZ, rest, err := readUvarint(rest)
 	if err != nil {
 		return 0, nil, err
 	}
 	first = unzigzag(firstZ)
-	deltas = make([]int64, 0, n-1)
+	deltas = dst
+	if cap(deltas)-len(deltas) < int(n)-1 {
+		grown := make([]int64, len(deltas), len(deltas)+int(n)-1)
+		copy(grown, deltas)
+		deltas = grown
+	}
 	remaining := int(n) - 1
 	for remaining > 0 {
 		blockLen := deltaBlockSize

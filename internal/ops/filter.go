@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"sort"
 
+	"codecdb/internal/arena"
 	"codecdb/internal/bitutil"
 	"codecdb/internal/colstore"
 	"codecdb/internal/encoding"
@@ -119,6 +120,8 @@ func (f *DictFilter) ApplyCtx(ctx context.Context, r *colstore.Reader, pool *exe
 		return out, nil // e.g. equality on a value absent from the dictionary
 	}
 	err = pool.ParallelChunksErr(ctx, r.NumRowGroups(), func(start, end int) error {
+		sc := arena.Get()
+		defer arena.Put(sc)
 		for rg := start; rg < end; rg++ {
 			if err := ctx.Err(); err != nil {
 				return err
@@ -129,13 +132,29 @@ func (f *DictFilter) ApplyCtx(ctx context.Context, r *colstore.Reader, pool *exe
 				out.SetSection(rg, section)
 				continue
 			}
-			pages, err := r.Chunk(rg, ci).PackedPages()
-			if err != nil {
-				return err
-			}
-			for _, p := range pages {
-				bm := sboost.ScanPacked(p.Data, p.N, p.Width, op, uint64(lb))
-				mergePage(section, bm, p.FirstRow)
+			chunk := r.Chunk(rg, ci)
+			for p := 0; p < chunk.NumPages(); p++ {
+				// Dictionary keys are order-preserving, so the key-domain
+				// zone map disposes every operator soundly.
+				if st := chunk.PageStatsOf(p); st != nil {
+					switch sboost.Dispose(op, uint64(lb), st.Min, st.Max) {
+					case sboost.DispNone:
+						chunk.MarkPruned()
+						continue
+					case sboost.DispAll:
+						first, last := chunk.PageRowRange(p)
+						section.SetRange(first, last)
+						chunk.MarkPruned()
+						continue
+					}
+				}
+				pp, err := chunk.PackedPageAt(p, sc)
+				if err != nil {
+					return err
+				}
+				bm := sc.Bitmap(pp.N)
+				sboost.ScanPackedInto(bm, pp.Data, pp.Width, op, uint64(lb))
+				mergePage(section, bm, pp.FirstRow)
 			}
 			out.SetSection(rg, section)
 		}
@@ -362,6 +381,8 @@ func (f *BitPackedFilter) ApplyCtx(ctx context.Context, r *colstore.Reader, pool
 	zz := func(v int64) uint64 { return uint64((v << 1) ^ (v >> 63)) }
 	out := NewTableBitmap(r)
 	err = pool.ParallelChunksErr(ctx, r.NumRowGroups(), func(start, end int) error {
+		sc := arena.Get()
+		defer arena.Put(sc)
 		for rg := start; rg < end; rg++ {
 			if err := ctx.Err(); err != nil {
 				return err
@@ -393,25 +414,42 @@ func (f *BitPackedFilter) ApplyCtx(ctx context.Context, r *colstore.Reader, pool
 				out.SetSection(rg, section)
 				continue
 			}
-			pages, err := chunk.PackedPages()
-			if err != nil {
-				return err
-			}
-			for _, p := range pages {
+			for p := 0; p < chunk.NumPages(); p++ {
+				// The zone map is in the zigzag domain, exactly where op and
+				// target now live: equality disposes soundly everywhere
+				// (zigzag is a bijection), and order ops only reach this
+				// path on chunks proven non-negative, where zigzag is
+				// monotone.
+				if st := chunk.PageStatsOf(p); st != nil {
+					switch sboost.Dispose(op, target, st.Min, st.Max) {
+					case sboost.DispNone:
+						chunk.MarkPruned()
+						continue
+					case sboost.DispAll:
+						first, last := chunk.PageRowRange(p)
+						section.SetRange(first, last)
+						chunk.MarkPruned()
+						continue
+					}
+				}
+				pp, err := chunk.PackedPageAt(p, sc)
+				if err != nil {
+					return err
+				}
 				// A target wider than the page's packed width cannot occur
 				// in the page: resolve the comparison statically instead of
 				// letting the broadcast wrap.
-				if p.Width < 64 && target >= 1<<p.Width {
+				if pp.Width < 64 && target >= 1<<pp.Width {
 					switch op {
 					case sboost.OpNe, sboost.OpLt, sboost.OpLe:
-						pageAll := bitutil.NewBitmap(p.N)
-						pageAll.SetAll()
-						mergePage(section, pageAll, p.FirstRow)
+						first, last := chunk.PageRowRange(p)
+						section.SetRange(first, last)
 					}
 					continue // Eq/Gt/Ge: no rows in this page match
 				}
-				bm := sboost.ScanPacked(p.Data, p.N, p.Width, op, target)
-				mergePage(section, bm, p.FirstRow)
+				bm := sc.Bitmap(pp.N)
+				sboost.ScanPackedInto(bm, pp.Data, pp.Width, op, target)
+				mergePage(section, bm, pp.FirstRow)
 			}
 			out.SetSection(rg, section)
 		}
@@ -494,33 +532,65 @@ func scanKeysIn(ctx context.Context, r *colstore.Reader, ci int, keys []uint64, 
 	}
 	sorted := append([]uint64(nil), keys...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	contiguous := sorted[len(sorted)-1]-sorted[0] == uint64(len(sorted)-1)
-	scan := func(p colstore.PackedPage) *bitutil.Bitmap {
-		switch {
-		case contiguous:
-			return sboost.ScanPackedRange(p.Data, p.N, p.Width, sorted[0], sorted[len(sorted)-1])
-		case len(sorted) <= swarInThreshold || p.Width > 24:
-			return sboost.ScanPackedIn(p.Data, p.N, p.Width, sorted)
-		default:
-			table := make([]bool, 1<<p.Width)
-			for _, k := range sorted {
-				table[k] = true
-			}
-			return sboost.ScanPackedLookup(p.Data, p.N, p.Width, table)
+	lo, hi := sorted[0], sorted[len(sorted)-1]
+	contiguous := hi-lo == uint64(len(sorted)-1)
+	// dispose classifies a page from its key-domain zone map: a contiguous
+	// key set is a range predicate (full All/None resolution); a scattered
+	// set prunes when no member falls inside [Min, Max].
+	dispose := func(st *colstore.PageStats) sboost.Disposition {
+		if contiguous {
+			return sboost.DisposeRange(lo, hi, st.Min, st.Max)
 		}
+		i := sort.Search(len(sorted), func(i int) bool { return sorted[i] >= st.Min })
+		if i == len(sorted) || sorted[i] > st.Max {
+			return sboost.DispNone
+		}
+		return sboost.DispMixed
 	}
 	err := pool.ParallelChunksErr(ctx, r.NumRowGroups(), func(start, end int) error {
+		sc := arena.Get()
+		defer arena.Put(sc)
+		// The lookup table is built once per worker, not once per page.
+		var table []bool
 		for rg := start; rg < end; rg++ {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			pages, err := r.Chunk(rg, ci).PackedPages()
-			if err != nil {
-				return err
-			}
+			chunk := r.Chunk(rg, ci)
 			section := bitutil.NewBitmap(r.RowGroupRows(rg))
-			for _, p := range pages {
-				mergePage(section, scan(p), p.FirstRow)
+			for p := 0; p < chunk.NumPages(); p++ {
+				if st := chunk.PageStatsOf(p); st != nil {
+					switch dispose(st) {
+					case sboost.DispNone:
+						chunk.MarkPruned()
+						continue
+					case sboost.DispAll:
+						first, last := chunk.PageRowRange(p)
+						section.SetRange(first, last)
+						chunk.MarkPruned()
+						continue
+					}
+				}
+				pp, err := chunk.PackedPageAt(p, sc)
+				if err != nil {
+					return err
+				}
+				bm := sc.Bitmap(pp.N)
+				switch {
+				case contiguous:
+					sboost.ScanPackedRangeInto(bm, pp.Data, pp.Width, lo, hi)
+				case len(sorted) <= swarInThreshold || pp.Width > 24:
+					sboost.ScanPackedInInto(bm, pp.Data, pp.Width, sorted)
+				default:
+					if len(table) != 1<<pp.Width {
+						table = make([]bool, 1<<pp.Width)
+						for _, k := range sorted {
+							table[k] = true
+						}
+					}
+					sboost.ScanPackedLookupInto(bm, pp.Data, pp.Width, table)
+				}
+				mergePage(section, bm, pp.FirstRow)
 			}
 			out.SetSection(rg, section)
 		}
@@ -560,25 +630,48 @@ func (f *TwoColumnFilter) ApplyCtx(ctx context.Context, r *colstore.Reader, pool
 	}
 	out := NewTableBitmap(r)
 	err = pool.ParallelChunksErr(ctx, r.NumRowGroups(), func(start, end int) error {
+		// Two pages are live at once, so each column gets its own scratch.
+		scA, scB := arena.Get(), arena.Get()
+		defer arena.Put(scA)
+		defer arena.Put(scB)
 		for rg := start; rg < end; rg++ {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			pagesA, err := r.Chunk(rg, ca).PackedPages()
-			if err != nil {
-				return err
-			}
-			pagesB, err := r.Chunk(rg, cb).PackedPages()
-			if err != nil {
-				return err
-			}
-			if len(pagesA) != len(pagesB) {
+			chA, chB := r.Chunk(rg, ca), r.Chunk(rg, cb)
+			if chA.NumPages() != chB.NumPages() {
 				return fmt.Errorf("ops: page layout mismatch between %s and %s", f.ColA, f.ColB)
 			}
 			section := bitutil.NewBitmap(r.RowGroupRows(rg))
-			for p := range pagesA {
-				a, b := pagesA[p], pagesB[p]
-				bm := sboost.CompareStreams(a.Data, b.Data, a.N, a.Width, f.Op)
+			for p := 0; p < chA.NumPages(); p++ {
+				// Shared dictionary: both zone maps live in the same
+				// order-preserving key domain, so disjoint ranges resolve
+				// every row without reading either page.
+				stA, stB := chA.PageStatsOf(p), chB.PageStatsOf(p)
+				if stA != nil && stB != nil {
+					switch sboost.DisposeStreams(f.Op, stA.Min, stA.Max, stB.Min, stB.Max) {
+					case sboost.DispNone:
+						chA.MarkPruned()
+						chB.MarkPruned()
+						continue
+					case sboost.DispAll:
+						first, last := chA.PageRowRange(p)
+						section.SetRange(first, last)
+						chA.MarkPruned()
+						chB.MarkPruned()
+						continue
+					}
+				}
+				a, err := chA.PackedPageAt(p, scA)
+				if err != nil {
+					return err
+				}
+				b, err := chB.PackedPageAt(p, scB)
+				if err != nil {
+					return err
+				}
+				bm := scA.Bitmap(a.N)
+				sboost.CompareStreamsInto(bm, a.Data, b.Data, a.Width, f.Op)
 				mergePage(section, bm, a.FirstRow)
 			}
 			out.SetSection(rg, section)
@@ -615,38 +708,78 @@ func (f *DeltaFilter) ApplyCtx(ctx context.Context, r *colstore.Reader, pool *ex
 	if col.Encoding != encoding.KindDelta || col.Type != colstore.TypeInt64 {
 		return nil, fmt.Errorf("ops: delta filter needs a delta-encoded int column")
 	}
+	zz := func(v int64) uint64 { return uint64((v << 1) ^ (v >> 63)) }
 	out := NewTableBitmap(r)
 	err = pool.ParallelChunksErr(ctx, r.NumRowGroups(), func(start, end int) error {
+		sc := arena.Get()
+		defer arena.Put(sc)
 		for rg := start; rg < end; rg++ {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
 			chunk := r.Chunk(rg, ci)
 			section := bitutil.NewBitmap(chunk.Rows())
-			row := 0
-			for p := 0; p < chunk.NumPages(); p++ {
-				if chunk.PageValues(p) == 0 {
+			// Delta pages carry their zone map in the zigzag domain of the
+			// reconstructed values, so the same rewrite the bit-packed
+			// filter uses disposes pages here: equality always, order ops
+			// on chunks proven non-negative.
+			var (
+				zop     sboost.Op
+				ztarget uint64
+				canZone bool
+			)
+			if f.Op == sboost.OpEq || f.Op == sboost.OpNe || chunk.Stats().MinInt >= 0 {
+				var match, all bool
+				zop, ztarget, match, all = rewriteZigzagPredicate(f.Op, f.Value, zz)
+				canZone = match && !all
+				if all {
+					section.SetAll()
+					out.SetSection(rg, section)
 					continue
 				}
-				body, err := chunk.PageBody(p)
+				if !match {
+					// Provably empty for the whole chunk (negative target
+					// against non-negative data).
+					out.SetSection(rg, section)
+					continue
+				}
+			}
+			for p := 0; p < chunk.NumPages(); p++ {
+				rowFirst, rowLast := chunk.PageRowRange(p)
+				if rowFirst == rowLast {
+					continue
+				}
+				if canZone {
+					if st := chunk.PageStatsOf(p); st != nil {
+						switch sboost.Dispose(zop, ztarget, st.Min, st.Max) {
+						case sboost.DispNone:
+							chunk.MarkPruned()
+							continue
+						case sboost.DispAll:
+							section.SetRange(rowFirst, rowLast)
+							chunk.MarkPruned()
+							continue
+						}
+					}
+				}
+				body, err := chunk.PageBodyScratch(p, sc)
 				if err != nil {
 					return err
 				}
-				first, deltas, err := (encoding.DeltaInt{}).DecodeDeltas(body)
+				first, sums, err := (encoding.DeltaInt{}).AppendDeltas(sc.Ints(rowLast-rowFirst), body)
 				if err != nil {
 					return err
 				}
-				sums := make([]int64, len(deltas))
-				sboost.CumulativeSum(deltas, sums)
+				sc.KeepInts(sums)
+				sboost.CumulativeSum(sums, sums) // in-place prefix sum
 				if chunkMatch(first, f.Op, f.Value) {
-					section.Set(row)
+					section.Set(rowFirst)
 				}
 				for i, s := range sums {
 					if chunkMatch(first+s, f.Op, f.Value) {
-						section.Set(row + 1 + i)
+						section.Set(rowFirst + 1 + i)
 					}
 				}
-				row += 1 + len(sums)
 			}
 			out.SetSection(rg, section)
 		}

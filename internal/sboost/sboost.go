@@ -61,6 +61,134 @@ func (o Op) String() string {
 	return "?"
 }
 
+// Disposition classifies a page against a predicate using only the page's
+// packed-domain zone map — before the page is fetched. DispNone and
+// DispAll pages are never read, verified, or decompressed: the filter
+// short-circuits to a constant bitmap (paper §5.2, page-level skipping).
+type Disposition uint8
+
+// Page dispositions.
+const (
+	DispMixed Disposition = iota // must fetch and scan the page
+	DispNone                     // provably no entry matches
+	DispAll                      // provably every entry matches
+)
+
+// Dispose classifies `entry op target` against a page whose packed
+// entries all lie in [min, max]. Comparisons are in the unsigned packed
+// domain; the caller guarantees the predicate was rewritten into that
+// domain (dictionary keys, or zigzag with the monotonicity precondition).
+func Dispose(op Op, target, min, max uint64) Disposition {
+	switch op {
+	case OpEq:
+		if target < min || target > max {
+			return DispNone
+		}
+		if min == max {
+			return DispAll // single-valued page equal to the target
+		}
+	case OpNe:
+		if target < min || target > max {
+			return DispAll
+		}
+		if min == max {
+			return DispNone
+		}
+	case OpLt:
+		if max < target {
+			return DispAll
+		}
+		if min >= target {
+			return DispNone
+		}
+	case OpLe:
+		if max <= target {
+			return DispAll
+		}
+		if min > target {
+			return DispNone
+		}
+	case OpGt:
+		if min > target {
+			return DispAll
+		}
+		if max <= target {
+			return DispNone
+		}
+	case OpGe:
+		if min >= target {
+			return DispAll
+		}
+		if max < target {
+			return DispNone
+		}
+	}
+	return DispMixed
+}
+
+// DisposeRange classifies `lo <= entry <= hi` against a page bounded by
+// [min, max] in the packed domain.
+func DisposeRange(lo, hi, min, max uint64) Disposition {
+	if lo > hi || hi < min || lo > max {
+		return DispNone
+	}
+	if lo <= min && max <= hi {
+		return DispAll
+	}
+	return DispMixed
+}
+
+// DisposeStreams classifies `a[i] op b[i]` from the two pages' zone maps:
+// when the ranges do not overlap (or only touch), every row resolves the
+// same way without reading either page.
+func DisposeStreams(op Op, aMin, aMax, bMin, bMax uint64) Disposition {
+	switch op {
+	case OpEq:
+		if aMax < bMin || bMax < aMin {
+			return DispNone
+		}
+		if aMin == aMax && bMin == bMax && aMin == bMin {
+			return DispAll
+		}
+	case OpNe:
+		if aMax < bMin || bMax < aMin {
+			return DispAll
+		}
+		if aMin == aMax && bMin == bMax && aMin == bMin {
+			return DispNone
+		}
+	case OpLt:
+		if aMax < bMin {
+			return DispAll
+		}
+		if aMin >= bMax {
+			return DispNone
+		}
+	case OpLe:
+		if aMax <= bMin {
+			return DispAll
+		}
+		if aMin > bMax {
+			return DispNone
+		}
+	case OpGt:
+		if aMin > bMax {
+			return DispAll
+		}
+		if aMax <= bMin {
+			return DispNone
+		}
+	case OpGe:
+		if aMin >= bMax {
+			return DispAll
+		}
+		if aMax < bMin {
+			return DispNone
+		}
+	}
+	return DispMixed
+}
+
 // masks holds the per-width SWAR constants.
 type masks struct {
 	width  uint
@@ -128,12 +256,20 @@ func window(buf []byte, pos uint) uint64 {
 // target are compared in the unsigned packed domain.
 func ScanPacked(data []byte, n int, width uint, op Op, target uint64) *bitutil.Bitmap {
 	out := bitutil.NewBitmap(n)
+	ScanPackedInto(out, data, width, op, target)
+	return out
+}
+
+// ScanPackedInto is ScanPacked writing hits into a caller-supplied
+// all-zero bitmap (the pooled-buffer hot path); n is out.Len().
+func ScanPackedInto(out *bitutil.Bitmap, data []byte, width uint, op Op, target uint64) {
+	n := out.Len()
 	if n == 0 {
-		return out
+		return
 	}
 	if width > 32 {
 		scanScalar(data, 0, n, width, op, target, out)
-		return out
+		return
 	}
 	m := masksFor(width)
 	bc := m.broadcast(target)
@@ -156,7 +292,6 @@ func ScanPacked(data []byte, n int, width uint, op Op, target uint64) *bitutil.B
 	}
 	i := scanWindows(data, n, m, cmp, out)
 	scanScalar(data, i, n, width, op, target, out)
-	return out
 }
 
 // scanWindows runs the SWAR loop over all complete windows, writing hits
@@ -186,8 +321,16 @@ func scanWindows(data []byte, n int, m masks, cmp func(uint64) uint64, out *bitu
 // ScanPackedRange evaluates `lo <= entry <= hi` over the packed stream.
 func ScanPackedRange(data []byte, n int, width uint, lo, hi uint64) *bitutil.Bitmap {
 	out := bitutil.NewBitmap(n)
+	ScanPackedRangeInto(out, data, width, lo, hi)
+	return out
+}
+
+// ScanPackedRangeInto is ScanPackedRange into a caller-supplied all-zero
+// bitmap.
+func ScanPackedRangeInto(out *bitutil.Bitmap, data []byte, width uint, lo, hi uint64) {
+	n := out.Len()
 	if n == 0 || lo > hi {
-		return out
+		return
 	}
 	if width > 32 {
 		r := bitutil.NewReader(data)
@@ -197,7 +340,7 @@ func ScanPackedRange(data []byte, n int, width uint, lo, hi uint64) *bitutil.Bit
 				out.Set(i)
 			}
 		}
-		return out
+		return
 	}
 	m := masksFor(width)
 	bcLo, bcHi := m.broadcast(lo), m.broadcast(hi)
@@ -212,7 +355,6 @@ func ScanPackedRange(data []byte, n int, width uint, lo, hi uint64) *bitutil.Bit
 			out.Set(i)
 		}
 	}
-	return out
 }
 
 // ScanPackedIn evaluates `entry IN targets` — the disjunction-of-equalities
@@ -220,8 +362,15 @@ func ScanPackedRange(data []byte, n int, width uint, lo, hi uint64) *bitutil.Bit
 // (paper §5.3).
 func ScanPackedIn(data []byte, n int, width uint, targets []uint64) *bitutil.Bitmap {
 	out := bitutil.NewBitmap(n)
+	ScanPackedInInto(out, data, width, targets)
+	return out
+}
+
+// ScanPackedInInto is ScanPackedIn into a caller-supplied all-zero bitmap.
+func ScanPackedInInto(out *bitutil.Bitmap, data []byte, width uint, targets []uint64) {
+	n := out.Len()
 	if n == 0 || len(targets) == 0 {
-		return out
+		return
 	}
 	if width > 32 {
 		set := make(map[uint64]struct{}, len(targets))
@@ -234,7 +383,7 @@ func ScanPackedIn(data []byte, n int, width uint, targets []uint64) *bitutil.Bit
 				out.Set(i)
 			}
 		}
-		return out
+		return
 	}
 	m := masksFor(width)
 	bcs := make([]uint64, len(targets))
@@ -259,7 +408,6 @@ func ScanPackedIn(data []byte, n int, width uint, targets []uint64) *bitutil.Bit
 			}
 		}
 	}
-	return out
 }
 
 // ScanPackedLookup evaluates `table[entry]` over the packed stream, for
@@ -268,6 +416,14 @@ func ScanPackedIn(data []byte, n int, width uint, targets []uint64) *bitutil.Bit
 // must cover [0, 2^width).
 func ScanPackedLookup(data []byte, n int, width uint, table []bool) *bitutil.Bitmap {
 	out := bitutil.NewBitmap(n)
+	ScanPackedLookupInto(out, data, width, table)
+	return out
+}
+
+// ScanPackedLookupInto is ScanPackedLookup into a caller-supplied all-zero
+// bitmap.
+func ScanPackedLookupInto(out *bitutil.Bitmap, data []byte, width uint, table []bool) {
+	n := out.Len()
 	r := bitutil.NewReader(data)
 	for i := 0; i < n; i++ {
 		v := r.ReadBits(width)
@@ -275,7 +431,6 @@ func ScanPackedLookup(data []byte, n int, width uint, table []bool) *bitutil.Bit
 			out.Set(i)
 		}
 	}
-	return out
 }
 
 // CompareStreams evaluates `a[i] op b[i]` over two packed streams of the
@@ -284,12 +439,20 @@ func ScanPackedLookup(data []byte, n int, width uint, table []bool) *bitutil.Bit
 // an order-preserving dictionary (§5.3).
 func CompareStreams(a, b []byte, n int, width uint, op Op) *bitutil.Bitmap {
 	out := bitutil.NewBitmap(n)
+	CompareStreamsInto(out, a, b, width, op)
+	return out
+}
+
+// CompareStreamsInto is CompareStreams into a caller-supplied all-zero
+// bitmap.
+func CompareStreamsInto(out *bitutil.Bitmap, a, b []byte, width uint, op Op) {
+	n := out.Len()
 	if n == 0 {
-		return out
+		return
 	}
 	if width > 32 {
 		compareScalar(a, b, 0, n, width, op, out)
-		return out
+		return
 	}
 	m := masksFor(width)
 	var cmp func(x, y uint64) uint64
@@ -324,7 +487,6 @@ func CompareStreams(a, b []byte, n int, width uint, op Op) *bitutil.Bitmap {
 	}
 	out.Mask()
 	compareScalar(a, b, i, n, width, op, out)
-	return out
 }
 
 // scanScalar is the decode-then-compare reference used for the stream tail
@@ -369,9 +531,12 @@ func evalOp(v uint64, op Op, target uint64) bool {
 }
 
 // CumulativeSum computes the running sum of deltas into out (which must be
-// at least as long). It is the substitute for SBoost's 8-lane SIMD prefix
-// sum used by the delta filter (paper §5.3): the loop is unrolled four
-// wide so the adds pipeline, which is what the SIMD version buys.
+// at least as long). out may be deltas itself — every unrolled iteration
+// reads its four inputs before the multi-assignment writes them — which is
+// how the delta filter runs the prefix sum in place over a pooled buffer.
+// It is the substitute for SBoost's 8-lane SIMD prefix sum used by the
+// delta filter (paper §5.3): the loop is unrolled four wide so the adds
+// pipeline, which is what the SIMD version buys.
 func CumulativeSum(deltas []int64, out []int64) {
 	var acc int64
 	i := 0

@@ -69,13 +69,21 @@ func (Snappy) Compress(src []byte) ([]byte, error) {
 }
 
 // Decompress reverses Compress.
-func (Snappy) Decompress(src []byte) ([]byte, error) {
+func (s Snappy) Decompress(src []byte) ([]byte, error) {
+	return s.DecompressInto(nil, src)
+}
+
+// DecompressInto reverses Compress into dst's storage.
+func (Snappy) DecompressInto(dst, src []byte) ([]byte, error) {
 	n, hdr := binary.Uvarint(src)
 	if hdr <= 0 {
 		return nil, errSnappyCorrupt
 	}
 	src = src[hdr:]
-	dst := make([]byte, 0, n)
+	if cap(dst) < int(n) {
+		dst = make([]byte, 0, n)
+	}
+	dst = dst[:0]
 	for len(src) > 0 {
 		tag := src[0]
 		switch tag & 0x03 {

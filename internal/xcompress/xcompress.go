@@ -22,6 +22,12 @@ type Compressor interface {
 	Name() string
 	Compress(src []byte) ([]byte, error)
 	Decompress(src []byte) ([]byte, error)
+	// DecompressInto decompresses src into dst's storage, overwriting it
+	// from the start, and returns the decompressed bytes — dst is grown as
+	// needed, so passing a pooled buffer with sufficient capacity makes
+	// decompression allocation-free. Identity codecs may return src
+	// itself; callers must treat the result as aliasing either argument.
+	DecompressInto(dst, src []byte) ([]byte, error)
 }
 
 // For returns the compressor registered under name ("snappy", "gzip",
@@ -50,6 +56,9 @@ func (None) Compress(src []byte) ([]byte, error) { return src, nil }
 
 // Decompress returns src unchanged.
 func (None) Decompress(src []byte) ([]byte, error) { return src, nil }
+
+// DecompressInto returns src unchanged; dst is untouched.
+func (None) DecompressInto(dst, src []byte) ([]byte, error) { return src, nil }
 
 // Gzip wraps compress/gzip at the default level.
 type Gzip struct {
@@ -81,11 +90,29 @@ func (g Gzip) Compress(src []byte) ([]byte, error) {
 }
 
 // Decompress reverses Compress.
-func (Gzip) Decompress(src []byte) ([]byte, error) {
+func (g Gzip) Decompress(src []byte) ([]byte, error) {
+	return g.DecompressInto(nil, src)
+}
+
+// DecompressInto reverses Compress into dst's storage.
+func (Gzip) DecompressInto(dst, src []byte) ([]byte, error) {
 	r, err := gzip.NewReader(bytes.NewReader(src))
 	if err != nil {
 		return nil, err
 	}
 	defer r.Close()
-	return io.ReadAll(r)
+	dst = dst[:0]
+	for {
+		if len(dst) == cap(dst) {
+			dst = append(dst, 0)[:len(dst)]
+		}
+		n, err := r.Read(dst[len(dst):cap(dst)])
+		dst = dst[:len(dst)+n]
+		if err == io.EOF {
+			return dst, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
 }
