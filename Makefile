@@ -1,10 +1,11 @@
 GO ?= go
 
-.PHONY: check build test vet race fuzz bench
+.PHONY: check build test vet race race-obs fuzz bench bench-obs serve-demo
 
 # check is the tier-1 verification gate: everything must compile, pass
-# vet, and pass the full test suite under the race detector.
-check: vet build race
+# vet, and pass the full test suite under the race detector, with the
+# observability-layer race tests called out explicitly.
+check: vet build race race-obs
 
 build:
 	$(GO) build ./...
@@ -18,13 +19,35 @@ test:
 race:
 	$(GO) test -race ./...
 
+# race-obs focuses the race detector on the observability surfaces: the
+# metrics registry and tracer, the pool counters, and the atomic reader
+# stats with concurrent Stats/ResetStats.
+race-obs:
+	$(GO) test -race -count=1 ./internal/obs/ ./internal/exec/ ./internal/colstore/
+
 # bench refreshes the "current" section of BENCH_PR2.json with the scan
 # hot-path benchmarks (ns/op, B/op, allocs/op, pages pruned/read/skipped
 # per op); the checked-in "baseline" section is preserved.
 BENCHOUT ?= BENCH_PR2.json
 bench:
-	$(GO) test -run xxx -bench 'BenchmarkAblationDataSkipping|BenchmarkSBoostScanVsScalar|BenchmarkFig7TPCH|BenchmarkFilterHotPath' \
+	$(GO) test -run xxx -bench 'BenchmarkAblationDataSkipping|BenchmarkSBoostScanVsScalar|BenchmarkFig7TPCH|BenchmarkFilterHotPath$$' \
 		-benchmem . | $(GO) run ./cmd/benchjson -o $(BENCHOUT) -section current
+
+# bench-obs writes BENCH_PR3.json: the filter hot path through the
+# instrumented ApplyFilter seam, tracer off (bare context) vs tracer on
+# (span per op), so the observability overhead stays visible across PRs.
+OBSBENCHOUT ?= BENCH_PR3.json
+bench-obs:
+	$(GO) test -run xxx -bench 'BenchmarkFilterHotPathTraced/.*/Off' -benchmem . \
+		| $(GO) run ./cmd/benchjson -o $(OBSBENCHOUT) -section tracer-off
+	$(GO) test -run xxx -bench 'BenchmarkFilterHotPathTraced/.*/On' -benchmem . \
+		| $(GO) run ./cmd/benchjson -o $(OBSBENCHOUT) -section tracer-on
+
+# serve-demo loads a TPC-H sample into ./demodb and serves /metrics,
+# /debug/vars, and /debug/pprof on :8080 until interrupted.
+serve-demo:
+	$(GO) run ./cmd/datagen -kind tpch -sf 0.01 -out ./demodb
+	$(GO) run ./cmd/codecdb serve -db ./demodb -metrics :8080 -warm
 
 # fuzz gives the colstore Open fuzzer a short budget; extend FUZZTIME for
 # longer campaigns.

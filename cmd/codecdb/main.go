@@ -36,6 +36,11 @@ func main() {
 	out := fs.String("out", "model.json", "output path for the trained model")
 	seed := fs.Int64("seed", 42, "training seed")
 	stats := fs.Bool("stats", false, "print page-level IO statistics")
+	metrics := fs.String("metrics", ":8080", "listen address for /metrics, /debug/vars, /debug/pprof")
+	warm := fs.Bool("warm", false, "run one full count per table before serving so counters are non-zero")
+	analyze := fs.Bool("analyze", false, "execute the query and report per-operator stats")
+	var wheres whereFlags
+	fs.Var(&wheres, "where", `predicate "col op value" (repeatable; op: = != < <= > >=)`)
 	fs.Parse(os.Args[2:])
 
 	var err error
@@ -90,6 +95,12 @@ func main() {
 		})
 	case "scrub":
 		err = withDB(*dbDir, func(db *codecdb.DB) error { return scrub(db, *table, *stats) })
+	case "serve":
+		err = serve(*dbDir, *metrics, *warm)
+	case "explain":
+		err = withDB(*dbDir, func(db *codecdb.DB) error {
+			return explain(db, *table, wheres, *analyze, *stats)
+		})
 	case "advise":
 		err = advise(*csvcol)
 	case "train":
@@ -243,6 +254,11 @@ commands:
   count   -db DIR -table T [-col C -eq V] count rows (optionally filtered)
           [-stats]                        ... and print page IO statistics
   scrub   -db DIR [-table T] [-stats]     verify stored checksums
+  explain -db DIR -table T                render the query plan with plan choices
+          [-where "col op value"]...      ... predicates (repeatable)
+          [-analyze] [-stats]             ... execute and report per-operator stats
+  serve   -db DIR [-metrics :8080]        serve /metrics, /debug/vars, /debug/pprof
+          [-warm]                         ... pre-touch tables so counters are non-zero
   advise  -csvcol v1,v2,...               suggest an encoding for a column
   train   [-out model.json] [-seed N]     train the encoding selector`)
 	os.Exit(2)

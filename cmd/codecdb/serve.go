@@ -1,0 +1,160 @@
+package main
+
+import (
+	"context"
+	"expvar"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"time"
+
+	"codecdb"
+)
+
+// serve mounts the engine's observability endpoints over one database:
+// /metrics (Prometheus text exposition of the codecdb_* registry),
+// /debug/vars (the same registry published through expvar), and the
+// standard /debug/pprof profiling handlers. It blocks until interrupted.
+func serve(dir, addr string, warm bool) error {
+	return withDB(dir, func(db *codecdb.DB) error {
+		if warm {
+			// Touch every table with a full count (moves the query
+			// counters) and a checksum scrub (reads every page, moving
+			// the page and byte counters) so the first scrape is live.
+			for _, name := range db.TableNames() {
+				t, err := db.Table(name)
+				if err != nil {
+					return err
+				}
+				if _, err := t.All().Count(); err != nil {
+					return err
+				}
+				if err := t.Verify(context.Background()); err != nil {
+					return err
+				}
+			}
+		}
+		reg := codecdb.Metrics()
+		reg.PublishExpvar("codecdb")
+		mux := http.NewServeMux()
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			if err := reg.WriteProm(w); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		})
+		mux.Handle("/debug/vars", expvar.Handler())
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+		srv := &http.Server{Addr: addr, Handler: mux}
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+		defer stop()
+		errc := make(chan error, 1)
+		go func() { errc <- srv.ListenAndServe() }()
+		fmt.Printf("serving /metrics, /debug/vars, /debug/pprof on %s (tables: %s)\n",
+			addr, strings.Join(db.TableNames(), ", "))
+		select {
+		case err := <-errc:
+			return err
+		case <-ctx.Done():
+		}
+		shutCtx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+		defer cancel()
+		return srv.Shutdown(shutCtx)
+	})
+}
+
+// whereClause is one parsed -where predicate.
+type whereClause struct {
+	col string
+	op  codecdb.CmpOp
+	val any
+}
+
+// whereFlags collects repeatable -where "col op value" flags.
+type whereFlags []whereClause
+
+func (w *whereFlags) String() string {
+	return fmt.Sprintf("%d predicates", len(*w))
+}
+
+// Set parses `col op value`; op is a SQL comparison (=, !=, <>, <, <=,
+// >, >=) or its word form (eq, ne, lt, le, gt, ge). Integer-looking
+// values compare as integers, decimal-looking values as floats, anything
+// else as a string.
+func (w *whereFlags) Set(s string) error {
+	parts := strings.Fields(s)
+	if len(parts) != 3 {
+		return fmt.Errorf(`want "col op value", got %q`, s)
+	}
+	op, err := parseOp(parts[1])
+	if err != nil {
+		return err
+	}
+	var val any = parts[2]
+	if iv, e := strconv.ParseInt(parts[2], 10, 64); e == nil {
+		val = iv
+	} else if fv, e := strconv.ParseFloat(parts[2], 64); e == nil {
+		val = fv
+	}
+	*w = append(*w, whereClause{col: parts[0], op: op, val: val})
+	return nil
+}
+
+func parseOp(s string) (codecdb.CmpOp, error) {
+	switch strings.ToLower(s) {
+	case "=", "==", "eq":
+		return codecdb.Eq, nil
+	case "!=", "<>", "ne":
+		return codecdb.Ne, nil
+	case "<", "lt":
+		return codecdb.Lt, nil
+	case "<=", "le":
+		return codecdb.Le, nil
+	case ">", "gt":
+		return codecdb.Gt, nil
+	case ">=", "ge":
+		return codecdb.Ge, nil
+	}
+	return 0, fmt.Errorf("unknown comparison operator %q", s)
+}
+
+// explain renders the plan for a query assembled from -where flags:
+// the static operator tree with plan choices, or, with -analyze, the
+// executed tree with per-node wall time, rows, page IO, and allocations.
+func explain(db *codecdb.DB, table string, wheres whereFlags, analyze, stats bool) error {
+	if table == "" {
+		return fmt.Errorf("-table is required")
+	}
+	t, err := db.Table(table)
+	if err != nil {
+		return err
+	}
+	q := t.All()
+	for _, w := range wheres {
+		q = q.And(w.col, w.op, w.val)
+	}
+	var out string
+	if analyze {
+		t.ResetIOStats()
+		out, err = q.ExplainAnalyze()
+	} else {
+		out, err = q.Explain()
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Print(out)
+	if analyze && stats {
+		printIOStats(t.IOStats())
+	}
+	return nil
+}

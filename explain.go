@@ -1,0 +1,67 @@
+package codecdb
+
+import (
+	"fmt"
+	"strings"
+
+	"codecdb/internal/obs"
+	"codecdb/internal/ops"
+)
+
+// Explain renders the query's operator tree and the plan choices each
+// operator will make — dictionary predicate rewrites, the SBoost kernel
+// selected, zone-map applicability — without executing anything.
+func (q *Query) Explain() (string, error) {
+	if q.err != nil {
+		return "", q.err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Query(%s)  rows=%d filters=%d\n", q.t.Name(), q.t.NumRows(), len(q.filters))
+	for i, f := range q.filters {
+		head, tail := "├─ ", "│  "
+		if i == len(q.filters)-1 {
+			head, tail = "└─ ", "   "
+		}
+		b.WriteString(head + "Filter[" + ops.FilterName(f) + "]\n")
+		for _, d := range ops.DescribeFilter(f, q.t.inner.R) {
+			b.WriteString(tail + "    " + d + "\n")
+		}
+	}
+	return b.String(), nil
+}
+
+// ExplainAnalyze executes the query under a tracer and renders the
+// operator tree with per-node wall time, row counts, page-level IO,
+// pool task counts, and allocation bytes. Evaluation runs the filter
+// pipeline to completion (the equivalent of Count); gathers only appear
+// when a terminal that materializes columns runs under AnalyzeTrace's
+// context instead.
+func (q *Query) ExplainAnalyze() (string, error) {
+	root, _, err := q.AnalyzeTrace()
+	if err != nil {
+		return "", err
+	}
+	return root.Render(), nil
+}
+
+// AnalyzeTrace is ExplainAnalyze returning the raw span tree and the
+// match count for programmatic consumers: the root span is the query,
+// each filter and gather is a child carrying its plan details and
+// measured stats.
+func (q *Query) AnalyzeTrace() (*obs.Span, int64, error) {
+	if q.err != nil {
+		return nil, 0, q.err
+	}
+	root := obs.NewSpan(fmt.Sprintf("Query(%s)", q.t.Name()))
+	prev := q.ctx
+	q.ctx = obs.ContextWithSpan(q.context(), root)
+	sel, err := q.eval()
+	q.ctx = prev
+	if err != nil {
+		return nil, 0, err
+	}
+	n := int64(sel.Cardinality())
+	root.SetRows(q.t.NumRows(), n)
+	root.End()
+	return root, n, nil
+}

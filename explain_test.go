@@ -1,0 +1,176 @@
+package codecdb
+
+import (
+	"strings"
+	"testing"
+
+	"codecdb/internal/obs"
+)
+
+// TestExplainStatic checks Explain renders the operator tree and the
+// plan choices — dict rewrite, kernel, zone-map use — without executing.
+func TestExplainStatic(t *testing.T) {
+	db := openTestDB(t)
+	tbl := loadEvents(t, db, 2000)
+	io := tbl.IOStats()
+
+	out, err := tbl.Where("status", Eq, "ERROR").And("level", Lt, 3).Explain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"Query(events)",
+		"filters=2",
+		`DictFilter(status = "ERROR")`,
+		"DictFilter(level < 3)",
+		"dict rewrite",
+		"kernel=sboost.ScanPacked",
+		"zone-maps=key-domain",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Explain missing %q in:\n%s", want, out)
+		}
+	}
+	// Explain must not have touched any pages (dictionaries are cached
+	// metadata; page counters must be untouched).
+	if after := tbl.IOStats(); after.PagesRead != io.PagesRead {
+		t.Fatalf("Explain read pages: before=%+v after=%+v", io, after)
+	}
+}
+
+// TestExplainAnalyzeConsistentWithIOStats is the acceptance check: on a
+// two-predicate query, the per-operator page counters in the rendered
+// span tree must sum to exactly the Table.IOStats() delta of the run.
+func TestExplainAnalyzeConsistentWithIOStats(t *testing.T) {
+	db := openTestDB(t)
+	tbl := loadEvents(t, db, 4000)
+
+	tbl.ResetIOStats()
+	before := tbl.IOStats()
+	root, n, err := tbl.Where("status", Eq, "ERROR").And("level", Lt, 2).AnalyzeTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := tbl.IOStats()
+
+	if rowsIn, rowsOut := root.Rows(); rowsIn != 4000 || rowsOut != n {
+		t.Fatalf("root rows = %d→%d, want 4000→%d", rowsIn, rowsOut, n)
+	}
+	if len(root.Children()) != 2 {
+		t.Fatalf("children = %d, want one span per filter", len(root.Children()))
+	}
+	for _, c := range root.Children() {
+		if c.Duration() <= 0 {
+			t.Errorf("span %s has no wall time", c.Name())
+		}
+		if in, _ := c.Rows(); in != 4000 {
+			t.Errorf("span %s rows in = %d, want 4000", c.Name(), in)
+		}
+	}
+	sum := root.SumIO()
+	if sum.PagesRead != after.PagesRead-before.PagesRead ||
+		sum.PagesPruned != after.PagesPruned-before.PagesPruned ||
+		sum.PagesSkipped != after.PagesSkipped-before.PagesSkipped ||
+		sum.BytesRead != after.BytesRead-before.BytesRead ||
+		sum.BytesDecompressed != after.BytesDecompressed-before.BytesDecompressed {
+		t.Fatalf("span IO sum %+v != IOStats delta (before=%+v after=%+v)", sum, before, after)
+	}
+	if sum.PagesRead == 0 {
+		t.Fatal("trace recorded no page reads; instrumentation is not wired")
+	}
+
+	out := root.Render()
+	for _, want := range []string{"Query(events)", "├─ Filter[", "└─ Filter[", "time=", "pages[read="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+// TestExplainAnalyzeGather checks gathers run under AnalyzeTrace's
+// context appear... gathers run in terminals, which ExplainAnalyze does
+// not invoke; instead verify the traced gather path directly through a
+// terminal driven with a span-carrying context.
+func TestTracedGatherSpans(t *testing.T) {
+	db := openTestDB(t)
+	tbl := loadEvents(t, db, 2000)
+
+	root := obs.NewSpan("terminal")
+	q := tbl.Where("status", Eq, "RETRY")
+	q.WithContext(obs.ContextWithSpan(q.context(), root))
+	vals, err := q.Ints("ts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+
+	var gather *obs.Span
+	for _, c := range root.Children() {
+		if strings.HasPrefix(c.Name(), "Gather[ts]") {
+			gather = c
+		}
+	}
+	if gather == nil {
+		t.Fatalf("no gather span among children: %s", root.Render())
+	}
+	if _, out := gather.Rows(); out != int64(len(vals)) {
+		t.Fatalf("gather rows out = %d, want %d", out, len(vals))
+	}
+}
+
+// TestQueryMetricsObserved checks eval() feeds the process-wide query
+// counter and latency histogram.
+func TestQueryMetricsObserved(t *testing.T) {
+	db := openTestDB(t)
+	tbl := loadEvents(t, db, 1000)
+	before := queriesTotal.Value()
+	hBefore := queryLatency.Count()
+	if _, err := tbl.Where("level", Ge, 3).Count(); err != nil {
+		t.Fatal(err)
+	}
+	if queriesTotal.Value() != before+1 {
+		t.Fatalf("queriesTotal = %d, want %d", queriesTotal.Value(), before+1)
+	}
+	if queryLatency.Count() != hBefore+1 {
+		t.Fatalf("latency histogram count = %d, want %d", queryLatency.Count(), hBefore+1)
+	}
+}
+
+// TestEncodingDecisionEvents checks LoadTable emits one structured
+// selector event per auto-encoded column, carrying features and scores.
+func TestEncodingDecisionEvents(t *testing.T) {
+	var got []obs.Event
+	prev := obs.SetEventSink(func(e obs.Event) { got = append(got, e) })
+	defer obs.SetEventSink(prev)
+
+	db := openTestDB(t)
+	loadEvents(t, db, 1000) // ts and latency auto-encode; status/level forced
+
+	decisions := map[string]obs.Event{}
+	for _, e := range got {
+		if e.Name == "encoding_decision" {
+			decisions[e.Fields["column"].(string)] = e
+		}
+	}
+	e, ok := decisions["ts"]
+	if !ok {
+		t.Fatalf("no encoding_decision for ts; events = %+v", got)
+	}
+	if e.Fields["mode"] != "exhaustive" {
+		t.Fatalf("mode = %v", e.Fields["mode"])
+	}
+	if e.Fields["chosen"] != "DELTA_BINARY_PACKED" {
+		t.Fatalf("chosen = %v", e.Fields["chosen"])
+	}
+	feats, ok := e.Fields["features"].([]float64)
+	if !ok || len(feats) == 0 {
+		t.Fatalf("features = %v", e.Fields["features"])
+	}
+	scores, ok := e.Fields["scores"].(map[string]float64)
+	if !ok || len(scores) == 0 {
+		t.Fatalf("scores = %v", e.Fields["scores"])
+	}
+	if _, ok := decisions["status"]; ok {
+		t.Fatal("forced column must not emit a selection decision")
+	}
+}

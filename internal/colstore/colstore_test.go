@@ -245,9 +245,7 @@ func TestGatherWithSkipping(t *testing.T) {
 		t.Fatalf("GatherInts = %v, want %v", got, want)
 	}
 	// Page skipping must have triggered: 16 pages, selections touch 4.
-	r.mu.Lock()
-	skipped := r.PagesSkipped
-	r.mu.Unlock()
+	skipped := r.Stats().PagesSkipped
 	if skipped < 10 {
 		t.Fatalf("expected ≥10 skipped pages, got %d", skipped)
 	}

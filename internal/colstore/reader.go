@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"codecdb/internal/arena"
@@ -38,21 +39,29 @@ type Reader struct {
 	intDicts map[string][]int64
 	strDicts map[string][][]byte
 
-	// PagesRead, PagesPruned, and PagesSkipped instrument the page-level
-	// data skipping; the Fig 8 IO-vs-CPU breakdown reads them. Pruned
-	// pages were rejected from their zone map alone and never fetched;
-	// skipped pages were fetched but had no selected rows. Guarded by mu.
-	PagesRead    int64
-	PagesPruned  int64
-	PagesSkipped int64
-	BytesRead    int64
-	// IONanos accumulates wall time spent in ReadAt, separating IO from
-	// CPU in the cost-breakdown experiments. Guarded by mu.
-	IONanos int64
+	// io instruments the page-level data skipping with lock-free atomic
+	// adds on the scan hot path; the Fig 8 IO-vs-CPU breakdown reads it.
+	// Pruned pages were rejected from their zone map alone and never
+	// fetched; skipped pages were fetched but had no selected rows.
+	// statsMu serialises Stats against ResetStats so a snapshot can never
+	// observe a half-applied reset (e.g. pruned zeroed, skipped not yet).
+	io      ioCounters
+	statsMu sync.Mutex
 
-	// noPrune disables zone-map consultation (testing hook). Guarded by mu
-	// only for writes; readers snapshot it per chunk access.
-	noPrune bool
+	// noPrune disables zone-map consultation (testing hook).
+	noPrune atomic.Bool
+}
+
+// ioCounters are the reader's atomic IO instrumentation counters.
+// Increments need no lock; consistent multi-field snapshots are taken
+// under Reader.statsMu.
+type ioCounters struct {
+	pagesRead         atomic.Int64
+	pagesPruned       atomic.Int64
+	pagesSkipped      atomic.Int64
+	bytesRead         atomic.Int64
+	bytesDecompressed atomic.Int64
+	ioNanos           atomic.Int64
 }
 
 // IOStats is a snapshot of a Reader's IO instrumentation.
@@ -67,37 +76,46 @@ type IOStats struct {
 	PagesSkipped int64
 	// BytesRead is total bytes handed back by ReadAt.
 	BytesRead int64
+	// BytesDecompressed is total page-body bytes after decompression
+	// (equal to BytesRead minus framing for uncompressed columns).
+	BytesDecompressed int64
 	// IONanos is wall time spent inside ReadAt.
 	IONanos int64
 }
 
-// Stats returns a snapshot of the reader's IO instrumentation.
+// Stats returns a snapshot of the reader's IO instrumentation. The
+// snapshot is consistent with respect to ResetStats: a concurrent reset
+// either precedes the whole snapshot or follows it, never tears it.
 func (r *Reader) Stats() IOStats {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.statsMu.Lock()
+	defer r.statsMu.Unlock()
 	return IOStats{
-		PagesRead:    r.PagesRead,
-		PagesPruned:  r.PagesPruned,
-		PagesSkipped: r.PagesSkipped,
-		BytesRead:    r.BytesRead,
-		IONanos:      r.IONanos,
+		PagesRead:         r.io.pagesRead.Load(),
+		PagesPruned:       r.io.pagesPruned.Load(),
+		PagesSkipped:      r.io.pagesSkipped.Load(),
+		BytesRead:         r.io.bytesRead.Load(),
+		BytesDecompressed: r.io.bytesDecompressed.Load(),
+		IONanos:           r.io.ioNanos.Load(),
 	}
 }
 
 // ResetStats zeroes the IO instrumentation counters.
 func (r *Reader) ResetStats() {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.PagesRead, r.PagesPruned, r.PagesSkipped, r.BytesRead, r.IONanos = 0, 0, 0, 0, 0
+	r.statsMu.Lock()
+	defer r.statsMu.Unlock()
+	r.io.pagesRead.Store(0)
+	r.io.pagesPruned.Store(0)
+	r.io.pagesSkipped.Store(0)
+	r.io.bytesRead.Store(0)
+	r.io.bytesDecompressed.Store(0)
+	r.io.ioNanos.Store(0)
 }
 
 // SetPagePruning toggles zone-map page pruning; pruning is on by default.
 // The property tests use this to compare pruned against unpruned scans on
 // identical files.
 func (r *Reader) SetPagePruning(on bool) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.noPrune = !on
+	r.noPrune.Store(!on)
 }
 
 // Open opens the file at path and parses the footer.
@@ -383,10 +401,11 @@ func (r *Reader) readAtBuf(buf []byte, off int64) ([]byte, error) {
 		return nil, fmt.Errorf("colstore: %s: read %d bytes at %d failed after %d attempts: %w",
 			r.path, size, off, readAttempts, err)
 	}
-	r.mu.Lock()
-	r.BytesRead += int64(size)
-	r.IONanos += time.Since(start).Nanoseconds()
-	r.mu.Unlock()
+	nanos := time.Since(start).Nanoseconds()
+	r.io.bytesRead.Add(int64(size))
+	r.io.ioNanos.Add(nanos)
+	globalIO.bytesRead.Add(int64(size))
+	globalIO.ioNanos.Add(nanos)
 	return buf, nil
 }
 
@@ -493,10 +512,7 @@ func (c *Chunk) PageRowRange(p int) (first, last int) { return c.pageRange(p) }
 // file carries no page statistics (v1/v2, float pages) or pruning has been
 // disabled on the reader. A nil result means "cannot prune".
 func (c *Chunk) PageStatsOf(p int) *PageStats {
-	c.r.mu.Lock()
-	off := c.r.noPrune
-	c.r.mu.Unlock()
-	if off {
+	if c.r.noPrune.Load() {
 		return nil
 	}
 	return c.meta.Pages[p].Stats
@@ -505,9 +521,8 @@ func (c *Chunk) PageStatsOf(p int) *PageStats {
 // MarkPruned records that one page was rejected from its zone map alone —
 // the page is never fetched, verified, or decompressed.
 func (c *Chunk) MarkPruned() {
-	c.r.mu.Lock()
-	c.r.PagesPruned++
-	c.r.mu.Unlock()
+	c.r.io.pagesPruned.Add(1)
+	globalIO.pagesPruned.Add(1)
 }
 
 // rawPage reads the stored bytes of page p and, on checksummed files,
@@ -552,9 +567,8 @@ func (c *Chunk) pageBodyScratch(p int, sc *arena.Scratch) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	c.r.mu.Lock()
-	c.r.PagesRead++
-	c.r.mu.Unlock()
+	c.r.io.pagesRead.Add(1)
+	globalIO.pagesRead.Add(1)
 	comp, err := xcompress.For(c.column.Compression)
 	if err != nil {
 		return nil, err
@@ -578,13 +592,14 @@ func (c *Chunk) pageBodyScratch(p int, sc *arena.Scratch) ([]byte, error) {
 			RowGroup: c.rg, Page: p, Detail: fmt.Sprintf(
 				"decompressed to %d bytes, footer says %d", len(body), c.meta.Pages[p].UncompressedSize)}
 	}
+	c.r.io.bytesDecompressed.Add(int64(len(body)))
+	globalIO.bytesDecompressed.Add(int64(len(body)))
 	return body, nil
 }
 
 func (c *Chunk) skipPage() {
-	c.r.mu.Lock()
-	c.r.PagesSkipped++
-	c.r.mu.Unlock()
+	c.r.io.pagesSkipped.Add(1)
+	globalIO.pagesSkipped.Add(1)
 }
 
 // PackedPage exposes one page's packed-key region for in-situ scanning.

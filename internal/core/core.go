@@ -19,6 +19,7 @@ import (
 	"codecdb/internal/encoding"
 	"codecdb/internal/exec"
 	"codecdb/internal/features"
+	"codecdb/internal/obs"
 	"codecdb/internal/selector"
 )
 
@@ -170,32 +171,90 @@ func (db *DB) LoadTable(name string, specs []ColumnSpec, data []colstore.ColumnD
 
 // selectEncoding picks a scheme for one column using the configured
 // selector on a head sample, or exhaustive selection when no model is
-// loaded.
+// loaded. Each decision is emitted as an "encoding_decision" structured
+// event (features in, per-candidate scores out) when an event sink is
+// installed.
 func (db *DB) selectEncoding(s ColumnSpec, data colstore.ColumnData) encoding.Kind {
 	switch s.Type {
 	case colstore.TypeInt64:
 		sample := features.HeadSampleInts(data.Ints, sampleBytes)
 		if db.opts.Selector != nil {
-			return db.opts.Selector.SelectInt(sample)
+			v := features.ExtractInts(sample)
+			kind := db.opts.Selector.SelectIntFromVector(v)
+			emitDecision(s.Name, "learned", v.Slice(), ratioScores(db.opts.Selector.ScoresInt(v)), kind)
+			return kind
 		}
 		kind, _, err := selector.BestInt(sample)
 		if err != nil {
 			return encoding.KindPlain
 		}
+		if obs.EventsEnabled() {
+			sizes, _ := selector.SizesInt(sample, encoding.IntCandidates())
+			fv := features.ExtractInts(sample)
+			emitDecision(s.Name, "exhaustive", fv.Slice(), sizeScores(sizes), kind)
+		}
 		return kind
 	case colstore.TypeString:
 		sample := features.HeadSampleStrings(data.Strings, sampleBytes)
 		if db.opts.Selector != nil {
-			return db.opts.Selector.SelectString(sample)
+			v := features.ExtractStrings(sample)
+			kind := db.opts.Selector.SelectStringFromVector(v)
+			emitDecision(s.Name, "learned", v.Slice(), ratioScores(db.opts.Selector.ScoresString(v)), kind)
+			return kind
 		}
 		kind, _, err := selector.BestString(sample)
 		if err != nil {
 			return encoding.KindPlain
 		}
+		if obs.EventsEnabled() {
+			sizes, _ := selector.SizesString(sample, encoding.StringCandidates())
+			fv := features.ExtractStrings(sample)
+			emitDecision(s.Name, "exhaustive", fv.Slice(), sizeScores(sizes), kind)
+		}
 		return kind
 	default:
 		return encoding.KindPlain
 	}
+}
+
+// emitDecision publishes one encoding-selection outcome as a structured
+// event: the feature vector that went in, the per-candidate scores that
+// came out (predicted ratios for the learned path, encoded byte sizes
+// for the exhaustive path), and the chosen scheme.
+func emitDecision(col, mode string, feats []float64, scores map[string]float64, chosen encoding.Kind) {
+	if !obs.EventsEnabled() {
+		return
+	}
+	obs.Emit("encoding_decision", map[string]any{
+		"column":   col,
+		"mode":     mode,
+		"features": feats,
+		"names":    features.Names(),
+		"scores":   scores,
+		"chosen":   chosen.String(),
+	})
+}
+
+func ratioScores(m map[encoding.Kind]float64) map[string]float64 {
+	if m == nil {
+		return nil
+	}
+	out := make(map[string]float64, len(m))
+	for k, s := range m {
+		out[k.String()] = s
+	}
+	return out
+}
+
+func sizeScores(m map[encoding.Kind]int) map[string]float64 {
+	if m == nil {
+		return nil
+	}
+	out := make(map[string]float64, len(m))
+	for k, s := range m {
+		out[k.String()] = float64(s)
+	}
+	return out
 }
 
 // normaliseKind maps selector outputs onto what the storage layer writes:

@@ -11,6 +11,7 @@ import (
 	"runtime"
 	"runtime/debug"
 	"sync"
+	"sync/atomic"
 )
 
 // PanicError is a worker panic converted into an error: the recovered
@@ -32,6 +33,10 @@ type Pool struct {
 	sem chan struct{}
 	wg  sync.WaitGroup
 
+	inFlight  atomic.Int64
+	completed atomic.Int64
+	panics    atomic.Int64
+
 	mu  sync.Mutex
 	err error // first panic captured from a Submit task, cleared by Wait
 }
@@ -47,6 +52,23 @@ func NewPool(size int) *Pool {
 
 // Size returns the concurrency bound.
 func (p *Pool) Size() int { return cap(p.sem) }
+
+// InFlight returns the number of tasks currently executing on the pool.
+func (p *Pool) InFlight() int64 { return p.inFlight.Load() }
+
+// Completed returns the cumulative count of tasks that have finished on
+// the pool, including ones that panicked.
+func (p *Pool) Completed() int64 { return p.completed.Load() }
+
+// Panics returns the cumulative count of worker panics recovered on the
+// pool, whether captured by run or by ParallelChunksErr's per-chunk
+// recover.
+func (p *Pool) Panics() int64 { return p.panics.Load() }
+
+func (p *Pool) recordPanic() {
+	p.panics.Add(1)
+	totals.panics.Add(1)
+}
 
 // Submit schedules fn; it blocks while the pool is saturated. The
 // semaphore is acquired before the worker goroutine is spawned, so a
@@ -77,14 +99,21 @@ func (p *Pool) SubmitCtx(ctx context.Context, fn func()) error {
 }
 
 func (p *Pool) run(fn func()) {
+	p.inFlight.Add(1)
+	totals.inFlight.Add(1)
 	defer func() {
 		if r := recover(); r != nil {
+			p.recordPanic()
 			p.mu.Lock()
 			if p.err == nil {
 				p.err = &PanicError{Value: r, Stack: debug.Stack()}
 			}
 			p.mu.Unlock()
 		}
+		p.inFlight.Add(-1)
+		totals.inFlight.Add(-1)
+		p.completed.Add(1)
+		totals.completed.Add(1)
 		<-p.sem
 		p.wg.Done()
 	}()
@@ -159,6 +188,9 @@ func (p *Pool) ParallelChunksErr(ctx context.Context, n int, fn func(start, end 
 			defer wg.Done()
 			defer func() {
 				if r := recover(); r != nil {
+					// This recover fires before run's, so run never sees
+					// the panic; count it here to keep Panics complete.
+					p.recordPanic()
 					setErr(&PanicError{Value: r, Stack: debug.Stack()})
 				}
 			}()

@@ -1,0 +1,32 @@
+package exec
+
+import "sync/atomic"
+
+// Process-wide task counters, mirrored alongside every per-pool update.
+// They back the metrics registry's codecdb_exec_* series without the
+// registry needing a handle on each pool; cost is one atomic add per
+// task transition. Never reset.
+
+var totals struct {
+	inFlight  atomic.Int64
+	completed atomic.Int64
+	panics    atomic.Int64
+}
+
+// PoolStats is a snapshot of task counters, either for one pool or
+// process-wide.
+type PoolStats struct {
+	InFlight  int64 // tasks currently executing
+	Completed int64 // cumulative finished tasks (including panicked ones)
+	Panics    int64 // cumulative recovered worker panics
+}
+
+// GlobalStats returns process-wide task counters aggregated across every
+// pool since process start.
+func GlobalStats() PoolStats {
+	return PoolStats{
+		InFlight:  totals.inFlight.Load(),
+		Completed: totals.completed.Load(),
+		Panics:    totals.panics.Load(),
+	}
+}

@@ -1,0 +1,106 @@
+package exec
+
+import (
+	"context"
+	"sync"
+	"testing"
+)
+
+// TestPoolCounters verifies the satellite gauges: Completed advances per
+// task, InFlight reflects currently running tasks and returns to zero,
+// and Panics counts recovered panics from both Submit tasks and
+// ParallelChunksErr chunks (whose per-chunk recover bypasses run's).
+func TestPoolCounters(t *testing.T) {
+	p := NewPool(2)
+
+	// InFlight while a task is blocked inside the pool.
+	started := make(chan struct{})
+	release := make(chan struct{})
+	p.Submit(func() {
+		close(started)
+		<-release
+	})
+	<-started
+	if got := p.InFlight(); got != 1 {
+		t.Fatalf("InFlight = %d, want 1", got)
+	}
+	close(release)
+	if err := p.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.InFlight(); got != 0 {
+		t.Fatalf("InFlight after Wait = %d, want 0", got)
+	}
+	if got := p.Completed(); got != 1 {
+		t.Fatalf("Completed = %d, want 1", got)
+	}
+
+	// Completed counts every finished task, panicked or not.
+	const tasks = 20
+	for i := 0; i < tasks; i++ {
+		p.Submit(func() {})
+	}
+	if err := p.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Completed(); got != 1+tasks {
+		t.Fatalf("Completed = %d, want %d", got, 1+tasks)
+	}
+
+	// A Submit panic is counted by run's recover.
+	p.Submit(func() { panic("boom") })
+	if err := p.Wait(); err == nil {
+		t.Fatal("Wait must surface the panic")
+	}
+	if got := p.Panics(); got != 1 {
+		t.Fatalf("Panics = %d, want 1", got)
+	}
+
+	// A ParallelChunksErr chunk panic is recovered by the per-chunk
+	// deferred recover before run sees it; it must still be counted,
+	// exactly once.
+	err := p.ParallelChunksErr(context.Background(), 4, func(start, end int) error {
+		if start == 0 {
+			panic("chunk boom")
+		}
+		return nil
+	})
+	if _, ok := err.(*PanicError); !ok {
+		t.Fatalf("err = %v, want *PanicError", err)
+	}
+	if got := p.Panics(); got != 2 {
+		t.Fatalf("Panics = %d, want 2", got)
+	}
+	// The chunk panic must not also be recorded in the pool's Wait error.
+	if err := p.Wait(); err != nil {
+		t.Fatalf("Wait after chunk panic = %v, want nil", err)
+	}
+}
+
+// TestGlobalStatsAdvance checks the process-wide mirror tracks pool
+// activity across concurrent pools.
+func TestGlobalStatsAdvance(t *testing.T) {
+	before := GlobalStats()
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p := NewPool(2)
+			for j := 0; j < 10; j++ {
+				p.Submit(func() {})
+			}
+			if err := p.Wait(); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	after := GlobalStats()
+	if got := after.Completed - before.Completed; got < 30 {
+		t.Fatalf("global Completed advanced by %d, want >= 30", got)
+	}
+	if after.InFlight < 0 {
+		t.Fatalf("global InFlight = %d, want >= 0", after.InFlight)
+	}
+}

@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Event is one structured engine event — today the encoding decisions
+// the selector makes at load time ("features in, scores out"), recorded
+// so future learned-advisor work has a training signal to mine.
+type Event struct {
+	Time   time.Time      `json:"time"`
+	Name   string         `json:"name"`
+	Fields map[string]any `json:"fields"`
+}
+
+// EventSink consumes events. Sinks must be safe for concurrent use.
+type EventSink func(Event)
+
+// sink holds the installed EventSink; nil means events are dropped (the
+// default), so Emit on the disabled path is one atomic load.
+var sink atomic.Value // EventSink
+
+// SetEventSink installs fn as the process-wide event consumer; nil
+// disables event collection. It returns the previously installed sink so
+// tests can restore it.
+func SetEventSink(fn EventSink) EventSink {
+	prev, _ := sink.Swap(fn).(EventSink)
+	return prev
+}
+
+func init() { sink.Store(EventSink(nil)) }
+
+// Emit records one event if a sink is installed. The fields map is
+// handed to the sink as-is; callers must not mutate it afterwards.
+func Emit(name string, fields map[string]any) {
+	fn, _ := sink.Load().(EventSink)
+	if fn == nil {
+		return
+	}
+	fn(Event{Time: time.Now(), Name: name, Fields: fields})
+}
+
+// EventsEnabled reports whether a sink is installed, so callers can skip
+// building an expensive fields map when nobody is listening.
+func EventsEnabled() bool {
+	fn, _ := sink.Load().(EventSink)
+	return fn != nil
+}
+
+// JSONSink returns an EventSink that writes one JSON object per line to
+// w, serialising writes with a mutex.
+func JSONSink(w io.Writer) EventSink {
+	var mu sync.Mutex
+	enc := json.NewEncoder(w)
+	return func(e Event) {
+		mu.Lock()
+		defer mu.Unlock()
+		enc.Encode(e) // best-effort: an unencodable field drops the event
+	}
+}

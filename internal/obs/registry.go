@@ -1,0 +1,334 @@
+// Package obs is CodecDB's observability layer: a zero-dependency
+// metrics registry (atomic counters, gauges, fixed-bucket latency
+// histograms) with Prometheus text-format exposition and expvar
+// publishing, a span-based query tracer threaded through the engine via
+// context.Context, and a structured event log that records encoding
+// decisions as training signal for learned-advisor work.
+//
+// Everything here is built for the disabled case: an untraced query sees
+// only a context value lookup and nil checks, and registry updates are
+// single atomic adds, so the hot scan paths stay allocation-free.
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing metric.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be >= 0 for Prometheus semantics).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adjusts the value by n.
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// DefBuckets are the default latency buckets in seconds: 10µs to 10s,
+// roughly half-decade steps — wide enough for a page fetch and a full
+// TPC-H query to land in interior buckets.
+var DefBuckets = []float64{
+	10e-6, 50e-6, 100e-6, 500e-6,
+	1e-3, 5e-3, 10e-3, 50e-3, 100e-3, 500e-3,
+	1, 5, 10,
+}
+
+// Histogram is a fixed-bucket histogram of float64 observations
+// (seconds, by convention). Observations and exposition are lock-free.
+type Histogram struct {
+	bounds []float64      // upper bounds, ascending
+	counts []atomic.Int64 // one per bound, plus +Inf at the end
+	count  atomic.Int64
+	// sum is accumulated in nanoseconds to stay an integer add; the
+	// exposition divides back to seconds.
+	sumNanos atomic.Int64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefBuckets
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+}
+
+// Observe records one observation in seconds.
+func (h *Histogram) Observe(seconds float64) {
+	i := sort.SearchFloat64s(h.bounds, seconds)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sumNanos.Add(int64(seconds * 1e9))
+}
+
+// ObserveDuration records one observation from a duration.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of observations in seconds.
+func (h *Histogram) Sum() float64 { return float64(h.sumNanos.Load()) / 1e9 }
+
+// metricKind tags registry entries for exposition.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+	kindCounterFunc
+	kindGaugeFunc
+)
+
+func (k metricKind) promType() string {
+	switch k {
+	case kindCounter, kindCounterFunc:
+		return "counter"
+	case kindGauge, kindGaugeFunc:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// metric is one registered entry. name may carry a literal label set
+// ("x_total{codec=\"snappy\"}"); base is the name with labels stripped,
+// used for the HELP/TYPE header shared by all series of that family.
+type metric struct {
+	name, base, help string
+	kind             metricKind
+	counter          *Counter
+	gauge            *Gauge
+	hist             *Histogram
+	fn               func() float64
+}
+
+// Registry holds named metrics and renders them in Prometheus text
+// exposition format. Registration is idempotent: asking for an existing
+// name returns the existing collector (functions are replaced), so
+// package wiring can re-run without error.
+type Registry struct {
+	mu      sync.Mutex
+	metrics map[string]*metric
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry { return &Registry{metrics: map[string]*metric{}} }
+
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry the engine's built-in
+// metrics register into.
+func Default() *Registry { return defaultRegistry }
+
+// baseName strips a literal label suffix from a metric name.
+func baseName(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+func (r *Registry) register(name, help string, kind metricKind) *metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		if m.kind != kind {
+			panic(fmt.Sprintf("obs: metric %q re-registered as %v (was %v)", name, kind, m.kind))
+		}
+		return m
+	}
+	m := &metric{name: name, base: baseName(name), help: help, kind: kind}
+	r.metrics[name] = m
+	return m
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name, help string) *Counter {
+	m := r.register(name, help, kindCounter)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m.counter == nil {
+		m.counter = &Counter{}
+	}
+	return m.counter
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	m := r.register(name, help, kindGauge)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m.gauge == nil {
+		m.gauge = &Gauge{}
+	}
+	return m.gauge
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bucket upper bounds (DefBuckets when nil) on first use.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	m := r.register(name, help, kindHistogram)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m.hist == nil {
+		m.hist = newHistogram(buckets)
+	}
+	return m.hist
+}
+
+// CounterFunc registers (or replaces) a counter whose value is read from
+// fn at exposition time — the bridge for package-level atomic counters
+// maintained elsewhere (colstore, exec, xcompress).
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	m := r.register(name, help, kindCounterFunc)
+	r.mu.Lock()
+	m.fn = fn
+	r.mu.Unlock()
+}
+
+// GaugeFunc registers (or replaces) a gauge read from fn at exposition
+// time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	m := r.register(name, help, kindGaugeFunc)
+	r.mu.Lock()
+	m.fn = fn
+	r.mu.Unlock()
+}
+
+// snapshot returns the metrics sorted by name for deterministic output.
+func (r *Registry) snapshot() []*metric {
+	r.mu.Lock()
+	out := make([]*metric, 0, len(r.metrics))
+	for _, m := range r.metrics {
+		out = append(out, m)
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+func (m *metric) value() float64 {
+	switch m.kind {
+	case kindCounter:
+		return float64(m.counter.Value())
+	case kindGauge:
+		return float64(m.gauge.Value())
+	default:
+		return m.fn()
+	}
+}
+
+// WriteProm renders every metric in Prometheus text exposition format
+// (version 0.0.4). Series sharing a base name share one HELP/TYPE
+// header.
+func (r *Registry) WriteProm(w io.Writer) error {
+	lastBase := ""
+	for _, m := range r.snapshot() {
+		if m.base != lastBase {
+			if m.help != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.base, m.help); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.base, m.kind.promType()); err != nil {
+				return err
+			}
+			lastBase = m.base
+		}
+		if m.kind == kindHistogram {
+			if err := writePromHistogram(w, m); err != nil {
+				return err
+			}
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "%s %s\n", m.name, formatFloat(m.value())); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writePromHistogram(w io.Writer, m *metric) error {
+	h := m.hist
+	cum := int64(0)
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", m.base, formatFloat(b), cum); err != nil {
+			return err
+		}
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", m.base, cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum %s\n", m.base, formatFloat(h.Sum())); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count %d\n", m.base, h.Count())
+	return err
+}
+
+// formatFloat renders integral values without an exponent so counters
+// read naturally ("12345", not "1.2345e+04").
+func formatFloat(v float64) string {
+	if v == float64(int64(v)) {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// expvarPublished guards against double-publishing (expvar panics on a
+// duplicate name).
+var expvarPublished sync.Map // name -> struct{}
+
+// PublishExpvar publishes the registry under the given expvar name as a
+// JSON map of metric -> value (histograms expose count/sum/buckets).
+// Safe to call more than once.
+func (r *Registry) PublishExpvar(name string) {
+	if _, loaded := expvarPublished.LoadOrStore(name, struct{}{}); loaded {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any {
+		out := map[string]any{}
+		for _, m := range r.snapshot() {
+			if m.kind == kindHistogram {
+				buckets := map[string]int64{}
+				cum := int64(0)
+				for i, b := range m.hist.bounds {
+					cum += m.hist.counts[i].Load()
+					buckets[formatFloat(b)] = cum
+				}
+				out[m.name] = map[string]any{
+					"count": m.hist.Count(), "sum": m.hist.Sum(), "buckets": buckets,
+				}
+				continue
+			}
+			out[m.name] = m.value()
+		}
+		return out
+	}))
+}

@@ -21,6 +21,7 @@ import (
 	"codecdb/internal/colstore"
 	"codecdb/internal/encoding"
 	"codecdb/internal/exec"
+	"codecdb/internal/obs"
 	"codecdb/internal/sboost"
 )
 
@@ -63,8 +64,13 @@ type ContextFilter interface {
 }
 
 // ApplyFilter runs f under ctx when it supports cancellation, falling back
-// to the context-free Apply for external Filter implementations.
+// to the context-free Apply for external Filter implementations. When ctx
+// carries an obs.Span the call is traced as a child span (see explain.go);
+// with no span the only added cost is one context lookup.
 func ApplyFilter(ctx context.Context, f Filter, r *colstore.Reader, pool *exec.Pool) (*bitutil.SectionalBitmap, error) {
+	if sp := obs.SpanFrom(ctx); sp != nil {
+		return applyFilterTraced(ctx, sp, f, r, pool)
+	}
 	if cf, ok := f.(ContextFilter); ok {
 		return cf.ApplyCtx(ctx, r, pool)
 	}

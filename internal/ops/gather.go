@@ -6,6 +6,7 @@ import (
 	"codecdb/internal/bitutil"
 	"codecdb/internal/colstore"
 	"codecdb/internal/exec"
+	"codecdb/internal/obs"
 )
 
 // The gather helpers implement late materialization (§5.2): after filters
@@ -68,8 +69,34 @@ func GatherKeysCtx(ctx context.Context, r *colstore.Reader, col string, sel *bit
 
 // gatherCtx runs one selective fetch per row group on the pool, skipping
 // empty sections, honoring ctx between row groups, and concatenating in
-// row order. Error collection is synchronized by ParallelChunksErr.
+// row order. Error collection is synchronized by ParallelChunksErr. When
+// ctx carries an obs.Span the gather is traced as a child span; with no
+// span the only added cost is one context lookup.
 func gatherCtx[T any](ctx context.Context, r *colstore.Reader, col string, sel *bitutil.SectionalBitmap, pool *exec.Pool,
+	fetch func(*colstore.Chunk, *bitutil.Bitmap) ([]T, error)) ([]T, error) {
+	sp := obs.SpanFrom(ctx)
+	if sp == nil {
+		return gatherCtxImpl(ctx, r, col, sel, pool, fetch)
+	}
+	child := sp.StartChild("Gather[" + col + "]")
+	ioBefore := r.Stats()
+	tasksBefore := pool.Completed()
+	vals, err := gatherCtxImpl(ctx, r, col, sel, pool, fetch)
+	child.AddIO(ioDelta(ioBefore, r.Stats()))
+	child.AddTasks(pool.Completed() - tasksBefore)
+	in := r.NumRows()
+	if sel != nil {
+		in = int64(sel.Cardinality())
+	}
+	child.SetRows(in, int64(len(vals)))
+	if err != nil {
+		child.AddDetail("error=%v", err)
+	}
+	child.End()
+	return vals, err
+}
+
+func gatherCtxImpl[T any](ctx context.Context, r *colstore.Reader, col string, sel *bitutil.SectionalBitmap, pool *exec.Pool,
 	fetch func(*colstore.Chunk, *bitutil.Bitmap) ([]T, error)) ([]T, error) {
 	ci, _, err := r.Column(col)
 	if err != nil {

@@ -159,12 +159,30 @@ func (l *Learned) SelectStringFromVector(v features.Vector) encoding.Kind {
 }
 
 // ScoresInt returns the predicted compression ratio per integer candidate,
-// for diagnostics and the ranking report.
+// for diagnostics and the ranking report. It returns nil when no integer
+// network is loaded.
 func (l *Learned) ScoresInt(v features.Vector) map[encoding.Kind]float64 {
+	if l.intNet == nil {
+		return nil
+	}
 	x := normalise(applyMask(v.Slice(), l.Mask), l.intMean, l.intStd)
 	out := map[encoding.Kind]float64{}
 	for j, s := range l.intNet.Forward(x) {
 		out[encoding.IntCandidates()[j]] = s
+	}
+	return out
+}
+
+// ScoresString is ScoresInt for string candidates; nil when no string
+// network is loaded.
+func (l *Learned) ScoresString(v features.Vector) map[encoding.Kind]float64 {
+	if l.strNet == nil {
+		return nil
+	}
+	x := normalise(applyMask(v.Slice(), l.Mask), l.strMean, l.strStd)
+	out := map[encoding.Kind]float64{}
+	for j, s := range l.strNet.Forward(x) {
+		out[encoding.StringCandidates()[j]] = s
 	}
 	return out
 }

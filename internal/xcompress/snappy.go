@@ -134,6 +134,7 @@ func (Snappy) DecompressInto(dst, src []byte) ([]byte, error) {
 	if uint64(len(dst)) != n {
 		return nil, errSnappyCorrupt
 	}
+	recordDecompress(codecSnappy, len(dst))
 	return dst, nil
 }
 

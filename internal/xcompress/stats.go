@@ -1,0 +1,43 @@
+package xcompress
+
+import "sync/atomic"
+
+// Process-wide per-codec decompression counters. Both Decompress and
+// DecompressInto funnel through DecompressInto for the real codecs, so
+// each block is counted exactly once; the identity codec is not counted
+// (it does no decompression work). The counters back the metrics
+// registry's codecdb_codec_* series and are never reset.
+
+const (
+	codecSnappy = iota
+	codecGzip
+	numCodecs
+)
+
+type codecCounters struct {
+	calls atomic.Int64
+	bytes atomic.Int64 // decompressed output bytes
+}
+
+var decompStats [numCodecs]codecCounters
+
+func recordDecompress(codec int, n int) {
+	decompStats[codec].calls.Add(1)
+	decompStats[codec].bytes.Add(int64(n))
+}
+
+// CodecStats is a snapshot of one codec's cumulative decompression work.
+type CodecStats struct {
+	Codec             string
+	Decompressions    int64
+	DecompressedBytes int64
+}
+
+// DecompressStats returns cumulative per-codec decompression counters
+// since process start, in a fixed order (snappy, gzip).
+func DecompressStats() []CodecStats {
+	return []CodecStats{
+		{"snappy", decompStats[codecSnappy].calls.Load(), decompStats[codecSnappy].bytes.Load()},
+		{"gzip", decompStats[codecGzip].calls.Load(), decompStats[codecGzip].bytes.Load()},
+	}
+}

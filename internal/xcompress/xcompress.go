@@ -109,6 +109,7 @@ func (Gzip) DecompressInto(dst, src []byte) ([]byte, error) {
 		n, err := r.Read(dst[len(dst):cap(dst)])
 		dst = dst[:len(dst)+n]
 		if err == io.EOF {
+			recordDecompress(codecGzip, len(dst))
 			return dst, nil
 		}
 		if err != nil {

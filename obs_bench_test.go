@@ -1,0 +1,47 @@
+package codecdb
+
+import (
+	"context"
+	"testing"
+
+	"codecdb/internal/exec"
+	"codecdb/internal/obs"
+	"codecdb/internal/ops"
+	"codecdb/internal/sboost"
+)
+
+// BenchmarkFilterHotPathTraced runs the BenchmarkFilterHotPath scans
+// through the instrumented ops.ApplyFilter seam: the Off variants use a
+// bare context (the production default — one context lookup, no span),
+// the On variants attach a fresh span per op and pay the full per-node
+// accounting including the ReadMemStats alloc snapshots. BENCH_PR3.json
+// records both sections so the tracer's cost stays visible across PRs.
+func BenchmarkFilterHotPathTraced(b *testing.B) {
+	const n = 1 << 19
+	r := q6Table(b, n)
+	pool := exec.NewPool(0)
+	run := func(f ops.Filter, traced bool) func(b *testing.B) {
+		return func(b *testing.B) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ctx := context.Background()
+				var root *obs.Span
+				if traced {
+					root = obs.NewSpan("bench")
+					ctx = obs.ContextWithSpan(ctx, root)
+				}
+				if _, err := ops.ApplyFilter(ctx, f, r, pool); err != nil {
+					b.Fatal(err)
+				}
+				root.End()
+			}
+			reportPageStats(b, r)
+		}
+	}
+	dict := &ops.DictFilter{Col: "shipdate", Op: sboost.OpLt, IntValue: 40}
+	packed := &ops.BitPackedFilter{Col: "quantity", Op: sboost.OpLt, Value: 24}
+	b.Run("DictLt/Off", run(dict, false))
+	b.Run("DictLt/On", run(dict, true))
+	b.Run("BitPackedLt/Off", run(packed, false))
+	b.Run("BitPackedLt/On", run(packed, true))
+}

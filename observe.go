@@ -1,0 +1,70 @@
+package codecdb
+
+import (
+	"fmt"
+
+	"codecdb/internal/colstore"
+	"codecdb/internal/exec"
+	"codecdb/internal/obs"
+	"codecdb/internal/xcompress"
+)
+
+// Registry wiring: the engine's process-wide counters (colstore page IO,
+// exec pool tasks, per-codec decompression) are exposed through the
+// default obs registry as live functions, so `codecdb serve -metrics`
+// scrapes them with no polling loop. Per-query metrics (count + latency
+// histogram) are observed directly in eval.
+
+var (
+	queriesTotal = obs.Default().Counter(
+		"codecdb_queries_total", "Queries evaluated (filter pipelines run to completion).")
+	queryLatency = obs.Default().Histogram(
+		"codecdb_query_seconds", "Query evaluation latency in seconds.", obs.DefBuckets)
+)
+
+func init() {
+	r := obs.Default()
+	r.CounterFunc("codecdb_pages_read_total",
+		"Pages fetched across all readers since process start.",
+		func() float64 { return float64(colstore.GlobalStats().PagesRead) })
+	r.CounterFunc("codecdb_pages_pruned_total",
+		"Pages disposed by zone maps without being fetched.",
+		func() float64 { return float64(colstore.GlobalStats().PagesPruned) })
+	r.CounterFunc("codecdb_pages_skipped_total",
+		"Pages skipped by row selection.",
+		func() float64 { return float64(colstore.GlobalStats().PagesSkipped) })
+	r.CounterFunc("codecdb_read_bytes_total",
+		"Bytes read from table files.",
+		func() float64 { return float64(colstore.GlobalStats().BytesRead) })
+	r.CounterFunc("codecdb_decompressed_bytes_total",
+		"Page bytes produced by decompression in readers.",
+		func() float64 { return float64(colstore.GlobalStats().BytesDecompressed) })
+	r.CounterFunc("codecdb_read_seconds_total",
+		"Wall time spent in file reads, in seconds.",
+		func() float64 { return float64(colstore.GlobalStats().IONanos) / 1e9 })
+
+	r.GaugeFunc("codecdb_exec_tasks_inflight",
+		"Worker-pool tasks currently executing.",
+		func() float64 { return float64(exec.GlobalStats().InFlight) })
+	r.CounterFunc("codecdb_exec_tasks_completed_total",
+		"Worker-pool tasks finished since process start.",
+		func() float64 { return float64(exec.GlobalStats().Completed) })
+	r.CounterFunc("codecdb_exec_worker_panics_total",
+		"Worker panics recovered by the pools.",
+		func() float64 { return float64(exec.GlobalStats().Panics) })
+
+	for i, cs := range xcompress.DecompressStats() {
+		idx := i
+		r.CounterFunc(fmt.Sprintf("codecdb_codec_decompressions_total{codec=%q}", cs.Codec),
+			"Decompression calls per codec.",
+			func() float64 { return float64(xcompress.DecompressStats()[idx].Decompressions) })
+		r.CounterFunc(fmt.Sprintf("codecdb_codec_decompressed_bytes_total{codec=%q}", cs.Codec),
+			"Decompressed output bytes per codec.",
+			func() float64 { return float64(xcompress.DecompressStats()[idx].DecompressedBytes) })
+	}
+}
+
+// Metrics returns the process-wide metrics registry, for embedding
+// callers that want to serve or snapshot the engine's counters without
+// the codecdb serve command.
+func Metrics() *obs.Registry { return obs.Default() }

@@ -3,6 +3,7 @@ package codecdb
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"codecdb/internal/bitutil"
 	"codecdb/internal/colstore"
@@ -222,8 +223,17 @@ func cmpMatch(c int, op CmpOp) bool {
 	return false
 }
 
-// eval runs all predicates and intersects their bitmaps.
+// eval runs all predicates and intersects their bitmaps, observing the
+// per-query metrics (count + latency histogram) around the pipeline.
 func (q *Query) eval() (*bitutil.SectionalBitmap, error) {
+	start := time.Now()
+	sel, err := q.evalFilters()
+	queriesTotal.Inc()
+	queryLatency.Observe(time.Since(start).Seconds())
+	return sel, err
+}
+
+func (q *Query) evalFilters() (*bitutil.SectionalBitmap, error) {
 	if q.err != nil {
 		return nil, q.err
 	}
