@@ -1,11 +1,12 @@
 GO ?= go
 
-.PHONY: check build test vet race race-obs fuzz bench bench-obs serve-demo
+.PHONY: check build test vet race race-obs fuzz bench bench-obs bench-planner bench-planner-smoke serve-demo
 
 # check is the tier-1 verification gate: everything must compile, pass
 # vet, and pass the full test suite under the race detector, with the
-# observability-layer race tests called out explicitly.
-check: vet build race race-obs
+# observability-layer race tests called out explicitly, plus one
+# iteration of the planner pipeline benchmark as a smoke test.
+check: vet build race race-obs bench-planner-smoke
 
 build:
 	$(GO) build ./...
@@ -42,6 +43,22 @@ bench-obs:
 		| $(GO) run ./cmd/benchjson -o $(OBSBENCHOUT) -section tracer-off
 	$(GO) test -run xxx -bench 'BenchmarkFilterHotPathTraced/.*/On' -benchmem . \
 		| $(GO) run ./cmd/benchjson -o $(OBSBENCHOUT) -section tracer-on
+
+# bench-planner writes BENCH_PR4.json: the selection-threaded planned
+# pipeline with the selective conjunct written first vs last (the planner
+# normalizes both to the same page IO), the filter-at-a-time baseline
+# (every filter scans the full table), and an AND+OR mix — pagesRead/op
+# makes the pushdown visible.
+PLANNERBENCHOUT ?= BENCH_PR4.json
+bench-planner:
+	$(GO) test -run xxx -bench BenchmarkPlannerPipeline -benchmem . \
+		| $(GO) run ./cmd/benchjson -o $(PLANNERBENCHOUT) -section current
+
+# bench-planner-smoke runs one iteration of each planner pipeline
+# benchmark (they self-check counts, so this doubles as a correctness
+# gate in check).
+bench-planner-smoke:
+	$(GO) test -run xxx -bench BenchmarkPlannerPipeline -benchtime 1x .
 
 # serve-demo loads a TPC-H sample into ./demodb and serves /metrics,
 # /debug/vars, and /debug/pprof on :8080 until interrupted.

@@ -40,7 +40,7 @@ func main() {
 	warm := fs.Bool("warm", false, "run one full count per table before serving so counters are non-zero")
 	analyze := fs.Bool("analyze", false, "execute the query and report per-operator stats")
 	var wheres whereFlags
-	fs.Var(&wheres, "where", `predicate "col op value" (repeatable; op: = != < <= > >=)`)
+	fs.Var(&wheres, "where", `predicate "col op value", "col in v1,v2", or " or "-joined disjuncts (repeatable, ANDed; op: = != < <= > >=)`)
 	fs.Parse(os.Args[2:])
 
 	var err error
@@ -254,8 +254,10 @@ commands:
   count   -db DIR -table T [-col C -eq V] count rows (optionally filtered)
           [-stats]                        ... and print page IO statistics
   scrub   -db DIR [-table T] [-stats]     verify stored checksums
-  explain -db DIR -table T                render the query plan with plan choices
-          [-where "col op value"]...      ... predicates (repeatable)
+  explain -db DIR -table T                render the query plan in planned order
+          [-where "col op value"]...      ... predicates (repeatable, ANDed)
+          [-where "col in v1,v2"]         ... dictionary IN predicate
+          [-where "a = x or b >= 2"]      ... " or "-joined disjunction
           [-analyze] [-stats]             ... execute and report per-operator stats
   serve   -db DIR [-metrics :8080]        serve /metrics, /debug/vars, /debug/pprof
           [-warm]                         ... pre-touch tables so counters are non-zero

@@ -72,41 +72,81 @@ func serve(dir, addr string, warm bool) error {
 	})
 }
 
-// whereClause is one parsed -where predicate.
-type whereClause struct {
-	col string
-	op  codecdb.CmpOp
-	val any
-}
-
-// whereFlags collects repeatable -where "col op value" flags.
-type whereFlags []whereClause
+// whereFlags collects repeatable -where flags, each parsed into a
+// predicate tree. The flags AND together; within one flag, " or " joins
+// disjuncts.
+type whereFlags []codecdb.Pred
 
 func (w *whereFlags) String() string {
 	return fmt.Sprintf("%d predicates", len(*w))
 }
 
-// Set parses `col op value`; op is a SQL comparison (=, !=, <>, <, <=,
-// >, >=) or its word form (eq, ne, lt, le, gt, ge). Integer-looking
-// values compare as integers, decimal-looking values as floats, anything
-// else as a string.
+// Set parses one -where expression: " or "-separated disjuncts, each
+// either `col op value` or `col in v1,v2,...`.
 func (w *whereFlags) Set(s string) error {
-	parts := strings.Fields(s)
-	if len(parts) != 3 {
-		return fmt.Errorf(`want "col op value", got %q`, s)
-	}
-	op, err := parseOp(parts[1])
+	p, err := parseWhere(s)
 	if err != nil {
 		return err
 	}
-	var val any = parts[2]
-	if iv, e := strconv.ParseInt(parts[2], 10, 64); e == nil {
-		val = iv
-	} else if fv, e := strconv.ParseFloat(parts[2], 64); e == nil {
-		val = fv
-	}
-	*w = append(*w, whereClause{col: parts[0], op: op, val: val})
+	*w = append(*w, p)
 	return nil
+}
+
+// parseWhere parses a -where expression into a predicate tree:
+//
+//	"level >= 4"                      → Col comparison
+//	"status in ERROR,FATAL"           → dictionary IN
+//	"level >= 4 or status = ERROR"    → AnyOf of the above
+func parseWhere(s string) (codecdb.Pred, error) {
+	tokens := strings.Fields(s)
+	var branches []codecdb.Pred
+	start := 0
+	for i := 0; i <= len(tokens); i++ {
+		if i < len(tokens) && !strings.EqualFold(tokens[i], "or") {
+			continue
+		}
+		leaf, err := parseLeaf(tokens[start:i])
+		if err != nil {
+			return codecdb.Pred{}, fmt.Errorf("%v in %q", err, s)
+		}
+		branches = append(branches, leaf)
+		start = i + 1
+	}
+	if len(branches) == 0 {
+		return codecdb.Pred{}, fmt.Errorf(`empty predicate %q`, s)
+	}
+	return codecdb.AnyOf(branches...), nil
+}
+
+// parseLeaf parses one disjunct: `col op value` or `col in v1,v2,...`.
+// Integer-looking values compare as integers, decimal-looking values as
+// floats, anything else as a string.
+func parseLeaf(parts []string) (codecdb.Pred, error) {
+	if len(parts) != 3 {
+		return codecdb.Pred{}, fmt.Errorf(`want "col op value" or "col in v1,v2"`)
+	}
+	if strings.EqualFold(parts[1], "in") {
+		var vals []any
+		for _, v := range strings.Split(parts[2], ",") {
+			vals = append(vals, coerceValue(v))
+		}
+		return codecdb.In(parts[0], vals...), nil
+	}
+	op, err := parseOp(parts[1])
+	if err != nil {
+		return codecdb.Pred{}, err
+	}
+	return codecdb.Col(parts[0], op, coerceValue(parts[2])), nil
+}
+
+func coerceValue(s string) any {
+	if iv, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return iv
+	}
+	if fv, err := strconv.ParseFloat(s, 64); err == nil {
+		return fv
+	}
+	return s
 }
 
 func parseOp(s string) (codecdb.CmpOp, error) {
@@ -140,7 +180,10 @@ func explain(db *codecdb.DB, table string, wheres whereFlags, analyze, stats boo
 	}
 	q := t.All()
 	for _, w := range wheres {
-		q = q.And(w.col, w.op, w.val)
+		q = q.AndPred(w)
+	}
+	if err := q.Err(); err != nil {
+		return err
 	}
 	var out string
 	if analyze {

@@ -146,8 +146,9 @@ func (c Column) colType() (colstore.Type, colstore.ColumnData, error) {
 
 // LoadOptions tunes table layout.
 type LoadOptions struct {
-	RowGroupRows int // rows per row group (default 65536)
-	PageRows     int // rows per page (default 8192)
+	RowGroupRows  int // rows per row group (default 65536)
+	PageRows      int // rows per page (default 8192)
+	FormatVersion int // on-disk format version to write (0 = current)
 }
 
 // LoadTable encodes and persists a table. Columns without a forced
@@ -173,7 +174,7 @@ func (db *DB) LoadTable(name string, cols []Column, opts ...LoadOptions) (*Table
 		data[i] = cd
 	}
 	t, err := db.inner.LoadTable(name, specs, data,
-		colstore.Options{RowGroupRows: lo.RowGroupRows, PageRows: lo.PageRows})
+		colstore.Options{RowGroupRows: lo.RowGroupRows, PageRows: lo.PageRows, FormatVersion: lo.FormatVersion})
 	if err != nil {
 		return nil, err
 	}

@@ -4,38 +4,83 @@ import (
 	"fmt"
 	"strings"
 
+	"codecdb/internal/colstore"
 	"codecdb/internal/obs"
 	"codecdb/internal/ops"
 )
 
-// Explain renders the query's operator tree and the plan choices each
-// operator will make — dictionary predicate rewrites, the SBoost kernel
-// selected, zone-map applicability — without executing anything.
+// Explain builds the query's plan and renders the predicate tree in its
+// chosen execution order, with each node's estimated selectivity and cost
+// and the plan choices each filter will make — dictionary predicate
+// rewrites, the SBoost kernel selected, zone-map applicability — without
+// executing anything or reading any page.
 func (q *Query) Explain() (string, error) {
 	if q.err != nil {
 		return "", q.err
 	}
+	pl, err := q.plan()
+	if err != nil {
+		return "", err
+	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "Query(%s)  rows=%d filters=%d\n", q.t.Name(), q.t.NumRows(), len(q.filters))
-	for i, f := range q.filters {
+	fmt.Fprintf(&b, "Query(%s)  rows=%d filters=%d\n", q.t.Name(), q.t.NumRows(), len(q.conjuncts))
+	kids := []*ops.PlanNode{pl.Root}
+	if pl.Root.Pred.Kind == ops.PredAnd {
+		kids = pl.Root.Kids
+		if len(kids) > 1 {
+			fmt.Fprintf(&b, "planned order: %d conjuncts, most selective per cost first  est-sel=%.4f\n",
+				len(kids), pl.Root.Est.Sel)
+		}
+	}
+	for i, n := range kids {
 		head, tail := "├─ ", "│  "
-		if i == len(q.filters)-1 {
+		if i == len(kids)-1 {
 			head, tail = "└─ ", "   "
 		}
-		b.WriteString(head + "Filter[" + ops.FilterName(f) + "]\n")
-		for _, d := range ops.DescribeFilter(f, q.t.inner.R) {
-			b.WriteString(tail + "    " + d + "\n")
-		}
+		explainNode(&b, n, head, tail, q.t.inner.R)
 	}
 	return b.String(), nil
 }
 
+// explainNode renders one plan node with tree connectors: leaves carry the
+// filter's static plan choices, composites recurse in planned order.
+func explainNode(b *strings.Builder, n *ops.PlanNode, head, tail string, r *colstore.Reader) {
+	switch n.Pred.Kind {
+	case ops.PredLeaf, ops.PredNot:
+		name := "Filter[" + ops.FilterName(n.Pred.Leaf) + "]"
+		if n.Pred.Kind == ops.PredNot {
+			name = "Filter[Not " + ops.FilterName(n.Pred.Leaf) + "]"
+		}
+		fmt.Fprintf(b, "%s%s  est-sel=%.4f cost=%.0f\n", head, name, n.Est.Sel, n.Est.Cost)
+		for _, d := range ops.DescribeFilter(n.Pred.Leaf, r) {
+			b.WriteString(tail + "    " + d + "\n")
+		}
+	case ops.PredAnd:
+		fmt.Fprintf(b, "%sAnd[%d conjuncts, planned order]  est-sel=%.4f\n", head, len(n.Kids), n.Est.Sel)
+		explainKids(b, n, tail, r)
+	case ops.PredOr:
+		fmt.Fprintf(b, "%sOr[%d branches, cheap-first]  est-sel=%.4f\n", head, len(n.Kids), n.Est.Sel)
+		explainKids(b, n, tail, r)
+	}
+}
+
+func explainKids(b *strings.Builder, n *ops.PlanNode, tail string, r *colstore.Reader) {
+	for i, k := range n.Kids {
+		head2, tail2 := tail+"├─ ", tail+"│  "
+		if i == len(n.Kids)-1 {
+			head2, tail2 = tail+"└─ ", tail+"   "
+		}
+		explainNode(b, k, head2, tail2, r)
+	}
+}
+
 // ExplainAnalyze executes the query under a tracer and renders the
 // operator tree with per-node wall time, row counts, page-level IO,
-// pool task counts, and allocation bytes. Evaluation runs the filter
-// pipeline to completion (the equivalent of Count); gathers only appear
-// when a terminal that materializes columns runs under AnalyzeTrace's
-// context instead.
+// pool task counts, allocation bytes, and each planned conjunct's
+// estimated vs actual selectivity. Evaluation runs the filter pipeline
+// to completion (the equivalent of Count); gathers only appear when a
+// terminal that materializes columns runs under AnalyzeTrace's context
+// instead.
 func (q *Query) ExplainAnalyze() (string, error) {
 	root, _, err := q.AnalyzeTrace()
 	if err != nil {

@@ -56,16 +56,28 @@ func TestExplainAnalyzeConsistentWithIOStats(t *testing.T) {
 	if rowsIn, rowsOut := root.Rows(); rowsIn != 4000 || rowsOut != n {
 		t.Fatalf("root rows = %d→%d, want 4000→%d", rowsIn, rowsOut, n)
 	}
-	if len(root.Children()) != 2 {
-		t.Fatalf("children = %d, want one span per filter", len(root.Children()))
+	kids := root.Children()
+	if len(kids) != 3 {
+		t.Fatalf("children = %d, want Plan + one span per filter", len(kids))
 	}
-	for _, c := range root.Children() {
+	if kids[0].Name() != "Plan" {
+		t.Fatalf("first child = %s, want the Plan span", kids[0].Name())
+	}
+	filters := kids[1:]
+	for _, c := range filters {
 		if c.Duration() <= 0 {
 			t.Errorf("span %s has no wall time", c.Name())
 		}
-		if in, _ := c.Rows(); in != 4000 {
-			t.Errorf("span %s rows in = %d, want 4000", c.Name(), in)
-		}
+	}
+	// Selection pushdown: the first planned filter sees the whole table,
+	// every later filter sees exactly the previous filter's survivors.
+	in0, out0 := filters[0].Rows()
+	if in0 != 4000 {
+		t.Errorf("span %s rows in = %d, want 4000", filters[0].Name(), in0)
+	}
+	if in1, _ := filters[1].Rows(); in1 != out0 {
+		t.Errorf("selection not pushed: span %s rows in = %d, want %d (previous filter's rows out)",
+			filters[1].Name(), in1, out0)
 	}
 	sum := root.SumIO()
 	if sum.PagesRead != after.PagesRead-before.PagesRead ||
@@ -80,7 +92,7 @@ func TestExplainAnalyzeConsistentWithIOStats(t *testing.T) {
 	}
 
 	out := root.Render()
-	for _, want := range []string{"Query(events)", "├─ Filter[", "└─ Filter[", "time=", "pages[read="} {
+	for _, want := range []string{"Query(events)", "├─ Filter[", "└─ Filter[", "time=", "pages[read=", "selectivity est=", "selection-pushed:"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("render missing %q in:\n%s", want, out)
 		}

@@ -116,6 +116,63 @@ func (b *Bitmap) Cardinality() int {
 	return c
 }
 
+// CountRange returns the number of set bits in [from, to). Out-of-range
+// bounds are clamped to [0, Len()).
+func (b *Bitmap) CountRange(from, to int) int {
+	if from < 0 {
+		from = 0
+	}
+	if to > b.n {
+		to = b.n
+	}
+	if from >= to {
+		return 0
+	}
+	fw, lw := from/wordBits, (to-1)/wordBits
+	if fw == lw {
+		w := b.words[fw] >> (uint(from) % wordBits)
+		return bits.OnesCount64(w << (wordBits - uint(to-from)) >> (wordBits - uint(to-from)))
+	}
+	c := bits.OnesCount64(b.words[fw] >> (uint(from) % wordBits))
+	for i := fw + 1; i < lw; i++ {
+		c += bits.OnesCount64(b.words[i])
+	}
+	tail := uint(to) % wordBits
+	last := b.words[lw]
+	if tail != 0 {
+		last &= (1 << tail) - 1
+	}
+	return c + bits.OnesCount64(last)
+}
+
+// AndRange intersects b with the window src[off : off+b.Len()): bit i of b
+// survives only if bit off+i of src is set. The window must lie inside src.
+// Word-aligned offsets (the common case: pages start at multiples of 64
+// rows) run word-parallel; unaligned offsets stitch adjacent source words.
+func (b *Bitmap) AndRange(src *Bitmap, off int) *Bitmap {
+	if off < 0 || off+b.n > src.n {
+		panic("bitutil: AndRange window outside source bitmap")
+	}
+	if off%wordBits == 0 {
+		sw := src.words[off/wordBits:]
+		for i := range b.words {
+			b.words[i] &= sw[i]
+		}
+		return b
+	}
+	shift := uint(off) % wordBits
+	sw := src.words[off/wordBits:]
+	for i := range b.words {
+		w := sw[i] >> shift
+		if i+1 < len(sw) {
+			w |= sw[i+1] << (wordBits - shift)
+		}
+		b.words[i] &= w
+	}
+	b.Mask()
+	return b
+}
+
 // And replaces b with b AND other. The bitmaps must have equal length.
 func (b *Bitmap) And(other *Bitmap) *Bitmap {
 	b.checkLen(other)

@@ -130,6 +130,19 @@ func (s *SectionalBitmap) Cardinality() int {
 	return c
 }
 
+// Clone returns a deep copy of s. Compressed sections are decompressed in
+// the copy (the clone exists to be mutated, e.g. by AndNot in NOT-predicate
+// evaluation, which works on word storage).
+func (s *SectionalBitmap) Clone() *SectionalBitmap {
+	out := NewSectionalBitmap(s.n, s.sectionBits)
+	for i := range s.sections {
+		if sec := s.Section(i); sec != nil {
+			out.sections[i] = sec.Clone()
+		}
+	}
+	return out
+}
+
 // And intersects s with other section-by-section; sections that become
 // empty revert to nil so downstream readers skip them.
 func (s *SectionalBitmap) And(other *SectionalBitmap) *SectionalBitmap {

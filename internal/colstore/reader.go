@@ -281,6 +281,20 @@ func (r *Reader) NumRowGroups() int { return len(r.meta.RowGroups) }
 // RowGroupRows returns the row count of group rg.
 func (r *Reader) RowGroupRows(rg int) int { return int(r.meta.RowGroups[rg].NumRows) }
 
+// ColumnBytes returns the total stored (compressed) page bytes of column
+// col across all row groups — the I/O a full scan of the column would pay,
+// available from the footer alone. The predicate planner uses it as the
+// cost denominator when ordering conjuncts.
+func (r *Reader) ColumnBytes(col int) int64 {
+	var total int64
+	for rg := range r.meta.RowGroups {
+		for _, p := range r.meta.RowGroups[rg].Chunks[col].Pages {
+			total += int64(p.CompressedSize)
+		}
+	}
+	return total
+}
+
 // Column returns the schema entry for the named column.
 func (r *Reader) Column(name string) (int, *Column, error) {
 	i := r.meta.Schema.ColumnIndex(name)
@@ -523,6 +537,24 @@ func (c *Chunk) PageStatsOf(p int) *PageStats {
 func (c *Chunk) MarkPruned() {
 	c.r.io.pagesPruned.Add(1)
 	globalIO.pagesPruned.Add(1)
+}
+
+// MarkSkipped records n pages bypassed because an earlier predicate's
+// selection already rules out every row they hold — the selection-pushdown
+// counterpart of the row-ID skipping the gather paths count through the
+// same statistic.
+func (c *Chunk) MarkSkipped(n int) {
+	c.r.io.pagesSkipped.Add(int64(n))
+	globalIO.pagesSkipped.Add(int64(n))
+}
+
+// PageSelected reports whether the chunk-relative selection sel keeps any
+// row of page p. Pages that lost every row to earlier predicates need not
+// be fetched, verified, or decompressed.
+func (c *Chunk) PageSelected(sel *bitutil.Bitmap, p int) bool {
+	first, last := c.pageRange(p)
+	next := sel.NextSet(first)
+	return next >= 0 && next < last
 }
 
 // rawPage reads the stored bytes of page p and, on checksummed files,

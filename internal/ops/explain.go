@@ -197,7 +197,16 @@ func ioDelta(before, after colstore.IOStats) obs.SpanIO {
 // applyFilterTraced is ApplyFilter with a span: it opens a child span
 // named for the filter, records the plan choices, runs the filter, and
 // attributes the IO delta, pool task count, row counts, and alloc bytes.
-func applyFilterTraced(ctx context.Context, parent *obs.Span, f Filter, r *colstore.Reader, pool *exec.Pool) (*bitutil.SectionalBitmap, error) {
+// With a selection the span's rows-in is the selection cardinality — the
+// rows this operator actually had to consider — rather than the table size.
+func applyFilterTraced(ctx context.Context, parent *obs.Span, f Filter, r *colstore.Reader, pool *exec.Pool, sel *bitutil.SectionalBitmap) (*bitutil.SectionalBitmap, error) {
+	return applyFilterTracedEst(ctx, parent, f, r, pool, sel, nil)
+}
+
+// applyFilterTracedEst is applyFilterTraced plus the planner's estimate:
+// when est is non-nil the span carries an estimated-vs-actual selectivity
+// line, the EXPLAIN ANALYZE evidence for the chosen conjunct order.
+func applyFilterTracedEst(ctx context.Context, parent *obs.Span, f Filter, r *colstore.Reader, pool *exec.Pool, sel *bitutil.SectionalBitmap, est *PredEstimate) (*bitutil.SectionalBitmap, error) {
 	child := parent.StartChild("Filter[" + FilterName(f) + "]")
 	// Snapshot before describing: plan resolution may lazily fault in the
 	// column dictionary, and that IO belongs to this operator's span (the
@@ -209,14 +218,13 @@ func applyFilterTraced(ctx context.Context, parent *obs.Span, f Filter, r *colst
 	for _, d := range DescribeFilter(f, r) {
 		child.AddDetail("%s", d)
 	}
-
-	var bm *bitutil.SectionalBitmap
-	var err error
-	if cf, ok := f.(ContextFilter); ok {
-		bm, err = cf.ApplyCtx(ctx, r, pool)
-	} else {
-		bm, err = f.Apply(r, pool)
+	rowsIn := r.NumRows()
+	if sel != nil {
+		rowsIn = int64(sel.Cardinality())
+		child.AddDetail("selection-pushed: %d of %d rows remain", rowsIn, r.NumRows())
 	}
+
+	bm, err := applyFilterRaw(ctx, f, r, pool, sel)
 
 	runtime.ReadMemStats(&msAfter)
 	child.AddIO(ioDelta(ioBefore, r.Stats()))
@@ -225,7 +233,10 @@ func applyFilterTraced(ctx context.Context, parent *obs.Span, f Filter, r *colst
 	if err != nil {
 		child.AddDetail("error=%v", err)
 	} else if bm != nil {
-		child.SetRows(r.NumRows(), int64(bm.Cardinality()))
+		if est != nil {
+			child.AddDetail("selectivity est=%.4f actual=%.4f", est.Sel, actualSel(bm, rowsIn))
+		}
+		child.SetRows(rowsIn, int64(bm.Cardinality()))
 	}
 	child.End()
 	return bm, err

@@ -63,18 +63,49 @@ type ContextFilter interface {
 	ApplyCtx(ctx context.Context, r *colstore.Reader, pool *exec.Pool) (*bitutil.SectionalBitmap, error)
 }
 
-// ApplyFilter runs f under ctx when it supports cancellation, falling back
-// to the context-free Apply for external Filter implementations. When ctx
-// carries an obs.Span the call is traced as a child span (see explain.go);
-// with no span the only added cost is one context lookup.
-func ApplyFilter(ctx context.Context, f Filter, r *colstore.Reader, pool *exec.Pool) (*bitutil.SectionalBitmap, error) {
+// SelectionFilter is implemented by filters that consume an input selection
+// (paper §5.2's lazy pipelined evaluation): rows outside sel are never
+// evaluated, row groups and pages whose selection is empty are never
+// fetched, and the result is always a subset of sel. A nil selection means
+// "all rows" and degrades to ApplyCtx behaviour. All filters in this
+// package implement it.
+type SelectionFilter interface {
+	Filter
+	ApplySel(ctx context.Context, r *colstore.Reader, pool *exec.Pool, sel *bitutil.SectionalBitmap) (*bitutil.SectionalBitmap, error)
+}
+
+// ApplyFilter runs f under ctx, pushing the selection sel into the scan
+// when f supports it (nil sel means no restriction). External Filter
+// implementations without selection or context support still work: their
+// result is intersected with sel afterwards, preserving the subset
+// invariant the pipelined executor relies on. When ctx carries an obs.Span
+// the call is traced as a child span (see explain.go); with no span the
+// only added cost is one context lookup.
+func ApplyFilter(ctx context.Context, f Filter, r *colstore.Reader, pool *exec.Pool, sel *bitutil.SectionalBitmap) (*bitutil.SectionalBitmap, error) {
 	if sp := obs.SpanFrom(ctx); sp != nil {
-		return applyFilterTraced(ctx, sp, f, r, pool)
+		return applyFilterTraced(ctx, sp, f, r, pool, sel)
 	}
+	return applyFilterRaw(ctx, f, r, pool, sel)
+}
+
+// applyFilterRaw is ApplyFilter without the tracing wrapper.
+func applyFilterRaw(ctx context.Context, f Filter, r *colstore.Reader, pool *exec.Pool, sel *bitutil.SectionalBitmap) (*bitutil.SectionalBitmap, error) {
+	if sel != nil {
+		if sf, ok := f.(SelectionFilter); ok {
+			return sf.ApplySel(ctx, r, pool, sel)
+		}
+	}
+	var bm *bitutil.SectionalBitmap
+	var err error
 	if cf, ok := f.(ContextFilter); ok {
-		return cf.ApplyCtx(ctx, r, pool)
+		bm, err = cf.ApplyCtx(ctx, r, pool)
+	} else {
+		bm, err = f.Apply(r, pool)
 	}
-	return f.Apply(r, pool)
+	if err == nil && sel != nil && bm != nil {
+		bm.And(sel)
+	}
+	return bm, err
 }
 
 // mergePage transfers a page-local result bitmap into the section bitmap
@@ -112,6 +143,11 @@ func (f *DictFilter) Apply(r *colstore.Reader, pool *exec.Pool) (*bitutil.Sectio
 
 // ApplyCtx runs the filter under ctx.
 func (f *DictFilter) ApplyCtx(ctx context.Context, r *colstore.Reader, pool *exec.Pool) (*bitutil.SectionalBitmap, error) {
+	return f.ApplySel(ctx, r, pool, nil)
+}
+
+// ApplySel runs the filter restricted to sel (nil means all rows).
+func (f *DictFilter) ApplySel(ctx context.Context, r *colstore.Reader, pool *exec.Pool, sel *bitutil.SectionalBitmap) (*bitutil.SectionalBitmap, error) {
 	ci, col, err := r.Column(f.Col)
 	if err != nil {
 		return nil, err
@@ -132,14 +168,24 @@ func (f *DictFilter) ApplyCtx(ctx context.Context, r *colstore.Reader, pool *exe
 			if err := ctx.Err(); err != nil {
 				return err
 			}
+			secSel, skip := sectionSelection(sel, rg)
+			if skip {
+				chunk := r.Chunk(rg, ci)
+				chunk.MarkSkipped(chunk.NumPages())
+				continue
+			}
 			section := bitutil.NewBitmap(r.RowGroupRows(rg))
 			if all {
 				section.SetAll()
-				out.SetSection(rg, section)
+				finishSection(out, rg, section, secSel)
 				continue
 			}
 			chunk := r.Chunk(rg, ci)
 			for p := 0; p < chunk.NumPages(); p++ {
+				if secSel != nil && !chunk.PageSelected(secSel, p) {
+					chunk.MarkSkipped(1)
+					continue
+				}
 				// Dictionary keys are order-preserving, so the key-domain
 				// zone map disposes every operator soundly.
 				if st := chunk.PageStatsOf(p); st != nil {
@@ -159,10 +205,10 @@ func (f *DictFilter) ApplyCtx(ctx context.Context, r *colstore.Reader, pool *exe
 					return err
 				}
 				bm := sc.Bitmap(pp.N)
-				sboost.ScanPackedInto(bm, pp.Data, pp.Width, op, uint64(lb))
+				sboost.ScanPackedIntoSel(bm, pp.Data, pp.Width, op, uint64(lb), secSel, pp.FirstRow)
 				mergePage(section, bm, pp.FirstRow)
 			}
-			out.SetSection(rg, section)
+			finishSection(out, rg, section, secSel)
 		}
 		return nil
 	})
@@ -170,6 +216,32 @@ func (f *DictFilter) ApplyCtx(ctx context.Context, r *colstore.Reader, pool *exe
 		return nil, err
 	}
 	return out, nil
+}
+
+// sectionSelection resolves the selection for row group rg: (nil, false)
+// when sel is nil (no restriction), (nil, true) when the section is empty —
+// the caller skips the group entirely — and (bitmap, false) otherwise.
+// Workers touch disjoint row groups, so the lazy decompression inside
+// Section is race-free.
+func sectionSelection(sel *bitutil.SectionalBitmap, rg int) (*bitutil.Bitmap, bool) {
+	if sel == nil {
+		return nil, false
+	}
+	if sel.SectionEmpty(rg) {
+		return nil, true
+	}
+	return sel.Section(rg), false
+}
+
+// finishSection intersects the section result with the selection — the
+// cheap word-parallel pass that keeps the subset invariant across paths
+// that set rows wholesale (zone-map DispAll ranges, provably-all rewrites)
+// — and installs it into out.
+func finishSection(out *bitutil.SectionalBitmap, rg int, section, secSel *bitutil.Bitmap) {
+	if secSel != nil {
+		section.And(secSel)
+	}
+	out.SetSection(rg, section)
 }
 
 // dictLowerBound resolves the predicate value against the column's global
@@ -287,6 +359,11 @@ func (f *DictInFilter) Apply(r *colstore.Reader, pool *exec.Pool) (*bitutil.Sect
 
 // ApplyCtx runs the filter under ctx.
 func (f *DictInFilter) ApplyCtx(ctx context.Context, r *colstore.Reader, pool *exec.Pool) (*bitutil.SectionalBitmap, error) {
+	return f.ApplySel(ctx, r, pool, nil)
+}
+
+// ApplySel runs the filter restricted to sel (nil means all rows).
+func (f *DictInFilter) ApplySel(ctx context.Context, r *colstore.Reader, pool *exec.Pool, sel *bitutil.SectionalBitmap) (*bitutil.SectionalBitmap, error) {
 	ci, col, err := r.Column(f.Col)
 	if err != nil {
 		return nil, err
@@ -318,7 +395,7 @@ func (f *DictInFilter) ApplyCtx(ctx context.Context, r *colstore.Reader, pool *e
 	default:
 		return nil, fmt.Errorf("ops: IN filter on %v column", col.Type)
 	}
-	return scanKeysIn(ctx, r, ci, keys, pool)
+	return scanKeysIn(ctx, r, ci, keys, pool, sel)
 }
 
 // DictLikeFilter is `col LIKE pattern` on a dictionary string column
@@ -338,6 +415,11 @@ func (f *DictLikeFilter) Apply(r *colstore.Reader, pool *exec.Pool) (*bitutil.Se
 
 // ApplyCtx runs the filter under ctx.
 func (f *DictLikeFilter) ApplyCtx(ctx context.Context, r *colstore.Reader, pool *exec.Pool) (*bitutil.SectionalBitmap, error) {
+	return f.ApplySel(ctx, r, pool, nil)
+}
+
+// ApplySel runs the filter restricted to sel (nil means all rows).
+func (f *DictLikeFilter) ApplySel(ctx context.Context, r *colstore.Reader, pool *exec.Pool, sel *bitutil.SectionalBitmap) (*bitutil.SectionalBitmap, error) {
 	ci, col, err := r.Column(f.Col)
 	if err != nil {
 		return nil, err
@@ -355,7 +437,7 @@ func (f *DictLikeFilter) ApplyCtx(ctx context.Context, r *colstore.Reader, pool 
 			keys = append(keys, uint64(k))
 		}
 	}
-	return scanKeysIn(ctx, r, ci, keys, pool)
+	return scanKeysIn(ctx, r, ci, keys, pool, sel)
 }
 
 // BitPackedFilter compares a bit-packed integer column against a constant
@@ -377,6 +459,11 @@ func (f *BitPackedFilter) Apply(r *colstore.Reader, pool *exec.Pool) (*bitutil.S
 
 // ApplyCtx runs the filter under ctx.
 func (f *BitPackedFilter) ApplyCtx(ctx context.Context, r *colstore.Reader, pool *exec.Pool) (*bitutil.SectionalBitmap, error) {
+	return f.ApplySel(ctx, r, pool, nil)
+}
+
+// ApplySel runs the filter restricted to sel (nil means all rows).
+func (f *BitPackedFilter) ApplySel(ctx context.Context, r *colstore.Reader, pool *exec.Pool, sel *bitutil.SectionalBitmap) (*bitutil.SectionalBitmap, error) {
 	ci, col, err := r.Column(f.Col)
 	if err != nil {
 		return nil, err
@@ -394,10 +481,31 @@ func (f *BitPackedFilter) ApplyCtx(ctx context.Context, r *colstore.Reader, pool
 				return err
 			}
 			chunk := r.Chunk(rg, ci)
+			secSel, skip := sectionSelection(sel, rg)
+			if skip {
+				chunk.MarkSkipped(chunk.NumPages())
+				continue
+			}
 			section := bitutil.NewBitmap(chunk.Rows())
 			inSitu := f.Op == sboost.OpEq || f.Op == sboost.OpNe || chunk.Stats().MinInt >= 0
 			if !inSitu {
-				// Negatives present: decode-and-test for this chunk.
+				// Negatives present: decode-and-test for this chunk,
+				// gathering only the selected rows when a selection exists.
+				if secSel != nil {
+					vals, err := chunk.GatherInts(secSel)
+					if err != nil {
+						return err
+					}
+					i := 0
+					secSel.ForEach(func(row int) {
+						if chunkMatch(vals[i], f.Op, f.Value) {
+							section.Set(row)
+						}
+						i++
+					})
+					out.SetSection(rg, section)
+					continue
+				}
 				vals, err := chunk.Ints()
 				if err != nil {
 					return err
@@ -413,7 +521,7 @@ func (f *BitPackedFilter) ApplyCtx(ctx context.Context, r *colstore.Reader, pool
 			op, target, match, all := rewriteZigzagPredicate(f.Op, f.Value, zz)
 			if all {
 				section.SetAll()
-				out.SetSection(rg, section)
+				finishSection(out, rg, section, secSel)
 				continue
 			}
 			if !match {
@@ -421,6 +529,10 @@ func (f *BitPackedFilter) ApplyCtx(ctx context.Context, r *colstore.Reader, pool
 				continue
 			}
 			for p := 0; p < chunk.NumPages(); p++ {
+				if secSel != nil && !chunk.PageSelected(secSel, p) {
+					chunk.MarkSkipped(1)
+					continue
+				}
 				// The zone map is in the zigzag domain, exactly where op and
 				// target now live: equality disposes soundly everywhere
 				// (zigzag is a bijection), and order ops only reach this
@@ -454,10 +566,10 @@ func (f *BitPackedFilter) ApplyCtx(ctx context.Context, r *colstore.Reader, pool
 					continue // Eq/Gt/Ge: no rows in this page match
 				}
 				bm := sc.Bitmap(pp.N)
-				sboost.ScanPackedInto(bm, pp.Data, pp.Width, op, target)
+				sboost.ScanPackedIntoSel(bm, pp.Data, pp.Width, op, target, secSel, pp.FirstRow)
 				mergePage(section, bm, pp.FirstRow)
 			}
-			out.SetSection(rg, section)
+			finishSection(out, rg, section, secSel)
 		}
 		return nil
 	})
@@ -503,6 +615,11 @@ func (f *DictIntPredFilter) Apply(r *colstore.Reader, pool *exec.Pool) (*bitutil
 
 // ApplyCtx runs the filter under ctx.
 func (f *DictIntPredFilter) ApplyCtx(ctx context.Context, r *colstore.Reader, pool *exec.Pool) (*bitutil.SectionalBitmap, error) {
+	return f.ApplySel(ctx, r, pool, nil)
+}
+
+// ApplySel runs the filter restricted to sel (nil means all rows).
+func (f *DictIntPredFilter) ApplySel(ctx context.Context, r *colstore.Reader, pool *exec.Pool, sel *bitutil.SectionalBitmap) (*bitutil.SectionalBitmap, error) {
 	ci, col, err := r.Column(f.Col)
 	if err != nil {
 		return nil, err
@@ -520,7 +637,7 @@ func (f *DictIntPredFilter) ApplyCtx(ctx context.Context, r *colstore.Reader, po
 			keys = append(keys, uint64(k))
 		}
 	}
-	return scanKeysIn(ctx, r, ci, keys, pool)
+	return scanKeysIn(ctx, r, ci, keys, pool, sel)
 }
 
 // swarInThreshold is the IN-set size above which the per-target SWAR
@@ -530,14 +647,23 @@ const swarInThreshold = 8
 // scanKeysIn scans packed keys for membership in keys, choosing the
 // cheapest strategy: a contiguous key set becomes one SWAR range scan, a
 // small set the SWAR disjunction, and a large scattered set a lookup
-// table.
-func scanKeysIn(ctx context.Context, r *colstore.Reader, ci int, keys []uint64, pool *exec.Pool) (*bitutil.SectionalBitmap, error) {
+// table. A non-nil sel restricts the scan to the selected rows.
+func scanKeysIn(ctx context.Context, r *colstore.Reader, ci int, keys []uint64, pool *exec.Pool, sel *bitutil.SectionalBitmap) (*bitutil.SectionalBitmap, error) {
 	out := NewTableBitmap(r)
 	if len(keys) == 0 {
 		return out, nil
 	}
 	sorted := append([]uint64(nil), keys...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	// Collapse duplicates: a multiset like [1,3,3] would otherwise pass the
+	// contiguity test and widen the range scan to keys never asked for.
+	uniq := sorted[:1]
+	for _, k := range sorted[1:] {
+		if k != uniq[len(uniq)-1] {
+			uniq = append(uniq, k)
+		}
+	}
+	sorted = uniq
 	lo, hi := sorted[0], sorted[len(sorted)-1]
 	contiguous := hi-lo == uint64(len(sorted)-1)
 	// dispose classifies a page from its key-domain zone map: a contiguous
@@ -563,8 +689,17 @@ func scanKeysIn(ctx context.Context, r *colstore.Reader, ci int, keys []uint64, 
 				return err
 			}
 			chunk := r.Chunk(rg, ci)
+			secSel, skip := sectionSelection(sel, rg)
+			if skip {
+				chunk.MarkSkipped(chunk.NumPages())
+				continue
+			}
 			section := bitutil.NewBitmap(r.RowGroupRows(rg))
 			for p := 0; p < chunk.NumPages(); p++ {
+				if secSel != nil && !chunk.PageSelected(secSel, p) {
+					chunk.MarkSkipped(1)
+					continue
+				}
 				if st := chunk.PageStatsOf(p); st != nil {
 					switch dispose(st) {
 					case sboost.DispNone:
@@ -584,9 +719,9 @@ func scanKeysIn(ctx context.Context, r *colstore.Reader, ci int, keys []uint64, 
 				bm := sc.Bitmap(pp.N)
 				switch {
 				case contiguous:
-					sboost.ScanPackedRangeInto(bm, pp.Data, pp.Width, lo, hi)
+					sboost.ScanPackedRangeIntoSel(bm, pp.Data, pp.Width, lo, hi, secSel, pp.FirstRow)
 				case len(sorted) <= swarInThreshold || pp.Width > 24:
-					sboost.ScanPackedInInto(bm, pp.Data, pp.Width, sorted)
+					sboost.ScanPackedInIntoSel(bm, pp.Data, pp.Width, sorted, secSel, pp.FirstRow)
 				default:
 					if len(table) != 1<<pp.Width {
 						table = make([]bool, 1<<pp.Width)
@@ -594,11 +729,11 @@ func scanKeysIn(ctx context.Context, r *colstore.Reader, ci int, keys []uint64, 
 							table[k] = true
 						}
 					}
-					sboost.ScanPackedLookupInto(bm, pp.Data, pp.Width, table)
+					sboost.ScanPackedLookupIntoSel(bm, pp.Data, pp.Width, table, secSel, pp.FirstRow)
 				}
 				mergePage(section, bm, pp.FirstRow)
 			}
-			out.SetSection(rg, section)
+			finishSection(out, rg, section, secSel)
 		}
 		return nil
 	})
@@ -623,6 +758,11 @@ func (f *TwoColumnFilter) Apply(r *colstore.Reader, pool *exec.Pool) (*bitutil.S
 
 // ApplyCtx runs the filter under ctx.
 func (f *TwoColumnFilter) ApplyCtx(ctx context.Context, r *colstore.Reader, pool *exec.Pool) (*bitutil.SectionalBitmap, error) {
+	return f.ApplySel(ctx, r, pool, nil)
+}
+
+// ApplySel runs the filter restricted to sel (nil means all rows).
+func (f *TwoColumnFilter) ApplySel(ctx context.Context, r *colstore.Reader, pool *exec.Pool, sel *bitutil.SectionalBitmap) (*bitutil.SectionalBitmap, error) {
 	ca, _, err := r.Column(f.ColA)
 	if err != nil {
 		return nil, err
@@ -648,8 +788,19 @@ func (f *TwoColumnFilter) ApplyCtx(ctx context.Context, r *colstore.Reader, pool
 			if chA.NumPages() != chB.NumPages() {
 				return fmt.Errorf("ops: page layout mismatch between %s and %s", f.ColA, f.ColB)
 			}
+			secSel, skip := sectionSelection(sel, rg)
+			if skip {
+				chA.MarkSkipped(chA.NumPages())
+				chB.MarkSkipped(chB.NumPages())
+				continue
+			}
 			section := bitutil.NewBitmap(r.RowGroupRows(rg))
 			for p := 0; p < chA.NumPages(); p++ {
+				if secSel != nil && !chA.PageSelected(secSel, p) {
+					chA.MarkSkipped(1)
+					chB.MarkSkipped(1)
+					continue
+				}
 				// Shared dictionary: both zone maps live in the same
 				// order-preserving key domain, so disjoint ranges resolve
 				// every row without reading either page.
@@ -677,10 +828,10 @@ func (f *TwoColumnFilter) ApplyCtx(ctx context.Context, r *colstore.Reader, pool
 					return err
 				}
 				bm := scA.Bitmap(a.N)
-				sboost.CompareStreamsInto(bm, a.Data, b.Data, a.Width, f.Op)
+				sboost.CompareStreamsIntoSel(bm, a.Data, b.Data, a.Width, f.Op, secSel, a.FirstRow)
 				mergePage(section, bm, a.FirstRow)
 			}
-			out.SetSection(rg, section)
+			finishSection(out, rg, section, secSel)
 		}
 		return nil
 	})
@@ -707,6 +858,14 @@ func (f *DeltaFilter) Apply(r *colstore.Reader, pool *exec.Pool) (*bitutil.Secti
 
 // ApplyCtx runs the filter under ctx.
 func (f *DeltaFilter) ApplyCtx(ctx context.Context, r *colstore.Reader, pool *exec.Pool) (*bitutil.SectionalBitmap, error) {
+	return f.ApplySel(ctx, r, pool, nil)
+}
+
+// ApplySel runs the filter restricted to sel (nil means all rows). Delta
+// pages are self-contained (header value plus deltas), so deselected pages
+// are skipped whole; a selected page still reconstructs every row in it —
+// the running sum needs them — but only rows the section keeps survive.
+func (f *DeltaFilter) ApplySel(ctx context.Context, r *colstore.Reader, pool *exec.Pool, sel *bitutil.SectionalBitmap) (*bitutil.SectionalBitmap, error) {
 	ci, col, err := r.Column(f.Col)
 	if err != nil {
 		return nil, err
@@ -724,6 +883,11 @@ func (f *DeltaFilter) ApplyCtx(ctx context.Context, r *colstore.Reader, pool *ex
 				return err
 			}
 			chunk := r.Chunk(rg, ci)
+			secSel, skip := sectionSelection(sel, rg)
+			if skip {
+				chunk.MarkSkipped(chunk.NumPages())
+				continue
+			}
 			section := bitutil.NewBitmap(chunk.Rows())
 			// Delta pages carry their zone map in the zigzag domain of the
 			// reconstructed values, so the same rewrite the bit-packed
@@ -740,7 +904,7 @@ func (f *DeltaFilter) ApplyCtx(ctx context.Context, r *colstore.Reader, pool *ex
 				canZone = match && !all
 				if all {
 					section.SetAll()
-					out.SetSection(rg, section)
+					finishSection(out, rg, section, secSel)
 					continue
 				}
 				if !match {
@@ -753,6 +917,10 @@ func (f *DeltaFilter) ApplyCtx(ctx context.Context, r *colstore.Reader, pool *ex
 			for p := 0; p < chunk.NumPages(); p++ {
 				rowFirst, rowLast := chunk.PageRowRange(p)
 				if rowFirst == rowLast {
+					continue
+				}
+				if secSel != nil && !chunk.PageSelected(secSel, p) {
+					chunk.MarkSkipped(1)
 					continue
 				}
 				if canZone {
@@ -787,7 +955,7 @@ func (f *DeltaFilter) ApplyCtx(ctx context.Context, r *colstore.Reader, pool *ex
 					}
 				}
 			}
-			out.SetSection(rg, section)
+			finishSection(out, rg, section, secSel)
 		}
 		return nil
 	})
@@ -830,6 +998,13 @@ func (f *IntPredicateFilter) Apply(r *colstore.Reader, pool *exec.Pool) (*bituti
 
 // ApplyCtx runs the filter under ctx.
 func (f *IntPredicateFilter) ApplyCtx(ctx context.Context, r *colstore.Reader, pool *exec.Pool) (*bitutil.SectionalBitmap, error) {
+	return f.ApplySel(ctx, r, pool, nil)
+}
+
+// ApplySel runs the filter restricted to sel (nil means all rows). With a
+// selection the chunk is read through the gathering decoder, which skips
+// pages holding no selected row and decodes only surviving entries.
+func (f *IntPredicateFilter) ApplySel(ctx context.Context, r *colstore.Reader, pool *exec.Pool, sel *bitutil.SectionalBitmap) (*bitutil.SectionalBitmap, error) {
 	ci, _, err := r.Column(f.Col)
 	if err != nil {
 		return nil, err
@@ -840,7 +1015,29 @@ func (f *IntPredicateFilter) ApplyCtx(ctx context.Context, r *colstore.Reader, p
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			vals, err := r.Chunk(rg, ci).Ints()
+			chunk := r.Chunk(rg, ci)
+			secSel, skip := sectionSelection(sel, rg)
+			if skip {
+				chunk.MarkSkipped(chunk.NumPages())
+				continue
+			}
+			if secSel != nil {
+				vals, err := chunk.GatherInts(secSel)
+				if err != nil {
+					return err
+				}
+				section := bitutil.NewBitmap(chunk.Rows())
+				i := 0
+				secSel.ForEach(func(row int) {
+					if f.Pred(vals[i]) {
+						section.Set(row)
+					}
+					i++
+				})
+				out.SetSection(rg, section)
+				continue
+			}
+			vals, err := chunk.Ints()
 			if err != nil {
 				return err
 			}
@@ -873,6 +1070,11 @@ func (f *StrPredicateFilter) Apply(r *colstore.Reader, pool *exec.Pool) (*bituti
 
 // ApplyCtx runs the filter under ctx.
 func (f *StrPredicateFilter) ApplyCtx(ctx context.Context, r *colstore.Reader, pool *exec.Pool) (*bitutil.SectionalBitmap, error) {
+	return f.ApplySel(ctx, r, pool, nil)
+}
+
+// ApplySel runs the filter restricted to sel (nil means all rows).
+func (f *StrPredicateFilter) ApplySel(ctx context.Context, r *colstore.Reader, pool *exec.Pool, sel *bitutil.SectionalBitmap) (*bitutil.SectionalBitmap, error) {
 	ci, _, err := r.Column(f.Col)
 	if err != nil {
 		return nil, err
@@ -883,7 +1085,29 @@ func (f *StrPredicateFilter) ApplyCtx(ctx context.Context, r *colstore.Reader, p
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			vals, err := r.Chunk(rg, ci).Strings()
+			chunk := r.Chunk(rg, ci)
+			secSel, skip := sectionSelection(sel, rg)
+			if skip {
+				chunk.MarkSkipped(chunk.NumPages())
+				continue
+			}
+			if secSel != nil {
+				vals, err := chunk.GatherStrings(secSel)
+				if err != nil {
+					return err
+				}
+				section := bitutil.NewBitmap(chunk.Rows())
+				i := 0
+				secSel.ForEach(func(row int) {
+					if f.Pred(vals[i]) {
+						section.Set(row)
+					}
+					i++
+				})
+				out.SetSection(rg, section)
+				continue
+			}
+			vals, err := chunk.Strings()
 			if err != nil {
 				return err
 			}
@@ -916,6 +1140,11 @@ func (f *FloatPredicateFilter) Apply(r *colstore.Reader, pool *exec.Pool) (*bitu
 
 // ApplyCtx runs the filter under ctx.
 func (f *FloatPredicateFilter) ApplyCtx(ctx context.Context, r *colstore.Reader, pool *exec.Pool) (*bitutil.SectionalBitmap, error) {
+	return f.ApplySel(ctx, r, pool, nil)
+}
+
+// ApplySel runs the filter restricted to sel (nil means all rows).
+func (f *FloatPredicateFilter) ApplySel(ctx context.Context, r *colstore.Reader, pool *exec.Pool, sel *bitutil.SectionalBitmap) (*bitutil.SectionalBitmap, error) {
 	ci, _, err := r.Column(f.Col)
 	if err != nil {
 		return nil, err
@@ -926,7 +1155,29 @@ func (f *FloatPredicateFilter) ApplyCtx(ctx context.Context, r *colstore.Reader,
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			vals, err := r.Chunk(rg, ci).Floats()
+			chunk := r.Chunk(rg, ci)
+			secSel, skip := sectionSelection(sel, rg)
+			if skip {
+				chunk.MarkSkipped(chunk.NumPages())
+				continue
+			}
+			if secSel != nil {
+				vals, err := chunk.GatherFloats(secSel)
+				if err != nil {
+					return err
+				}
+				section := bitutil.NewBitmap(chunk.Rows())
+				i := 0
+				secSel.ForEach(func(row int) {
+					if f.Pred(vals[i]) {
+						section.Set(row)
+					}
+					i++
+				})
+				out.SetSection(rg, section)
+				continue
+			}
+			vals, err := chunk.Floats()
 			if err != nil {
 				return err
 			}

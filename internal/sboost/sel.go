@@ -1,0 +1,162 @@
+package sboost
+
+import "codecdb/internal/bitutil"
+
+// Selection-aware variants of the Into scan kernels (paper §5.2's lazy
+// pipelined evaluation): a later conjunct receives the bitmap accumulated
+// by earlier, more selective predicates and never evaluates rows those
+// predicates already eliminated. Each kernel takes the row-group-local
+// selection bitmap plus the page's first row within it (selOff); a nil
+// selection degrades to the unrestricted kernel.
+//
+// Two strategies, chosen by selection density over the page window:
+//
+//   - dense: the SWAR loop still beats per-row skipping, so the page is
+//     scanned in full and the result is masked with the selection in one
+//     word-parallel pass;
+//   - sparse (below 1 selected row in 4): only the selected entries are
+//     decoded, skipping the packed stream between them — compute
+//     proportional to surviving rows, not page rows.
+//
+// Either way the result bitmap is a subset of the selection window, the
+// invariant the pipelined executor relies on.
+
+// selDenseFraction is the selected-rows-per-page-row threshold at or above
+// which a full SWAR scan plus one masking pass beats row skipping.
+const selDenseFraction = 4
+
+// ScanPackedIntoSel is ScanPackedInto restricted to the rows of sel's
+// window [selOff, selOff+out.Len()).
+func ScanPackedIntoSel(out *bitutil.Bitmap, data []byte, width uint, op Op, target uint64, sel *bitutil.Bitmap, selOff int) {
+	if sel == nil {
+		ScanPackedInto(out, data, width, op, target)
+		return
+	}
+	n := out.Len()
+	card := sel.CountRange(selOff, selOff+n)
+	switch {
+	case card == 0:
+	case card*selDenseFraction >= n:
+		ScanPackedInto(out, data, width, op, target)
+		out.AndRange(sel, selOff)
+	default:
+		scanSelected(data, n, width, sel, selOff, func(i int, v uint64) {
+			if evalOp(v, op, target) {
+				out.Set(i)
+			}
+		})
+	}
+}
+
+// ScanPackedRangeIntoSel is ScanPackedRangeInto restricted to sel's window.
+func ScanPackedRangeIntoSel(out *bitutil.Bitmap, data []byte, width uint, lo, hi uint64, sel *bitutil.Bitmap, selOff int) {
+	if sel == nil {
+		ScanPackedRangeInto(out, data, width, lo, hi)
+		return
+	}
+	n := out.Len()
+	card := sel.CountRange(selOff, selOff+n)
+	switch {
+	case card == 0 || lo > hi:
+	case card*selDenseFraction >= n:
+		ScanPackedRangeInto(out, data, width, lo, hi)
+		out.AndRange(sel, selOff)
+	default:
+		scanSelected(data, n, width, sel, selOff, func(i int, v uint64) {
+			if v >= lo && v <= hi {
+				out.Set(i)
+			}
+		})
+	}
+}
+
+// ScanPackedInIntoSel is ScanPackedInInto restricted to sel's window.
+func ScanPackedInIntoSel(out *bitutil.Bitmap, data []byte, width uint, targets []uint64, sel *bitutil.Bitmap, selOff int) {
+	if sel == nil {
+		ScanPackedInInto(out, data, width, targets)
+		return
+	}
+	n := out.Len()
+	card := sel.CountRange(selOff, selOff+n)
+	switch {
+	case card == 0 || len(targets) == 0:
+	case card*selDenseFraction >= n:
+		ScanPackedInInto(out, data, width, targets)
+		out.AndRange(sel, selOff)
+	default:
+		scanSelected(data, n, width, sel, selOff, func(i int, v uint64) {
+			for _, t := range targets {
+				if v == t {
+					out.Set(i)
+					break
+				}
+			}
+		})
+	}
+}
+
+// ScanPackedLookupIntoSel is ScanPackedLookupInto restricted to sel's
+// window. The lookup kernel is already one probe per entry, so the sparse
+// path pays off sooner; the same density split keeps the policy uniform.
+func ScanPackedLookupIntoSel(out *bitutil.Bitmap, data []byte, width uint, table []bool, sel *bitutil.Bitmap, selOff int) {
+	if sel == nil {
+		ScanPackedLookupInto(out, data, width, table)
+		return
+	}
+	n := out.Len()
+	card := sel.CountRange(selOff, selOff+n)
+	switch {
+	case card == 0:
+	case card*selDenseFraction >= n:
+		ScanPackedLookupInto(out, data, width, table)
+		out.AndRange(sel, selOff)
+	default:
+		scanSelected(data, n, width, sel, selOff, func(i int, v uint64) {
+			if v < uint64(len(table)) && table[v] {
+				out.Set(i)
+			}
+		})
+	}
+}
+
+// CompareStreamsIntoSel is CompareStreamsInto restricted to sel's window.
+func CompareStreamsIntoSel(out *bitutil.Bitmap, a, b []byte, width uint, op Op, sel *bitutil.Bitmap, selOff int) {
+	if sel == nil {
+		CompareStreamsInto(out, a, b, width, op)
+		return
+	}
+	n := out.Len()
+	card := sel.CountRange(selOff, selOff+n)
+	switch {
+	case card == 0:
+	case card*selDenseFraction >= n:
+		CompareStreamsInto(out, a, b, width, op)
+		out.AndRange(sel, selOff)
+	default:
+		ra, rb := bitutil.NewReader(a), bitutil.NewReader(b)
+		prev := selOff
+		for i := sel.NextSet(selOff); i >= 0 && i < selOff+n; i = sel.NextSet(i + 1) {
+			skip := (i - prev) * int(width)
+			ra.SkipBits(skip)
+			rb.SkipBits(skip)
+			if evalOp(ra.ReadBits(width), op, rb.ReadBits(width)) {
+				out.Set(i - selOff)
+			}
+			prev = i + 1
+		}
+	}
+}
+
+// scanSelected decodes only the entries whose selection bit is set inside
+// the window [selOff, selOff+n), invoking fn with the page-relative index
+// and the packed value; the stream between selected entries is skipped,
+// never decoded.
+func scanSelected(data []byte, n int, width uint, sel *bitutil.Bitmap, selOff int, fn func(i int, v uint64)) {
+	r := bitutil.NewReader(data)
+	prev := selOff
+	for i := sel.NextSet(selOff); i >= 0 && i < selOff+n; i = sel.NextSet(i + 1) {
+		r.SkipBits((i - prev) * int(width))
+		fn(i-selOff, r.ReadBits(width))
+		prev = i + 1
+	}
+}

@@ -30,7 +30,7 @@ func BenchmarkFilterHotPathTraced(b *testing.B) {
 					root = obs.NewSpan("bench")
 					ctx = obs.ContextWithSpan(ctx, root)
 				}
-				if _, err := ops.ApplyFilter(ctx, f, r, pool); err != nil {
+				if _, err := ops.ApplyFilter(ctx, f, r, pool, nil); err != nil {
 					b.Fatal(err)
 				}
 				root.End()

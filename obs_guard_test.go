@@ -53,7 +53,7 @@ func TestApplyFilterNoTracerAddsZeroAllocs(t *testing.T) {
 	ctx := context.Background()
 
 	// Warm lazily-initialised state (dictionary cache, arena pools).
-	if _, err := ops.ApplyFilter(ctx, f, r, pool); err != nil {
+	if _, err := ops.ApplyFilter(ctx, f, r, pool, nil); err != nil {
 		t.Fatal(err)
 	}
 
@@ -63,7 +63,7 @@ func TestApplyFilterNoTracerAddsZeroAllocs(t *testing.T) {
 		}
 	})
 	wrapped := testing.AllocsPerRun(100, func() {
-		if _, err := ops.ApplyFilter(ctx, f, r, pool); err != nil {
+		if _, err := ops.ApplyFilter(ctx, f, r, pool, nil); err != nil {
 			t.Fatal(err)
 		}
 	})

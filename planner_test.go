@@ -1,0 +1,104 @@
+package codecdb
+
+import (
+	"strings"
+	"testing"
+)
+
+// reorderTable loads a table where predicate order matters: "tag" has a
+// needle value clustered in the first rows (zone maps make an equality on
+// it nearly free and highly selective), and "level" is uniform (a range
+// on it keeps most rows and must scan everything when run first).
+func reorderTable(t *testing.T, db *DB, n int) *Table {
+	t.Helper()
+	tag := make([][]byte, n)
+	level := make([]int64, n)
+	for i := 0; i < n; i++ {
+		tag[i] = []byte("common")
+		if i < n/200 {
+			tag[i] = []byte("needle")
+		}
+		level[i] = int64(i % 8)
+	}
+	tbl, err := db.LoadTable("reorder", []Column{
+		{Name: "tag", Strings: tag, ForceEncoding: Dictionary, Forced: true},
+		{Name: "level", Ints: level, ForceEncoding: Dictionary, Forced: true},
+	}, LoadOptions{RowGroupRows: 2048, PageRows: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+// TestPlannerReorders is the acceptance check: a two-conjunct query with
+// the selective predicate listed last must cost the same as listing it
+// first — the planner reorders, so page IO is identical either way — and
+// the selection-pushed pipeline must read strictly fewer pages than
+// running each filter independently over the full table.
+func TestPlannerReorders(t *testing.T) {
+	const n = 40960
+	db := openTestDB(t)
+	tbl := reorderTable(t, db, n)
+
+	run := func(q *Query) (int64, IOStats) {
+		t.Helper()
+		tbl.ResetIOStats()
+		got, err := q.Count()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return got, tbl.IOStats()
+	}
+
+	selFirst, ioFirst := run(tbl.Where("tag", Eq, "needle").And("level", Ge, 1))
+	selLast, ioLast := run(tbl.Where("level", Ge, 1).And("tag", Eq, "needle"))
+	if selFirst != selLast {
+		t.Fatalf("counts differ by order: %d vs %d", selFirst, selLast)
+	}
+	want := int64(n / 200 * 7 / 8)
+	if selFirst != want {
+		t.Fatalf("count = %d, want %d", selFirst, want)
+	}
+	if ioFirst.PagesRead != ioLast.PagesRead ||
+		ioFirst.PagesPruned != ioLast.PagesPruned ||
+		ioFirst.PagesSkipped != ioLast.PagesSkipped {
+		t.Fatalf("planner did not normalize order: first=%+v last=%+v", ioFirst, ioLast)
+	}
+
+	// Baseline: evaluate each conjunct independently (no selection pushed)
+	// and intersect. The planned pipeline must read strictly fewer pages.
+	naive := func() IOStats {
+		t.Helper()
+		tbl.ResetIOStats()
+		if _, err := tbl.Where("level", Ge, 1).Count(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tbl.Where("tag", Eq, "needle").Count(); err != nil {
+			t.Fatal(err)
+		}
+		return tbl.IOStats()
+	}
+	ioNaive := naive()
+	if ioLast.PagesRead >= ioNaive.PagesRead {
+		t.Fatalf("selection pushdown read no fewer pages: planned=%d naive=%d",
+			ioLast.PagesRead, ioNaive.PagesRead)
+	}
+	if ioLast.PagesSkipped == 0 {
+		t.Fatal("no pages skipped; the selection was not threaded into the second filter")
+	}
+
+	// The plan itself must list the selective conjunct first regardless of
+	// the order the user wrote.
+	out, err := tbl.Where("level", Ge, 1).And("tag", Eq, "needle").Explain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tagAt := strings.Index(out, `DictFilter(tag = "needle")`)
+	levelAt := strings.Index(out, "DictFilter(level >= 1)")
+	if tagAt < 0 || levelAt < 0 {
+		t.Fatalf("Explain missing filters:\n%s", out)
+	}
+	if tagAt > levelAt {
+		t.Fatalf("selective conjunct not planned first:\n%s", out)
+	}
+}

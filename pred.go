@@ -1,0 +1,249 @@
+package codecdb
+
+import (
+	"fmt"
+
+	"codecdb/internal/colstore"
+	"codecdb/internal/ops"
+)
+
+// Pred is a composable predicate specification: leaves compare one column
+// (or two dictionary-sharing columns), and AllOf/AnyOf/Not compose them
+// into a tree. A Pred is an inert value — it binds to a table's schema
+// only when passed to Table.Query, which validates every referenced
+// column and plans an execution order from the table's metadata:
+//
+//	q := t.Query(codecdb.AllOf(
+//	    codecdb.ColEq("status", "ERROR"),
+//	    codecdb.AnyOf(
+//	        codecdb.Col("level", codecdb.Ge, 4),
+//	        codecdb.In("region", "eu-west", "eu-north"),
+//	    ),
+//	))
+//
+// The fluent Where/And builders construct the same trees under the hood.
+type Pred struct {
+	kind   predKind
+	col    string
+	colB   string
+	op     CmpOp
+	value  any
+	values []any
+	match  func([]byte) bool
+	raw    ops.Filter
+	kids   []Pred
+}
+
+type predKind int
+
+const (
+	predZero predKind = iota // zero Pred: matches everything
+	predCmp
+	predIn
+	predLike
+	predCols
+	predAll
+	predAny
+	predNot
+	predRaw
+)
+
+// Col compares a column against a constant: `col op value`. Value may be
+// int, int64, float64, string, or []byte and must match the column type.
+func Col(col string, op CmpOp, value any) Pred {
+	return Pred{kind: predCmp, col: col, op: op, value: value}
+}
+
+// ColEq is Col with the equality operator.
+func ColEq(col string, value any) Pred { return Col(col, Eq, value) }
+
+// In matches rows whose column value is one of values. The column must be
+// dictionary-encoded; values must be strings/[]byte for string columns and
+// integers for integer columns.
+func In(col string, values ...any) Pred {
+	return Pred{kind: predIn, col: col, values: values}
+}
+
+// Like matches rows of a dictionary-encoded string column whose value
+// satisfies match; match runs once per distinct dictionary entry, not once
+// per row.
+func Like(col string, match func([]byte) bool) Pred {
+	return Pred{kind: predLike, col: col, match: match}
+}
+
+// Cols compares two columns row-by-row: `colA op colB`. Both columns must
+// share one order-preserving dictionary (load them with the same
+// DictGroup).
+func Cols(colA string, op CmpOp, colB string) Pred {
+	return Pred{kind: predCols, col: colA, op: op, colB: colB}
+}
+
+// AllOf is the conjunction of preds. The planner reorders the conjuncts by
+// estimated selectivity per unit cost; an empty AllOf matches every row.
+func AllOf(preds ...Pred) Pred {
+	if len(preds) == 1 {
+		return preds[0]
+	}
+	return Pred{kind: predAll, kids: preds}
+}
+
+// AnyOf is the disjunction of preds, evaluated per row group with bitmap
+// union and branch short-circuiting. An empty AnyOf matches no row.
+func AnyOf(preds ...Pred) Pred {
+	if len(preds) == 1 {
+		return preds[0]
+	}
+	return Pred{kind: predAny, kids: preds}
+}
+
+// Not negates a leaf predicate (Col/ColEq/In/Like/Cols). Negating a
+// composite reports an error at Query time; rewrite with De Morgan's laws
+// instead.
+func Not(p Pred) Pred { return Pred{kind: predNot, kids: []Pred{p}} }
+
+// rawPred wraps a prebuilt operator-layer filter directly, bypassing the
+// public constructors' validation. Test hook for injecting behaviors (slow
+// or panicking predicates) the public surface refuses to build.
+func rawPred(f ops.Filter) Pred { return Pred{kind: predRaw, raw: f} }
+
+// bindPred validates p against the table's schema and encodings and lowers
+// it to the operator-layer predicate IR. All validation happens here — at
+// build time, against metadata only — so malformed predicates surface from
+// Query/And* (via Query.Err) rather than mid-scan with a worse message.
+func (t *Table) bindPred(p Pred) (*ops.Pred, error) {
+	switch p.kind {
+	case predZero:
+		return ops.AndPred(), nil // empty conjunction: all rows
+	case predRaw:
+		return ops.LeafPred(p.raw), nil
+	case predCmp:
+		f, err := t.filterFor(p.col, p.op, p.value)
+		if err != nil {
+			return nil, err
+		}
+		return ops.LeafPred(f), nil
+	case predIn:
+		f, err := t.inFilterFor(p.col, p.values)
+		if err != nil {
+			return nil, err
+		}
+		return ops.LeafPred(f), nil
+	case predLike:
+		f, err := t.likeFilterFor(p.col, p.match)
+		if err != nil {
+			return nil, err
+		}
+		return ops.LeafPred(f), nil
+	case predCols:
+		f, err := t.twoColFilterFor(p.col, p.op, p.colB)
+		if err != nil {
+			return nil, err
+		}
+		return ops.LeafPred(f), nil
+	case predAll:
+		kids := make([]*ops.Pred, len(p.kids))
+		for i, k := range p.kids {
+			kp, err := t.bindPred(k)
+			if err != nil {
+				return nil, err
+			}
+			kids[i] = kp
+		}
+		return ops.AndPred(kids...), nil
+	case predAny:
+		if len(p.kids) == 0 {
+			return nil, fmt.Errorf("codecdb: AnyOf needs at least one predicate")
+		}
+		kids := make([]*ops.Pred, len(p.kids))
+		for i, k := range p.kids {
+			kp, err := t.bindPred(k)
+			if err != nil {
+				return nil, err
+			}
+			kids[i] = kp
+		}
+		return ops.OrPred(kids...), nil
+	case predNot:
+		inner, err := t.bindPred(p.kids[0])
+		if err != nil {
+			return nil, err
+		}
+		if inner.Kind != ops.PredLeaf {
+			return nil, fmt.Errorf("codecdb: Not supports only leaf predicates (Col/In/Like/Cols); rewrite composites with De Morgan's laws")
+		}
+		return ops.NotPred(inner.Leaf), nil
+	}
+	return nil, fmt.Errorf("codecdb: invalid predicate")
+}
+
+// inFilterFor validates an IN predicate at build time — column exists, is
+// dictionary-encoded, and the value types match the column type — and
+// constructs the filter.
+func (t *Table) inFilterFor(col string, values []any) (ops.Filter, error) {
+	_, c, err := t.inner.R.Column(col)
+	if err != nil {
+		return nil, err
+	}
+	if c.Encoding != Dictionary && c.Encoding != DictRLE {
+		return nil, fmt.Errorf("codecdb: IN needs a dictionary-encoded column; %s is %v", col, c.Encoding)
+	}
+	var strs [][]byte
+	var ints []int64
+	for _, v := range values {
+		switch x := v.(type) {
+		case string:
+			strs = append(strs, []byte(x))
+		case []byte:
+			strs = append(strs, x)
+		case int:
+			ints = append(ints, int64(x))
+		case int64:
+			ints = append(ints, x)
+		default:
+			return nil, fmt.Errorf("codecdb: unsupported IN value %T for column %s", v, col)
+		}
+	}
+	switch {
+	case c.Type == colstore.TypeInt64 && len(strs) > 0:
+		return nil, fmt.Errorf("codecdb: string IN values for integer column %s", col)
+	case c.Type == colstore.TypeString && len(ints) > 0:
+		return nil, fmt.Errorf("codecdb: integer IN values for string column %s", col)
+	}
+	return &ops.DictInFilter{Col: col, StrValues: strs, IntValues: ints}, nil
+}
+
+// likeFilterFor validates a LIKE predicate at build time: the column must
+// exist and be a dictionary-encoded string column.
+func (t *Table) likeFilterFor(col string, match func([]byte) bool) (ops.Filter, error) {
+	_, c, err := t.inner.R.Column(col)
+	if err != nil {
+		return nil, err
+	}
+	if c.Type != colstore.TypeString {
+		return nil, fmt.Errorf("codecdb: LIKE needs a string column; %s is %v", col, c.Type)
+	}
+	if c.Encoding != Dictionary && c.Encoding != DictRLE {
+		return nil, fmt.Errorf("codecdb: LIKE needs a dictionary-encoded column; %s is %v", col, c.Encoding)
+	}
+	if match == nil {
+		return nil, fmt.Errorf("codecdb: LIKE on %s needs a non-nil match function", col)
+	}
+	return &ops.DictLikeFilter{Col: col, Match: match}, nil
+}
+
+// twoColFilterFor validates a two-column comparison at build time: both
+// columns must exist and share one order-preserving dictionary.
+func (t *Table) twoColFilterFor(colA string, op CmpOp, colB string) (ops.Filter, error) {
+	ca, _, err := t.inner.R.Column(colA)
+	if err != nil {
+		return nil, err
+	}
+	cb, _, err := t.inner.R.Column(colB)
+	if err != nil {
+		return nil, err
+	}
+	if !t.inner.R.SharedDict(ca, cb) {
+		return nil, fmt.Errorf("codecdb: %s and %s do not share a dictionary (load both with the same DictGroup)", colA, colB)
+	}
+	return &ops.TwoColumnFilter{ColA: colA, ColB: colB, Op: op}, nil
+}

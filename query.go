@@ -1,12 +1,15 @@
 package codecdb
 
 import (
+	"bytes"
 	"context"
 	"fmt"
+	"strconv"
 	"time"
 
 	"codecdb/internal/bitutil"
 	"codecdb/internal/colstore"
+	"codecdb/internal/obs"
 	"codecdb/internal/ops"
 	"codecdb/internal/sboost"
 )
@@ -24,21 +27,30 @@ const (
 	Ge = sboost.OpGe
 )
 
-// Query is a fluent predicate pipeline over one table. Building a Query
-// does no work; terminal calls (Count, Rows, Ints, ...) evaluate all
-// accumulated predicates — the lazy evaluation of paper §5.2 — choosing
-// the encoding-aware operator when the column's encoding allows it and
-// the decode-first path otherwise.
+// Query is a predicate pipeline over one table. Building a Query does no
+// work; terminal calls (Count, RowIDs, Ints, ...) plan and evaluate all
+// accumulated predicates — the lazy evaluation of paper §5.2. The planner
+// orders conjuncts by estimated selectivity per unit cost and threads each
+// filter's result selection into the next, so later filters never touch
+// row groups or pages earlier predicates already eliminated.
+//
+// Builder methods are copy-on-write: each returns a new Query, so a prefix
+// can be extended into several independent queries:
+//
+//	base := t.Where("status", codecdb.Eq, "ERROR")
+//	a := base.And("level", codecdb.Ge, 4)
+//	b := base.And("level", codecdb.Lt, 2) // does not disturb a
 type Query struct {
-	t       *Table
-	ctx     context.Context
-	filters []ops.Filter
-	err     error
+	t         *Table
+	ctx       context.Context
+	conjuncts []Pred
+	err       error
 }
 
 // WithContext attaches ctx to the query: terminal calls stop promptly with
 // ctx.Err() when it is cancelled or its deadline passes, including mid-scan
-// between row groups.
+// between row groups. Unlike the predicate builders, WithContext modifies
+// the query in place.
 func (q *Query) WithContext(ctx context.Context) *Query {
 	q.ctx = ctx
 	return q
@@ -52,118 +64,127 @@ func (q *Query) context() context.Context {
 	return context.Background()
 }
 
+// clone returns a copy with its own conjunct storage, so extending the
+// copy never aliases — and can never clobber — the receiver's predicates.
+func (q *Query) clone() *Query {
+	cp := *q
+	cp.conjuncts = append([]Pred(nil), q.conjuncts...)
+	return &cp
+}
+
+// withPred validates p against the table (metadata only) and returns a new
+// Query with it appended as a conjunct.
+func (q *Query) withPred(p Pred) *Query {
+	cp := q.clone()
+	if cp.err != nil {
+		return cp
+	}
+	if _, err := cp.t.bindPred(p); err != nil {
+		cp.err = err
+		return cp
+	}
+	cp.conjuncts = append(cp.conjuncts, p)
+	return cp
+}
+
+// Err reports the first predicate-construction error, letting callers
+// validate a built query before running a terminal. Terminals return the
+// same error.
+func (q *Query) Err() error { return q.err }
+
 // Where starts a query with `col op value`. Value may be int64, int,
-// float64, string, or []byte. Dictionary-encoded columns are filtered in
-// place on the packed keys; others fall back to decode-and-test.
+// float64, string, or []byte and must match the column type.
+// Dictionary-encoded columns are filtered in place on the packed keys;
+// others fall back to decode-and-test.
 func (t *Table) Where(col string, op CmpOp, value any) *Query {
-	q := &Query{t: t}
-	return q.And(col, op, value)
+	return t.All().And(col, op, value)
 }
 
 // All starts a query with no predicate (full selection).
 func (t *Table) All() *Query { return &Query{t: t} }
 
-// And adds another conjunct.
-func (q *Query) And(col string, op CmpOp, value any) *Query {
-	if q.err != nil {
-		return q
-	}
-	f, err := q.t.filterFor(col, op, value)
-	if err != nil {
-		q.err = err
-		return q
-	}
-	q.filters = append(q.filters, f)
-	return q
+// Query starts a query from a composed predicate tree (see Col, ColEq, In,
+// Like, Cols, AllOf, AnyOf, Not). The predicate is validated against the
+// table immediately; check Err or any terminal for the result.
+func (t *Table) Query(p Pred) *Query {
+	return t.All().withPred(p)
 }
 
+// And adds another conjunct: `col op value`.
+func (q *Query) And(col string, op CmpOp, value any) *Query {
+	return q.withPred(Col(col, op, value))
+}
+
+// AndPred adds a composed predicate tree as a conjunct.
+func (q *Query) AndPred(p Pred) *Query { return q.withPred(p) }
+
 // AndIn adds `col IN (values...)`; values must be strings or []bytes for
-// string columns, integers for integer columns.
+// string columns, integers for integer columns, and the column must be
+// dictionary-encoded.
 func (q *Query) AndIn(col string, values ...any) *Query {
-	if q.err != nil {
-		return q
-	}
-	var strs [][]byte
-	var ints []int64
-	for _, v := range values {
-		switch x := v.(type) {
-		case string:
-			strs = append(strs, []byte(x))
-		case []byte:
-			strs = append(strs, x)
-		case int:
-			ints = append(ints, int64(x))
-		case int64:
-			ints = append(ints, x)
-		default:
-			q.err = fmt.Errorf("codecdb: unsupported IN value %T", v)
-			return q
-		}
-	}
-	q.filters = append(q.filters, &ops.DictInFilter{Col: col, StrValues: strs, IntValues: ints})
-	return q
+	return q.withPred(In(col, values...))
 }
 
 // AndLike adds a dictionary-rewritten pattern predicate: match is
 // evaluated once per distinct value.
 func (q *Query) AndLike(col string, match func([]byte) bool) *Query {
-	if q.err != nil {
-		return q
-	}
-	q.filters = append(q.filters, &ops.DictLikeFilter{Col: col, Match: match})
-	return q
+	return q.withPred(Like(col, match))
 }
 
 // AndColumns adds a two-column comparison; both columns must share an
 // order-preserving dictionary (load them with the same DictGroup).
 func (q *Query) AndColumns(colA string, op CmpOp, colB string) *Query {
-	if q.err != nil {
-		return q
-	}
-	q.filters = append(q.filters, &ops.TwoColumnFilter{ColA: colA, ColB: colB, Op: op})
-	return q
+	return q.withPred(Cols(colA, op, colB))
 }
 
 func (t *Table) filterFor(col string, op CmpOp, value any) (ops.Filter, error) {
-	ci, c, err := t.inner.R.Column(col)
+	_, c, err := t.inner.R.Column(col)
 	if err != nil {
 		return nil, err
 	}
-	_ = ci
 	switch v := value.(type) {
 	case int:
-		return t.intFilter(c.Encoding, col, op, int64(v)), nil
+		return t.intFilterChecked(c, col, op, int64(v))
 	case int64:
-		return t.intFilter(c.Encoding, col, op, v), nil
+		return t.intFilterChecked(c, col, op, v)
 	case string:
-		return t.strFilter(c.Encoding, col, op, []byte(v)), nil
+		return t.strFilterChecked(c, col, op, []byte(v))
 	case []byte:
-		return t.strFilter(c.Encoding, col, op, v), nil
+		return t.strFilterChecked(c, col, op, v)
 	case float64:
+		if c.Type != colstore.TypeFloat64 {
+			return nil, fmt.Errorf("codecdb: float predicate on %v column %q", c.Type, col)
+		}
 		return &ops.FloatPredicateFilter{Col: col, Pred: floatPred(op, v)}, nil
 	default:
 		return nil, fmt.Errorf("codecdb: unsupported predicate value %T", value)
 	}
 }
 
-func (t *Table) intFilter(enc Encoding, col string, op CmpOp, v int64) ops.Filter {
-	switch enc {
+func (t *Table) intFilterChecked(c *colstore.Column, col string, op CmpOp, v int64) (ops.Filter, error) {
+	if c.Type != colstore.TypeInt64 {
+		return nil, fmt.Errorf("codecdb: integer predicate on %v column %q", c.Type, col)
+	}
+	switch c.Encoding {
 	case Dictionary:
-		return &ops.DictFilter{Col: col, Op: op, IntValue: v}
+		return &ops.DictFilter{Col: col, Op: op, IntValue: v}, nil
 	case Delta:
-		return &ops.DeltaFilter{Col: col, Op: op, Value: v}
+		return &ops.DeltaFilter{Col: col, Op: op, Value: v}, nil
 	case BitPacked:
-		return &ops.BitPackedFilter{Col: col, Op: op, Value: v}
+		return &ops.BitPackedFilter{Col: col, Op: op, Value: v}, nil
 	default:
-		return &ops.IntPredicateFilter{Col: col, Pred: intPred(op, v)}
+		return &ops.IntPredicateFilter{Col: col, Pred: intPred(op, v)}, nil
 	}
 }
 
-func (t *Table) strFilter(enc Encoding, col string, op CmpOp, v []byte) ops.Filter {
-	if enc == Dictionary || enc == DictRLE {
-		return &ops.DictFilter{Col: col, Op: op, StrValue: v}
+func (t *Table) strFilterChecked(c *colstore.Column, col string, op CmpOp, v []byte) (ops.Filter, error) {
+	if c.Type != colstore.TypeString {
+		return nil, fmt.Errorf("codecdb: string predicate on %v column %q", c.Type, col)
 	}
-	return &ops.StrPredicateFilter{Col: col, Pred: bytesPred(op, v)}
+	if c.Encoding == Dictionary || c.Encoding == DictRLE {
+		return &ops.DictFilter{Col: col, Op: op, StrValue: v}, nil
+	}
+	return &ops.StrPredicateFilter{Col: col, Pred: bytesPred(op, v)}, nil
 }
 
 func intPred(op CmpOp, target int64) func(int64) bool {
@@ -184,15 +205,7 @@ func floatPred(op CmpOp, target float64) func(float64) bool {
 }
 
 func bytesPred(op CmpOp, target []byte) func([]byte) bool {
-	return func(v []byte) bool {
-		c := 0
-		if string(v) < string(target) {
-			c = -1
-		} else if string(v) > string(target) {
-			c = 1
-		}
-		return cmpMatch(c, op)
-	}
+	return func(v []byte) bool { return cmpMatch(bytes.Compare(v, target), op) }
 }
 
 func compareInt(a, b int64) int {
@@ -223,8 +236,22 @@ func cmpMatch(c int, op CmpOp) bool {
 	return false
 }
 
-// eval runs all predicates and intersects their bitmaps, observing the
-// per-query metrics (count + latency histogram) around the pipeline.
+// plan binds the accumulated conjuncts into the operator-layer predicate
+// IR and builds the ordered execution plan. Metadata only — Explain calls
+// this without reading any page.
+func (q *Query) plan() (*ops.Plan, error) {
+	if q.err != nil {
+		return nil, q.err
+	}
+	root, err := q.t.bindPred(AllOf(q.conjuncts...))
+	if err != nil {
+		return nil, err
+	}
+	return ops.BuildPlan(root, q.t.inner.R), nil
+}
+
+// eval plans and runs the predicate pipeline, observing the per-query
+// metrics (count + latency histogram) around it.
 func (q *Query) eval() (*bitutil.SectionalBitmap, error) {
 	start := time.Now()
 	sel, err := q.evalFilters()
@@ -241,23 +268,43 @@ func (q *Query) evalFilters() (*bitutil.SectionalBitmap, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	pool := q.t.db.inner.DataPool()
-	if len(q.filters) == 0 {
+	if len(q.conjuncts) == 0 {
 		return ops.FullTableBitmap(q.t.inner.R), nil
 	}
-	var acc *bitutil.SectionalBitmap
-	for _, f := range q.filters {
-		bm, err := ops.ApplyFilter(ctx, f, q.t.inner.R, pool)
-		if err != nil {
-			return nil, err
-		}
-		if acc == nil {
-			acc = bm
-		} else {
-			acc.And(bm)
+	pl, err := q.planTraced(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return pl.Execute(ctx, q.t.inner.R, q.t.db.inner.DataPool())
+}
+
+// planTraced builds the plan, and — when the context carries a span —
+// records the chosen order under a Plan child span along with any metadata
+// IO the estimator caused (lazily faulted dictionaries), so the span
+// tree's per-node IO still sums exactly to the reader's IOStats delta.
+func (q *Query) planTraced(ctx context.Context) (*ops.Plan, error) {
+	sp := obs.SpanFrom(ctx)
+	if sp == nil {
+		return q.plan()
+	}
+	child := sp.StartChild("Plan")
+	before := q.t.inner.R.Stats()
+	pl, err := q.plan()
+	if err == nil {
+		for _, line := range pl.Describe() {
+			child.AddDetail("%s", line)
 		}
 	}
-	return acc, nil
+	after := q.t.inner.R.Stats()
+	child.AddIO(obs.SpanIO{
+		PagesRead:         after.PagesRead - before.PagesRead,
+		PagesPruned:       after.PagesPruned - before.PagesPruned,
+		PagesSkipped:      after.PagesSkipped - before.PagesSkipped,
+		BytesRead:         after.BytesRead - before.BytesRead,
+		BytesDecompressed: after.BytesDecompressed - before.BytesDecompressed,
+	})
+	child.End()
+	return pl, err
 }
 
 // Count evaluates the query and returns the matching row count.
@@ -337,7 +384,7 @@ func (q *Query) GroupCount(col string) (map[string]int64, error) {
 		}
 		labels = make([]string, len(dict))
 		for i, v := range dict {
-			labels[i] = fmt.Sprint(v)
+			labels[i] = strconv.FormatInt(v, 10)
 		}
 	default:
 		dict, err := r.StrDict(ci)

@@ -56,14 +56,13 @@ func TestQueryCancellation(t *testing.T) {
 	// A filter slow enough that the deadline always lands mid-scan.
 	dctx, dcancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
 	defer dcancel()
-	slow := tbl.All().WithContext(dctx)
-	slow.filters = append(slow.filters, &ops.IntPredicateFilter{
+	slow := tbl.All().WithContext(dctx).AndPred(rawPred(&ops.IntPredicateFilter{
 		Col: "v",
 		Pred: func(v int64) bool {
 			time.Sleep(50 * time.Microsecond)
 			return v == 3
 		},
-	})
+	}))
 	start := time.Now()
 	_, err := slow.Count()
 	if !errors.Is(err, context.DeadlineExceeded) {
@@ -83,11 +82,10 @@ func TestQueryCancellation(t *testing.T) {
 // and a stack trace — the process does not crash.
 func TestWorkerPanicBecomesError(t *testing.T) {
 	_, tbl := robustnessDB(t)
-	q := tbl.All()
-	q.filters = append(q.filters, &ops.IntPredicateFilter{
+	q := tbl.All().AndPred(rawPred(&ops.IntPredicateFilter{
 		Col:  "v",
 		Pred: func(v int64) bool { panic("predicate exploded") },
-	})
+	}))
 	_, err := q.Count()
 	if err == nil {
 		t.Fatal("panicking predicate must surface as an error")
