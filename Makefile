@@ -1,12 +1,13 @@
 GO ?= go
 
-.PHONY: check build test vet race race-obs fuzz bench bench-obs bench-planner bench-planner-smoke serve-demo
+.PHONY: check build test vet race race-obs race-pipeline fuzz bench bench-obs bench-planner bench-planner-smoke bench-pipeline serve-demo
 
 # check is the tier-1 verification gate: everything must compile, pass
 # vet, and pass the full test suite under the race detector, with the
-# observability-layer race tests called out explicitly, plus one
-# iteration of the planner pipeline benchmark as a smoke test.
-check: vet build race race-obs bench-planner-smoke
+# observability-layer and morsel-executor race tests called out
+# explicitly, plus one iteration of the planner pipeline benchmark as a
+# smoke test.
+check: vet build race race-obs race-pipeline bench-planner-smoke
 
 build:
 	$(GO) build ./...
@@ -25,6 +26,13 @@ race:
 # stats with concurrent Stats/ResetStats.
 race-obs:
 	$(GO) test -race -count=1 ./internal/obs/ ./internal/exec/ ./internal/colstore/
+
+# race-pipeline focuses the race detector on the morsel executor: the
+# worker-local-state scheduler tests and the pipelined-vs-legacy
+# equivalence, fallback, and acceptance tests.
+race-pipeline:
+	$(GO) test -race -count=1 -run TestParallelMorsels ./internal/exec/
+	$(GO) test -race -count=1 -run 'TestPipeline|TestExplainAnalyze|TestTracedGatherSpans' .
 
 # bench refreshes the "current" section of BENCH_PR2.json with the scan
 # hot-path benchmarks (ns/op, B/op, allocs/op, pages pruned/read/skipped
@@ -53,6 +61,17 @@ PLANNERBENCHOUT ?= BENCH_PR4.json
 bench-planner:
 	$(GO) test -run xxx -bench BenchmarkPlannerPipeline -benchmem . \
 		| $(GO) run ./cmd/benchjson -o $(PLANNERBENCHOUT) -section current
+
+# bench-pipeline writes BENCH_PR5.json: the same two-conjunct query on
+# an 8+ row-group table through the morsel pipeline vs the
+# operator-at-a-time barrier engine, for Count, SumFloat, and
+# GroupCount — wall time, allocs/op, and pagesRead/op side by side.
+# One invocation measures both engines so the comparison shares process
+# state.
+PIPELINEBENCHOUT ?= BENCH_PR5.json
+bench-pipeline:
+	$(GO) test -run xxx -bench BenchmarkPipelineVsBarrier -benchmem . \
+		| $(GO) run ./cmd/benchjson -o $(PIPELINEBENCHOUT) -section current
 
 # bench-planner-smoke runs one iteration of each planner pipeline
 # benchmark (they self-check counts, so this doubles as a correctness

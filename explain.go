@@ -91,21 +91,19 @@ func (q *Query) ExplainAnalyze() (string, error) {
 
 // AnalyzeTrace is ExplainAnalyze returning the raw span tree and the
 // match count for programmatic consumers: the root span is the query,
-// each filter and gather is a child carrying its plan details and
+// with a Plan child for the chosen conjunct order and a Pipeline child
+// whose stage children (Prepare, one per filter, the terminal) carry the
 // measured stats.
 func (q *Query) AnalyzeTrace() (*obs.Span, int64, error) {
 	if q.err != nil {
 		return nil, 0, q.err
 	}
 	root := obs.NewSpan(fmt.Sprintf("Query(%s)", q.t.Name()))
-	prev := q.ctx
-	q.ctx = obs.ContextWithSpan(q.context(), root)
-	sel, err := q.eval()
-	q.ctx = prev
+	cq := q.WithContext(obs.ContextWithSpan(q.context(), root))
+	n, err := cq.Count()
 	if err != nil {
 		return nil, 0, err
 	}
-	n := int64(sel.Cardinality())
 	root.SetRows(q.t.NumRows(), n)
 	root.End()
 	return root, n, nil

@@ -57,20 +57,42 @@ func TestExplainAnalyzeConsistentWithIOStats(t *testing.T) {
 		t.Fatalf("root rows = %d→%d, want 4000→%d", rowsIn, rowsOut, n)
 	}
 	kids := root.Children()
-	if len(kids) != 3 {
-		t.Fatalf("children = %d, want Plan + one span per filter", len(kids))
+	if len(kids) != 2 {
+		t.Fatalf("children = %d, want Plan + Pipeline", len(kids))
 	}
 	if kids[0].Name() != "Plan" {
 		t.Fatalf("first child = %s, want the Plan span", kids[0].Name())
 	}
-	filters := kids[1:]
-	for _, c := range filters {
-		if c.Duration() <= 0 {
-			t.Errorf("span %s has no wall time", c.Name())
+	pipe := kids[1]
+	if !strings.HasPrefix(pipe.Name(), "Pipeline[") {
+		t.Fatalf("second child = %s, want the Pipeline span", pipe.Name())
+	}
+	// The pipeline's stage children: Prepare, one per planned filter, the
+	// terminal.
+	stages := pipe.Children()
+	if len(stages) != 4 {
+		t.Fatalf("pipeline stages = %d, want Prepare + 2 filters + Count", len(stages))
+	}
+	if stages[0].Name() != "Prepare" {
+		t.Fatalf("first stage = %s, want Prepare", stages[0].Name())
+	}
+	var filters []*obs.Span
+	for _, s := range stages[1:] {
+		if strings.HasPrefix(s.Name(), "Filter[") {
+			filters = append(filters, s)
 		}
 	}
-	// Selection pushdown: the first planned filter sees the whole table,
-	// every later filter sees exactly the previous filter's survivors.
+	if len(filters) != 2 {
+		t.Fatalf("filter stages = %d, want 2", len(filters))
+	}
+	for _, c := range filters {
+		if c.Duration() <= 0 {
+			t.Errorf("span %s has no busy time", c.Name())
+		}
+	}
+	// Selection pushdown, now per row group: the first planned filter sees
+	// the whole table, every later filter sees exactly the previous
+	// filter's survivors.
 	in0, out0 := filters[0].Rows()
 	if in0 != 4000 {
 		t.Errorf("span %s rows in = %d, want 4000", filters[0].Name(), in0)
@@ -79,20 +101,28 @@ func TestExplainAnalyzeConsistentWithIOStats(t *testing.T) {
 		t.Errorf("selection not pushed: span %s rows in = %d, want %d (previous filter's rows out)",
 			filters[1].Name(), in1, out0)
 	}
-	sum := root.SumIO()
-	if sum.PagesRead != after.PagesRead-before.PagesRead ||
-		sum.PagesPruned != after.PagesPruned-before.PagesPruned ||
-		sum.PagesSkipped != after.PagesSkipped-before.PagesSkipped ||
-		sum.BytesRead != after.BytesRead-before.BytesRead ||
-		sum.BytesDecompressed != after.BytesDecompressed-before.BytesDecompressed {
-		t.Fatalf("span IO sum %+v != IOStats delta (before=%+v after=%+v)", sum, before, after)
+	// The invariant, now at two levels: the root's direct children (Plan +
+	// Pipeline) sum to the IOStats delta, and within the pipeline the
+	// stage children account every page of the pipeline's own delta.
+	delta := obs.SpanIO{
+		PagesRead:         after.PagesRead - before.PagesRead,
+		PagesPruned:       after.PagesPruned - before.PagesPruned,
+		PagesSkipped:      after.PagesSkipped - before.PagesSkipped,
+		BytesRead:         after.BytesRead - before.BytesRead,
+		BytesDecompressed: after.BytesDecompressed - before.BytesDecompressed,
 	}
-	if sum.PagesRead == 0 {
+	if sum := root.SumIO(); sum != delta {
+		t.Fatalf("span IO sum %+v != IOStats delta %+v (before=%+v after=%+v)", sum, delta, before, after)
+	}
+	if sum := pipe.SumIO(); sum != pipe.IO() {
+		t.Fatalf("pipeline stage IO sum %+v != pipeline delta %+v", sum, pipe.IO())
+	}
+	if pipe.IO().PagesRead == 0 {
 		t.Fatal("trace recorded no page reads; instrumentation is not wired")
 	}
 
 	out := root.Render()
-	for _, want := range []string{"Query(events)", "├─ Filter[", "└─ Filter[", "time=", "pages[read=", "selectivity est=", "selection-pushed:"} {
+	for _, want := range []string{"Query(events)", "Pipeline[count]", "Prepare", "├─ Filter[", "time=", "pages[read=", "selectivity est=", "selection-pushed:", "morsels="} {
 		if !strings.Contains(out, want) {
 			t.Errorf("render missing %q in:\n%s", want, out)
 		}
@@ -109,25 +139,35 @@ func TestTracedGatherSpans(t *testing.T) {
 
 	root := obs.NewSpan("terminal")
 	q := tbl.Where("status", Eq, "RETRY")
-	q.WithContext(obs.ContextWithSpan(q.context(), root))
+	q = q.WithContext(obs.ContextWithSpan(q.context(), root))
 	vals, err := q.Ints("ts")
 	if err != nil {
 		t.Fatal(err)
 	}
 	root.End()
 
-	var gather *obs.Span
-	for _, c := range root.Children() {
-		if strings.HasPrefix(c.Name(), "Gather[ts]") {
-			gather = c
-		}
-	}
+	// The gather is now the pipeline's terminal stage, nested under the
+	// Pipeline child span.
+	gather := findSpan(root, "Gather[ts]")
 	if gather == nil {
-		t.Fatalf("no gather span among children: %s", root.Render())
+		t.Fatalf("no gather span in tree: %s", root.Render())
 	}
 	if _, out := gather.Rows(); out != int64(len(vals)) {
 		t.Fatalf("gather rows out = %d, want %d", out, len(vals))
 	}
+}
+
+// findSpan returns the first span in the tree whose name has the prefix.
+func findSpan(s *obs.Span, prefix string) *obs.Span {
+	if strings.HasPrefix(s.Name(), prefix) {
+		return s
+	}
+	for _, c := range s.Children() {
+		if found := findSpan(c, prefix); found != nil {
+			return found
+		}
+	}
+	return nil
 }
 
 // TestQueryMetricsObserved checks eval() feeds the process-wide query

@@ -489,6 +489,37 @@ type Chunk struct {
 	meta   *ChunkMeta
 	column Column
 	rows   int
+	tap    *IOTap
+}
+
+// IOTap is a per-caller tally of the chunk-level IO counters. A tapped
+// chunk mirrors every counter bump into the tap alongside the reader's
+// atomic totals, letting a single-threaded caller (one pipeline stage on
+// one worker) attribute IO without any barrier or snapshot: the tap is
+// plain fields, owned by exactly one goroutine at a time.
+type IOTap struct {
+	PagesRead         int64
+	PagesPruned       int64
+	PagesSkipped      int64
+	BytesRead         int64
+	BytesDecompressed int64
+}
+
+// Add folds another tap's counts into t.
+func (t *IOTap) Add(o *IOTap) {
+	t.PagesRead += o.PagesRead
+	t.PagesPruned += o.PagesPruned
+	t.PagesSkipped += o.PagesSkipped
+	t.BytesRead += o.BytesRead
+	t.BytesDecompressed += o.BytesDecompressed
+}
+
+// Tap attaches t to the chunk and returns the chunk for chaining. A nil
+// tap (the untraced path) keeps every hot-path bump a single predictable
+// branch.
+func (c *Chunk) Tap(t *IOTap) *Chunk {
+	c.tap = t
+	return c
 }
 
 // Rows returns the chunk's row count.
@@ -537,6 +568,9 @@ func (c *Chunk) PageStatsOf(p int) *PageStats {
 func (c *Chunk) MarkPruned() {
 	c.r.io.pagesPruned.Add(1)
 	globalIO.pagesPruned.Add(1)
+	if c.tap != nil {
+		c.tap.PagesPruned++
+	}
 }
 
 // MarkSkipped records n pages bypassed because an earlier predicate's
@@ -546,6 +580,9 @@ func (c *Chunk) MarkPruned() {
 func (c *Chunk) MarkSkipped(n int) {
 	c.r.io.pagesSkipped.Add(int64(n))
 	globalIO.pagesSkipped.Add(int64(n))
+	if c.tap != nil {
+		c.tap.PagesSkipped += int64(n)
+	}
 }
 
 // PageSelected reports whether the chunk-relative selection sel keeps any
@@ -576,6 +613,11 @@ func (c *Chunk) rawPageBuf(p int, sc *arena.Scratch) ([]byte, error) {
 		if err != nil {
 			return nil, err
 		}
+		if c.tap != nil {
+			// Counted per attempt, matching the reader's own bytesRead (a
+			// checksum-retry re-read is real IO on both tallies).
+			c.tap.BytesRead += int64(len(raw))
+		}
 		if !c.r.meta.checksummed() || Checksum(raw) == pm.Crc32C {
 			return raw, nil
 		}
@@ -601,6 +643,9 @@ func (c *Chunk) pageBodyScratch(p int, sc *arena.Scratch) ([]byte, error) {
 	}
 	c.r.io.pagesRead.Add(1)
 	globalIO.pagesRead.Add(1)
+	if c.tap != nil {
+		c.tap.PagesRead++
+	}
 	comp, err := xcompress.For(c.column.Compression)
 	if err != nil {
 		return nil, err
@@ -626,12 +671,18 @@ func (c *Chunk) pageBodyScratch(p int, sc *arena.Scratch) ([]byte, error) {
 	}
 	c.r.io.bytesDecompressed.Add(int64(len(body)))
 	globalIO.bytesDecompressed.Add(int64(len(body)))
+	if c.tap != nil {
+		c.tap.BytesDecompressed += int64(len(body))
+	}
 	return body, nil
 }
 
 func (c *Chunk) skipPage() {
 	c.r.io.pagesSkipped.Add(1)
 	globalIO.pagesSkipped.Add(1)
+	if c.tap != nil {
+		c.tap.PagesSkipped++
+	}
 }
 
 // PackedPage exposes one page's packed-key region for in-situ scanning.

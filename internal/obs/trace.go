@@ -75,6 +75,16 @@ func (s *Span) End() {
 	s.dur = time.Since(s.start)
 }
 
+// SetDuration overrides the span's duration. Pipeline stage spans use it
+// to carry summed per-worker busy time, which wall-clock End cannot
+// express for work interleaved across morsels.
+func (s *Span) SetDuration(d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.dur = d
+}
+
 // AddDetail appends one plan-choice note (e.g. the kernel chosen or a
 // dictionary rewrite outcome).
 func (s *Span) AddDetail(format string, args ...any) {

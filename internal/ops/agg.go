@@ -1,8 +1,8 @@
 package ops
 
 import (
+	"context"
 	"fmt"
-	"sync"
 
 	"codecdb/internal/exec"
 )
@@ -40,10 +40,84 @@ type AggResult struct {
 // NumGroups returns the number of populated groups.
 func (r *AggResult) NumGroups() int { return len(r.Keys) }
 
-// ArrayAggregate is the array aggregation operator (§5.4): group keys are
-// dictionary codes in [0, keySpace), so each aggregate lives in a flat
-// array indexed by key — no hashing, no collisions, and block-level
-// partial arrays merge with one addition per slot.
+// PartialArrayAgg is a worker-local partial array aggregation (§5.4):
+// group keys are dictionary codes in [0, keySpace), so each aggregate
+// lives in a flat array indexed by key — no hashing, no collisions, and
+// block-level partials merge with one addition per slot. A pipeline worker
+// accumulates each of its row groups into one PartialArrayAgg; the final
+// merge folds the per-worker partials together.
+type PartialArrayAgg struct {
+	kinds  []AggKind
+	counts []int64
+	accs   [][]float64
+}
+
+// NewPartialArrayAgg builds an empty partial for keySpace groups and one
+// accumulator per aggregate kind.
+func NewPartialArrayAgg(keySpace int, kinds []AggKind) *PartialArrayAgg {
+	p := &PartialArrayAgg{
+		kinds:  kinds,
+		counts: make([]int64, keySpace),
+		accs:   make([][]float64, len(kinds)),
+	}
+	for j, k := range kinds {
+		p.accs[j] = newAccArray(k, keySpace)
+	}
+	return p
+}
+
+// Accumulate folds one block of keys into the partial. specs must align
+// with the partial's kinds and carry value vectors matching len(keys).
+func (p *PartialArrayAgg) Accumulate(keys []int64, specs []VecAgg) error {
+	if len(specs) != len(p.kinds) {
+		return fmt.Errorf("ops: %d specs, want %d", len(specs), len(p.kinds))
+	}
+	for j, s := range specs {
+		if s.Kind != p.kinds[j] {
+			return fmt.Errorf("ops: spec %d kind %d, want %d", j, s.Kind, p.kinds[j])
+		}
+		if err := s.validate(len(keys)); err != nil {
+			return fmt.Errorf("ops: spec %d: %w", j, err)
+		}
+	}
+	for i, k := range keys {
+		p.counts[k]++
+		for j, spec := range specs {
+			accumulate(p.accs[j], spec, k, i)
+		}
+	}
+	return nil
+}
+
+// Merge folds another partial into p (§5.4: merging arrays is one pass,
+// unlike merging hash tables). Both must come from NewPartialArrayAgg with
+// the same keySpace and kinds.
+func (p *PartialArrayAgg) Merge(o *PartialArrayAgg) {
+	for k := range o.counts {
+		if o.counts[k] == 0 {
+			continue
+		}
+		p.counts[k] += o.counts[k]
+		for j, kind := range p.kinds {
+			mergeSlot(p.accs[j], o.accs[j], kind, k)
+		}
+	}
+}
+
+// Result compacts the partial into the grouped result, dropping empty
+// groups; keys come out ascending.
+func (p *PartialArrayAgg) Result() *AggResult {
+	specs := make([]VecAgg, len(p.kinds))
+	for j, k := range p.kinds {
+		specs[j] = VecAgg{Kind: k}
+	}
+	return compactResult(p.counts, p.accs, specs)
+}
+
+// ArrayAggregate is the whole-table array aggregation entry point, now a
+// thin wrapper over the partial-aggregate kernels: the key vector splits
+// into morsels, each worker accumulates its morsels into one private
+// partial, and the partials merge.
 func ArrayAggregate(pool *exec.Pool, keys []int64, keySpace int, specs []VecAgg) (*AggResult, error) {
 	if keySpace <= 0 {
 		return nil, fmt.Errorf("ops: non-positive key space %d", keySpace)
@@ -53,72 +127,45 @@ func ArrayAggregate(pool *exec.Pool, keys []int64, keySpace int, specs []VecAgg)
 			return nil, fmt.Errorf("ops: spec %d: %w", i, err)
 		}
 	}
-	workers := pool.Size()
-	partCounts := make([][]int64, workers)
-	partAccs := make([][][]float64, workers)
-	var widx int
-	var mu sync.Mutex
-	nextWorker := func() int {
-		mu.Lock()
-		defer mu.Unlock()
-		w := widx
-		widx++
-		return w
+	kinds := make([]AggKind, len(specs))
+	for j, s := range specs {
+		kinds[j] = s.Kind
 	}
-	chunk := (len(keys) + workers - 1) / workers
+	chunk := (len(keys) + pool.Size() - 1) / pool.Size()
 	if chunk == 0 {
 		chunk = 1
 	}
-	var wg sync.WaitGroup
-	for start := 0; start < len(keys); start += chunk {
-		end := start + chunk
-		if end > len(keys) {
-			end = len(keys)
-		}
-		wg.Add(1)
-		s, e := start, end
-		pool.Submit(func() {
-			defer wg.Done()
-			w := nextWorker()
-			counts := make([]int64, keySpace)
-			accs := make([][]float64, len(specs))
-			for j, spec := range specs {
-				accs[j] = newAccArray(spec.Kind, keySpace)
+	nMorsels := (len(keys) + chunk - 1) / chunk
+	parts, err := exec.ParallelMorsels(context.Background(), pool, nMorsels,
+		func(worker int) *PartialArrayAgg { return NewPartialArrayAgg(keySpace, kinds) },
+		func(ctx context.Context, p *PartialArrayAgg, m int) error {
+			s := m * chunk
+			e := s + chunk
+			if e > len(keys) {
+				e = len(keys)
 			}
-			for i := s; i < e; i++ {
-				k := keys[i]
-				counts[k]++
-				for j, spec := range specs {
-					accumulate(accs[j], spec, k, i)
+			sub := make([]VecAgg, len(specs))
+			for j, sp := range specs {
+				sub[j] = VecAgg{Kind: sp.Kind}
+				if sp.Ints != nil {
+					sub[j].Ints = sp.Ints[s:e]
+				}
+				if sp.Floats != nil {
+					sub[j].Floats = sp.Floats[s:e]
 				}
 			}
-			partCounts[w] = counts
-			partAccs[w] = accs
+			return p.Accumulate(keys[s:e], sub)
 		})
+	if err != nil {
+		return nil, err
 	}
-	wg.Wait()
-	// Merge partial arrays (§5.4: merging arrays is one pass, unlike
-	// merging hash tables).
-	counts := make([]int64, keySpace)
-	accs := make([][]float64, len(specs))
-	for j, spec := range specs {
-		accs[j] = newAccArray(spec.Kind, keySpace)
-	}
-	for w := 0; w < workers; w++ {
-		if partCounts[w] == nil {
-			continue
-		}
-		for k := 0; k < keySpace; k++ {
-			if partCounts[w][k] == 0 {
-				continue
-			}
-			counts[k] += partCounts[w][k]
-			for j, spec := range specs {
-				mergeSlot(accs[j], partAccs[w][j], spec.Kind, k)
-			}
+	total := NewPartialArrayAgg(keySpace, kinds)
+	for _, p := range parts {
+		if p != nil {
+			total.Merge(p)
 		}
 	}
-	return compactResult(counts, accs, specs), nil
+	return total.Result(), nil
 }
 
 func (s VecAgg) validate(n int) error {

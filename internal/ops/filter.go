@@ -108,6 +108,86 @@ func applyFilterRaw(ctx context.Context, f Filter, r *colstore.Reader, pool *exe
 	return bm, err
 }
 
+// filterRG is the single-row-group filter kernel: evaluate one prepared
+// predicate against row group rg, restricted to secSel (nil means every
+// row of the group), using the worker-local scratch sc, and return the
+// group-local match bitmap. A non-nil tap attributes the kernel's page IO
+// to the caller (one pipeline stage on one worker). Kernels are created
+// per worker via preparedFilter.newKernel, so any lazily built per-worker
+// state (lookup tables) lives in the kernel closure and is never shared.
+type filterRG func(ctx context.Context, rg int, sc *arena.Scratch, secSel *bitutil.Bitmap, tap *colstore.IOTap) (*bitutil.Bitmap, error)
+
+// preparedFilter is a filter resolved against one reader: per-query work
+// (column lookup, dictionary probes, predicate rewrites) is done once at
+// prepare time, leaving a kernel that any worker can run against any row
+// group. It is the unit both execution strategies consume — the legacy
+// barrier sweep (applyPrepared) and the morsel pipeline (pipeline.go).
+type preparedFilter struct {
+	// empty marks the whole predicate provably false (e.g. equality on a
+	// value absent from the dictionary): no row group is visited and no
+	// counter moves, matching the historical early-return.
+	empty bool
+	// newKernel builds one worker-private kernel instance.
+	newKernel func() filterRG
+	// skip records the pages of row group rg as selection-skipped without
+	// evaluating the kernel — used when the incoming selection already
+	// rules out every row of the group.
+	skip func(rg int, tap *colstore.IOTap)
+}
+
+// preparable is implemented by every filter in this package; the morsel
+// pipeline compiles plan leaves through it.
+type preparable interface {
+	Filter
+	prepare(r *colstore.Reader) (preparedFilter, error)
+}
+
+// skipWholeChunk is the common skip behaviour: mark every page of the
+// row group's chunk as bypassed by selection pushdown.
+func skipWholeChunk(r *colstore.Reader, ci int) func(rg int, tap *colstore.IOTap) {
+	return func(rg int, tap *colstore.IOTap) {
+		chunk := r.Chunk(rg, ci).Tap(tap)
+		chunk.MarkSkipped(chunk.NumPages())
+	}
+}
+
+// applyPrepared runs a prepared filter over all row groups with the
+// operator-at-a-time barrier strategy: one parallel sweep, one kernel and
+// one scratch per worker, sections installed as they complete. Every
+// ApplySel entry point is a thin wrapper over this — the same kernels the
+// morsel pipeline drives row group by row group.
+func applyPrepared(ctx context.Context, r *colstore.Reader, pool *exec.Pool, sel *bitutil.SectionalBitmap, pf preparedFilter) (*bitutil.SectionalBitmap, error) {
+	out := NewTableBitmap(r)
+	if pf.empty {
+		return out, nil
+	}
+	err := pool.ParallelChunksErr(ctx, r.NumRowGroups(), func(start, end int) error {
+		sc := arena.Get()
+		defer arena.Put(sc)
+		kern := pf.newKernel()
+		for rg := start; rg < end; rg++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			secSel, skip := sectionSelection(sel, rg)
+			if skip {
+				pf.skip(rg, nil)
+				continue
+			}
+			section, err := kern(ctx, rg, sc, secSel, nil)
+			if err != nil {
+				return err
+			}
+			finishSection(out, rg, section, secSel)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
 // mergePage transfers a page-local result bitmap into the section bitmap
 // at row offset firstRow. Word-aligned offsets (the common case: page rows
 // are multiples of 64) copy whole words.
@@ -148,39 +228,38 @@ func (f *DictFilter) ApplyCtx(ctx context.Context, r *colstore.Reader, pool *exe
 
 // ApplySel runs the filter restricted to sel (nil means all rows).
 func (f *DictFilter) ApplySel(ctx context.Context, r *colstore.Reader, pool *exec.Pool, sel *bitutil.SectionalBitmap) (*bitutil.SectionalBitmap, error) {
-	ci, col, err := r.Column(f.Col)
+	pf, err := f.prepare(r)
 	if err != nil {
 		return nil, err
+	}
+	return applyPrepared(ctx, r, pool, sel, pf)
+}
+
+// prepare resolves the predicate value through the dictionary once and
+// yields the per-row-group scan kernel.
+func (f *DictFilter) prepare(r *colstore.Reader) (preparedFilter, error) {
+	ci, col, err := r.Column(f.Col)
+	if err != nil {
+		return preparedFilter{}, err
 	}
 	lb, exact, dictLen, err := dictLowerBound(r, ci, col, f.IntValue, f.StrValue)
 	if err != nil {
-		return nil, err
+		return preparedFilter{}, err
 	}
 	op, match, all := rewriteDictPredicate(f.Op, lb, exact, dictLen)
-	out := NewTableBitmap(r)
+	pf := preparedFilter{skip: skipWholeChunk(r, ci)}
 	if !match && !all {
-		return out, nil // e.g. equality on a value absent from the dictionary
+		pf.empty = true // e.g. equality on a value absent from the dictionary
+		return pf, nil
 	}
-	err = pool.ParallelChunksErr(ctx, r.NumRowGroups(), func(start, end int) error {
-		sc := arena.Get()
-		defer arena.Put(sc)
-		for rg := start; rg < end; rg++ {
-			if err := ctx.Err(); err != nil {
-				return err
-			}
-			secSel, skip := sectionSelection(sel, rg)
-			if skip {
-				chunk := r.Chunk(rg, ci)
-				chunk.MarkSkipped(chunk.NumPages())
-				continue
-			}
+	pf.newKernel = func() filterRG {
+		return func(ctx context.Context, rg int, sc *arena.Scratch, secSel *bitutil.Bitmap, tap *colstore.IOTap) (*bitutil.Bitmap, error) {
 			section := bitutil.NewBitmap(r.RowGroupRows(rg))
 			if all {
 				section.SetAll()
-				finishSection(out, rg, section, secSel)
-				continue
+				return section, nil
 			}
-			chunk := r.Chunk(rg, ci)
+			chunk := r.Chunk(rg, ci).Tap(tap)
 			for p := 0; p < chunk.NumPages(); p++ {
 				if secSel != nil && !chunk.PageSelected(secSel, p) {
 					chunk.MarkSkipped(1)
@@ -202,20 +281,16 @@ func (f *DictFilter) ApplySel(ctx context.Context, r *colstore.Reader, pool *exe
 				}
 				pp, err := chunk.PackedPageAt(p, sc)
 				if err != nil {
-					return err
+					return nil, err
 				}
 				bm := sc.Bitmap(pp.N)
 				sboost.ScanPackedIntoSel(bm, pp.Data, pp.Width, op, uint64(lb), secSel, pp.FirstRow)
 				mergePage(section, bm, pp.FirstRow)
 			}
-			finishSection(out, rg, section, secSel)
+			return section, nil
 		}
-		return nil
-	})
-	if err != nil {
-		return nil, err
 	}
-	return out, nil
+	return pf, nil
 }
 
 // sectionSelection resolves the selection for row group rg: (nil, false)
@@ -364,16 +439,25 @@ func (f *DictInFilter) ApplyCtx(ctx context.Context, r *colstore.Reader, pool *e
 
 // ApplySel runs the filter restricted to sel (nil means all rows).
 func (f *DictInFilter) ApplySel(ctx context.Context, r *colstore.Reader, pool *exec.Pool, sel *bitutil.SectionalBitmap) (*bitutil.SectionalBitmap, error) {
-	ci, col, err := r.Column(f.Col)
+	pf, err := f.prepare(r)
 	if err != nil {
 		return nil, err
+	}
+	return applyPrepared(ctx, r, pool, sel, pf)
+}
+
+// prepare resolves each IN value to its dictionary key once.
+func (f *DictInFilter) prepare(r *colstore.Reader) (preparedFilter, error) {
+	ci, col, err := r.Column(f.Col)
+	if err != nil {
+		return preparedFilter{}, err
 	}
 	var keys []uint64
 	switch col.Type {
 	case colstore.TypeInt64:
 		dict, err := r.IntDict(ci)
 		if err != nil {
-			return nil, err
+			return preparedFilter{}, err
 		}
 		for _, v := range f.IntValues {
 			lb := lowerBoundInt(dict, v)
@@ -384,7 +468,7 @@ func (f *DictInFilter) ApplySel(ctx context.Context, r *colstore.Reader, pool *e
 	case colstore.TypeString:
 		dict, err := r.StrDict(ci)
 		if err != nil {
-			return nil, err
+			return preparedFilter{}, err
 		}
 		for _, v := range f.StrValues {
 			lb := lowerBoundStr(dict, v)
@@ -393,9 +477,9 @@ func (f *DictInFilter) ApplySel(ctx context.Context, r *colstore.Reader, pool *e
 			}
 		}
 	default:
-		return nil, fmt.Errorf("ops: IN filter on %v column", col.Type)
+		return preparedFilter{}, fmt.Errorf("ops: IN filter on %v column", col.Type)
 	}
-	return scanKeysIn(ctx, r, ci, keys, pool, sel)
+	return prepareKeysIn(r, ci, keys), nil
 }
 
 // DictLikeFilter is `col LIKE pattern` on a dictionary string column
@@ -420,16 +504,25 @@ func (f *DictLikeFilter) ApplyCtx(ctx context.Context, r *colstore.Reader, pool 
 
 // ApplySel runs the filter restricted to sel (nil means all rows).
 func (f *DictLikeFilter) ApplySel(ctx context.Context, r *colstore.Reader, pool *exec.Pool, sel *bitutil.SectionalBitmap) (*bitutil.SectionalBitmap, error) {
-	ci, col, err := r.Column(f.Col)
+	pf, err := f.prepare(r)
 	if err != nil {
 		return nil, err
 	}
+	return applyPrepared(ctx, r, pool, sel, pf)
+}
+
+// prepare evaluates the pattern over the dictionary once.
+func (f *DictLikeFilter) prepare(r *colstore.Reader) (preparedFilter, error) {
+	ci, col, err := r.Column(f.Col)
+	if err != nil {
+		return preparedFilter{}, err
+	}
 	if col.Type != colstore.TypeString {
-		return nil, fmt.Errorf("ops: LIKE filter on %v column", col.Type)
+		return preparedFilter{}, fmt.Errorf("ops: LIKE filter on %v column", col.Type)
 	}
 	dict, err := r.StrDict(ci)
 	if err != nil {
-		return nil, err
+		return preparedFilter{}, err
 	}
 	var keys []uint64
 	for k, e := range dict {
@@ -437,7 +530,7 @@ func (f *DictLikeFilter) ApplySel(ctx context.Context, r *colstore.Reader, pool 
 			keys = append(keys, uint64(k))
 		}
 	}
-	return scanKeysIn(ctx, r, ci, keys, pool, sel)
+	return prepareKeysIn(r, ci, keys), nil
 }
 
 // BitPackedFilter compares a bit-packed integer column against a constant
@@ -464,28 +557,29 @@ func (f *BitPackedFilter) ApplyCtx(ctx context.Context, r *colstore.Reader, pool
 
 // ApplySel runs the filter restricted to sel (nil means all rows).
 func (f *BitPackedFilter) ApplySel(ctx context.Context, r *colstore.Reader, pool *exec.Pool, sel *bitutil.SectionalBitmap) (*bitutil.SectionalBitmap, error) {
-	ci, col, err := r.Column(f.Col)
+	pf, err := f.prepare(r)
 	if err != nil {
 		return nil, err
 	}
+	return applyPrepared(ctx, r, pool, sel, pf)
+}
+
+// prepare validates the column and yields the per-row-group kernel. The
+// in-situ/decode decision stays inside the kernel: it depends on each
+// chunk's statistics.
+func (f *BitPackedFilter) prepare(r *colstore.Reader) (preparedFilter, error) {
+	ci, col, err := r.Column(f.Col)
+	if err != nil {
+		return preparedFilter{}, err
+	}
 	if col.Encoding != encoding.KindBitPacked || col.Type != colstore.TypeInt64 {
-		return nil, fmt.Errorf("ops: bit-packed filter needs a bit-packed int column")
+		return preparedFilter{}, fmt.Errorf("ops: bit-packed filter needs a bit-packed int column")
 	}
 	zz := func(v int64) uint64 { return uint64((v << 1) ^ (v >> 63)) }
-	out := NewTableBitmap(r)
-	err = pool.ParallelChunksErr(ctx, r.NumRowGroups(), func(start, end int) error {
-		sc := arena.Get()
-		defer arena.Put(sc)
-		for rg := start; rg < end; rg++ {
-			if err := ctx.Err(); err != nil {
-				return err
-			}
-			chunk := r.Chunk(rg, ci)
-			secSel, skip := sectionSelection(sel, rg)
-			if skip {
-				chunk.MarkSkipped(chunk.NumPages())
-				continue
-			}
+	pf := preparedFilter{skip: skipWholeChunk(r, ci)}
+	pf.newKernel = func() filterRG {
+		return func(ctx context.Context, rg int, sc *arena.Scratch, secSel *bitutil.Bitmap, tap *colstore.IOTap) (*bitutil.Bitmap, error) {
+			chunk := r.Chunk(rg, ci).Tap(tap)
 			section := bitutil.NewBitmap(chunk.Rows())
 			inSitu := f.Op == sboost.OpEq || f.Op == sboost.OpNe || chunk.Stats().MinInt >= 0
 			if !inSitu {
@@ -494,7 +588,7 @@ func (f *BitPackedFilter) ApplySel(ctx context.Context, r *colstore.Reader, pool
 				if secSel != nil {
 					vals, err := chunk.GatherInts(secSel)
 					if err != nil {
-						return err
+						return nil, err
 					}
 					i := 0
 					secSel.ForEach(func(row int) {
@@ -503,30 +597,26 @@ func (f *BitPackedFilter) ApplySel(ctx context.Context, r *colstore.Reader, pool
 						}
 						i++
 					})
-					out.SetSection(rg, section)
-					continue
+					return section, nil
 				}
 				vals, err := chunk.Ints()
 				if err != nil {
-					return err
+					return nil, err
 				}
 				for i, v := range vals {
 					if chunkMatch(v, f.Op, f.Value) {
 						section.Set(i)
 					}
 				}
-				out.SetSection(rg, section)
-				continue
+				return section, nil
 			}
 			op, target, match, all := rewriteZigzagPredicate(f.Op, f.Value, zz)
 			if all {
 				section.SetAll()
-				finishSection(out, rg, section, secSel)
-				continue
+				return section, nil
 			}
 			if !match {
-				out.SetSection(rg, section)
-				continue
+				return section, nil
 			}
 			for p := 0; p < chunk.NumPages(); p++ {
 				if secSel != nil && !chunk.PageSelected(secSel, p) {
@@ -552,7 +642,7 @@ func (f *BitPackedFilter) ApplySel(ctx context.Context, r *colstore.Reader, pool
 				}
 				pp, err := chunk.PackedPageAt(p, sc)
 				if err != nil {
-					return err
+					return nil, err
 				}
 				// A target wider than the page's packed width cannot occur
 				// in the page: resolve the comparison statically instead of
@@ -569,14 +659,10 @@ func (f *BitPackedFilter) ApplySel(ctx context.Context, r *colstore.Reader, pool
 				sboost.ScanPackedIntoSel(bm, pp.Data, pp.Width, op, target, secSel, pp.FirstRow)
 				mergePage(section, bm, pp.FirstRow)
 			}
-			finishSection(out, rg, section, secSel)
+			return section, nil
 		}
-		return nil
-	})
-	if err != nil {
-		return nil, err
 	}
-	return out, nil
+	return pf, nil
 }
 
 // rewriteZigzagPredicate maps a value-domain comparison onto the zigzag
@@ -620,16 +706,25 @@ func (f *DictIntPredFilter) ApplyCtx(ctx context.Context, r *colstore.Reader, po
 
 // ApplySel runs the filter restricted to sel (nil means all rows).
 func (f *DictIntPredFilter) ApplySel(ctx context.Context, r *colstore.Reader, pool *exec.Pool, sel *bitutil.SectionalBitmap) (*bitutil.SectionalBitmap, error) {
-	ci, col, err := r.Column(f.Col)
+	pf, err := f.prepare(r)
 	if err != nil {
 		return nil, err
 	}
+	return applyPrepared(ctx, r, pool, sel, pf)
+}
+
+// prepare evaluates the predicate over the dictionary once.
+func (f *DictIntPredFilter) prepare(r *colstore.Reader) (preparedFilter, error) {
+	ci, col, err := r.Column(f.Col)
+	if err != nil {
+		return preparedFilter{}, err
+	}
 	if col.Type != colstore.TypeInt64 {
-		return nil, fmt.Errorf("ops: dict int predicate on %v column", col.Type)
+		return preparedFilter{}, fmt.Errorf("ops: dict int predicate on %v column", col.Type)
 	}
 	dict, err := r.IntDict(ci)
 	if err != nil {
-		return nil, err
+		return preparedFilter{}, err
 	}
 	var keys []uint64
 	for k, e := range dict {
@@ -637,21 +732,27 @@ func (f *DictIntPredFilter) ApplySel(ctx context.Context, r *colstore.Reader, po
 			keys = append(keys, uint64(k))
 		}
 	}
-	return scanKeysIn(ctx, r, ci, keys, pool, sel)
+	return prepareKeysIn(r, ci, keys), nil
 }
 
 // swarInThreshold is the IN-set size above which the per-target SWAR
 // disjunction loses to a single lookup-table pass.
 const swarInThreshold = 8
 
-// scanKeysIn scans packed keys for membership in keys, choosing the
-// cheapest strategy: a contiguous key set becomes one SWAR range scan, a
-// small set the SWAR disjunction, and a large scattered set a lookup
-// table. A non-nil sel restricts the scan to the selected rows.
+// scanKeysIn scans packed keys for membership in keys. A non-nil sel
+// restricts the scan to the selected rows.
 func scanKeysIn(ctx context.Context, r *colstore.Reader, ci int, keys []uint64, pool *exec.Pool, sel *bitutil.SectionalBitmap) (*bitutil.SectionalBitmap, error) {
-	out := NewTableBitmap(r)
+	return applyPrepared(ctx, r, pool, sel, prepareKeysIn(r, ci, keys))
+}
+
+// prepareKeysIn builds the IN-set membership kernel, choosing the cheapest
+// strategy: a contiguous key set becomes one SWAR range scan, a small set
+// the SWAR disjunction, and a large scattered set a lookup table.
+func prepareKeysIn(r *colstore.Reader, ci int, keys []uint64) preparedFilter {
+	pf := preparedFilter{skip: skipWholeChunk(r, ci)}
 	if len(keys) == 0 {
-		return out, nil
+		pf.empty = true
+		return pf
 	}
 	sorted := append([]uint64(nil), keys...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
@@ -679,21 +780,12 @@ func scanKeysIn(ctx context.Context, r *colstore.Reader, ci int, keys []uint64, 
 		}
 		return sboost.DispMixed
 	}
-	err := pool.ParallelChunksErr(ctx, r.NumRowGroups(), func(start, end int) error {
-		sc := arena.Get()
-		defer arena.Put(sc)
-		// The lookup table is built once per worker, not once per page.
+	pf.newKernel = func() filterRG {
+		// The lookup table is built once per worker, not once per page, and
+		// lives in this kernel closure so workers never share it.
 		var table []bool
-		for rg := start; rg < end; rg++ {
-			if err := ctx.Err(); err != nil {
-				return err
-			}
-			chunk := r.Chunk(rg, ci)
-			secSel, skip := sectionSelection(sel, rg)
-			if skip {
-				chunk.MarkSkipped(chunk.NumPages())
-				continue
-			}
+		return func(ctx context.Context, rg int, sc *arena.Scratch, secSel *bitutil.Bitmap, tap *colstore.IOTap) (*bitutil.Bitmap, error) {
+			chunk := r.Chunk(rg, ci).Tap(tap)
 			section := bitutil.NewBitmap(r.RowGroupRows(rg))
 			for p := 0; p < chunk.NumPages(); p++ {
 				if secSel != nil && !chunk.PageSelected(secSel, p) {
@@ -714,7 +806,7 @@ func scanKeysIn(ctx context.Context, r *colstore.Reader, ci int, keys []uint64, 
 				}
 				pp, err := chunk.PackedPageAt(p, sc)
 				if err != nil {
-					return err
+					return nil, err
 				}
 				bm := sc.Bitmap(pp.N)
 				switch {
@@ -733,14 +825,10 @@ func scanKeysIn(ctx context.Context, r *colstore.Reader, ci int, keys []uint64, 
 				}
 				mergePage(section, bm, pp.FirstRow)
 			}
-			finishSection(out, rg, section, secSel)
+			return section, nil
 		}
-		return nil
-	})
-	if err != nil {
-		return nil, err
 	}
-	return out, nil
+	return pf
 }
 
 // TwoColumnFilter compares two columns that share one order-preserving
@@ -763,36 +851,41 @@ func (f *TwoColumnFilter) ApplyCtx(ctx context.Context, r *colstore.Reader, pool
 
 // ApplySel runs the filter restricted to sel (nil means all rows).
 func (f *TwoColumnFilter) ApplySel(ctx context.Context, r *colstore.Reader, pool *exec.Pool, sel *bitutil.SectionalBitmap) (*bitutil.SectionalBitmap, error) {
-	ca, _, err := r.Column(f.ColA)
+	pf, err := f.prepare(r)
 	if err != nil {
 		return nil, err
+	}
+	return applyPrepared(ctx, r, pool, sel, pf)
+}
+
+// prepare validates the shared dictionary once. The kernel borrows a
+// second scratch per row group: two pages are live at once.
+func (f *TwoColumnFilter) prepare(r *colstore.Reader) (preparedFilter, error) {
+	ca, _, err := r.Column(f.ColA)
+	if err != nil {
+		return preparedFilter{}, err
 	}
 	cb, _, err := r.Column(f.ColB)
 	if err != nil {
-		return nil, err
+		return preparedFilter{}, err
 	}
 	if !r.SharedDict(ca, cb) {
-		return nil, fmt.Errorf("ops: %s and %s do not share a dictionary", f.ColA, f.ColB)
+		return preparedFilter{}, fmt.Errorf("ops: %s and %s do not share a dictionary", f.ColA, f.ColB)
 	}
-	out := NewTableBitmap(r)
-	err = pool.ParallelChunksErr(ctx, r.NumRowGroups(), func(start, end int) error {
-		// Two pages are live at once, so each column gets its own scratch.
-		scA, scB := arena.Get(), arena.Get()
-		defer arena.Put(scA)
-		defer arena.Put(scB)
-		for rg := start; rg < end; rg++ {
-			if err := ctx.Err(); err != nil {
-				return err
-			}
-			chA, chB := r.Chunk(rg, ca), r.Chunk(rg, cb)
+	pf := preparedFilter{skip: func(rg int, tap *colstore.IOTap) {
+		chA := r.Chunk(rg, ca).Tap(tap)
+		chB := r.Chunk(rg, cb).Tap(tap)
+		chA.MarkSkipped(chA.NumPages())
+		chB.MarkSkipped(chB.NumPages())
+	}}
+	pf.newKernel = func() filterRG {
+		return func(ctx context.Context, rg int, scA *arena.Scratch, secSel *bitutil.Bitmap, tap *colstore.IOTap) (*bitutil.Bitmap, error) {
+			scB := arena.Get()
+			defer arena.Put(scB)
+			chA := r.Chunk(rg, ca).Tap(tap)
+			chB := r.Chunk(rg, cb).Tap(tap)
 			if chA.NumPages() != chB.NumPages() {
-				return fmt.Errorf("ops: page layout mismatch between %s and %s", f.ColA, f.ColB)
-			}
-			secSel, skip := sectionSelection(sel, rg)
-			if skip {
-				chA.MarkSkipped(chA.NumPages())
-				chB.MarkSkipped(chB.NumPages())
-				continue
+				return nil, fmt.Errorf("ops: page layout mismatch between %s and %s", f.ColA, f.ColB)
 			}
 			section := bitutil.NewBitmap(r.RowGroupRows(rg))
 			for p := 0; p < chA.NumPages(); p++ {
@@ -821,24 +914,20 @@ func (f *TwoColumnFilter) ApplySel(ctx context.Context, r *colstore.Reader, pool
 				}
 				a, err := chA.PackedPageAt(p, scA)
 				if err != nil {
-					return err
+					return nil, err
 				}
 				b, err := chB.PackedPageAt(p, scB)
 				if err != nil {
-					return err
+					return nil, err
 				}
 				bm := scA.Bitmap(a.N)
 				sboost.CompareStreamsIntoSel(bm, a.Data, b.Data, a.Width, f.Op, secSel, a.FirstRow)
 				mergePage(section, bm, a.FirstRow)
 			}
-			finishSection(out, rg, section, secSel)
+			return section, nil
 		}
-		return nil
-	})
-	if err != nil {
-		return nil, err
 	}
-	return out, nil
+	return pf, nil
 }
 
 // DeltaFilter compares a delta-encoded integer column against a constant
@@ -866,28 +955,29 @@ func (f *DeltaFilter) ApplyCtx(ctx context.Context, r *colstore.Reader, pool *ex
 // are skipped whole; a selected page still reconstructs every row in it —
 // the running sum needs them — but only rows the section keeps survive.
 func (f *DeltaFilter) ApplySel(ctx context.Context, r *colstore.Reader, pool *exec.Pool, sel *bitutil.SectionalBitmap) (*bitutil.SectionalBitmap, error) {
-	ci, col, err := r.Column(f.Col)
+	pf, err := f.prepare(r)
 	if err != nil {
 		return nil, err
 	}
+	return applyPrepared(ctx, r, pool, sel, pf)
+}
+
+// prepare validates the column and yields the per-row-group kernel. The
+// zigzag rewrite stays inside the kernel: whether the zone maps apply
+// depends on each chunk's statistics.
+func (f *DeltaFilter) prepare(r *colstore.Reader) (preparedFilter, error) {
+	ci, col, err := r.Column(f.Col)
+	if err != nil {
+		return preparedFilter{}, err
+	}
 	if col.Encoding != encoding.KindDelta || col.Type != colstore.TypeInt64 {
-		return nil, fmt.Errorf("ops: delta filter needs a delta-encoded int column")
+		return preparedFilter{}, fmt.Errorf("ops: delta filter needs a delta-encoded int column")
 	}
 	zz := func(v int64) uint64 { return uint64((v << 1) ^ (v >> 63)) }
-	out := NewTableBitmap(r)
-	err = pool.ParallelChunksErr(ctx, r.NumRowGroups(), func(start, end int) error {
-		sc := arena.Get()
-		defer arena.Put(sc)
-		for rg := start; rg < end; rg++ {
-			if err := ctx.Err(); err != nil {
-				return err
-			}
-			chunk := r.Chunk(rg, ci)
-			secSel, skip := sectionSelection(sel, rg)
-			if skip {
-				chunk.MarkSkipped(chunk.NumPages())
-				continue
-			}
+	pf := preparedFilter{skip: skipWholeChunk(r, ci)}
+	pf.newKernel = func() filterRG {
+		return func(ctx context.Context, rg int, sc *arena.Scratch, secSel *bitutil.Bitmap, tap *colstore.IOTap) (*bitutil.Bitmap, error) {
+			chunk := r.Chunk(rg, ci).Tap(tap)
 			section := bitutil.NewBitmap(chunk.Rows())
 			// Delta pages carry their zone map in the zigzag domain of the
 			// reconstructed values, so the same rewrite the bit-packed
@@ -904,14 +994,12 @@ func (f *DeltaFilter) ApplySel(ctx context.Context, r *colstore.Reader, pool *ex
 				canZone = match && !all
 				if all {
 					section.SetAll()
-					finishSection(out, rg, section, secSel)
-					continue
+					return section, nil
 				}
 				if !match {
 					// Provably empty for the whole chunk (negative target
 					// against non-negative data).
-					out.SetSection(rg, section)
-					continue
+					return section, nil
 				}
 			}
 			for p := 0; p < chunk.NumPages(); p++ {
@@ -938,11 +1026,11 @@ func (f *DeltaFilter) ApplySel(ctx context.Context, r *colstore.Reader, pool *ex
 				}
 				body, err := chunk.PageBodyScratch(p, sc)
 				if err != nil {
-					return err
+					return nil, err
 				}
 				first, sums, err := (encoding.DeltaInt{}).AppendDeltas(sc.Ints(rowLast-rowFirst), body)
 				if err != nil {
-					return err
+					return nil, err
 				}
 				sc.KeepInts(sums)
 				sboost.CumulativeSum(sums, sums) // in-place prefix sum
@@ -955,14 +1043,10 @@ func (f *DeltaFilter) ApplySel(ctx context.Context, r *colstore.Reader, pool *ex
 					}
 				}
 			}
-			finishSection(out, rg, section, secSel)
+			return section, nil
 		}
-		return nil
-	})
-	if err != nil {
-		return nil, err
 	}
-	return out, nil
+	return pf, nil
 }
 
 func chunkMatch(v int64, op sboost.Op, target int64) bool {
@@ -1005,56 +1089,66 @@ func (f *IntPredicateFilter) ApplyCtx(ctx context.Context, r *colstore.Reader, p
 // selection the chunk is read through the gathering decoder, which skips
 // pages holding no selected row and decodes only surviving entries.
 func (f *IntPredicateFilter) ApplySel(ctx context.Context, r *colstore.Reader, pool *exec.Pool, sel *bitutil.SectionalBitmap) (*bitutil.SectionalBitmap, error) {
-	ci, _, err := r.Column(f.Col)
+	pf, err := f.prepare(r)
 	if err != nil {
 		return nil, err
 	}
-	out := NewTableBitmap(r)
-	err = pool.ParallelChunksErr(ctx, r.NumRowGroups(), func(start, end int) error {
-		for rg := start; rg < end; rg++ {
-			if err := ctx.Err(); err != nil {
-				return err
-			}
-			chunk := r.Chunk(rg, ci)
-			secSel, skip := sectionSelection(sel, rg)
-			if skip {
-				chunk.MarkSkipped(chunk.NumPages())
-				continue
-			}
+	return applyPrepared(ctx, r, pool, sel, pf)
+}
+
+// prepare yields the decode-and-test kernel.
+func (f *IntPredicateFilter) prepare(r *colstore.Reader) (preparedFilter, error) {
+	ci, _, err := r.Column(f.Col)
+	if err != nil {
+		return preparedFilter{}, err
+	}
+	return prepareOblivious(r, ci,
+		(*colstore.Chunk).GatherInts,
+		(*colstore.Chunk).Ints,
+		f.Pred), nil
+}
+
+// prepareOblivious builds the kernel shared by the encoding-oblivious
+// predicate filters: with a selection the chunk is read through the
+// gathering decoder (pages holding no selected row are skipped, only
+// surviving entries decode); without one, every row decodes and tests.
+func prepareOblivious[T any](r *colstore.Reader, ci int,
+	gather func(*colstore.Chunk, *bitutil.Bitmap) ([]T, error),
+	decode func(*colstore.Chunk) ([]T, error),
+	pred func(T) bool) preparedFilter {
+	pf := preparedFilter{skip: skipWholeChunk(r, ci)}
+	pf.newKernel = func() filterRG {
+		return func(ctx context.Context, rg int, sc *arena.Scratch, secSel *bitutil.Bitmap, tap *colstore.IOTap) (*bitutil.Bitmap, error) {
+			chunk := r.Chunk(rg, ci).Tap(tap)
 			if secSel != nil {
-				vals, err := chunk.GatherInts(secSel)
+				vals, err := gather(chunk, secSel)
 				if err != nil {
-					return err
+					return nil, err
 				}
 				section := bitutil.NewBitmap(chunk.Rows())
 				i := 0
 				secSel.ForEach(func(row int) {
-					if f.Pred(vals[i]) {
+					if pred(vals[i]) {
 						section.Set(row)
 					}
 					i++
 				})
-				out.SetSection(rg, section)
-				continue
+				return section, nil
 			}
-			vals, err := chunk.Ints()
+			vals, err := decode(chunk)
 			if err != nil {
-				return err
+				return nil, err
 			}
 			section := bitutil.NewBitmap(len(vals))
 			for i, v := range vals {
-				if f.Pred(v) {
+				if pred(v) {
 					section.Set(i)
 				}
 			}
-			out.SetSection(rg, section)
+			return section, nil
 		}
-		return nil
-	})
-	if err != nil {
-		return nil, err
 	}
-	return out, nil
+	return pf
 }
 
 // StrPredicateFilter is the oblivious string filter.
@@ -1075,56 +1169,23 @@ func (f *StrPredicateFilter) ApplyCtx(ctx context.Context, r *colstore.Reader, p
 
 // ApplySel runs the filter restricted to sel (nil means all rows).
 func (f *StrPredicateFilter) ApplySel(ctx context.Context, r *colstore.Reader, pool *exec.Pool, sel *bitutil.SectionalBitmap) (*bitutil.SectionalBitmap, error) {
+	pf, err := f.prepare(r)
+	if err != nil {
+		return nil, err
+	}
+	return applyPrepared(ctx, r, pool, sel, pf)
+}
+
+// prepare yields the decode-and-test kernel.
+func (f *StrPredicateFilter) prepare(r *colstore.Reader) (preparedFilter, error) {
 	ci, _, err := r.Column(f.Col)
 	if err != nil {
-		return nil, err
+		return preparedFilter{}, err
 	}
-	out := NewTableBitmap(r)
-	err = pool.ParallelChunksErr(ctx, r.NumRowGroups(), func(start, end int) error {
-		for rg := start; rg < end; rg++ {
-			if err := ctx.Err(); err != nil {
-				return err
-			}
-			chunk := r.Chunk(rg, ci)
-			secSel, skip := sectionSelection(sel, rg)
-			if skip {
-				chunk.MarkSkipped(chunk.NumPages())
-				continue
-			}
-			if secSel != nil {
-				vals, err := chunk.GatherStrings(secSel)
-				if err != nil {
-					return err
-				}
-				section := bitutil.NewBitmap(chunk.Rows())
-				i := 0
-				secSel.ForEach(func(row int) {
-					if f.Pred(vals[i]) {
-						section.Set(row)
-					}
-					i++
-				})
-				out.SetSection(rg, section)
-				continue
-			}
-			vals, err := chunk.Strings()
-			if err != nil {
-				return err
-			}
-			section := bitutil.NewBitmap(len(vals))
-			for i, v := range vals {
-				if f.Pred(v) {
-					section.Set(i)
-				}
-			}
-			out.SetSection(rg, section)
-		}
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	return out, nil
+	return prepareOblivious(r, ci,
+		(*colstore.Chunk).GatherStrings,
+		(*colstore.Chunk).Strings,
+		f.Pred), nil
 }
 
 // FloatPredicateFilter is the oblivious float filter.
@@ -1145,54 +1206,21 @@ func (f *FloatPredicateFilter) ApplyCtx(ctx context.Context, r *colstore.Reader,
 
 // ApplySel runs the filter restricted to sel (nil means all rows).
 func (f *FloatPredicateFilter) ApplySel(ctx context.Context, r *colstore.Reader, pool *exec.Pool, sel *bitutil.SectionalBitmap) (*bitutil.SectionalBitmap, error) {
+	pf, err := f.prepare(r)
+	if err != nil {
+		return nil, err
+	}
+	return applyPrepared(ctx, r, pool, sel, pf)
+}
+
+// prepare yields the decode-and-test kernel.
+func (f *FloatPredicateFilter) prepare(r *colstore.Reader) (preparedFilter, error) {
 	ci, _, err := r.Column(f.Col)
 	if err != nil {
-		return nil, err
+		return preparedFilter{}, err
 	}
-	out := NewTableBitmap(r)
-	err = pool.ParallelChunksErr(ctx, r.NumRowGroups(), func(start, end int) error {
-		for rg := start; rg < end; rg++ {
-			if err := ctx.Err(); err != nil {
-				return err
-			}
-			chunk := r.Chunk(rg, ci)
-			secSel, skip := sectionSelection(sel, rg)
-			if skip {
-				chunk.MarkSkipped(chunk.NumPages())
-				continue
-			}
-			if secSel != nil {
-				vals, err := chunk.GatherFloats(secSel)
-				if err != nil {
-					return err
-				}
-				section := bitutil.NewBitmap(chunk.Rows())
-				i := 0
-				secSel.ForEach(func(row int) {
-					if f.Pred(vals[i]) {
-						section.Set(row)
-					}
-					i++
-				})
-				out.SetSection(rg, section)
-				continue
-			}
-			vals, err := chunk.Floats()
-			if err != nil {
-				return err
-			}
-			section := bitutil.NewBitmap(len(vals))
-			for i, v := range vals {
-				if f.Pred(v) {
-					section.Set(i)
-				}
-			}
-			out.SetSection(rg, section)
-		}
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	return out, nil
+	return prepareOblivious(r, ci,
+		(*colstore.Chunk).GatherFloats,
+		(*colstore.Chunk).Floats,
+		f.Pred), nil
 }

@@ -102,17 +102,36 @@ func gatherCtxImpl[T any](ctx context.Context, r *colstore.Reader, col string, s
 	if err != nil {
 		return nil, err
 	}
+	return sweepRowGroups(ctx, r, pool, func(rg int) ([]T, error) {
+		return gatherRG(r, ci, rg, sel, nil, fetch)
+	})
+}
+
+// gatherRG fetches the selected rows of one row group — the single-row-group
+// gather kernel the morsel pipeline drives directly. An empty section
+// returns nil without touching the chunk (no pages, no skip marks, matching
+// the historical sweep). A non-nil tap attributes the chunk's IO to the
+// calling worker.
+func gatherRG[T any](r *colstore.Reader, ci, rg int, sel *bitutil.SectionalBitmap, tap *colstore.IOTap,
+	fetch func(*colstore.Chunk, *bitutil.Bitmap) ([]T, error)) ([]T, error) {
+	if sel != nil && sel.SectionEmpty(rg) {
+		return nil, nil
+	}
+	chunk := r.Chunk(rg, ci).Tap(tap)
+	return fetch(chunk, sectionOrFull(sel, rg, chunk.Rows()))
+}
+
+// sweepRowGroups runs fn once per row group on the pool, honoring ctx
+// between row groups, and concatenates the per-group results in row order
+// — the shared barrier sweep under the gather and read-all families.
+func sweepRowGroups[T any](ctx context.Context, r *colstore.Reader, pool *exec.Pool, fn func(rg int) ([]T, error)) ([]T, error) {
 	parts := make([][]T, r.NumRowGroups())
-	err = pool.ParallelChunksErr(ctx, r.NumRowGroups(), func(start, end int) error {
+	err := pool.ParallelChunksErr(ctx, r.NumRowGroups(), func(start, end int) error {
 		for rg := start; rg < end; rg++ {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			if sel != nil && sel.SectionEmpty(rg) {
-				continue
-			}
-			chunk := r.Chunk(rg, ci)
-			vals, err := fetch(chunk, sectionOrFull(sel, rg, chunk.Rows()))
+			vals, err := fn(rg)
 			if err != nil {
 				return err
 			}
@@ -172,24 +191,9 @@ func readAllCtx[T any](ctx context.Context, r *colstore.Reader, col string, pool
 	if err != nil {
 		return nil, err
 	}
-	parts := make([][]T, r.NumRowGroups())
-	err = pool.ParallelChunksErr(ctx, r.NumRowGroups(), func(start, end int) error {
-		for rg := start; rg < end; rg++ {
-			if err := ctx.Err(); err != nil {
-				return err
-			}
-			vals, err := decode(r.Chunk(rg, ci))
-			if err != nil {
-				return err
-			}
-			parts[rg] = vals
-		}
-		return nil
+	return sweepRowGroups(ctx, r, pool, func(rg int) ([]T, error) {
+		return decode(r.Chunk(rg, ci))
 	})
-	if err != nil {
-		return nil, err
-	}
-	return concat(parts), nil
 }
 
 func sectionOrFull(sel *bitutil.SectionalBitmap, rg, rows int) *bitutil.Bitmap {

@@ -1,0 +1,860 @@
+package ops
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"context"
+
+	"codecdb/internal/arena"
+	"codecdb/internal/bitutil"
+	"codecdb/internal/colstore"
+	"codecdb/internal/encoding"
+	"codecdb/internal/exec"
+	"codecdb/internal/obs"
+)
+
+// This file is the morsel-driven pipelined executor (paper §5.2 taken to
+// its conclusion): instead of running each operator over the whole table
+// behind a barrier, a planned query compiles into a per-row-group pipeline
+// — filter conjuncts in planned order, then the terminal's selective
+// gather and partial aggregation — and pool workers each claim one row
+// group at a time and run it through the entire pipeline with
+// worker-local state. Every selected page is fetched, verified, and
+// decompressed at most once per query, intermediates never exceed one row
+// group, and no operator waits for another to finish the table.
+
+// TermKind names the terminal a pipeline feeds.
+type TermKind int
+
+const (
+	// TermCount counts selected rows.
+	TermCount TermKind = iota
+	// TermRowIDs collects global ids of selected rows.
+	TermRowIDs
+	// TermInts gathers an integer column.
+	TermInts
+	// TermFloats gathers a float column.
+	TermFloats
+	// TermStrings gathers a string column.
+	TermStrings
+	// TermGroupCount array-aggregates counts by dictionary key.
+	TermGroupCount
+	// TermSumFloat sums a float column over the selection.
+	TermSumFloat
+)
+
+// PipelineResult carries whichever output the terminal produced; Count is
+// always the selected-row cardinality.
+type PipelineResult struct {
+	Count   int64
+	RowIDs  []int64
+	Ints    []int64
+	Floats  []float64
+	Strings [][]byte
+	Group   *AggResult
+	Sum     float64
+}
+
+// pipeLeaf is one compiled filter stage: the prepared filter plus the
+// bookkeeping the traced path needs (stable stage index, display name,
+// planner estimate). name is only rendered when traced, so untraced
+// builds leave it empty rather than paying a format per query.
+type pipeLeaf struct {
+	idx  int
+	name string
+	f    Filter
+	est  float64
+	pf   preparedFilter
+}
+
+// pipeNode mirrors the plan tree over compiled leaves, preserving the
+// planner's execution order.
+type pipeNode struct {
+	kind PredKind
+	leaf *pipeLeaf // PredLeaf, PredNot
+	kids []*pipeNode
+}
+
+// errNotPreparable flags a plan leaf whose filter does not implement the
+// kernel interface (an external Filter); the pipeline then computes the
+// selection through the legacy barrier path and morselizes only the
+// terminal.
+var errNotPreparable = errors.New("ops: filter has no row-group kernel")
+
+// pipeline is one compiled query: the filter tree, the terminal, and the
+// per-query constants every worker shares read-only.
+type pipeline struct {
+	r    *colstore.Reader
+	pool *exec.Pool
+	plan *Plan
+
+	root   *pipeNode
+	leaves []*pipeLeaf
+	// fallback routes selection through plan.Execute (operator-at-a-time)
+	// when some leaf has no kernel; the terminal still runs morsel-wise.
+	fallback bool
+
+	term TermKind
+	col  string
+	ci   int
+
+	keySpace int
+	aggKinds []AggKind
+	aggSpecs []VecAgg
+
+	// rgStart is each row group's first global row id (TermRowIDs).
+	rgStart []int64
+
+	traced  bool
+	workers []*pipeWorker
+
+	// slab storage for the compiled tree and the worker states: the hot
+	// path builds one pipeline per query, so nodes, leaves, workers, and
+	// kernel slots come out of backing arrays instead of one heap object
+	// each. Small trees (the common case) fit the inline arrays and cost
+	// no allocation at all beyond the pipeline itself.
+	leafBuf []pipeLeaf
+	nodeBuf []pipeNode
+	wbuf    []pipeWorker
+	kbuf    []filterRG
+	leafArr [4]pipeLeaf
+	nodeArr [8]pipeNode
+	lptrArr [4]*pipeLeaf
+
+	// parts and res live in the pipeline so a run allocates neither.
+	parts pipeParts
+	res   PipelineResult
+}
+
+// stageStats is one stage's merged-across-morsels measurement: row flow,
+// summed worker busy time, and whether a pushed selection ever restricted
+// the stage.
+type stageStats struct {
+	rowsIn  int64
+	rowsOut int64
+	nanos   int64
+	pushed  bool
+}
+
+// pipeWorker is the worker-local execution state: one scratch arena, one
+// kernel instance per filter stage, partial terminal accumulators, and —
+// when traced — per-stage IO taps and row/time stats. Nothing here is
+// shared between workers, so morsels run lock-free.
+type pipeWorker struct {
+	p       *pipeline
+	sc      *arena.Scratch
+	kernels []filterRG
+	count   int64
+	agg     *PartialArrayAgg
+	taps    []colstore.IOTap
+	stats   []stageStats
+}
+
+// pipeParts holds per-row-group output slots; workers write disjoint
+// indices, so the final concatenation needs no synchronization.
+type pipeParts struct {
+	rowIDs [][]int64
+	ints   [][]int64
+	floats [][]float64
+	strs   [][][]byte
+	// sums holds one partial sum per row group; the merge folds them in
+	// row-group order, so the result does not depend on which worker
+	// claimed which morsel.
+	sums []float64
+}
+
+// buildPipeline compiles a planned query against one reader: every plan
+// leaf is prepared into a kernel (or the whole selection falls back to the
+// barrier path), terminal columns are resolved, and — because lazy
+// dictionary faults bypass the per-stage IO taps — every dictionary any
+// stage could touch is faulted now, inside the Prepare window.
+func buildPipeline(r *colstore.Reader, pool *exec.Pool, pl *Plan, term TermKind, col string, traced bool) (*pipeline, error) {
+	p := &pipeline{r: r, pool: pool, plan: pl, term: term, col: col, ci: -1, traced: traced}
+	if pl != nil {
+		nLeaves, nNodes := countPlan(pl.Root)
+		if nLeaves <= len(p.leafArr) {
+			p.leafBuf = p.leafArr[:0]
+			p.leaves = p.lptrArr[:0]
+		} else {
+			p.leafBuf = make([]pipeLeaf, 0, nLeaves)
+			p.leaves = make([]*pipeLeaf, 0, nLeaves)
+		}
+		if nNodes <= len(p.nodeArr) {
+			p.nodeBuf = p.nodeArr[:0]
+		} else {
+			p.nodeBuf = make([]pipeNode, 0, nNodes)
+		}
+		root, err := p.compileNode(pl.Root)
+		switch {
+		case errors.Is(err, errNotPreparable):
+			p.fallback = true
+			p.root = nil
+			p.leaves = nil
+		case err != nil:
+			return nil, err
+		default:
+			p.root = root
+		}
+		if traced {
+			p.prefaultDicts(pl.Root.Pred)
+		}
+	}
+	switch term {
+	case TermInts, TermFloats, TermStrings, TermSumFloat:
+		ci, c, err := r.Column(col)
+		if err != nil {
+			return nil, err
+		}
+		p.ci = ci
+		p.faultDict(ci, c)
+	case TermGroupCount:
+		ci, c, err := r.Column(col)
+		if err != nil {
+			return nil, err
+		}
+		p.ci = ci
+		ks, err := dictLength(r, ci, c)
+		if err != nil {
+			return nil, err
+		}
+		if ks <= 0 {
+			return nil, fmt.Errorf("ops: non-positive key space %d", ks)
+		}
+		p.keySpace = ks
+		p.aggKinds = []AggKind{AggCount}
+		p.aggSpecs = []VecAgg{{Kind: AggCount}}
+	case TermRowIDs:
+		p.rgStart = make([]int64, r.NumRowGroups())
+		var off int64
+		for i := range p.rgStart {
+			p.rgStart[i] = off
+			off += int64(r.RowGroupRows(i))
+		}
+	}
+	return p, nil
+}
+
+// countPlan sizes the compile slabs: leaves and total nodes in the plan
+// tree.
+func countPlan(n *PlanNode) (leaves, nodes int) {
+	nodes = 1
+	switch n.Pred.Kind {
+	case PredLeaf, PredNot:
+		leaves = 1
+	default:
+		for _, kid := range n.Kids {
+			l, nd := countPlan(kid)
+			leaves += l
+			nodes += nd
+		}
+	}
+	return leaves, nodes
+}
+
+// compileNode turns one plan node into its pipeline mirror, appending
+// leaves depth-first in planned order so stage indices follow execution
+// order. Nodes and leaves come out of the pre-sized slabs, so the
+// returned pointers stay valid for the pipeline's lifetime.
+func (p *pipeline) compileNode(n *PlanNode) (*pipeNode, error) {
+	switch n.Pred.Kind {
+	case PredLeaf, PredNot:
+		pb, ok := n.Pred.Leaf.(preparable)
+		if !ok {
+			return nil, errNotPreparable
+		}
+		pf, err := pb.prepare(p.r)
+		if err != nil {
+			return nil, err
+		}
+		name := ""
+		if p.traced {
+			name = FilterName(n.Pred.Leaf)
+		}
+		p.leafBuf = append(p.leafBuf, pipeLeaf{idx: len(p.leaves), name: name, f: n.Pred.Leaf, est: n.Est.Sel, pf: pf})
+		lf := &p.leafBuf[len(p.leafBuf)-1]
+		p.leaves = append(p.leaves, lf)
+		p.nodeBuf = append(p.nodeBuf, pipeNode{kind: n.Pred.Kind, leaf: lf})
+		return &p.nodeBuf[len(p.nodeBuf)-1], nil
+	case PredAnd, PredOr:
+		p.nodeBuf = append(p.nodeBuf, pipeNode{kind: n.Pred.Kind, kids: make([]*pipeNode, 0, len(n.Kids))})
+		node := &p.nodeBuf[len(p.nodeBuf)-1]
+		for _, kid := range n.Kids {
+			cn, err := p.compileNode(kid)
+			if err != nil {
+				return nil, err
+			}
+			node.kids = append(node.kids, cn)
+		}
+		return node, nil
+	}
+	return nil, fmt.Errorf("ops: unknown predicate kind %d", n.Pred.Kind)
+}
+
+// filterColumns lists the columns a package filter reads.
+func filterColumns(f Filter) []string {
+	switch t := f.(type) {
+	case *DictFilter:
+		return []string{t.Col}
+	case *DictInFilter:
+		return []string{t.Col}
+	case *DictLikeFilter:
+		return []string{t.Col}
+	case *BitPackedFilter:
+		return []string{t.Col}
+	case *DictIntPredFilter:
+		return []string{t.Col}
+	case *TwoColumnFilter:
+		return []string{t.ColA, t.ColB}
+	case *DeltaFilter:
+		return []string{t.Col}
+	case *IntPredicateFilter:
+		return []string{t.Col}
+	case *StrPredicateFilter:
+		return []string{t.Col}
+	case *FloatPredicateFilter:
+		return []string{t.Col}
+	}
+	return nil
+}
+
+// prefaultDicts faults the dictionary of every dict-encoded column the
+// predicate tree touches. Dictionary reads bump the reader's byte counters
+// without flowing through any chunk tap, so letting a worker fault one
+// mid-morsel would leave IO the stage taps cannot account for; faulting
+// during build keeps the traced invariant (Prepare + Σ stages = pipeline)
+// exact. Errors are ignored — the owning filter surfaces them with its own
+// message when it runs.
+func (p *pipeline) prefaultDicts(pred *Pred) {
+	switch pred.Kind {
+	case PredLeaf, PredNot:
+		for _, name := range filterColumns(pred.Leaf) {
+			if ci, c, err := p.r.Column(name); err == nil {
+				p.faultDict(ci, c)
+			}
+		}
+	case PredAnd, PredOr:
+		for _, kid := range pred.Kids {
+			p.prefaultDicts(kid)
+		}
+	}
+}
+
+// faultDict loads a dict-encoded column's dictionary into the reader's
+// cache, attributing the read to the caller's window. Untraced runs skip
+// it: a lazy fault mid-morsel books into the global counters correctly,
+// and only the traced per-stage invariant needs the read pinned to the
+// Prepare window.
+func (p *pipeline) faultDict(ci int, c *colstore.Column) {
+	if !p.traced {
+		return
+	}
+	if c.Encoding != encoding.KindDict && c.Encoding != encoding.KindDictRLE {
+		return
+	}
+	switch c.Type {
+	case colstore.TypeInt64:
+		_, _ = p.r.IntDict(ci)
+	case colstore.TypeString:
+		_, _ = p.r.StrDict(ci)
+	}
+}
+
+// dictLength returns the dictionary cardinality — the array-aggregation
+// key space.
+func dictLength(r *colstore.Reader, ci int, c *colstore.Column) (int, error) {
+	switch c.Type {
+	case colstore.TypeInt64:
+		dict, err := r.IntDict(ci)
+		return len(dict), err
+	case colstore.TypeString:
+		dict, err := r.StrDict(ci)
+		return len(dict), err
+	}
+	return 0, fmt.Errorf("ops: column %s has no dictionary", c.Name)
+}
+
+// newWorker builds one worker's private state in slot wi of the worker
+// slab: scratch, one kernel instance per stage (lazily built lookup
+// tables live in the kernel closure), a partial aggregate table, and
+// per-stage taps when traced. Slots are disjoint slices of shared
+// backing arrays; each is written by exactly one worker goroutine.
+func (p *pipeline) newWorker(wi int) *pipeWorker {
+	nk := len(p.leaves)
+	w := &p.wbuf[wi]
+	w.p = p
+	w.sc = arena.Get()
+	w.kernels = p.kbuf[wi*nk : (wi+1)*nk : (wi+1)*nk]
+	for i, lf := range p.leaves {
+		if !lf.pf.empty && lf.pf.newKernel != nil {
+			w.kernels[i] = lf.pf.newKernel()
+		}
+	}
+	if p.term == TermGroupCount {
+		w.agg = NewPartialArrayAgg(p.keySpace, p.aggKinds)
+	}
+	if p.traced {
+		w.taps = make([]colstore.IOTap, nk+1)
+		w.stats = make([]stageStats, nk+1)
+	}
+	return w
+}
+
+// run executes the compiled pipeline: one fallback barrier pass when some
+// filter has no kernel, then every row group claimed morsel-at-a-time and
+// driven through filters and terminal by one worker, then a final merge of
+// the worker partials.
+func (p *pipeline) run(ctx context.Context) (*PipelineResult, error) {
+	var fsel *bitutil.SectionalBitmap
+	if p.fallback {
+		var err error
+		fsel, err = p.plan.Execute(ctx, p.r, p.pool)
+		if err != nil {
+			return nil, err
+		}
+	}
+	n := p.r.NumRowGroups()
+	parts := &p.parts
+	switch p.term {
+	case TermRowIDs:
+		parts.rowIDs = make([][]int64, n)
+	case TermInts:
+		parts.ints = make([][]int64, n)
+	case TermFloats:
+		parts.floats = make([][]float64, n)
+	case TermStrings:
+		parts.strs = make([][][]byte, n)
+	case TermSumFloat:
+		parts.sums = make([]float64, n)
+	}
+	nw := p.pool.Size()
+	if nw > n {
+		nw = n
+	}
+	p.wbuf = make([]pipeWorker, nw)
+	p.kbuf = make([]filterRG, nw*len(p.leaves))
+	workers, err := exec.ParallelMorsels(ctx, p.pool, n,
+		p.newWorker,
+		func(mctx context.Context, w *pipeWorker, rg int) error {
+			return p.runMorsel(mctx, w, rg, fsel, parts)
+		})
+	p.workers = workers
+	for _, w := range workers {
+		if w != nil {
+			arena.Put(w.sc)
+			w.sc = nil
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	res := &p.res
+	for _, w := range workers {
+		if w == nil {
+			continue
+		}
+		res.Count += w.count
+	}
+	switch p.term {
+	case TermRowIDs:
+		res.RowIDs = concat(parts.rowIDs)
+	case TermInts:
+		res.Ints = concat(parts.ints)
+	case TermFloats:
+		res.Floats = concat(parts.floats)
+	case TermStrings:
+		res.Strings = concat(parts.strs)
+	case TermSumFloat:
+		for _, s := range parts.sums {
+			res.Sum += s
+		}
+	case TermGroupCount:
+		total := NewPartialArrayAgg(p.keySpace, p.aggKinds)
+		for _, w := range workers {
+			if w != nil && w.agg != nil {
+				total.Merge(w.agg)
+			}
+		}
+		res.Group = total.Result()
+	}
+	return res, nil
+}
+
+// runMorsel drives one row group through the whole pipeline on one worker.
+func (p *pipeline) runMorsel(ctx context.Context, w *pipeWorker, rg int, fsel *bitutil.SectionalBitmap, parts *pipeParts) error {
+	var bm *bitutil.Bitmap
+	switch {
+	case p.fallback:
+		sec, skip := sectionSelection(fsel, rg)
+		if !skip {
+			if sec == nil {
+				bm = fullGroupBitmap(p.r.RowGroupRows(rg))
+			} else {
+				bm = sec
+			}
+		}
+	case p.root != nil:
+		var err error
+		bm, err = w.evalNode(ctx, rg, p.root, nil)
+		if err != nil {
+			return err
+		}
+	default:
+		bm = fullGroupBitmap(p.r.RowGroupRows(rg))
+	}
+	return p.terminal(w, rg, bm, parts)
+}
+
+// terminal runs the pipeline's sink over one row group's selection: count,
+// row-id collection, a selective gather, or partial aggregation into the
+// worker's table. An empty selection touches no chunk — no pages, no skip
+// marks — matching the historical sweep.
+func (p *pipeline) terminal(w *pipeWorker, rg int, bm *bitutil.Bitmap, parts *pipeParts) error {
+	var start time.Time
+	if w.stats != nil {
+		start = time.Now()
+	}
+	card := 0
+	if bm != nil {
+		card = bm.Cardinality()
+	}
+	w.count += int64(card)
+	var tap *colstore.IOTap
+	if w.taps != nil {
+		tap = &w.taps[len(w.taps)-1]
+	}
+	produced := int64(card)
+	var err error
+	if card > 0 {
+		switch p.term {
+		case TermRowIDs:
+			base := p.rgStart[rg]
+			ids := make([]int64, 0, card)
+			bm.ForEach(func(i int) { ids = append(ids, base+int64(i)) })
+			parts.rowIDs[rg] = ids
+		case TermInts:
+			var vals []int64
+			vals, err = p.r.Chunk(rg, p.ci).Tap(tap).GatherInts(bm)
+			parts.ints[rg] = vals
+			produced = int64(len(vals))
+		case TermFloats:
+			var vals []float64
+			vals, err = p.r.Chunk(rg, p.ci).Tap(tap).GatherFloats(bm)
+			parts.floats[rg] = vals
+			produced = int64(len(vals))
+		case TermStrings:
+			var vals [][]byte
+			vals, err = p.r.Chunk(rg, p.ci).Tap(tap).GatherStrings(bm)
+			parts.strs[rg] = vals
+			produced = int64(len(vals))
+		case TermGroupCount:
+			var keys []int64
+			keys, err = p.r.Chunk(rg, p.ci).Tap(tap).GatherKeys(bm)
+			if err == nil {
+				err = w.agg.Accumulate(keys, p.aggSpecs)
+			}
+			produced = int64(len(keys))
+		case TermSumFloat:
+			var vals []float64
+			vals, err = p.r.Chunk(rg, p.ci).Tap(tap).GatherFloats(bm)
+			var s float64
+			for _, v := range vals {
+				s += v
+			}
+			parts.sums[rg] = s
+			produced = int64(len(vals))
+		}
+	}
+	if w.stats != nil {
+		st := &w.stats[len(w.stats)-1]
+		st.rowsIn += int64(card)
+		st.rowsOut += produced
+		st.nanos += time.Since(start).Nanoseconds()
+	}
+	return err
+}
+
+// evalNode evaluates one pipeline subtree over one row group, restricted
+// to secSel (nil means every row of the group). The section-level algebra
+// mirrors execNode/execOr exactly: AND threads the shrinking selection and
+// stops when it empties, OR evaluates each branch only over rows no
+// earlier branch matched, NOT subtracts the leaf from its selection. When
+// a short-circuit strands later filters, their pages are marked
+// selection-skipped just as their own sweep would have.
+func (w *pipeWorker) evalNode(ctx context.Context, rg int, n *pipeNode, secSel *bitutil.Bitmap) (*bitutil.Bitmap, error) {
+	switch n.kind {
+	case PredLeaf:
+		return w.runLeaf(ctx, rg, n.leaf, secSel)
+	case PredNot:
+		bm, err := w.runLeaf(ctx, rg, n.leaf, secSel)
+		if err != nil {
+			return nil, err
+		}
+		base := secSel
+		if base == nil {
+			base = fullGroupBitmap(w.p.r.RowGroupRows(rg))
+		} else {
+			base = base.Clone()
+		}
+		return base.AndNot(bm), nil
+	case PredAnd:
+		acc := secSel
+		for i, kid := range n.kids {
+			bm, err := w.evalNode(ctx, rg, kid, acc)
+			if err != nil {
+				return nil, err
+			}
+			acc = bm
+			if !acc.Any() {
+				w.markSkipped(n.kids[i+1:], rg)
+				break
+			}
+		}
+		if acc == nil {
+			acc = fullGroupBitmap(w.p.r.RowGroupRows(rg))
+		}
+		return acc, nil
+	case PredOr:
+		result := bitutil.NewBitmap(w.p.r.RowGroupRows(rg))
+		remaining := secSel
+		for i, kid := range n.kids {
+			bm, err := w.evalNode(ctx, rg, kid, remaining)
+			if err != nil {
+				return nil, err
+			}
+			result.Or(bm)
+			if remaining == nil {
+				remaining = fullGroupBitmap(w.p.r.RowGroupRows(rg))
+			} else {
+				remaining = remaining.Clone()
+			}
+			remaining.AndNot(bm)
+			if !remaining.Any() {
+				w.markSkipped(n.kids[i+1:], rg)
+				break
+			}
+		}
+		return result, nil
+	}
+	return nil, fmt.Errorf("ops: unknown pipeline node kind %d", n.kind)
+}
+
+// runLeaf runs one filter kernel over one row group and enforces the
+// subset invariant against the pushed selection (the kernel may set rows
+// wholesale via zone maps or provably-all rewrites).
+func (w *pipeWorker) runLeaf(ctx context.Context, rg int, lf *pipeLeaf, secSel *bitutil.Bitmap) (*bitutil.Bitmap, error) {
+	var start time.Time
+	if w.stats != nil {
+		start = time.Now()
+	}
+	var tap *colstore.IOTap
+	if w.taps != nil {
+		tap = &w.taps[lf.idx]
+	}
+	rows := w.p.r.RowGroupRows(rg)
+	var bm *bitutil.Bitmap
+	switch {
+	case lf.pf.empty:
+		bm = bitutil.NewBitmap(rows)
+	case secSel != nil && !secSel.Any():
+		lf.pf.skip(rg, tap)
+		bm = bitutil.NewBitmap(rows)
+	default:
+		var err error
+		bm, err = w.kernels[lf.idx](ctx, rg, w.sc, secSel, tap)
+		if err != nil {
+			return nil, err
+		}
+		if secSel != nil {
+			bm.And(secSel)
+		}
+	}
+	if w.stats != nil {
+		st := &w.stats[lf.idx]
+		if secSel != nil {
+			st.rowsIn += int64(secSel.Cardinality())
+			st.pushed = true
+		} else {
+			st.rowsIn += int64(rows)
+		}
+		st.rowsOut += int64(bm.Cardinality())
+		st.nanos += time.Since(start).Nanoseconds()
+	}
+	return bm, nil
+}
+
+// markSkipped records every page of the stranded subtrees' chunks as
+// selection-skipped for row group rg — the marks their own sweeps would
+// have made on an empty section.
+func (w *pipeWorker) markSkipped(nodes []*pipeNode, rg int) {
+	for _, n := range nodes {
+		if n.leaf != nil && !n.leaf.pf.empty && n.leaf.pf.skip != nil {
+			var tap *colstore.IOTap
+			if w.taps != nil {
+				tap = &w.taps[n.leaf.idx]
+			}
+			n.leaf.pf.skip(rg, tap)
+		}
+		w.markSkipped(n.kids, rg)
+	}
+}
+
+func fullGroupBitmap(rows int) *bitutil.Bitmap {
+	bm := bitutil.NewBitmap(rows)
+	bm.SetAll()
+	return bm
+}
+
+// RunPipeline compiles and executes a planned query against one terminal.
+// pl nil means no predicate (every row selected). When ctx carries an
+// obs.Span, the run is traced as a "Pipeline[...]" child whose stage
+// children (Prepare, one per filter, the terminal) account every page the
+// reader touched: the stage IO sums to the pipeline span's own delta, the
+// invariant ExplainAnalyze verifies against Table.IOStats.
+func RunPipeline(ctx context.Context, r *colstore.Reader, pool *exec.Pool, pl *Plan, term TermKind, col string) (*PipelineResult, error) {
+	sp := obs.SpanFrom(ctx)
+	if sp == nil {
+		p, err := buildPipeline(r, pool, pl, term, col, false)
+		if err != nil {
+			return nil, err
+		}
+		return p.run(ctx)
+	}
+	return runPipelineTraced(ctx, sp, r, pool, pl, term, col)
+}
+
+// runPipelineTraced is RunPipeline under a span: per-stage taps and stats
+// are merged across workers into one stage child each after the run, with
+// summed worker busy time as each stage's duration (wall clock cannot
+// express work interleaved across morsels).
+func runPipelineTraced(ctx context.Context, sp *obs.Span, r *colstore.Reader, pool *exec.Pool, pl *Plan, term TermKind, col string) (*PipelineResult, error) {
+	child := sp.StartChild("Pipeline[" + pipelineLabel(term, col) + "]")
+	cctx := obs.ContextWithSpan(ctx, child)
+	ioBefore := r.Stats()
+	tasksBefore := pool.Completed()
+	prepStart := time.Now()
+	p, err := buildPipeline(r, pool, pl, term, col, true)
+	prepIO := ioDelta(ioBefore, r.Stats())
+	prepDur := time.Since(prepStart)
+	var res *PipelineResult
+	if err == nil {
+		res, err = p.run(cctx)
+	}
+	ioAfter := r.Stats()
+
+	prep := child.StartChild("Prepare")
+	prep.AddIO(prepIO)
+	prep.End()
+	prep.SetDuration(prepDur)
+	if p != nil {
+		if !p.fallback {
+			for _, lf := range p.leaves {
+				fs := child.StartChild("Filter[" + lf.name + "]")
+				for _, d := range DescribeFilter(lf.f, r) {
+					fs.AddDetail("%s", d)
+				}
+				st := p.mergedStats(lf.idx)
+				if st.pushed {
+					fs.AddDetail("selection-pushed: %d of %d rows remain", st.rowsIn, r.NumRows())
+				}
+				if st.rowsIn > 0 {
+					fs.AddDetail("selectivity est=%.4f actual=%.4f", lf.est, float64(st.rowsOut)/float64(st.rowsIn))
+				}
+				fs.SetRows(st.rowsIn, st.rowsOut)
+				fs.AddIO(p.mergedTap(lf.idx))
+				fs.End()
+				fs.SetDuration(time.Duration(st.nanos))
+			}
+		}
+		ts := child.StartChild(terminalSpanName(term, col))
+		st := p.mergedStats(len(p.leaves))
+		ts.SetRows(st.rowsIn, st.rowsOut)
+		ts.AddIO(p.mergedTap(len(p.leaves)))
+		ts.End()
+		ts.SetDuration(time.Duration(st.nanos))
+	}
+	if err != nil {
+		child.AddDetail("error=%v", err)
+	}
+	if res != nil {
+		child.SetRows(r.NumRows(), res.Count)
+	}
+	workers := pool.Size()
+	if n := r.NumRowGroups(); n < workers {
+		workers = n
+	}
+	child.AddDetail("morsels=%d workers<=%d", r.NumRowGroups(), workers)
+	child.AddIO(ioDelta(ioBefore, ioAfter))
+	child.AddTasks(pool.Completed() - tasksBefore)
+	child.End()
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// mergedTap sums one stage's IO across workers.
+func (p *pipeline) mergedTap(idx int) obs.SpanIO {
+	var t colstore.IOTap
+	for _, w := range p.workers {
+		if w != nil && w.taps != nil {
+			t.Add(&w.taps[idx])
+		}
+	}
+	return obs.SpanIO{
+		PagesRead:         t.PagesRead,
+		PagesPruned:       t.PagesPruned,
+		PagesSkipped:      t.PagesSkipped,
+		BytesRead:         t.BytesRead,
+		BytesDecompressed: t.BytesDecompressed,
+	}
+}
+
+// mergedStats sums one stage's row flow and busy time across workers.
+func (p *pipeline) mergedStats(idx int) stageStats {
+	var st stageStats
+	for _, w := range p.workers {
+		if w != nil && w.stats != nil {
+			st.rowsIn += w.stats[idx].rowsIn
+			st.rowsOut += w.stats[idx].rowsOut
+			st.nanos += w.stats[idx].nanos
+			st.pushed = st.pushed || w.stats[idx].pushed
+		}
+	}
+	return st
+}
+
+// pipelineLabel names the pipeline span after its terminal.
+func pipelineLabel(term TermKind, col string) string {
+	switch term {
+	case TermCount:
+		return "count"
+	case TermRowIDs:
+		return "rowids"
+	case TermInts, TermFloats, TermStrings:
+		return "gather " + col
+	case TermGroupCount:
+		return "group " + col
+	case TermSumFloat:
+		return "sum " + col
+	}
+	return "?"
+}
+
+// terminalSpanName names the terminal stage span.
+func terminalSpanName(term TermKind, col string) string {
+	switch term {
+	case TermCount:
+		return "Count"
+	case TermRowIDs:
+		return "Collect[rowids]"
+	case TermInts, TermFloats, TermStrings:
+		return "Gather[" + col + "]"
+	case TermGroupCount:
+		return "Aggregate[count by " + col + "]"
+	case TermSumFloat:
+		return "Sum[" + col + "]"
+	}
+	return "?"
+}

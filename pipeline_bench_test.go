@@ -1,0 +1,125 @@
+package codecdb
+
+import (
+	"math"
+	"testing"
+)
+
+// pipelineBenchTable loads the executor benchmark's table: 1<<18 rows in
+// 8192-row groups (32 row groups), a dictionary string column where the
+// two-conjunct query keeps roughly 3/4 of rows, a dictionary int column
+// doubling as the group-by key, and a float column for the sum terminal.
+func pipelineBenchTable(b *testing.B, n int) (tbl *Table, want int64, wantSum float64) {
+	b.Helper()
+	db, err := Open(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { db.Close() })
+	tag := make([][]byte, n)
+	level := make([]int64, n)
+	score := make([]float64, n)
+	for i := 0; i < n; i++ {
+		level[i] = int64(i % 8)
+		score[i] = float64(i%1000) / 10
+		if i%97 == 0 {
+			tag[i] = []byte("rare")
+		} else {
+			tag[i] = []byte("common")
+			if level[i] < 6 {
+				want++
+				wantSum += score[i]
+			}
+		}
+	}
+	tbl, err = db.LoadTable("pipebench", []Column{
+		{Name: "tag", Strings: tag, ForceEncoding: Dictionary, Forced: true},
+		{Name: "level", Ints: level, ForceEncoding: Dictionary, Forced: true},
+		{Name: "score", Floats: score},
+	}, LoadOptions{RowGroupRows: 8192, PageRows: 1024})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tbl, want, wantSum
+}
+
+// BenchmarkPipelineVsBarrier runs the same two-conjunct query through
+// both engines for each terminal: the morsel pipeline (one pass per row
+// group, worker-local state, partials merged at the end) against the
+// operator-at-a-time barrier path (full-table filter pass, then a
+// full-table gather/aggregate pass). pagesRead/op makes the single-touch
+// property visible; ns/op and allocs/op carry the pipelining win.
+func BenchmarkPipelineVsBarrier(b *testing.B) {
+	const n = 1 << 18
+	tbl, want, wantSum := pipelineBenchTable(b, n)
+	if g := tbl.inner.R.NumRowGroups(); g < 8 {
+		b.Fatalf("bench table has %d row groups, want >= 8", g)
+	}
+
+	query := func() *Query { return tbl.Where("tag", Eq, "common").And("level", Lt, 6) }
+	engines := []struct {
+		name string
+		wrap func(*Query) *Query
+	}{
+		{"Pipelined", func(q *Query) *Query { return q }},
+		{"Barrier", func(q *Query) *Query { return q.withLegacyEngine() }},
+	}
+
+	run := func(b *testing.B, q *Query, step func(*Query) error) {
+		b.Helper()
+		tbl.ResetIOStats()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := step(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		reportQueryIO(b, tbl)
+	}
+
+	// Each terminal runs its two engines back to back, so every
+	// pipelined-vs-barrier pair compares adjacent measurements.
+	for _, eng := range engines {
+		eng := eng
+		b.Run("Count/"+eng.name, func(b *testing.B) {
+			run(b, eng.wrap(query()), func(q *Query) error {
+				got, err := q.Count()
+				if err == nil && got != want {
+					b.Fatalf("count = %d, want %d", got, want)
+				}
+				return err
+			})
+		})
+	}
+	for _, eng := range engines {
+		eng := eng
+		b.Run("SumFloat/"+eng.name, func(b *testing.B) {
+			run(b, eng.wrap(query()), func(q *Query) error {
+				got, err := q.SumFloat("score")
+				if err == nil && math.Abs(got-wantSum) > 1e-6*wantSum {
+					b.Fatalf("sum = %v, want %v", got, wantSum)
+				}
+				return err
+			})
+		})
+	}
+	for _, eng := range engines {
+		eng := eng
+		b.Run("GroupCount/"+eng.name, func(b *testing.B) {
+			run(b, eng.wrap(query()), func(q *Query) error {
+				got, err := q.GroupCount("level")
+				if err == nil {
+					var total int64
+					for _, c := range got {
+						total += c
+					}
+					if total != want {
+						b.Fatalf("group total = %d, want %d", total, want)
+					}
+				}
+				return err
+			})
+		})
+	}
+}

@@ -45,15 +45,31 @@ type Query struct {
 	ctx       context.Context
 	conjuncts []Pred
 	err       error
+	// legacy routes terminals through the operator-at-a-time barrier path
+	// instead of the morsel pipeline — kept for the property tests that
+	// compare the two engines result-for-result.
+	legacy bool
 }
 
 // WithContext attaches ctx to the query: terminal calls stop promptly with
 // ctx.Err() when it is cancelled or its deadline passes, including mid-scan
-// between row groups. Unlike the predicate builders, WithContext modifies
-// the query in place.
+// between row groups. Like the predicate builders, WithContext is
+// copy-on-write and returns a new Query. (It historically modified the
+// receiver in place; callers relying on that must now use the returned
+// value.)
 func (q *Query) WithContext(ctx context.Context) *Query {
-	q.ctx = ctx
-	return q
+	cp := q.clone()
+	cp.ctx = ctx
+	return cp
+}
+
+// withLegacyEngine returns a copy that evaluates terminals with the
+// pre-pipeline barrier strategy. Test-only: the two engines must agree
+// byte-for-byte on every terminal.
+func (q *Query) withLegacyEngine() *Query {
+	cp := q.clone()
+	cp.legacy = true
+	return cp
 }
 
 // context returns the query's context, defaulting to Background.
@@ -307,80 +323,132 @@ func (q *Query) planTraced(ctx context.Context) (*ops.Plan, error) {
 	return pl, err
 }
 
+// run plans the accumulated conjuncts and drives the morsel pipeline for
+// one terminal, observing the per-query metrics (count + latency
+// histogram) around the whole evaluation. A query with no predicate runs
+// the terminal over every row (nil plan).
+func (q *Query) run(term ops.TermKind, col string) (*ops.PipelineResult, error) {
+	if q.err != nil {
+		return nil, q.err
+	}
+	ctx := q.context()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	defer func() {
+		queriesTotal.Inc()
+		queryLatency.Observe(time.Since(start).Seconds())
+	}()
+	var pl *ops.Plan
+	if len(q.conjuncts) > 0 {
+		var err error
+		pl, err = q.planTraced(ctx)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return ops.RunPipeline(ctx, q.t.inner.R, q.t.db.inner.DataPool(), pl, term, col)
+}
+
 // Count evaluates the query and returns the matching row count.
 func (q *Query) Count() (int64, error) {
-	sel, err := q.eval()
+	if q.legacy {
+		sel, err := q.eval()
+		if err != nil {
+			return 0, err
+		}
+		return int64(sel.Cardinality()), nil
+	}
+	res, err := q.run(ops.TermCount, "")
 	if err != nil {
 		return 0, err
 	}
-	return int64(sel.Cardinality()), nil
+	return res.Count, nil
 }
 
 // RowIDs evaluates the query and returns the matching row positions.
 func (q *Query) RowIDs() ([]int64, error) {
-	sel, err := q.eval()
+	if q.legacy {
+		sel, err := q.eval()
+		if err != nil {
+			return nil, err
+		}
+		return ops.SelectedRows(sel), nil
+	}
+	res, err := q.run(ops.TermRowIDs, "")
 	if err != nil {
 		return nil, err
 	}
-	return ops.SelectedRows(sel), nil
+	return res.RowIDs, nil
 }
 
 // Ints evaluates the query and gathers an integer column at the matching
 // rows (late materialization with data skipping).
 func (q *Query) Ints(col string) ([]int64, error) {
-	sel, err := q.eval()
+	if q.legacy {
+		sel, err := q.eval()
+		if err != nil {
+			return nil, err
+		}
+		return ops.GatherIntsCtx(q.context(), q.t.inner.R, col, sel, q.t.db.inner.DataPool())
+	}
+	res, err := q.run(ops.TermInts, col)
 	if err != nil {
 		return nil, err
 	}
-	return ops.GatherIntsCtx(q.context(), q.t.inner.R, col, sel, q.t.db.inner.DataPool())
+	return res.Ints, nil
 }
 
 // Floats gathers a float column at the matching rows.
 func (q *Query) Floats(col string) ([]float64, error) {
-	sel, err := q.eval()
+	if q.legacy {
+		sel, err := q.eval()
+		if err != nil {
+			return nil, err
+		}
+		return ops.GatherFloatsCtx(q.context(), q.t.inner.R, col, sel, q.t.db.inner.DataPool())
+	}
+	res, err := q.run(ops.TermFloats, col)
 	if err != nil {
 		return nil, err
 	}
-	return ops.GatherFloatsCtx(q.context(), q.t.inner.R, col, sel, q.t.db.inner.DataPool())
+	return res.Floats, nil
 }
 
 // Strings gathers a string column at the matching rows. The returned
 // slices alias internal buffers; do not mutate them.
 func (q *Query) Strings(col string) ([][]byte, error) {
-	sel, err := q.eval()
+	if q.legacy {
+		sel, err := q.eval()
+		if err != nil {
+			return nil, err
+		}
+		return ops.GatherStringsCtx(q.context(), q.t.inner.R, col, sel, q.t.db.inner.DataPool())
+	}
+	res, err := q.run(ops.TermStrings, col)
 	if err != nil {
 		return nil, err
 	}
-	return ops.GatherStringsCtx(q.context(), q.t.inner.R, col, sel, q.t.db.inner.DataPool())
+	return res.Strings, nil
 }
 
-// GroupCount evaluates the query and counts matching rows per distinct
-// value of a dictionary-encoded column, using array aggregation over the
-// dictionary codes.
-func (q *Query) GroupCount(col string) (map[string]int64, error) {
-	sel, err := q.eval()
-	if err != nil {
-		return nil, err
-	}
+// groupLabels renders a dictionary column's entries as result-map keys.
+func (q *Query) groupLabels(col string) (int, *colstore.Column, []string, error) {
 	r := q.t.inner.R
-	pool := q.t.db.inner.DataPool()
 	ci, c, err := r.Column(col)
 	if err != nil {
-		return nil, err
+		return 0, nil, nil, err
 	}
 	if c.Encoding != Dictionary && c.Encoding != DictRLE {
-		return nil, fmt.Errorf("codecdb: GroupCount needs a dictionary column, %s is %v", col, c.Encoding)
-	}
-	keys, err := ops.GatherKeysCtx(q.context(), r, col, sel, pool)
-	if err != nil {
-		return nil, err
+		return 0, nil, nil, fmt.Errorf("codecdb: GroupCount needs a dictionary column, %s is %v", col, c.Encoding)
 	}
 	var labels []string
 	switch {
 	case c.Type == colstore.TypeInt64:
 		dict, err := r.IntDict(ci)
 		if err != nil {
-			return nil, err
+			return 0, nil, nil, err
 		}
 		labels = make([]string, len(dict))
 		for i, v := range dict {
@@ -389,33 +457,92 @@ func (q *Query) GroupCount(col string) (map[string]int64, error) {
 	default:
 		dict, err := r.StrDict(ci)
 		if err != nil {
-			return nil, err
+			return 0, nil, nil, err
 		}
 		labels = make([]string, len(dict))
 		for i, v := range dict {
 			labels[i] = string(v)
 		}
 	}
-	res, err := ops.ArrayAggregate(pool, keys, len(labels), []ops.VecAgg{{Kind: ops.AggCount}})
+	return ci, c, labels, nil
+}
+
+// GroupCount evaluates the query and counts matching rows per distinct
+// value of a dictionary-encoded column: each worker accumulates partial
+// counts over the dictionary codes of its row groups, and the partial
+// tables merge at the end.
+func (q *Query) GroupCount(col string) (map[string]int64, error) {
+	if q.legacy {
+		sel, err := q.eval()
+		if err != nil {
+			return nil, err
+		}
+		pool := q.t.db.inner.DataPool()
+		_, _, labels, err := q.groupLabels(col)
+		if err != nil {
+			return nil, err
+		}
+		keys, err := ops.GatherKeysCtx(q.context(), q.t.inner.R, col, sel, pool)
+		if err != nil {
+			return nil, err
+		}
+		res, err := ops.ArrayAggregate(pool, keys, len(labels), []ops.VecAgg{{Kind: ops.AggCount}})
+		if err != nil {
+			return nil, err
+		}
+		return groupMap(res, labels), nil
+	}
+	if q.err != nil {
+		return nil, q.err
+	}
+	// Validate the encoding on metadata alone, but build the label table
+	// only after the run: the pipeline faults the dictionary inside its
+	// Prepare window, so reading it here is a cache hit and the traced IO
+	// sums stay exact.
+	_, c, err := q.t.inner.R.Column(col)
 	if err != nil {
 		return nil, err
 	}
+	if c.Encoding != Dictionary && c.Encoding != DictRLE {
+		return nil, fmt.Errorf("codecdb: GroupCount needs a dictionary column, %s is %v", col, c.Encoding)
+	}
+	res, err := q.run(ops.TermGroupCount, col)
+	if err != nil {
+		return nil, err
+	}
+	_, _, labels, err := q.groupLabels(col)
+	if err != nil {
+		return nil, err
+	}
+	return groupMap(res.Group, labels), nil
+}
+
+func groupMap(res *ops.AggResult, labels []string) map[string]int64 {
 	out := make(map[string]int64, res.NumGroups())
 	for g, k := range res.Keys {
 		out[labels[k]] = res.Counts[g]
 	}
-	return out, nil
+	return out
 }
 
 // SumFloat evaluates the query and sums a float column at matching rows.
+// The pipelined path never materializes the full value vector: each worker
+// folds its row groups' gathered values into a running sum.
 func (q *Query) SumFloat(col string) (float64, error) {
-	vals, err := q.Floats(col)
+	if q.legacy {
+		vals, err := q.Floats(col)
+		if err != nil {
+			return 0, err
+		}
+		var s float64
+		for _, v := range vals {
+			s += v
+		}
+		return s, nil
+	}
+	res, err := q.run(ops.TermSumFloat, col)
 	if err != nil {
 		return 0, err
 	}
-	var s float64
-	for _, v := range vals {
-		s += v
-	}
-	return s, nil
+	return res.Sum, nil
 }
