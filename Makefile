@@ -1,13 +1,13 @@
 GO ?= go
 
-.PHONY: check build test vet race race-obs race-pipeline fuzz bench bench-obs bench-planner bench-planner-smoke bench-pipeline serve-demo
+.PHONY: check build test vet race race-obs race-pipeline crash fuzz bench bench-obs bench-planner bench-planner-smoke bench-pipeline serve-demo
 
 # check is the tier-1 verification gate: everything must compile, pass
 # vet, and pass the full test suite under the race detector, with the
 # observability-layer and morsel-executor race tests called out
-# explicitly, plus one iteration of the planner pipeline benchmark as a
-# smoke test.
-check: vet build race race-obs race-pipeline bench-planner-smoke
+# explicitly, the crash-point matrix for the durable write path, plus
+# one iteration of the planner pipeline benchmark as a smoke test.
+check: vet build race race-obs race-pipeline crash bench-planner-smoke
 
 build:
 	$(GO) build ./...
@@ -33,6 +33,15 @@ race-obs:
 race-pipeline:
 	$(GO) test -race -count=1 -run TestParallelMorsels ./internal/exec/
 	$(GO) test -race -count=1 -run 'TestPipeline|TestExplainAnalyze|TestTracedGatherSpans' .
+
+# crash runs the write-path fault-injection suite under the race
+# detector: the crash-point matrix (every write-side filesystem
+# operation fails in turn; recovery must restore exactly the acked
+# state), the double-crash variant (a second crash during the recovery
+# flush), and the shard-layer WAL/manifest/quarantine tests.
+crash:
+	$(GO) test -race -count=1 -run 'TestCrashPointMatrix|TestCrashMatrixDoubleCrash|TestIngest' .
+	$(GO) test -race -count=1 ./internal/shard/ ./internal/wal/ ./internal/memtable/
 
 # bench refreshes the "current" section of BENCH_PR2.json with the scan
 # hot-path benchmarks (ns/op, B/op, allocs/op, pages pruned/read/skipped

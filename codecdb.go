@@ -207,11 +207,25 @@ type Table struct {
 // Name returns the table name.
 func (t *Table) Name() string { return t.inner.Name }
 
-// NumRows returns the row count.
-func (t *Table) NumRows() int64 { return t.inner.R.NumRows() }
+// NumRows returns the row count; for ingest tables that is live shards
+// plus every in-memory row.
+func (t *Table) NumRows() int64 {
+	if t.inner.S != nil {
+		return t.inner.S.NumRows()
+	}
+	return t.inner.R.NumRows()
+}
 
 // Columns lists column names in schema order.
 func (t *Table) Columns() []string {
+	if t.inner.S != nil {
+		cols := t.inner.S.Cols()
+		out := make([]string, len(cols))
+		for i, c := range cols {
+			out[i] = c.Name
+		}
+		return out
+	}
 	s := t.inner.R.Schema()
 	out := make([]string, len(s.Columns))
 	for i, c := range s.Columns {
@@ -225,11 +239,35 @@ func (t *Table) Columns() []string {
 // skipped by row selection, bytes read, and wall time spent in reads.
 type IOStats = colstore.IOStats
 
-// IOStats returns the table's accumulated IO instrumentation.
-func (t *Table) IOStats() IOStats { return t.inner.R.Stats() }
+// IOStats returns the table's accumulated IO instrumentation; for
+// ingest tables, summed over the live shard readers.
+func (t *Table) IOStats() IOStats {
+	if t.inner.S != nil {
+		var sum IOStats
+		for _, sv := range t.inner.S.Snapshot().Shards {
+			st := sv.Reader.Stats()
+			sum.PagesRead += st.PagesRead
+			sum.PagesPruned += st.PagesPruned
+			sum.PagesSkipped += st.PagesSkipped
+			sum.BytesRead += st.BytesRead
+			sum.BytesDecompressed += st.BytesDecompressed
+			sum.IONanos += st.IONanos
+		}
+		return sum
+	}
+	return t.inner.R.Stats()
+}
 
 // ResetIOStats zeroes the table's IO instrumentation counters.
-func (t *Table) ResetIOStats() { t.inner.R.ResetStats() }
+func (t *Table) ResetIOStats() {
+	if t.inner.S != nil {
+		for _, sv := range t.inner.S.Snapshot().Shards {
+			sv.Reader.ResetStats()
+		}
+		return
+	}
+	t.inner.R.ResetStats()
+}
 
 // Verify scrubs the table's file: every page and dictionary blob is read
 // and its checksum checked, without decoding values. It returns nil for
@@ -237,6 +275,13 @@ func (t *Table) ResetIOStats() { t.inner.R.ResetStats() }
 // readability), a *CorruptionError naming the damaged object, or ctx.Err()
 // if cancelled mid-scrub.
 func (t *Table) Verify(ctx context.Context) error {
+	if t.inner.S != nil {
+		// Quarantined shards are already excluded and are reported by
+		// Scrub, not failed here: Verify answers "is the live data
+		// clean", and Open's contract is to serve around damage.
+		_, err := t.inner.S.Scrub(ctx)
+		return err
+	}
 	return t.inner.R.Verify(ctx)
 }
 
@@ -244,11 +289,11 @@ func (t *Table) Verify(ctx context.Context) error {
 // unreadable one.
 func (db *DB) Verify(ctx context.Context) error {
 	for _, name := range db.inner.TableNames() {
-		t, err := db.inner.Table(name)
+		t, err := db.Table(name)
 		if err != nil {
 			return fmt.Errorf("codecdb: verify %s: %w", name, err)
 		}
-		if err := t.R.Verify(ctx); err != nil {
+		if err := t.Verify(ctx); err != nil {
 			return err
 		}
 	}

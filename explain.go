@@ -18,6 +18,9 @@ func (q *Query) Explain() (string, error) {
 	if q.err != nil {
 		return "", q.err
 	}
+	if q.t.inner.S != nil {
+		return "", fmt.Errorf("codecdb: Explain is per-reader; ingest tables plan per shard at run time (use ExplainAnalyze)")
+	}
 	pl, err := q.plan()
 	if err != nil {
 		return "", err

@@ -1,0 +1,139 @@
+package codecdb
+
+import (
+	"context"
+	"fmt"
+
+	"codecdb/internal/colstore"
+	"codecdb/internal/core"
+	"codecdb/internal/shard"
+)
+
+// FieldType is a column type for ingest-table schemas.
+type FieldType uint8
+
+// Ingest-table column types.
+const (
+	Int64Field FieldType = iota
+	Float64Field
+	StringField
+)
+
+// Field declares one column of an ingest table.
+type Field struct {
+	Name string
+	Type FieldType
+}
+
+// IngestOptions tunes an ingest table.
+type IngestOptions struct {
+	// SealBytes is the memtable flush threshold in payload bytes
+	// (default 8 MiB). Small values flush eagerly — useful in tests.
+	SealBytes int
+}
+
+// QuarantinedShard names a shard that failed verification when the
+// table was opened and is excluded from queries; its rows are the only
+// ones an ingest table can lose, and Scrub reports it rather than Open
+// failing.
+type QuarantinedShard = shard.QuarantinedShard
+
+// ScrubReport summarises a full integrity scrub of an ingest table.
+type ScrubReport = shard.ScrubReport
+
+// CreateIngestTable creates an empty WAL-backed table for row-at-a-time
+// ingestion. Append is durable on return (group-committed fsync);
+// sealed memtables are encoded in the background — each flush re-runs
+// data-driven encoding selection on its own rows — into immutable
+// shards governed by a checksummed manifest. Reopening the database
+// after a crash recovers the table to exactly the acknowledged state.
+func (db *DB) CreateIngestTable(name string, fields []Field, opts ...IngestOptions) (*Table, error) {
+	var o IngestOptions
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	fm := make([]core.FieldMeta, len(fields))
+	for i, f := range fields {
+		typ, err := f.colType()
+		if err != nil {
+			return nil, err
+		}
+		fm[i] = core.FieldMeta{Name: f.Name, Type: typ}
+	}
+	t, err := db.inner.CreateShardedTable(name, fm, shard.Options{SealBytes: o.SealBytes})
+	if err != nil {
+		return nil, err
+	}
+	return &Table{db: db, inner: t}, nil
+}
+
+func (f Field) colType() (colstore.Type, error) {
+	switch f.Type {
+	case Int64Field:
+		return colstore.TypeInt64, nil
+	case Float64Field:
+		return colstore.TypeFloat64, nil
+	case StringField:
+		return colstore.TypeString, nil
+	}
+	return 0, fmt.Errorf("codecdb: field %q has unknown type %d", f.Name, f.Type)
+}
+
+// IsIngest reports whether this is a WAL-backed ingest table (as
+// opposed to a static table written once by LoadTable).
+func (t *Table) IsIngest() bool { return t.inner.S != nil }
+
+// Append durably adds one row to an ingest table, in schema order.
+// Values may be int/int64, float64, and string/[]byte, matching the
+// column types. When Append returns nil the row has been fsynced into
+// the write-ahead log and is visible to queries; on error nothing is
+// acknowledged.
+func (t *Table) Append(vals ...any) error {
+	if t.inner.S == nil {
+		return fmt.Errorf("codecdb: %s is a static table; use LoadTable to build it", t.inner.Name)
+	}
+	return t.inner.S.Append(vals...)
+}
+
+// Flush seals the ingest table's memtable and blocks until everything
+// sealed so far is encoded into shards and committed to the manifest.
+// Queries do not need Flush — they already see unflushed rows — but it
+// bounds recovery replay and makes the rows scannable in encoded form.
+func (t *Table) Flush() error {
+	if t.inner.S == nil {
+		return fmt.Errorf("codecdb: %s is a static table; nothing to flush", t.inner.Name)
+	}
+	return t.inner.S.Flush()
+}
+
+// FlushTrace returns the rendered span tree (Encode → Publish →
+// Manifest → Trim) of the ingest table's most recent committed flush,
+// "" before the first. The EXPLAIN ANALYZE of the write path.
+func (t *Table) FlushTrace() string {
+	if t.inner.S == nil {
+		return ""
+	}
+	return t.inner.S.LastFlushTrace()
+}
+
+// Quarantined lists shards excluded when the table was opened because
+// they failed verification. Empty for healthy tables and for static
+// tables.
+func (t *Table) Quarantined() []QuarantinedShard {
+	if t.inner.S == nil {
+		return nil
+	}
+	return t.inner.S.Quarantined()
+}
+
+// Scrub runs a full integrity pass over an ingest table: the manifest
+// is re-read and checksum-verified, every live shard's pages and
+// dictionaries are scrubbed, and every sealed WAL segment's records are
+// CRC-checked. Corruption in live data is returned as an error;
+// quarantined shards are reported in the result instead.
+func (t *Table) Scrub(ctx context.Context) (ScrubReport, error) {
+	if t.inner.S == nil {
+		return ScrubReport{}, fmt.Errorf("codecdb: %s is a static table; use Verify", t.inner.Name)
+	}
+	return t.inner.S.Scrub(ctx)
+}

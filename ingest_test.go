@@ -1,0 +1,323 @@
+package codecdb
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"testing"
+)
+
+func ingestFields() []Field {
+	return []Field{
+		{Name: "id", Type: Int64Field},
+		{Name: "score", Type: Float64Field},
+		{Name: "status", Type: StringField},
+	}
+}
+
+var statuses = []string{"OK", "WARN", "ERROR"}
+
+func appendRows(t *testing.T, tbl *Table, from, n int) {
+	t.Helper()
+	for i := from; i < from+n; i++ {
+		if err := tbl.Append(int64(i), float64(i)/2, statuses[i%3]); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+}
+
+// TestIngestQueryAcrossShardsAndTail: the same query must see flushed
+// shards and the in-memory tail as one table, with global row ids.
+func TestIngestQueryAcrossShardsAndTail(t *testing.T) {
+	db, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	tbl, err := db.CreateIngestTable("events", ingestFields())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tbl.IsIngest() {
+		t.Fatal("IsIngest = false")
+	}
+	appendRows(t, tbl, 0, 200)
+	if err := tbl.Flush(); err != nil { // shard 1
+		t.Fatal(err)
+	}
+	appendRows(t, tbl, 200, 100)
+	if err := tbl.Flush(); err != nil { // shard 2
+		t.Fatal(err)
+	}
+	appendRows(t, tbl, 300, 57) // tail
+	const total = 357
+
+	if n := tbl.NumRows(); n != total {
+		t.Fatalf("NumRows = %d, want %d", n, total)
+	}
+
+	// Count + RowIDs across the whole snapshot.
+	n, err := tbl.Where("status", Eq, "ERROR").Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(0)
+	for i := 0; i < total; i++ {
+		if i%3 == 2 {
+			want++
+		}
+	}
+	if n != want {
+		t.Fatalf("Count = %d, want %d", n, want)
+	}
+	ids, err := tbl.Where("status", Eq, "ERROR").RowIDs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(ids)) != want {
+		t.Fatalf("RowIDs: %d, want %d", len(ids), want)
+	}
+	for _, id := range ids {
+		if id%3 != 2 {
+			t.Fatalf("row id %d is not an ERROR row", id)
+		}
+	}
+
+	// Gather + conjunction spanning the shard/tail boundary.
+	vals, err := tbl.Where("id", Ge, 195).And("id", Lt, 305).Ints("id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 110 {
+		t.Fatalf("gathered %d ids, want 110", len(vals))
+	}
+	for i, v := range vals {
+		if v != int64(195+i) {
+			t.Fatalf("vals[%d] = %d, want %d (snapshot order broken)", i, v, 195+i)
+		}
+	}
+
+	// SumFloat, IN (dictionary on shards, set probe on the tail), LIKE.
+	sum, err := tbl.Where("id", Lt, 10).SumFloat("score")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSum := 0.0
+	for i := 0; i < 10; i++ {
+		wantSum += float64(i) / 2
+	}
+	if sum != wantSum {
+		t.Fatalf("SumFloat = %v, want %v", sum, wantSum)
+	}
+	nIn, err := tbl.All().AndIn("status", "WARN", "ERROR").Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nLike, err := tbl.All().AndLike("status", func(v []byte) bool { return bytes.HasPrefix(v, []byte("W")) }).Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantWarn, wantErr := int64(0), int64(0)
+	for i := 0; i < total; i++ {
+		switch i % 3 {
+		case 1:
+			wantWarn++
+		case 2:
+			wantErr++
+		}
+	}
+	if nIn != wantWarn+wantErr {
+		t.Fatalf("IN = %d, want %d", nIn, wantWarn+wantErr)
+	}
+	if nLike != wantWarn {
+		t.Fatalf("LIKE = %d, want %d", nLike, wantWarn)
+	}
+
+	// GroupCount merges per-shard dictionary aggregation with the tail.
+	groups, err := tbl.Where("id", Ge, 0).GroupCount("status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if groups["WARN"] != wantWarn || groups["ERROR"] != wantErr || groups["OK"] != int64(total)-wantWarn-wantErr {
+		t.Fatalf("GroupCount = %v", groups)
+	}
+
+	// Strings gather.
+	strs, err := tbl.Where("id", Eq, 300).Strings("status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(strs) != 1 || string(strs[0]) != statuses[300%3] {
+		t.Fatalf("Strings = %q", strs)
+	}
+
+	// The write path is traced like the read path.
+	if tr := tbl.FlushTrace(); tr == "" {
+		t.Fatal("FlushTrace empty after Flush")
+	}
+	if _, err := tbl.Where("status", Eq, "ERROR").ExplainAnalyze(); err != nil {
+		t.Fatalf("ExplainAnalyze: %v", err)
+	}
+	if err := db.Verify(context.Background()); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	rep, err := tbl.Scrub(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Shards != 2 || len(rep.Quarantined) != 0 {
+		t.Fatalf("scrub report: %+v", rep)
+	}
+}
+
+// TestIngestReopen: rows appended but never flushed must survive a
+// clean close/reopen via WAL replay, and the selector-chosen encodings
+// must be queryable again.
+func TestIngestReopen(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := db.CreateIngestTable("events", ingestFields())
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendRows(t, tbl, 0, 120)
+	if err := tbl.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	appendRows(t, tbl, 120, 30) // unflushed tail
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db, err = Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	tbl, err = db.Table("events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := tbl.NumRows(); n != 150 {
+		t.Fatalf("NumRows after reopen = %d, want 150", n)
+	}
+	ids, err := tbl.All().Ints("id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, id := range ids {
+		if id != int64(i) {
+			t.Fatalf("ids[%d] = %d after reopen", i, id)
+		}
+	}
+	enc, err := db.Encodings("events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if enc["status"] == "" {
+		t.Fatalf("no recorded encoding for status: %v", enc)
+	}
+}
+
+// TestIngestValidation: schema violations fail at build/append time with
+// errors, never panics, and never reach the WAL.
+func TestIngestValidation(t *testing.T) {
+	db, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	tbl, err := db.CreateIngestTable("events", ingestFields())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Append(int64(1), 2.0); err == nil {
+		t.Fatal("arity mismatch accepted")
+	}
+	if err := tbl.Append("x", 2.0, "OK"); err == nil {
+		t.Fatal("type mismatch accepted")
+	}
+	if q := tbl.Where("missing", Eq, 1); q.Err() == nil {
+		t.Fatal("unknown column accepted")
+	}
+	if q := tbl.Where("id", Eq, "str"); q.Err() == nil {
+		t.Fatal("type-mismatched predicate accepted")
+	}
+	if q := tbl.All().AndColumns("status", Eq, "status"); q.Err() == nil {
+		t.Fatal("two-column predicate must be rejected on ingest tables")
+	}
+	if _, err := db.LoadTable("events2", []Column{{Name: "a", Ints: []int64{1}}}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := db.Table("events2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Append(int64(1)); err == nil {
+		t.Fatal("Append on a static table accepted")
+	}
+	// Appends concurrent with flushes and queries must stay coherent.
+	if err := tbl.Append(int64(1), 0.5, "OK"); err != nil {
+		t.Fatal(err)
+	}
+	n, err := tbl.All().Count()
+	if err != nil || n != 1 {
+		t.Fatalf("Count = %d, %v", n, err)
+	}
+}
+
+// TestIngestPerShardEncodings: two flushes with very different data
+// should be queryable even when the selector picks different encodings
+// per shard (the per-shard rebinding path).
+func TestIngestPerShardEncodings(t *testing.T) {
+	db, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	tbl, err := db.CreateIngestTable("mix", []Field{
+		{Name: "k", Type: Int64Field},
+		{Name: "s", Type: StringField},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shard 1: tiny dictionary-friendly strings, constant ints.
+	for i := 0; i < 300; i++ {
+		if err := tbl.Append(int64(i%4), fmt.Sprintf("v%d", i%3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tbl.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Shard 2: high-cardinality strings, increasing ints.
+	for i := 0; i < 300; i++ {
+		if err := tbl.Append(int64(1000+i), fmt.Sprintf("unique-%08d-%08d", i, i*i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tbl.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// IN uses the dictionary fast path where available and rewrites to
+	// OR-of-equality elsewhere; both shards must contribute.
+	n, err := tbl.All().AndIn("s", "v1", "unique-00000002-00000004").Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantN := int64(100 + 1) // i%3==1 in shard 1, one exact match in shard 2
+	if n != wantN {
+		t.Fatalf("IN across differently-encoded shards = %d, want %d", n, wantN)
+	}
+	nk, err := tbl.Where("k", Ge, 1000).Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nk != 300 {
+		t.Fatalf("int predicate across shards = %d, want 300", nk)
+	}
+}

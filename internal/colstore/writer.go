@@ -187,6 +187,12 @@ func WriteFileFS(fsys vfs.FS, path string, schema Schema, data []ColumnData, opt
 	if err := w.Flush(); err != nil {
 		return err
 	}
+	// Make the file durable before Close: the crash-safe flush path
+	// renames this file into the live set right after, and rename must
+	// never publish an unsynced shard.
+	if err := f.Sync(); err != nil {
+		return err
+	}
 	return f.Close()
 }
 

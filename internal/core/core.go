@@ -21,6 +21,8 @@ import (
 	"codecdb/internal/features"
 	"codecdb/internal/obs"
 	"codecdb/internal/selector"
+	"codecdb/internal/shard"
+	"codecdb/internal/vfs"
 )
 
 // sampleBytes is the head-sample budget for runtime encoding selection
@@ -37,6 +39,10 @@ type Options struct {
 	// Selector is the trained encoding selector; nil falls back to
 	// exhaustive selection on the head sample.
 	Selector *selector.Learned
+	// FS is the filesystem the durable write path (WAL, shards,
+	// manifests) goes through; nil selects the real one. The seam the
+	// crash-injection tests use.
+	FS vfs.FS
 }
 
 // DB is a CodecDB database: a directory of encoded column files plus the
@@ -44,6 +50,7 @@ type Options struct {
 type DB struct {
 	dir      string
 	opts     Options
+	fs       vfs.FS
 	opPool   *exec.Pool
 	dataPool *exec.Pool
 
@@ -62,12 +69,28 @@ type tableMeta struct {
 	File      string            `json:"file"`
 	Rows      int64             `json:"rows"`
 	Encodings map[string]string `json:"encodings"` // column -> encoding name
+	// Kind distinguishes static single-file tables ("", the historical
+	// default) from WAL-backed sharded tables ("sharded").
+	Kind string `json:"kind,omitempty"`
+	// Dir is the sharded table's directory, relative to the DB root.
+	Dir string `json:"dir,omitempty"`
+	// Columns preserves a sharded table's schema (name + type) so it can
+	// be reopened before any shard exists.
+	Columns []FieldMeta `json:"columns,omitempty"`
 }
 
-// Table is an opened table.
+// FieldMeta is one column of a sharded table's catalogued schema.
+type FieldMeta struct {
+	Name string        `json:"name"`
+	Type colstore.Type `json:"type"`
+}
+
+// Table is an opened table: either a static single-file table (R set) or
+// a WAL-backed sharded table (S set).
 type Table struct {
 	Name string
 	R    *colstore.Reader
+	S    *shard.Table
 }
 
 // Open opens (or initialises) a database rooted at dir.
@@ -75,9 +98,14 @@ func Open(dir string, opts Options) (*DB, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
+	fsys := opts.FS
+	if fsys == nil {
+		fsys = vfs.OS()
+	}
 	db := &DB{
 		dir:      dir,
 		opts:     opts,
+		fs:       fsys,
 		opPool:   exec.NewPool(opts.OperatorThreads),
 		dataPool: exec.NewPool(opts.DataThreads),
 		tables:   map[string]*Table{},
@@ -97,7 +125,13 @@ func (db *DB) Close() error {
 	defer db.mu.Unlock()
 	var first error
 	for _, t := range db.tables {
-		if err := t.R.Close(); err != nil && first == nil {
+		var err error
+		if t.S != nil {
+			err = t.S.Close()
+		} else {
+			err = t.R.Close()
+		}
+		if err != nil && first == nil {
 			first = err
 		}
 	}
@@ -301,6 +335,9 @@ func (db *DB) Table(name string) (*Table, error) {
 	if !ok {
 		return nil, fmt.Errorf("core: no table %q", name)
 	}
+	if tm.Kind == KindSharded {
+		return db.openShardedLocked(name, tm)
+	}
 	r, err := colstore.Open(filepath.Join(db.dir, tm.File))
 	if err != nil {
 		return nil, err
@@ -321,13 +358,22 @@ func (db *DB) TableNames() []string {
 	return out
 }
 
-// Encodings returns the per-column encoding names recorded at load time.
+// Encodings returns the per-column encoding names recorded at load time
+// (static tables) or chosen by the most recent flush of each column
+// (sharded tables, where selection re-runs per shard).
 func (db *DB) Encodings(table string) (map[string]string, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	tm, ok := db.catalog.Tables[table]
 	if !ok {
 		return nil, fmt.Errorf("core: no table %q", table)
+	}
+	if tm.Kind == KindSharded {
+		t, err := db.openShardedLocked(table, tm)
+		if err != nil {
+			return nil, err
+		}
+		return t.S.Encodings(), nil
 	}
 	out := make(map[string]string, len(tm.Encodings))
 	for k, v := range tm.Encodings {

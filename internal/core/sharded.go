@@ -1,0 +1,134 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"codecdb/internal/colstore"
+	"codecdb/internal/memtable"
+	"codecdb/internal/shard"
+)
+
+// KindSharded marks a WAL-backed sharded table in the catalog.
+const KindSharded = "sharded"
+
+// CreateShardedTable creates an empty WAL-backed table: rows go in
+// through Table.S.Append (durable on return), sealed memtables flush in
+// the background through the encoding selector into immutable shard
+// files, and a manifest governs the live shard set. Schema types are
+// colstore types; strings are ingested as bytes.
+func (db *DB) CreateShardedTable(name string, fields []FieldMeta, opts shard.Options) (*Table, error) {
+	if len(fields) == 0 {
+		return nil, fmt.Errorf("core: sharded table %q needs at least one column", name)
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, exists := db.catalog.Tables[name]; exists {
+		return nil, fmt.Errorf("core: table %q already exists", name)
+	}
+	tm := tableMeta{
+		Kind:    KindSharded,
+		Dir:     name + ".shard",
+		Columns: append([]FieldMeta(nil), fields...),
+	}
+	if err := os.MkdirAll(filepath.Join(db.dir, tm.Dir), 0o755); err != nil {
+		return nil, err
+	}
+	t, err := db.openShardTable(name, tm, opts)
+	if err != nil {
+		return nil, err
+	}
+	db.catalog.Tables[name] = tm
+	if err := db.persistCatalogLocked(); err != nil {
+		t.S.Close()
+		delete(db.catalog.Tables, name)
+		return nil, err
+	}
+	db.tables[name] = t
+	return t, nil
+}
+
+// openShardedLocked opens a catalogued sharded table (recovering its
+// WAL tail and quarantining damaged shards). Caller holds db.mu.
+func (db *DB) openShardedLocked(name string, tm tableMeta) (*Table, error) {
+	if t, ok := db.tables[name]; ok {
+		return t, nil
+	}
+	t, err := db.openShardTable(name, tm, shard.Options{})
+	if err != nil {
+		return nil, err
+	}
+	db.tables[name] = t
+	return t, nil
+}
+
+func (db *DB) openShardTable(name string, tm tableMeta, opts shard.Options) (*Table, error) {
+	cols := make([]shard.Column, len(tm.Columns))
+	for i, f := range tm.Columns {
+		ct, err := memTypeOf(f.Type)
+		if err != nil {
+			return nil, fmt.Errorf("core: table %q column %q: %w", name, f.Name, err)
+		}
+		cols[i] = shard.Column{Name: f.Name, Type: ct}
+	}
+	dir := filepath.ToSlash(filepath.Join(db.dir, tm.Dir))
+	st, err := shard.Open(db.fs, dir, cols, opts, db.shardFlushFunc(tm.Columns))
+	if err != nil {
+		return nil, fmt.Errorf("core: open sharded table %q: %w", name, err)
+	}
+	return &Table{Name: name, S: st}, nil
+}
+
+// shardFlushFunc builds the FlushFunc that encodes one sealed memtable
+// into a shard file: every column goes through data-driven selection on
+// its actual data (the selector re-runs per flush, so each shard gets
+// the encodings its rows deserve), then the columns are written in the
+// current checksummed format.
+func (db *DB) shardFlushFunc(fields []FieldMeta) shard.FlushFunc {
+	return func(mem *memtable.ColumnTable, path string) (map[string]string, error) {
+		specs := make([]ColumnSpec, len(fields))
+		data := make([]colstore.ColumnData, len(fields))
+		for i, f := range fields {
+			specs[i] = ColumnSpec{Name: f.Name, Type: f.Type, AutoEncode: true}
+			switch f.Type {
+			case colstore.TypeInt64:
+				data[i] = colstore.ColumnData{Ints: mem.Ints(i)}
+			case colstore.TypeFloat64:
+				data[i] = colstore.ColumnData{Floats: mem.Floats(i)}
+			case colstore.TypeString:
+				bins := mem.Binaries(i)
+				strs := make([][]byte, len(bins))
+				for j, b := range bins {
+					strs[j] = b
+				}
+				data[i] = colstore.ColumnData{Strings: strs}
+			}
+		}
+		cols := make([]colstore.Column, len(specs))
+		encodings := make(map[string]string, len(specs))
+		for i, s := range specs {
+			kind, compression := normaliseKind(s, db.selectEncoding(s, data[i]))
+			cols[i] = colstore.Column{Name: s.Name, Type: s.Type, Encoding: kind, Compression: compression}
+			encodings[s.Name] = kind.String()
+		}
+		err := colstore.WriteFileFS(db.fs, path, colstore.Schema{Columns: cols}, data, colstore.Options{})
+		if err != nil {
+			return nil, err
+		}
+		return encodings, nil
+	}
+}
+
+// memTypeOf maps a colstore schema type onto the memtable type domain.
+func memTypeOf(t colstore.Type) (memtable.ColType, error) {
+	switch t {
+	case colstore.TypeInt64:
+		return memtable.ColInt64, nil
+	case colstore.TypeFloat64:
+		return memtable.ColFloat64, nil
+	case colstore.TypeString:
+		return memtable.ColBinary, nil
+	}
+	return 0, fmt.Errorf("core: unsupported column type %v", t)
+}

@@ -1,0 +1,153 @@
+package memtable
+
+import (
+	"fmt"
+	"sync"
+)
+
+// DefaultSealBytes is the seal threshold a Buffer uses when none is
+// given: large enough to amortise flush cost, small enough that a
+// memtable encodes in one shot.
+const DefaultSealBytes = 8 << 20
+
+// Buffer is the concurrent ingest buffer in front of the flush path: a
+// mutex-guarded ColumnTable that validates rows instead of panicking,
+// accounts payload bytes, and seals itself — atomically swapping in a
+// fresh active table — when the size threshold is crossed. A sealed
+// table is immutable and safe to encode on a background goroutine while
+// appends continue into the new active table.
+type Buffer struct {
+	names     []string
+	types     []ColType
+	sealBytes int
+
+	mu     sync.Mutex
+	active *ColumnTable
+	bytes  int // payload-inclusive size of active
+}
+
+// NewBuffer creates an ingest buffer over the given schema. sealBytes
+// <= 0 selects DefaultSealBytes.
+func NewBuffer(names []string, types []ColType, sealBytes int) *Buffer {
+	if sealBytes <= 0 {
+		sealBytes = DefaultSealBytes
+	}
+	return &Buffer{
+		names: names, types: types, sealBytes: sealBytes,
+		active: NewColumnTable(names, types),
+	}
+}
+
+// normalise coerces a caller value onto the column type, copying byte
+// payloads so the buffer never aliases caller memory.
+func normalise(t ColType, v any) (any, int, error) {
+	switch t {
+	case ColInt64:
+		switch x := v.(type) {
+		case int64:
+			return x, 8, nil
+		case int:
+			return int64(x), 8, nil
+		}
+	case ColFloat64:
+		if x, ok := v.(float64); ok {
+			return x, 8, nil
+		}
+	case ColBinary:
+		switch x := v.(type) {
+		case Binary:
+			return Binary(append([]byte(nil), x...)), 16 + len(x), nil
+		case []byte:
+			return Binary(append([]byte(nil), x...)), 16 + len(x), nil
+		case string:
+			return Binary(x), 16 + len(x), nil
+		}
+	}
+	return nil, 0, fmt.Errorf("memtable: value %T does not fit column type %v", v, t)
+}
+
+// Append validates and appends one row. When the append pushes the
+// active table past the seal threshold, the table is sealed and
+// returned (immutable, ready to flush) and a fresh active table takes
+// its place; otherwise sealed is nil. Unlike ColumnTable.AppendRow,
+// type or arity mismatches are errors, not panics — the ingest path
+// must never take the process down.
+func (b *Buffer) Append(vals ...any) (sealed *ColumnTable, err error) {
+	if len(vals) != len(b.types) {
+		return nil, fmt.Errorf("memtable: %d values for %d columns", len(vals), len(b.types))
+	}
+	norm := make([]any, len(vals))
+	rowBytes := 0
+	for i, v := range vals {
+		nv, n, err := normalise(b.types[i], v)
+		if err != nil {
+			return nil, fmt.Errorf("memtable: column %q: %w", b.names[i], err)
+		}
+		norm[i], rowBytes = nv, rowBytes+n
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.active.AppendRow(norm...)
+	b.bytes += rowBytes
+	if b.bytes >= b.sealBytes {
+		return b.sealLocked(), nil
+	}
+	return nil, nil
+}
+
+// Seal force-seals the active table, returning it (nil when empty) and
+// starting a fresh one.
+func (b *Buffer) Seal() *ColumnTable {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.sealLocked()
+}
+
+func (b *Buffer) sealLocked() *ColumnTable {
+	if b.active.NumRows() == 0 {
+		return nil
+	}
+	sealed := b.active
+	b.active = NewColumnTable(b.names, b.types)
+	b.bytes = 0
+	return sealed
+}
+
+// Rows returns the active table's current row count.
+func (b *Buffer) Rows() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.active.NumRows()
+}
+
+// SizeBytes returns the payload-inclusive size of the active table.
+func (b *Buffer) SizeBytes() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.bytes
+}
+
+// Snapshot returns an immutable view of the active table's current
+// rows. The view shares value storage with the buffer (values are never
+// mutated after append) but no further appends become visible through
+// it, so readers get a stable row count while ingestion continues.
+func (b *Buffer) Snapshot() *ColumnTable {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	snap := &ColumnTable{
+		names: b.names, types: b.types,
+		ints: map[int][]int64{}, flts: map[int][]float64{}, bins: map[int][]Binary{},
+		rows: b.active.rows,
+	}
+	for i, t := range b.types {
+		switch t {
+		case ColInt64:
+			snap.ints[i] = b.active.ints[i][:b.active.rows:b.active.rows]
+		case ColFloat64:
+			snap.flts[i] = b.active.flts[i][:b.active.rows:b.active.rows]
+		case ColBinary:
+			snap.bins[i] = b.active.bins[i][:b.active.rows:b.active.rows]
+		}
+	}
+	return snap
+}

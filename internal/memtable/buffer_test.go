@@ -1,0 +1,148 @@
+package memtable
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func testBuffer(sealBytes int) *Buffer {
+	return NewBuffer([]string{"id", "score", "tag"}, []ColType{ColInt64, ColFloat64, ColBinary}, sealBytes)
+}
+
+func TestBufferValidation(t *testing.T) {
+	b := testBuffer(0)
+	if _, err := b.Append(int64(1), 2.0); err == nil {
+		t.Fatal("arity mismatch must error, not panic")
+	}
+	if _, err := b.Append("nope", 2.0, []byte("x")); err == nil {
+		t.Fatal("type mismatch must error, not panic")
+	}
+	if _, err := b.Append(int64(1), 2.0, "tag"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Append(7, 2.0, []byte("tag")); err != nil { // int coerces
+		t.Fatal(err)
+	}
+	if b.Rows() != 2 {
+		t.Fatalf("rows = %d, want 2", b.Rows())
+	}
+}
+
+// TestBufferAppendCopiesBytes: mutating the caller's slice after Append
+// must not change the stored value.
+func TestBufferAppendCopiesBytes(t *testing.T) {
+	b := testBuffer(0)
+	payload := []byte("original")
+	b.Append(int64(1), 1.0, payload)
+	payload[0] = 'X'
+	if got := string(b.Snapshot().Binaries(2)[0]); got != "original" {
+		t.Fatalf("stored binary aliases caller memory: %q", got)
+	}
+}
+
+// TestBufferSizeSeal: the buffer seals itself when payload bytes cross
+// the threshold, handing back everything appended so far and starting
+// fresh.
+func TestBufferSizeSeal(t *testing.T) {
+	b := testBuffer(1000)
+	var sealed []*ColumnTable
+	total := 0
+	for i := 0; i < 100; i++ {
+		s, err := b.Append(int64(i), float64(i), []byte("0123456789")) // 8+8+26 bytes
+		if err != nil {
+			t.Fatal(err)
+		}
+		total++
+		if s != nil {
+			sealed = append(sealed, s)
+		}
+	}
+	if len(sealed) == 0 {
+		t.Fatal("threshold never sealed")
+	}
+	if last := b.Seal(); last != nil {
+		sealed = append(sealed, last)
+	}
+	rows := 0
+	next := int64(0)
+	for _, s := range sealed {
+		rows += s.NumRows()
+		for _, v := range s.Ints(0) {
+			if v != next {
+				t.Fatalf("sealed tables out of order: got id %d want %d", v, next)
+			}
+			next++
+		}
+	}
+	if rows != total {
+		t.Fatalf("sealed tables hold %d rows, appended %d", rows, total)
+	}
+}
+
+// TestBufferConcurrentAppendSeal is the race test for the ingest
+// buffer: appenders, a force-sealer, and snapshot readers run together;
+// no row may be lost or duplicated across the sealed tables plus the
+// final active table.
+func TestBufferConcurrentAppendSeal(t *testing.T) {
+	b := testBuffer(1 << 12)
+	const goroutines, each = 8, 500
+	var mu sync.Mutex
+	var sealed []*ColumnTable
+	keep := func(s *ColumnTable) {
+		if s == nil {
+			return
+		}
+		mu.Lock()
+		sealed = append(sealed, s)
+		mu.Unlock()
+	}
+	var wg sync.WaitGroup
+	var snapshots atomic.Int64
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				s, err := b.Append(int64(g*each+i), float64(i), []byte(fmt.Sprintf("g%d", g)))
+				if err != nil {
+					t.Errorf("append: %v", err)
+					return
+				}
+				keep(s)
+				if i%97 == 0 {
+					keep(b.Seal())
+				}
+				if i%53 == 0 {
+					snap := b.Snapshot()
+					// The snapshot must be internally rectangular even
+					// while appends continue.
+					if len(snap.Ints(0)) != snap.NumRows() || len(snap.Binaries(2)) != snap.NumRows() {
+						t.Error("snapshot not rectangular")
+						return
+					}
+					snapshots.Add(1)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	keep(b.Seal())
+
+	seen := map[int64]bool{}
+	for _, s := range sealed {
+		for _, id := range s.Ints(0) {
+			if seen[id] {
+				t.Fatalf("row %d appears in two sealed tables", id)
+			}
+			seen[id] = true
+		}
+	}
+	if len(seen) != goroutines*each {
+		t.Fatalf("sealed tables hold %d rows, appended %d", len(seen), goroutines*each)
+	}
+	if snapshots.Load() == 0 {
+		t.Fatal("no snapshots taken")
+	}
+}

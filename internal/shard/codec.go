@@ -1,0 +1,118 @@
+package shard
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"codecdb/internal/memtable"
+)
+
+// Column is one column of a sharded table's schema, in the memtable
+// type domain the WAL codec and ingest buffer share.
+type Column struct {
+	Name string
+	Type memtable.ColType
+}
+
+// encodeRow frames one row as a WAL record payload: column values in
+// schema order, int64/float64 as 8 little-endian bytes, binaries
+// length-prefixed (FORMAT.md "WAL record payload"). It validates value
+// types so malformed appends fail before touching the log.
+func encodeRow(cols []Column, vals []any) ([]byte, error) {
+	if len(vals) != len(cols) {
+		return nil, fmt.Errorf("shard: %d values for %d columns", len(vals), len(cols))
+	}
+	size := 0
+	for i, c := range cols {
+		switch c.Type {
+		case memtable.ColInt64, memtable.ColFloat64:
+			size += 8
+		case memtable.ColBinary:
+			switch v := vals[i].(type) {
+			case []byte:
+				size += 4 + len(v)
+			case string:
+				size += 4 + len(v)
+			case memtable.Binary:
+				size += 4 + len(v)
+			}
+		}
+	}
+	buf := make([]byte, 0, size)
+	for i, c := range cols {
+		v := vals[i]
+		switch c.Type {
+		case memtable.ColInt64:
+			switch x := v.(type) {
+			case int64:
+				buf = binary.LittleEndian.AppendUint64(buf, uint64(x))
+			case int:
+				buf = binary.LittleEndian.AppendUint64(buf, uint64(int64(x)))
+			default:
+				return nil, fmt.Errorf("shard: column %q wants int64, got %T", c.Name, v)
+			}
+		case memtable.ColFloat64:
+			x, ok := v.(float64)
+			if !ok {
+				return nil, fmt.Errorf("shard: column %q wants float64, got %T", c.Name, v)
+			}
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(x))
+		case memtable.ColBinary:
+			var b []byte
+			switch x := v.(type) {
+			case []byte:
+				b = x
+			case string:
+				b = []byte(x)
+			case memtable.Binary:
+				b = x
+			default:
+				return nil, fmt.Errorf("shard: column %q wants bytes, got %T", c.Name, v)
+			}
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(len(b)))
+			buf = append(buf, b...)
+		default:
+			return nil, fmt.Errorf("shard: column %q has unknown type %v", c.Name, c.Type)
+		}
+	}
+	return buf, nil
+}
+
+// decodeRow parses one WAL record payload back into schema-typed
+// values. Byte payloads are copied (record buffers are transient).
+func decodeRow(cols []Column, payload []byte) ([]any, error) {
+	vals := make([]any, len(cols))
+	off := 0
+	for i, c := range cols {
+		switch c.Type {
+		case memtable.ColInt64:
+			if off+8 > len(payload) {
+				return nil, fmt.Errorf("shard: record truncated at column %q", c.Name)
+			}
+			vals[i] = int64(binary.LittleEndian.Uint64(payload[off:]))
+			off += 8
+		case memtable.ColFloat64:
+			if off+8 > len(payload) {
+				return nil, fmt.Errorf("shard: record truncated at column %q", c.Name)
+			}
+			vals[i] = math.Float64frombits(binary.LittleEndian.Uint64(payload[off:]))
+			off += 8
+		case memtable.ColBinary:
+			if off+4 > len(payload) {
+				return nil, fmt.Errorf("shard: record truncated at column %q", c.Name)
+			}
+			n := int(binary.LittleEndian.Uint32(payload[off:]))
+			off += 4
+			if off+n > len(payload) {
+				return nil, fmt.Errorf("shard: record truncated at column %q", c.Name)
+			}
+			vals[i] = append([]byte(nil), payload[off:off+n]...)
+			off += n
+		}
+	}
+	if off != len(payload) {
+		return nil, fmt.Errorf("shard: record has %d trailing bytes", len(payload)-off)
+	}
+	return vals, nil
+}

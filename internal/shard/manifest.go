@@ -1,0 +1,174 @@
+package shard
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io/fs"
+
+	"codecdb/internal/vfs"
+)
+
+// ManifestName is the single manifest file inside a sharded table's
+// directory. It is only ever replaced whole, by rename.
+const ManifestName = "MANIFEST"
+
+// manifestMagic begins every manifest file.
+var manifestMagic = []byte("CDBM")
+
+// manifestVersion is the current manifest format version.
+const manifestVersion = 1
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ShardMeta is one live shard in the manifest.
+type ShardMeta struct {
+	// File is the shard's file name inside the table directory.
+	File string `json:"file"`
+	// Rows is the shard's row count.
+	Rows int64 `json:"rows"`
+	// Encodings records the per-column scheme the selector chose when
+	// this shard was encoded (selection re-runs at every flush, so
+	// different shards of one table may disagree).
+	Encodings map[string]string `json:"encodings,omitempty"`
+}
+
+// Manifest is the root of trust for a sharded table: the exact set of
+// live shard files, in ingest order, plus the WAL floor — the lowest
+// segment sequence that may still hold unflushed rows. Everything else
+// in the directory (unlisted shard files, stale segments, temp files)
+// is crash debris that recovery removes.
+type Manifest struct {
+	// Seq is the manifest generation, bumped on every rewrite.
+	Seq uint64 `json:"seq"`
+	// WalFloor: segments with sequence < WalFloor are fully flushed and
+	// dead; recovery replays every segment >= WalFloor.
+	WalFloor uint64 `json:"wal_floor"`
+	// NextFile numbers the next shard file, monotonically, so reused
+	// names never collide with crash debris.
+	NextFile uint64 `json:"next_file"`
+	// Shards lists the live shards in ingest order.
+	Shards []ShardMeta `json:"shards"`
+}
+
+// CorruptManifestError reports a manifest that failed structural or
+// checksum verification — real metadata damage, since manifests are
+// only ever published by atomic rename of a fully-synced temp file.
+type CorruptManifestError struct {
+	Path   string
+	Detail string
+}
+
+func (e *CorruptManifestError) Error() string {
+	return fmt.Sprintf("shard: corrupt manifest %s: %s", e.Path, e.Detail)
+}
+
+// encodeManifest frames the manifest:
+//
+//	"CDBM" | u32 version | u32 len | u32 crc32c(payload) | payload(JSON)
+func encodeManifest(m *Manifest) ([]byte, error) {
+	payload, err := json.Marshal(m)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 0, 16+len(payload))
+	buf = append(buf, manifestMagic...)
+	buf = binary.LittleEndian.AppendUint32(buf, manifestVersion)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(payload, castagnoli))
+	return append(buf, payload...), nil
+}
+
+func decodeManifest(path string, raw []byte) (*Manifest, error) {
+	bad := func(detail string) (*Manifest, error) {
+		return nil, &CorruptManifestError{Path: path, Detail: detail}
+	}
+	if len(raw) < 16 {
+		return bad(fmt.Sprintf("%d bytes, want >= 16", len(raw)))
+	}
+	if string(raw[:4]) != string(manifestMagic) {
+		return bad("bad magic")
+	}
+	if v := binary.LittleEndian.Uint32(raw[4:8]); v != manifestVersion {
+		return bad(fmt.Sprintf("unsupported version %d", v))
+	}
+	n := binary.LittleEndian.Uint32(raw[8:12])
+	if int(n) != len(raw)-16 {
+		return bad(fmt.Sprintf("payload length %d, file holds %d", n, len(raw)-16))
+	}
+	payload := raw[16:]
+	if got, want := crc32.Checksum(payload, castagnoli), binary.LittleEndian.Uint32(raw[12:16]); got != want {
+		return bad(fmt.Sprintf("payload checksum %08x, want %08x", got, want))
+	}
+	var m Manifest
+	if err := json.Unmarshal(payload, &m); err != nil {
+		return bad(fmt.Sprintf("payload: %v", err))
+	}
+	return &m, nil
+}
+
+// writeManifest atomically publishes m at dir/MANIFEST: temp file,
+// write, fsync, rename, directory fsync — the same pattern as
+// Selector.Save, so a crash at any point leaves either the previous
+// manifest or the new one, never a mix.
+func writeManifest(fsys vfs.FS, dir string, m *Manifest) error {
+	raw, err := encodeManifest(m)
+	if err != nil {
+		return err
+	}
+	tmp := join(dir, ManifestName+".tmp")
+	final := join(dir, ManifestName)
+	f, err := fsys.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(raw); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := fsys.Rename(tmp, final); err != nil {
+		return err
+	}
+	return fsys.SyncDir(dir)
+}
+
+// loadManifest reads dir/MANIFEST. A missing manifest is not an error:
+// it returns the zero manifest of a freshly created (or never flushed)
+// table.
+func loadManifest(fsys vfs.FS, dir string) (*Manifest, error) {
+	path := join(dir, ManifestName)
+	f, err := fsys.Open(path)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return &Manifest{WalFloor: 1, NextFile: 1}, nil
+		}
+		return nil, err
+	}
+	defer f.Close()
+	size, err := f.Size()
+	if err != nil {
+		return nil, err
+	}
+	raw := make([]byte, size)
+	if _, err := f.ReadAt(raw, 0); err != nil {
+		return nil, fmt.Errorf("shard: read manifest: %w", err)
+	}
+	return decodeManifest(path, raw)
+}
+
+// join is filepath.Join for the forward-slash paths the vfs layer uses.
+func join(dir, name string) string {
+	if dir == "" {
+		return name
+	}
+	return dir + "/" + name
+}

@@ -14,7 +14,14 @@ import (
 // filesystem failures.
 var ErrInjected = errors.New("vfs: injected I/O error")
 
-// FaultConfig tunes the fault mix. Probabilities are per ReadAt call and
+// ErrCrashed is returned by every write-side operation after a crash
+// point armed with CrashAfterWriteOps has tripped: the process model is
+// "the machine died here", so nothing writes, syncs, renames, or removes
+// until the FS is replaced by a fresh one (a reopen). ErrCrashed wraps
+// ErrInjected.
+var ErrCrashed = fmt.Errorf("%w: crashed", ErrInjected)
+
+// FaultConfig tunes the fault mix. Probabilities are per call and
 // evaluated from one seeded PRNG, so a given (seed, operation sequence)
 // replays the same faults.
 type FaultConfig struct {
@@ -35,11 +42,41 @@ type FaultConfig struct {
 	BitFlipProb float64
 	// Latency is an optional per-read delay.
 	Latency time.Duration
+
+	// WriteErrProb is the probability a write fails outright with
+	// ErrInjected, persisting nothing.
+	WriteErrProb float64
+	// ShortWriteProb is the probability a write persists only a random
+	// prefix of its bytes and then fails — a torn write, the on-disk
+	// shape a crash mid-write leaves behind.
+	ShortWriteProb float64
+	// SyncErrProb is the probability a Sync or SyncDir reports failure.
+	// Bytes already written remain on disk (they may well be durable);
+	// only the durability guarantee is withdrawn, so recovery may observe
+	// more data than was acknowledged — never less.
+	SyncErrProb float64
+	// RenameErrProb is the probability a Rename fails without effect:
+	// the old name still holds the old file.
+	RenameErrProb float64
 }
 
-// FaultFS wraps an FS and injects faults into reads according to the
-// config. Writes pass through untouched. Injection starts disabled so a
-// test can open a file cleanly first; flip it on with SetEnabled(true).
+// FaultCounts itemises injected faults by kind.
+type FaultCounts struct {
+	ReadErrs    int64
+	ShortReads  int64
+	BitFlips    int64
+	WriteErrs   int64
+	ShortWrites int64
+	SyncErrs    int64
+	RenameErrs  int64
+	CrashErrs   int64 // write-side ops refused because the crash point tripped
+}
+
+// FaultFS wraps an FS and injects faults according to the config.
+// Injection starts disabled so a test can set up files cleanly first;
+// flip it on with SetEnabled(true). Independent of the probabilistic
+// mix, CrashAfterWriteOps arms a deterministic crash point counted in
+// write-side operations.
 type FaultFS struct {
 	inner FS
 	cfg   FaultConfig
@@ -48,15 +85,19 @@ type FaultFS struct {
 	rng     *rand.Rand
 	enabled bool
 
-	// Fault counters, guarded by mu.
-	errs       int64
-	shortReads int64
-	bitFlips   int64
+	// Crash-point state, guarded by mu. crashArmed counts down across
+	// write-side ops; when it reaches zero the FS is "crashed" and every
+	// write-side op fails with ErrCrashed.
+	crashArmed int64
+	crashed    bool
+	writeOps   int64
+
+	counts FaultCounts
 }
 
 // NewFaultFS wraps inner with fault injection per cfg, initially disabled.
 func NewFaultFS(inner FS, cfg FaultConfig) *FaultFS {
-	return &FaultFS{inner: inner, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	return &FaultFS{inner: inner, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed)), crashArmed: -1}
 }
 
 // SetEnabled switches injection on or off.
@@ -66,11 +107,56 @@ func (ff *FaultFS) SetEnabled(on bool) {
 	ff.mu.Unlock()
 }
 
-// Injected reports how many faults of each kind have fired.
+// CrashAfterWriteOps arms a deterministic crash point: the first n-1
+// write-side operations (Create, Write, Sync, Rename, Remove, SyncDir)
+// succeed, the n-th crashes the filesystem — it fails with ErrCrashed,
+// and a Write landing on the crash point persists a deterministic
+// prefix of its bytes first, a torn write — and every operation after
+// it fails with ErrCrashed too. n <= 0 disarms.
+func (ff *FaultFS) CrashAfterWriteOps(n int64) {
+	ff.mu.Lock()
+	if n <= 0 {
+		ff.crashArmed = -1
+	} else {
+		ff.crashArmed = n
+	}
+	ff.crashed = false
+	ff.mu.Unlock()
+}
+
+// Crashed reports whether the armed crash point has tripped.
+func (ff *FaultFS) Crashed() bool {
+	ff.mu.Lock()
+	defer ff.mu.Unlock()
+	return ff.crashed
+}
+
+// WriteOps returns how many write-side operations have been issued, the
+// count a crash-point matrix dry run measures to size its sweep.
+func (ff *FaultFS) WriteOps() int64 {
+	ff.mu.Lock()
+	defer ff.mu.Unlock()
+	return ff.writeOps
+}
+
+// Injected reports totals in the legacy three-counter shape. Write-side
+// faults flow through the same accounting as reads: outright failures
+// (write, sync, rename, crash-point refusals) count into errs and torn
+// writes into shortReads, so a test asserting "faults fired" needs no
+// separate write-side plumbing.
 func (ff *FaultFS) Injected() (errs, shortReads, bitFlips int64) {
 	ff.mu.Lock()
 	defer ff.mu.Unlock()
-	return ff.errs, ff.shortReads, ff.bitFlips
+	c := ff.counts
+	errs = c.ReadErrs + c.WriteErrs + c.SyncErrs + c.RenameErrs + c.CrashErrs
+	return errs, c.ShortReads + c.ShortWrites, c.BitFlips
+}
+
+// InjectedDetail itemises every injected fault by kind.
+func (ff *FaultFS) InjectedDetail() FaultCounts {
+	ff.mu.Lock()
+	defer ff.mu.Unlock()
+	return ff.counts
 }
 
 // Open opens the file through the inner FS and wraps its reads.
@@ -82,8 +168,93 @@ func (ff *FaultFS) Open(path string) (File, error) {
 	return &faultFile{File: f, fs: ff}, nil
 }
 
-// Create passes through to the inner FS.
-func (ff *FaultFS) Create(path string) (io.WriteCloser, error) { return ff.inner.Create(path) }
+// Create counts as a write-side operation and returns a handle whose
+// Write and Sync inject faults.
+func (ff *FaultFS) Create(path string) (WFile, error) {
+	if err := ff.writeOp(); err != nil {
+		return nil, err
+	}
+	f, err := ff.inner.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &faultWFile{inner: f, fs: ff}, nil
+}
+
+// Rename counts as a write-side operation and can fail injected (without
+// effect: the destination keeps its previous content).
+func (ff *FaultFS) Rename(oldpath, newpath string) error {
+	if err := ff.writeOp(); err != nil {
+		return err
+	}
+	ff.mu.Lock()
+	fail := ff.enabled && ff.rng.Float64() < ff.cfg.RenameErrProb
+	if fail {
+		ff.counts.RenameErrs++
+	}
+	ff.mu.Unlock()
+	if fail {
+		return fmt.Errorf("%w (rename %s -> %s)", ErrInjected, oldpath, newpath)
+	}
+	return ff.inner.Rename(oldpath, newpath)
+}
+
+// Remove counts as a write-side operation.
+func (ff *FaultFS) Remove(path string) error {
+	if err := ff.writeOp(); err != nil {
+		return err
+	}
+	return ff.inner.Remove(path)
+}
+
+// ReadDir passes through (metadata reads are not faulted).
+func (ff *FaultFS) ReadDir(dir string) ([]string, error) { return ff.inner.ReadDir(dir) }
+
+// SyncDir counts as a write-side operation and can fail injected.
+func (ff *FaultFS) SyncDir(dir string) error {
+	if err := ff.writeOp(); err != nil {
+		return err
+	}
+	ff.mu.Lock()
+	fail := ff.enabled && ff.rng.Float64() < ff.cfg.SyncErrProb
+	if fail {
+		ff.counts.SyncErrs++
+	}
+	ff.mu.Unlock()
+	if fail {
+		return fmt.Errorf("%w (syncdir %s)", ErrInjected, dir)
+	}
+	return ff.inner.SyncDir(dir)
+}
+
+// writeOp advances the write-op counter and the crash-point countdown.
+// It returns ErrCrashed once the crash point has tripped.
+func (ff *FaultFS) writeOp() error {
+	ff.mu.Lock()
+	defer ff.mu.Unlock()
+	_, err := ff.writeOpLocked()
+	return err
+}
+
+// writeOpLocked advances the counters. tripped reports that this very
+// operation is the one that crashed the filesystem (so a Write may tear
+// instead of failing flat).
+func (ff *FaultFS) writeOpLocked() (tripped bool, err error) {
+	ff.writeOps++
+	if ff.crashed {
+		ff.counts.CrashErrs++
+		return false, ErrCrashed
+	}
+	if ff.crashArmed > 0 {
+		ff.crashArmed--
+		if ff.crashArmed == 0 {
+			ff.crashed = true
+			ff.counts.CrashErrs++
+			return true, ErrCrashed
+		}
+	}
+	return false, nil
+}
 
 // fault draws the fault decision for one read of length n. It returns the
 // kind of fault to apply ("" for none) and, for short reads, the number
@@ -96,13 +267,13 @@ func (ff *FaultFS) fault(n int) (kind string, arg int) {
 	}
 	switch r := ff.rng.Float64(); {
 	case r < ff.cfg.ErrProb:
-		ff.errs++
+		ff.counts.ReadErrs++
 		return "err", 0
 	case r < ff.cfg.ErrProb+ff.cfg.ShortReadProb:
-		ff.shortReads++
+		ff.counts.ShortReads++
 		return "short", ff.rng.Intn(n)
 	case r < ff.cfg.ErrProb+ff.cfg.ShortReadProb+ff.cfg.BitFlipProb:
-		ff.bitFlips++
+		ff.counts.BitFlips++
 		return "flip", ff.rng.Intn(n * 8)
 	}
 	return "", 0
@@ -135,3 +306,81 @@ func (f *faultFile) ReadAt(p []byte, off int64) (int, error) {
 	}
 	return n, err
 }
+
+type faultWFile struct {
+	inner WFile
+	fs    *FaultFS
+}
+
+// writeFault draws the fault decision for one write of length n under
+// the FS lock, combining the crash-point countdown with the
+// probabilistic mix. kind is "" (clean), "crash" (persist prefix, then
+// the FS is dead), "err" (persist nothing), or "short" (persist prefix);
+// arg is the prefix length for torn writes.
+func (ff *FaultFS) writeFault(n int) (kind string, arg int) {
+	ff.mu.Lock()
+	defer ff.mu.Unlock()
+	if tripped, err := ff.writeOpLocked(); err != nil {
+		if tripped && n > 0 {
+			// The op that trips the crash point tears: a deterministic
+			// prefix reaches the disk before the machine dies.
+			ff.counts.ShortWrites++
+			return "crash", ff.rng.Intn(n + 1)
+		}
+		return "crash", 0
+	}
+	if !ff.enabled || n == 0 {
+		return "", 0
+	}
+	switch r := ff.rng.Float64(); {
+	case r < ff.cfg.WriteErrProb:
+		ff.counts.WriteErrs++
+		return "err", 0
+	case r < ff.cfg.WriteErrProb+ff.cfg.ShortWriteProb:
+		ff.counts.ShortWrites++
+		return "short", ff.rng.Intn(n)
+	}
+	return "", 0
+}
+
+func (f *faultWFile) Write(p []byte) (int, error) {
+	kind, arg := f.fs.writeFault(len(p))
+	switch kind {
+	case "crash":
+		n := 0
+		if arg > 0 {
+			n, _ = f.inner.Write(p[:arg])
+		}
+		return n, fmt.Errorf("%w (torn write: %d of %d bytes)", ErrCrashed, arg, len(p))
+	case "err":
+		return 0, fmt.Errorf("%w (write len=%d)", ErrInjected, len(p))
+	case "short":
+		n, err := f.inner.Write(p[:arg])
+		if err == nil {
+			err = fmt.Errorf("%w (short write: %d of %d bytes)", ErrInjected, n, len(p))
+		}
+		return n, err
+	}
+	return f.inner.Write(p)
+}
+
+func (f *faultWFile) Sync() error {
+	if err := f.fs.writeOp(); err != nil {
+		return err
+	}
+	f.fs.mu.Lock()
+	fail := f.fs.enabled && f.fs.rng.Float64() < f.fs.cfg.SyncErrProb
+	if fail {
+		f.fs.counts.SyncErrs++
+	}
+	f.fs.mu.Unlock()
+	if fail {
+		// The bytes stay written (likely durable); only the guarantee is
+		// withdrawn, so recovery may see more than was acknowledged.
+		return fmt.Errorf("%w (sync)", ErrInjected)
+	}
+	return f.inner.Sync()
+}
+
+// Close never injects: a crashed process's descriptors close anyway.
+func (f *faultWFile) Close() error { return f.inner.Close() }

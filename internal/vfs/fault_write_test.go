@@ -1,0 +1,139 @@
+package vfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestWriteFaultsFlowThroughInjected covers the regression where Create
+// passed straight through to the inner FS: write-side faults must fire
+// and must be visible through the same Injected() counters reads use.
+func TestWriteFaultsFlowThroughInjected(t *testing.T) {
+	dir := t.TempDir()
+	ff := NewFaultFS(OS(), FaultConfig{
+		Seed: 11, WriteErrProb: 0.2, ShortWriteProb: 0.2, SyncErrProb: 0.2, RenameErrProb: 0.5,
+	})
+	ff.SetEnabled(true)
+
+	payload := make([]byte, 1024)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	var failures int
+	for i := 0; i < 200; i++ {
+		p := filepath.Join(dir, "f")
+		f, err := ff.Create(p)
+		if err != nil {
+			t.Fatalf("create: %v", err) // no crash armed, Create itself never fails
+		}
+		if _, err := f.Write(payload); err != nil {
+			failures++
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("write fault not ErrInjected: %v", err)
+			}
+		}
+		if err := f.Sync(); err != nil && !errors.Is(err, ErrInjected) {
+			t.Fatalf("sync fault not ErrInjected: %v", err)
+		}
+		f.Close()
+		if err := ff.Rename(p, p+".x"); err != nil && !errors.Is(err, ErrInjected) {
+			t.Fatalf("rename fault not ErrInjected: %v", err)
+		}
+	}
+	if failures == 0 {
+		t.Fatal("no write faults fired at 40% probability over 200 writes")
+	}
+	d := ff.InjectedDetail()
+	if d.WriteErrs == 0 || d.ShortWrites == 0 || d.SyncErrs == 0 || d.RenameErrs == 0 {
+		t.Fatalf("every write fault kind should fire: %+v", d)
+	}
+	errs, short, _ := ff.Injected()
+	if errs < d.WriteErrs+d.SyncErrs+d.RenameErrs || short < d.ShortWrites {
+		t.Fatalf("Injected() does not account write faults: errs=%d short=%d detail=%+v", errs, short, d)
+	}
+}
+
+// TestShortWritePersistsPrefix: a torn write leaves exactly the reported
+// prefix on disk — the shape recovery code must tolerate.
+func TestShortWritePersistsPrefix(t *testing.T) {
+	dir := t.TempDir()
+	ff := NewFaultFS(OS(), FaultConfig{Seed: 3, ShortWriteProb: 1.0})
+	ff.SetEnabled(true)
+	p := filepath.Join(dir, "torn")
+	f, err := ff.Create(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 4096)
+	n, err := f.Write(payload)
+	if err == nil {
+		t.Fatal("want torn-write error")
+	}
+	f.Close()
+	st, err := os.Stat(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size() != int64(n) || int64(n) >= int64(len(payload)) {
+		t.Fatalf("on-disk size %d, reported prefix %d, payload %d", st.Size(), n, len(payload))
+	}
+}
+
+// TestCrashPointDeterministic: the same seed and op sequence crash at
+// the same op with the same torn prefix, and every later write-side op
+// fails with ErrCrashed while reads keep working.
+func TestCrashPointDeterministic(t *testing.T) {
+	run := func(dir string) (sizes []int64) {
+		ff := NewFaultFS(OS(), FaultConfig{Seed: 99})
+		// Each file costs three ops (create, write, sync); op 8 is the
+		// third file's write, so that write tears.
+		ff.CrashAfterWriteOps(8)
+		for i := 0; i < 5; i++ {
+			p := filepath.Join(dir, "f"+string(rune('a'+i)))
+			f, err := ff.Create(p)
+			if err != nil {
+				if !errors.Is(err, ErrCrashed) {
+					t.Fatalf("create: %v", err)
+				}
+				sizes = append(sizes, -1)
+				continue
+			}
+			if _, err := f.Write(make([]byte, 1000)); err != nil && !errors.Is(err, ErrCrashed) {
+				t.Fatalf("write: %v", err)
+			}
+			if err := f.Sync(); err != nil && !errors.Is(err, ErrCrashed) {
+				t.Fatalf("sync: %v", err)
+			}
+			f.Close()
+			st, err := os.Stat(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sizes = append(sizes, st.Size())
+		}
+		if !ff.Crashed() {
+			t.Fatal("crash point never tripped")
+		}
+		return sizes
+	}
+	a := run(t.TempDir())
+	b := run(t.TempDir())
+	if len(a) != len(b) {
+		t.Fatalf("runs diverge: %v vs %v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("crash point not deterministic: %v vs %v", a, b)
+		}
+	}
+	// The crash write tears, so file 3 must hold a strict prefix and
+	// files 4,5 must not have been created.
+	if a[2] < 0 || a[2] >= 1000 {
+		t.Fatalf("file at crash point should hold a torn prefix, got size %d", a[2])
+	}
+	if a[3] != -1 || a[4] != -1 {
+		t.Fatalf("files after crash point should fail creation: %v", a)
+	}
+}

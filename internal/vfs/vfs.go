@@ -4,11 +4,20 @@
 // bit flips, and latency deterministically — the foundation for the
 // storage robustness suite (corruption must be detected and reported, not
 // crash or silently return wrong answers).
+//
+// The write side of the interface carries the durability primitives the
+// crash-safe ingestion path needs: WFile.Sync for fsync barriers, Rename
+// for atomic publication of temp files, SyncDir for making renames and
+// unlinks durable, and ReadDir/Remove for recovery sweeps. FaultFS
+// injects faults into all of them, including deterministic "crash
+// points" where every write-side operation from some point on fails —
+// the model the crash-point matrix tests replay.
 package vfs
 
 import (
 	"io"
 	"os"
+	"sort"
 )
 
 // File is a readable handle: random-access reads plus size, the two
@@ -20,10 +29,31 @@ type File interface {
 	Size() (int64, error)
 }
 
-// FS opens files for reading and creates files for writing.
+// WFile is a writable handle. Sync must not return until previously
+// written bytes are durable; the WAL and shard flush path rely on it as
+// their commit barrier.
+type WFile interface {
+	io.Writer
+	io.Closer
+	Sync() error
+}
+
+// FS opens files for reading and creates files for writing, plus the
+// directory-level operations the crash-safe write path needs.
 type FS interface {
 	Open(path string) (File, error)
-	Create(path string) (io.WriteCloser, error)
+	Create(path string) (WFile, error)
+	// Rename atomically replaces newpath with oldpath (POSIX rename
+	// semantics: readers see either the old or the new file, never a mix).
+	Rename(oldpath, newpath string) error
+	// Remove unlinks a file.
+	Remove(path string) error
+	// ReadDir lists the names (not paths) of a directory's entries in
+	// sorted order.
+	ReadDir(dir string) ([]string, error)
+	// SyncDir fsyncs a directory, making completed renames/unlinks inside
+	// it durable.
+	SyncDir(dir string) error
 }
 
 // OS returns the real operating-system filesystem.
@@ -39,7 +69,33 @@ func (osFS) Open(path string) (File, error) {
 	return osFile{f}, nil
 }
 
-func (osFS) Create(path string) (io.WriteCloser, error) { return os.Create(path) }
+func (osFS) Create(path string) (WFile, error) { return os.Create(path) }
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (osFS) Remove(path string) error { return os.Remove(path) }
+
+func (osFS) ReadDir(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, len(ents))
+	for i, e := range ents {
+		names[i] = e.Name()
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
 
 type osFile struct{ *os.File }
 

@@ -98,11 +98,11 @@ func BenchmarkPlannerPipeline(b *testing.B) {
 		// selection threaded between them, intersect at the end.
 		r := tbl.inner.R
 		pool := tbl.db.inner.DataPool()
-		fTag, err := tbl.filterFor("tag", Eq, "needle")
+		fTag, err := filterFor(tbl.inner.R, "tag", Eq, "needle")
 		if err != nil {
 			b.Fatal(err)
 		}
-		fLevel, err := tbl.filterFor("level", Ge, int64(1))
+		fLevel, err := filterFor(tbl.inner.R, "level", Ge, int64(1))
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -110,32 +110,72 @@ func rawPred(f ops.Filter) Pred { return Pred{kind: predRaw, raw: f} }
 // it to the operator-layer predicate IR. All validation happens here — at
 // build time, against metadata only — so malformed predicates surface from
 // Query/And* (via Query.Err) rather than mid-scan with a worse message.
+//
+// Sharded (ingest) tables have no single reader, so binding there only
+// validates against the schema; terminals re-bind per shard (each shard's
+// encodings may differ) and evaluate the in-memory tail row-wise.
 func (t *Table) bindPred(p Pred) (*ops.Pred, error) {
+	if t.inner.S != nil {
+		if err := validateShardedPred(t.inner.S.Cols(), p); err != nil {
+			return nil, err
+		}
+		return ops.AndPred(), nil // placeholder; sharded terminals bind per shard
+	}
+	return bindPredOn(t.inner.R, p, false)
+}
+
+// bindPredOn lowers p against one reader. perShard enables the sharded
+// fallbacks for encoding-dependent predicates: IN rewrites to an OR of
+// equality filters on shards whose column the selector did not
+// dictionary-encode, and LIKE falls back to a row-wise string filter —
+// each shard gets the fastest plan its own encodings allow.
+func bindPredOn(r *colstore.Reader, p Pred, perShard bool) (*ops.Pred, error) {
 	switch p.kind {
 	case predZero:
 		return ops.AndPred(), nil // empty conjunction: all rows
 	case predRaw:
 		return ops.LeafPred(p.raw), nil
 	case predCmp:
-		f, err := t.filterFor(p.col, p.op, p.value)
+		f, err := filterFor(r, p.col, p.op, p.value)
 		if err != nil {
 			return nil, err
 		}
 		return ops.LeafPred(f), nil
 	case predIn:
-		f, err := t.inFilterFor(p.col, p.values)
+		f, err := inFilterFor(r, p.col, p.values)
 		if err != nil {
-			return nil, err
+			if !perShard {
+				return nil, err
+			}
+			kids := make([]*ops.Pred, len(p.values))
+			for i, v := range p.values {
+				ef, err := filterFor(r, p.col, Eq, v)
+				if err != nil {
+					return nil, err
+				}
+				kids[i] = ops.LeafPred(ef)
+			}
+			if len(kids) == 0 {
+				return nil, fmt.Errorf("codecdb: IN on %s needs at least one value", p.col)
+			}
+			return ops.OrPred(kids...), nil
 		}
 		return ops.LeafPred(f), nil
 	case predLike:
-		f, err := t.likeFilterFor(p.col, p.match)
+		f, err := likeFilterFor(r, p.col, p.match)
 		if err != nil {
-			return nil, err
+			if !perShard {
+				return nil, err
+			}
+			_, c, cerr := r.Column(p.col)
+			if cerr != nil || c.Type != colstore.TypeString || p.match == nil {
+				return nil, err
+			}
+			return ops.LeafPred(&ops.StrPredicateFilter{Col: p.col, Pred: p.match}), nil
 		}
 		return ops.LeafPred(f), nil
 	case predCols:
-		f, err := t.twoColFilterFor(p.col, p.op, p.colB)
+		f, err := twoColFilterFor(r, p.col, p.op, p.colB)
 		if err != nil {
 			return nil, err
 		}
@@ -143,7 +183,7 @@ func (t *Table) bindPred(p Pred) (*ops.Pred, error) {
 	case predAll:
 		kids := make([]*ops.Pred, len(p.kids))
 		for i, k := range p.kids {
-			kp, err := t.bindPred(k)
+			kp, err := bindPredOn(r, k, perShard)
 			if err != nil {
 				return nil, err
 			}
@@ -156,7 +196,7 @@ func (t *Table) bindPred(p Pred) (*ops.Pred, error) {
 		}
 		kids := make([]*ops.Pred, len(p.kids))
 		for i, k := range p.kids {
-			kp, err := t.bindPred(k)
+			kp, err := bindPredOn(r, k, perShard)
 			if err != nil {
 				return nil, err
 			}
@@ -164,7 +204,7 @@ func (t *Table) bindPred(p Pred) (*ops.Pred, error) {
 		}
 		return ops.OrPred(kids...), nil
 	case predNot:
-		inner, err := t.bindPred(p.kids[0])
+		inner, err := bindPredOn(r, p.kids[0], perShard)
 		if err != nil {
 			return nil, err
 		}
@@ -179,8 +219,8 @@ func (t *Table) bindPred(p Pred) (*ops.Pred, error) {
 // inFilterFor validates an IN predicate at build time — column exists, is
 // dictionary-encoded, and the value types match the column type — and
 // constructs the filter.
-func (t *Table) inFilterFor(col string, values []any) (ops.Filter, error) {
-	_, c, err := t.inner.R.Column(col)
+func inFilterFor(r *colstore.Reader, col string, values []any) (ops.Filter, error) {
+	_, c, err := r.Column(col)
 	if err != nil {
 		return nil, err
 	}
@@ -214,8 +254,8 @@ func (t *Table) inFilterFor(col string, values []any) (ops.Filter, error) {
 
 // likeFilterFor validates a LIKE predicate at build time: the column must
 // exist and be a dictionary-encoded string column.
-func (t *Table) likeFilterFor(col string, match func([]byte) bool) (ops.Filter, error) {
-	_, c, err := t.inner.R.Column(col)
+func likeFilterFor(r *colstore.Reader, col string, match func([]byte) bool) (ops.Filter, error) {
+	_, c, err := r.Column(col)
 	if err != nil {
 		return nil, err
 	}
@@ -233,16 +273,16 @@ func (t *Table) likeFilterFor(col string, match func([]byte) bool) (ops.Filter, 
 
 // twoColFilterFor validates a two-column comparison at build time: both
 // columns must exist and share one order-preserving dictionary.
-func (t *Table) twoColFilterFor(colA string, op CmpOp, colB string) (ops.Filter, error) {
-	ca, _, err := t.inner.R.Column(colA)
+func twoColFilterFor(r *colstore.Reader, colA string, op CmpOp, colB string) (ops.Filter, error) {
+	ca, _, err := r.Column(colA)
 	if err != nil {
 		return nil, err
 	}
-	cb, _, err := t.inner.R.Column(colB)
+	cb, _, err := r.Column(colB)
 	if err != nil {
 		return nil, err
 	}
-	if !t.inner.R.SharedDict(ca, cb) {
+	if !r.SharedDict(ca, cb) {
 		return nil, fmt.Errorf("codecdb: %s and %s do not share a dictionary (load both with the same DictGroup)", colA, colB)
 	}
 	return &ops.TwoColumnFilter{ColA: colA, ColB: colB, Op: op}, nil

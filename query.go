@@ -153,20 +153,20 @@ func (q *Query) AndColumns(colA string, op CmpOp, colB string) *Query {
 	return q.withPred(Cols(colA, op, colB))
 }
 
-func (t *Table) filterFor(col string, op CmpOp, value any) (ops.Filter, error) {
-	_, c, err := t.inner.R.Column(col)
+func filterFor(r *colstore.Reader, col string, op CmpOp, value any) (ops.Filter, error) {
+	_, c, err := r.Column(col)
 	if err != nil {
 		return nil, err
 	}
 	switch v := value.(type) {
 	case int:
-		return t.intFilterChecked(c, col, op, int64(v))
+		return intFilterChecked(c, col, op, int64(v))
 	case int64:
-		return t.intFilterChecked(c, col, op, v)
+		return intFilterChecked(c, col, op, v)
 	case string:
-		return t.strFilterChecked(c, col, op, []byte(v))
+		return strFilterChecked(c, col, op, []byte(v))
 	case []byte:
-		return t.strFilterChecked(c, col, op, v)
+		return strFilterChecked(c, col, op, v)
 	case float64:
 		if c.Type != colstore.TypeFloat64 {
 			return nil, fmt.Errorf("codecdb: float predicate on %v column %q", c.Type, col)
@@ -177,7 +177,7 @@ func (t *Table) filterFor(col string, op CmpOp, value any) (ops.Filter, error) {
 	}
 }
 
-func (t *Table) intFilterChecked(c *colstore.Column, col string, op CmpOp, v int64) (ops.Filter, error) {
+func intFilterChecked(c *colstore.Column, col string, op CmpOp, v int64) (ops.Filter, error) {
 	if c.Type != colstore.TypeInt64 {
 		return nil, fmt.Errorf("codecdb: integer predicate on %v column %q", c.Type, col)
 	}
@@ -193,7 +193,7 @@ func (t *Table) intFilterChecked(c *colstore.Column, col string, op CmpOp, v int
 	}
 }
 
-func (t *Table) strFilterChecked(c *colstore.Column, col string, op CmpOp, v []byte) (ops.Filter, error) {
+func strFilterChecked(c *colstore.Column, col string, op CmpOp, v []byte) (ops.Filter, error) {
 	if c.Type != colstore.TypeString {
 		return nil, fmt.Errorf("codecdb: string predicate on %v column %q", c.Type, col)
 	}
@@ -280,6 +280,9 @@ func (q *Query) evalFilters() (*bitutil.SectionalBitmap, error) {
 	if q.err != nil {
 		return nil, q.err
 	}
+	if q.t.inner.S != nil {
+		return nil, fmt.Errorf("codecdb: the legacy engine does not support ingest tables")
+	}
 	ctx := q.context()
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -330,6 +333,9 @@ func (q *Query) planTraced(ctx context.Context) (*ops.Plan, error) {
 func (q *Query) run(term ops.TermKind, col string) (*ops.PipelineResult, error) {
 	if q.err != nil {
 		return nil, q.err
+	}
+	if q.t.inner.S != nil {
+		return q.runSharded(term, col)
 	}
 	ctx := q.context()
 	if err := ctx.Err(); err != nil {
@@ -435,7 +441,10 @@ func (q *Query) Strings(col string) ([][]byte, error) {
 
 // groupLabels renders a dictionary column's entries as result-map keys.
 func (q *Query) groupLabels(col string) (int, *colstore.Column, []string, error) {
-	r := q.t.inner.R
+	return groupLabelsOn(q.t.inner.R, col)
+}
+
+func groupLabelsOn(r *colstore.Reader, col string) (int, *colstore.Column, []string, error) {
 	ci, c, err := r.Column(col)
 	if err != nil {
 		return 0, nil, nil, err
@@ -472,6 +481,9 @@ func (q *Query) groupLabels(col string) (int, *colstore.Column, []string, error)
 // counts over the dictionary codes of its row groups, and the partial
 // tables merge at the end.
 func (q *Query) GroupCount(col string) (map[string]int64, error) {
+	if q.t.inner.S != nil {
+		return q.groupCountSharded(col)
+	}
 	if q.legacy {
 		sel, err := q.eval()
 		if err != nil {
