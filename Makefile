@@ -1,13 +1,13 @@
 GO ?= go
 
-.PHONY: check build test vet race race-obs race-pipeline crash fuzz bench bench-obs bench-planner bench-planner-smoke bench-pipeline serve-demo
+.PHONY: check build test vet race race-obs race-pipeline race-prefetch crash fuzz bench bench-obs bench-planner bench-planner-smoke bench-pipeline bench-scale serve-demo
 
 # check is the tier-1 verification gate: everything must compile, pass
 # vet, and pass the full test suite under the race detector, with the
-# observability-layer and morsel-executor race tests called out
-# explicitly, the crash-point matrix for the durable write path, plus
-# one iteration of the planner pipeline benchmark as a smoke test.
-check: vet build race race-obs race-pipeline crash bench-planner-smoke
+# observability-layer, morsel-executor, and prefetch race tests called
+# out explicitly, the crash-point matrix for the durable write path,
+# plus one iteration of the planner pipeline benchmark as a smoke test.
+check: vet build race race-obs race-pipeline race-prefetch crash bench-planner-smoke
 
 build:
 	$(GO) build ./...
@@ -33,6 +33,14 @@ race-obs:
 race-pipeline:
 	$(GO) test -race -count=1 -run TestParallelMorsels ./internal/exec/
 	$(GO) test -race -count=1 -run 'TestPipeline|TestExplainAnalyze|TestTracedGatherSpans' .
+
+# race-prefetch focuses the race detector on the async page fetcher:
+# concurrent queries with mid-scan cancellation sharing the prefetch
+# machinery, the prefetch-on ≡ prefetch-off equivalence property, and
+# the fetcher's fault-injection fallback test.
+race-prefetch:
+	$(GO) test -race -count=1 -run 'TestPrefetch' .
+	$(GO) test -race -count=1 -run 'TestPrefetch' ./internal/colstore/
 
 # crash runs the write-path fault-injection suite under the race
 # detector: the crash-point matrix (every write-side filesystem
@@ -81,6 +89,23 @@ PIPELINEBENCHOUT ?= BENCH_PR5.json
 bench-pipeline:
 	$(GO) test -run xxx -bench BenchmarkPipelineVsBarrier -benchmem . \
 		| $(GO) run ./cmd/benchjson -o $(PIPELINEBENCHOUT) -section current
+
+# bench-scale writes BENCH_PR7.json: the SF 1→10 full-scan sweep with
+# the async page prefetcher on vs off (ns/row, query-phase peak RSS,
+# max bytes-in-flight), the cold-I/O variant charging seek-scale
+# latency per read request (where coalescing + overlap dominate), and
+# the two-lane vs one-lane SWAR kernel micro-benchmark. benchjson
+# surfaces the section's peak RSS as a synthetic "_peakRSS" entry.
+SCALEBENCHOUT ?= BENCH_PR7.json
+bench-scale:
+	$(GO) test -run xxx -bench 'BenchmarkScaleScan/SF' -benchtime 5x -timeout 1800s . \
+		| $(GO) run ./cmd/benchjson -o $(SCALEBENCHOUT) -section scale
+	$(GO) test -run xxx -bench BenchmarkScaleScanColdIO -benchtime 3x -timeout 1800s . \
+		| $(GO) run ./cmd/benchjson -o $(SCALEBENCHOUT) -section cold-io
+	$(GO) test -run xxx -bench BenchmarkScanLanes ./internal/sboost/ \
+		| $(GO) run ./cmd/benchjson -o $(SCALEBENCHOUT) -section swar-lanes
+	$(GO) test -run xxx -bench BenchmarkParallelDictReaders -cpu 1,4 ./internal/colstore/ \
+		| $(GO) run ./cmd/benchjson -o $(SCALEBENCHOUT) -section dict-readers
 
 # bench-planner-smoke runs one iteration of each planner pipeline
 # benchmark (they self-check counts, so this doubles as a correctness

@@ -38,6 +38,7 @@ func main() {
 	if len(results) == 0 {
 		fatal(fmt.Errorf("no benchmark lines found on stdin"))
 	}
+	addPeakRSS(results)
 
 	doc := map[string]map[string]benchResult{}
 	if *out != "" {
@@ -103,6 +104,24 @@ func parseBench(f *os.File) (map[string]benchResult, error) {
 		return nil, err
 	}
 	return results, nil
+}
+
+// addPeakRSS surfaces the section's memory high-water mark: benchmarks
+// that sample the process RSS report it as a peakRSS-bytes metric, and
+// the maximum across the section lands in a synthetic "_peakRSS" entry
+// so the bound is readable at the top of the report without scanning
+// every benchmark. Sections with no RSS-reporting benchmarks are
+// unchanged.
+func addPeakRSS(results map[string]benchResult) {
+	var peak float64
+	for _, r := range results {
+		if v, ok := r.Metrics["peakRSS-bytes"]; ok && v > peak {
+			peak = v
+		}
+	}
+	if peak > 0 {
+		results["_peakRSS"] = benchResult{Iterations: 1, Metrics: map[string]float64{"peakRSS-bytes": peak}}
+	}
 }
 
 func fatal(err error) {

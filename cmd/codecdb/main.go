@@ -128,10 +128,16 @@ func withDB(dir string, fn func(*codecdb.DB) error) error {
 
 // printIOStats reports the reader's page-level IO counters: pruned pages
 // were rejected by zone maps and never fetched; skipped pages had no
-// selected rows.
+// selected rows. The prefetch line only appears when the async fetcher
+// ran — coalesced pages rode along in a neighbour's read, hits were
+// served from prefetched buffers, misses raced ahead of the fetcher.
 func printIOStats(st codecdb.IOStats) {
 	fmt.Printf("pages: %d read, %d pruned, %d skipped; %d bytes read\n",
 		st.PagesRead, st.PagesPruned, st.PagesSkipped, st.BytesRead)
+	if st.PagesCoalesced != 0 || st.PrefetchHits != 0 || st.PrefetchMisses != 0 {
+		fmt.Printf("prefetch: %d hits, %d misses, %d pages coalesced; %d bytes in flight\n",
+			st.PrefetchHits, st.PrefetchMisses, st.PagesCoalesced, st.BytesInFlight)
+	}
 }
 
 // scrub verifies the checksums of one table (or all tables) and reports

@@ -252,6 +252,10 @@ func (t *Table) IOStats() IOStats {
 			sum.BytesRead += st.BytesRead
 			sum.BytesDecompressed += st.BytesDecompressed
 			sum.IONanos += st.IONanos
+			sum.PagesCoalesced += st.PagesCoalesced
+			sum.PrefetchHits += st.PrefetchHits
+			sum.PrefetchMisses += st.PrefetchMisses
+			sum.BytesInFlight += st.BytesInFlight
 		}
 		return sum
 	}

@@ -1,0 +1,30 @@
+package arena
+
+import "sync"
+
+// bytesPool pools the coalesced-read buffers of the page prefetcher.
+// Unlike Scratch families these are standalone: a fetcher holds several
+// at once (one per staged run) with lifetimes ending at row-group
+// release, not at the next call. Buffers are pooled as *[]byte to keep
+// the slice header off the heap on every round trip.
+var bytesPool = sync.Pool{New: func() any { return new([]byte) }}
+
+// GetBytes returns a byte buffer of length n from the pool. Contents are
+// unspecified.
+func GetBytes(n int) []byte {
+	p := bytesPool.Get().(*[]byte)
+	if cap(*p) < n {
+		*p = make([]byte, n)
+	}
+	return (*p)[:n]
+}
+
+// PutBytes returns a buffer obtained from GetBytes to the pool. The
+// caller must not retain any subslice of b afterwards.
+func PutBytes(b []byte) {
+	if cap(b) == 0 {
+		return
+	}
+	b = b[:cap(b)]
+	bytesPool.Put(&b)
+}

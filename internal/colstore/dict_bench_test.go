@@ -1,0 +1,32 @@
+package colstore
+
+import (
+	"testing"
+)
+
+// BenchmarkParallelDictReaders hammers the warm dictionary cache from
+// every CPU at once. The cache lookup is read-mostly — one goroutine
+// populates it, every scan kernel thereafter only reads — so it is
+// guarded by an RWMutex: concurrent readers share the lock instead of
+// serializing on it. Compare -cpu 1 against -cpu N; ns/op should stay
+// flat rather than climbing with contention.
+func BenchmarkParallelDictReaders(b *testing.B) {
+	path := writeSmallTable(b, Options{})
+	r, err := Open(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer r.Close()
+	if _, err := r.StrDict(1); err != nil { // warm the cache once
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := r.StrDict(1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

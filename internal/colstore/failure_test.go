@@ -12,7 +12,7 @@ import (
 )
 
 // writeSmallTable produces a compact valid file for corruption tests.
-func writeSmallTable(t *testing.T, opts Options) string {
+func writeSmallTable(t testing.TB, opts Options) string {
 	t.Helper()
 	n := 500
 	ints := make([]int64, n)

@@ -1,0 +1,503 @@
+package colstore
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"codecdb/internal/arena"
+)
+
+// PageFetcher overlaps page I/O with decompression and scanning for one
+// query: the pipeline compiler hands it the planner's surviving page list
+// per (row group, column) up front, and a single background goroutine
+// walks that schedule in morsel order, merging adjacent selected pages
+// into coalesced ReadAt calls (gap-tolerant up to Slop) and staging the
+// bytes in arena-pooled buffers. Workers consume pages through
+// Chunk.Fetch: a page whose unit is already staged is served zero-copy
+// (a prefetch hit); a unit the background walk has not reached yet is
+// claimed and fetched synchronously — still coalesced — by the consumer
+// (a miss), so workers never block behind the prefetch frontier.
+//
+// Memory is bounded by the bytes-in-flight budget: the background walk
+// sleeps while staging the next unit would exceed Budget, and buffers
+// return to the pool as soon as the morsel owning their row group
+// finishes (FinishGroup) or the fetcher closes. A unit whose read fails
+// is marked failed and its consumers silently fall back to the
+// synchronous per-page path, which surfaces the same typed errors
+// (retry-exhausted read errors, *CorruptionError) the engine always had.
+type PageFetcher struct {
+	r   *Reader
+	cfg FetchConfig
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	units    map[unitKey]*fetchUnit
+	byRG     map[int][]*fetchUnit
+	order    []*fetchUnit
+	next     int // background-walk frontier into order
+	inflight int64
+	closed   bool
+	started  bool
+	ctx      context.Context
+	wg       sync.WaitGroup
+
+	// free is the fetcher-local buffer freelist, capped at Budget bytes.
+	// Released run buffers recycle here instead of round-tripping through
+	// the global pool: a long scan cycles the whole table's bytes through
+	// its buffers, and parking them in a sync.Pool keeps them live until
+	// the next GC — peak RSS then grows with the table instead of the
+	// budget. The freelist pins at most Budget extra bytes, so fetcher
+	// memory stays ≤ 2×Budget no matter how many row groups stream by.
+	free      [][]byte
+	freeBytes int64
+}
+
+// FetchConfig tunes a PageFetcher. Zero values take the defaults.
+type FetchConfig struct {
+	// Budget caps prefetched-but-unreleased bytes across all staged
+	// units; the background walk stalls rather than exceed it, so peak
+	// RSS tracks the budget, not the table size.
+	Budget int64
+	// Slop is the widest byte gap between two selected pages that still
+	// merges them into one coalesced ReadAt. Unselected bytes dragged in
+	// by a gap are read but never booked or served.
+	Slop int64
+}
+
+// Defaults: an 8 MiB in-flight budget keeps SF-10 scans in constant
+// memory while covering several row groups of lookahead; 4 KiB of slop
+// merges across pruned pages smaller than one disk block, where a
+// single larger read beats two seeks.
+const (
+	DefaultFetchBudget = 8 << 20
+	DefaultFetchSlop   = 4 << 10
+)
+
+type unitKey struct{ rg, col int }
+
+// fetchRun is one coalesced ReadAt: a contiguous extent covering `pages`
+// scheduled pages plus any tolerated gaps between them.
+type fetchRun struct {
+	off   int64
+	size  int64
+	pages int
+}
+
+type fetchUnit struct {
+	key  unitKey
+	runs []fetchRun
+	size int64 // total staged bytes across runs
+
+	state   unitState
+	done    chan struct{} // set while the background walk fetches the unit
+	bufs    [][]byte      // one pooled buffer per run, set in unitReady
+	counted bool          // prefetch hit/miss already recorded
+}
+
+type unitState uint8
+
+const (
+	unitPending  unitState = iota
+	unitFetching           // read in progress (background or consumer-claimed)
+	unitReady              // bufs staged, servable
+	unitFailed             // read failed; consumers use the sync path
+	unitReleased           // row group finished or fetcher closed; bufs freed
+)
+
+// NewPageFetcher creates a fetcher over r. Schedule every unit before
+// calling Start.
+func NewPageFetcher(r *Reader, cfg FetchConfig) *PageFetcher {
+	if cfg.Budget <= 0 {
+		cfg.Budget = DefaultFetchBudget
+	}
+	if cfg.Slop < 0 {
+		cfg.Slop = 0
+	}
+	f := &PageFetcher{
+		r:     r,
+		cfg:   cfg,
+		units: make(map[unitKey]*fetchUnit),
+		byRG:  make(map[int][]*fetchUnit),
+	}
+	f.cond = sync.NewCond(&f.mu)
+	return f
+}
+
+// Schedule registers the surviving pages of (rg, col) — ascending page
+// indexes, as the planner's metadata pass produces them — and coalesces
+// them into runs. Must be called before Start; scheduling the same unit
+// twice keeps the first schedule.
+func (f *PageFetcher) Schedule(rg, col int, pages []int) {
+	if len(pages) == 0 {
+		return
+	}
+	key := unitKey{rg, col}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.started || f.closed {
+		return
+	}
+	if _, ok := f.units[key]; ok {
+		return
+	}
+	pms := f.r.meta.RowGroups[rg].Chunks[col].Pages
+	u := &fetchUnit{key: key}
+	cur := fetchRun{off: pms[pages[0]].Offset, size: int64(pms[pages[0]].CompressedSize), pages: 1}
+	for _, p := range pages[1:] {
+		pm := &pms[p]
+		end := cur.off + cur.size
+		if gap := pm.Offset - end; gap >= 0 && gap <= f.cfg.Slop {
+			cur.size = pm.Offset + int64(pm.CompressedSize) - cur.off
+			cur.pages++
+			continue
+		}
+		u.runs = append(u.runs, cur)
+		cur = fetchRun{off: pm.Offset, size: int64(pm.CompressedSize), pages: 1}
+	}
+	u.runs = append(u.runs, cur)
+	for _, run := range u.runs {
+		u.size += run.size
+	}
+	f.units[key] = u
+	f.byRG[rg] = append(f.byRG[rg], u)
+	f.order = append(f.order, u)
+}
+
+// Start launches the background walk. ctx cancellation stops further
+// reads; Close must still be called to release staged buffers.
+func (f *PageFetcher) Start(ctx context.Context) {
+	f.mu.Lock()
+	if f.started || f.closed || len(f.order) == 0 {
+		f.mu.Unlock()
+		return
+	}
+	f.started = true
+	f.ctx = ctx
+	f.mu.Unlock()
+	f.wg.Add(1)
+	go f.loop()
+}
+
+// loop is the background walk: claim the next pending unit in schedule
+// order, waiting out the budget when staging it would overshoot, read it
+// outside the lock, publish or discard the result.
+func (f *PageFetcher) loop() {
+	defer f.wg.Done()
+	for {
+		f.mu.Lock()
+		var u *fetchUnit
+		for !f.closed && f.ctx.Err() == nil {
+			for f.next < len(f.order) && f.order[f.next].state != unitPending {
+				f.next++
+			}
+			if f.next >= len(f.order) {
+				break
+			}
+			cand := f.order[f.next]
+			if f.inflight > 0 && f.inflight+cand.size > f.cfg.Budget {
+				// Over budget with the walk ahead of consumption: sleep
+				// until FinishGroup frees staged bytes. The inflight > 0
+				// guard guarantees progress for a single unit larger than
+				// the whole budget.
+				f.cond.Wait()
+				continue
+			}
+			u = cand
+			u.state = unitFetching
+			u.done = make(chan struct{})
+			f.addInFlight(u.size)
+			f.next++
+			break
+		}
+		f.mu.Unlock()
+		if u == nil {
+			return
+		}
+		bufs, err := f.readUnit(u)
+		f.mu.Lock()
+		if err != nil || f.closed || u.state == unitReleased {
+			for _, b := range bufs {
+				f.putBufLocked(b)
+			}
+			f.addInFlight(-u.size)
+			if u.state != unitReleased {
+				u.state = unitFailed
+			}
+		} else {
+			u.bufs = bufs
+			u.state = unitReady
+		}
+		close(u.done)
+		u.done = nil
+		f.cond.Broadcast()
+		f.mu.Unlock()
+	}
+}
+
+// readUnit performs the unit's coalesced reads into pooled buffers.
+// Called without the lock held. On error the partial buffers are already
+// returned to the pool.
+func (f *PageFetcher) readUnit(u *fetchUnit) ([][]byte, error) {
+	bufs := make([][]byte, 0, len(u.runs))
+	free := func() {
+		for _, b := range bufs {
+			arena.PutBytes(b)
+		}
+	}
+	var coalesced int64
+	for _, run := range u.runs {
+		if err := f.ctx.Err(); err != nil {
+			free()
+			return nil, err
+		}
+		buf := f.getBuf(int(run.size))
+		if err := f.r.readAtRaw(buf, run.off); err != nil {
+			arena.PutBytes(buf)
+			free()
+			return nil, err
+		}
+		bufs = append(bufs, buf)
+		coalesced += int64(run.pages - 1)
+	}
+	if coalesced > 0 {
+		f.r.io.pagesCoalesced.Add(coalesced)
+		globalIO.pagesCoalesced.Add(coalesced)
+	}
+	return bufs, nil
+}
+
+// getBuf takes a buffer of length n, preferring the fetcher's freelist
+// over the global pool. Called without the lock held.
+func (f *PageFetcher) getBuf(n int) []byte {
+	f.mu.Lock()
+	for i := len(f.free) - 1; i >= 0; i-- {
+		if b := f.free[i]; cap(b) >= n {
+			f.free[i] = f.free[len(f.free)-1]
+			f.free = f.free[:len(f.free)-1]
+			f.freeBytes -= int64(cap(b))
+			f.mu.Unlock()
+			return b[:n]
+		}
+	}
+	f.mu.Unlock()
+	return arena.GetBytes(n)
+}
+
+// putBufLocked recycles a released run buffer onto the freelist, or
+// overflows to the global pool once the freelist holds a budget's worth.
+// Caller holds f.mu.
+func (f *PageFetcher) putBufLocked(b []byte) {
+	if cap(b) == 0 {
+		return
+	}
+	if f.freeBytes+int64(cap(b)) <= f.cfg.Budget {
+		f.free = append(f.free, b)
+		f.freeBytes += int64(cap(b))
+		return
+	}
+	arena.PutBytes(b)
+}
+
+// addInFlight moves the in-flight gauge; caller holds f.mu.
+func (f *PageFetcher) addInFlight(d int64) {
+	f.inflight += d
+	f.r.io.bytesInFlight.Add(d)
+	globalIO.bytesInFlight.Add(d)
+}
+
+// unit returns the scheduled unit for (rg, col), or nil.
+func (f *PageFetcher) unit(rg, col int) *fetchUnit {
+	f.mu.Lock()
+	u := f.units[unitKey{rg, col}]
+	f.mu.Unlock()
+	return u
+}
+
+// prefetched resolves page p of the chunk through its fetcher; ok=false
+// routes the caller to the plain synchronous read.
+func (c *Chunk) prefetched(p int) ([]byte, bool) {
+	if !c.funitSet {
+		c.funitSet = true
+		c.funit = c.fetch.unit(c.rg, c.col)
+	}
+	if c.funit == nil {
+		return nil, false
+	}
+	return c.fetch.pageFrom(c.funit, c, p)
+}
+
+// pageFrom serves one page from a unit, driving the unit's state machine
+// from the consumer side: a pending unit is claimed and read
+// synchronously (miss), an in-flight one is awaited (the stall lands in
+// the stage's WaitNanos), a ready one serves zero-copy (hit). Bytes are
+// booked here, per served page, exactly as the synchronous path books
+// them per read.
+func (f *PageFetcher) pageFrom(u *fetchUnit, c *Chunk, p int) ([]byte, bool) {
+	pm := &c.meta.Pages[p]
+	f.mu.Lock()
+	for {
+		switch u.state {
+		case unitPending:
+			// The walk hasn't reached this unit: fetch it here, still
+			// coalesced, bypassing the budget (the bytes are consumed
+			// immediately, not speculative lookahead).
+			u.state = unitFetching
+			f.addInFlight(u.size)
+			f.mu.Unlock()
+			bufs, err := f.readUnit(u)
+			f.mu.Lock()
+			if err != nil || f.closed || u.state == unitReleased {
+				for _, b := range bufs {
+					f.putBufLocked(b)
+				}
+				f.addInFlight(-u.size)
+				if u.state != unitReleased {
+					u.state = unitFailed
+				}
+				f.cond.Broadcast()
+				f.mu.Unlock()
+				return nil, false
+			}
+			u.bufs = bufs
+			u.state = unitReady
+			f.recordUnit(u, c, false)
+			f.cond.Broadcast()
+
+		case unitFetching:
+			done := u.done
+			if done == nil {
+				// Claimed by another consumer of the same unit — cannot
+				// happen within one worker's sequential stages, but stay
+				// safe: fall back to the sync path.
+				f.mu.Unlock()
+				return nil, false
+			}
+			f.mu.Unlock()
+			start := time.Now()
+			<-done
+			if c.tap != nil {
+				c.tap.WaitNanos += time.Since(start).Nanoseconds()
+			}
+			f.mu.Lock()
+
+		case unitReady:
+			f.recordUnit(u, c, true)
+			for i, run := range u.runs {
+				if pm.Offset >= run.off && pm.Offset+int64(pm.CompressedSize) <= run.off+run.size {
+					raw := u.bufs[i][pm.Offset-run.off : pm.Offset-run.off+int64(pm.CompressedSize)]
+					f.r.io.bytesRead.Add(int64(len(raw)))
+					globalIO.bytesRead.Add(int64(len(raw)))
+					if c.tap != nil {
+						c.tap.BytesRead += int64(len(raw))
+					}
+					f.mu.Unlock()
+					return raw, true
+				}
+			}
+			f.mu.Unlock()
+			return nil, false
+
+		default: // unitFailed, unitReleased
+			f.mu.Unlock()
+			return nil, false
+		}
+	}
+}
+
+// recordUnit books the hit/miss once per unit; caller holds f.mu.
+func (f *PageFetcher) recordUnit(u *fetchUnit, c *Chunk, hit bool) {
+	if u.counted {
+		return
+	}
+	u.counted = true
+	if hit {
+		f.r.io.prefetchHits.Add(1)
+		globalIO.prefetchHits.Add(1)
+		if c.tap != nil {
+			c.tap.PrefetchHits++
+		}
+	} else {
+		f.r.io.prefetchMisses.Add(1)
+		globalIO.prefetchMisses.Add(1)
+		if c.tap != nil {
+			c.tap.PrefetchMisses++
+		}
+	}
+}
+
+// FinishGroup releases every staged unit of row group rg back to the
+// pool, freeing budget for the walk to advance. Safe to call for row
+// groups with no scheduled units. Units mid-read are marked released and
+// cleaned up by whoever completes the read.
+func (f *PageFetcher) FinishGroup(rg int) {
+	f.mu.Lock()
+	for _, u := range f.byRG[rg] {
+		f.releaseLocked(u)
+	}
+	f.cond.Broadcast()
+	f.mu.Unlock()
+}
+
+// releaseLocked moves one unit to unitReleased; caller holds f.mu.
+func (f *PageFetcher) releaseLocked(u *fetchUnit) {
+	switch u.state {
+	case unitReady:
+		for _, b := range u.bufs {
+			f.putBufLocked(b)
+		}
+		u.bufs = nil
+		f.addInFlight(-u.size)
+		u.state = unitReleased
+	case unitPending, unitFailed:
+		u.state = unitReleased
+	case unitFetching:
+		// The in-progress read's completion path sees unitReleased and
+		// frees the buffers (and the in-flight bytes) itself.
+		u.state = unitReleased
+	}
+}
+
+// Close stops the background walk, waits it out, and releases every
+// staged buffer. After Close the fetcher serves nothing; BytesInFlight
+// is back to zero. Close is idempotent.
+func (f *PageFetcher) Close() {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		f.wg.Wait()
+		return
+	}
+	f.closed = true
+	f.cond.Broadcast()
+	f.mu.Unlock()
+	f.wg.Wait()
+	f.mu.Lock()
+	for _, u := range f.order {
+		f.releaseLocked(u)
+	}
+	// Hand the freelist to the global pool: the next query's fetcher can
+	// reuse the buffers, and nothing pins them past this query's lifetime.
+	for _, b := range f.free {
+		arena.PutBytes(b)
+	}
+	f.free = nil
+	f.freeBytes = 0
+	f.mu.Unlock()
+}
+
+// fetcherKey carries a per-query PageFetcher through the context so the
+// operator layer's filter kernels can attach it to their chunks without
+// widening the kernel signature.
+type fetcherKey struct{}
+
+// ContextWithFetcher returns ctx carrying f.
+func ContextWithFetcher(ctx context.Context, f *PageFetcher) context.Context {
+	return context.WithValue(ctx, fetcherKey{}, f)
+}
+
+// FetcherFrom returns the context's PageFetcher, or nil.
+func FetcherFrom(ctx context.Context) *PageFetcher {
+	f, _ := ctx.Value(fetcherKey{}).(*PageFetcher)
+	return f
+}

@@ -1,0 +1,69 @@
+package colstore
+
+import (
+	"context"
+	"testing"
+
+	"codecdb/internal/vfs"
+)
+
+// TestPrefetchFailureFallsBackTyped drives the page fetcher through a
+// fault-injecting FS: a prefetch read that fails must never surface its
+// own error shape — the consumer falls back to the synchronous path,
+// which either recovers the true bytes or reports the same typed error
+// a non-prefetching read would. And no matter which way each page went,
+// closing the fetcher must return the bytes-in-flight gauge to zero:
+// pooled buffers staged for failed or unconsumed reads cannot leak.
+func TestPrefetchFailureFallsBackTyped(t *testing.T) {
+	path := writeSmallTable(t, Options{})
+	ffs := vfs.NewFaultFS(vfs.OS(), vfs.FaultConfig{Seed: 17, ErrProb: 0.25, ShortReadProb: 0.10})
+	r, err := OpenFS(ffs, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	want, err := r.Chunk(0, 0).Ints() // faults still disabled: baseline truth
+	if err != nil {
+		t.Fatal(err)
+	}
+	pages := make([]int, r.Chunk(0, 0).NumPages())
+	for p := range pages {
+		pages[p] = p
+	}
+
+	ffs.SetEnabled(true)
+	succeeded, failed := 0, 0
+	for i := 0; i < 200; i++ {
+		f := NewPageFetcher(r, FetchConfig{})
+		f.Schedule(0, 0, pages)
+		f.Start(context.Background())
+		got, err := r.Chunk(0, 0).Fetch(f).Ints()
+		f.FinishGroup(0)
+		f.Close()
+		if bif := r.Stats().BytesInFlight; bif != 0 {
+			t.Fatalf("iteration %d: bytes-in-flight = %d after Close, want 0", i, bif)
+		}
+		if err != nil {
+			failed++
+			if !typedReadError(err) {
+				t.Fatalf("iteration %d: untyped failure through prefetch path: %v", i, err)
+			}
+			continue
+		}
+		succeeded++
+		for j := range got {
+			if got[j] != want[j] {
+				t.Fatalf("iteration %d: torn prefetched read: got[%d]=%d want %d", i, j, got[j], want[j])
+			}
+		}
+	}
+	errs, shorts, _ := ffs.Injected()
+	if errs+shorts == 0 {
+		t.Fatal("fault injection never fired; test is vacuous")
+	}
+	if succeeded == 0 {
+		t.Fatalf("sync fallback absorbed nothing: %d failures, faults injected: %d errs %d shorts",
+			failed, errs, shorts)
+	}
+	t.Logf("reads: %d ok, %d failed; injected: %d errors, %d short reads", succeeded, failed, errs, shorts)
+}

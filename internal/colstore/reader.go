@@ -35,7 +35,11 @@ type Reader struct {
 	path string
 	meta *FileMeta
 
-	mu       sync.Mutex
+	// mu guards the dictionary cache. Reads vastly outnumber the one
+	// decode per dictionary group, and concurrent morsel workers all
+	// consult the same dict for predicate rewrites, so lookups take the
+	// read lock only.
+	mu       sync.RWMutex
 	intDicts map[string][]int64
 	strDicts map[string][][]byte
 
@@ -62,6 +66,10 @@ type ioCounters struct {
 	bytesRead         atomic.Int64
 	bytesDecompressed atomic.Int64
 	ioNanos           atomic.Int64
+	pagesCoalesced    atomic.Int64
+	prefetchHits      atomic.Int64
+	prefetchMisses    atomic.Int64
+	bytesInFlight     atomic.Int64 // gauge, not a counter: live prefetch bytes
 }
 
 // IOStats is a snapshot of a Reader's IO instrumentation.
@@ -81,6 +89,18 @@ type IOStats struct {
 	BytesDecompressed int64
 	// IONanos is wall time spent inside ReadAt.
 	IONanos int64
+	// PagesCoalesced counts ReadAt calls saved by merging adjacent
+	// selected pages into one fetch: a coalesced run of k pages adds k-1.
+	PagesCoalesced int64
+	// PrefetchHits counts fetch units a consumer found already fetched
+	// (or in flight) by the background prefetcher; PrefetchMisses counts
+	// units the consumer had to fetch synchronously itself.
+	PrefetchHits   int64
+	PrefetchMisses int64
+	// BytesInFlight is a gauge of prefetched-but-unreleased bytes held in
+	// pooled buffers right now; it returns to zero when every in-flight
+	// PageFetcher closes.
+	BytesInFlight int64
 }
 
 // Stats returns a snapshot of the reader's IO instrumentation. The
@@ -96,10 +116,16 @@ func (r *Reader) Stats() IOStats {
 		BytesRead:         r.io.bytesRead.Load(),
 		BytesDecompressed: r.io.bytesDecompressed.Load(),
 		IONanos:           r.io.ioNanos.Load(),
+		PagesCoalesced:    r.io.pagesCoalesced.Load(),
+		PrefetchHits:      r.io.prefetchHits.Load(),
+		PrefetchMisses:    r.io.prefetchMisses.Load(),
+		BytesInFlight:     r.io.bytesInFlight.Load(),
 	}
 }
 
-// ResetStats zeroes the IO instrumentation counters.
+// ResetStats zeroes the IO instrumentation counters. BytesInFlight is a
+// live gauge owned by any active PageFetcher, not a counter, so a reset
+// leaves it alone.
 func (r *Reader) ResetStats() {
 	r.statsMu.Lock()
 	defer r.statsMu.Unlock()
@@ -109,6 +135,9 @@ func (r *Reader) ResetStats() {
 	r.io.bytesRead.Store(0)
 	r.io.bytesDecompressed.Store(0)
 	r.io.ioNanos.Store(0)
+	r.io.pagesCoalesced.Store(0)
+	r.io.prefetchHits.Store(0)
+	r.io.prefetchMisses.Store(0)
 }
 
 // SetPagePruning toggles zone-map page pruning; pruning is on by default.
@@ -311,9 +340,9 @@ func (r *Reader) IntDict(col int) ([]int64, error) {
 	if err != nil {
 		return nil, err
 	}
-	r.mu.Lock()
+	r.mu.RLock()
 	cached := r.intDicts[group]
-	r.mu.Unlock()
+	r.mu.RUnlock()
 	if cached != nil {
 		return cached, nil
 	}
@@ -338,9 +367,9 @@ func (r *Reader) StrDict(col int) ([][]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	r.mu.Lock()
+	r.mu.RLock()
 	cached := r.strDicts[group]
-	r.mu.Unlock()
+	r.mu.RUnlock()
 	if cached != nil {
 		return cached, nil
 	}
@@ -423,6 +452,29 @@ func (r *Reader) readAtBuf(buf []byte, off int64) ([]byte, error) {
 	return buf, nil
 }
 
+// readAtRaw is readAtBuf for the prefetcher: same bounded retries and
+// error shape, but it books only the ReadAt wall time. Bytes are booked
+// at serve time, page by page, so gap bytes a coalesced run dragged in
+// but no consumer ever touched never inflate BytesRead — the per-span IO
+// attribution keeps summing exactly to the reader's delta.
+func (r *Reader) readAtRaw(buf []byte, off int64) error {
+	start := time.Now()
+	var err error
+	for attempt := 0; attempt < readAttempts; attempt++ {
+		if _, err = r.f.ReadAt(buf, off); err == nil {
+			break
+		}
+	}
+	if err != nil {
+		return fmt.Errorf("colstore: %s: read %d bytes at %d failed after %d attempts: %w",
+			r.path, len(buf), off, readAttempts, err)
+	}
+	nanos := time.Since(start).Nanoseconds()
+	r.io.ioNanos.Add(nanos)
+	globalIO.ioNanos.Add(nanos)
+	return nil
+}
+
 // readDictBlob reads and, on checksummed files, verifies one dictionary
 // blob. A checksum mismatch is retried with one fresh read (the flip may
 // have happened in transit) before being reported as corruption.
@@ -490,6 +542,12 @@ type Chunk struct {
 	column Column
 	rows   int
 	tap    *IOTap
+	// fetch serves page bytes from a per-query prefetcher when one was
+	// scheduled for this (row group, column); funit caches the unit
+	// lookup after the first page.
+	fetch    *PageFetcher
+	funit    *fetchUnit
+	funitSet bool
 }
 
 // IOTap is a per-caller tally of the chunk-level IO counters. A tapped
@@ -503,6 +561,14 @@ type IOTap struct {
 	PagesSkipped      int64
 	BytesRead         int64
 	BytesDecompressed int64
+	// PrefetchHits/PrefetchMisses attribute fetch units this stage
+	// consumed; WaitNanos is wall time the stage stalled on an in-flight
+	// background read, DecompressNanos wall time inside decompression —
+	// together they split stage time into wait vs decompress vs scan.
+	PrefetchHits    int64
+	PrefetchMisses  int64
+	WaitNanos       int64
+	DecompressNanos int64
 }
 
 // Add folds another tap's counts into t.
@@ -512,6 +578,10 @@ func (t *IOTap) Add(o *IOTap) {
 	t.PagesSkipped += o.PagesSkipped
 	t.BytesRead += o.BytesRead
 	t.BytesDecompressed += o.BytesDecompressed
+	t.PrefetchHits += o.PrefetchHits
+	t.PrefetchMisses += o.PrefetchMisses
+	t.WaitNanos += o.WaitNanos
+	t.DecompressNanos += o.DecompressNanos
 }
 
 // Tap attaches t to the chunk and returns the chunk for chaining. A nil
@@ -519,6 +589,14 @@ func (t *IOTap) Add(o *IOTap) {
 // branch.
 func (c *Chunk) Tap(t *IOTap) *Chunk {
 	c.tap = t
+	return c
+}
+
+// Fetch attaches a page prefetcher to the chunk and returns the chunk for
+// chaining. A nil fetcher (prefetch off, or no schedule for this chunk)
+// keeps the synchronous read path untouched.
+func (c *Chunk) Fetch(f *PageFetcher) *Chunk {
+	c.fetch = f
 	return c
 }
 
@@ -600,9 +678,29 @@ func (c *Chunk) PageSelected(sel *bitutil.Bitmap, p int) bool {
 func (c *Chunk) rawPage(p int) ([]byte, error) { return c.rawPageBuf(p, nil) }
 
 // rawPageBuf is rawPage into pooled scratch storage when sc is non-nil.
+// When a prefetcher holds the page it is served zero-copy from the
+// coalesced run buffer (the slice stays valid until the fetcher releases
+// the row group, which outlives the scratch's page-scoped use); a CRC
+// mismatch on prefetched bytes falls through to exactly one fresh
+// synchronous read before the corruption verdict, mirroring the
+// retry-once policy of the plain path. Callers without a scratch get a
+// copy, because the nil-scratch contract lets decoded values alias the
+// returned bytes indefinitely.
 func (c *Chunk) rawPageBuf(p int, sc *arena.Scratch) ([]byte, error) {
 	pm := c.meta.Pages[p]
-	for attempt := 0; ; attempt++ {
+	attempt := 0
+	if c.fetch != nil {
+		if raw, ok := c.prefetched(p); ok {
+			if sc == nil {
+				raw = append(make([]byte, 0, len(raw)), raw...)
+			}
+			if !c.r.meta.checksummed() || Checksum(raw) == pm.Crc32C {
+				return raw, nil
+			}
+			attempt = 1
+		}
+	}
+	for ; ; attempt++ {
 		var buf []byte
 		if sc != nil {
 			buf = sc.Raw(int(pm.CompressedSize))
@@ -650,6 +748,10 @@ func (c *Chunk) pageBodyScratch(p int, sc *arena.Scratch) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	var decompStart time.Time
+	if c.tap != nil {
+		decompStart = time.Now()
+	}
 	var body []byte
 	if sc != nil {
 		body, err = comp.DecompressInto(sc.Body(int(c.meta.Pages[p].UncompressedSize)), raw)
@@ -660,6 +762,9 @@ func (c *Chunk) pageBodyScratch(p int, sc *arena.Scratch) ([]byte, error) {
 		}
 	} else {
 		body, err = comp.Decompress(raw)
+	}
+	if c.tap != nil {
+		c.tap.DecompressNanos += time.Since(decompStart).Nanoseconds()
 	}
 	if err != nil {
 		return nil, err

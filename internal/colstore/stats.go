@@ -18,5 +18,9 @@ func GlobalStats() IOStats {
 		BytesRead:         globalIO.bytesRead.Load(),
 		BytesDecompressed: globalIO.bytesDecompressed.Load(),
 		IONanos:           globalIO.ioNanos.Load(),
+		PagesCoalesced:    globalIO.pagesCoalesced.Load(),
+		PrefetchHits:      globalIO.prefetchHits.Load(),
+		PrefetchMisses:    globalIO.prefetchMisses.Load(),
+		BytesInFlight:     globalIO.bytesInFlight.Load(),
 	}
 }

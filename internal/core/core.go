@@ -40,8 +40,9 @@ type Options struct {
 	// exhaustive selection on the head sample.
 	Selector *selector.Learned
 	// FS is the filesystem the durable write path (WAL, shards,
-	// manifests) goes through; nil selects the real one. The seam the
-	// crash-injection tests use.
+	// manifests) and static table readers go through; nil selects the
+	// real one. The seam the crash-injection tests and the beyond-RAM
+	// I/O benchmarks (simulated device latency) use.
 	FS vfs.FS
 }
 
@@ -187,7 +188,7 @@ func (db *DB) LoadTable(name string, specs []ColumnSpec, data []colstore.ColumnD
 	if err := colstore.WriteFile(path, colstore.Schema{Columns: cols}, data, opts); err != nil {
 		return nil, err
 	}
-	r, err := colstore.Open(path)
+	r, err := colstore.OpenFS(db.fs, path)
 	if err != nil {
 		return nil, err
 	}
@@ -338,7 +339,7 @@ func (db *DB) Table(name string) (*Table, error) {
 	if tm.Kind == KindSharded {
 		return db.openShardedLocked(name, tm)
 	}
-	r, err := colstore.Open(filepath.Join(db.dir, tm.File))
+	r, err := colstore.OpenFS(db.fs, filepath.Join(db.dir, tm.File))
 	if err != nil {
 		return nil, err
 	}

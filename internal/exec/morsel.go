@@ -23,6 +23,27 @@ import (
 // error wins and cancels the remaining workers at their next morsel
 // boundary; a panicking morsel surfaces as a *PanicError.
 func ParallelMorsels[S any](ctx context.Context, p *Pool, n int, newState func(worker int) S, fn func(ctx context.Context, state S, morsel int) error) ([]S, error) {
+	return ParallelMorselsHooked(ctx, p, n, newState, fn, MorselHooks{})
+}
+
+// MorselHooks observe the morsel lifecycle. OnDone runs on the worker's
+// goroutine immediately after fn returns for a morsel — whether fn
+// succeeded or failed — so per-morsel resources scheduled ahead of time
+// (prefetched pages) can be released the moment the morsel is finished
+// with them. Hooks must be safe for concurrent use; a nil hook is
+// skipped.
+type MorselHooks struct {
+	OnDone func(morsel int)
+}
+
+func (h *MorselHooks) done(m int) {
+	if h.OnDone != nil {
+		h.OnDone(m)
+	}
+}
+
+// ParallelMorselsHooked is ParallelMorsels with lifecycle hooks.
+func ParallelMorselsHooked[S any](ctx context.Context, p *Pool, n int, newState func(worker int) S, fn func(ctx context.Context, state S, morsel int) error, hooks MorselHooks) ([]S, error) {
 	if n <= 0 {
 		return nil, nil
 	}
@@ -34,7 +55,7 @@ func ParallelMorsels[S any](ctx context.Context, p *Pool, n int, newState func(w
 		workers = n
 	}
 	if workers == 1 {
-		return morselsSerial(ctx, p, n, newState, fn)
+		return morselsSerial(ctx, p, n, newState, fn, hooks)
 	}
 	cctx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -78,7 +99,9 @@ func ParallelMorsels[S any](ctx context.Context, p *Pool, n int, newState func(w
 				if cctx.Err() != nil {
 					return
 				}
-				if err := fn(cctx, states[w], m); err != nil {
+				err := fn(cctx, states[w], m)
+				hooks.done(m)
+				if err != nil {
 					setErr(err)
 					return
 				}
@@ -103,7 +126,7 @@ func ParallelMorsels[S any](ctx context.Context, p *Pool, n int, newState func(w
 // to coordinate, the morsel loop runs inline on the caller — no
 // goroutine, no cancel context, no lock — with the same error, panic,
 // and cancellation contract.
-func morselsSerial[S any](ctx context.Context, p *Pool, n int, newState func(worker int) S, fn func(ctx context.Context, state S, morsel int) error) (states []S, err error) {
+func morselsSerial[S any](ctx context.Context, p *Pool, n int, newState func(worker int) S, fn func(ctx context.Context, state S, morsel int) error, hooks MorselHooks) (states []S, err error) {
 	states = make([]S, 1)
 	defer func() {
 		if r := recover(); r != nil {
@@ -116,7 +139,9 @@ func morselsSerial[S any](ctx context.Context, p *Pool, n int, newState func(wor
 		if err := ctx.Err(); err != nil {
 			return states, err
 		}
-		if err := fn(ctx, states[0], m); err != nil {
+		err := fn(ctx, states[0], m)
+		hooks.done(m)
+		if err != nil {
 			return states, err
 		}
 	}

@@ -133,6 +133,15 @@ type preparedFilter struct {
 	// evaluating the kernel — used when the incoming selection already
 	// rules out every row of the group.
 	skip func(rg int, tap *colstore.IOTap)
+	// sched predicts, from metadata alone, which pages the unrestricted
+	// kernel will fetch for row group rg — the input to the prefetcher's
+	// coalescing schedule. Bytes are booked only when a page is served,
+	// so an over-approximation is safe (just wasted read-ahead), but a
+	// precise schedule mirrors the kernel's own zone-map dispositions.
+	// sched runs before any worker and must not touch taps or counters.
+	// Nil means the filter cannot predict its reads; the pipeline then
+	// runs it without prefetch.
+	sched func(rg int) []schedSet
 }
 
 // preparable is implemented by every filter in this package; the morsel
@@ -259,7 +268,7 @@ func (f *DictFilter) prepare(r *colstore.Reader) (preparedFilter, error) {
 				section.SetAll()
 				return section, nil
 			}
-			chunk := r.Chunk(rg, ci).Tap(tap)
+			chunk := r.Chunk(rg, ci).Tap(tap).Fetch(colstore.FetcherFrom(ctx))
 			for p := 0; p < chunk.NumPages(); p++ {
 				if secSel != nil && !chunk.PageSelected(secSel, p) {
 					chunk.MarkSkipped(1)
@@ -288,6 +297,23 @@ func (f *DictFilter) prepare(r *colstore.Reader) (preparedFilter, error) {
 				mergePage(section, bm, pp.FirstRow)
 			}
 			return section, nil
+		}
+	}
+	if !all {
+		// Mirror the kernel's zone-map walk over metadata: only DispMixed
+		// pages (and pages with no zone map) are ever fetched.
+		pf.sched = func(rg int) []schedSet {
+			chunk := r.Chunk(rg, ci)
+			var pages []int
+			for p := 0; p < chunk.NumPages(); p++ {
+				if st := chunk.PageStatsOf(p); st != nil {
+					if sboost.Dispose(op, uint64(lb), st.Min, st.Max) != sboost.DispMixed {
+						continue
+					}
+				}
+				pages = append(pages, p)
+			}
+			return []schedSet{{col: ci, pages: pages}}
 		}
 	}
 	return pf, nil
@@ -579,7 +605,7 @@ func (f *BitPackedFilter) prepare(r *colstore.Reader) (preparedFilter, error) {
 	pf := preparedFilter{skip: skipWholeChunk(r, ci)}
 	pf.newKernel = func() filterRG {
 		return func(ctx context.Context, rg int, sc *arena.Scratch, secSel *bitutil.Bitmap, tap *colstore.IOTap) (*bitutil.Bitmap, error) {
-			chunk := r.Chunk(rg, ci).Tap(tap)
+			chunk := r.Chunk(rg, ci).Tap(tap).Fetch(colstore.FetcherFrom(ctx))
 			section := bitutil.NewBitmap(chunk.Rows())
 			inSitu := f.Op == sboost.OpEq || f.Op == sboost.OpNe || chunk.Stats().MinInt >= 0
 			if !inSitu {
@@ -661,6 +687,31 @@ func (f *BitPackedFilter) prepare(r *colstore.Reader) (preparedFilter, error) {
 			}
 			return section, nil
 		}
+	}
+	pf.sched = func(rg int) []schedSet {
+		chunk := r.Chunk(rg, ci)
+		inSitu := f.Op == sboost.OpEq || f.Op == sboost.OpNe || chunk.Stats().MinInt >= 0
+		var pages []int
+		if !inSitu {
+			// Decode-and-test reads every page of the chunk.
+			for p := 0; p < chunk.NumPages(); p++ {
+				pages = append(pages, p)
+			}
+			return []schedSet{{col: ci, pages: pages}}
+		}
+		op, target, match, all := rewriteZigzagPredicate(f.Op, f.Value, zz)
+		if all || !match {
+			return nil
+		}
+		for p := 0; p < chunk.NumPages(); p++ {
+			if st := chunk.PageStatsOf(p); st != nil {
+				if sboost.Dispose(op, target, st.Min, st.Max) != sboost.DispMixed {
+					continue
+				}
+			}
+			pages = append(pages, p)
+		}
+		return []schedSet{{col: ci, pages: pages}}
 	}
 	return pf, nil
 }
@@ -785,7 +836,7 @@ func prepareKeysIn(r *colstore.Reader, ci int, keys []uint64) preparedFilter {
 		// lives in this kernel closure so workers never share it.
 		var table []bool
 		return func(ctx context.Context, rg int, sc *arena.Scratch, secSel *bitutil.Bitmap, tap *colstore.IOTap) (*bitutil.Bitmap, error) {
-			chunk := r.Chunk(rg, ci).Tap(tap)
+			chunk := r.Chunk(rg, ci).Tap(tap).Fetch(colstore.FetcherFrom(ctx))
 			section := bitutil.NewBitmap(r.RowGroupRows(rg))
 			for p := 0; p < chunk.NumPages(); p++ {
 				if secSel != nil && !chunk.PageSelected(secSel, p) {
@@ -827,6 +878,17 @@ func prepareKeysIn(r *colstore.Reader, ci int, keys []uint64) preparedFilter {
 			}
 			return section, nil
 		}
+	}
+	pf.sched = func(rg int) []schedSet {
+		chunk := r.Chunk(rg, ci)
+		var pages []int
+		for p := 0; p < chunk.NumPages(); p++ {
+			if st := chunk.PageStatsOf(p); st != nil && dispose(st) != sboost.DispMixed {
+				continue
+			}
+			pages = append(pages, p)
+		}
+		return []schedSet{{col: ci, pages: pages}}
 	}
 	return pf
 }
@@ -882,8 +944,9 @@ func (f *TwoColumnFilter) prepare(r *colstore.Reader) (preparedFilter, error) {
 		return func(ctx context.Context, rg int, scA *arena.Scratch, secSel *bitutil.Bitmap, tap *colstore.IOTap) (*bitutil.Bitmap, error) {
 			scB := arena.Get()
 			defer arena.Put(scB)
-			chA := r.Chunk(rg, ca).Tap(tap)
-			chB := r.Chunk(rg, cb).Tap(tap)
+			fetch := colstore.FetcherFrom(ctx)
+			chA := r.Chunk(rg, ca).Tap(tap).Fetch(fetch)
+			chB := r.Chunk(rg, cb).Tap(tap).Fetch(fetch)
 			if chA.NumPages() != chB.NumPages() {
 				return nil, fmt.Errorf("ops: page layout mismatch between %s and %s", f.ColA, f.ColB)
 			}
@@ -926,6 +989,23 @@ func (f *TwoColumnFilter) prepare(r *colstore.Reader) (preparedFilter, error) {
 			}
 			return section, nil
 		}
+	}
+	pf.sched = func(rg int) []schedSet {
+		chA := r.Chunk(rg, ca)
+		chB := r.Chunk(rg, cb)
+		if chA.NumPages() != chB.NumPages() {
+			return nil
+		}
+		var pages []int
+		for p := 0; p < chA.NumPages(); p++ {
+			stA, stB := chA.PageStatsOf(p), chB.PageStatsOf(p)
+			if stA != nil && stB != nil &&
+				sboost.DisposeStreams(f.Op, stA.Min, stA.Max, stB.Min, stB.Max) != sboost.DispMixed {
+				continue
+			}
+			pages = append(pages, p)
+		}
+		return []schedSet{{col: ca, pages: pages}, {col: cb, pages: pages}}
 	}
 	return pf, nil
 }
@@ -977,7 +1057,7 @@ func (f *DeltaFilter) prepare(r *colstore.Reader) (preparedFilter, error) {
 	pf := preparedFilter{skip: skipWholeChunk(r, ci)}
 	pf.newKernel = func() filterRG {
 		return func(ctx context.Context, rg int, sc *arena.Scratch, secSel *bitutil.Bitmap, tap *colstore.IOTap) (*bitutil.Bitmap, error) {
-			chunk := r.Chunk(rg, ci).Tap(tap)
+			chunk := r.Chunk(rg, ci).Tap(tap).Fetch(colstore.FetcherFrom(ctx))
 			section := bitutil.NewBitmap(chunk.Rows())
 			// Delta pages carry their zone map in the zigzag domain of the
 			// reconstructed values, so the same rewrite the bit-packed
@@ -1045,6 +1125,39 @@ func (f *DeltaFilter) prepare(r *colstore.Reader) (preparedFilter, error) {
 			}
 			return section, nil
 		}
+	}
+	pf.sched = func(rg int) []schedSet {
+		chunk := r.Chunk(rg, ci)
+		var (
+			zop     sboost.Op
+			ztarget uint64
+			canZone bool
+		)
+		if f.Op == sboost.OpEq || f.Op == sboost.OpNe || chunk.Stats().MinInt >= 0 {
+			var match, all bool
+			zop, ztarget, match, all = rewriteZigzagPredicate(f.Op, f.Value, zz)
+			canZone = match && !all
+			if all || !match {
+				// Chunk resolves without touching any page.
+				return nil
+			}
+		}
+		var pages []int
+		for p := 0; p < chunk.NumPages(); p++ {
+			rowFirst, rowLast := chunk.PageRowRange(p)
+			if rowFirst == rowLast {
+				continue
+			}
+			if canZone {
+				if st := chunk.PageStatsOf(p); st != nil {
+					if sboost.Dispose(zop, ztarget, st.Min, st.Max) != sboost.DispMixed {
+						continue
+					}
+				}
+			}
+			pages = append(pages, p)
+		}
+		return []schedSet{{col: ci, pages: pages}}
 	}
 	return pf, nil
 }
@@ -1119,7 +1232,7 @@ func prepareOblivious[T any](r *colstore.Reader, ci int,
 	pf := preparedFilter{skip: skipWholeChunk(r, ci)}
 	pf.newKernel = func() filterRG {
 		return func(ctx context.Context, rg int, sc *arena.Scratch, secSel *bitutil.Bitmap, tap *colstore.IOTap) (*bitutil.Bitmap, error) {
-			chunk := r.Chunk(rg, ci).Tap(tap)
+			chunk := r.Chunk(rg, ci).Tap(tap).Fetch(colstore.FetcherFrom(ctx))
 			if secSel != nil {
 				vals, err := gather(chunk, secSel)
 				if err != nil {
@@ -1148,6 +1261,7 @@ func prepareOblivious[T any](r *colstore.Reader, ci int,
 			return section, nil
 		}
 	}
+	pf.sched = schedAllPages(r, ci)
 	return pf
 }
 

@@ -100,6 +100,12 @@ type pipeline struct {
 	col  string
 	ci   int
 
+	// fetch is the per-query page prefetcher (nil when prefetch is off,
+	// the plan fell back to the barrier path, or nothing is worth
+	// scheduling). It is started before the morsel loop and closed when
+	// the run returns.
+	fetch *colstore.PageFetcher
+
 	keySpace int
 	aggKinds []AggKind
 	aggSpecs []VecAgg
@@ -434,11 +440,20 @@ func (p *pipeline) run(ctx context.Context) (*PipelineResult, error) {
 	}
 	p.wbuf = make([]pipeWorker, nw)
 	p.kbuf = make([]filterRG, nw*len(p.leaves))
-	workers, err := exec.ParallelMorsels(ctx, p.pool, n,
+	var hooks exec.MorselHooks
+	if f := p.buildFetcher(ctx); f != nil {
+		p.fetch = f
+		defer f.Close()
+		ctx = colstore.ContextWithFetcher(ctx, f)
+		// Release a row group's staged pages the moment its morsel
+		// finishes, so the budget recycles into lookahead.
+		hooks.OnDone = f.FinishGroup
+	}
+	workers, err := exec.ParallelMorselsHooked(ctx, p.pool, n,
 		p.newWorker,
 		func(mctx context.Context, w *pipeWorker, rg int) error {
 			return p.runMorsel(mctx, w, rg, fsel, parts)
-		})
+		}, hooks)
 	p.workers = workers
 	for _, w := range workers {
 		if w != nil {
@@ -479,6 +494,93 @@ func (p *pipeline) run(ctx context.Context) (*PipelineResult, error) {
 		res.Group = total.Result()
 	}
 	return res, nil
+}
+
+// schedSet is one column's surviving pages for one row group — the unit
+// of the prefetch schedule a prepared filter can predict from metadata
+// alone (zone maps, page row ranges), mirroring the dispositions its
+// kernel will make.
+type schedSet struct {
+	col   int
+	pages []int
+}
+
+// schedAllPages schedules every page of one column: the shape of a
+// full-scan gather and of filters with no zone-map story.
+func schedAllPages(r *colstore.Reader, ci int) func(rg int) []schedSet {
+	return func(rg int) []schedSet {
+		n := r.Chunk(rg, ci).NumPages()
+		pages := make([]int, n)
+		for i := range pages {
+			pages[i] = i
+		}
+		return []schedSet{{col: ci, pages: pages}}
+	}
+}
+
+// prefetchKey carries per-query prefetch overrides through the context.
+type prefetchKey struct{}
+
+type prefetchOpt struct {
+	off bool
+	cfg colstore.FetchConfig
+}
+
+// ContextWithoutPrefetch disables async page prefetch for pipelines run
+// under the returned context. Prefetch is on by default; the equivalence
+// property tests run both arms.
+func ContextWithoutPrefetch(ctx context.Context) context.Context {
+	return context.WithValue(ctx, prefetchKey{}, prefetchOpt{off: true})
+}
+
+// ContextWithPrefetchConfig overrides the prefetcher's budget/slop for
+// pipelines run under the returned context (bench and test hook).
+func ContextWithPrefetchConfig(ctx context.Context, cfg colstore.FetchConfig) context.Context {
+	return context.WithValue(ctx, prefetchKey{}, prefetchOpt{cfg: cfg})
+}
+
+// buildFetcher computes the query's page schedule and starts the
+// background prefetcher, or returns nil when there is nothing to gain:
+// prefetch disabled, barrier fallback (the legacy path owns its own
+// reads), a provably-empty first stage, or a terminal that reads no
+// pages. Only the first planned stage is scheduled — it is the one stage
+// guaranteed to run over the unrestricted selection, so its metadata
+// disposition exactly predicts its kernel's page fetches; later stages
+// see selections that depend on data, which metadata cannot predict
+// without risking speculative reads of pages the query never touches.
+func (p *pipeline) buildFetcher(ctx context.Context) *colstore.PageFetcher {
+	opt, _ := ctx.Value(prefetchKey{}).(prefetchOpt)
+	if opt.off || p.fallback {
+		return nil
+	}
+	var sched func(rg int) []schedSet
+	switch {
+	case len(p.leaves) > 0:
+		lf := p.leaves[0]
+		if lf.pf.empty || lf.pf.sched == nil {
+			return nil
+		}
+		sched = lf.pf.sched
+	case p.ci >= 0:
+		sched = schedAllPages(p.r, p.ci)
+	default:
+		return nil
+	}
+	f := colstore.NewPageFetcher(p.r, opt.cfg)
+	scheduled := false
+	for rg := 0; rg < p.r.NumRowGroups(); rg++ {
+		for _, s := range sched(rg) {
+			if len(s.pages) > 0 {
+				f.Schedule(rg, s.col, s.pages)
+				scheduled = true
+			}
+		}
+	}
+	if !scheduled {
+		return nil
+	}
+	f.Start(ctx)
+	return f
 }
 
 // runMorsel drives one row group through the whole pipeline on one worker.
@@ -535,29 +637,29 @@ func (p *pipeline) terminal(w *pipeWorker, rg int, bm *bitutil.Bitmap, parts *pi
 			parts.rowIDs[rg] = ids
 		case TermInts:
 			var vals []int64
-			vals, err = p.r.Chunk(rg, p.ci).Tap(tap).GatherInts(bm)
+			vals, err = p.r.Chunk(rg, p.ci).Tap(tap).Fetch(p.fetch).GatherInts(bm)
 			parts.ints[rg] = vals
 			produced = int64(len(vals))
 		case TermFloats:
 			var vals []float64
-			vals, err = p.r.Chunk(rg, p.ci).Tap(tap).GatherFloats(bm)
+			vals, err = p.r.Chunk(rg, p.ci).Tap(tap).Fetch(p.fetch).GatherFloats(bm)
 			parts.floats[rg] = vals
 			produced = int64(len(vals))
 		case TermStrings:
 			var vals [][]byte
-			vals, err = p.r.Chunk(rg, p.ci).Tap(tap).GatherStrings(bm)
+			vals, err = p.r.Chunk(rg, p.ci).Tap(tap).Fetch(p.fetch).GatherStrings(bm)
 			parts.strs[rg] = vals
 			produced = int64(len(vals))
 		case TermGroupCount:
 			var keys []int64
-			keys, err = p.r.Chunk(rg, p.ci).Tap(tap).GatherKeys(bm)
+			keys, err = p.r.Chunk(rg, p.ci).Tap(tap).Fetch(p.fetch).GatherKeys(bm)
 			if err == nil {
 				err = w.agg.Accumulate(keys, p.aggSpecs)
 			}
 			produced = int64(len(keys))
 		case TermSumFloat:
 			var vals []float64
-			vals, err = p.r.Chunk(rg, p.ci).Tap(tap).GatherFloats(bm)
+			vals, err = p.r.Chunk(rg, p.ci).Tap(tap).Fetch(p.fetch).GatherFloats(bm)
 			var s float64
 			for _, v := range vals {
 				s += v
@@ -762,7 +864,9 @@ func runPipelineTraced(ctx context.Context, sp *obs.Span, r *colstore.Reader, po
 					fs.AddDetail("selectivity est=%.4f actual=%.4f", lf.est, float64(st.rowsOut)/float64(st.rowsIn))
 				}
 				fs.SetRows(st.rowsIn, st.rowsOut)
-				fs.AddIO(p.mergedTap(lf.idx))
+				tap := p.mergedIOTap(lf.idx)
+				addStageTimeDetails(fs, &tap, st.nanos)
+				fs.AddIO(spanIOFromTap(&tap))
 				fs.End()
 				fs.SetDuration(time.Duration(st.nanos))
 			}
@@ -770,7 +874,9 @@ func runPipelineTraced(ctx context.Context, sp *obs.Span, r *colstore.Reader, po
 		ts := child.StartChild(terminalSpanName(term, col))
 		st := p.mergedStats(len(p.leaves))
 		ts.SetRows(st.rowsIn, st.rowsOut)
-		ts.AddIO(p.mergedTap(len(p.leaves)))
+		tap := p.mergedIOTap(len(p.leaves))
+		addStageTimeDetails(ts, &tap, st.nanos)
+		ts.AddIO(spanIOFromTap(&tap))
 		ts.End()
 		ts.SetDuration(time.Duration(st.nanos))
 	}
@@ -794,20 +900,43 @@ func runPipelineTraced(ctx context.Context, sp *obs.Span, r *colstore.Reader, po
 	return res, nil
 }
 
-// mergedTap sums one stage's IO across workers.
-func (p *pipeline) mergedTap(idx int) obs.SpanIO {
+// mergedIOTap sums one stage's IO across workers, keeping the prefetch
+// and timing fields that SpanIO does not carry.
+func (p *pipeline) mergedIOTap(idx int) colstore.IOTap {
 	var t colstore.IOTap
 	for _, w := range p.workers {
 		if w != nil && w.taps != nil {
 			t.Add(&w.taps[idx])
 		}
 	}
+	return t
+}
+
+func spanIOFromTap(t *colstore.IOTap) obs.SpanIO {
 	return obs.SpanIO{
 		PagesRead:         t.PagesRead,
 		PagesPruned:       t.PagesPruned,
 		PagesSkipped:      t.PagesSkipped,
 		BytesRead:         t.BytesRead,
 		BytesDecompressed: t.BytesDecompressed,
+	}
+}
+
+// addStageTimeDetails attributes a stage's busy time to waiting on
+// prefetched reads, decompression, and the remainder (the scan/decode
+// kernel itself), and reports prefetch effectiveness when a fetcher ran.
+func addStageTimeDetails(s *obs.Span, t *colstore.IOTap, busyNanos int64) {
+	if t.PrefetchHits > 0 || t.PrefetchMisses > 0 || t.WaitNanos > 0 {
+		s.AddDetail("prefetch: %d hit / %d miss, io-wait %v",
+			t.PrefetchHits, t.PrefetchMisses, time.Duration(t.WaitNanos))
+	}
+	if t.WaitNanos > 0 || t.DecompressNanos > 0 {
+		scan := busyNanos - t.WaitNanos - t.DecompressNanos
+		if scan < 0 {
+			scan = 0
+		}
+		s.AddDetail("time: wait=%v decompress=%v scan=%v",
+			time.Duration(t.WaitNanos), time.Duration(t.DecompressNanos), time.Duration(scan))
 	}
 }
 

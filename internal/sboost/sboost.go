@@ -294,10 +294,68 @@ func ScanPackedInto(out *bitutil.Bitmap, data []byte, width uint, op Op, target 
 	scanScalar(data, i, n, width, op, target, out)
 }
 
-// scanWindows runs the SWAR loop over all complete windows, writing hits
-// branchlessly into the bitmap words, and returns the first unprocessed
-// entry index.
+// scanWindows runs the SWAR loop over all complete windows — two 64-bit
+// windows per iteration — and returns the first unprocessed entry index.
+// Each iteration evaluates both windows back to back (the carry-isolated
+// arithmetic of one overlaps the load of the other), compacts the
+// per-field verdict MSBs of both lanes into one register branch-free,
+// and commits the combined run to the bitmap in at most two word writes
+// instead of one read-modify-write per field.
 func scanWindows(data []byte, n int, m masks, cmp func(uint64) uint64, out *bitutil.Bitmap) int {
+	words := out.Words()
+	width := m.width
+	fields := uint(m.fields)
+	msb := width - 1
+	pos, i := uint(0), 0
+	// Two-lane main loop. The combined verdict run is 2*fields bits, so
+	// it only fits a register for width >= 2; width 1 (fields == 64) is
+	// already word-parallel in the one-lane loop below.
+	if 2*fields <= 64 {
+		for i+2*m.fields <= n && (pos+m.span)/8+9 <= uint(len(data)) {
+			h0 := cmp(window(data, pos))
+			h1 := cmp(window(data, pos+m.span))
+			if h0|h1 != 0 {
+				var bits uint64
+				for f := uint(0); f < fields; f++ {
+					sh := f*width + msb
+					bits |= (h0 >> sh & 1) << f
+					bits |= (h1 >> sh & 1) << (fields + f)
+				}
+				idx := uint(i)
+				lo := idx & 63
+				words[idx>>6] |= bits << lo
+				// Go defines shifts >= 64 as 0, so when the run fits one
+				// word this second write ORs zero (possibly into the same
+				// word); when it straddles, it carries the high part over.
+				words[(idx+2*fields-1)>>6] |= bits >> (64 - lo)
+			}
+			pos += 2 * m.span
+			i += 2 * m.fields
+		}
+	}
+	// One-lane tail window (and the whole stream for width 1).
+	for i+m.fields <= n && pos/8+9 <= uint(len(data)) {
+		hit := cmp(window(data, pos))
+		if hit != 0 {
+			var bits uint64
+			for f := uint(0); f < fields; f++ {
+				bits |= (hit >> (f*width + msb) & 1) << f
+			}
+			idx := uint(i)
+			lo := idx & 63
+			words[idx>>6] |= bits << lo
+			words[(idx+fields-1)>>6] |= bits >> (64 - lo)
+		}
+		pos += m.span
+		i += m.fields
+	}
+	out.Mask()
+	return i
+}
+
+// scanWindows1 is the one-window-per-iteration predecessor of scanWindows,
+// kept as the baseline for the two-lane micro-benchmark.
+func scanWindows1(data []byte, n int, m masks, cmp func(uint64) uint64, out *bitutil.Bitmap) int {
 	words := out.Words()
 	width := m.width
 	pos, i := uint(0), 0
@@ -470,23 +528,56 @@ func CompareStreamsInto(out *bitutil.Bitmap, a, b []byte, width uint, op Op) {
 	default: // OpLe
 		cmp = func(x, y uint64) uint64 { return ^m.lt(y, x) & m.h }
 	}
+	i := compareWindows(a, b, n, m, cmp, out)
+	compareScalar(a, b, i, n, width, op, out)
+}
+
+// compareWindows is scanWindows for two parallel packed streams: two
+// window pairs per iteration, verdicts of both lanes compacted into one
+// register and committed with at most two word writes.
+func compareWindows(a, b []byte, n int, m masks, cmp func(x, y uint64) uint64, out *bitutil.Bitmap) int {
 	words := out.Words()
+	width := m.width
+	fields := uint(m.fields)
+	msb := width - 1
 	pos, i := uint(0), 0
+	if 2*fields <= 64 {
+		for i+2*m.fields <= n && (pos+m.span)/8+9 <= uint(len(a)) && (pos+m.span)/8+9 <= uint(len(b)) {
+			h0 := cmp(window(a, pos), window(b, pos))
+			h1 := cmp(window(a, pos+m.span), window(b, pos+m.span))
+			if h0|h1 != 0 {
+				var bits uint64
+				for f := uint(0); f < fields; f++ {
+					sh := f*width + msb
+					bits |= (h0 >> sh & 1) << f
+					bits |= (h1 >> sh & 1) << (fields + f)
+				}
+				idx := uint(i)
+				lo := idx & 63
+				words[idx>>6] |= bits << lo
+				words[(idx+2*fields-1)>>6] |= bits >> (64 - lo)
+			}
+			pos += 2 * m.span
+			i += 2 * m.fields
+		}
+	}
 	for i+m.fields <= n && pos/8+9 <= uint(len(a)) && pos/8+9 <= uint(len(b)) {
 		hit := cmp(window(a, pos), window(b, pos))
 		if hit != 0 {
-			msb := m.width - 1
-			for f := 0; f < m.fields; f++ {
-				bit := (hit >> (uint(f)*m.width + msb)) & 1
-				idx := uint(i + f)
-				words[idx>>6] |= bit << (idx & 63)
+			var bits uint64
+			for f := uint(0); f < fields; f++ {
+				bits |= (hit >> (f*width + msb) & 1) << f
 			}
+			idx := uint(i)
+			lo := idx & 63
+			words[idx>>6] |= bits << lo
+			words[(idx+fields-1)>>6] |= bits >> (64 - lo)
 		}
 		pos += m.span
 		i += m.fields
 	}
 	out.Mask()
-	compareScalar(a, b, i, n, width, op, out)
+	return i
 }
 
 // scanScalar is the decode-then-compare reference used for the stream tail

@@ -42,6 +42,18 @@ func init() {
 	r.CounterFunc("codecdb_read_seconds_total",
 		"Wall time spent in file reads, in seconds.",
 		func() float64 { return float64(colstore.GlobalStats().IONanos) / 1e9 })
+	r.CounterFunc("codecdb_pages_coalesced_total",
+		"Pages that rode along in a neighbouring page's coalesced read.",
+		func() float64 { return float64(colstore.GlobalStats().PagesCoalesced) })
+	r.CounterFunc("codecdb_prefetch_hits_total",
+		"Pages served from prefetched buffers.",
+		func() float64 { return float64(colstore.GlobalStats().PrefetchHits) })
+	r.CounterFunc("codecdb_prefetch_misses_total",
+		"Pages a consumer claimed before the prefetcher reached them.",
+		func() float64 { return float64(colstore.GlobalStats().PrefetchMisses) })
+	r.GaugeFunc("codecdb_prefetch_bytes_inflight",
+		"Bytes currently staged in prefetch buffers awaiting consumption.",
+		func() float64 { return float64(colstore.GlobalStats().BytesInFlight) })
 
 	r.GaugeFunc("codecdb_exec_tasks_inflight",
 		"Worker-pool tasks currently executing.",

@@ -123,3 +123,84 @@ func BenchmarkPipelineVsBarrier(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkPipelineVsBarrierClustered is the zone-map complement to
+// BenchmarkPipelineVsBarrier: that table's values are uniformly
+// interleaved, so every page is mixed and pagesPruned/op stays at zero —
+// the pruning path never runs. Here both filter columns are clustered
+// (tag in one leading block, level monotone across the file), so page
+// zone maps dispose most pages without reading them and the benchmark
+// exercises the prune branches of the kernels and the prefetch
+// scheduler's page-list prediction.
+func BenchmarkPipelineVsBarrierClustered(b *testing.B) {
+	const n = 1 << 18
+	db, err := Open(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { db.Close() })
+	tag := make([][]byte, n)
+	level := make([]int64, n)
+	score := make([]float64, n)
+	var want int64
+	for i := 0; i < n; i++ {
+		level[i] = int64(i * 8 / n) // monotone 0..7: zone maps cut level<6
+		score[i] = float64(i%1000) / 10
+		if i < n/8 {
+			tag[i] = []byte("rare") // clustered block: whole pages dispose
+		} else {
+			tag[i] = []byte("common")
+			if level[i] < 6 {
+				want++
+			}
+		}
+	}
+	tbl, err := db.LoadTable("pipeclust", []Column{
+		{Name: "tag", Strings: tag, ForceEncoding: Dictionary, Forced: true},
+		{Name: "level", Ints: level, ForceEncoding: Dictionary, Forced: true},
+		{Name: "score", Floats: score},
+	}, LoadOptions{RowGroupRows: 8192, PageRows: 1024})
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	query := func() *Query { return tbl.Where("tag", Eq, "common").And("level", Lt, 6) }
+
+	// The clustered layout must actually engage the zone maps, or this
+	// benchmark silently degenerates into the uniform one.
+	tbl.ResetIOStats()
+	if got, err := query().Count(); err != nil {
+		b.Fatal(err)
+	} else if got != want {
+		b.Fatalf("count = %d, want %d", got, want)
+	}
+	if st := tbl.IOStats(); st.PagesPruned == 0 {
+		b.Fatalf("clustered table pruned no pages: %+v", st)
+	}
+
+	for _, eng := range []struct {
+		name string
+		wrap func(*Query) *Query
+	}{
+		{"Pipelined", func(q *Query) *Query { return q }},
+		{"Barrier", func(q *Query) *Query { return q.withLegacyEngine() }},
+	} {
+		eng := eng
+		b.Run("Count/"+eng.name, func(b *testing.B) {
+			q := eng.wrap(query())
+			tbl.ResetIOStats()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				got, err := q.Count()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if got != want {
+					b.Fatalf("count = %d, want %d", got, want)
+				}
+			}
+			b.StopTimer()
+			reportQueryIO(b, tbl)
+		})
+	}
+}

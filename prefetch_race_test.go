@@ -1,0 +1,80 @@
+package codecdb
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"codecdb/internal/colstore"
+)
+
+// TestPrefetchUnderConcurrentQueries hammers one table from many
+// goroutines with the prefetcher active, interleaving queries whose
+// context is cancelled mid-scan. Run under -race (make check wires it
+// in): the fetcher's background goroutine shares page buffers with
+// consumer workers, and cancellation can land at any point in the
+// fetch/serve/release cycle. Every query must end in a correct result
+// or context.Canceled — and once the storm passes, the bytes-in-flight
+// gauge must read zero: cancelled fetchers released every buffer.
+func TestPrefetchUnderConcurrentQueries(t *testing.T) {
+	const n = 3000
+	db := openTestDB(t)
+	propTable(t, db, "preflight", n, 0)
+	tbl, err := db.Table("preflight")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := tbl.Where("grade", Ge, 1).Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < 30; i++ {
+				q := tbl.Where("grade", Ge, 1)
+				cancelled := i%3 == 0
+				if cancelled {
+					// A deadline somewhere inside the scan: the query may
+					// finish first or die mid-morsel, both are legal.
+					ctx, cancel := context.WithTimeout(context.Background(),
+						time.Duration(rng.Intn(200))*time.Microsecond)
+					q = q.WithContext(ctx)
+					defer cancel()
+				}
+				got, err := q.Count()
+				switch {
+				case err == nil:
+					if got != want {
+						errs <- fmt.Errorf("goroutine %d iter %d: count = %d, want %d", g, i, got, want)
+						return
+					}
+				case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+					// expected for the cancelled fraction
+				default:
+					errs <- fmt.Errorf("goroutine %d iter %d: unexpected error: %v", g, i, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+	if bif := colstore.GlobalStats().BytesInFlight; bif != 0 {
+		t.Fatalf("bytes-in-flight gauge = %d after concurrent storm, want 0", bif)
+	}
+}
+

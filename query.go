@@ -72,6 +72,16 @@ func (q *Query) withLegacyEngine() *Query {
 	return cp
 }
 
+// withoutPrefetch returns a copy whose terminals run the pipeline with
+// the page prefetcher disabled, reading every page synchronously.
+// Test-only: prefetch on and off must agree byte-for-byte on every
+// terminal.
+func (q *Query) withoutPrefetch() *Query {
+	cp := q.clone()
+	cp.ctx = ops.ContextWithoutPrefetch(q.context())
+	return cp
+}
+
 // context returns the query's context, defaulting to Background.
 func (q *Query) context() context.Context {
 	if q.ctx != nil {
