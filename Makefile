@@ -1,13 +1,14 @@
 GO ?= go
 
-.PHONY: check build test vet race race-obs race-pipeline race-prefetch crash fuzz bench bench-obs bench-planner bench-planner-smoke bench-pipeline bench-scale serve-demo
+.PHONY: check build test vet race race-obs race-pipeline race-prefetch crash guard-obs fuzz bench bench-obs bench-planner bench-planner-smoke bench-pipeline bench-scale serve-demo
 
 # check is the tier-1 verification gate: everything must compile, pass
 # vet, and pass the full test suite under the race detector, with the
 # observability-layer, morsel-executor, and prefetch race tests called
 # out explicitly, the crash-point matrix for the durable write path,
-# plus one iteration of the planner pipeline benchmark as a smoke test.
-check: vet build race race-obs race-pipeline race-prefetch crash bench-planner-smoke
+# the observability overhead guards, plus one iteration of the planner
+# pipeline benchmark as a smoke test.
+check: vet build race race-obs race-pipeline race-prefetch crash guard-obs bench-planner-smoke
 
 build:
 	$(GO) build ./...
@@ -22,10 +23,20 @@ race:
 	$(GO) test -race ./...
 
 # race-obs focuses the race detector on the observability surfaces: the
-# metrics registry and tracer, the pool counters, and the atomic reader
-# stats with concurrent Stats/ResetStats.
+# metrics registry and tracer, the flight recorder (concurrent
+# begin/progress/finish vs snapshot readers), the pool counters, and the
+# atomic reader stats with concurrent Stats/ResetStats.
 race-obs:
 	$(GO) test -race -count=1 ./internal/obs/ ./internal/exec/ ./internal/colstore/
+	$(GO) test -race -count=1 -run 'TestRecorder' .
+
+# guard-obs runs the observability overhead guards outside the race
+# detector (alloc counts change under -race): the tracer's zero-alloc
+# guard on the filter seam and the flight recorder's
+# constant-per-query alloc guard (recorder on vs off; the constant must
+# not scale with morsel count).
+guard-obs:
+	$(GO) test -count=1 -run 'TestApplyFilterNoTracerAddsZeroAllocs|TestQueryRecorderConstantAllocOverhead' .
 
 # race-pipeline focuses the race detector on the morsel executor: the
 # worker-local-state scheduler tests and the pipelined-vs-legacy
@@ -61,13 +72,18 @@ bench:
 
 # bench-obs writes BENCH_PR3.json: the filter hot path through the
 # instrumented ApplyFilter seam, tracer off (bare context) vs tracer on
-# (span per op), so the observability overhead stays visible across PRs.
+# (span per op), plus the end-to-end count with the flight recorder off
+# vs on, so the observability overhead stays visible across PRs.
 OBSBENCHOUT ?= BENCH_PR3.json
 bench-obs:
 	$(GO) test -run xxx -bench 'BenchmarkFilterHotPathTraced/.*/Off' -benchmem . \
 		| $(GO) run ./cmd/benchjson -o $(OBSBENCHOUT) -section tracer-off
 	$(GO) test -run xxx -bench 'BenchmarkFilterHotPathTraced/.*/On' -benchmem . \
 		| $(GO) run ./cmd/benchjson -o $(OBSBENCHOUT) -section tracer-on
+	$(GO) test -run xxx -bench 'BenchmarkQueryRecorder/Off' -benchmem . \
+		| $(GO) run ./cmd/benchjson -o $(OBSBENCHOUT) -section recorder-off
+	$(GO) test -run xxx -bench 'BenchmarkQueryRecorder/On' -benchmem . \
+		| $(GO) run ./cmd/benchjson -o $(OBSBENCHOUT) -section recorder-on
 
 # bench-planner writes BENCH_PR4.json: the selection-threaded planned
 # pipeline with the selective conjunct written first vs last (the planner

@@ -16,9 +16,11 @@ import (
 	"os/signal"
 	"strconv"
 	"strings"
+	"time"
 
 	"codecdb"
 	"codecdb/internal/encoding"
+	"codecdb/internal/obs"
 	"codecdb/internal/selector"
 )
 
@@ -33,11 +35,12 @@ func main() {
 	col := fs.String("col", "", "column name")
 	eq := fs.String("eq", "", "equality predicate value")
 	csvcol := fs.String("csvcol", "", "comma-separated values to advise on")
-	out := fs.String("out", "model.json", "output path for the trained model")
+	out := fs.String("out", "", "output path (train: model.json, trace: trace.json)")
 	seed := fs.Int64("seed", 42, "training seed")
 	stats := fs.Bool("stats", false, "print page-level IO statistics")
 	metrics := fs.String("metrics", ":8080", "listen address for /metrics, /debug/vars, /debug/pprof")
 	warm := fs.Bool("warm", false, "run one full count per table before serving so counters are non-zero")
+	logJSON := fs.Bool("log", false, "emit structured JSON logs (flush, recovery, slow queries) to stderr")
 	analyze := fs.Bool("analyze", false, "execute the query and report per-operator stats")
 	var wheres whereFlags
 	fs.Var(&wheres, "where", `predicate "col op value", "col in v1,v2", or " or "-joined disjuncts (repeatable, ANDed; op: = != < <= > >=)`)
@@ -96,10 +99,14 @@ func main() {
 	case "scrub":
 		err = withDB(*dbDir, func(db *codecdb.DB) error { return scrub(db, *table, *stats) })
 	case "serve":
-		err = serve(*dbDir, *metrics, *warm)
+		err = serve(*dbDir, *metrics, *warm, *logJSON)
 	case "explain":
 		err = withDB(*dbDir, func(db *codecdb.DB) error {
 			return explain(db, *table, wheres, *analyze, *stats)
+		})
+	case "trace":
+		err = withDB(*dbDir, func(db *codecdb.DB) error {
+			return traceCmd(db, *table, wheres, *out)
 		})
 	case "advise":
 		err = advise(*csvcol)
@@ -182,13 +189,98 @@ func scrub(db *codecdb.DB, table string, stats bool) error {
 		return nil
 	}
 	if table != "" {
-		return verify(table)
+		if err := verify(table); err != nil {
+			return err
+		}
+		printWriteHistograms()
+		return nil
 	}
 	for _, name := range db.TableNames() {
 		if err := verify(name); err != nil {
 			return err
 		}
 	}
+	printWriteHistograms()
+	return nil
+}
+
+// printWriteHistograms summarises the write-path latency histograms
+// accumulated in this process (WAL fsync barriers during ingest or
+// recovery, memtable flush durations). Quantiles are estimated by
+// linear interpolation inside the matching bucket. A freshly opened
+// read-only process reports n=0; ingesting processes (and `serve
+// -metrics` scrapes) carry the live distribution.
+func printWriteHistograms() {
+	printHistSummary("wal fsync", "codecdb_wal_fsync_seconds")
+	printHistSummary("flush", "codecdb_flush_seconds")
+}
+
+func printHistSummary(label, name string) {
+	h := codecdb.Metrics().FindHistogram(name)
+	if h == nil {
+		return
+	}
+	if h.Count() == 0 {
+		fmt.Printf("%-20s n=0 (no observations this process)\n", label)
+		return
+	}
+	fmt.Printf("%-20s n=%-6d mean=%-10s p50=%-10s p99=%s\n",
+		label, h.Count(), fmtSeconds(h.Mean()),
+		fmtSeconds(h.Quantile(0.5)), fmtSeconds(h.Quantile(0.99)))
+}
+
+func fmtSeconds(s float64) string {
+	return time.Duration(s * float64(time.Second)).Round(time.Microsecond).String()
+}
+
+// traceCmd executes a query under the tracer and writes its span tree —
+// the same tree ExplainAnalyze renders — as Chrome trace-event JSON
+// loadable in Perfetto (ui.perfetto.dev) or chrome://tracing.
+func traceCmd(db *codecdb.DB, table string, wheres whereFlags, out string) error {
+	if table == "" {
+		return fmt.Errorf("-table is required")
+	}
+	if out == "" {
+		out = "trace.json"
+	}
+	t, err := db.Table(table)
+	if err != nil {
+		return err
+	}
+	q := t.All()
+	for _, w := range wheres {
+		q = q.AndPred(w)
+	}
+	if err := q.Err(); err != nil {
+		return err
+	}
+	root, n, err := q.AnalyzeTrace()
+	if err != nil {
+		return err
+	}
+	// The traced run published a flight-recorder record whose TraceRoot
+	// is this tree; riding its identity and IO delta into the export
+	// gives the trace metadata the query ID that joins logs and metrics.
+	var rec *obs.QueryRecord
+	for _, r := range codecdb.FlightRecorder().Recent() {
+		if r.TraceRoot == root {
+			rec = r
+			break
+		}
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteChromeTrace(f, root, rec); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Print(root.Render())
+	fmt.Printf("%d rows matched; trace written to %s (open in ui.perfetto.dev or chrome://tracing)\n", n, out)
 	return nil
 }
 
@@ -255,6 +347,9 @@ func advise(csv string) error {
 // the model; a database opened with this model uses it for automatic
 // encoding selection.
 func train(out string, seed int64) error {
+	if out == "" {
+		out = "model.json"
+	}
 	fmt.Println("training encoding selector on the built-in corpus ...")
 	sel, err := codecdb.TrainDefaultSelector(seed)
 	if err != nil {
@@ -274,14 +369,17 @@ commands:
   schema  -db DIR -table T                show columns and encodings
   count   -db DIR -table T [-col C -eq V] count rows (optionally filtered)
           [-stats]                        ... and print page IO statistics
-  scrub   -db DIR [-table T] [-stats]     verify stored checksums
+  scrub   -db DIR [-table T] [-stats]     verify stored checksums (+ write-path latency histograms)
   explain -db DIR -table T                render the query plan in planned order
           [-where "col op value"]...      ... predicates (repeatable, ANDed)
           [-where "col in v1,v2"]         ... dictionary IN predicate
           [-where "a = x or b >= 2"]      ... " or "-joined disjunction
           [-analyze] [-stats]             ... execute and report per-operator stats
-  serve   -db DIR [-metrics :8080]        serve /metrics, /debug/vars, /debug/pprof
-          [-warm]                         ... pre-touch tables so counters are non-zero
+  trace   -db DIR -table T [-where ...]   execute under the tracer, write Chrome trace-event
+          [-out trace.json]               ... JSON (Perfetto / chrome://tracing)
+  serve   -db DIR [-metrics :8080]        serve /metrics, /debug/vars, /debug/pprof,
+          [-warm] [-log]                  /debug/queries{,/recent,/slow,/trace}, /healthz, /query;
+                                          -log emits structured JSON logs to stderr
   advise  -csvcol v1,v2,...               suggest an encoding for a column
   train   [-out model.json] [-seed N]     train the encoding selector`)
 	os.Exit(2)

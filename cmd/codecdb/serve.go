@@ -13,14 +13,30 @@ import (
 	"time"
 
 	"codecdb"
+	"codecdb/internal/obs"
 )
 
 // serve mounts the engine's observability endpoints over one database:
 // /metrics (Prometheus text exposition of the codecdb_* registry),
-// /debug/vars (the same registry published through expvar), and the
-// standard /debug/pprof profiling handlers. It blocks until interrupted.
-func serve(dir, addr string, warm bool) error {
-	return withDB(dir, func(db *codecdb.DB) error {
+// /debug/vars (the same registry published through expvar), the standard
+// /debug/pprof profiling handlers, the flight-recorder views
+// (/debug/queries live progress, /recent ring, /slow, /trace Perfetto
+// export), a /healthz readiness probe, and a /query endpoint that runs a
+// count so in-flight progress is observable. It blocks until interrupted.
+func serve(dir, addr string, warm, logJSON bool) error {
+	if dir == "" {
+		return fmt.Errorf("-db is required")
+	}
+	var opts codecdb.Options
+	if logJSON {
+		opts.Logger = codecdb.NewJSONLogger(os.Stderr)
+	}
+	db, err := codecdb.Open(dir, opts)
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+	return func(db *codecdb.DB) error {
 		if warm {
 			// Touch every table with a full count (moves the query
 			// counters) and a checksum scrub (reads every page, moving
@@ -54,12 +70,22 @@ func serve(dir, addr string, warm bool) error {
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 
+		fr := codecdb.FlightRecorder()
+		mux.HandleFunc("/debug/queries", fr.HandleInFlight)
+		mux.HandleFunc("/debug/queries/recent", fr.HandleRecent)
+		mux.HandleFunc("/debug/queries/slow", fr.HandleSlow)
+		mux.HandleFunc("/debug/queries/trace", fr.HandleTrace)
+		mux.HandleFunc("/healthz", obs.HealthzHandler(fr))
+		mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
+			serveQuery(db, w, r)
+		})
+
 		srv := &http.Server{Addr: addr, Handler: mux}
 		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 		defer stop()
 		errc := make(chan error, 1)
 		go func() { errc <- srv.ListenAndServe() }()
-		fmt.Printf("serving /metrics, /debug/vars, /debug/pprof on %s (tables: %s)\n",
+		fmt.Printf("serving /metrics, /debug/vars, /debug/pprof, /debug/queries{,/recent,/slow,/trace}, /healthz, /query on %s (tables: %s)\n",
 			addr, strings.Join(db.TableNames(), ", "))
 		select {
 		case err := <-errc:
@@ -69,7 +95,40 @@ func serve(dir, addr string, warm bool) error {
 		shutCtx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
 		defer cancel()
 		return srv.Shutdown(shutCtx)
-	})
+	}(db)
+}
+
+// serveQuery runs a count over ?table=T with repeatable ?where=
+// predicates (same grammar as the -where flag). While it executes, the
+// query is visible in /debug/queries with row-group progress; once done
+// it lands in /debug/queries/recent.
+func serveQuery(db *codecdb.DB, w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("table")
+	if name == "" {
+		http.Error(w, "table parameter is required", http.StatusBadRequest)
+		return
+	}
+	t, err := db.Table(name)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	q := t.All().WithContext(r.Context())
+	for _, s := range r.URL.Query()["where"] {
+		p, err := parseWhere(s)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		q = q.AndPred(p)
+	}
+	n, err := q.Count()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "%d\n", n)
 }
 
 // whereFlags collects repeatable -where flags, each parsed into a

@@ -74,6 +74,13 @@ type Options struct {
 	// Selector is a trained encoding selector (see TrainSelector); nil
 	// falls back to exhaustive selection on the head sample.
 	Selector *Selector
+	// Logger receives the engine's structured events — flush,
+	// quarantine, recovery, torn-tail truncation, slow queries — as one
+	// JSON-friendly record each, carrying the query/flush ID that joins
+	// logs with metrics and traces. Nil drops every event (the
+	// instrumented paths are nil-safe, like the tracer). Build one with
+	// NewJSONLogger or wrap an existing *slog.Logger with NewLogger.
+	Logger *Logger
 }
 
 // Open opens or creates a database at dir.
@@ -90,6 +97,7 @@ func Open(dir string, opts ...Options) (*DB, error) {
 		OperatorThreads: o.Threads,
 		DataThreads:     o.Threads,
 		Selector:        learned,
+		Logger:          o.Logger,
 	})
 	if err != nil {
 		return nil, err

@@ -44,6 +44,10 @@ type Options struct {
 	// real one. The seam the crash-injection tests and the beyond-RAM
 	// I/O benchmarks (simulated device latency) use.
 	FS vfs.FS
+	// Logger receives the engine's structured events (flush,
+	// quarantine, recovery, torn-tail truncation, slow queries). Nil
+	// drops them, mirroring the tracer's nil-safety.
+	Logger *obs.Logger
 }
 
 // DB is a CodecDB database: a directory of encoded column files plus the
@@ -116,6 +120,11 @@ func Open(dir string, opts Options) (*DB, error) {
 		if err := json.Unmarshal(raw, &db.catalog); err != nil {
 			return nil, fmt.Errorf("core: corrupt catalog: %w", err)
 		}
+	}
+	if opts.Logger != nil {
+		// The flight recorder emits slow-query events through the same
+		// injected logger, joining logs and records on the query ID.
+		obs.DefaultRecorder().SetLogger(opts.Logger)
 	}
 	return db, nil
 }

@@ -64,6 +64,12 @@ func (db *DB) openShardedLocked(name string, tm tableMeta) (*Table, error) {
 }
 
 func (db *DB) openShardTable(name string, tm tableMeta, opts shard.Options) (*Table, error) {
+	if opts.Name == "" {
+		opts.Name = name
+	}
+	if opts.Logger == nil {
+		opts.Logger = db.opts.Logger
+	}
 	cols := make([]shard.Column, len(tm.Columns))
 	for i, f := range tm.Columns {
 		ct, err := memTypeOf(f.Type)

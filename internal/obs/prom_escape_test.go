@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestEscapeLabelValue covers the Prometheus text-format 0.0.4 escaping
+// rules for label values: backslash, double-quote, and line feed must
+// be escaped; everything else (including Unicode and other control
+// characters) passes through untouched.
+func TestEscapeLabelValue(t *testing.T) {
+	cases := []struct {
+		name, in, want string
+	}{
+		{"plain", "snappy", "snappy"},
+		{"backslash", `C:\data\pages`, `C:\\data\\pages`},
+		{"quote", `say "hi"`, `say \"hi\"`},
+		{"newline", "line1\nline2", `line1\nline2`},
+		{"all three", "a\\b\"c\nd", `a\\b\"c\nd`},
+		{"consecutive", "\\\\\n\n\"\"", `\\\\\n\n\"\"`},
+		{"unicode untouched", "naïve—café", "naïve—café"},
+		{"tab untouched", "a\tb", "a\tb"},
+		{"empty", "", ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := EscapeLabelValue(tc.in); got != tc.want {
+				t.Fatalf("EscapeLabelValue(%q) = %q, want %q", tc.in, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestWritePromEscapedLabels registers series whose label values carry
+// every character the spec requires escaping and checks the exposition
+// output line by line: one HELP/TYPE header per family, each series on
+// one line (an unescaped newline would split it), values escaped.
+func TestWritePromEscapedLabels(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(SeriesName("esc_total", "codec", `snap\py`), "Escaping test.").Add(1)
+	r.Counter(SeriesName("esc_total", "codec", `quo"te`), "Escaping test.").Add(2)
+	r.Counter(SeriesName("esc_total", "codec", "two\nlines"), "Escaping test.").Add(3)
+	r.Histogram(SeriesName("esc_seconds", "path", `a\b"c`+"\n"), "Labeled histogram.",
+		[]float64{1}).Observe(0.5)
+
+	var b strings.Builder
+	if err := r.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	for _, want := range []string{
+		`esc_total{codec="snap\\py"} 1`,
+		`esc_total{codec="quo\"te"} 2`,
+		`esc_total{codec="two\nlines"} 3`,
+		`esc_seconds_bucket{path="a\\b\"c\n",le="1"} 1`,
+		`esc_seconds_bucket{path="a\\b\"c\n",le="+Inf"} 1`,
+		`esc_seconds_sum{path="a\\b\"c\n"} 0.5`,
+		`esc_seconds_count{path="a\\b\"c\n"} 1`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("exposition missing line %q\ngot:\n%s", want, out)
+		}
+	}
+	// The newline in the label value must not have split any line: every
+	// non-comment line is `name{labels} value`.
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if len(strings.Fields(line)) != 2 {
+			t.Errorf("malformed exposition line %q", line)
+		}
+	}
+	// One shared header per family despite three series.
+	if got := strings.Count(out, "# TYPE esc_total counter"); got != 1 {
+		t.Errorf("esc_total TYPE header appears %d times", got)
+	}
+	if got := strings.Count(out, "# TYPE esc_seconds histogram"); got != 1 {
+		t.Errorf("esc_seconds TYPE header appears %d times", got)
+	}
+}
+
+// TestHistogramQuantile pins the linear-interpolation estimate used by
+// the scrub summary display.
+func TestHistogramQuantile(t *testing.T) {
+	h := newHistogram([]float64{0.1, 0.2, 0.4})
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile must be 0")
+	}
+	// 10 observations in (0.1, 0.2]: the median interpolates halfway.
+	for i := 0; i < 10; i++ {
+		h.Observe(0.15)
+	}
+	if got := h.Quantile(0.5); got < 0.14 || got > 0.16 {
+		t.Fatalf("p50 = %v, want ≈0.15", got)
+	}
+	// Ranks past every finite bucket clamp to the highest finite bound.
+	h.Observe(99)
+	if got := h.Quantile(1); got != 0.4 {
+		t.Fatalf("p100 with +Inf tail = %v, want clamp to 0.4", got)
+	}
+	if got := h.Mean(); got < 9 || got > 10 {
+		t.Fatalf("mean = %v", got)
+	}
+}

@@ -92,6 +92,53 @@ func (h *Histogram) Count() int64 { return h.count.Load() }
 // Sum returns the sum of observations in seconds.
 func (h *Histogram) Sum() float64 { return float64(h.sumNanos.Load()) / 1e9 }
 
+// Mean returns the mean observation in seconds (0 when empty).
+func (h *Histogram) Mean() float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return h.Sum() / float64(n)
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) in seconds by linear
+// interpolation within the bucket the rank falls into, the same
+// estimate Prometheus' histogram_quantile computes. Returns 0 when the
+// histogram is empty; ranks landing in the +Inf bucket clamp to the
+// highest finite bound.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	cum := int64(0)
+	for i, bound := range h.bounds {
+		c := h.counts[i].Load()
+		if float64(cum+c) >= rank {
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			if c == 0 {
+				return bound
+			}
+			return lo + (bound-lo)*((rank-float64(cum))/float64(c))
+		}
+		cum += c
+	}
+	if len(h.bounds) > 0 {
+		return h.bounds[len(h.bounds)-1]
+	}
+	return 0
+}
+
 // metricKind tags registry entries for exposition.
 type metricKind int
 
@@ -152,6 +199,65 @@ func baseName(name string) string {
 	return name
 }
 
+// labelBody returns the inside of a name's literal label set
+// (`codec="snappy"` for `x{codec="snappy"}`), or "" when unlabeled.
+func labelBody(name string) string {
+	i := strings.IndexByte(name, '{')
+	if i < 0 {
+		return ""
+	}
+	body := name[i+1:]
+	return strings.TrimSuffix(body, "}")
+}
+
+// EscapeLabelValue escapes a label value per the Prometheus text
+// exposition format 0.0.4: backslash, double-quote, and line feed
+// become \\, \", and \n; everything else passes through untouched.
+func EscapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	b.Grow(len(v) + 4)
+	for i := 0; i < len(v); i++ {
+		switch v[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(v[i])
+		}
+	}
+	return b.String()
+}
+
+// SeriesName builds a metric name carrying a literal label set with
+// spec-escaped values: SeriesName("x_total", "codec", "snappy") returns
+// `x_total{codec="snappy"}`. Pairs are emitted in argument order; an
+// odd trailing key is ignored.
+func SeriesName(name string, kv ...string) string {
+	if len(kv) < 2 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i := 0; i+1 < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(kv[i])
+		b.WriteString(`="`)
+		b.WriteString(EscapeLabelValue(kv[i+1]))
+		b.WriteString(`"`)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
 func (r *Registry) register(name, help string, kind metricKind) *metric {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -198,6 +304,17 @@ func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
 		m.hist = newHistogram(buckets)
 	}
 	return m.hist
+}
+
+// FindHistogram returns the named histogram if one is registered, else
+// nil — for display paths (scrub) that summarize without registering.
+func (r *Registry) FindHistogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok && m.kind == kindHistogram {
+		return m.hist
+	}
+	return nil
 }
 
 // CounterFunc registers (or replaces) a counter whose value is read from
@@ -274,21 +391,38 @@ func (r *Registry) WriteProm(w io.Writer) error {
 
 func writePromHistogram(w io.Writer, m *metric) error {
 	h := m.hist
+	// A labeled histogram series merges its own labels with le; the
+	// _sum/_count series keep the label set as-is.
+	labels := labelBody(m.name)
+	bucket := func(le string, cum int64) error {
+		if labels != "" {
+			_, err := fmt.Fprintf(w, "%s_bucket{%s,le=\"%s\"} %d\n", m.base, labels, le, cum)
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", m.base, le, cum)
+		return err
+	}
+	suffixed := func(suffix string) string {
+		if labels != "" {
+			return m.base + suffix + "{" + labels + "}"
+		}
+		return m.base + suffix
+	}
 	cum := int64(0)
 	for i, b := range h.bounds {
 		cum += h.counts[i].Load()
-		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", m.base, formatFloat(b), cum); err != nil {
+		if err := bucket(EscapeLabelValue(formatFloat(b)), cum); err != nil {
 			return err
 		}
 	}
 	cum += h.counts[len(h.bounds)].Load()
-	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", m.base, cum); err != nil {
+	if err := bucket("+Inf", cum); err != nil {
 		return err
 	}
-	if _, err := fmt.Fprintf(w, "%s_sum %s\n", m.base, formatFloat(h.Sum())); err != nil {
+	if _, err := fmt.Fprintf(w, "%s %s\n", suffixed("_sum"), formatFloat(h.Sum())); err != nil {
 		return err
 	}
-	_, err := fmt.Fprintf(w, "%s_count %d\n", m.base, h.Count())
+	_, err := fmt.Fprintf(w, "%s %d\n", suffixed("_count"), h.Count())
 	return err
 }
 

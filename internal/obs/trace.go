@@ -138,6 +138,14 @@ func (s *Span) Name() string {
 	return s.name
 }
 
+// Start returns the span's start time (zero on nil).
+func (s *Span) Start() time.Time {
+	if s == nil {
+		return time.Time{}
+	}
+	return s.start
+}
+
 // Duration returns the recorded wall time.
 func (s *Span) Duration() time.Duration {
 	if s == nil {

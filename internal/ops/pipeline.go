@@ -45,6 +45,27 @@ const (
 	TermSumFloat
 )
 
+// String names the terminal for display (flight recorder, debug pages).
+func (t TermKind) String() string {
+	switch t {
+	case TermCount:
+		return "Count"
+	case TermRowIDs:
+		return "RowIDs"
+	case TermInts:
+		return "Ints"
+	case TermFloats:
+		return "Floats"
+	case TermStrings:
+		return "Strings"
+	case TermGroupCount:
+		return "GroupCount"
+	case TermSumFloat:
+		return "SumFloat"
+	}
+	return "?"
+}
+
 // PipelineResult carries whichever output the terminal produced; Count is
 // always the selected-row cardinality.
 type PipelineResult struct {
@@ -448,6 +469,19 @@ func (p *pipeline) run(ctx context.Context) (*PipelineResult, error) {
 		// Release a row group's staged pages the moment its morsel
 		// finishes, so the budget recycles into lookahead.
 		hooks.OnDone = f.FinishGroup
+	}
+	if lq := obs.QueryFrom(ctx); lq != nil {
+		// Flight-recorder progress: the live entry learns the scan size
+		// here and ticks per finished morsel. One atomic add per morsel;
+		// queries outside a recorded terminal skip the whole block.
+		lq.AddMorsels(n, nw)
+		prev := hooks.OnDone
+		hooks.OnDone = func(m int) {
+			if prev != nil {
+				prev(m)
+			}
+			lq.MorselDone()
+		}
 	}
 	workers, err := exec.ParallelMorselsHooked(ctx, p.pool, n,
 		p.newWorker,
@@ -894,6 +928,18 @@ func runPipelineTraced(ctx context.Context, sp *obs.Span, r *colstore.Reader, po
 	child.AddIO(ioDelta(ioBefore, ioAfter))
 	child.AddTasks(pool.Completed() - tasksBefore)
 	child.End()
+	if lq := obs.QueryFrom(ctx); lq != nil && p != nil {
+		// Traced runs carry per-stage IO taps; total their wait and
+		// decompress time into the live entry so the finished record can
+		// split wall time into wait/decompress/scan.
+		var wait, dec int64
+		for i := 0; i <= len(p.leaves); i++ {
+			tap := p.mergedIOTap(i)
+			wait += tap.WaitNanos
+			dec += tap.DecompressNanos
+		}
+		lq.AddIOTimes(wait, dec)
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -26,6 +26,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"codecdb/internal/colstore"
 	"codecdb/internal/memtable"
@@ -41,6 +42,9 @@ var (
 		"codecdb_flush_rows_total", "Rows moved from memtables into shards by flushes.")
 	quarantinedTotal = obs.Default().Counter(
 		"codecdb_quarantined_shards_total", "Shards quarantined at open after failing verification.")
+	flushSeconds = obs.Default().Histogram(
+		"codecdb_flush_seconds",
+		"Flush duration (encode, publish, manifest, trim) in seconds.", nil)
 )
 
 // FlushFunc encodes one sealed memtable into a column shard file at
@@ -59,6 +63,12 @@ type Options struct {
 	// quarantines failures; skipping trades open latency for detecting
 	// page-level damage only when a query touches it.
 	SkipVerifyOnOpen bool
+	// Name labels the table in structured log events and flight-recorder
+	// records; "" falls back to the directory base name.
+	Name string
+	// Logger receives one structured event per flush, quarantine,
+	// recovery, and torn-tail truncation; nil drops them (nil-safe).
+	Logger *obs.Logger
 }
 
 func (o Options) withDefaults() Options {
@@ -66,6 +76,25 @@ func (o Options) withDefaults() Options {
 		o.SealBytes = memtable.DefaultSealBytes
 	}
 	return o
+}
+
+// name labels the table for logs and records.
+func (t *Table) name() string {
+	if t.opts.Name != "" {
+		return t.opts.Name
+	}
+	return t.dir[strings.LastIndexByte(t.dir, '/')+1:]
+}
+
+// logger returns the injected structured logger (nil drops events).
+func (t *Table) logger() *obs.Logger { return t.opts.Logger }
+
+// liveID returns a live entry's ID, 0 when the recorder is off.
+func liveID(lq *obs.LiveQuery) uint64 {
+	if lq == nil {
+		return 0
+	}
+	return lq.ID
 }
 
 // QuarantinedShard names a manifest shard that failed verification at
@@ -175,6 +204,8 @@ func (t *Table) openShards() error {
 		if err != nil {
 			t.quarantined = append(t.quarantined, QuarantinedShard{File: sm.File, Err: err.Error()})
 			quarantinedTotal.Inc()
+			t.logger().Error("shard quarantined",
+				"table", t.name(), "shard", sm.File, "err", err.Error())
 			continue
 		}
 		t.shards = append(t.shards, &shardHandle{meta: sm, r: r})
@@ -183,11 +214,42 @@ func (t *Table) openShards() error {
 }
 
 // recover sweeps crash debris and replays the WAL tail into the
-// memtable.
+// memtable, recording the pass in the flight recorder and logging a
+// summary (plus one event per torn tail) when a logger is injected.
 func (t *Table) recover() error {
+	fr := obs.DefaultRecorder()
+	lq := fr.Begin(obs.KindRecovery, t.name(), "Recovery", "")
+	start := time.Now()
+	st, err := t.recoverWAL(lq)
+	rec := &obs.QueryRecord{
+		Wall:    time.Since(start),
+		RowsIn:  int64(st.records),
+		RowsOut: int64(st.records),
+	}
+	if err != nil {
+		rec.Err = err.Error()
+	}
+	fr.Finish(lq, rec)
+	if err == nil && st.segments > 0 {
+		t.logger().Info("recovery",
+			"id", liveID(lq), "table", t.name(),
+			"segments", st.segments, "records", st.records, "torn", st.torn)
+	}
+	return err
+}
+
+// recoverStats summarizes one recovery pass.
+type recoverStats struct {
+	segments int // WAL segments replayed
+	records  int // records restored into the memtable
+	torn     int // segments truncated at a torn tail
+}
+
+func (t *Table) recoverWAL(lq *obs.LiveQuery) (recoverStats, error) {
+	var st recoverStats
 	entries, err := t.fs.ReadDir(t.dir)
 	if err != nil {
-		return err
+		return st, err
 	}
 	live := make(map[string]bool, len(t.man.Shards))
 	for _, sm := range t.man.Shards {
@@ -236,9 +298,16 @@ func (t *Table) recover() error {
 			return aerr
 		})
 		if err != nil && err != errStopReplay {
-			return fmt.Errorf("shard: replay %s: %w", wal.SegmentName(seq), err)
+			return st, fmt.Errorf("shard: replay %s: %w", wal.SegmentName(seq), err)
 		}
-		_ = res
+		st.segments++
+		st.records += res.Records
+		if res.Torn {
+			st.torn++
+			t.logger().Warn("wal torn tail truncated",
+				"id", liveID(lq), "table", t.name(),
+				"segment", wal.SegmentName(seq), "offset", res.TornAt)
+		}
 	}
 
 	// Fresh active segment after everything seen; the replayed rows sit
@@ -246,12 +315,12 @@ func (t *Table) recover() error {
 	newSeq := maxSeen + 1
 	w, err := wal.Create(t.fs, join(t.dir, wal.SegmentName(newSeq)), newSeq)
 	if err != nil {
-		return fmt.Errorf("shard: create wal segment: %w", err)
+		return st, fmt.Errorf("shard: create wal segment: %w", err)
 	}
 	t.w, t.walSeq = w, newSeq
 	t.activeStart = t.man.WalFloor
 	t.trimmedTo = t.man.WalFloor // recovery just swept everything below
-	return nil
+	return st, nil
 }
 
 // errStopReplay aborts one segment's replay without failing recovery.
@@ -399,11 +468,40 @@ func (t *Table) flusher() {
 	}
 }
 
-// flushOne encodes one sealed memtable into a shard, publishes it by
+// flushOne runs one flush under a flight-recorder entry: the flush gets
+// a process-wide ID, its duration lands in the flush histogram, its
+// span tree is kept on the completed record, and one structured log
+// event reports the outcome.
+func (t *Table) flushOne(e sealedEntry) error {
+	rows := int64(e.mem.NumRows())
+	fr := obs.DefaultRecorder()
+	lq := fr.Begin(obs.KindFlush, t.name(), "Flush", "")
+	start := time.Now()
+	sp, file, err := t.flushShard(e, liveID(lq))
+	d := time.Since(start)
+	flushSeconds.Observe(d.Seconds())
+	rec := &obs.QueryRecord{Wall: d, RowsIn: rows, RowsOut: rows, TraceRoot: sp}
+	if err != nil {
+		rec.Err = err.Error()
+		rec.RowsOut = 0
+	}
+	fr.Finish(lq, rec)
+	if err != nil {
+		t.logger().Error("flush failed",
+			"id", liveID(lq), "table", t.name(), "rows", rows, "err", err.Error())
+		return err
+	}
+	t.logger().Info("flush",
+		"id", liveID(lq), "table", t.name(), "shard", file,
+		"rows", rows, "duration", d)
+	return nil
+}
+
+// flushShard encodes one sealed memtable into a shard, publishes it by
 // rename, commits the manifest, and trims dead WAL segments. Traced as
 // a Flush span (Encode → Publish → Manifest → Trim) retrievable via
 // LastFlushTrace.
-func (t *Table) flushOne(e sealedEntry) error {
+func (t *Table) flushShard(e sealedEntry, id uint64) (*obs.Span, string, error) {
 	sp := obs.NewSpan("Flush")
 	sp.SetRows(int64(e.mem.NumRows()), int64(e.mem.NumRows()))
 
@@ -421,7 +519,7 @@ func (t *Table) flushOne(e sealedEntry) error {
 	if err != nil {
 		t.fs.Remove(tmp) // best effort; recovery sweeps leftovers anyway
 		sp.End()
-		return fmt.Errorf("shard: encode %s: %w", file, err)
+		return sp, file, fmt.Errorf("shard: encode %s: %w", file, err)
 	}
 
 	pub := sp.StartChild("Publish")
@@ -436,7 +534,7 @@ func (t *Table) flushOne(e sealedEntry) error {
 	pub.End()
 	if err != nil {
 		sp.End()
-		return fmt.Errorf("shard: publish %s: %w", file, err)
+		return sp, file, fmt.Errorf("shard: publish %s: %w", file, err)
 	}
 
 	// The manifest's new WAL floor: the oldest segment any still-unflushed
@@ -464,7 +562,7 @@ func (t *Table) flushOne(e sealedEntry) error {
 	if err != nil {
 		r.Close()
 		sp.End()
-		return fmt.Errorf("shard: manifest: %w", err)
+		return sp, file, fmt.Errorf("shard: manifest: %w", err)
 	}
 
 	// Trim dead segments. The manifest is already durable, so failure is
@@ -498,11 +596,11 @@ func (t *Table) flushOne(e sealedEntry) error {
 	flushRowsTotal.Add(int64(e.mem.NumRows()))
 	if obs.EventsEnabled() {
 		obs.Emit("flush", map[string]any{
-			"shard": file, "rows": e.mem.NumRows(), "wal_floor": floor,
-			"encodings": encodings, "manifest_seq": newMan.Seq,
+			"flush_id": id, "shard": file, "rows": e.mem.NumRows(),
+			"wal_floor": floor, "encodings": encodings, "manifest_seq": newMan.Seq,
 		})
 	}
-	return nil
+	return sp, file, nil
 }
 
 // LastFlushTrace returns the rendered span tree of the most recent

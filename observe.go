@@ -1,7 +1,8 @@
 package codecdb
 
 import (
-	"fmt"
+	"io"
+	"log/slog"
 
 	"codecdb/internal/colstore"
 	"codecdb/internal/exec"
@@ -67,10 +68,13 @@ func init() {
 
 	for i, cs := range xcompress.DecompressStats() {
 		idx := i
-		r.CounterFunc(fmt.Sprintf("codecdb_codec_decompressions_total{codec=%q}", cs.Codec),
+		// SeriesName escapes the label value per text-format 0.0.4
+		// (fmt's %q escapes Go-style, which diverges from the spec on
+		// control characters).
+		r.CounterFunc(obs.SeriesName("codecdb_codec_decompressions_total", "codec", cs.Codec),
 			"Decompression calls per codec.",
 			func() float64 { return float64(xcompress.DecompressStats()[idx].Decompressions) })
-		r.CounterFunc(fmt.Sprintf("codecdb_codec_decompressed_bytes_total{codec=%q}", cs.Codec),
+		r.CounterFunc(obs.SeriesName("codecdb_codec_decompressed_bytes_total", "codec", cs.Codec),
 			"Decompressed output bytes per codec.",
 			func() float64 { return float64(xcompress.DecompressStats()[idx].DecompressedBytes) })
 	}
@@ -80,3 +84,14 @@ func init() {
 // callers that want to serve or snapshot the engine's counters without
 // the codecdb serve command.
 func Metrics() *obs.Registry { return obs.Default() }
+
+// Logger is the engine's nil-safe structured logger (a thin wrapper
+// over log/slog). Inject one via Options.Logger to receive flush,
+// quarantine, recovery, torn-tail, and slow-query events.
+type Logger = obs.Logger
+
+// NewJSONLogger returns a Logger emitting one JSON object per line.
+func NewJSONLogger(w io.Writer) *Logger { return obs.NewJSONLogger(w) }
+
+// NewLogger wraps an existing slog logger.
+func NewLogger(s *slog.Logger) *Logger { return obs.NewLogger(s) }

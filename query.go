@@ -277,12 +277,20 @@ func (q *Query) plan() (*ops.Plan, error) {
 }
 
 // eval plans and runs the predicate pipeline, observing the per-query
-// metrics (count + latency histogram) around it.
+// metrics (count + latency histogram) and the flight recorder around it.
 func (q *Query) eval() (*bitutil.SectionalBitmap, error) {
 	start := time.Now()
-	sel, err := q.evalFilters()
+	ctx, fin := q.record(q.context(), "Eval[legacy]")
+	cp := q.clone()
+	cp.ctx = ctx
+	sel, err := cp.evalFilters()
 	queriesTotal.Inc()
 	queryLatency.Observe(time.Since(start).Seconds())
+	var out int64
+	if sel != nil {
+		out = int64(sel.Cardinality())
+	}
+	fin(out, err)
 	return sel, err
 }
 
@@ -340,7 +348,7 @@ func (q *Query) planTraced(ctx context.Context) (*ops.Plan, error) {
 // one terminal, observing the per-query metrics (count + latency
 // histogram) around the whole evaluation. A query with no predicate runs
 // the terminal over every row (nil plan).
-func (q *Query) run(term ops.TermKind, col string) (*ops.PipelineResult, error) {
+func (q *Query) run(term ops.TermKind, col string) (res *ops.PipelineResult, err error) {
 	if q.err != nil {
 		return nil, q.err
 	}
@@ -352,13 +360,18 @@ func (q *Query) run(term ops.TermKind, col string) (*ops.PipelineResult, error) 
 		return nil, err
 	}
 	start := time.Now()
+	ctx, fin := q.record(ctx, term.String())
 	defer func() {
 		queriesTotal.Inc()
 		queryLatency.Observe(time.Since(start).Seconds())
+		var out int64
+		if res != nil {
+			out = res.Count
+		}
+		fin(out, err)
 	}()
 	var pl *ops.Plan
 	if len(q.conjuncts) > 0 {
-		var err error
 		pl, err = q.planTraced(ctx)
 		if err != nil {
 			return nil, err

@@ -1,0 +1,77 @@
+package codecdb
+
+import (
+	"testing"
+)
+
+// Guards for the flight recorder's bounded-overhead promise, mirroring
+// the tracer guard in obs_guard_test.go: with the recorder on (the
+// production default), an untraced query pays a small constant number
+// of allocations over a recorder-off run — and that constant must not
+// scale with the number of morsels, i.e. the per-morsel hot path
+// (progress hooks, context lookup) allocates nothing.
+
+// recorderAllocDelta measures allocs/op of a two-conjunct count with
+// the recorder on minus recorder off.
+func recorderAllocDelta(t testing.TB, tbl *Table) float64 {
+	fr := FlightRecorder()
+	run := func() {
+		if _, err := tbl.Where("v", Lt, 10).Count(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run() // warm lazily-initialised state under both modes
+	fr.SetEnabled(false)
+	defer fr.SetEnabled(true)
+	run()
+	off := testing.AllocsPerRun(50, run)
+	fr.SetEnabled(true)
+	run()
+	on := testing.AllocsPerRun(50, run)
+	return on - off
+}
+
+func TestQueryRecorderConstantAllocOverhead(t *testing.T) {
+	small := loadSerial(t, "fr_guard_small", 1024, 1024) // 1 morsel
+	large := loadSerial(t, "fr_guard_large", 8192, 1024) // 8 morsels
+
+	dSmall := recorderAllocDelta(t, small)
+	dLarge := recorderAllocDelta(t, large)
+
+	// The recorder's per-query cost: LiveQuery + context + record +
+	// finish closure — a small constant.
+	const maxPerQuery = 24.0
+	if dSmall > maxPerQuery || dLarge > maxPerQuery {
+		t.Fatalf("recorder adds %.1f (1 morsel) / %.1f (8 morsels) allocs/query, want <= %.0f",
+			dSmall, dLarge, maxPerQuery)
+	}
+	// Zero extra allocs on the per-morsel path: eight times the morsels
+	// must not grow the delta beyond measurement jitter.
+	if dLarge-dSmall > 4 {
+		t.Fatalf("recorder overhead scales with morsels: %.1f allocs at 1 morsel, %.1f at 8",
+			dSmall, dLarge)
+	}
+}
+
+// BenchmarkQueryRecorder measures the end-to-end cost of the always-on
+// recorder around a short count: Off is the recorder disabled, On is
+// the production default. bench-obs records both sections in
+// BENCH_PR3.json so the overhead stays visible across PRs.
+func BenchmarkQueryRecorder(b *testing.B) {
+	tbl := loadSerial(b, "fr_bench", 65536, 8192)
+	fr := FlightRecorder()
+	run := func(on bool) func(b *testing.B) {
+		return func(b *testing.B) {
+			fr.SetEnabled(on)
+			defer fr.SetEnabled(true)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := tbl.Where("v", Lt, 1000).Count(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.Run("Off", run(false))
+	b.Run("On", run(true))
+}

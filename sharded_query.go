@@ -130,15 +130,21 @@ func validateShardedPred(cols []shard.Column, p Pred) error {
 
 // runSharded is the sharded counterpart of Query.run: same terminals,
 // same metrics, results merged across the snapshot.
-func (q *Query) runSharded(term ops.TermKind, col string) (*ops.PipelineResult, error) {
+func (q *Query) runSharded(term ops.TermKind, col string) (res *ops.PipelineResult, err error) {
 	ctx := q.context()
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	start := time.Now()
+	ctx, fin := q.record(ctx, term.String())
 	defer func() {
 		queriesTotal.Inc()
 		queryLatency.Observe(time.Since(start).Seconds())
+		var out int64
+		if res != nil {
+			out = res.Count
+		}
+		fin(out, err)
 	}()
 	view := q.t.inner.S.Snapshot()
 	root := AllOf(q.conjuncts...)
@@ -381,7 +387,7 @@ func compileTailKids(mem *memtable.ColumnTable, preds []Pred) ([]func(int) bool,
 // use the array-aggregation fast path; others fall back to gathering
 // the selected values. Labels render identically on both paths, so the
 // maps merge cleanly.
-func (q *Query) groupCountSharded(col string) (map[string]int64, error) {
+func (q *Query) groupCountSharded(col string) (counts map[string]int64, err error) {
 	if q.err != nil {
 		return nil, q.err
 	}
@@ -408,13 +414,19 @@ func (q *Query) groupCountSharded(col string) (map[string]int64, error) {
 		return nil, fmt.Errorf("codecdb: no column %q", col)
 	}
 	start := time.Now()
+	ctx, fin := q.record(ctx, ops.TermGroupCount.String())
 	defer func() {
 		queriesTotal.Inc()
 		queryLatency.Observe(time.Since(start).Seconds())
+		var out int64
+		for _, n := range counts {
+			out += n
+		}
+		fin(out, err)
 	}()
 	view := q.t.inner.S.Snapshot()
 	root := AllOf(q.conjuncts...)
-	counts := map[string]int64{}
+	counts = map[string]int64{}
 	for _, sv := range view.Shards {
 		if err := q.groupCountShard(ctx, sv.Reader, root, col, isInt, counts); err != nil {
 			return nil, err
