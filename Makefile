@@ -1,14 +1,14 @@
 GO ?= go
 
-.PHONY: check build test vet race race-obs race-pipeline race-prefetch crash guard-obs fuzz bench bench-obs bench-planner bench-planner-smoke bench-pipeline bench-scale serve-demo
+.PHONY: check build test vet race race-obs race-pipeline race-prefetch race-serve crash guard-obs fuzz bench bench-obs bench-planner bench-planner-smoke bench-pipeline bench-scale bench-serve serve-demo
 
 # check is the tier-1 verification gate: everything must compile, pass
 # vet, and pass the full test suite under the race detector, with the
-# observability-layer, morsel-executor, and prefetch race tests called
-# out explicitly, the crash-point matrix for the durable write path,
-# the observability overhead guards, plus one iteration of the planner
-# pipeline benchmark as a smoke test.
-check: vet build race race-obs race-pipeline race-prefetch crash guard-obs bench-planner-smoke
+# observability-layer, morsel-executor, prefetch, and serving-layer
+# race tests called out explicitly, the crash-point matrix for the
+# durable write path, the observability overhead guards, plus one
+# iteration of the planner pipeline benchmark as a smoke test.
+check: vet build race race-obs race-pipeline race-prefetch race-serve crash guard-obs bench-planner-smoke
 
 build:
 	$(GO) build ./...
@@ -52,6 +52,15 @@ race-pipeline:
 race-prefetch:
 	$(GO) test -race -count=1 -run 'TestPrefetch' .
 	$(GO) test -race -count=1 -run 'TestPrefetch' ./internal/colstore/
+
+# race-serve focuses the race detector on the serving layer: admission
+# control (concurrent acquire/release/timeout/cancel against the
+# round-robin dispatcher), the wave batcher (concurrent clients group-
+# committing onto shared scans), the result cache, and the root wave /
+# exec-options / page-cache API tests.
+race-serve:
+	$(GO) test -race -count=1 ./internal/serve/
+	$(GO) test -race -count=1 -run 'TestWave|TestEpoch|TestWithExec|TestPageCacheOption' .
 
 # crash runs the write-path fault-injection suite under the race
 # detector: the crash-point matrix (every write-side filesystem
@@ -122,6 +131,16 @@ bench-scale:
 		| $(GO) run ./cmd/benchjson -o $(SCALEBENCHOUT) -section swar-lanes
 	$(GO) test -run xxx -bench BenchmarkParallelDictReaders -cpu 1,4 ./internal/colstore/ \
 		| $(GO) run ./cmd/benchjson -o $(SCALEBENCHOUT) -section dict-readers
+
+# bench-serve writes BENCH_PR9.json: K=1/8/64 concurrent clients
+# looping mixed terminals through the full serving path (admission,
+# wave batching, page cache), reporting p50/p99 latency, the shed
+# rate, and pages read per request — the sharing signal is
+# pagesRead/req falling as K grows while each wave stays one scan.
+SERVEBENCHOUT ?= BENCH_PR9.json
+bench-serve:
+	$(GO) test -run xxx -bench BenchmarkServeConcurrency -benchtime 50x ./internal/serve/ \
+		| $(GO) run ./cmd/benchjson -o $(SERVEBENCHOUT) -section current
 
 # bench-planner-smoke runs one iteration of each planner pipeline
 # benchmark (they self-check counts, so this doubles as a correctness

@@ -40,6 +40,12 @@ func main() {
 	stats := fs.Bool("stats", false, "print page-level IO statistics")
 	metrics := fs.String("metrics", ":8080", "listen address for /metrics, /debug/vars, /debug/pprof")
 	warm := fs.Bool("warm", false, "run one full count per table before serving so counters are non-zero")
+	pageCache := fs.Int64("page-cache", 256<<20, "serve: decompressed-page cache budget in bytes (0 disables)")
+	resultCache := fs.Int64("result-cache", 64<<20, "serve: result cache budget in bytes (0 disables)")
+	admitConcurrent := fs.Int("admit-concurrent", 0, "serve: max concurrently executing queries (0 = 4)")
+	admitQueued := fs.Int("admit-queued", 0, "serve: max queued queries before shedding (0 = 64)")
+	admitMemory := fs.Int64("admit-memory", 0, "serve: admitted-query memory budget in bytes (0 = 1GiB)")
+	admitWait := fs.Duration("admit-wait", 0, "serve: max admission queue wait (0 = 2s)")
 	logJSON := fs.Bool("log", false, "emit structured JSON logs (flush, recovery, slow queries) to stderr")
 	analyze := fs.Bool("analyze", false, "execute the query and report per-operator stats")
 	var wheres whereFlags
@@ -99,7 +105,14 @@ func main() {
 	case "scrub":
 		err = withDB(*dbDir, func(db *codecdb.DB) error { return scrub(db, *table, *stats) })
 	case "serve":
-		err = serve(*dbDir, *metrics, *warm, *logJSON)
+		err = serve(*dbDir, *metrics, *warm, *logJSON, serveConfig{
+			pageCacheBytes:   *pageCache,
+			resultCacheBytes: *resultCache,
+			admitConcurrent:  *admitConcurrent,
+			admitQueued:      *admitQueued,
+			admitMemory:      *admitMemory,
+			admitWait:        *admitWait,
+		})
 	case "explain":
 		err = withDB(*dbDir, func(db *codecdb.DB) error {
 			return explain(db, *table, wheres, *analyze, *stats)
@@ -377,9 +390,12 @@ commands:
           [-analyze] [-stats]             ... execute and report per-operator stats
   trace   -db DIR -table T [-where ...]   execute under the tracer, write Chrome trace-event
           [-out trace.json]               ... JSON (Perfetto / chrome://tracing)
-  serve   -db DIR [-metrics :8080]        serve /metrics, /debug/vars, /debug/pprof,
-          [-warm] [-log]                  /debug/queries{,/recent,/slow,/trace}, /healthz, /query;
-                                          -log emits structured JSON logs to stderr
+  serve   -db DIR [-metrics :8080]        serve POST /v1/query (JSON query API with admission
+          [-warm] [-log]                  control, shared scans, result cache), /metrics,
+          [-page-cache N] [-result-cache N]  /debug/vars, /debug/pprof, /debug/queries{,/recent,
+          [-admit-concurrent N]           /slow,/trace}, /healthz, and the deprecated GET /query;
+          [-admit-queued N]               -log emits structured JSON logs to stderr
+          [-admit-memory N] [-admit-wait D]
   advise  -csvcol v1,v2,...               suggest an encoding for a column
   train   [-out model.json] [-seed N]     train the encoding selector`)
 	os.Exit(2)

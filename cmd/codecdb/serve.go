@@ -14,20 +14,33 @@ import (
 
 	"codecdb"
 	"codecdb/internal/obs"
+	qserve "codecdb/internal/serve"
 )
 
-// serve mounts the engine's observability endpoints over one database:
-// /metrics (Prometheus text exposition of the codecdb_* registry),
-// /debug/vars (the same registry published through expvar), the standard
-// /debug/pprof profiling handlers, the flight-recorder views
-// (/debug/queries live progress, /recent ring, /slow, /trace Perfetto
-// export), a /healthz readiness probe, and a /query endpoint that runs a
-// count so in-flight progress is observable. It blocks until interrupted.
-func serve(dir, addr string, warm, logJSON bool) error {
+// serveConfig carries the serving-layer tunables from the command line.
+type serveConfig struct {
+	pageCacheBytes   int64
+	resultCacheBytes int64
+	admitConcurrent  int
+	admitQueued      int
+	admitMemory      int64
+	admitWait        time.Duration
+}
+
+// serve mounts the multi-user query API and the engine's observability
+// endpoints over one database: POST /v1/query (the versioned JSON query
+// API with admission control, cooperative shared scans, and the result
+// cache), the deprecated GET /query alias, /metrics (Prometheus text
+// exposition of the codecdb_* registry), /debug/vars (the same registry
+// published through expvar), the standard /debug/pprof profiling
+// handlers, the flight-recorder views (/debug/queries live progress,
+// /recent ring, /slow, /trace Perfetto export), and a /healthz
+// readiness probe. It blocks until interrupted.
+func serve(dir, addr string, warm, logJSON bool, sc serveConfig) error {
 	if dir == "" {
 		return fmt.Errorf("-db is required")
 	}
-	var opts codecdb.Options
+	opts := codecdb.Options{PageCacheBytes: sc.pageCacheBytes}
 	if logJSON {
 		opts.Logger = codecdb.NewJSONLogger(os.Stderr)
 	}
@@ -76,7 +89,23 @@ func serve(dir, addr string, warm, logJSON bool) error {
 		mux.HandleFunc("/debug/queries/slow", fr.HandleSlow)
 		mux.HandleFunc("/debug/queries/trace", fr.HandleTrace)
 		mux.HandleFunc("/healthz", obs.HealthzHandler(fr))
+
+		api := qserve.New(db, qserve.Config{
+			Admit: qserve.AdmitConfig{
+				MaxConcurrent: sc.admitConcurrent,
+				MaxQueued:     sc.admitQueued,
+				MaxMemory:     sc.admitMemory,
+				MaxWait:       sc.admitWait,
+			},
+			ResultCacheBytes: sc.resultCacheBytes,
+		})
+		defer api.Close()
+		api.Register(mux)
+		// The pre-v1 count endpoint survives as a deprecated alias; new
+		// clients should POST /v1/query.
 		mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Deprecation", "true")
+			w.Header().Set("Link", `</v1/query>; rel="successor-version"`)
 			serveQuery(db, w, r)
 		})
 
@@ -85,7 +114,7 @@ func serve(dir, addr string, warm, logJSON bool) error {
 		defer stop()
 		errc := make(chan error, 1)
 		go func() { errc <- srv.ListenAndServe() }()
-		fmt.Printf("serving /metrics, /debug/vars, /debug/pprof, /debug/queries{,/recent,/slow,/trace}, /healthz, /query on %s (tables: %s)\n",
+		fmt.Printf("serving /v1/query, /metrics, /debug/vars, /debug/pprof, /debug/queries{,/recent,/slow,/trace}, /healthz, /query (deprecated) on %s (tables: %s)\n",
 			addr, strings.Join(db.TableNames(), ", "))
 		select {
 		case err := <-errc:

@@ -38,7 +38,9 @@ import (
 	"codecdb/internal/colstore"
 	"codecdb/internal/core"
 	"codecdb/internal/encoding"
+	"codecdb/internal/memtable"
 	"codecdb/internal/selector"
+	"codecdb/internal/vfs"
 )
 
 // CorruptionError is the typed error readers return when stored data fails
@@ -81,6 +83,17 @@ type Options struct {
 	// instrumented paths are nil-safe, like the tracer). Build one with
 	// NewJSONLogger or wrap an existing *slog.Logger with NewLogger.
 	Logger *Logger
+	// PageCacheBytes, when positive, sizes a byte-budgeted cache of
+	// decompressed page bodies shared by every table this DB opens:
+	// repeat scans of hot pages skip both the read and the decompress.
+	// Zero disables it (the historical default). The serving layer turns
+	// this on so concurrent queries over the same table decompress each
+	// page once.
+	PageCacheBytes int64
+	// FS routes every file the engine touches through a virtual
+	// filesystem; nil selects the real one. Test seam for fault and
+	// latency injection (see internal/vfs.FaultFS).
+	FS vfs.FS
 }
 
 // Open opens or creates a database at dir.
@@ -98,6 +111,8 @@ func Open(dir string, opts ...Options) (*DB, error) {
 		DataThreads:     o.Threads,
 		Selector:        learned,
 		Logger:          o.Logger,
+		FS:              o.FS,
+		PageCacheBytes:  o.PageCacheBytes,
 	})
 	if err != nil {
 		return nil, err
@@ -242,6 +257,37 @@ func (t *Table) Columns() []string {
 	return out
 }
 
+// ColumnType reports a column's logical type name — "INT64", "FLOAT64",
+// or "STRING" — and whether the column exists. Terminal validation
+// (SumFloat needs FLOAT64, GroupCount needs a dictionary column) keys
+// off this, so callers building requests dynamically can check up front.
+func (t *Table) ColumnType(col string) (string, bool) {
+	if t.inner.S != nil {
+		for _, c := range t.inner.S.Cols() {
+			if c.Name != col {
+				continue
+			}
+			switch c.Type {
+			case memtable.ColInt64:
+				return "INT64", true
+			case memtable.ColFloat64:
+				return "FLOAT64", true
+			case memtable.ColBinary:
+				return "STRING", true
+			}
+			return "", false
+		}
+		return "", false
+	}
+	s := t.inner.R.Schema()
+	for i := range s.Columns {
+		if s.Columns[i].Name == col {
+			return s.Columns[i].Type.String(), true
+		}
+	}
+	return "", false
+}
+
 // IOStats is a snapshot of a table reader's IO instrumentation: pages
 // fetched, pages pruned by page-level zone maps (never fetched), pages
 // skipped by row selection, bytes read, and wall time spent in reads.
@@ -264,10 +310,18 @@ func (t *Table) IOStats() IOStats {
 			sum.PrefetchHits += st.PrefetchHits
 			sum.PrefetchMisses += st.PrefetchMisses
 			sum.BytesInFlight += st.BytesInFlight
+			sum.PageCacheHits += st.PageCacheHits
+			sum.PageCacheMisses += st.PageCacheMisses
 		}
 		return sum
 	}
 	return t.inner.R.Stats()
+}
+
+// PageCacheStats reports the shared decompressed-page cache's counters;
+// the zero value when no cache is configured.
+func (db *DB) PageCacheStats() colstore.PageCacheStats {
+	return db.inner.PageCache().Stats()
 }
 
 // ResetIOStats zeroes the table's IO instrumentation counters.

@@ -129,6 +129,20 @@ func NewPageFetcher(r *Reader, cfg FetchConfig) *PageFetcher {
 // them into runs. Must be called before Start; scheduling the same unit
 // twice keeps the first schedule.
 func (f *PageFetcher) Schedule(rg, col int, pages []int) {
+	if f.r.cache != nil {
+		// Pages the shared cache already holds are served before the
+		// prefetch buffers are ever consulted; staging them would be a
+		// wasted disk read. Contains is advisory (an entry may be evicted
+		// before consumption), but the consumer's sync-read fallback makes
+		// a wrong guess cost one uncoalesced read, not correctness.
+		kept := make([]int, 0, len(pages))
+		for _, p := range pages {
+			if !f.r.cache.Contains(f.r.id, rg, col, p) {
+				kept = append(kept, p)
+			}
+		}
+		pages = kept
+	}
 	if len(pages) == 0 {
 		return
 	}

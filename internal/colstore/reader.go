@@ -54,7 +54,17 @@ type Reader struct {
 
 	// noPrune disables zone-map consultation (testing hook).
 	noPrune atomic.Bool
+
+	// id is this reader's process-unique identity — the epoch token the
+	// shared page cache keys on, so a re-opened table can never be served
+	// stale bodies. cache, when set, serves decompressed page bodies
+	// across queries (and across concurrent queries in a serving wave).
+	id    uint64
+	cache *PageCache
 }
+
+// readerIDs hands every opened Reader a process-unique identity.
+var readerIDs atomic.Uint64
 
 // ioCounters are the reader's atomic IO instrumentation counters.
 // Increments need no lock; consistent multi-field snapshots are taken
@@ -70,6 +80,8 @@ type ioCounters struct {
 	prefetchHits      atomic.Int64
 	prefetchMisses    atomic.Int64
 	bytesInFlight     atomic.Int64 // gauge, not a counter: live prefetch bytes
+	pageCacheHits     atomic.Int64
+	pageCacheMisses   atomic.Int64
 }
 
 // IOStats is a snapshot of a Reader's IO instrumentation.
@@ -101,6 +113,12 @@ type IOStats struct {
 	// pooled buffers right now; it returns to zero when every in-flight
 	// PageFetcher closes.
 	BytesInFlight int64
+	// PageCacheHits counts page bodies served from the shared page cache
+	// — no read, no checksum, no decompression (and therefore no bump of
+	// PagesRead/BytesRead/BytesDecompressed). PageCacheMisses counts
+	// bodies that went to disk with a cache attached.
+	PageCacheHits   int64
+	PageCacheMisses int64
 }
 
 // Stats returns a snapshot of the reader's IO instrumentation. The
@@ -120,6 +138,8 @@ func (r *Reader) Stats() IOStats {
 		PrefetchHits:      r.io.prefetchHits.Load(),
 		PrefetchMisses:    r.io.prefetchMisses.Load(),
 		BytesInFlight:     r.io.bytesInFlight.Load(),
+		PageCacheHits:     r.io.pageCacheHits.Load(),
+		PageCacheMisses:   r.io.pageCacheMisses.Load(),
 	}
 }
 
@@ -138,6 +158,8 @@ func (r *Reader) ResetStats() {
 	r.io.pagesCoalesced.Store(0)
 	r.io.prefetchHits.Store(0)
 	r.io.prefetchMisses.Store(0)
+	r.io.pageCacheHits.Store(0)
+	r.io.pageCacheMisses.Store(0)
 }
 
 // SetPagePruning toggles zone-map page pruning; pruning is on by default.
@@ -239,9 +261,23 @@ func openFile(f vfs.File, path string) (*Reader, error) {
 	if err := validateMeta(meta, size); err != nil {
 		return nil, err
 	}
-	return &Reader{f: f, path: path, meta: meta,
+	return &Reader{f: f, path: path, meta: meta, id: readerIDs.Add(1),
 		intDicts: map[string][]int64{}, strDicts: map[string][][]byte{}}, nil
 }
+
+// ID returns the reader's process-unique identity. IDs are never reused,
+// so (ID, row group, column, page) names a page's content for as long as
+// the process lives — the page cache's key, and the epoch token static
+// tables report.
+func (r *Reader) ID() uint64 { return r.id }
+
+// SetPageCache attaches a shared page cache: pageBody consults it before
+// reading, and fills it after every verified decompression. A nil cache
+// (the default) leaves the read path untouched.
+func (r *Reader) SetPageCache(c *PageCache) { r.cache = c }
+
+// PageCache returns the attached cache, or nil.
+func (r *Reader) PageCache() *PageCache { return r.cache }
 
 // validateMeta rejects structurally inconsistent footers (wrong chunk
 // counts, page or dictionary extents outside the file) so that a corrupt
@@ -292,8 +328,13 @@ func validateMeta(m *FileMeta, fileSize int64) error {
 	return nil
 }
 
-// Close releases the underlying file.
-func (r *Reader) Close() error { return r.f.Close() }
+// Close releases the underlying file and eagerly drops the reader's
+// entries from the attached page cache (the reader ID is never reused,
+// so this is an optimisation, not a correctness requirement).
+func (r *Reader) Close() error {
+	r.cache.InvalidateReader(r.id)
+	return r.f.Close()
+}
 
 // Meta returns the parsed footer.
 func (r *Reader) Meta() *FileMeta { return r.meta }
@@ -569,6 +610,11 @@ type IOTap struct {
 	PrefetchMisses  int64
 	WaitNanos       int64
 	DecompressNanos int64
+	// PageCacheHits/PageCacheMisses attribute shared-page-cache lookups
+	// this stage made; a hit means the stage's other IO counters did not
+	// move for that page.
+	PageCacheHits   int64
+	PageCacheMisses int64
 }
 
 // Add folds another tap's counts into t.
@@ -582,6 +628,8 @@ func (t *IOTap) Add(o *IOTap) {
 	t.PrefetchMisses += o.PrefetchMisses
 	t.WaitNanos += o.WaitNanos
 	t.DecompressNanos += o.DecompressNanos
+	t.PageCacheHits += o.PageCacheHits
+	t.PageCacheMisses += o.PageCacheMisses
 }
 
 // Tap attaches t to the chunk and returns the chunk for chaining. A nil
@@ -735,6 +783,26 @@ func (c *Chunk) pageBody(p int) ([]byte, error) { return c.pageBodyScratch(p, ni
 // aliases the scratch and is valid until the scratch's next use; decoded
 // values that alias the body (string decoding) must not use this path.
 func (c *Chunk) pageBodyScratch(p int, sc *arena.Scratch) ([]byte, error) {
+	if c.r.cache != nil {
+		if body, ok := c.r.cache.Get(c.r.id, c.rg, c.col, p); ok {
+			// Served from the shared cache: no read, no checksum, no
+			// decompression — PagesRead/BytesRead/BytesDecompressed stay
+			// untouched on both the reader and the tap, so the span-IO ≡
+			// IOStats-delta discipline holds with the cache on. The body
+			// is shared and read-only; it does not enter the scratch.
+			c.r.io.pageCacheHits.Add(1)
+			globalIO.pageCacheHits.Add(1)
+			if c.tap != nil {
+				c.tap.PageCacheHits++
+			}
+			return body, nil
+		}
+		c.r.io.pageCacheMisses.Add(1)
+		globalIO.pageCacheMisses.Add(1)
+		if c.tap != nil {
+			c.tap.PageCacheMisses++
+		}
+	}
 	raw, err := c.rawPageBuf(p, sc)
 	if err != nil {
 		return nil, err
@@ -778,6 +846,9 @@ func (c *Chunk) pageBodyScratch(p int, sc *arena.Scratch) ([]byte, error) {
 	globalIO.bytesDecompressed.Add(int64(len(body)))
 	if c.tap != nil {
 		c.tap.BytesDecompressed += int64(len(body))
+	}
+	if c.r.cache != nil {
+		c.r.cache.Put(c.r.id, c.rg, c.col, p, body)
 	}
 	return body, nil
 }

@@ -22,5 +22,7 @@ func GlobalStats() IOStats {
 		PrefetchHits:      globalIO.prefetchHits.Load(),
 		PrefetchMisses:    globalIO.prefetchMisses.Load(),
 		BytesInFlight:     globalIO.bytesInFlight.Load(),
+		PageCacheHits:     globalIO.pageCacheHits.Load(),
+		PageCacheMisses:   globalIO.pageCacheMisses.Load(),
 	}
 }

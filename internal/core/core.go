@@ -44,6 +44,12 @@ type Options struct {
 	// real one. The seam the crash-injection tests and the beyond-RAM
 	// I/O benchmarks (simulated device latency) use.
 	FS vfs.FS
+	// PageCacheBytes, when positive, sizes a process-wide cache of
+	// decompressed page bodies shared by every reader this DB opens
+	// (static tables and ingest shards alike). Zero disables caching —
+	// the historical behavior, which the IO-accounting property tests
+	// rely on.
+	PageCacheBytes int64
 	// Logger receives the engine's structured events (flush,
 	// quarantine, recovery, torn-tail truncation, slow queries). Nil
 	// drops them, mirroring the tracer's nil-safety.
@@ -53,11 +59,12 @@ type Options struct {
 // DB is a CodecDB database: a directory of encoded column files plus the
 // encoding metadata catalog.
 type DB struct {
-	dir      string
-	opts     Options
-	fs       vfs.FS
-	opPool   *exec.Pool
-	dataPool *exec.Pool
+	dir       string
+	opts      Options
+	fs        vfs.FS
+	opPool    *exec.Pool
+	dataPool  *exec.Pool
+	pageCache *colstore.PageCache
 
 	mu      sync.Mutex
 	tables  map[string]*Table
@@ -116,6 +123,9 @@ func Open(dir string, opts Options) (*DB, error) {
 		tables:   map[string]*Table{},
 		catalog:  catalog{Tables: map[string]tableMeta{}},
 	}
+	if opts.PageCacheBytes > 0 {
+		db.pageCache = colstore.NewPageCache(opts.PageCacheBytes)
+	}
 	if raw, err := os.ReadFile(db.catalogPath()); err == nil {
 		if err := json.Unmarshal(raw, &db.catalog); err != nil {
 			return nil, fmt.Errorf("core: corrupt catalog: %w", err)
@@ -148,6 +158,10 @@ func (db *DB) Close() error {
 	db.tables = map[string]*Table{}
 	return first
 }
+
+// PageCache returns the shared decompressed-page cache, nil when
+// disabled.
+func (db *DB) PageCache() *colstore.PageCache { return db.pageCache }
 
 // OperatorPool returns the operator-level pool.
 func (db *DB) OperatorPool() *exec.Pool { return db.opPool }
@@ -201,6 +215,7 @@ func (db *DB) LoadTable(name string, specs []ColumnSpec, data []colstore.ColumnD
 	if err != nil {
 		return nil, err
 	}
+	r.SetPageCache(db.pageCache)
 	t := &Table{Name: name, R: r}
 	db.mu.Lock()
 	db.tables[name] = t
@@ -352,6 +367,7 @@ func (db *DB) Table(name string) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	r.SetPageCache(db.pageCache)
 	t := &Table{Name: name, R: r}
 	db.tables[name] = t
 	return t, nil

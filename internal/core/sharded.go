@@ -70,6 +70,9 @@ func (db *DB) openShardTable(name string, tm tableMeta, opts shard.Options) (*Ta
 	if opts.Logger == nil {
 		opts.Logger = db.opts.Logger
 	}
+	if opts.PageCache == nil {
+		opts.PageCache = db.pageCache
+	}
 	cols := make([]shard.Column, len(tm.Columns))
 	for i, f := range tm.Columns {
 		ct, err := memTypeOf(f.Type)

@@ -44,6 +44,14 @@ func (h *MorselHooks) done(m int) {
 
 // ParallelMorselsHooked is ParallelMorsels with lifecycle hooks.
 func ParallelMorselsHooked[S any](ctx context.Context, p *Pool, n int, newState func(worker int) S, fn func(ctx context.Context, state S, morsel int) error, hooks MorselHooks) ([]S, error) {
+	return ParallelMorselsLimited(ctx, p, n, 0, newState, fn, hooks)
+}
+
+// ParallelMorselsLimited is ParallelMorselsHooked with an explicit
+// worker cap: at most limit workers run regardless of pool size (0 means
+// pool size). This is the per-query parallelism budget a serving layer
+// imposes so one query cannot monopolise the shared pool.
+func ParallelMorselsLimited[S any](ctx context.Context, p *Pool, n, limit int, newState func(worker int) S, fn func(ctx context.Context, state S, morsel int) error, hooks MorselHooks) ([]S, error) {
 	if n <= 0 {
 		return nil, nil
 	}
@@ -51,6 +59,9 @@ func ParallelMorselsHooked[S any](ctx context.Context, p *Pool, n int, newState 
 		ctx = context.Background()
 	}
 	workers := p.Size()
+	if limit > 0 && workers > limit {
+		workers = limit
+	}
 	if workers > n {
 		workers = n
 	}

@@ -442,25 +442,15 @@ func (p *pipeline) run(ctx context.Context) (*PipelineResult, error) {
 		}
 	}
 	n := p.r.NumRowGroups()
-	parts := &p.parts
-	switch p.term {
-	case TermRowIDs:
-		parts.rowIDs = make([][]int64, n)
-	case TermInts:
-		parts.ints = make([][]int64, n)
-	case TermFloats:
-		parts.floats = make([][]float64, n)
-	case TermStrings:
-		parts.strs = make([][][]byte, n)
-	case TermSumFloat:
-		parts.sums = make([]float64, n)
-	}
+	parts := p.initParts(n)
 	nw := p.pool.Size()
+	if lim := MaxWorkersFrom(ctx); lim > 0 && nw > lim {
+		nw = lim
+	}
 	if nw > n {
 		nw = n
 	}
-	p.wbuf = make([]pipeWorker, nw)
-	p.kbuf = make([]filterRG, nw*len(p.leaves))
+	p.initWorkers(nw)
 	var hooks exec.MorselHooks
 	if f := p.buildFetcher(ctx); f != nil {
 		p.fetch = f
@@ -483,21 +473,62 @@ func (p *pipeline) run(ctx context.Context) (*PipelineResult, error) {
 			lq.MorselDone()
 		}
 	}
-	workers, err := exec.ParallelMorselsHooked(ctx, p.pool, n,
+	workers, err := exec.ParallelMorselsLimited(ctx, p.pool, n, nw,
 		p.newWorker,
 		func(mctx context.Context, w *pipeWorker, rg int) error {
 			return p.runMorsel(mctx, w, rg, fsel, parts)
 		}, hooks)
 	p.workers = workers
+	p.releaseWorkers(workers)
+	if err != nil {
+		return nil, err
+	}
+	return p.merge(workers), nil
+}
+
+// initParts sizes the per-row-group output slots for n morsels and
+// returns them; workers write disjoint indices.
+func (p *pipeline) initParts(n int) *pipeParts {
+	parts := &p.parts
+	switch p.term {
+	case TermRowIDs:
+		parts.rowIDs = make([][]int64, n)
+	case TermInts:
+		parts.ints = make([][]int64, n)
+	case TermFloats:
+		parts.floats = make([][]float64, n)
+	case TermStrings:
+		parts.strs = make([][][]byte, n)
+	case TermSumFloat:
+		parts.sums = make([]float64, n)
+	}
+	return parts
+}
+
+// initWorkers sizes the worker and kernel slabs for nw workers; newWorker
+// then carves its slot out of them.
+func (p *pipeline) initWorkers(nw int) {
+	p.wbuf = make([]pipeWorker, nw)
+	p.kbuf = make([]filterRG, nw*len(p.leaves))
+}
+
+// releaseWorkers returns every worker's scratch arena to the pool. Safe
+// on the partial slices an errored run leaves behind.
+func (p *pipeline) releaseWorkers(workers []*pipeWorker) {
 	for _, w := range workers {
-		if w != nil {
+		if w != nil && w.sc != nil {
 			arena.Put(w.sc)
 			w.sc = nil
 		}
 	}
-	if err != nil {
-		return nil, err
-	}
+}
+
+// merge folds the worker partials and per-row-group parts into the final
+// result: counts sum, ordered outputs concatenate in row-group order (so
+// the result is independent of which worker claimed which morsel), and
+// aggregate tables merge.
+func (p *pipeline) merge(workers []*pipeWorker) *PipelineResult {
+	parts := &p.parts
 	res := &p.res
 	for _, w := range workers {
 		if w == nil {
@@ -527,7 +558,7 @@ func (p *pipeline) run(ctx context.Context) (*PipelineResult, error) {
 		}
 		res.Group = total.Result()
 	}
-	return res, nil
+	return res
 }
 
 // schedSet is one column's surviving pages for one row group — the unit
@@ -571,6 +602,28 @@ func ContextWithoutPrefetch(ctx context.Context) context.Context {
 // pipelines run under the returned context (bench and test hook).
 func ContextWithPrefetchConfig(ctx context.Context, cfg colstore.FetchConfig) context.Context {
 	return context.WithValue(ctx, prefetchKey{}, prefetchOpt{cfg: cfg})
+}
+
+// maxWorkersKey carries a per-query parallelism budget through the
+// context.
+type maxWorkersKey struct{}
+
+// ContextWithMaxWorkers caps the number of pool workers a pipeline run
+// under the returned context may occupy (0 or negative means no cap).
+// This is the knob a serving layer turns so one query cannot monopolise
+// the shared worker pool while others queue.
+func ContextWithMaxWorkers(ctx context.Context, n int) context.Context {
+	return context.WithValue(ctx, maxWorkersKey{}, n)
+}
+
+// MaxWorkersFrom reports the per-query worker cap carried by ctx, 0 when
+// none was set.
+func MaxWorkersFrom(ctx context.Context) int {
+	n, _ := ctx.Value(maxWorkersKey{}).(int)
+	if n < 0 {
+		return 0
+	}
+	return n
 }
 
 // buildFetcher computes the query's page schedule and starts the

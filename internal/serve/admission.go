@@ -1,0 +1,244 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrShed means admission rejected the query outright — the queue is
+// full or the declared memory budget can never be satisfied. Clients
+// should back off before retrying.
+var ErrShed = errors.New("serve: query shed")
+
+// ErrAdmissionTimeout means the query waited in the admission queue
+// longer than its wait budget without a slot freeing up.
+var ErrAdmissionTimeout = errors.New("serve: admission wait timed out")
+
+// AdmitConfig bounds the controller. Zero fields take the defaults
+// noted per field.
+type AdmitConfig struct {
+	// MaxConcurrent is the number of queries allowed to execute at
+	// once (default 4).
+	MaxConcurrent int
+	// MaxQueued bounds waiting queries across all clients; arrivals
+	// beyond it are shed (default 64).
+	MaxQueued int
+	// MaxMemory bounds the sum of admitted queries' declared memory
+	// budgets (default 1 GiB). A single query declaring more than
+	// MaxMemory is shed immediately — it can never be satisfied.
+	MaxMemory int64
+	// DefaultQueryMemory is charged for queries that declare no budget
+	// (default 64 MiB).
+	DefaultQueryMemory int64
+	// MaxWait bounds time in the queue before admission_timeout
+	// (default 2s). Per-request contexts can only shorten it.
+	MaxWait time.Duration
+}
+
+func (c AdmitConfig) withDefaults() AdmitConfig {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 4
+	}
+	if c.MaxQueued <= 0 {
+		c.MaxQueued = 64
+	}
+	if c.MaxMemory <= 0 {
+		c.MaxMemory = 1 << 30
+	}
+	if c.DefaultQueryMemory <= 0 {
+		c.DefaultQueryMemory = 64 << 20
+	}
+	if c.MaxWait <= 0 {
+		c.MaxWait = 2 * time.Second
+	}
+	return c
+}
+
+// admitWaiter is one queued query. The dispatcher grants it by setting
+// granted and closing ready under the controller lock; Acquire observes
+// exactly one of granted / its own timeout under the same lock, so a
+// grant is never both delivered and abandoned.
+type admitWaiter struct {
+	mem     int64
+	ready   chan struct{}
+	granted bool
+	gone    bool // abandoned by timeout/cancel; dispatcher skips it
+}
+
+// Controller is the admission gate: queries Acquire a slot before
+// executing and Release it after. Waiting queries queue per client,
+// and slots hand off round-robin across clients, so one flooding
+// client cannot starve the others (its requests wait behind each other,
+// not in front of everyone else's).
+type Controller struct {
+	cfg AdmitConfig
+
+	mu      sync.Mutex
+	running int
+	memUsed int64
+	queued  int
+	queues  map[string][]*admitWaiter
+	order   []string // round-robin rotation of clients with waiters
+	next    int
+}
+
+// NewController builds an admission controller from cfg (zero fields
+// take defaults).
+func NewController(cfg AdmitConfig) *Controller {
+	return &Controller{
+		cfg:    cfg.withDefaults(),
+		queues: make(map[string][]*admitWaiter),
+	}
+}
+
+// Grant is an admitted query's slot; Release it when the query
+// finishes (safe to call once).
+type Grant struct {
+	c        *Controller
+	mem      int64
+	released bool
+}
+
+// AdmitStats is a point-in-time snapshot of the controller.
+type AdmitStats struct {
+	Running int
+	Queued  int
+	MemUsed int64
+}
+
+// Stats snapshots the controller's occupancy.
+func (c *Controller) Stats() AdmitStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return AdmitStats{Running: c.running, Queued: c.queued, MemUsed: c.memUsed}
+}
+
+// Acquire admits one query for client, charging mem bytes (0 charges
+// the configured default). It returns immediately when capacity is
+// free and no one is queued ahead; otherwise it waits up to MaxWait
+// (or ctx's deadline, whichever ends first). Errors are ErrShed,
+// ErrAdmissionTimeout, or ctx.Err().
+func (c *Controller) Acquire(ctx context.Context, client string, mem int64) (*Grant, error) {
+	if mem <= 0 {
+		mem = c.cfg.DefaultQueryMemory
+	}
+	if mem > c.cfg.MaxMemory {
+		shedTotal.Inc()
+		return nil, ErrShed
+	}
+	if client == "" {
+		client = "default"
+	}
+
+	c.mu.Lock()
+	// Fast path: free capacity and an empty queue (jumping a non-empty
+	// queue would undo the fairness rotation).
+	if c.queued == 0 && c.canAdmitLocked(mem) {
+		c.admitLocked(mem)
+		c.mu.Unlock()
+		return &Grant{c: c, mem: mem}, nil
+	}
+	if c.queued >= c.cfg.MaxQueued {
+		c.mu.Unlock()
+		shedTotal.Inc()
+		return nil, ErrShed
+	}
+	w := &admitWaiter{mem: mem, ready: make(chan struct{})}
+	c.enqueueLocked(client, w)
+	c.mu.Unlock()
+
+	timer := time.NewTimer(c.cfg.MaxWait)
+	defer timer.Stop()
+	var werr error
+	select {
+	case <-w.ready:
+	case <-timer.C:
+		werr = ErrAdmissionTimeout
+	case <-ctx.Done():
+		werr = ctx.Err()
+	}
+
+	c.mu.Lock()
+	if w.granted {
+		// The grant may have raced the timeout; it wins (the slot is
+		// already charged, and the query still has its own deadline).
+		c.mu.Unlock()
+		return &Grant{c: c, mem: mem}, nil
+	}
+	w.gone = true
+	c.queued--
+	c.mu.Unlock()
+	if errors.Is(werr, ErrAdmissionTimeout) {
+		admissionTimeouts.Inc()
+	}
+	return nil, werr
+}
+
+// Release returns the query's slot and dispatches queued waiters.
+func (g *Grant) Release() {
+	if g == nil || g.released {
+		return
+	}
+	g.released = true
+	c := g.c
+	c.mu.Lock()
+	c.running--
+	c.memUsed -= g.mem
+	c.dispatchLocked()
+	c.mu.Unlock()
+}
+
+func (c *Controller) canAdmitLocked(mem int64) bool {
+	return c.running < c.cfg.MaxConcurrent && c.memUsed+mem <= c.cfg.MaxMemory
+}
+
+func (c *Controller) admitLocked(mem int64) {
+	c.running++
+	c.memUsed += mem
+}
+
+func (c *Controller) enqueueLocked(client string, w *admitWaiter) {
+	if _, ok := c.queues[client]; !ok {
+		c.order = append(c.order, client)
+	}
+	c.queues[client] = append(c.queues[client], w)
+	c.queued++
+}
+
+// dispatchLocked hands freed capacity to queued waiters, one client
+// per step in round-robin order, FIFO within a client. It stops when
+// capacity runs out or every queue is drained.
+func (c *Controller) dispatchLocked() {
+	for c.queued > 0 && len(c.order) > 0 {
+		if c.next >= len(c.order) {
+			c.next = 0
+		}
+		client := c.order[c.next]
+		q := c.queues[client]
+		// Drop abandoned waiters from the head (their queued count was
+		// already settled by Acquire's exit path).
+		for len(q) > 0 && q[0].gone {
+			q = q[1:]
+		}
+		if len(q) == 0 {
+			delete(c.queues, client)
+			c.order = append(c.order[:c.next], c.order[c.next+1:]...)
+			continue
+		}
+		c.queues[client] = q
+		w := q[0]
+		if !c.canAdmitLocked(w.mem) {
+			// Head-of-line blocks: a big query keeps its place rather
+			// than being overtaken forever by small ones.
+			return
+		}
+		c.admitLocked(w.mem)
+		w.granted = true
+		close(w.ready)
+		c.queues[client] = q[1:]
+		c.queued--
+		c.next++
+	}
+}

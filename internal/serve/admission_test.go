@@ -1,0 +1,185 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// waitQueued spins until the controller reports n queued waiters.
+func waitQueued(t *testing.T, c *Controller, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for c.Stats().Queued < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("queue never reached %d (at %d)", n, c.Stats().Queued)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// TestAdmissionImmediate: free capacity admits without waiting.
+func TestAdmissionImmediate(t *testing.T) {
+	c := NewController(AdmitConfig{MaxConcurrent: 2})
+	g1, err := c.Acquire(context.Background(), "a", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := c.Acquire(context.Background(), "b", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.Running != 2 {
+		t.Fatalf("running = %d", st.Running)
+	}
+	g1.Release()
+	g2.Release()
+	if st := c.Stats(); st.Running != 0 || st.MemUsed != 0 {
+		t.Fatalf("after release: %+v", st)
+	}
+}
+
+// TestAdmissionShed: a full queue and an unsatisfiable budget both shed
+// immediately instead of queueing a request that can never run.
+func TestAdmissionShed(t *testing.T) {
+	c := NewController(AdmitConfig{MaxConcurrent: 1, MaxQueued: 1, MaxWait: time.Minute})
+	g, err := c.Acquire(context.Background(), "a", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Release()
+
+	// One waiter fits in the queue...
+	done := make(chan error, 1)
+	go func() {
+		wg, err := c.Acquire(context.Background(), "a", 0)
+		if err == nil {
+			wg.Release()
+		}
+		done <- err
+	}()
+	waitQueued(t, c, 1)
+	// ...the second is shed.
+	if _, err := c.Acquire(context.Background(), "b", 0); !errors.Is(err, ErrShed) {
+		t.Fatalf("full queue: err = %v, want ErrShed", err)
+	}
+	// A budget above MaxMemory is shed with free capacity.
+	c2 := NewController(AdmitConfig{MaxMemory: 1 << 20})
+	if _, err := c2.Acquire(context.Background(), "a", 2<<20); !errors.Is(err, ErrShed) {
+		t.Fatalf("oversize budget: err = %v, want ErrShed", err)
+	}
+	g.Release()
+	if err := <-done; err != nil {
+		t.Fatalf("queued waiter: %v", err)
+	}
+}
+
+// TestAdmissionTimeout: a waiter that never gets a slot times out with
+// ErrAdmissionTimeout after MaxWait.
+func TestAdmissionTimeout(t *testing.T) {
+	c := NewController(AdmitConfig{MaxConcurrent: 1, MaxWait: 20 * time.Millisecond})
+	g, err := c.Acquire(context.Background(), "a", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Release()
+	if _, err := c.Acquire(context.Background(), "b", 0); !errors.Is(err, ErrAdmissionTimeout) {
+		t.Fatalf("err = %v, want ErrAdmissionTimeout", err)
+	}
+	if st := c.Stats(); st.Queued != 0 {
+		t.Fatalf("abandoned waiter still queued: %+v", st)
+	}
+}
+
+// TestAdmissionCancel: the caller's context cancels the wait.
+func TestAdmissionCancel(t *testing.T) {
+	c := NewController(AdmitConfig{MaxConcurrent: 1, MaxWait: time.Minute})
+	g, err := c.Acquire(context.Background(), "a", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Release()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Acquire(ctx, "b", 0)
+		done <- err
+	}()
+	waitQueued(t, c, 1)
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want Canceled", err)
+	}
+}
+
+// TestAdmissionFairness: with one slot, a flooding client's waiters do
+// not starve another client's — slots hand off round-robin across
+// clients, FIFO within one. Client A queues 4, client B queues 2: the
+// grant order must be A B A B A A.
+func TestAdmissionFairness(t *testing.T) {
+	c := NewController(AdmitConfig{MaxConcurrent: 1, MaxQueued: 16, MaxWait: 10 * time.Second})
+	hog, err := c.Acquire(context.Background(), "seed", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	order := make(chan string, 8)
+	launch := func(client string, n int) {
+		for i := 0; i < n; i++ {
+			queued := c.Stats().Queued
+			go func() {
+				g, err := c.Acquire(context.Background(), client, 0)
+				if err != nil {
+					order <- "err:" + err.Error()
+					return
+				}
+				order <- client
+				g.Release()
+			}()
+			waitQueued(t, c, queued+1)
+		}
+	}
+	launch("A", 4)
+	launch("B", 2)
+
+	hog.Release() // cascade: each waiter releases after recording
+	var got []string
+	for i := 0; i < 6; i++ {
+		select {
+		case s := <-order:
+			got = append(got, s)
+		case <-time.After(5 * time.Second):
+			t.Fatalf("stalled after %v", got)
+		}
+	}
+	want := []string{"A", "B", "A", "B", "A", "A"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("grant order = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestAdmissionMemoryGate: concurrent slots free but memory exhausted
+// — the next query waits for memory, not a concurrency slot.
+func TestAdmissionMemoryGate(t *testing.T) {
+	c := NewController(AdmitConfig{MaxConcurrent: 8, MaxMemory: 100, DefaultQueryMemory: 1, MaxWait: 5 * time.Second})
+	g1, err := c.Acquire(context.Background(), "a", 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		g2, err := c.Acquire(context.Background(), "a", 40)
+		if err == nil {
+			g2.Release()
+		}
+		done <- err
+	}()
+	waitQueued(t, c, 1)
+	g1.Release()
+	if err := <-done; err != nil {
+		t.Fatalf("waiter after memory freed: %v", err)
+	}
+}

@@ -1,0 +1,91 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"codecdb"
+)
+
+// BenchmarkServeConcurrency drives the full serving path — validation,
+// admission, wave batching, page cache — with K concurrent clients
+// looping over three query shapes against one table, and reports tail
+// latency (p50/p99 ms), the shed rate, and page reads per request.
+// Result caching is disabled per request so every request exercises
+// execution; the decompressed-page cache is on (the serving
+// configuration), so waves after the first mostly decode from memory
+// and the benchmark measures serving overhead plus sharing, not disk.
+func BenchmarkServeConcurrency(b *testing.B) {
+	for _, k := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("K%d", k), func(b *testing.B) {
+			db, tbl := newEventsDB(b, 20000, codecdb.Options{PageCacheBytes: 64 << 20})
+			s := New(db, Config{
+				Admit: AdmitConfig{
+					MaxConcurrent: 8,
+					MaxQueued:     2 * k,
+					MaxWait:       500 * time.Millisecond,
+				},
+			})
+			defer s.Close()
+
+			reqs := []QueryRequest{
+				{Table: "events", Terminal: "count", NoCache: true,
+					Predicate: &WirePred{Kind: "cmp", Col: "status", Op: "eq", Value: "ERROR"}},
+				{Table: "events", Terminal: "sum", Column: "latency", NoCache: true,
+					Predicate: &WirePred{Kind: "cmp", Col: "level", Op: "ge", Value: 3}},
+				{Table: "events", Terminal: "group_count", Column: "status", NoCache: true,
+					Predicate: &WirePred{Kind: "cmp", Col: "level", Op: "lt", Value: 4}},
+			}
+
+			var mu sync.Mutex
+			var lat []time.Duration
+			var shed, total int64
+			tbl.ResetIOStats()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var wg sync.WaitGroup
+				for c := 0; c < k; c++ {
+					wg.Add(1)
+					go func(c int) {
+						defer wg.Done()
+						req := reqs[c%len(reqs)]
+						req.Client = fmt.Sprintf("client-%d", c%4)
+						start := time.Now()
+						_, werr := s.Query(ctxBG(), &req)
+						d := time.Since(start)
+						mu.Lock()
+						total++
+						if werr != nil {
+							if werr.Code == CodeShed || werr.Code == CodeAdmissionTimeout {
+								shed++
+							} else {
+								b.Errorf("query: %+v", werr)
+							}
+						} else {
+							lat = append(lat, d)
+						}
+						mu.Unlock()
+					}(c)
+				}
+				wg.Wait()
+			}
+			b.StopTimer()
+
+			sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+			pct := func(p float64) float64 {
+				if len(lat) == 0 {
+					return 0
+				}
+				i := int(p * float64(len(lat)-1))
+				return float64(lat[i].Microseconds()) / 1000
+			}
+			b.ReportMetric(pct(0.50), "p50-ms")
+			b.ReportMetric(pct(0.99), "p99-ms")
+			b.ReportMetric(float64(shed)/float64(total), "shedRate")
+			b.ReportMetric(float64(tbl.IOStats().PagesRead)/float64(total), "pagesRead/req")
+		})
+	}
+}

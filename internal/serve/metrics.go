@@ -1,0 +1,27 @@
+package serve
+
+import "codecdb/internal/obs"
+
+// Serving-layer metrics, registered once in the process-wide registry
+// next to the engine's own counters, so one /metrics scrape covers
+// admission behaviour, cache efficacy, and wave batching.
+var (
+	requestsTotal = obs.Default().Counter(
+		"codecdb_serve_requests_total", "v1 query requests received.")
+	errorsTotal = obs.Default().Counter(
+		"codecdb_serve_errors_total", "v1 query requests that returned an error code.")
+	shedTotal = obs.Default().Counter(
+		"codecdb_serve_shed_total", "Queries rejected by admission control (queue full or unsatisfiable budget).")
+	admissionTimeouts = obs.Default().Counter(
+		"codecdb_serve_admission_timeouts_total", "Queries that timed out waiting in the admission queue.")
+	admissionWait = obs.Default().Histogram(
+		"codecdb_serve_admission_wait_seconds", "Time spent waiting for admission.", obs.DefBuckets)
+	resultCacheHits = obs.Default().Counter(
+		"codecdb_serve_result_cache_hits_total", "Responses served from the result cache.")
+	resultCacheMisses = obs.Default().Counter(
+		"codecdb_serve_result_cache_misses_total", "Result-cache lookups that missed.")
+	wavesTotal = obs.Default().Counter(
+		"codecdb_serve_waves_total", "Cooperative scan waves executed.")
+	waveMembers = obs.Default().Counter(
+		"codecdb_serve_wave_members_total", "Queries answered through waves (members summed over waves).")
+)

@@ -1,0 +1,318 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"codecdb"
+	"codecdb/internal/obs"
+)
+
+// Config tunes a Server. Zero values take the noted defaults.
+type Config struct {
+	// Admit bounds admission control (see AdmitConfig for defaults).
+	Admit AdmitConfig
+	// ResultCacheBytes budgets the result cache; 0 disables it.
+	ResultCacheBytes int64
+	// DefaultTimeout bounds requests that declare no timeout_ms
+	// (default 30s; negative means unbounded).
+	DefaultTimeout time.Duration
+	// MaxWorkersPerQuery caps each wave's pool-worker share (0 = the
+	// engine default). Per-request budget.max_workers can only lower it.
+	MaxWorkersPerQuery int
+	// MaxBodyBytes bounds the request body (default 1 MiB).
+	MaxBodyBytes int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.DefaultTimeout == 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	return c
+}
+
+// Server answers POST /v1/query against one codecdb.DB: requests pass
+// validation, the result cache, admission control, and then execute as
+// members of per-table cooperative scan waves. Build with New, mount
+// with Register, stop background waves with Close.
+type Server struct {
+	db     *codecdb.DB
+	cfg    Config
+	admit  *Controller
+	cache  *ResultCache
+	waves  *waveBatcher
+	base   context.Context
+	cancel context.CancelFunc
+}
+
+// New builds a Server over db.
+func New(db *codecdb.DB, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	base, cancel := context.WithCancel(context.Background())
+	return &Server{
+		db:     db,
+		cfg:    cfg,
+		admit:  NewController(cfg.Admit),
+		cache:  NewResultCache(cfg.ResultCacheBytes),
+		waves:  newWaveBatcher(),
+		base:   base,
+		cancel: cancel,
+	}
+}
+
+// Close cancels in-flight waves. The Server must not be used after.
+func (s *Server) Close() { s.cancel() }
+
+// Admission exposes the controller (occupancy snapshots, tests).
+func (s *Server) Admission() *Controller { return s.admit }
+
+// ResultCache exposes the result cache (nil when disabled).
+func (s *Server) ResultCache() *ResultCache { return s.cache }
+
+// Register mounts the v1 API on mux.
+func (s *Server) Register(mux *http.ServeMux) {
+	mux.HandleFunc("/v1/query", s.HandleV1Query)
+}
+
+// HandleV1Query serves one POST /v1/query request.
+func (s *Server) HandleV1Query(w http.ResponseWriter, r *http.Request) {
+	requestsTotal.Inc()
+	start := time.Now()
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, CodeBadRequest, "use POST")
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "read body: "+err.Error())
+		return
+	}
+	req, err := DecodeRequest(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
+		return
+	}
+	resp, werr := s.Query(r.Context(), req)
+	if werr != nil {
+		writeError(w, httpStatus(werr.Code), werr.Code, werr.Message)
+		return
+	}
+	resp.WallMS = float64(time.Since(start).Microseconds()) / 1000
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// Query runs one decoded request through the full serving path:
+// validation, result cache, admission, wave execution, cache fill.
+// It returns exactly one of response or error.
+func (s *Server) Query(ctx context.Context, req *QueryRequest) (*QueryResponse, *WireError) {
+	if req.Table == "" {
+		return nil, wireErr(CodeBadRequest, "missing table")
+	}
+	term, ok := wireTerminals[req.Terminal]
+	if !ok {
+		return nil, wireErr(CodeBadRequest, "unknown terminal %q", req.Terminal)
+	}
+	needsCol := term == codecdb.TerminalSum || term == codecdb.TerminalGroupCount
+	if needsCol && req.Column == "" {
+		return nil, wireErr(CodeBadRequest, "terminal %q needs column", req.Terminal)
+	}
+	pred, err := req.Predicate.ToPred()
+	if err != nil {
+		return nil, wireErr(CodeBadPredicate, "%v", err)
+	}
+	tbl, err := s.db.Table(req.Table)
+	if err != nil {
+		return nil, wireErr(CodeNotFound, "table %q: %v", req.Table, err)
+	}
+	// Schema-check referenced columns up front so a typo'd column is
+	// bad_predicate, not a mid-wave execution error.
+	have := make(map[string]bool)
+	for _, c := range tbl.Columns() {
+		have[c] = true
+	}
+	for _, c := range predColumns(req.Predicate, nil) {
+		if !have[c] {
+			return nil, wireErr(CodeBadPredicate, "unknown column %q", c)
+		}
+	}
+	if needsCol && !have[req.Column] {
+		return nil, wireErr(CodeBadPredicate, "unknown column %q", req.Column)
+	}
+	// Type-check the measured column the same way: sum reinterprets the
+	// column's pages as float bits and group_count needs a dictionary, so
+	// a mistyped column is a client error, not an execution failure.
+	if term == codecdb.TerminalSum {
+		if typ, ok := tbl.ColumnType(req.Column); ok && typ != "FLOAT64" {
+			return nil, wireErr(CodeBadPredicate, "terminal \"sum\" needs a FLOAT64 column, %q is %s", req.Column, typ)
+		}
+	}
+	if term == codecdb.TerminalGroupCount {
+		if typ, ok := tbl.ColumnType(req.Column); ok && typ != "STRING" {
+			return nil, wireErr(CodeBadPredicate, "terminal \"group_count\" needs a dictionary (string) column, %q is %s", req.Column, typ)
+		}
+	}
+
+	epoch := tbl.Epoch()
+	key := cacheKey(req.Table, epoch, req.Predicate, req.Terminal, req.Column)
+	if !req.NoCache {
+		if hit := s.cache.Get(key); hit != nil {
+			out := *hit
+			out.Cached = true
+			return &out, nil
+		}
+	}
+
+	// The request deadline covers admission wait plus execution.
+	timeout := s.cfg.DefaultTimeout
+	if req.Budget.TimeoutMS > 0 {
+		timeout = time.Duration(req.Budget.TimeoutMS) * time.Millisecond
+	}
+	var deadline time.Time
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, deadline)
+		defer cancel()
+	}
+
+	waitStart := time.Now()
+	grant, err := s.admit.Acquire(ctx, req.Client, req.Budget.MemoryBytes)
+	admissionWait.Observe(time.Since(waitStart).Seconds())
+	if err != nil {
+		errorsTotal.Inc()
+		return nil, wireErr(admissionCode(err), "%v", err)
+	}
+	defer grant.Release()
+
+	var lq *obs.LiveQuery
+	fr := obs.DefaultRecorder()
+	if fr.Enabled() {
+		lq = fr.Begin(obs.KindQuery, req.Table, "v1/"+req.Terminal, req.Predicate.Canonical())
+	}
+
+	workers := s.cfg.MaxWorkersPerQuery
+	if req.Budget.MaxWorkers > 0 && (workers == 0 || req.Budget.MaxWorkers < workers) {
+		workers = req.Budget.MaxWorkers
+	}
+	wq := codecdb.WaveQuery{Pred: pred, Terminal: term, Col: req.Column}
+	res, werr := s.waves.run(s.base, tbl, wq, deadline, codecdb.ExecOptions{MaxWorkers: workers})
+	if werr == nil {
+		werr = res.Err
+	}
+	if lq != nil {
+		rec := &obs.QueryRecord{Wall: time.Since(lq.Start), RowsOut: res.Count}
+		if werr != nil {
+			rec.Err = werr.Error()
+			rec.Cancelled = errors.Is(werr, context.Canceled) || errors.Is(werr, context.DeadlineExceeded)
+		}
+		fr.Finish(lq, rec)
+	}
+	if werr != nil {
+		errorsTotal.Inc()
+		return nil, wireErr(classifyExecErr(werr), "%v", werr)
+	}
+
+	resp := &QueryResponse{
+		Table:    req.Table,
+		Epoch:    epoch,
+		Terminal: req.Terminal,
+		Count:    res.Count,
+		RowIDs:   res.RowIDs,
+		Sum:      res.Sum,
+		Groups:   res.Groups,
+	}
+	if lq != nil {
+		resp.QueryID = lq.ID
+	}
+	if !req.NoCache {
+		s.cache.Put(key, resp)
+	}
+	return resp, nil
+}
+
+// predColumns collects every column a wire predicate references.
+func predColumns(p *WirePred, out []string) []string {
+	if p == nil {
+		return out
+	}
+	if p.Col != "" {
+		out = append(out, p.Col)
+	}
+	for _, k := range p.Kids {
+		out = predColumns(k, out)
+	}
+	return out
+}
+
+// admissionCode maps an Acquire failure onto a wire code: a deadline
+// that fired while queued is an admission timeout from the client's
+// point of view — the wait budget ran out either way.
+func admissionCode(err error) string {
+	switch {
+	case errors.Is(err, ErrShed):
+		return CodeShed
+	case errors.Is(err, ErrAdmissionTimeout), errors.Is(err, context.DeadlineExceeded):
+		return CodeAdmissionTimeout
+	case errors.Is(err, context.Canceled):
+		return CodeCanceled
+	}
+	return CodeInternal
+}
+
+// classifyExecErr maps a mid-execution failure onto a wire code.
+func classifyExecErr(err error) string {
+	var ce *codecdb.CorruptionError
+	switch {
+	case errors.As(err, &ce):
+		return CodeCorruption
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return CodeCanceled
+	// group_count on a string column stored without a dictionary (the
+	// type pre-check can't see encodings) is still the client's request
+	// shape, not a server fault.
+	case strings.Contains(err.Error(), "needs a dictionary column"):
+		return CodeBadPredicate
+	}
+	return CodeInternal
+}
+
+// httpStatus maps a wire code onto an HTTP status.
+func httpStatus(code string) int {
+	switch code {
+	case CodeBadRequest, CodeBadPredicate:
+		return http.StatusBadRequest
+	case CodeNotFound:
+		return http.StatusNotFound
+	case CodeShed, CodeAdmissionTimeout:
+		return http.StatusServiceUnavailable
+	case CodeCanceled:
+		return http.StatusRequestTimeout
+	}
+	return http.StatusInternalServerError
+}
+
+func wireErr(code, format string, args ...any) *WireError {
+	return &WireError{Code: code, Message: fmt.Sprintf(format, args...)}
+}
+
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	if code == CodeShed {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, status, &QueryResponse{Error: &WireError{Code: code, Message: msg}})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

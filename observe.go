@@ -55,6 +55,12 @@ func init() {
 	r.GaugeFunc("codecdb_prefetch_bytes_inflight",
 		"Bytes currently staged in prefetch buffers awaiting consumption.",
 		func() float64 { return float64(colstore.GlobalStats().BytesInFlight) })
+	r.CounterFunc("codecdb_page_cache_hits_total",
+		"Page bodies served from the decompressed-page cache (no read, no decompress).",
+		func() float64 { return float64(colstore.GlobalStats().PageCacheHits) })
+	r.CounterFunc("codecdb_page_cache_misses_total",
+		"Page-cache lookups that fell through to the read path.",
+		func() float64 { return float64(colstore.GlobalStats().PageCacheMisses) })
 
 	r.GaugeFunc("codecdb_exec_tasks_inflight",
 		"Worker-pool tasks currently executing.",

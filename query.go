@@ -45,11 +45,14 @@ type Query struct {
 	ctx       context.Context
 	conjuncts []Pred
 	err       error
-	// legacy routes terminals through the operator-at-a-time barrier path
-	// instead of the morsel pipeline — kept for the property tests that
-	// compare the two engines result-for-result.
-	legacy bool
+	// exec carries the per-query execution budgets and engine choice
+	// (see ExecOptions); the zero value is the default behavior.
+	exec ExecOptions
 }
+
+// legacy reports whether terminals route through the operator-at-a-time
+// barrier path instead of the morsel pipeline.
+func (q *Query) legacy() bool { return q.exec.Engine == EngineLegacy }
 
 // WithContext attaches ctx to the query: terminal calls stop promptly with
 // ctx.Err() when it is cancelled or its deadline passes, including mid-scan
@@ -64,22 +67,23 @@ func (q *Query) WithContext(ctx context.Context) *Query {
 }
 
 // withLegacyEngine returns a copy that evaluates terminals with the
-// pre-pipeline barrier strategy. Test-only: the two engines must agree
-// byte-for-byte on every terminal.
+// pre-pipeline barrier strategy — shorthand for WithExec with
+// EngineLegacy. The two engines must agree byte-for-byte on every
+// terminal (see the engine property tests).
 func (q *Query) withLegacyEngine() *Query {
-	cp := q.clone()
-	cp.legacy = true
-	return cp
+	o := q.exec
+	o.Engine = EngineLegacy
+	return q.WithExec(o)
 }
 
 // withoutPrefetch returns a copy whose terminals run the pipeline with
-// the page prefetcher disabled, reading every page synchronously.
-// Test-only: prefetch on and off must agree byte-for-byte on every
+// the page prefetcher disabled — shorthand for WithExec with
+// DisablePrefetch. Prefetch on and off must agree byte-for-byte on every
 // terminal.
 func (q *Query) withoutPrefetch() *Query {
-	cp := q.clone()
-	cp.ctx = ops.ContextWithoutPrefetch(q.context())
-	return cp
+	o := q.exec
+	o.DisablePrefetch = true
+	return q.WithExec(o)
 }
 
 // context returns the query's context, defaulting to Background.
@@ -280,7 +284,9 @@ func (q *Query) plan() (*ops.Plan, error) {
 // metrics (count + latency histogram) and the flight recorder around it.
 func (q *Query) eval() (*bitutil.SectionalBitmap, error) {
 	start := time.Now()
-	ctx, fin := q.record(q.context(), "Eval[legacy]")
+	ectx, cancel := q.execContext()
+	defer cancel()
+	ctx, fin := q.record(ectx, "Eval[legacy]")
 	cp := q.clone()
 	cp.ctx = ctx
 	sel, err := cp.evalFilters()
@@ -355,7 +361,8 @@ func (q *Query) run(term ops.TermKind, col string) (res *ops.PipelineResult, err
 	if q.t.inner.S != nil {
 		return q.runSharded(term, col)
 	}
-	ctx := q.context()
+	ctx, cancel := q.execContext()
+	defer cancel()
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -382,7 +389,7 @@ func (q *Query) run(term ops.TermKind, col string) (res *ops.PipelineResult, err
 
 // Count evaluates the query and returns the matching row count.
 func (q *Query) Count() (int64, error) {
-	if q.legacy {
+	if q.legacy() {
 		sel, err := q.eval()
 		if err != nil {
 			return 0, err
@@ -398,7 +405,7 @@ func (q *Query) Count() (int64, error) {
 
 // RowIDs evaluates the query and returns the matching row positions.
 func (q *Query) RowIDs() ([]int64, error) {
-	if q.legacy {
+	if q.legacy() {
 		sel, err := q.eval()
 		if err != nil {
 			return nil, err
@@ -415,7 +422,7 @@ func (q *Query) RowIDs() ([]int64, error) {
 // Ints evaluates the query and gathers an integer column at the matching
 // rows (late materialization with data skipping).
 func (q *Query) Ints(col string) ([]int64, error) {
-	if q.legacy {
+	if q.legacy() {
 		sel, err := q.eval()
 		if err != nil {
 			return nil, err
@@ -431,7 +438,7 @@ func (q *Query) Ints(col string) ([]int64, error) {
 
 // Floats gathers a float column at the matching rows.
 func (q *Query) Floats(col string) ([]float64, error) {
-	if q.legacy {
+	if q.legacy() {
 		sel, err := q.eval()
 		if err != nil {
 			return nil, err
@@ -448,7 +455,7 @@ func (q *Query) Floats(col string) ([]float64, error) {
 // Strings gathers a string column at the matching rows. The returned
 // slices alias internal buffers; do not mutate them.
 func (q *Query) Strings(col string) ([][]byte, error) {
-	if q.legacy {
+	if q.legacy() {
 		sel, err := q.eval()
 		if err != nil {
 			return nil, err
@@ -507,7 +514,7 @@ func (q *Query) GroupCount(col string) (map[string]int64, error) {
 	if q.t.inner.S != nil {
 		return q.groupCountSharded(col)
 	}
-	if q.legacy {
+	if q.legacy() {
 		sel, err := q.eval()
 		if err != nil {
 			return nil, err
@@ -562,9 +569,14 @@ func groupMap(res *ops.AggResult, labels []string) map[string]int64 {
 
 // SumFloat evaluates the query and sums a float column at matching rows.
 // The pipelined path never materializes the full value vector: each worker
-// folds its row groups' gathered values into a running sum.
+// folds its row groups' gathered values into a running sum. Non-float
+// columns are rejected up front (the gather path would otherwise
+// reinterpret their pages as float bits).
 func (q *Query) SumFloat(col string) (float64, error) {
-	if q.legacy {
+	if typ, ok := q.t.ColumnType(col); ok && typ != "FLOAT64" {
+		return 0, fmt.Errorf("codecdb: SumFloat needs a FLOAT64 column, %q is %s", col, typ)
+	}
+	if q.legacy() {
 		vals, err := q.Floats(col)
 		if err != nil {
 			return 0, err

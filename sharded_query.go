@@ -131,7 +131,8 @@ func validateShardedPred(cols []shard.Column, p Pred) error {
 // runSharded is the sharded counterpart of Query.run: same terminals,
 // same metrics, results merged across the snapshot.
 func (q *Query) runSharded(term ops.TermKind, col string) (res *ops.PipelineResult, err error) {
-	ctx := q.context()
+	ctx, cancel := q.execContext()
+	defer cancel()
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,225 @@
+package codecdb
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"codecdb/internal/ops"
+)
+
+// Terminal names what a wave query returns.
+type Terminal int
+
+const (
+	// TerminalCount returns the matching row count.
+	TerminalCount Terminal = iota
+	// TerminalRowIDs returns matching row positions.
+	TerminalRowIDs
+	// TerminalSum sums a float column over the matches.
+	TerminalSum
+	// TerminalGroupCount counts matches per distinct value of a
+	// dictionary-encoded column.
+	TerminalGroupCount
+)
+
+// String names the terminal (wire format, flight recorder).
+func (t Terminal) String() string {
+	switch t {
+	case TerminalCount:
+		return "count"
+	case TerminalRowIDs:
+		return "rowids"
+	case TerminalSum:
+		return "sum"
+	case TerminalGroupCount:
+		return "group_count"
+	}
+	return "?"
+}
+
+func (t Terminal) term() (ops.TermKind, bool) {
+	switch t {
+	case TerminalCount:
+		return ops.TermCount, true
+	case TerminalRowIDs:
+		return ops.TermRowIDs, true
+	case TerminalSum:
+		return ops.TermSumFloat, true
+	case TerminalGroupCount:
+		return ops.TermGroupCount, true
+	}
+	return 0, false
+}
+
+// WaveQuery is one member of a cooperative scan wave: a predicate (the
+// zero Pred selects every row) and the terminal it feeds. Col names the
+// measured column for TerminalSum and TerminalGroupCount.
+type WaveQuery struct {
+	Pred     Pred
+	Terminal Terminal
+	Col      string
+}
+
+// WaveResult is one member's answer. Exactly the field matching the
+// query's terminal is populated; Err is that member's failure (bad
+// predicate, unknown column, mid-scan IO error) and leaves the others
+// unaffected.
+type WaveResult struct {
+	Count  int64
+	RowIDs []int64
+	Sum    float64
+	Groups map[string]int64
+	Err    error
+}
+
+// Wave evaluates several queries against the table in one cooperative
+// scan: all members run as a single morsel-driven pass, so each page is
+// fetched and decompressed once per wave, not once per query (with a
+// page cache configured, repeat waves skip even that). This is the
+// decompress-once primitive a multi-user serving layer batches
+// concurrent queries onto.
+//
+// Budgets (deadline, worker cap, prefetch) travel on ctx the same way
+// ExecOptions lowers them — use ExecOptions.Context to derive one.
+// Ingest tables have no single shared reader; their members currently
+// evaluate sequentially through the regular per-query path, preserving
+// the API contract if not the IO bound.
+func (t *Table) Wave(ctx context.Context, qs []WaveQuery) ([]WaveResult, error) {
+	out := make([]WaveResult, len(qs))
+	if len(qs) == 0 {
+		return out, nil
+	}
+	if t.inner.S != nil {
+		return t.waveSharded(ctx, qs)
+	}
+	start := time.Now()
+	items := make([]ops.SharedItem, len(qs))
+	for i, wq := range qs {
+		term, ok := wq.Terminal.term()
+		if !ok {
+			out[i].Err = fmt.Errorf("codecdb: unknown terminal %d", wq.Terminal)
+			continue
+		}
+		items[i] = ops.SharedItem{Term: term, Col: wq.Col}
+		if wq.Terminal == TerminalSum {
+			// Reject non-float measures before the scan; the shared gather
+			// would otherwise reinterpret their pages as float bits.
+			typ, ok := t.ColumnType(wq.Col)
+			if !ok {
+				out[i].Err = fmt.Errorf("codecdb: unknown column %q", wq.Col)
+				continue
+			}
+			if typ != "FLOAT64" {
+				out[i].Err = fmt.Errorf("codecdb: SumFloat needs a FLOAT64 column, %q is %s", wq.Col, typ)
+				continue
+			}
+		}
+		if wq.Terminal == TerminalGroupCount {
+			// Validate the encoding up front so the member fails with the
+			// same message the solo path gives.
+			if _, _, _, err := groupLabelsOn(t.inner.R, wq.Col); err != nil {
+				out[i].Err = err
+				continue
+			}
+		}
+		if !isZeroPred(wq.Pred) {
+			bp, err := bindPredOn(t.inner.R, wq.Pred, false)
+			if err != nil {
+				out[i].Err = err
+				continue
+			}
+			items[i].Plan = ops.BuildPlan(bp, t.inner.R)
+		}
+	}
+	// Members that failed validation sit the wave out as no-op items.
+	run := make([]ops.SharedItem, 0, len(items))
+	runIdx := make([]int, 0, len(items))
+	for i := range items {
+		if out[i].Err == nil {
+			run = append(run, items[i])
+			runIdx = append(runIdx, i)
+		}
+	}
+	results, errs, fatal := ops.RunShared(ctx, t.inner.R, t.db.inner.DataPool(), run)
+	if fatal != nil {
+		return out, fatal
+	}
+	for j, i := range runIdx {
+		if errs[j] != nil {
+			out[i].Err = errs[j]
+			continue
+		}
+		out[i] = waveResultFrom(t, qs[i], results[j])
+	}
+	queriesTotal.Add(int64(len(qs)))
+	queryLatency.Observe(time.Since(start).Seconds())
+	return out, nil
+}
+
+// waveResultFrom lowers one pipeline result into the member's terminal
+// shape.
+func waveResultFrom(t *Table, wq WaveQuery, res *ops.PipelineResult) WaveResult {
+	wr := WaveResult{Count: res.Count}
+	switch wq.Terminal {
+	case TerminalRowIDs:
+		wr.RowIDs = res.RowIDs
+	case TerminalSum:
+		wr.Sum = res.Sum
+	case TerminalGroupCount:
+		_, _, labels, err := groupLabelsOn(t.inner.R, wq.Col)
+		if err != nil {
+			wr.Err = err
+			break
+		}
+		wr.Groups = groupMap(res.Group, labels)
+	}
+	return wr
+}
+
+// waveSharded is the ingest-table arm: no shared static reader exists,
+// so members evaluate sequentially through the regular sharded path.
+func (t *Table) waveSharded(ctx context.Context, qs []WaveQuery) ([]WaveResult, error) {
+	out := make([]WaveResult, len(qs))
+	for i, wq := range qs {
+		if err := ctx.Err(); err != nil {
+			return out, err
+		}
+		q := t.All().WithContext(ctx)
+		if !isZeroPred(wq.Pred) {
+			q = q.AndPred(wq.Pred)
+		}
+		switch wq.Terminal {
+		case TerminalCount:
+			out[i].Count, out[i].Err = q.Count()
+		case TerminalRowIDs:
+			out[i].RowIDs, out[i].Err = q.RowIDs()
+			out[i].Count = int64(len(out[i].RowIDs))
+		case TerminalSum:
+			out[i].Sum, out[i].Err = q.SumFloat(wq.Col)
+		case TerminalGroupCount:
+			out[i].Groups, out[i].Err = q.GroupCount(wq.Col)
+		default:
+			out[i].Err = fmt.Errorf("codecdb: unknown terminal %d", wq.Terminal)
+		}
+	}
+	return out, nil
+}
+
+// isZeroPred reports whether p is the match-everything zero value (or an
+// empty conjunction, which means the same).
+func isZeroPred(p Pred) bool {
+	return p.kind == predZero || (p.kind == predAll && len(p.kids) == 0)
+}
+
+// Epoch identifies the table's current data version. Two calls returning
+// the same epoch saw the same rows, so epoch-keyed caches (results,
+// decompressed pages) may serve stale-free hits; ingest tables bump the
+// epoch on every durable append and flush. For static tables the epoch
+// is the open reader's identity.
+func (t *Table) Epoch() uint64 {
+	if t.inner.S != nil {
+		return t.inner.S.Epoch()
+	}
+	return t.inner.R.ID()
+}
