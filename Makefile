@@ -1,14 +1,15 @@
 GO ?= go
 
-.PHONY: check build test vet race race-obs race-pipeline race-prefetch race-serve crash guard-obs fuzz bench bench-obs bench-planner bench-planner-smoke bench-pipeline bench-scale bench-serve serve-demo
+.PHONY: check build test vet race race-obs race-pipeline race-prefetch race-serve race-join crash guard-obs fuzz bench bench-obs bench-planner bench-planner-smoke bench-pipeline bench-scale bench-serve bench-tpch bench-tpch-smoke serve-demo
 
 # check is the tier-1 verification gate: everything must compile, pass
 # vet, and pass the full test suite under the race detector, with the
-# observability-layer, morsel-executor, prefetch, and serving-layer
-# race tests called out explicitly, the crash-point matrix for the
-# durable write path, the observability overhead guards, plus one
-# iteration of the planner pipeline benchmark as a smoke test.
-check: vet build race race-obs race-pipeline race-prefetch race-serve crash guard-obs bench-planner-smoke
+# observability-layer, morsel-executor, prefetch, serving-layer, and
+# relational-executor race tests called out explicitly, the crash-point
+# matrix for the durable write path, the observability overhead guards,
+# plus one iteration of the planner pipeline and engine-vs-legacy
+# benchmarks as smoke tests.
+check: vet build race race-obs race-pipeline race-prefetch race-serve race-join crash guard-obs bench-planner-smoke bench-tpch-smoke
 
 build:
 	$(GO) build ./...
@@ -61,6 +62,15 @@ race-prefetch:
 race-serve:
 	$(GO) test -race -count=1 ./internal/serve/
 	$(GO) test -race -count=1 -run 'TestWave|TestEpoch|TestWithExec|TestPageCacheOption' .
+
+# race-join focuses the race detector on the relational executor: the
+# join/group/sort kernels and their oracle property tests, the
+# engine-compiled ≡ legacy equivalence suites for TPC-H and SSB, and
+# the public relational Query API (joins, order-by/limit, trace spans).
+race-join:
+	$(GO) test -race -count=1 -run 'TestHashJoin|TestRel|TestExternalSort|TestSortRows|TestTopN' ./internal/ops/
+	$(GO) test -race -count=1 -run 'TestEngineMatchesLegacy' ./internal/tpch/ ./internal/ssb/
+	$(GO) test -race -count=1 -run 'TestQueryJoin|TestQuerySemiAnti|TestQueryRows|TestExplainAnalyzeRel|TestTracedTopK|TestRelDict' .
 
 # crash runs the write-path fault-injection suite under the race
 # detector: the crash-point matrix (every write-side filesystem
@@ -141,6 +151,25 @@ SERVEBENCHOUT ?= BENCH_PR9.json
 bench-serve:
 	$(GO) test -run xxx -bench BenchmarkServeConcurrency -benchtime 50x ./internal/serve/ \
 		| $(GO) run ./cmd/benchjson -o $(SERVEBENCHOUT) -section current
+
+# bench-tpch writes BENCH_PR10.json: every TPC-H query and SSB flight
+# through the engine-compiled relational plan (relq + morsel pipeline)
+# vs the legacy hand-coded operator-at-a-time plan — ns/op, allocs/op,
+# and pagesRead/op side by side. The engine must match or beat legacy
+# on pages read for the filter-heavy queries.
+TPCHBENCHOUT ?= BENCH_PR10.json
+bench-tpch:
+	$(GO) test -run xxx -bench BenchmarkTPCHEngineVsLegacy -benchmem -benchtime 10x -timeout 1800s ./internal/tpch/ \
+		| $(GO) run ./cmd/benchjson -o $(TPCHBENCHOUT) -section tpch
+	$(GO) test -run xxx -bench BenchmarkSSBEngineVsLegacy -benchmem -benchtime 10x -timeout 1800s ./internal/ssb/ \
+		| $(GO) run ./cmd/benchjson -o $(TPCHBENCHOUT) -section ssb
+
+# bench-tpch-smoke runs one iteration of every engine-vs-legacy pair
+# (each plan self-checks by executing end to end, so this doubles as a
+# correctness gate in check).
+bench-tpch-smoke:
+	$(GO) test -run xxx -bench BenchmarkTPCHEngineVsLegacy -benchtime 1x ./internal/tpch/
+	$(GO) test -run xxx -bench BenchmarkSSBEngineVsLegacy -benchtime 1x ./internal/ssb/
 
 # bench-planner-smoke runs one iteration of each planner pipeline
 # benchmark (they self-check counts, so this doubles as a correctness

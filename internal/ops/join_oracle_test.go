@@ -1,0 +1,127 @@
+package ops
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"codecdb/internal/exec"
+)
+
+// sortPairs canonicalizes a join result to (probe, build) order so the
+// parallel probe's chunk order doesn't affect comparison.
+func sortPairs(j *JoinPairs) [][2]int64 {
+	out := make([][2]int64, j.Len())
+	for i := range out {
+		out[i] = [2]int64{j.Probe[i], j.Build[i]}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a][0] != out[b][0] {
+			return out[a][0] < out[b][0]
+		}
+		return out[a][1] < out[b][1]
+	})
+	return out
+}
+
+// nestedLoopOracle is the trivially-correct equi-join: every matching
+// (probe, build) index pair.
+func nestedLoopOracle(buildKeys, probeKeys []int64) [][2]int64 {
+	var out [][2]int64
+	for p, pk := range probeKeys {
+		for b, bk := range buildKeys {
+			if pk == bk {
+				out = append(out, [2]int64{int64(p), int64(b)})
+			}
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a][0] != out[b][0] {
+			return out[a][0] < out[b][0]
+		}
+		return out[a][1] < out[b][1]
+	})
+	return out
+}
+
+func pairsEqual(a, b [][2]int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestHashJoinMatchesNestedLoopOracle is the join-correctness property:
+// HashJoinBuild/Probe must produce exactly the pair set of the naive
+// nested loop across randomized inputs — duplicate keys on both sides
+// (cross products), empty sides, and heavily skewed multi-maps.
+func TestHashJoinMatchesNestedLoopOracle(t *testing.T) {
+	pool := exec.NewPool(4)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		buildN := rng.Intn(200)
+		probeN := rng.Intn(300)
+		// A small key domain forces duplicates and multi-map chains; a
+		// skew key makes one chain much longer than the rest.
+		domain := int64(1 + rng.Intn(20))
+		skew := rng.Int63n(domain)
+		draw := func() int64 {
+			if rng.Intn(3) == 0 {
+				return skew
+			}
+			return rng.Int63n(domain)
+		}
+		buildKeys := make([]int64, buildN)
+		for i := range buildKeys {
+			buildKeys[i] = draw()
+		}
+		probeKeys := make([]int64, probeN)
+		for i := range probeKeys {
+			probeKeys[i] = draw()
+		}
+		m := HashJoinBuild(pool, buildKeys, nil)
+		got := sortPairs(HashJoinProbe(pool, m, probeKeys, nil))
+		want := nestedLoopOracle(buildKeys, probeKeys)
+		if !pairsEqual(got, want) {
+			t.Logf("seed %d: got %d pairs, want %d", seed, len(got), len(want))
+			return false
+		}
+		// The single-threaded baseline must agree too.
+		if !pairsEqual(sortPairs(ObliviousHashJoin(buildKeys, probeKeys)), want) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHashJoinEmptySides covers the degenerate inputs explicitly.
+func TestHashJoinEmptySides(t *testing.T) {
+	pool := exec.NewPool(2)
+	keys := []int64{1, 2, 3}
+	if got := HashJoinProbe(pool, HashJoinBuild(pool, nil, nil), keys, nil); got.Len() != 0 {
+		t.Fatalf("empty build side joined %d pairs", got.Len())
+	}
+	if got := HashJoinProbe(pool, HashJoinBuild(pool, keys, nil), nil, nil); got.Len() != 0 {
+		t.Fatalf("empty probe side joined %d pairs", got.Len())
+	}
+}
+
+// TestHashJoinExplicitRowIDs checks the rows parameters remap pair ids.
+func TestHashJoinExplicitRowIDs(t *testing.T) {
+	pool := exec.NewPool(2)
+	m := HashJoinBuild(pool, []int64{7, 8}, []int64{100, 200})
+	got := sortPairs(HashJoinProbe(pool, m, []int64{8, 7}, []int64{10, 20}))
+	want := [][2]int64{{10, 200}, {20, 100}}
+	if !pairsEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}

@@ -43,6 +43,9 @@ const (
 	TermGroupCount
 	// TermSumFloat sums a float column over the selection.
 	TermSumFloat
+	// TermRel feeds a relational plan: join/filter stages then a grouped
+	// or collected sink (see RelPlan).
+	TermRel
 )
 
 // String names the terminal for display (flight recorder, debug pages).
@@ -62,6 +65,8 @@ func (t TermKind) String() string {
 		return "GroupCount"
 	case TermSumFloat:
 		return "SumFloat"
+	case TermRel:
+		return "Rel"
 	}
 	return "?"
 }
@@ -76,6 +81,7 @@ type PipelineResult struct {
 	Strings [][]byte
 	Group   *AggResult
 	Sum     float64
+	Rel     *Batch
 }
 
 // pipeLeaf is one compiled filter stage: the prepared filter plus the
@@ -120,6 +126,11 @@ type pipeline struct {
 	term TermKind
 	col  string
 	ci   int
+
+	// rel is the relational plan a TermRel pipeline executes after its
+	// filter stages: per-row-group join probes and residual filters, then
+	// a grouped or collected sink.
+	rel *RelPlan
 
 	// fetch is the per-query page prefetcher (nil when prefetch is off,
 	// the plan fell back to the barrier path, or nothing is worth
@@ -177,6 +188,10 @@ type pipeWorker struct {
 	agg     *PartialArrayAgg
 	taps    []colstore.IOTap
 	stats   []stageStats
+
+	// relational sink partials (TermRel): one of these per worker.
+	relGroup *relGroupAcc
+	relTop   *relTopK
 }
 
 // pipeParts holds per-row-group output slots; workers write disjoint
@@ -190,6 +205,9 @@ type pipeParts struct {
 	// row-group order, so the result does not depend on which worker
 	// claimed which morsel.
 	sums []float64
+	// rel holds one collected batch fragment per row group (TermRel with
+	// an unsorted or fully-sorted collect sink).
+	rel []*Batch
 }
 
 // buildPipeline compiles a planned query against one reader: every plan
@@ -197,7 +215,7 @@ type pipeParts struct {
 // barrier path), terminal columns are resolved, and — because lazy
 // dictionary faults bypass the per-stage IO taps — every dictionary any
 // stage could touch is faulted now, inside the Prepare window.
-func buildPipeline(r *colstore.Reader, pool *exec.Pool, pl *Plan, term TermKind, col string, traced bool) (*pipeline, error) {
+func buildPipeline(r *colstore.Reader, pool *exec.Pool, pl *Plan, term TermKind, col string, rp *RelPlan, traced bool) (*pipeline, error) {
 	p := &pipeline{r: r, pool: pool, plan: pl, term: term, col: col, ci: -1, traced: traced}
 	if pl != nil {
 		nLeaves, nNodes := countPlan(pl.Root)
@@ -259,8 +277,25 @@ func buildPipeline(r *colstore.Reader, pool *exec.Pool, pl *Plan, term TermKind,
 			p.rgStart[i] = off
 			off += int64(r.RowGroupRows(i))
 		}
+	case TermRel:
+		if rp == nil {
+			return nil, fmt.Errorf("ops: TermRel pipeline without a relational plan")
+		}
+		p.rel = rp
+		if err := p.buildRel(rp); err != nil {
+			return nil, err
+		}
 	}
 	return p, nil
+}
+
+// relStageCount reports how many relational stages sit between the filter
+// stages and the sink (0 for scalar terminals).
+func (p *pipeline) relStageCount() int {
+	if p.rel == nil {
+		return 0
+	}
+	return len(p.rel.Stages)
 }
 
 // countPlan sizes the compile slabs: leaves and total nodes in the plan
@@ -421,9 +456,17 @@ func (p *pipeline) newWorker(wi int) *pipeWorker {
 	if p.term == TermGroupCount {
 		w.agg = NewPartialArrayAgg(p.keySpace, p.aggKinds)
 	}
+	if p.rel != nil {
+		switch {
+		case p.rel.Sink.Group != nil:
+			w.relGroup = newRelGroupAcc(p.rel.Sink.Group, p.rel.Sink.Inputs)
+		case p.rel.Sink.Collect != nil && p.rel.Sink.Collect.K > 0:
+			w.relTop = newRelTopK(&p.rel.Sink)
+		}
+	}
 	if p.traced {
-		w.taps = make([]colstore.IOTap, nk+1)
-		w.stats = make([]stageStats, nk+1)
+		w.taps = make([]colstore.IOTap, nk+p.relStageCount()+1)
+		w.stats = make([]stageStats, nk+p.relStageCount()+1)
 	}
 	return w
 }
@@ -501,6 +544,10 @@ func (p *pipeline) initParts(n int) *pipeParts {
 		parts.strs = make([][][]byte, n)
 	case TermSumFloat:
 		parts.sums = make([]float64, n)
+	case TermRel:
+		if p.rel.Sink.Collect != nil && p.rel.Sink.Collect.K == 0 {
+			parts.rel = make([]*Batch, n)
+		}
 	}
 	return parts
 }
@@ -557,6 +604,8 @@ func (p *pipeline) merge(workers []*pipeWorker) *PipelineResult {
 			}
 		}
 		res.Group = total.Result()
+	case TermRel:
+		res.Rel = p.mergeRel(workers)
 	}
 	return res
 }
@@ -691,6 +740,9 @@ func (p *pipeline) runMorsel(ctx context.Context, w *pipeWorker, rg int, fsel *b
 		}
 	default:
 		bm = fullGroupBitmap(p.r.RowGroupRows(rg))
+	}
+	if p.term == TermRel {
+		return p.relTerminal(w, rg, bm, parts)
 	}
 	return p.terminal(w, rg, bm, parts)
 }
@@ -904,26 +956,52 @@ func fullGroupBitmap(rows int) *bitutil.Bitmap {
 func RunPipeline(ctx context.Context, r *colstore.Reader, pool *exec.Pool, pl *Plan, term TermKind, col string) (*PipelineResult, error) {
 	sp := obs.SpanFrom(ctx)
 	if sp == nil {
-		p, err := buildPipeline(r, pool, pl, term, col, false)
+		p, err := buildPipeline(r, pool, pl, term, col, nil, false)
 		if err != nil {
 			return nil, err
 		}
 		return p.run(ctx)
 	}
-	return runPipelineTraced(ctx, sp, r, pool, pl, term, col)
+	return runPipelineTraced(ctx, sp, r, pool, pl, term, col, nil)
+}
+
+// RunRelPipeline compiles and executes a relational plan: the predicate
+// plan's filter stages, then rp's join/filter stages and sink, all per row
+// group on the morsel pipeline. Traced runs render each join stage and
+// the sink as stage spans whose IO keeps the Σ-stages = pipeline-delta
+// invariant (joins on dictionary keys book only key-page reads — build
+// and probe never touch string pages).
+func RunRelPipeline(ctx context.Context, r *colstore.Reader, pool *exec.Pool, pl *Plan, rp *RelPlan) (*Batch, error) {
+	sp := obs.SpanFrom(ctx)
+	var res *PipelineResult
+	var err error
+	if sp == nil {
+		var p *pipeline
+		p, err = buildPipeline(r, pool, pl, TermRel, "", rp, false)
+		if err != nil {
+			return nil, err
+		}
+		res, err = p.run(ctx)
+	} else {
+		res, err = runPipelineTraced(ctx, sp, r, pool, pl, TermRel, "", rp)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return res.Rel, nil
 }
 
 // runPipelineTraced is RunPipeline under a span: per-stage taps and stats
 // are merged across workers into one stage child each after the run, with
 // summed worker busy time as each stage's duration (wall clock cannot
 // express work interleaved across morsels).
-func runPipelineTraced(ctx context.Context, sp *obs.Span, r *colstore.Reader, pool *exec.Pool, pl *Plan, term TermKind, col string) (*PipelineResult, error) {
+func runPipelineTraced(ctx context.Context, sp *obs.Span, r *colstore.Reader, pool *exec.Pool, pl *Plan, term TermKind, col string, rp *RelPlan) (*PipelineResult, error) {
 	child := sp.StartChild("Pipeline[" + pipelineLabel(term, col) + "]")
 	cctx := obs.ContextWithSpan(ctx, child)
 	ioBefore := r.Stats()
 	tasksBefore := pool.Completed()
 	prepStart := time.Now()
-	p, err := buildPipeline(r, pool, pl, term, col, true)
+	p, err := buildPipeline(r, pool, pl, term, col, rp, true)
 	prepIO := ioDelta(ioBefore, r.Stats())
 	prepDur := time.Since(prepStart)
 	var res *PipelineResult
@@ -958,10 +1036,44 @@ func runPipelineTraced(ctx context.Context, sp *obs.Span, r *colstore.Reader, po
 				fs.SetDuration(time.Duration(st.nanos))
 			}
 		}
-		ts := child.StartChild(terminalSpanName(term, col))
-		st := p.mergedStats(len(p.leaves))
-		ts.SetRows(st.rowsIn, st.rowsOut)
-		tap := p.mergedIOTap(len(p.leaves))
+		if p.rel != nil {
+			for si := range p.rel.Stages {
+				stg := &p.rel.Stages[si]
+				js := child.StartChild(relStageSpanName(stg))
+				if stg.Kind != RelRowFilter {
+					js.AddDetail("build rows=%d", stg.Table.Len())
+					for _, k := range stg.Keys {
+						if k.Kind == RelKey {
+							js.AddDetail("probe key %s: dictionary codes", k.Col)
+						} else {
+							js.AddDetail("probe key %s: int values", k.Col)
+						}
+					}
+				}
+				st := p.mergedStats(len(p.leaves) + si)
+				js.SetRows(st.rowsIn, st.rowsOut)
+				tap := p.mergedIOTap(len(p.leaves) + si)
+				addStageTimeDetails(js, &tap, st.nanos)
+				js.AddIO(spanIOFromTap(&tap))
+				js.End()
+				js.SetDuration(time.Duration(st.nanos))
+			}
+		}
+		termIdx := len(p.leaves) + p.relStageCount()
+		name := terminalSpanName(term, col)
+		if p.rel != nil {
+			name = relSinkSpanName(p.rel)
+		}
+		ts := child.StartChild(name)
+		st := p.mergedStats(termIdx)
+		rowsOut := st.rowsOut
+		if term == TermRel && res != nil && res.Rel != nil {
+			// Worker partials over-count sink output (each worker's top-K
+			// buffer and group cells merge later); report the merged size.
+			rowsOut = int64(res.Rel.N)
+		}
+		ts.SetRows(st.rowsIn, rowsOut)
+		tap := p.mergedIOTap(termIdx)
 		addStageTimeDetails(ts, &tap, st.nanos)
 		ts.AddIO(spanIOFromTap(&tap))
 		ts.End()
@@ -986,7 +1098,7 @@ func runPipelineTraced(ctx context.Context, sp *obs.Span, r *colstore.Reader, po
 		// decompress time into the live entry so the finished record can
 		// split wall time into wait/decompress/scan.
 		var wait, dec int64
-		for i := 0; i <= len(p.leaves); i++ {
+		for i := 0; i <= len(p.leaves)+p.relStageCount(); i++ {
 			tap := p.mergedIOTap(i)
 			wait += tap.WaitNanos
 			dec += tap.DecompressNanos
@@ -1066,6 +1178,8 @@ func pipelineLabel(term TermKind, col string) string {
 		return "group " + col
 	case TermSumFloat:
 		return "sum " + col
+	case TermRel:
+		return "relational"
 	}
 	return "?"
 }
@@ -1083,6 +1197,31 @@ func terminalSpanName(term TermKind, col string) string {
 		return "Aggregate[count by " + col + "]"
 	case TermSumFloat:
 		return "Sum[" + col + "]"
+	case TermRel:
+		return "Sink"
 	}
 	return "?"
+}
+
+// relStageSpanName names one relational stage's span.
+func relStageSpanName(st *RelStage) string {
+	if st.Kind == RelRowFilter {
+		return "RowFilter[" + st.Name + "]"
+	}
+	return "Join[" + st.Name + " " + st.Kind.String() + "]"
+}
+
+// relSinkSpanName names the relational sink's span after what it does.
+func relSinkSpanName(rp *RelPlan) string {
+	if g := rp.Sink.Group; g != nil {
+		return fmt.Sprintf("GroupBy[%d keys, %d aggs]", len(g.Keys), len(g.Aggs))
+	}
+	c := rp.Sink.Collect
+	switch {
+	case c.K > 0:
+		return fmt.Sprintf("Sort[top %d]", c.K)
+	case len(c.Sort) > 0:
+		return "Sort[all]"
+	}
+	return "Collect[rows]"
 }

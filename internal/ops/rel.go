@@ -1,0 +1,1017 @@
+package ops
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"codecdb/internal/bitutil"
+	"codecdb/internal/colstore"
+	"codecdb/internal/encoding"
+)
+
+// This file extends the morsel pipeline from single-table predicates to
+// relational plans: late-materialized hash-join probe stages, row-level
+// residual filters, multi-column group-by with packed composite keys, and
+// order-by/limit with a per-worker top-K short-circuit. A RelPlan rides on
+// the same compiled pipeline as the filter stages (TermRel), so every row
+// group flows filter → probes → sink on one worker with worker-local
+// partials merged deterministically in row-group order.
+
+// RelValKind types one relational input vector.
+type RelValKind int
+
+const (
+	// RelInt is a decoded int64 column or batch column.
+	RelInt RelValKind = iota
+	// RelFloat is a float64 column or batch column.
+	RelFloat
+	// RelStr is a byte-string column or batch column.
+	RelStr
+	// RelKey is the dictionary-code view of a dict-encoded scan column:
+	// the join and group fast path that never touches value pages.
+	RelKey
+)
+
+// RelJoinKind discriminates probe-stage semantics.
+type RelJoinKind int
+
+const (
+	// RelSemi keeps rows whose key exists in the build table.
+	RelSemi RelJoinKind = iota
+	// RelAnti keeps rows whose key is absent from the build table.
+	RelAnti
+	// RelInner expands each row by its build matches and attaches the
+	// build row for payload access.
+	RelInner
+	// RelLeft is RelInner keeping unmatched rows with build row -1.
+	RelLeft
+	// RelRowFilter is a residual row-level predicate over scan columns
+	// and earlier stages' payloads (non-equi join conditions).
+	RelRowFilter
+)
+
+func (k RelJoinKind) String() string {
+	switch k {
+	case RelSemi:
+		return "semi"
+	case RelAnti:
+		return "anti"
+	case RelInner:
+		return "inner"
+	case RelLeft:
+		return "left"
+	case RelRowFilter:
+		return "filter"
+	}
+	return "?"
+}
+
+// Batch is a small materialized columnar intermediate — a build side, a
+// grouped partial's merge result, or a collected projection. Exactly one
+// of Ints/Floats/Strs is non-nil per column.
+type Batch struct {
+	N      int
+	Names  []string
+	Kinds  []RelValKind
+	Ints   [][]int64
+	Floats [][]float64
+	Strs   [][][]byte
+}
+
+// Col returns the index of the named column, -1 if absent.
+func (b *Batch) Col(name string) int {
+	for i, n := range b.Names {
+		if n == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// AddInts appends an int64 column.
+func (b *Batch) AddInts(name string, vals []int64) *Batch {
+	b.N = len(vals)
+	b.Names = append(b.Names, name)
+	b.Kinds = append(b.Kinds, RelInt)
+	b.Ints = append(b.Ints, vals)
+	b.Floats = append(b.Floats, nil)
+	b.Strs = append(b.Strs, nil)
+	return b
+}
+
+// AddFloats appends a float64 column.
+func (b *Batch) AddFloats(name string, vals []float64) *Batch {
+	b.N = len(vals)
+	b.Names = append(b.Names, name)
+	b.Kinds = append(b.Kinds, RelFloat)
+	b.Ints = append(b.Ints, nil)
+	b.Floats = append(b.Floats, vals)
+	b.Strs = append(b.Strs, nil)
+	return b
+}
+
+// AddStrs appends a byte-string column.
+func (b *Batch) AddStrs(name string, vals [][]byte) *Batch {
+	b.N = len(vals)
+	b.Names = append(b.Names, name)
+	b.Kinds = append(b.Kinds, RelStr)
+	b.Ints = append(b.Ints, nil)
+	b.Floats = append(b.Floats, nil)
+	b.Strs = append(b.Strs, vals)
+	return b
+}
+
+// JoinTable is a hash multi-map over build-side keys, probed per row group
+// by the pipeline's join stages. Build is single-threaded so match lists
+// are insertion-ordered and results are deterministic run to run. The two
+// PCH-reserved keys are diverted to side lists rather than rejected.
+type JoinTable struct {
+	m       *PCHMulti
+	special [2][]int32
+	n       int
+}
+
+// NewJoinTable builds the hash table over keys; keys[i] maps to build row
+// i. Duplicate keys multi-map.
+func NewJoinTable(keys []int64) *JoinTable {
+	t := &JoinTable{n: len(keys)}
+	if len(keys) == 0 {
+		return t
+	}
+	t.m = NewPCHMulti(len(keys))
+	for i, k := range keys {
+		if k == emptyKey || k == tombKey {
+			t.special[k-emptyKey] = append(t.special[k-emptyKey], int32(i))
+			continue
+		}
+		t.m.Insert(k, int64(i))
+	}
+	return t
+}
+
+// Len reports the number of build rows.
+func (t *JoinTable) Len() int { return t.n }
+
+// Contains reports whether any build row carries key k.
+func (t *JoinTable) Contains(k int64) bool {
+	if k == emptyKey || k == tombKey {
+		return len(t.special[k-emptyKey]) > 0
+	}
+	return t.m != nil && t.m.Contains(k)
+}
+
+// Each calls fn for every build row carrying key k, in insertion order.
+func (t *JoinTable) Each(k int64, fn func(row int32)) {
+	if k == emptyKey || k == tombKey {
+		for _, r := range t.special[k-emptyKey] {
+			fn(r)
+		}
+		return
+	}
+	if t.m == nil {
+		return
+	}
+	// PCHMulti lists iterate newest-first; reverse to insertion order so
+	// probe output is stable against the build sequence.
+	var buf [8]int64
+	rows := buf[:0]
+	t.m.Each(k, func(row int64) { rows = append(rows, row) })
+	for i := len(rows) - 1; i >= 0; i-- {
+		fn(int32(rows[i]))
+	}
+}
+
+// RelInput names one value vector a stage or sink consumes: a scan column
+// of the probe table (FromStage -1) in one of the four kinds, or a payload
+// column of an earlier inner/left join stage's build batch.
+type RelInput struct {
+	FromStage int
+	Col       string
+	Kind      RelValKind
+
+	ci   int // resolved scan column index
+	bcol int // resolved batch column index
+}
+
+// RelEnv is the materialized row-aligned view of a stage's or sink's
+// inputs for one row group: slot j holds input j in the slice matching its
+// kind.
+type RelEnv struct {
+	N int
+	I [][]int64
+	F [][]float64
+	S [][][]byte
+}
+
+// RelStage is one probe or residual-filter stage of a relational plan.
+type RelStage struct {
+	Name string
+	Kind RelJoinKind
+
+	// Join stages: probe keys are int-typed scan inputs (RelInt/RelKey),
+	// combined by KeyFn (nil means the single first key).
+	Keys    []RelInput
+	KeyFn   func(keys [][]int64, i int) int64
+	Table   *JoinTable
+	Payload *Batch
+
+	// RelRowFilter stages.
+	Inputs []RelInput
+	Keep   func(e *RelEnv, i int) bool
+}
+
+// RelAggKind names a group-by aggregate.
+type RelAggKind int
+
+const (
+	// RelAggCount counts rows per group.
+	RelAggCount RelAggKind = iota
+	// RelAggSumInt sums an int64 expression.
+	RelAggSumInt
+	// RelAggSumFloat sums a float64 expression.
+	RelAggSumFloat
+	// RelAggMinInt keeps the minimum of an int64 expression.
+	RelAggMinInt
+	// RelAggMaxInt keeps the maximum of an int64 expression.
+	RelAggMaxInt
+	// RelAggMinFloat keeps the minimum of a float64 expression.
+	RelAggMinFloat
+	// RelAggMaxFloat keeps the maximum of a float64 expression.
+	RelAggMaxFloat
+	// RelAggCountDistinct counts distinct values of an int64 expression.
+	RelAggCountDistinct
+)
+
+// intAgg reports whether the aggregate's output column is integer-typed.
+func (k RelAggKind) intAgg() bool {
+	switch k {
+	case RelAggCount, RelAggSumInt, RelAggMinInt, RelAggMaxInt, RelAggCountDistinct:
+		return true
+	}
+	return false
+}
+
+// RelGroupKey is one group-by key: a sink input (int or string typed) or a
+// computed int expression over the sink env. [Lo,Hi) is the declared value
+// domain; when every key has one and the widths pack into 62 bits the
+// accumulator runs on packed int64 composite keys, otherwise on an encoded
+// byte-string fallback.
+type RelGroupKey struct {
+	Input  int
+	Fn     func(e *RelEnv, i int) int64
+	Lo, Hi int64
+	Str    bool
+}
+
+// RelAgg is one aggregate: a direct sink input or a computed expression.
+type RelAgg struct {
+	Kind  RelAggKind
+	Input int
+	FnI   func(e *RelEnv, i int) int64
+	FnF   func(e *RelEnv, i int) float64
+}
+
+// RelGroup is a grouped sink.
+type RelGroup struct {
+	Keys []RelGroupKey
+	Aggs []RelAgg
+}
+
+// RelSortKey orders collected rows by one sink input.
+type RelSortKey struct {
+	Input int
+	Desc  bool
+}
+
+// RelCollect is a row-collection sink: the sink inputs become output
+// columns in row-group order, optionally sorted (K == 0) or top-K reduced
+// per worker before a deterministic merge (K > 0).
+type RelCollect struct {
+	Sort []RelSortKey
+	K    int
+}
+
+// RelSink is the plan's terminal: exactly one of Group or Collect.
+type RelSink struct {
+	Inputs  []RelInput
+	Group   *RelGroup
+	Collect *RelCollect
+}
+
+// RelPlan is a compiled relational query over one probe table: ordered
+// probe/filter stages then a sink. Names label the output batch columns
+// (group: keys then aggregates; collect: one per sink input).
+type RelPlan struct {
+	Stages []RelStage
+	Sink   RelSink
+	Names  []string
+}
+
+// resolveRelInput binds one input against the probe reader and the plan's
+// stage payload batches.
+func resolveRelInput(r *colstore.Reader, stages []RelStage, in *RelInput) error {
+	if in.FromStage < 0 {
+		ci, c, err := r.Column(in.Col)
+		if err != nil {
+			return err
+		}
+		in.ci = ci
+		switch in.Kind {
+		case RelKey:
+			if c.Encoding != encoding.KindDict && c.Encoding != encoding.KindDictRLE {
+				return fmt.Errorf("ops: dict-key input %q on non-dictionary column", in.Col)
+			}
+		case RelInt:
+			if c.Type != colstore.TypeInt64 {
+				return fmt.Errorf("ops: int input %q on %v column", in.Col, c.Type)
+			}
+		case RelFloat:
+			if c.Type != colstore.TypeFloat64 {
+				return fmt.Errorf("ops: float input %q on %v column", in.Col, c.Type)
+			}
+		case RelStr:
+			if c.Type != colstore.TypeString {
+				return fmt.Errorf("ops: string input %q on %v column", in.Col, c.Type)
+			}
+		}
+		return nil
+	}
+	if in.FromStage >= len(stages) {
+		return fmt.Errorf("ops: input %q references stage %d of %d", in.Col, in.FromStage, len(stages))
+	}
+	st := &stages[in.FromStage]
+	if st.Kind != RelInner && st.Kind != RelLeft {
+		return fmt.Errorf("ops: payload input %q on %s stage %q", in.Col, st.Kind, st.Name)
+	}
+	if st.Payload == nil {
+		return fmt.Errorf("ops: stage %q carries no payload", st.Name)
+	}
+	bc := st.Payload.Col(in.Col)
+	if bc < 0 {
+		return fmt.Errorf("ops: stage %q payload has no column %q", st.Name, in.Col)
+	}
+	in.bcol = bc
+	in.Kind = st.Payload.Kinds[bc]
+	return nil
+}
+
+// buildRel validates and resolves a relational plan against the probe
+// reader, and (traced) prefaults every dictionary its gathers could touch
+// so stage taps account all IO.
+func (p *pipeline) buildRel(rp *RelPlan) error {
+	for si := range rp.Stages {
+		st := &rp.Stages[si]
+		switch st.Kind {
+		case RelRowFilter:
+			if st.Keep == nil {
+				return fmt.Errorf("ops: filter stage %q has no predicate", st.Name)
+			}
+			for j := range st.Inputs {
+				in := &st.Inputs[j]
+				if in.FromStage >= si {
+					return fmt.Errorf("ops: stage %q input %q references a later stage", st.Name, in.Col)
+				}
+				if err := resolveRelInput(p.r, rp.Stages, in); err != nil {
+					return err
+				}
+				p.prefaultRelInput(in)
+			}
+		default:
+			if st.Table == nil {
+				return fmt.Errorf("ops: join stage %q has no build table", st.Name)
+			}
+			if len(st.Keys) == 0 {
+				return fmt.Errorf("ops: join stage %q has no probe key", st.Name)
+			}
+			for j := range st.Keys {
+				in := &st.Keys[j]
+				if in.FromStage >= 0 {
+					return fmt.Errorf("ops: join stage %q probes a payload column", st.Name)
+				}
+				if in.Kind != RelInt && in.Kind != RelKey {
+					return fmt.Errorf("ops: join stage %q key %q is not int-typed", st.Name, in.Col)
+				}
+				if err := resolveRelInput(p.r, rp.Stages, in); err != nil {
+					return err
+				}
+				p.prefaultRelInput(in)
+			}
+		}
+	}
+	sk := &rp.Sink
+	if (sk.Group == nil) == (sk.Collect == nil) {
+		return fmt.Errorf("ops: relational sink needs exactly one of Group/Collect")
+	}
+	for j := range sk.Inputs {
+		if err := resolveRelInput(p.r, rp.Stages, &sk.Inputs[j]); err != nil {
+			return err
+		}
+		p.prefaultRelInput(&sk.Inputs[j])
+	}
+	if g := sk.Group; g != nil {
+		for _, k := range g.Keys {
+			if k.Fn == nil && (k.Input < 0 || k.Input >= len(sk.Inputs)) {
+				return fmt.Errorf("ops: group key input %d out of range", k.Input)
+			}
+		}
+		for _, a := range g.Aggs {
+			if a.Kind != RelAggCount && a.FnI == nil && a.FnF == nil &&
+				(a.Input < 0 || a.Input >= len(sk.Inputs)) {
+				return fmt.Errorf("ops: aggregate input %d out of range", a.Input)
+			}
+		}
+	}
+	if c := sk.Collect; c != nil {
+		for _, s := range c.Sort {
+			if s.Input < 0 || s.Input >= len(sk.Inputs) {
+				return fmt.Errorf("ops: sort key input %d out of range", s.Input)
+			}
+		}
+	}
+	return nil
+}
+
+// prefaultRelInput faults the dictionary behind one scan input (traced
+// runs only — see faultDict).
+func (p *pipeline) prefaultRelInput(in *RelInput) {
+	if in.FromStage >= 0 {
+		return
+	}
+	if _, c, err := p.r.Column(in.Col); err == nil {
+		p.faultDict(in.ci, c)
+	}
+}
+
+// relRows tracks the current row set of one morsel through the probe
+// stages, relative to the basis selection bitmap the filter stages
+// produced: src maps each live row to its position in bitmap-gather order
+// (nil = identity), builds[s] holds the attached build row per live row
+// for inner/left stage s (-1 = left miss).
+type relRows struct {
+	n      int
+	src    []int32
+	builds [][]int32
+}
+
+// apply reshapes the row set by perm (new row i was old row perm[i]).
+func (st *relRows) apply(perm []int32) {
+	if st.src == nil {
+		st.src = perm
+	} else {
+		ns := make([]int32, len(perm))
+		for i, o := range perm {
+			ns[i] = st.src[o]
+		}
+		st.src = ns
+	}
+	for t, b := range st.builds {
+		if b == nil {
+			continue
+		}
+		nb := make([]int32, len(perm))
+		for i, o := range perm {
+			nb[i] = b[o]
+		}
+		st.builds[t] = nb
+	}
+	st.n = len(perm)
+}
+
+// relMorsel is the per-row-group execution state: the basis bitmap and a
+// cache of gathered basis vectors, so a column any number of stages and
+// the sink consume is fetched and decoded exactly once per row group (by
+// the first stage to touch it, which books the IO on its tap).
+type relMorsel struct {
+	p      *pipeline
+	w      *pipeWorker
+	rg     int
+	bm     *bitutil.Bitmap
+	ints   map[int][]int64
+	keys   map[int][]int64
+	floats map[int][]float64
+	strs   map[int][][]byte
+}
+
+func (m *relMorsel) scanInts(ci int, tap *colstore.IOTap) ([]int64, error) {
+	if v, ok := m.ints[ci]; ok {
+		return v, nil
+	}
+	v, err := m.p.r.Chunk(m.rg, ci).Tap(tap).Fetch(m.p.fetch).GatherInts(m.bm)
+	if err != nil {
+		return nil, err
+	}
+	m.ints[ci] = v
+	return v, nil
+}
+
+func (m *relMorsel) scanKeys(ci int, tap *colstore.IOTap) ([]int64, error) {
+	if v, ok := m.keys[ci]; ok {
+		return v, nil
+	}
+	v, err := m.p.r.Chunk(m.rg, ci).Tap(tap).Fetch(m.p.fetch).GatherKeys(m.bm)
+	if err != nil {
+		return nil, err
+	}
+	m.keys[ci] = v
+	return v, nil
+}
+
+func (m *relMorsel) scanFloats(ci int, tap *colstore.IOTap) ([]float64, error) {
+	if v, ok := m.floats[ci]; ok {
+		return v, nil
+	}
+	v, err := m.p.r.Chunk(m.rg, ci).Tap(tap).Fetch(m.p.fetch).GatherFloats(m.bm)
+	if err != nil {
+		return nil, err
+	}
+	m.floats[ci] = v
+	return v, nil
+}
+
+func (m *relMorsel) scanStrs(ci int, tap *colstore.IOTap) ([][]byte, error) {
+	if v, ok := m.strs[ci]; ok {
+		return v, nil
+	}
+	v, err := m.p.r.Chunk(m.rg, ci).Tap(tap).Fetch(m.p.fetch).GatherStrings(m.bm)
+	if err != nil {
+		return nil, err
+	}
+	m.strs[ci] = v
+	return v, nil
+}
+
+// env materializes inputs row-aligned to the current row set: scan vectors
+// are indexed through src, payload columns through the owning stage's
+// build attachment (left misses read zero values).
+func (m *relMorsel) env(inputs []RelInput, st *relRows, tap *colstore.IOTap) (*RelEnv, error) {
+	e := &RelEnv{
+		N: st.n,
+		I: make([][]int64, len(inputs)),
+		F: make([][]float64, len(inputs)),
+		S: make([][][]byte, len(inputs)),
+	}
+	for j := range inputs {
+		in := &inputs[j]
+		if in.FromStage < 0 {
+			switch in.Kind {
+			case RelInt:
+				base, err := m.scanInts(in.ci, tap)
+				if err != nil {
+					return nil, err
+				}
+				e.I[j] = indexInts(base, st.src)
+			case RelKey:
+				base, err := m.scanKeys(in.ci, tap)
+				if err != nil {
+					return nil, err
+				}
+				e.I[j] = indexInts(base, st.src)
+			case RelFloat:
+				base, err := m.scanFloats(in.ci, tap)
+				if err != nil {
+					return nil, err
+				}
+				e.F[j] = indexFloats(base, st.src)
+			case RelStr:
+				base, err := m.scanStrs(in.ci, tap)
+				if err != nil {
+					return nil, err
+				}
+				e.S[j] = indexStrs(base, st.src)
+			}
+			continue
+		}
+		b := st.builds[in.FromStage]
+		pay := m.p.rel.Stages[in.FromStage].Payload
+		switch pay.Kinds[in.bcol] {
+		case RelInt:
+			src := pay.Ints[in.bcol]
+			out := make([]int64, st.n)
+			for i, r := range b {
+				if r >= 0 {
+					out[i] = src[r]
+				}
+			}
+			e.I[j] = out
+		case RelFloat:
+			src := pay.Floats[in.bcol]
+			out := make([]float64, st.n)
+			for i, r := range b {
+				if r >= 0 {
+					out[i] = src[r]
+				}
+			}
+			e.F[j] = out
+		case RelStr:
+			src := pay.Strs[in.bcol]
+			out := make([][]byte, st.n)
+			for i, r := range b {
+				if r >= 0 {
+					out[i] = src[r]
+				}
+			}
+			e.S[j] = out
+		}
+	}
+	return e, nil
+}
+
+func indexInts(base []int64, src []int32) []int64 {
+	if src == nil {
+		return base
+	}
+	out := make([]int64, len(src))
+	for i, o := range src {
+		out[i] = base[o]
+	}
+	return out
+}
+
+func indexFloats(base []float64, src []int32) []float64 {
+	if src == nil {
+		return base
+	}
+	out := make([]float64, len(src))
+	for i, o := range src {
+		out[i] = base[o]
+	}
+	return out
+}
+
+func indexStrs(base [][]byte, src []int32) [][]byte {
+	if src == nil {
+		return base
+	}
+	out := make([][]byte, len(src))
+	for i, o := range src {
+		out[i] = base[o]
+	}
+	return out
+}
+
+// probeKeys computes the probe key per live row for one join stage.
+func (m *relMorsel) probeKeys(st *RelStage, rows *relRows, tap *colstore.IOTap) ([]int64, error) {
+	vecs := make([][]int64, len(st.Keys))
+	for j := range st.Keys {
+		in := &st.Keys[j]
+		var base []int64
+		var err error
+		if in.Kind == RelKey {
+			base, err = m.scanKeys(in.ci, tap)
+		} else {
+			base, err = m.scanInts(in.ci, tap)
+		}
+		if err != nil {
+			return nil, err
+		}
+		vecs[j] = base
+	}
+	keys := make([]int64, rows.n)
+	for i := 0; i < rows.n; i++ {
+		o := i
+		if rows.src != nil {
+			o = int(rows.src[i])
+		}
+		if st.KeyFn != nil {
+			keys[i] = st.KeyFn(vecs, o)
+		} else {
+			keys[i] = vecs[0][o]
+		}
+	}
+	return keys, nil
+}
+
+// runRelStage executes one probe/filter stage over the morsel's current
+// row set, recording row flow on the stage's stats slot.
+func (m *relMorsel) runRelStage(si int, rows *relRows) error {
+	p, w := m.p, m.w
+	st := &p.rel.Stages[si]
+	var start time.Time
+	if w.stats != nil {
+		start = time.Now()
+	}
+	var tap *colstore.IOTap
+	if w.taps != nil {
+		tap = &w.taps[len(p.leaves)+si]
+	}
+	rowsIn := rows.n
+	var err error
+	switch st.Kind {
+	case RelSemi, RelAnti:
+		var keys []int64
+		keys, err = m.probeKeys(st, rows, tap)
+		if err == nil {
+			want := st.Kind == RelSemi
+			perm := make([]int32, 0, rows.n)
+			for i := 0; i < rows.n; i++ {
+				if st.Table.Contains(keys[i]) == want {
+					perm = append(perm, int32(i))
+				}
+			}
+			rows.apply(perm)
+		}
+	case RelInner, RelLeft:
+		var keys []int64
+		keys, err = m.probeKeys(st, rows, tap)
+		if err == nil {
+			perm := make([]int32, 0, rows.n)
+			build := make([]int32, 0, rows.n)
+			for i := 0; i < rows.n; i++ {
+				matched := false
+				st.Table.Each(keys[i], func(r int32) {
+					matched = true
+					perm = append(perm, int32(i))
+					build = append(build, r)
+				})
+				if !matched && st.Kind == RelLeft {
+					perm = append(perm, int32(i))
+					build = append(build, -1)
+				}
+			}
+			rows.apply(perm)
+			rows.builds[si] = build
+		}
+	case RelRowFilter:
+		var e *RelEnv
+		e, err = m.env(st.Inputs, rows, tap)
+		if err == nil {
+			perm := make([]int32, 0, rows.n)
+			for i := 0; i < rows.n; i++ {
+				if st.Keep(e, i) {
+					perm = append(perm, int32(i))
+				}
+			}
+			rows.apply(perm)
+		}
+	}
+	if w.stats != nil {
+		s := &w.stats[len(p.leaves)+si]
+		s.rowsIn += int64(rowsIn)
+		s.rowsOut += int64(rows.n)
+		s.nanos += time.Since(start).Nanoseconds()
+	}
+	return err
+}
+
+// relTerminal drives one row group's selection through the plan's probe
+// stages and sink. An empty selection touches nothing, like the scalar
+// terminals.
+func (p *pipeline) relTerminal(w *pipeWorker, rg int, bm *bitutil.Bitmap, parts *pipeParts) error {
+	card := 0
+	if bm != nil {
+		card = bm.Cardinality()
+	}
+	if card == 0 {
+		return nil
+	}
+	m := &relMorsel{
+		p: p, w: w, rg: rg, bm: bm,
+		ints:   map[int][]int64{},
+		keys:   map[int][]int64{},
+		floats: map[int][]float64{},
+		strs:   map[int][][]byte{},
+	}
+	rows := &relRows{n: card, builds: make([][]int32, len(p.rel.Stages))}
+	for si := range p.rel.Stages {
+		if err := m.runRelStage(si, rows); err != nil {
+			return err
+		}
+		if rows.n == 0 {
+			break
+		}
+	}
+	var start time.Time
+	if w.stats != nil {
+		start = time.Now()
+	}
+	var tap *colstore.IOTap
+	if w.taps != nil {
+		tap = &w.taps[len(w.taps)-1]
+	}
+	var err error
+	if rows.n > 0 {
+		var e *RelEnv
+		e, err = m.env(p.rel.Sink.Inputs, rows, tap)
+		if err == nil {
+			w.count += int64(rows.n)
+			switch {
+			case p.rel.Sink.Group != nil:
+				w.relGroup.accumulate(e)
+			case p.rel.Sink.Collect != nil:
+				if w.relTop != nil {
+					w.relTop.add(e, rg)
+				} else {
+					parts.rel[rg] = collectBatch(e, &p.rel.Sink)
+				}
+			}
+		}
+	}
+	if w.stats != nil {
+		s := &w.stats[len(w.stats)-1]
+		s.rowsIn += int64(rows.n)
+		s.rowsOut += int64(rows.n)
+		s.nanos += time.Since(start).Nanoseconds()
+	}
+	return err
+}
+
+// collectBatch freezes one row group's sink env as a batch fragment.
+func collectBatch(e *RelEnv, sk *RelSink) *Batch {
+	b := &Batch{N: e.N}
+	for j := range sk.Inputs {
+		name := sk.Inputs[j].Col
+		switch {
+		case e.I[j] != nil:
+			b.Names = append(b.Names, name)
+			b.Kinds = append(b.Kinds, RelInt)
+			b.Ints = append(b.Ints, e.I[j])
+			b.Floats = append(b.Floats, nil)
+			b.Strs = append(b.Strs, nil)
+		case e.F[j] != nil:
+			b.AddFloats(name, e.F[j])
+		default:
+			b.AddStrs(name, e.S[j])
+		}
+		b.N = e.N
+	}
+	return b
+}
+
+// mergeRel folds the worker partials into the final batch: grouped cells
+// merge then sort by key; collected fragments concatenate in row-group
+// order then sort (and truncate) when requested.
+func (p *pipeline) mergeRel(workers []*pipeWorker) *Batch {
+	sk := &p.rel.Sink
+	if sk.Group != nil {
+		total := newRelGroupAcc(sk.Group, sk.Inputs)
+		for _, w := range workers {
+			if w != nil && w.relGroup != nil {
+				total.merge(w.relGroup)
+			}
+		}
+		return total.result(p.rel)
+	}
+	if sk.Collect.K > 0 {
+		top := newRelTopK(sk)
+		for _, w := range workers {
+			if w != nil && w.relTop != nil {
+				top.rows = append(top.rows, w.relTop.rows...)
+			}
+		}
+		top.trim(sk.Collect.K)
+		return top.batch(p.rel)
+	}
+	frags := make([]*Batch, 0, len(p.parts.rel))
+	for _, f := range p.parts.rel {
+		if f != nil && f.N > 0 {
+			frags = append(frags, f)
+		}
+	}
+	out := concatBatches(frags, sk, p.rel)
+	if len(sk.Collect.Sort) > 0 {
+		sortBatch(out, sk.Collect.Sort)
+	}
+	return out
+}
+
+// concatBatches concatenates fragments (already in row-group order) into
+// one output batch named by the plan.
+func concatBatches(frags []*Batch, sk *RelSink, rp *RelPlan) *Batch {
+	out := &Batch{}
+	total := 0
+	for _, f := range frags {
+		total += f.N
+	}
+	for j := range sk.Inputs {
+		name := rp.Names[j]
+		kind := RelInt
+		if len(frags) > 0 {
+			kind = frags[0].Kinds[j]
+		} else {
+			kind = sinkInputKind(&sk.Inputs[j])
+		}
+		switch kind {
+		case RelFloat:
+			col := make([]float64, 0, total)
+			for _, f := range frags {
+				col = append(col, f.Floats[j]...)
+			}
+			out.AddFloats(name, col)
+		case RelStr:
+			col := make([][]byte, 0, total)
+			for _, f := range frags {
+				col = append(col, f.Strs[j]...)
+			}
+			out.AddStrs(name, col)
+		default:
+			col := make([]int64, 0, total)
+			for _, f := range frags {
+				col = append(col, f.Ints[j]...)
+			}
+			out.AddInts(name, col)
+		}
+	}
+	out.N = total
+	return out
+}
+
+func sinkInputKind(in *RelInput) RelValKind {
+	if in.Kind == RelKey {
+		return RelInt
+	}
+	return in.Kind
+}
+
+// SortBatch stable-sorts a batch in place by the given keys (post-
+// processing hook for result batches outside the pipeline).
+func SortBatch(b *Batch, keys []RelSortKey) { sortBatch(b, keys) }
+
+// sortBatch stable-sorts a batch in place by the sink sort keys.
+func sortBatch(b *Batch, keys []RelSortKey) {
+	perm := make([]int, b.N)
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.SliceStable(perm, func(x, y int) bool {
+		return compareBatchRows(b, keys, perm[x], perm[y]) < 0
+	})
+	for j := range b.Names {
+		switch {
+		case b.Ints[j] != nil:
+			src := b.Ints[j]
+			out := make([]int64, len(perm))
+			for i, o := range perm {
+				out[i] = src[o]
+			}
+			b.Ints[j] = out
+		case b.Floats[j] != nil:
+			src := b.Floats[j]
+			out := make([]float64, len(perm))
+			for i, o := range perm {
+				out[i] = src[o]
+			}
+			b.Floats[j] = out
+		default:
+			src := b.Strs[j]
+			out := make([][]byte, len(perm))
+			for i, o := range perm {
+				out[i] = src[o]
+			}
+			b.Strs[j] = out
+		}
+	}
+}
+
+func compareBatchRows(b *Batch, keys []RelSortKey, x, y int) int {
+	for _, k := range keys {
+		j := k.Input
+		var c int
+		switch {
+		case b.Ints[j] != nil:
+			c = compareI64(b.Ints[j][x], b.Ints[j][y])
+		case b.Floats[j] != nil:
+			c = compareF64(b.Floats[j][x], b.Floats[j][y])
+		default:
+			c = compareBytes(b.Strs[j][x], b.Strs[j][y])
+		}
+		if k.Desc {
+			c = -c
+		}
+		if c != 0 {
+			return c
+		}
+	}
+	return 0
+}
+
+func compareI64(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+func compareF64(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+func compareBytes(a, b []byte) int {
+	sa, sb := string(a), string(b)
+	switch {
+	case sa < sb:
+		return -1
+	case sa > sb:
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,452 @@
+package ops
+
+import (
+	"encoding/binary"
+	"math"
+	"sort"
+)
+
+// Worker-local group-by accumulation for relational plans. When every
+// group key declares an int domain [Lo,Hi) and the widths pack into 62
+// bits, keys compose into one packed int64 and cells live in a flat
+// int64-keyed map; otherwise keys serialize into an order-preserving byte
+// encoding. Either way partials merge cell-wise at the end of the run and
+// the result batch is sorted by key tuple, so output is deterministic
+// regardless of worker count or morsel schedule.
+
+// relCell is one group's running aggregate state.
+type relCell struct {
+	keyI []int64
+	keyS [][]byte
+	avs  []relAggVal
+}
+
+type relAggVal struct {
+	i int64
+	f float64
+	d map[int64]struct{}
+}
+
+// relGroupAcc is one worker's (or the merged) grouped partial.
+type relGroupAcc struct {
+	g      *RelGroup
+	inputs []RelInput
+	packed bool
+	shift  []uint
+	lo     []int64
+	pm     map[int64]*relCell
+	bm     map[string]*relCell
+	kbuf   []byte
+}
+
+func newRelGroupAcc(g *RelGroup, inputs []RelInput) *relGroupAcc {
+	a := &relGroupAcc{g: g, inputs: inputs}
+	a.packed = true
+	bits := uint(0)
+	for _, k := range g.Keys {
+		if k.Str || k.Hi <= k.Lo {
+			a.packed = false
+			break
+		}
+		w := uint(0)
+		for span := uint64(k.Hi - k.Lo); span > 0; span >>= 1 {
+			w++
+		}
+		bits += w
+	}
+	if a.packed && bits <= 62 {
+		a.shift = make([]uint, len(g.Keys))
+		a.lo = make([]int64, len(g.Keys))
+		at := uint(0)
+		for i := len(g.Keys) - 1; i >= 0; i-- {
+			k := g.Keys[i]
+			a.shift[i] = at
+			a.lo[i] = k.Lo
+			for span := uint64(k.Hi - k.Lo); span > 0; span >>= 1 {
+				at++
+			}
+		}
+		a.pm = make(map[int64]*relCell)
+	} else {
+		a.packed = false
+		a.bm = make(map[string]*relCell)
+	}
+	return a
+}
+
+// keyOf evaluates group key j for env row i.
+func (a *relGroupAcc) keyOf(j int, e *RelEnv, i int) int64 {
+	k := &a.g.Keys[j]
+	if k.Fn != nil {
+		return k.Fn(e, i)
+	}
+	return e.I[k.Input][i]
+}
+
+// cell returns (creating if needed) the cell for env row i.
+func (a *relGroupAcc) cell(e *RelEnv, i int) *relCell {
+	if a.packed {
+		var pk int64
+		for j := range a.g.Keys {
+			pk |= (a.keyOf(j, e, i) - a.lo[j]) << a.shift[j]
+		}
+		c := a.pm[pk]
+		if c == nil {
+			c = a.newCell(e, i)
+			a.pm[pk] = c
+		}
+		return c
+	}
+	a.kbuf = a.kbuf[:0]
+	for j := range a.g.Keys {
+		k := &a.g.Keys[j]
+		if k.Str {
+			s := e.S[k.Input][i]
+			a.kbuf = binary.BigEndian.AppendUint32(a.kbuf, uint32(len(s)))
+			a.kbuf = append(a.kbuf, s...)
+			continue
+		}
+		a.kbuf = binary.BigEndian.AppendUint64(a.kbuf, uint64(a.keyOf(j, e, i)))
+	}
+	c := a.bm[string(a.kbuf)]
+	if c == nil {
+		c = a.newCell(e, i)
+		a.bm[string(a.kbuf)] = c
+	}
+	return c
+}
+
+func (a *relGroupAcc) newCell(e *RelEnv, i int) *relCell {
+	c := &relCell{avs: make([]relAggVal, len(a.g.Aggs))}
+	for j := range a.g.Keys {
+		k := &a.g.Keys[j]
+		if k.Str {
+			s := e.S[k.Input][i]
+			c.keyS = append(c.keyS, append([]byte(nil), s...))
+			c.keyI = append(c.keyI, 0)
+			continue
+		}
+		c.keyI = append(c.keyI, a.keyOf(j, e, i))
+		c.keyS = append(c.keyS, nil)
+	}
+	for j, ag := range a.g.Aggs {
+		switch ag.Kind {
+		case RelAggMinInt:
+			c.avs[j].i = math.MaxInt64
+		case RelAggMaxInt:
+			c.avs[j].i = math.MinInt64
+		case RelAggMinFloat:
+			c.avs[j].f = math.Inf(1)
+		case RelAggMaxFloat:
+			c.avs[j].f = math.Inf(-1)
+		case RelAggCountDistinct:
+			c.avs[j].d = make(map[int64]struct{})
+		}
+	}
+	return c
+}
+
+func (a *relGroupAcc) aggI(ag *RelAgg, e *RelEnv, i int) int64 {
+	if ag.FnI != nil {
+		return ag.FnI(e, i)
+	}
+	return e.I[ag.Input][i]
+}
+
+func (a *relGroupAcc) aggF(ag *RelAgg, e *RelEnv, i int) float64 {
+	if ag.FnF != nil {
+		return ag.FnF(e, i)
+	}
+	return e.F[ag.Input][i]
+}
+
+// accumulate folds every env row into the partial.
+func (a *relGroupAcc) accumulate(e *RelEnv) {
+	for i := 0; i < e.N; i++ {
+		c := a.cell(e, i)
+		for j := range a.g.Aggs {
+			ag := &a.g.Aggs[j]
+			v := &c.avs[j]
+			switch ag.Kind {
+			case RelAggCount:
+				v.i++
+			case RelAggSumInt:
+				v.i += a.aggI(ag, e, i)
+			case RelAggSumFloat:
+				v.f += a.aggF(ag, e, i)
+			case RelAggMinInt:
+				if x := a.aggI(ag, e, i); x < v.i {
+					v.i = x
+				}
+			case RelAggMaxInt:
+				if x := a.aggI(ag, e, i); x > v.i {
+					v.i = x
+				}
+			case RelAggMinFloat:
+				if x := a.aggF(ag, e, i); x < v.f {
+					v.f = x
+				}
+			case RelAggMaxFloat:
+				if x := a.aggF(ag, e, i); x > v.f {
+					v.f = x
+				}
+			case RelAggCountDistinct:
+				v.d[a.aggI(ag, e, i)] = struct{}{}
+			}
+		}
+	}
+}
+
+// merge folds another worker's partial into this one.
+func (a *relGroupAcc) merge(o *relGroupAcc) {
+	if a.packed {
+		for pk, oc := range o.pm {
+			if c := a.pm[pk]; c != nil {
+				mergeCells(a.g, c, oc)
+			} else {
+				a.pm[pk] = oc
+			}
+		}
+		return
+	}
+	for bk, oc := range o.bm {
+		if c := a.bm[bk]; c != nil {
+			mergeCells(a.g, c, oc)
+		} else {
+			a.bm[bk] = oc
+		}
+	}
+}
+
+func mergeCells(g *RelGroup, c, oc *relCell) {
+	for j := range g.Aggs {
+		v, ov := &c.avs[j], &oc.avs[j]
+		switch g.Aggs[j].Kind {
+		case RelAggCount, RelAggSumInt:
+			v.i += ov.i
+		case RelAggSumFloat:
+			v.f += ov.f
+		case RelAggMinInt:
+			if ov.i < v.i {
+				v.i = ov.i
+			}
+		case RelAggMaxInt:
+			if ov.i > v.i {
+				v.i = ov.i
+			}
+		case RelAggMinFloat:
+			if ov.f < v.f {
+				v.f = ov.f
+			}
+		case RelAggMaxFloat:
+			if ov.f > v.f {
+				v.f = ov.f
+			}
+		case RelAggCountDistinct:
+			for x := range ov.d {
+				v.d[x] = struct{}{}
+			}
+		}
+	}
+}
+
+// result sorts the merged cells by key tuple and lays them out as the
+// output batch: key columns first, then one column per aggregate.
+func (a *relGroupAcc) result(rp *RelPlan) *Batch {
+	var cells []*relCell
+	if a.packed {
+		cells = make([]*relCell, 0, len(a.pm))
+		for _, c := range a.pm {
+			cells = append(cells, c)
+		}
+	} else {
+		cells = make([]*relCell, 0, len(a.bm))
+		for _, c := range a.bm {
+			cells = append(cells, c)
+		}
+	}
+	g := a.g
+	sort.Slice(cells, func(x, y int) bool {
+		cx, cy := cells[x], cells[y]
+		for j := range g.Keys {
+			if g.Keys[j].Str {
+				if c := compareBytes(cx.keyS[j], cy.keyS[j]); c != 0 {
+					return c < 0
+				}
+				continue
+			}
+			if cx.keyI[j] != cy.keyI[j] {
+				return cx.keyI[j] < cy.keyI[j]
+			}
+		}
+		return false
+	})
+	out := &Batch{}
+	col := 0
+	for j := range g.Keys {
+		name := rp.Names[col]
+		col++
+		if g.Keys[j].Str {
+			vals := make([][]byte, len(cells))
+			for i, c := range cells {
+				vals[i] = c.keyS[j]
+			}
+			out.AddStrs(name, vals)
+			continue
+		}
+		vals := make([]int64, len(cells))
+		for i, c := range cells {
+			vals[i] = c.keyI[j]
+		}
+		out.AddInts(name, vals)
+	}
+	for j := range g.Aggs {
+		name := rp.Names[col]
+		col++
+		if g.Aggs[j].Kind.intAgg() {
+			vals := make([]int64, len(cells))
+			for i, c := range cells {
+				if g.Aggs[j].Kind == RelAggCountDistinct {
+					vals[i] = int64(len(c.avs[j].d))
+				} else {
+					vals[i] = c.avs[j].i
+				}
+			}
+			out.AddInts(name, vals)
+			continue
+		}
+		vals := make([]float64, len(cells))
+		for i, c := range cells {
+			vals[i] = c.avs[j].f
+		}
+		out.AddFloats(name, vals)
+	}
+	out.N = len(cells)
+	return out
+}
+
+// relTopK is a per-worker bounded row buffer for order-by + limit: rows
+// keep a stable (rowGroup, sequence) ordinal so ties break by table order
+// and the merge is deterministic.
+type relTopK struct {
+	sk   *RelSink
+	rows []relTopRow
+	seq  int64
+	lim  int
+}
+
+type relTopRow struct {
+	ord int64
+	i   []int64
+	f   []float64
+	s   [][]byte
+}
+
+func newRelTopK(sk *RelSink) *relTopK {
+	k := sk.Collect.K
+	return &relTopK{sk: sk, lim: 4 * k, rows: make([]relTopRow, 0, k)}
+}
+
+// add buffers every env row; past 4·K (min 4096) the buffer is sorted and
+// truncated back to K so memory stays bounded on large scans.
+func (t *relTopK) add(e *RelEnv, rg int) {
+	for i := 0; i < e.N; i++ {
+		r := relTopRow{
+			ord: int64(rg)<<32 | t.seq,
+			i:   make([]int64, len(t.sk.Inputs)),
+			f:   make([]float64, len(t.sk.Inputs)),
+		}
+		t.seq++
+		for j := range t.sk.Inputs {
+			switch {
+			case e.I[j] != nil:
+				r.i[j] = e.I[j][i]
+			case e.F[j] != nil:
+				r.f[j] = e.F[j][i]
+			default:
+				if r.s == nil {
+					r.s = make([][]byte, len(t.sk.Inputs))
+				}
+				r.s[j] = e.S[j][i]
+			}
+		}
+		t.rows = append(t.rows, r)
+	}
+	bound := t.lim
+	if bound < 4096 {
+		bound = 4096
+	}
+	if len(t.rows) > bound {
+		t.trim(t.sk.Collect.K)
+	}
+}
+
+// trim sorts by the collect keys (ordinal tiebreak) and truncates to k.
+func (t *relTopK) trim(k int) {
+	keys := t.sk.Collect.Sort
+	sort.Slice(t.rows, func(x, y int) bool {
+		rx, ry := &t.rows[x], &t.rows[y]
+		for _, sk := range keys {
+			j := sk.Input
+			var c int
+			switch sinkInputKind(&t.sk.Inputs[j]) {
+			case RelStr:
+				var bx, by []byte
+				if rx.s != nil {
+					bx = rx.s[j]
+				}
+				if ry.s != nil {
+					by = ry.s[j]
+				}
+				c = compareBytes(bx, by)
+			case RelFloat:
+				c = compareF64(rx.f[j], ry.f[j])
+			default:
+				c = compareI64(rx.i[j], ry.i[j])
+			}
+			if sk.Desc {
+				c = -c
+			}
+			if c != 0 {
+				return c < 0
+			}
+		}
+		return rx.ord < ry.ord
+	})
+	if len(t.rows) > k {
+		t.rows = t.rows[:k]
+	}
+}
+
+// batch lays the trimmed rows out as the output batch.
+func (t *relTopK) batch(rp *RelPlan) *Batch {
+	sk := t.sk
+	out := &Batch{}
+	for j := range sk.Inputs {
+		name := rp.Names[j]
+		switch sinkInputKind(&sk.Inputs[j]) {
+		case RelFloat:
+			vals := make([]float64, len(t.rows))
+			for i := range t.rows {
+				vals[i] = t.rows[i].f[j]
+			}
+			out.AddFloats(name, vals)
+		case RelStr:
+			vals := make([][]byte, len(t.rows))
+			for i := range t.rows {
+				if t.rows[i].s != nil {
+					vals[i] = t.rows[i].s[j]
+				}
+			}
+			out.AddStrs(name, vals)
+		default:
+			vals := make([]int64, len(t.rows))
+			for i := range t.rows {
+				vals[i] = t.rows[i].i[j]
+			}
+			out.AddInts(name, vals)
+		}
+	}
+	out.N = len(t.rows)
+	return out
+}

@@ -53,7 +53,7 @@ func RunShared(ctx context.Context, r *colstore.Reader, pool *exec.Pool, items [
 		solo      []int
 	)
 	for i, it := range items {
-		p, err := buildPipeline(r, pool, it.Plan, it.Term, it.Col, false)
+		p, err := buildPipeline(r, pool, it.Plan, it.Term, it.Col, nil, false)
 		if err != nil {
 			errs[i] = err
 			continue

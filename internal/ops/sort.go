@@ -2,6 +2,7 @@ package ops
 
 import (
 	"container/heap"
+	"context"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -129,6 +130,14 @@ func (h *rowHeap) Pop() any {
 // once, spilling sorted runs to tmpDir and k-way merging them — the
 // external merge sort operator (§5.5).
 func ExternalSortInts(vals []int64, memBudget int, tmpDir string) ([]int64, error) {
+	return ExternalSortIntsCtx(context.Background(), vals, memBudget, tmpDir)
+}
+
+// ExternalSortIntsCtx is ExternalSortInts with cancellation: the sort
+// stops between run spills and periodically during the merge, and every
+// temp run file — including a partially written one — is removed on any
+// exit path.
+func ExternalSortIntsCtx(ctx context.Context, vals []int64, memBudget int, tmpDir string) ([]int64, error) {
 	if memBudget <= 0 {
 		memBudget = 1 << 20
 	}
@@ -144,6 +153,9 @@ func ExternalSortInts(vals []int64, memBudget int, tmpDir string) ([]int64, erro
 		}
 	}()
 	for start := 0; start < len(vals); start += memBudget {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		end := start + memBudget
 		if end > len(vals) {
 			end = len(vals)
@@ -151,12 +163,14 @@ func ExternalSortInts(vals []int64, memBudget int, tmpDir string) ([]int64, erro
 		run := append([]int64(nil), vals[start:end]...)
 		sort.Slice(run, func(i, j int) bool { return run[i] < run[j] })
 		path := filepath.Join(tmpDir, fmt.Sprintf("run-%d.bin", len(runs)))
+		// Register before writing so a failed write's partial file is
+		// still removed by the deferred cleanup.
+		runs = append(runs, path)
 		if err := writeRun(path, run); err != nil {
 			return nil, err
 		}
-		runs = append(runs, path)
 	}
-	return mergeRuns(runs, len(vals))
+	return mergeRuns(ctx, runs, len(vals))
 }
 
 func writeRun(path string, run []int64) error {
@@ -206,7 +220,7 @@ func (h *runHeap) Pop() any {
 	return x
 }
 
-func mergeRuns(paths []string, total int) ([]int64, error) {
+func mergeRuns(ctx context.Context, paths []string, total int) ([]int64, error) {
 	h := runHeap{}
 	for _, p := range paths {
 		f, err := os.Open(p)
@@ -225,6 +239,11 @@ func mergeRuns(paths []string, total int) ([]int64, error) {
 	heap.Init(&h)
 	out := make([]int64, 0, total)
 	for h.Len() > 0 {
+		if len(out)&8191 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		r := h[0]
 		out = append(out, r.cur)
 		if err := r.next(); err != nil {

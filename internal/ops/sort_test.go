@@ -1,7 +1,10 @@
 package ops
 
 import (
+	"context"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"sort"
 	"testing"
 	"testing/quick"
@@ -124,5 +127,92 @@ func TestExternalSortEmpty(t *testing.T) {
 	got, err := ExternalSortInts(nil, 10, t.TempDir())
 	if err != nil || len(got) != 0 {
 		t.Fatalf("empty sort: %v %v", got, err)
+	}
+}
+
+func runFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range ents {
+		names = append(names, e.Name())
+	}
+	return names
+}
+
+func TestExternalSortCleansRunsOnSuccess(t *testing.T) {
+	dir := t.TempDir()
+	vals := make([]int64, 5000)
+	for i := range vals {
+		vals[i] = int64(5000 - i)
+	}
+	if _, err := ExternalSortInts(vals, 1000, dir); err != nil {
+		t.Fatal(err)
+	}
+	if left := runFiles(t, dir); len(left) != 0 {
+		t.Fatalf("run files left behind: %v", left)
+	}
+}
+
+func TestExternalSortCleansRunsOnWriteError(t *testing.T) {
+	dir := t.TempDir()
+	// Plant a directory where the third run file would be created, so
+	// writeRun fails after two runs have already spilled.
+	if err := os.Mkdir(filepath.Join(dir, "run-2.bin"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	vals := make([]int64, 5000)
+	for i := range vals {
+		vals[i] = int64(i)
+	}
+	if _, err := ExternalSortInts(vals, 1000, dir); err == nil {
+		t.Fatal("expected write error")
+	}
+	for _, name := range runFiles(t, dir) {
+		if name != "run-2.bin" {
+			t.Fatalf("run file %s leaked after error", name)
+		}
+	}
+}
+
+// cancelAfterCtx reports cancellation after Err has been consulted n
+// times, making mid-sort cancellation deterministic.
+type cancelAfterCtx struct {
+	context.Context
+	n int
+}
+
+func (c *cancelAfterCtx) Err() error {
+	if c.n <= 0 {
+		return context.Canceled
+	}
+	c.n--
+	return nil
+}
+
+func TestExternalSortCleansRunsOnCancellation(t *testing.T) {
+	dir := t.TempDir()
+	vals := make([]int64, 5000)
+	for i := range vals {
+		vals[i] = int64(i * 3 % 5000)
+	}
+	// Allow three run spills, then cancel before the fourth.
+	ctx := &cancelAfterCtx{Context: context.Background(), n: 3}
+	if _, err := ExternalSortIntsCtx(ctx, vals, 1000, dir); err != context.Canceled {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if left := runFiles(t, dir); len(left) != 0 {
+		t.Fatalf("run files left behind after cancellation: %v", left)
+	}
+	// Cancellation during the merge phase cleans up too.
+	ctx = &cancelAfterCtx{Context: context.Background(), n: 5} // all spills pass, merge's first check fails
+	if _, err := ExternalSortIntsCtx(ctx, vals, 1000, dir); err != context.Canceled {
+		t.Fatalf("merge phase: want context.Canceled, got %v", err)
+	}
+	if left := runFiles(t, dir); len(left) != 0 {
+		t.Fatalf("run files left behind after merge cancellation: %v", left)
 	}
 }

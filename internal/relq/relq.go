@@ -1,0 +1,444 @@
+// Package relq is the relational query builder over the morsel pipeline:
+// it compiles filters, late-materialized hash joins, residual row
+// predicates, multi-column group-by, and order-by/limit into an
+// ops.RelPlan and runs it through ops.RunRelPipeline. Both benchmark
+// suites (internal/tpch, internal/ssb) and the public codecdb.Query API
+// compile through this package, so there is exactly one relational
+// executor in the engine.
+//
+// The central trick is the dictionary key space: a column name prefixed
+// with "#" denotes the dict-code view of a dict-encoded column. Joins
+// probe on those codes, and build sides are translated into the probe
+// side's code space once per query (TranslateStr/TranslateInt), so
+// equi-joins over encoded columns never decode a string. Group-by keys on
+// "#col" automatically learn the dictionary cardinality as their packed
+// domain.
+package relq
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"codecdb/internal/colstore"
+	"codecdb/internal/exec"
+	"codecdb/internal/obs"
+	"codecdb/internal/ops"
+)
+
+// Q is an under-construction relational query over one probe table.
+// Builder methods accumulate; the first error sticks and surfaces at the
+// terminal.
+type Q struct {
+	r      *colstore.Reader
+	pool   *exec.Pool
+	ctx    context.Context
+	preds  []*ops.Pred
+	stages []ops.RelStage
+	err    error
+}
+
+// Scan starts a query over one table.
+func Scan(r *colstore.Reader, pool *exec.Pool) *Q {
+	return &Q{r: r, pool: pool, ctx: context.Background()}
+}
+
+// WithContext sets the execution context (tracing spans, prefetch and
+// worker knobs, cancellation).
+func (q *Q) WithContext(ctx context.Context) *Q {
+	q.ctx = ctx
+	return q
+}
+
+func (q *Q) fail(err error) *Q {
+	if q.err == nil {
+		q.err = err
+	}
+	return q
+}
+
+// Where adds a scan filter conjunct (planned and morselized with the rest
+// of the predicate tree, ahead of every join stage).
+func (q *Q) Where(f ops.Filter) *Q {
+	q.preds = append(q.preds, ops.LeafPred(f))
+	return q
+}
+
+// WherePred adds an arbitrary predicate tree conjunct.
+func (q *Q) WherePred(p *ops.Pred) *Q {
+	q.preds = append(q.preds, p)
+	return q
+}
+
+// input parses a column reference: "#name" is the dictionary-code view of
+// a dict-encoded scan column, "stage.name" a payload column of an earlier
+// join stage, plain "name" a scan column typed from the schema.
+func (q *Q) input(ref string) (ops.RelInput, error) {
+	if strings.HasPrefix(ref, "#") {
+		return ops.RelInput{FromStage: -1, Col: ref[1:], Kind: ops.RelKey}, nil
+	}
+	if dot := strings.IndexByte(ref, '.'); dot >= 0 {
+		stage, col := ref[:dot], ref[dot+1:]
+		for si := range q.stages {
+			if q.stages[si].Name == stage {
+				in := ops.RelInput{FromStage: si, Col: col}
+				if p := q.stages[si].Payload; p != nil {
+					if bc := p.Col(col); bc >= 0 {
+						in.Kind = p.Kinds[bc]
+					}
+				}
+				return in, nil
+			}
+		}
+		return ops.RelInput{}, fmt.Errorf("relq: no stage %q for input %q", stage, ref)
+	}
+	_, c, err := q.r.Column(ref)
+	if err != nil {
+		return ops.RelInput{}, err
+	}
+	kind := ops.RelInt
+	switch c.Type {
+	case colstore.TypeFloat64:
+		kind = ops.RelFloat
+	case colstore.TypeString:
+		kind = ops.RelStr
+	}
+	return ops.RelInput{FromStage: -1, Col: ref, Kind: kind}, nil
+}
+
+func (q *Q) inputs(refs []string) ([]ops.RelInput, error) {
+	out := make([]ops.RelInput, len(refs))
+	for i, ref := range refs {
+		in, err := q.input(ref)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = in
+	}
+	return out, nil
+}
+
+// join appends one probe stage keyed on a single probe column.
+func (q *Q) join(kind ops.RelJoinKind, name string, keys []int64, payload *ops.Batch, probeKey string) *Q {
+	if q.err != nil {
+		return q
+	}
+	in, err := q.input(probeKey)
+	if err != nil {
+		return q.fail(err)
+	}
+	if in.Kind != ops.RelInt && in.Kind != ops.RelKey {
+		return q.fail(fmt.Errorf("relq: join key %q is not int-typed", probeKey))
+	}
+	q.stages = append(q.stages, ops.RelStage{
+		Name: name, Kind: kind,
+		Keys:    []ops.RelInput{in},
+		Table:   ops.NewJoinTable(keys),
+		Payload: payload,
+	})
+	return q
+}
+
+// Semi keeps probe rows whose probeKey value appears in keys.
+func (q *Q) Semi(name string, keys []int64, probeKey string) *Q {
+	return q.join(ops.RelSemi, name, keys, nil, probeKey)
+}
+
+// Anti keeps probe rows whose probeKey value does not appear in keys.
+func (q *Q) Anti(name string, keys []int64, probeKey string) *Q {
+	return q.join(ops.RelAnti, name, keys, nil, probeKey)
+}
+
+// Join inner-joins the build batch on probeKey = keys[i] (build row i),
+// attaching the batch's columns as "name.col" payload inputs.
+func (q *Q) Join(name string, keys []int64, payload *ops.Batch, probeKey string) *Q {
+	return q.join(ops.RelInner, name, keys, payload, probeKey)
+}
+
+// LeftJoin is Join keeping unmatched probe rows (payload reads as zero
+// values).
+func (q *Q) LeftJoin(name string, keys []int64, payload *ops.Batch, probeKey string) *Q {
+	return q.join(ops.RelLeft, name, keys, payload, probeKey)
+}
+
+// JoinOn is Join with a composite probe key: fn combines the probe
+// columns' values (given as vecs[j][i]) into the int64 key space the
+// build keys live in.
+func (q *Q) JoinOn(kind ops.RelJoinKind, name string, keys []int64, payload *ops.Batch,
+	probeKeys []string, fn func(vecs [][]int64, i int) int64) *Q {
+	if q.err != nil {
+		return q
+	}
+	ins := make([]ops.RelInput, len(probeKeys))
+	for j, ref := range probeKeys {
+		in, err := q.input(ref)
+		if err != nil {
+			return q.fail(err)
+		}
+		ins[j] = in
+	}
+	q.stages = append(q.stages, ops.RelStage{
+		Name: name, Kind: kind,
+		Keys: ins, KeyFn: fn,
+		Table:   ops.NewJoinTable(keys),
+		Payload: payload,
+	})
+	return q
+}
+
+// Row is a positional row view over a residual filter's or sink's inputs.
+type Row struct {
+	E *ops.RelEnv
+	I int
+}
+
+// Int reads input j of the row as int64 (also dict codes).
+func (r Row) Int(j int) int64 { return r.E.I[j][r.I] }
+
+// Float reads input j of the row as float64.
+func (r Row) Float(j int) float64 { return r.E.F[j][r.I] }
+
+// Str reads input j of the row as bytes.
+func (r Row) Str(j int) []byte { return r.E.S[j][r.I] }
+
+// WhereRow adds a residual row-level filter over the named inputs
+// (non-equi join conditions, cross-column predicates). It runs after
+// every earlier stage, in input order.
+func (q *Q) WhereRow(name string, refs []string, keep func(Row) bool) *Q {
+	if q.err != nil {
+		return q
+	}
+	ins, err := q.inputs(refs)
+	if err != nil {
+		return q.fail(err)
+	}
+	q.stages = append(q.stages, ops.RelStage{
+		Name: name, Kind: ops.RelRowFilter,
+		Inputs: ins,
+		Keep:   func(e *ops.RelEnv, i int) bool { return keep(Row{E: e, I: i}) },
+	})
+	return q
+}
+
+// GKey is one group-by key. Ref names a sink input; a "#col" ref groups
+// on dict codes and learns [0, cardinality) as its packed domain
+// automatically. Fn, when set, computes the key from the whole row
+// instead (declare Lo/Hi to keep the packed fast path).
+type GKey struct {
+	Name   string
+	Ref    string
+	Fn     func(Row) int64
+	Lo, Hi int64
+}
+
+// GAgg is one aggregate over the sink inputs.
+type GAgg struct {
+	Name string
+	Kind ops.RelAggKind
+	Ref  string
+	FnI  func(Row) int64
+	FnF  func(Row) float64
+}
+
+// GroupBy executes the plan with a grouped sink and returns the result
+// batch: key columns first (sorted ascending by key tuple), then one
+// column per aggregate.
+func (q *Q) GroupBy(keys []GKey, aggs []GAgg) (*ops.Batch, error) {
+	return q.GroupByOver(nil, keys, aggs)
+}
+
+// GroupByOver is GroupBy with explicitly pre-registered sink inputs: refs
+// become row inputs 0..len(refs)-1 in order, so Fn-computed keys and
+// aggregates can address them positionally via Row.Int/Float/Str. Ref-based
+// keys and aggregates dedupe against the same slots.
+func (q *Q) GroupByOver(refs []string, keys []GKey, aggs []GAgg) (*ops.Batch, error) {
+	if q.err != nil {
+		return nil, q.err
+	}
+	sink := ops.RelSink{Group: &ops.RelGroup{}}
+	names := make([]string, 0, len(keys)+len(aggs))
+	refIdx := map[string]int{}
+	addInput := func(ref string) (int, error) {
+		if j, ok := refIdx[ref]; ok {
+			return j, nil
+		}
+		in, err := q.input(ref)
+		if err != nil {
+			return 0, err
+		}
+		sink.Inputs = append(sink.Inputs, in)
+		refIdx[ref] = len(sink.Inputs) - 1
+		return len(sink.Inputs) - 1, nil
+	}
+	for _, ref := range refs {
+		if _, err := addInput(ref); err != nil {
+			return nil, err
+		}
+	}
+	for _, k := range keys {
+		gk := ops.RelGroupKey{Lo: k.Lo, Hi: k.Hi, Input: -1}
+		if k.Fn != nil {
+			fn := k.Fn
+			gk.Fn = func(e *ops.RelEnv, i int) int64 { return fn(Row{E: e, I: i}) }
+		} else {
+			j, err := addInput(k.Ref)
+			if err != nil {
+				return nil, err
+			}
+			gk.Input = j
+			in := sink.Inputs[j]
+			switch {
+			case in.Kind == ops.RelStr:
+				gk.Str = true
+			case in.Kind == ops.RelKey && gk.Hi <= gk.Lo:
+				card, err := q.dictCard(in.Col)
+				if err != nil {
+					return nil, err
+				}
+				gk.Lo, gk.Hi = 0, int64(card)
+			}
+		}
+		sink.Group.Keys = append(sink.Group.Keys, gk)
+		names = append(names, k.Name)
+	}
+	for _, a := range aggs {
+		ga := ops.RelAgg{Kind: a.Kind, Input: -1}
+		switch {
+		case a.FnI != nil:
+			fn := a.FnI
+			ga.FnI = func(e *ops.RelEnv, i int) int64 { return fn(Row{E: e, I: i}) }
+		case a.FnF != nil:
+			fn := a.FnF
+			ga.FnF = func(e *ops.RelEnv, i int) float64 { return fn(Row{E: e, I: i}) }
+		case a.Kind != ops.RelAggCount:
+			j, err := addInput(a.Ref)
+			if err != nil {
+				return nil, err
+			}
+			ga.Input = j
+		}
+		sink.Group.Aggs = append(sink.Group.Aggs, ga)
+		names = append(names, a.Name)
+	}
+	return q.run(sink, names)
+}
+
+// SortBy orders a collected output by one column.
+type SortBy struct {
+	Ref  string
+	Desc bool
+}
+
+// Rows executes the plan with a collect sink and returns the named inputs
+// as output columns in table order.
+func (q *Q) Rows(refs ...string) (*ops.Batch, error) {
+	return q.collect(refs, nil, 0)
+}
+
+// Sorted is Rows ordered by the given keys (full sort at merge).
+func (q *Q) Sorted(refs []string, by ...SortBy) (*ops.Batch, error) {
+	return q.collect(refs, by, 0)
+}
+
+// TopK is Sorted with a per-worker top-k short-circuit: each worker keeps
+// a bounded buffer, and the merge sorts only the survivors. Ties break by
+// table order, so the result is deterministic.
+func (q *Q) TopK(refs []string, k int, by ...SortBy) (*ops.Batch, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("relq: TopK needs k > 0, got %d", k)
+	}
+	if len(by) == 0 {
+		return nil, fmt.Errorf("relq: TopK needs at least one sort key")
+	}
+	return q.collect(refs, by, k)
+}
+
+func (q *Q) collect(refs []string, by []SortBy, k int) (*ops.Batch, error) {
+	if q.err != nil {
+		return nil, q.err
+	}
+	ins, err := q.inputs(refs)
+	if err != nil {
+		return nil, err
+	}
+	sink := ops.RelSink{Inputs: ins, Collect: &ops.RelCollect{K: k}}
+	for _, s := range by {
+		found := -1
+		for j, ref := range refs {
+			if ref == s.Ref {
+				found = j
+				break
+			}
+		}
+		if found < 0 {
+			return nil, fmt.Errorf("relq: sort key %q is not a collected column", s.Ref)
+		}
+		sink.Collect.Sort = append(sink.Collect.Sort, ops.RelSortKey{Input: found, Desc: s.Desc})
+	}
+	names := make([]string, len(refs))
+	for i, ref := range refs {
+		names[i] = strings.TrimPrefix(ref, "#")
+	}
+	return q.run(sink, names)
+}
+
+// Count executes the plan and returns the number of rows reaching the
+// sink.
+func (q *Q) Count() (int64, error) {
+	b, err := q.GroupBy(nil, []GAgg{{Name: "count", Kind: ops.RelAggCount}})
+	if err != nil {
+		return 0, err
+	}
+	if b.N == 0 {
+		return 0, nil
+	}
+	return b.Ints[0][0], nil
+}
+
+// run assembles the RelPlan and executes it on the morsel pipeline.
+func (q *Q) run(sink ops.RelSink, names []string) (*ops.Batch, error) {
+	var plan *ops.Plan
+	if len(q.preds) > 0 {
+		// Planning can read dictionaries and column stats (dict rewrites,
+		// conjunct ordering); under a trace that IO is booked on a Plan
+		// child so the span tree still sums to the reader's IOStats delta.
+		sp := obs.SpanFrom(q.ctx)
+		var ps *obs.Span
+		var before colstore.IOStats
+		if sp != nil {
+			ps = sp.StartChild("Plan")
+			before = q.r.Stats()
+		}
+		plan = ops.BuildPlan(ops.AndPred(q.preds...), q.r)
+		if ps != nil {
+			after := q.r.Stats()
+			ps.AddIO(obs.SpanIO{
+				PagesRead:         after.PagesRead - before.PagesRead,
+				PagesPruned:       after.PagesPruned - before.PagesPruned,
+				PagesSkipped:      after.PagesSkipped - before.PagesSkipped,
+				BytesRead:         after.BytesRead - before.BytesRead,
+				BytesDecompressed: after.BytesDecompressed - before.BytesDecompressed,
+			})
+			ps.End()
+		}
+	}
+	rp := &ops.RelPlan{Stages: q.stages, Sink: sink, Names: names}
+	return ops.RunRelPipeline(q.ctx, q.r, q.pool, plan, rp)
+}
+
+// dictCard reports the dictionary cardinality of a dict-encoded column.
+func (q *Q) dictCard(col string) (int, error) {
+	ci, c, err := q.r.Column(col)
+	if err != nil {
+		return 0, err
+	}
+	switch c.Type {
+	case colstore.TypeInt64:
+		d, err := q.r.IntDict(ci)
+		return len(d), err
+	case colstore.TypeString:
+		d, err := q.r.StrDict(ci)
+		return len(d), err
+	}
+	return 0, fmt.Errorf("relq: column %q has no dictionary", col)
+}

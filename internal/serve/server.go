@@ -117,6 +117,9 @@ func (s *Server) Query(ctx context.Context, req *QueryRequest) (*QueryResponse, 
 	if req.Table == "" {
 		return nil, wireErr(CodeBadRequest, "missing table")
 	}
+	if req.relational() {
+		return s.relQuery(ctx, req)
+	}
 	term, ok := wireTerminals[req.Terminal]
 	if !ok {
 		return nil, wireErr(CodeBadRequest, "unknown terminal %q", req.Terminal)
@@ -124,6 +127,9 @@ func (s *Server) Query(ctx context.Context, req *QueryRequest) (*QueryResponse, 
 	needsCol := term == codecdb.TerminalSum || term == codecdb.TerminalGroupCount
 	if needsCol && req.Column == "" {
 		return nil, wireErr(CodeBadRequest, "terminal %q needs column", req.Terminal)
+	}
+	if len(req.Columns) > 0 {
+		return nil, wireErr(CodeBadRequest, "columns needs terminal \"rows\"")
 	}
 	pred, err := req.Predicate.ToPred()
 	if err != nil {
@@ -237,6 +243,210 @@ func (s *Server) Query(ctx context.Context, req *QueryRequest) (*QueryResponse, 
 		s.cache.Put(key, resp)
 	}
 	return resp, nil
+}
+
+// relQuery serves the relational request shapes: two-table joins,
+// order_by/limit, and the "rows" terminal. These execute through the
+// engine's relational planner instead of a shared scan wave, and their
+// results bypass the result cache — the cache key does not encode the
+// relational shape, and row sets are poor cache citizens anyway.
+func (s *Server) relQuery(ctx context.Context, req *QueryRequest) (*QueryResponse, *WireError) {
+	// Shape checks first (bad_request), schema checks after
+	// (bad_predicate) — the same split the scalar terminals use.
+	switch req.Terminal {
+	case "rows":
+		if len(req.Columns) == 0 {
+			return nil, wireErr(CodeBadRequest, "terminal \"rows\" needs columns")
+		}
+	case "count":
+		if len(req.OrderBy) > 0 || req.Limit != 0 || len(req.Columns) > 0 {
+			return nil, wireErr(CodeBadRequest, "order_by, limit, and columns need terminal \"rows\"")
+		}
+	default:
+		return nil, wireErr(CodeBadRequest, "terminal %q does not compose with join/order_by/limit", req.Terminal)
+	}
+	if req.Limit < 0 {
+		return nil, wireErr(CodeBadRequest, "limit must be positive, got %d", req.Limit)
+	}
+	if j := req.Join; j != nil {
+		if j.Table == "" || j.LeftCol == "" || j.RightCol == "" {
+			return nil, wireErr(CodeBadRequest, "join needs table, left_col, and right_col")
+		}
+		switch j.Kind {
+		case "", "inner", "semi", "anti":
+		default:
+			return nil, wireErr(CodeBadRequest, "unknown join kind %q (want inner, semi, or anti)", j.Kind)
+		}
+	}
+	for _, o := range req.OrderBy {
+		if o.Col == "" {
+			return nil, wireErr(CodeBadRequest, "order_by needs col")
+		}
+	}
+
+	pred, err := req.Predicate.ToPred()
+	if err != nil {
+		return nil, wireErr(CodeBadPredicate, "%v", err)
+	}
+	tbl, err := s.db.Table(req.Table)
+	if err != nil {
+		return nil, wireErr(CodeNotFound, "table %q: %v", req.Table, err)
+	}
+	if werr := checkColumns(tbl, req.Table, predColumns(req.Predicate, nil)); werr != nil {
+		return nil, werr
+	}
+	q := tbl.All()
+	if req.Predicate != nil {
+		q = q.AndPred(pred)
+	}
+
+	// The build side: its own table, predicate, and join kind. An inner
+	// join makes the build table's columns referencable downstream.
+	var buildTbl *codecdb.Table
+	innerJoin := false
+	if j := req.Join; j != nil {
+		buildTbl, err = s.db.Table(j.Table)
+		if err != nil {
+			return nil, wireErr(CodeNotFound, "join table %q: %v", j.Table, err)
+		}
+		bpred, err := j.Predicate.ToPred()
+		if err != nil {
+			return nil, wireErr(CodeBadPredicate, "join predicate: %v", err)
+		}
+		if werr := checkColumns(buildTbl, j.Table, predColumns(j.Predicate, nil)); werr != nil {
+			return nil, werr
+		}
+		if _, ok := tbl.ColumnType(j.LeftCol); !ok {
+			return nil, wireErr(CodeBadPredicate, "unknown column %q in table %q", j.LeftCol, req.Table)
+		}
+		if _, ok := buildTbl.ColumnType(j.RightCol); !ok {
+			return nil, wireErr(CodeBadPredicate, "unknown column %q in table %q", j.RightCol, j.Table)
+		}
+		bq := buildTbl.All()
+		if j.Predicate != nil {
+			bq = bq.AndPred(bpred)
+		}
+		switch j.Kind {
+		case "semi":
+			q = q.SemiJoin(bq, j.LeftCol, j.RightCol)
+		case "anti":
+			q = q.AntiJoin(bq, j.LeftCol, j.RightCol)
+		default:
+			innerJoin = true
+			q = q.JoinOn(bq, j.LeftCol, j.RightCol)
+		}
+	}
+
+	// Output columns resolve against the probe table, or the build table
+	// on inner joins; order_by keys must be selected.
+	haveCol := func(c string) bool {
+		if _, ok := tbl.ColumnType(c); ok {
+			return true
+		}
+		if innerJoin {
+			if _, ok := buildTbl.ColumnType(c); ok {
+				return true
+			}
+		}
+		return false
+	}
+	selected := make(map[string]bool, len(req.Columns))
+	for _, c := range req.Columns {
+		if !haveCol(c) {
+			return nil, wireErr(CodeBadPredicate, "unknown column %q", c)
+		}
+		selected[c] = true
+	}
+	for _, o := range req.OrderBy {
+		if !selected[o.Col] {
+			return nil, wireErr(CodeBadPredicate, "order_by column %q is not in columns", o.Col)
+		}
+		q = q.OrderBy(o.Col, o.Desc)
+	}
+	if req.Limit > 0 {
+		q = q.Limit(req.Limit)
+	}
+
+	// The request deadline covers admission wait plus execution, exactly
+	// like the wave path.
+	timeout := s.cfg.DefaultTimeout
+	if req.Budget.TimeoutMS > 0 {
+		timeout = time.Duration(req.Budget.TimeoutMS) * time.Millisecond
+	}
+	var deadline time.Time
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, deadline)
+		defer cancel()
+	}
+	waitStart := time.Now()
+	grant, err := s.admit.Acquire(ctx, req.Client, req.Budget.MemoryBytes)
+	admissionWait.Observe(time.Since(waitStart).Seconds())
+	if err != nil {
+		errorsTotal.Inc()
+		return nil, wireErr(admissionCode(err), "%v", err)
+	}
+	defer grant.Release()
+
+	var lq *obs.LiveQuery
+	fr := obs.DefaultRecorder()
+	if fr.Enabled() {
+		lq = fr.Begin(obs.KindQuery, req.Table, "v1/"+req.Terminal, req.Predicate.Canonical())
+	}
+
+	workers := s.cfg.MaxWorkersPerQuery
+	if req.Budget.MaxWorkers > 0 && (workers == 0 || req.Budget.MaxWorkers < workers) {
+		workers = req.Budget.MaxWorkers
+	}
+	q = q.WithContext(ctx).WithExec(codecdb.ExecOptions{
+		MaxWorkers:  workers,
+		Deadline:    deadline,
+		MemoryBytes: req.Budget.MemoryBytes,
+	})
+
+	resp := &QueryResponse{Table: req.Table, Epoch: tbl.Epoch(), Terminal: req.Terminal}
+	var execErr error
+	switch req.Terminal {
+	case "rows":
+		var rows *codecdb.Rows
+		rows, execErr = q.Rows(req.Columns...)
+		if execErr == nil {
+			resp.Columns = rows.Cols
+			resp.Rows = rows.Data
+			resp.Count = int64(len(rows.Data))
+		}
+	default:
+		resp.Count, execErr = q.Count()
+	}
+	if lq != nil {
+		rec := &obs.QueryRecord{Wall: time.Since(lq.Start), RowsOut: resp.Count}
+		if execErr != nil {
+			rec.Err = execErr.Error()
+			rec.Cancelled = errors.Is(execErr, context.Canceled) || errors.Is(execErr, context.DeadlineExceeded)
+		}
+		fr.Finish(lq, rec)
+		resp.QueryID = lq.ID
+	}
+	if execErr != nil {
+		errorsTotal.Inc()
+		return nil, wireErr(classifyExecErr(execErr), "%v", execErr)
+	}
+	return resp, nil
+}
+
+// checkColumns maps unknown referenced columns onto bad_predicate.
+func checkColumns(tbl *codecdb.Table, name string, cols []string) *WireError {
+	have := make(map[string]bool)
+	for _, c := range tbl.Columns() {
+		have[c] = true
+	}
+	for _, c := range cols {
+		if !have[c] {
+			return wireErr(CodeBadPredicate, "unknown column %q in table %q", c, name)
+		}
+	}
+	return nil
 }
 
 // predColumns collects every column a wire predicate references.

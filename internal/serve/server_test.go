@@ -389,3 +389,179 @@ func TestResultCacheEviction(t *testing.T) {
 		t.Fatal("oversize entry cached")
 	}
 }
+
+// newJoinDB extends the events fixture with a "services" dimension
+// keyed by status, for exercising the wire join spec.
+func newJoinDB(t *testing.T, n int) (*codecdb.DB, *codecdb.Table, *codecdb.Table) {
+	db, tbl := newEventsDB(t, n, codecdb.Options{})
+	classes := map[string]string{"OK": "good", "ERROR": "bad", "RETRY": "bad", "TIMEOUT": "slow"}
+	var names, cls [][]byte
+	for _, s := range []string{"OK", "ERROR", "RETRY", "TIMEOUT"} {
+		names = append(names, []byte(s))
+		cls = append(cls, []byte(classes[s]))
+	}
+	svc, err := db.LoadTable("services", []codecdb.Column{
+		{Name: "s_status", Strings: names},
+		{Name: "s_class", Strings: cls},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, tbl, svc
+}
+
+// TestV1QueryRowsOrderByLimit: the "rows" terminal with order_by/limit
+// round-trips and matches the direct query API.
+func TestV1QueryRowsOrderByLimit(t *testing.T) {
+	db, tbl, _ := newJoinDB(t, 4000)
+	_, url := newTestServer(t, db, Config{})
+
+	code, r := post(t, url, QueryRequest{
+		Table: "events", Terminal: "rows",
+		Predicate: &WirePred{Kind: "cmp", Col: "level", Op: "ge", Value: 3},
+		Columns:   []string{"latency", "status"},
+		OrderBy:   []WireOrder{{Col: "latency", Desc: true}},
+		Limit:     7,
+	})
+	if code != 200 || r.Error != nil {
+		t.Fatalf("rows: %d %+v", code, r.Error)
+	}
+	want, err := tbl.Where("level", codecdb.Ge, 3).
+		OrderBy("latency", true).Limit(7).
+		Rows("latency", "status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r.Columns, want.Cols) || len(r.Rows) != len(want.Data) {
+		t.Fatalf("shape: %v/%d vs %v/%d", r.Columns, len(r.Rows), want.Cols, len(want.Data))
+	}
+	for i, row := range want.Data {
+		// JSON round-trips numbers as float64.
+		if got := r.Rows[i][0].(float64); got != row[0].(float64) {
+			t.Fatalf("row %d latency = %v, want %v", i, got, row[0])
+		}
+		if got := r.Rows[i][1].(string); got != row[1].(string) {
+			t.Fatalf("row %d status = %q, want %q", i, got, row[1])
+		}
+	}
+	if r.Count != int64(len(want.Data)) {
+		t.Fatalf("count = %d, want %d", r.Count, len(want.Data))
+	}
+}
+
+// TestV1QueryJoin: inner/semi/anti joins round-trip and match the direct
+// API, including build-side payload columns in rows output.
+func TestV1QueryJoin(t *testing.T) {
+	db, tbl, svc := newJoinDB(t, 4000)
+	_, url := newTestServer(t, db, Config{ResultCacheBytes: 1 << 20})
+
+	badSvc := &WirePred{Kind: "cmp", Col: "s_class", Op: "eq", Value: "bad"}
+	join := &WireJoin{Table: "services", LeftCol: "status", RightCol: "s_status", Predicate: badSvc}
+
+	code, r := post(t, url, QueryRequest{Table: "events", Terminal: "count", Join: join})
+	wantN, err := tbl.All().
+		JoinOn(svc.Where("s_class", codecdb.Eq, "bad"), "status", "s_status").
+		Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 200 || r.Count != wantN {
+		t.Fatalf("join count = %d (%d), want %d", r.Count, code, wantN)
+	}
+	if wantN == 0 {
+		t.Fatal("vacuous join")
+	}
+	// Relational results bypass the result cache even when it is enabled.
+	_, r2 := post(t, url, QueryRequest{Table: "events", Terminal: "count", Join: join})
+	if r2.Cached {
+		t.Fatal("relational result served from cache")
+	}
+
+	// Semi and anti partition the probe rows.
+	semiJoin := &WireJoin{Table: "services", LeftCol: "status", RightCol: "s_status", Kind: "semi", Predicate: badSvc}
+	antiJoin := &WireJoin{Table: "services", LeftCol: "status", RightCol: "s_status", Kind: "anti", Predicate: badSvc}
+	_, rs := post(t, url, QueryRequest{Table: "events", Terminal: "count", Join: semiJoin})
+	_, ra := post(t, url, QueryRequest{Table: "events", Terminal: "count", Join: antiJoin})
+	if rs.Count != wantN {
+		t.Fatalf("semi count = %d, want %d", rs.Count, wantN)
+	}
+	if rs.Count+ra.Count != int64(tbl.NumRows()) {
+		t.Fatalf("semi %d + anti %d != %d rows", rs.Count, ra.Count, tbl.NumRows())
+	}
+
+	// Rows with a build-side payload column.
+	code, rr := post(t, url, QueryRequest{
+		Table: "events", Terminal: "rows",
+		Predicate: &WirePred{Kind: "cmp", Col: "level", Op: "eq", Value: 4},
+		Join:      join,
+		Columns:   []string{"status", "s_class", "latency"},
+		OrderBy:   []WireOrder{{Col: "latency", Desc: false}},
+		Limit:     5,
+	})
+	if code != 200 || rr.Error != nil {
+		t.Fatalf("join rows: %d %+v", code, rr.Error)
+	}
+	wantRows, err := tbl.Where("level", codecdb.Eq, 4).
+		JoinOn(svc.Where("s_class", codecdb.Eq, "bad"), "status", "s_status").
+		OrderBy("latency", false).Limit(5).
+		Rows("status", "s_class", "latency")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rr.Rows) != len(wantRows.Data) {
+		t.Fatalf("join rows = %d, want %d", len(rr.Rows), len(wantRows.Data))
+	}
+	for i, row := range wantRows.Data {
+		if rr.Rows[i][0].(string) != row[0].(string) || rr.Rows[i][1].(string) != row[1].(string) {
+			t.Fatalf("row %d = %v, want %v", i, rr.Rows[i], row)
+		}
+	}
+}
+
+// TestV1QueryRelationalValidation: every malformed relational shape
+// fails with a structured code before execution.
+func TestV1QueryRelationalValidation(t *testing.T) {
+	db, _, _ := newJoinDB(t, 500)
+	_, url := newTestServer(t, db, Config{})
+
+	check := func(req QueryRequest, wantStatus int, wantCode string) {
+		t.Helper()
+		code, r := post(t, url, req)
+		if code != wantStatus || r.Error == nil || r.Error.Code != wantCode {
+			t.Fatalf("req %+v: status %d resp %+v, want %d/%s", req, code, r.Error, wantStatus, wantCode)
+		}
+	}
+	join := &WireJoin{Table: "services", LeftCol: "status", RightCol: "s_status"}
+
+	// bad_request: shape problems.
+	check(QueryRequest{Table: "events", Terminal: "rows"}, 400, CodeBadRequest)
+	check(QueryRequest{Table: "events", Terminal: "count", Columns: []string{"ts"}}, 400, CodeBadRequest)
+	check(QueryRequest{Table: "events", Terminal: "count", OrderBy: []WireOrder{{Col: "ts"}}}, 400, CodeBadRequest)
+	check(QueryRequest{Table: "events", Terminal: "sum", Column: "latency", Join: join}, 400, CodeBadRequest)
+	check(QueryRequest{Table: "events", Terminal: "rows", Columns: []string{"ts"}, Limit: -3}, 400, CodeBadRequest)
+	check(QueryRequest{Table: "events", Terminal: "count",
+		Join: &WireJoin{Table: "services", LeftCol: "status"}}, 400, CodeBadRequest)
+	check(QueryRequest{Table: "events", Terminal: "count",
+		Join: &WireJoin{Table: "services", LeftCol: "status", RightCol: "s_status", Kind: "cross"}}, 400, CodeBadRequest)
+	check(QueryRequest{Table: "events", Terminal: "rows", Columns: []string{"ts"},
+		OrderBy: []WireOrder{{}}}, 400, CodeBadRequest)
+
+	// bad_predicate: schema problems.
+	check(QueryRequest{Table: "events", Terminal: "rows", Columns: []string{"nope"}}, 400, CodeBadPredicate)
+	check(QueryRequest{Table: "events", Terminal: "rows", Columns: []string{"ts"},
+		OrderBy: []WireOrder{{Col: "latency"}}}, 400, CodeBadPredicate)
+	check(QueryRequest{Table: "events", Terminal: "count",
+		Join: &WireJoin{Table: "services", LeftCol: "nope", RightCol: "s_status"}}, 400, CodeBadPredicate)
+	check(QueryRequest{Table: "events", Terminal: "count",
+		Join: &WireJoin{Table: "services", LeftCol: "status", RightCol: "nope"}}, 400, CodeBadPredicate)
+	check(QueryRequest{Table: "events", Terminal: "count",
+		Join: &WireJoin{Table: "services", LeftCol: "status", RightCol: "s_status",
+			Predicate: &WirePred{Kind: "cmp", Col: "nope", Op: "eq", Value: 1}}}, 400, CodeBadPredicate)
+	// Semi join hides the build table's columns.
+	check(QueryRequest{Table: "events", Terminal: "rows", Columns: []string{"s_class"},
+		Join: &WireJoin{Table: "services", LeftCol: "status", RightCol: "s_status", Kind: "semi"}}, 400, CodeBadPredicate)
+
+	// not_found: unknown join table.
+	check(QueryRequest{Table: "events", Terminal: "count",
+		Join: &WireJoin{Table: "ghosts", LeftCol: "status", RightCol: "s_status"}}, 404, CodeNotFound)
+}

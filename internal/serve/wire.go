@@ -60,19 +60,53 @@ type Budget struct {
 	MaxWorkers int `json:"max_workers,omitempty"`
 }
 
+// WireJoin declares a two-table equi-join: the request's table is the
+// probe side, Table here the build side. Kind is "inner" (default),
+// "semi" (EXISTS), or "anti" (NOT EXISTS); Predicate filters the build
+// side before the join. Inner joins make the build table's columns
+// referencable in columns/order_by.
+type WireJoin struct {
+	Table     string    `json:"table"`
+	LeftCol   string    `json:"left_col"`
+	RightCol  string    `json:"right_col"`
+	Kind      string    `json:"kind,omitempty"`
+	Predicate *WirePred `json:"predicate,omitempty"`
+}
+
+// WireOrder is one output ordering key for the "rows" terminal.
+type WireOrder struct {
+	Col  string `json:"col"`
+	Desc bool   `json:"desc,omitempty"`
+}
+
 // QueryRequest is the POST /v1/query body.
 type QueryRequest struct {
 	Table     string    `json:"table"`
 	Predicate *WirePred `json:"predicate,omitempty"`
-	// Terminal is one of "count", "rowids", "sum", "group_count".
+	// Terminal is one of "count", "rowids", "sum", "group_count",
+	// "rows".
 	Terminal string `json:"terminal"`
 	// Column names the measured column for sum/group_count.
-	Column  string `json:"column,omitempty"`
-	Budget  Budget `json:"budget,omitempty"`
-	NoCache bool   `json:"no_cache,omitempty"`
+	Column string `json:"column,omitempty"`
+	// Join, OrderBy, Limit, and Columns shape relational requests:
+	// join composes with "count" and "rows"; order_by/limit and columns
+	// belong to "rows". Relational results bypass the result cache.
+	Join    *WireJoin   `json:"join,omitempty"`
+	OrderBy []WireOrder `json:"order_by,omitempty"`
+	Limit   int         `json:"limit,omitempty"`
+	Columns []string    `json:"columns,omitempty"`
+	Budget  Budget      `json:"budget,omitempty"`
+	NoCache bool        `json:"no_cache,omitempty"`
 	// Client identifies the caller for admission fairness; requests
 	// sharing a Client share one FIFO queue. Empty means "default".
 	Client string `json:"client,omitempty"`
+}
+
+// relational reports whether the request needs the relational executor
+// (joins, ordering, limits, or row output) rather than a scan-wave
+// terminal.
+func (r *QueryRequest) relational() bool {
+	return r.Join != nil || len(r.OrderBy) > 0 || r.Limit != 0 || r.Terminal == "rows"
 }
 
 // WireError is the structured failure payload.
@@ -92,6 +126,8 @@ type QueryResponse struct {
 	RowIDs   []int64          `json:"rowids,omitempty"`
 	Sum      float64          `json:"sum,omitempty"`
 	Groups   map[string]int64 `json:"groups,omitempty"`
+	Columns  []string         `json:"columns,omitempty"`
+	Rows     [][]any          `json:"rows,omitempty"`
 	Cached   bool             `json:"cached,omitempty"`
 	WallMS   float64          `json:"wall_ms,omitempty"`
 	Error    *WireError       `json:"error,omitempty"`

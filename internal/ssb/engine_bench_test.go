@@ -1,0 +1,42 @@
+package ssb
+
+import (
+	"testing"
+)
+
+// benchPlan runs one plan b.N times, reporting pages read per op summed
+// across the five table readers alongside the usual time/alloc metrics.
+func benchPlan(b *testing.B, run func() error) {
+	b.Helper()
+	var before int64
+	for _, r := range sharedTables.Readers() {
+		before += r.Stats().PagesRead
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	var after int64
+	for _, r := range sharedTables.Readers() {
+		after += r.Stats().PagesRead
+	}
+	b.ReportMetric(float64(after-before)/float64(b.N), "pagesRead/op")
+}
+
+// BenchmarkSSBEngineVsLegacy runs every SSB flight through the
+// engine-compiled relational plan and the legacy hand-coded plan, side
+// by side, for BENCH_PR10.json.
+func BenchmarkSSBEngineVsLegacy(b *testing.B) {
+	for _, q := range QueryIDs() {
+		b.Run(q+"/engine", func(b *testing.B) {
+			benchPlan(b, func() error { _, err := sharedTables.CodecDB(q); return err })
+		})
+		b.Run(q+"/legacy", func(b *testing.B) {
+			benchPlan(b, func() error { _, err := sharedTables.LegacyCodecDB(q); return err })
+		})
+	}
+}

@@ -1,0 +1,69 @@
+package ssb
+
+import (
+	"testing"
+
+	"codecdb/internal/colstore"
+	"codecdb/internal/core"
+)
+
+// TestEngineMatchesLegacyAllFormats is the engine-equivalence property:
+// every SSB query compiled through the relational engine must produce
+// results byte-identical to the legacy hand-coded CodecDB plan, on both
+// the v1 and the current file format. SSB measures are int64 sums, so
+// equality is exact.
+func TestEngineMatchesLegacyAllFormats(t *testing.T) {
+	for _, f := range []struct {
+		name string
+		ver  int
+	}{
+		{"v1", colstore.FormatV1},
+		{"v21", colstore.CurrentFormat},
+	} {
+		f := f
+		t.Run(f.name, func(t *testing.T) {
+			dir := t.TempDir()
+			db, err := core.Open(dir, core.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer db.Close()
+			data := Generate(0.004, 23)
+			opts := colstore.Options{RowGroupRows: 6144, PageRows: 768, FormatVersion: f.ver}
+			if err := LoadCodecDB(db, data, opts); err != nil {
+				t.Fatal(err)
+			}
+			ts, err := OpenTables(db)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, q := range QueryIDs() {
+				eng, err := ts.CodecDB(q)
+				if err != nil {
+					t.Fatalf("%s engine: %v", q, err)
+				}
+				leg, err := ts.LegacyCodecDB(q)
+				if err != nil {
+					t.Fatalf("%s legacy: %v", q, err)
+				}
+				tablesEqual(t, q, eng.Table, leg.Table)
+			}
+		})
+	}
+}
+
+// TestEngineMatchesLegacyShared reruns the equivalence check on the
+// shared tables with their different layout parameters.
+func TestEngineMatchesLegacyShared(t *testing.T) {
+	for _, q := range QueryIDs() {
+		eng, err := sharedTables.CodecDB(q)
+		if err != nil {
+			t.Fatalf("%s engine: %v", q, err)
+		}
+		leg, err := sharedTables.LegacyCodecDB(q)
+		if err != nil {
+			t.Fatalf("%s legacy: %v", q, err)
+		}
+		tablesEqual(t, q, eng.Table, leg.Table)
+	}
+}

@@ -12,10 +12,23 @@ import (
 var revenueNames = []string{"revenue"}
 var revenueTypes = []memtable.ColType{memtable.ColInt64}
 
-// CodecDB runs query q with the encoding-aware plan: dictionary-entry
-// predicates scanned in place, lazy bitmap intersection, late
-// materialization of payload columns.
+// CodecDB runs query q with the encoding-aware plan, compiled through
+// internal/relq and executed on the morsel pipeline: dictionary-entry
+// predicates scanned in place, dense-key joins against qualifying
+// dimension rows, late materialization of payload columns.
 func (t *Tables) CodecDB(q string) (Result, error) {
+	if spec, ok := flight1Specs[q]; ok {
+		return t.engineFlight1(spec)
+	}
+	if spec, ok := factSpecs[q]; ok {
+		return t.engineFact(&spec)
+	}
+	return Result{}, fmt.Errorf("ssb: unknown query %q", q)
+}
+
+// LegacyCodecDB runs the hand-coded encoding-aware plan, kept as the
+// test oracle for the engine-compiled plans.
+func (t *Tables) LegacyCodecDB(q string) (Result, error) {
 	if spec, ok := flight1Specs[q]; ok {
 		return t.codecFlight1(spec)
 	}

@@ -1,0 +1,45 @@
+package tpch
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchPlan runs one plan b.N times, reporting pages read per op summed
+// across all eight table readers alongside the usual time/alloc metrics.
+func benchPlan(b *testing.B, run func() error) {
+	b.Helper()
+	var before int64
+	for _, r := range sharedTables.Readers() {
+		before += r.Stats().PagesRead
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	var after int64
+	for _, r := range sharedTables.Readers() {
+		after += r.Stats().PagesRead
+	}
+	b.ReportMetric(float64(after-before)/float64(b.N), "pagesRead/op")
+}
+
+// BenchmarkTPCHEngineVsLegacy runs every TPC-H query through the
+// engine-compiled relational plan (relq + morsel pipeline) and the
+// legacy hand-coded operator-at-a-time plan, side by side. The paired
+// sub-benchmarks feed BENCH_PR10.json, where engine plans must match or
+// beat legacy on pages read for the filter-heavy queries.
+func BenchmarkTPCHEngineVsLegacy(b *testing.B) {
+	for q := 1; q <= QueryCount; q++ {
+		b.Run(fmt.Sprintf("Q%02d/engine", q), func(b *testing.B) {
+			benchPlan(b, func() error { _, err := sharedTables.CodecDB(q); return err })
+		})
+		b.Run(fmt.Sprintf("Q%02d/legacy", q), func(b *testing.B) {
+			benchPlan(b, func() error { _, err := sharedTables.LegacyCodecDB(q); return err })
+		})
+	}
+}

@@ -1,0 +1,341 @@
+package tpch
+
+import (
+	"bytes"
+
+	"codecdb/internal/memtable"
+	"codecdb/internal/ops"
+	"codecdb/internal/relq"
+	"codecdb/internal/sboost"
+)
+
+func q16Engine(t *Tables) (*memtable.RowTable, error) {
+	pb, err := relq.Scan(t.P, t.Pool).
+		Where(&ops.DictFilter{Col: "p_brand", Op: sboost.OpNe, StrValue: []byte("Brand#45")}).
+		Where(&ops.DictLikeFilter{Col: "p_type", Match: func(e []byte) bool {
+			return !bytes.HasPrefix(e, []byte("MEDIUM POLISHED"))
+		}}).
+		Where(&ops.IntPredicateFilter{Col: "p_size", Pred: func(v int64) bool { return q16Sizes[v] }}).
+		Rows("p_partkey", "#p_brand", "#p_type", "p_size")
+	if err != nil {
+		return nil, err
+	}
+	brand, err := relq.DecodeKeys(t.P, "p_brand", bInts(pb, "p_brand"))
+	if err != nil {
+		return nil, err
+	}
+	ptype, err := relq.DecodeKeys(t.P, "p_type", bInts(pb, "p_type"))
+	if err != nil {
+		return nil, err
+	}
+	pk, size := bInts(pb, "p_partkey"), bInts(pb, "p_size")
+	partRow := make(map[int64]int, pb.N)
+	for i := 0; i < pb.N; i++ {
+		partRow[pk[i]] = i
+	}
+	sb, err := relq.Scan(t.S, t.Pool).
+		Where(&ops.StrPredicateFilter{Col: "s_comment", Pred: func(v []byte) bool {
+			return bytes.Contains(v, []byte("Customer Complaints"))
+		}}).
+		Rows("s_suppkey")
+	if err != nil {
+		return nil, err
+	}
+	psb, err := relq.Scan(t.PS, t.Pool).
+		Semi("pt", pk, "ps_partkey").
+		Anti("ok", bInts(sb, "s_suppkey"), "ps_suppkey").
+		Rows("ps_partkey", "ps_suppkey")
+	if err != nil {
+		return nil, err
+	}
+	psPart, psSupp := bInts(psb, "ps_partkey"), bInts(psb, "ps_suppkey")
+	type group struct {
+		brand, ptype string
+		size         int64
+	}
+	distinct := map[group]map[int64]bool{}
+	for i := 0; i < psb.N; i++ {
+		row := partRow[psPart[i]]
+		g := group{string(brand[row]), string(ptype[row]), size[row]}
+		if distinct[g] == nil {
+			distinct[g] = map[int64]bool{}
+		}
+		distinct[g][psSupp[i]] = true
+	}
+	var rows [][]any
+	for g, supps := range distinct {
+		rows = append(rows, []any{bin([]byte(g.brand)), bin([]byte(g.ptype)), g.size, int64(len(supps))})
+	}
+	sortRows(rows, -4, 0, 1, 2)
+	return emit(q16Names, q16Types, rows, 0), nil
+}
+
+func q17Engine(t *Tables) (*memtable.RowTable, error) {
+	pb, err := relq.Scan(t.P, t.Pool).
+		Where(dEqS("p_brand", "Brand#23")).
+		Where(dEqS("p_container", "MED BOX")).
+		Rows("p_partkey")
+	if err != nil {
+		return nil, err
+	}
+	lb, err := relq.Scan(t.L, t.Pool).
+		Semi("p", bInts(pb, "p_partkey"), "l_partkey").
+		Rows("l_partkey", "l_quantity", "l_extendedprice")
+	if err != nil {
+		return nil, err
+	}
+	lPart, qty := bInts(lb, "l_partkey"), bInts(lb, "l_quantity")
+	price := bFloats(lb, "l_extendedprice")
+	sum := map[int64]float64{}
+	count := map[int64]int64{}
+	for i := 0; i < lb.N; i++ {
+		sum[lPart[i]] += float64(qty[i])
+		count[lPart[i]]++
+	}
+	var total float64
+	for i := 0; i < lb.N; i++ {
+		avg := sum[lPart[i]] / float64(count[lPart[i]])
+		if float64(qty[i]) < 0.2*avg {
+			total += price[i]
+		}
+	}
+	out := memtable.NewRowTable(q17Names, q17Types)
+	out.Append(round2(total / 7))
+	return out, nil
+}
+
+func q18Engine(t *Tables) (*memtable.RowTable, error) {
+	b, err := relq.Scan(t.L, t.Pool).
+		GroupBy(
+			[]relq.GKey{{Name: "ok", Ref: "l_orderkey", Lo: 0, Hi: t.O.NumRows() + 1}},
+			[]relq.GAgg{{Name: "qty", Kind: ops.RelAggSumInt, Ref: "l_quantity"}})
+	if err != nil {
+		return nil, err
+	}
+	ok, qty := bInts(b, "ok"), bInts(b, "qty")
+	orderQty := map[int64]float64{}
+	for i := 0; i < b.N; i++ {
+		if float64(qty[i]) > q18Threshold {
+			orderQty[ok[i]] = float64(qty[i])
+		}
+	}
+	return q18Finish(t, orderQty)
+}
+
+func q19Engine(t *Tables) (*memtable.RowTable, error) {
+	var pKeys, qtyLo, qtyHi []int64
+	for _, br := range q19Branches {
+		var conts [][]byte
+		for c := range br.containers {
+			conts = append(conts, []byte(c))
+		}
+		sizeHi := br.sizeHi
+		pb, err := relq.Scan(t.P, t.Pool).
+			Where(dEqS("p_brand", br.brand)).
+			Where(&ops.DictInFilter{Col: "p_container", StrValues: conts}).
+			Where(&ops.IntPredicateFilter{Col: "p_size", Pred: func(v int64) bool {
+				return v >= 1 && v <= sizeHi
+			}}).
+			Rows("p_partkey")
+		if err != nil {
+			return nil, err
+		}
+		for _, k := range bInts(pb, "p_partkey") {
+			pKeys = append(pKeys, k)
+			qtyLo = append(qtyLo, br.qtyLo)
+			qtyHi = append(qtyHi, br.qtyHi)
+		}
+	}
+	payload := (&ops.Batch{}).AddInts("lo", qtyLo).AddInts("hi", qtyHi)
+	b, err := relq.Scan(t.L, t.Pool).
+		Where(&ops.DictInFilter{Col: "l_shipmode", StrValues: [][]byte{[]byte("AIR"), []byte("REG AIR")}}).
+		Where(dEqS("l_shipinstruct", "DELIVER IN PERSON")).
+		Join("p", pKeys, payload, "l_partkey").
+		WhereRow("qty", []string{"l_quantity", "p.lo", "p.hi"}, func(r relq.Row) bool {
+			q := r.Int(0)
+			return q >= r.Int(1) && q <= r.Int(2)
+		}).
+		GroupByOver(
+			[]string{"l_extendedprice", "l_discount"}, nil,
+			[]relq.GAgg{{Name: "revenue", Kind: ops.RelAggSumFloat, FnF: func(r relq.Row) float64 {
+				return r.Float(0) * (1 - r.Float(1))
+			}}})
+	if err != nil {
+		return nil, err
+	}
+	var revenue float64
+	if b.N > 0 {
+		revenue = bFloats(b, "revenue")[0]
+	}
+	out := memtable.NewRowTable(q19Names, q19Types)
+	out.Append(round2(revenue))
+	return out, nil
+}
+
+func q20Engine(t *Tables) (*memtable.RowTable, error) {
+	lo, hi := Date(1994, 1, 1), Date(1995, 1, 1)
+	pb, err := relq.Scan(t.P, t.Pool).
+		Where(&ops.StrPredicateFilter{Col: "p_name", Pred: func(v []byte) bool {
+			return bytes.HasPrefix(v, []byte("forest"))
+		}}).
+		Rows("p_partkey")
+	if err != nil {
+		return nil, err
+	}
+	forestKeys := bInts(pb, "p_partkey")
+	forest := make(map[int64]bool, len(forestKeys))
+	for _, k := range forestKeys {
+		forest[k] = true
+	}
+	b, err := relq.Scan(t.L, t.Pool).
+		Where(dGe("l_shipdate", lo)).
+		Where(dLt("l_shipdate", hi)).
+		Semi("f", forestKeys, "l_partkey").
+		GroupBy(
+			[]relq.GKey{
+				{Name: "pk", Ref: "l_partkey", Lo: 0, Hi: t.P.NumRows() + 1},
+				{Name: "sk", Ref: "l_suppkey", Lo: 0, Hi: t.S.NumRows() + 1},
+			},
+			[]relq.GAgg{{Name: "qty", Kind: ops.RelAggSumInt, Ref: "l_quantity"}})
+	if err != nil {
+		return nil, err
+	}
+	pk, sk, qty := bInts(b, "pk"), bInts(b, "sk"), bInts(b, "qty")
+	shipped := make(map[[2]int64]float64, b.N)
+	for i := 0; i < b.N; i++ {
+		shipped[[2]int64{pk[i], sk[i]}] = float64(qty[i])
+	}
+	return q20Shared(t, forest, shipped)
+}
+
+func q21Engine(t *Tables) (*memtable.RowTable, error) {
+	lateb, err := relq.Scan(t.L, t.Pool).
+		Where(&ops.TwoColumnFilter{ColA: "l_commitdate", ColB: "l_receiptdate", Op: sboost.OpLt}).
+		Rows("l_orderkey", "l_suppkey")
+	if err != nil {
+		return nil, err
+	}
+	allb, err := relq.Scan(t.L, t.Pool).
+		Rows("l_orderkey", "l_suppkey")
+	if err != nil {
+		return nil, err
+	}
+	nKey, err := ops.ReadAllInts(t.N, "n_nationkey", t.Pool)
+	if err != nil {
+		return nil, err
+	}
+	nName, err := ops.ReadAllStrings(t.N, "n_name", t.Pool)
+	if err != nil {
+		return nil, err
+	}
+	var saudi int64 = -1
+	for i := range nKey {
+		if string(nName[i]) == "SAUDI ARABIA" {
+			saudi = nKey[i]
+		}
+	}
+	sNation, err := ops.ReadAllInts(t.S, "s_nationkey", t.Pool)
+	if err != nil {
+		return nil, err
+	}
+	sName, err := ops.ReadAllStrings(t.S, "s_name", t.Pool)
+	if err != nil {
+		return nil, err
+	}
+	type orderInfo struct {
+		supps     map[int64]bool
+		lateSupps map[int64]bool
+	}
+	orders := map[int64]*orderInfo{}
+	aOrder, aSupp := bInts(allb, "l_orderkey"), bInts(allb, "l_suppkey")
+	for i := 0; i < allb.N; i++ {
+		oi := orders[aOrder[i]]
+		if oi == nil {
+			oi = &orderInfo{supps: map[int64]bool{}, lateSupps: map[int64]bool{}}
+			orders[aOrder[i]] = oi
+		}
+		oi.supps[aSupp[i]] = true
+	}
+	lOrder, lSupp := bInts(lateb, "l_orderkey"), bInts(lateb, "l_suppkey")
+	for i := 0; i < lateb.N; i++ {
+		orders[lOrder[i]].lateSupps[lSupp[i]] = true
+	}
+	counted := map[[2]int64]bool{}
+	numWait := map[int64]int64{}
+	for i := 0; i < lateb.N; i++ {
+		sk := lSupp[i]
+		if sNation[sk-1] != saudi {
+			continue
+		}
+		oi := orders[lOrder[i]]
+		if len(oi.supps) < 2 || len(oi.lateSupps) != 1 {
+			continue
+		}
+		key := [2]int64{lOrder[i], sk}
+		if counted[key] {
+			continue
+		}
+		counted[key] = true
+		numWait[sk]++
+	}
+	var rows [][]any
+	for sk, c := range numWait {
+		rows = append(rows, []any{bin(sName[sk-1]), c})
+	}
+	sortRows(rows, -2, 0)
+	return emit(q21Names, q21Types, rows, 100), nil
+}
+
+func q22Engine(t *Tables) (*memtable.RowTable, error) {
+	ob, err := relq.Scan(t.O, t.Pool).Rows("o_custkey")
+	if err != nil {
+		return nil, err
+	}
+	oCust := bInts(ob, "o_custkey")
+	hasOrders := make(map[int64]bool, len(oCust))
+	for _, c := range oCust {
+		hasOrders[c] = true
+	}
+	cb, err := relq.Scan(t.C, t.Pool).Rows("c_phone", "c_acctbal", "c_custkey")
+	if err != nil {
+		return nil, err
+	}
+	phone, bal, cKey := bStrs(cb, "c_phone"), bFloats(cb, "c_acctbal"), bInts(cb, "c_custkey")
+	var sum float64
+	var n int64
+	for i := 0; i < cb.N; i++ {
+		code := string(phone[i][:2])
+		if q22Codes[code] && bal[i] > 0 {
+			sum += bal[i]
+			n++
+		}
+	}
+	if n == 0 {
+		return emit(q22Names, q22Types, nil, 0), nil
+	}
+	avg := sum / float64(n)
+	type acc struct {
+		count int64
+		total float64
+	}
+	groups := map[string]*acc{}
+	for i := 0; i < cb.N; i++ {
+		code := string(phone[i][:2])
+		if !q22Codes[code] || bal[i] <= avg || hasOrders[cKey[i]] {
+			continue
+		}
+		a := groups[code]
+		if a == nil {
+			a = &acc{}
+			groups[code] = a
+		}
+		a.count++
+		a.total += bal[i]
+	}
+	var rows [][]any
+	for code, a := range groups {
+		rows = append(rows, []any{bin([]byte(code)), a.count, round2(a.total)})
+	}
+	sortRows(rows, 0)
+	return emit(q22Names, q22Types, rows, 0), nil
+}

@@ -48,6 +48,19 @@ type Query struct {
 	// exec carries the per-query execution budgets and engine choice
 	// (see ExecOptions); the zero value is the default behavior.
 	exec ExecOptions
+	// relational extensions (see rel.go): join stages against build-side
+	// queries, group-by keys, and output ordering. When any is set,
+	// terminals compile a relational plan onto the same morsel pipeline.
+	joins     []joinSpec
+	groupCols []string
+	orders    []orderSpec
+	limitN    int
+}
+
+// rel reports whether the query carries relational structure and must
+// compile through the relational planner.
+func (q *Query) rel() bool {
+	return len(q.joins) > 0 || len(q.groupCols) > 0 || len(q.orders) > 0 || q.limitN > 0
 }
 
 // legacy reports whether terminals route through the operator-at-a-time
@@ -99,6 +112,9 @@ func (q *Query) context() context.Context {
 func (q *Query) clone() *Query {
 	cp := *q
 	cp.conjuncts = append([]Pred(nil), q.conjuncts...)
+	cp.joins = append([]joinSpec(nil), q.joins...)
+	cp.groupCols = append([]string(nil), q.groupCols...)
+	cp.orders = append([]orderSpec(nil), q.orders...)
 	return &cp
 }
 
@@ -389,6 +405,9 @@ func (q *Query) run(term ops.TermKind, col string) (res *ops.PipelineResult, err
 
 // Count evaluates the query and returns the matching row count.
 func (q *Query) Count() (int64, error) {
+	if q.rel() {
+		return q.relCount()
+	}
 	if q.legacy() {
 		sel, err := q.eval()
 		if err != nil {
